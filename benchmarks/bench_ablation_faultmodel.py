@@ -1,0 +1,86 @@
+"""Ablation — which fault-model ingredients matter (DESIGN.md section 7).
+
+Turns off one ingredient of the fault model at a time and reports which of
+the paper's qualitative findings breaks:
+
+* no ITD term      -> the Fig. 8 temperature effect disappears;
+* no ripple        -> the Table II run-to-run spread collapses to zero;
+* no die-to-die    -> the two KC705 samples become statistically identical;
+* no spatial field -> faults are still non-uniform (heavy-tailed per-BRAM
+  weights remain) but lose their spatial clustering.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once, save_report
+from repro.analysis import ExperimentReport
+from repro.core import FaultField, FaultModelConfig
+from repro.core.variation import VariationConfig
+from repro.fpga import FpgaChip
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_fault_model_ingredients(benchmark):
+    def body():
+        report = ExperimentReport(
+            "ablation_faultmodel", "Fault-model ablation: which ingredient produces which finding"
+        )
+        chip = FpgaChip.build("KC705-A")
+        cal_voltage = 0.53
+
+        # Full model reference.
+        full = FaultField(FpgaChip.build("KC705-A"))
+        full_itd = full.chip_fault_count(cal_voltage, temperature_c=50.0) / max(
+            1, full.chip_fault_count(cal_voltage, temperature_c=80.0)
+        )
+        full_runs = full.counts_over_runs(cal_voltage, 30)
+
+        # (1) temperature disabled
+        no_itd = FaultField(FpgaChip.build("KC705-A"), config=FaultModelConfig(temperature_enabled=False))
+        no_itd_ratio = no_itd.chip_fault_count(cal_voltage, temperature_c=50.0) / max(
+            1, no_itd.chip_fault_count(cal_voltage, temperature_c=80.0)
+        )
+
+        # (2) ripple disabled
+        no_ripple = FaultField(FpgaChip.build("KC705-A"), config=FaultModelConfig(ripple_enabled=False))
+        no_ripple_runs = no_ripple.counts_over_runs(cal_voltage, 30)
+
+        # (3) die-to-die disabled (shared variation config so only the seed matters)
+        shared = VariationConfig(never_faulty_fraction=0.45, lognormal_sigma=1.4)
+        config = FaultModelConfig(die_to_die_enabled=False)
+        same_a = FaultField(FpgaChip.build("KC705-A"), config=config, variation_config=shared)
+        same_b = FaultField(FpgaChip.build("KC705-B"), config=config, variation_config=shared)
+        map_correlation = same_a.variation.correlation_with(same_b.variation)
+
+        # (4) spatial variation disabled
+        no_spatial = FaultField(
+            FpgaChip.build("KC705-A"), config=FaultModelConfig(spatial_variation_enabled=False)
+        )
+        gini_full = _gini(full.per_bram_counts(cal_voltage))
+        gini_no_spatial = _gini(no_spatial.per_bram_counts(cal_voltage))
+
+        section = report.new_section(
+            "ablation outcomes", ["variant", "metric", "value", "full-model value"]
+        )
+        section.add_row("no ITD", "50C/80C fault-rate ratio", no_itd_ratio, full_itd)
+        section.add_row("no ripple", "run-to-run std (counts)", float(no_ripple_runs.std()), float(full_runs.std()))
+        section.add_row("no die-to-die", "KC705-A/B map correlation", map_correlation, "~0 with die-to-die")
+        section.add_row("no spatial field", "per-BRAM Gini coefficient", gini_no_spatial, gini_full)
+        save_report(report)
+        return full_itd, no_itd_ratio, float(full_runs.std()), float(no_ripple_runs.std()), map_correlation
+
+    full_itd, no_itd_ratio, full_std, no_ripple_std, map_correlation = run_once(benchmark, body)
+    assert full_itd > 1.1 and no_itd_ratio == pytest.approx(1.0, abs=0.01)
+    assert full_std > 0 and no_ripple_std == 0.0
+    assert map_correlation == pytest.approx(1.0, abs=1e-9)
+
+
+def _gini(counts) -> float:
+    counts = np.sort(np.asarray(counts, dtype=float))
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    n = len(counts)
+    cumulative = np.cumsum(counts)
+    return float((n + 1 - 2 * (cumulative / total).sum()) / n)

@@ -1,0 +1,63 @@
+"""Ablation — ICBP placement policies beyond the paper's last-layer rule.
+
+Compares the default placement, the paper's last-layer ICBP and the
+vulnerability-ordered extension (protect layers in decreasing sensitivity
+until the low-vulnerable BRAM budget runs out) at Vcrash on VC707.
+"""
+
+import pytest
+
+from conftest import run_once, save_report
+from repro.accelerator import IcbpFlow, PlacementPolicy
+from repro.analysis import ExperimentReport
+from repro.fpga import FpgaChip
+
+POLICIES = (
+    PlacementPolicy.DEFAULT,
+    PlacementPolicy.LAST_LAYER,
+    PlacementPolicy.VULNERABILITY_ORDERED,
+)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_icbp_policies(benchmark, fields, mnist_dataset, trained_mnist_network):
+    def body():
+        flow = IcbpFlow(
+            chip=FpgaChip.build("VC707"),
+            network=trained_mnist_network,
+            dataset=mnist_dataset,
+            fault_field=fields["VC707"],
+            max_eval_samples=1000,
+        )
+        comparison = flow.compare_policies(policies=POLICIES, compile_seeds=range(4))
+
+        report = ExperimentReport(
+            "ablation_icbp_policies", "ICBP placement-policy ablation at Vcrash (VC707)"
+        )
+        section = report.new_section(
+            "policy comparison",
+            ["policy", "protected_layers", "error_%", "accuracy_loss_%", "power_savings_vs_Vmin_%"],
+        )
+        for policy in POLICIES:
+            evaluation = comparison[policy]
+            section.add_row(
+                policy.value,
+                str(list(evaluation.protected_layers)),
+                100 * evaluation.classification_error,
+                100 * evaluation.accuracy_loss,
+                100 * evaluation.power_savings_vs_vmin,
+            )
+        section.add_note(
+            "the paper protects only the last layer; the vulnerability-ordered extension "
+            "protects additional layers while low-vulnerable BRAMs remain"
+        )
+        save_report(report)
+        return comparison
+
+    comparison = run_once(benchmark, body)
+    default = comparison[PlacementPolicy.DEFAULT]
+    last_layer = comparison[PlacementPolicy.LAST_LAYER]
+    ordered = comparison[PlacementPolicy.VULNERABILITY_ORDERED]
+    assert last_layer.accuracy_loss <= default.accuracy_loss + 1e-9
+    assert ordered.accuracy_loss <= last_layer.accuracy_loss + 1e-9
+    assert len(ordered.protected_layers) >= len(last_layer.protected_layers)

@@ -1,0 +1,60 @@
+"""Fig. 1 — voltage guardbands of VCCBRAM and VCCINT on all four platforms.
+
+Regenerates the SAFE / CRITICAL / CRASH boundaries per board by sweeping each
+rail down from the nominal voltage until the design crashes, and reports the
+per-board and average guardbands (paper: 39 % for VCCBRAM, 34 % for VCCINT)
+plus the power reduction available inside the guardband (>10x).
+"""
+
+import pytest
+
+from conftest import run_once, save_report
+from repro.analysis import ExperimentReport
+from repro.core.guardband import GuardbandResult, average_guardband_fraction
+from repro.fpga.voltage import VCCBRAM, VCCINT
+from repro.harness import UndervoltingExperiment
+
+
+@pytest.mark.benchmark(group="fig01")
+def test_fig01_guardband(benchmark, chips, fields):
+    def body():
+        report = ExperimentReport(
+            "fig01_guardband", "Voltage guardbands of VCCBRAM and VCCINT (Fig. 1)"
+        )
+        averages = {}
+        for rail in (VCCBRAM, VCCINT):
+            section = report.new_section(
+                f"{rail} undervolting", ["platform", "Vnom", "Vmin", "Vcrash", "guardband_%", "power_x_at_Vmin"]
+            )
+            results = []
+            for name, chip in chips.items():
+                experiment = UndervoltingExperiment(
+                    chip, fault_field=fields[name], runs_per_step=3
+                )
+                measurement, _ = experiment.discover_guardband(rail=rail)
+                results.append(
+                    GuardbandResult(
+                        nominal_v=measurement.nominal_v,
+                        vmin_v=measurement.vmin_v,
+                        vcrash_v=measurement.vcrash_v,
+                    )
+                )
+                section.add_row(
+                    name,
+                    measurement.nominal_v,
+                    measurement.vmin_v,
+                    measurement.vcrash_v,
+                    100 * measurement.guardband_fraction,
+                    measurement.power_reduction_factor_at_vmin,
+                )
+            averages[rail] = average_guardband_fraction(results)
+            section.add_note(
+                f"average {rail} guardband: {100 * averages[rail]:.1f} % "
+                f"(paper: {'39' if rail == VCCBRAM else '34'} %)"
+            )
+        save_report(report)
+        return averages
+
+    averages = run_once(benchmark, body)
+    assert averages[VCCBRAM] == pytest.approx(0.39, abs=0.02)
+    assert averages[VCCINT] == pytest.approx(0.34, abs=0.02)

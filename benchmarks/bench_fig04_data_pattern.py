@@ -1,0 +1,38 @@
+"""Fig. 4 — impact of the initial data pattern on the fault rate (VC707).
+
+The fault rate must track the number of stored '1' bits: 0xFFFF is about
+double 0xAAAA/0x5555/random-50 %, and the all-zero pattern shows almost no
+faults.
+"""
+
+import pytest
+
+from conftest import run_once, save_report
+from repro.analysis import ExperimentReport
+from repro.core.characterization import STUDY_PATTERNS, pattern_study
+
+
+@pytest.mark.benchmark(group="fig04")
+def test_fig04_data_pattern_impact(benchmark, fields):
+    field = fields["VC707"]
+
+    def body():
+        cal = field.calibration
+        report = ExperimentReport(
+            "fig04_data_pattern", "Impact of the data pattern on the fault rate, VC707 (Fig. 4)"
+        )
+        section = report.new_section(
+            "VC707 at Vcrash", ["pattern", "faults_per_Mbit", "relative_to_FFFF"]
+        )
+        study = pattern_study(field, cal.vcrash_bram_v, patterns=STUDY_PATTERNS)
+        for pattern in STUDY_PATTERNS:
+            rate = study.rate(pattern)
+            section.add_row(pattern, rate, rate / study.rate("FFFF"))
+        section.add_note("paper: FFFF ~2x AAAA; AAAA ~ 5555 ~ random50; 0000 shows only a few faults")
+        save_report(report)
+        return study
+
+    study = run_once(benchmark, body)
+    assert study.ratio("FFFF", "AAAA") == pytest.approx(2.0, rel=0.2)
+    assert study.ratio("AAAA", "5555") == pytest.approx(1.0, abs=0.3)
+    assert study.rate("0000") < 0.01 * study.rate("FFFF")

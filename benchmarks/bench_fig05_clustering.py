@@ -1,0 +1,58 @@
+"""Fig. 5 — k-means clustering of per-BRAM fault rates at Vcrash (VC707).
+
+Reports the low / mid / high vulnerability classes, the share of BRAMs in
+each, and the per-BRAM statistics the paper quotes (38.9 % never fault,
+rates between 0 % and 2.84 %, most BRAMs in the low class).
+"""
+
+import pytest
+
+from conftest import run_once, save_report
+from repro.analysis import ExperimentReport
+from repro.core.characterization import variability_study
+from repro.core.clustering import cluster_bram_vulnerability
+
+
+@pytest.mark.benchmark(group="fig05")
+def test_fig05_vulnerability_clustering(benchmark, fields):
+    field = fields["VC707"]
+
+    def body():
+        cal = field.calibration
+        report = ExperimentReport(
+            "fig05_clustering",
+            "K-means clustering of per-BRAM fault rates at Vcrash, VC707 (Fig. 5)",
+        )
+        counts = field.per_bram_counts(cal.vcrash_bram_v)
+        clustering = cluster_bram_vulnerability(counts)
+        section = report.new_section(
+            "vulnerability classes", ["class", "brams", "share_%", "mean_fault_rate_%"]
+        )
+        for name in ("low", "mid", "high"):
+            cluster = clustering.cluster(name)
+            section.add_row(
+                name,
+                cluster.size,
+                100.0 * clustering.fraction(name),
+                100.0 * cluster.mean_fault_rate,
+            )
+        variability = variability_study(field, cal.vcrash_bram_v)
+        stats = report.new_section(
+            "per-BRAM statistics", ["max_%", "min_%", "mean_%", "never_faulty_%"]
+        )
+        stats.add_row(
+            variability.max_percent,
+            variability.min_percent,
+            variability.mean_percent,
+            100.0 * variability.never_faulty_fraction,
+        )
+        stats.add_note("paper: max 2.84 %, min 0 %, mean 0.04 %, 38.9 % never fault; 88.6 % low-vulnerable")
+        save_report(report)
+        return clustering, variability
+
+    clustering, variability = run_once(benchmark, body)
+    assert clustering.fraction("low") > 0.7
+    assert clustering.fraction("high") < 0.1
+    assert variability.never_faulty_fraction == pytest.approx(0.389, abs=0.06)
+    assert variability.min_percent == 0.0
+    assert variability.max_percent > 1.0

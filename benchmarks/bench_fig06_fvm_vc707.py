@@ -1,0 +1,54 @@
+"""Fig. 6 — Fault Variation Map of VC707, VCCBRAM swept from Vmin to Vcrash.
+
+Builds the physical fault map of the VC707 die, renders a coarse ASCII view
+of it, and summarizes the spatial non-uniformity that the ICBP mitigation
+relies on.
+"""
+
+import pytest
+
+from conftest import run_once, save_report
+from repro.analysis import ExperimentReport
+from repro.harness import UndervoltingExperiment
+
+
+@pytest.mark.benchmark(group="fig06")
+def test_fig06_fvm_vc707(benchmark, chips, fields):
+    chip = chips["VC707"]
+    field = fields["VC707"]
+
+    def body():
+        experiment = UndervoltingExperiment(chip, fault_field=field, runs_per_step=3)
+        fvm = experiment.extract_fvm()
+        report = ExperimentReport(
+            "fig06_fvm_vc707", "Fault Variation Map of VC707, Vmin -> Vcrash (Fig. 6)"
+        )
+        summary = report.new_section(
+            "map summary",
+            ["brams", "swept_voltages", "never_faulty_%", "low_class_%", "high_class_%"],
+        )
+        clustering = fvm.clustering()
+        summary.add_row(
+            fvm.n_brams,
+            len(fvm.voltages_v),
+            100.0 * fvm.never_faulty_fraction(),
+            100.0 * clustering.fraction("low"),
+            100.0 * clustering.fraction("high"),
+        )
+        hottest = report.new_section(
+            "ten most vulnerable physical BRAMs", ["bram_index", "x", "y", "faults_at_Vcrash"]
+        )
+        counts = fvm.counts_at_lowest_voltage()
+        for index in sorted(range(fvm.n_brams), key=lambda i: -counts[i])[:10]:
+            x, y = chip.floorplan.coordinates(index)
+            hottest.add_row(index, x, y, int(counts[index]))
+        ascii_section = report.new_section("ASCII rendering (. low, o mid, # high, blank empty site)", ["map"])
+        ascii_section.add_row("\n" + fvm.ascii_map(chip.floorplan))
+        save_report(report)
+        return fvm
+
+    fvm = run_once(benchmark, body)
+    assert fvm.n_brams == 2060
+    assert fvm.never_faulty_fraction() == pytest.approx(0.389, abs=0.06)
+    assert max(fvm.voltages_v) == pytest.approx(0.61)
+    assert min(fvm.voltages_v) == pytest.approx(0.54)

@@ -1,0 +1,49 @@
+"""Fig. 7 — FVMs of the two identical KC705 samples (die-to-die variation).
+
+The two boards share a part number but must show a ~4.1x fault-rate ratio and
+essentially unrelated fault maps, which is the paper's die-to-die process
+variation finding.
+"""
+
+import pytest
+
+from conftest import run_once, save_report
+from repro.analysis import ExperimentReport
+from repro.harness import UndervoltingExperiment
+
+
+@pytest.mark.benchmark(group="fig07")
+def test_fig07_die_to_die_fvm(benchmark, chips, fields):
+    def body():
+        fvms = {}
+        for name in ("KC705-A", "KC705-B"):
+            experiment = UndervoltingExperiment(chips[name], fault_field=fields[name], runs_per_step=3)
+            cal = fields[name].calibration
+            fvms[name] = experiment.extract_fvm(voltages=[cal.vcrash_bram_v])
+        comparison = fvms["KC705-A"].compare(fvms["KC705-B"])
+
+        report = ExperimentReport(
+            "fig07_fvm_kc705", "FVMs of two identical KC705 samples at Vcrash (Fig. 7)"
+        )
+        section = report.new_section(
+            "per-die summary", ["board", "faults_at_Vcrash", "never_faulty_%", "high_class_size"]
+        )
+        for name, fvm in fvms.items():
+            section.add_row(
+                name,
+                int(fvm.counts_at_lowest_voltage().sum()),
+                100.0 * fvm.never_faulty_fraction(),
+                len(fvm.high_vulnerable_brams()),
+            )
+        diff = report.new_section(
+            "die-to-die comparison", ["rate_ratio", "count_correlation", "high_class_jaccard"]
+        )
+        diff.add_row(comparison["rate_ratio"], comparison["count_correlation"], comparison["high_class_jaccard"])
+        diff.add_note("paper: KC705-A shows a 4.1x higher fault rate and a different fault map than KC705-B")
+        save_report(report)
+        return comparison
+
+    comparison = run_once(benchmark, body)
+    assert comparison["rate_ratio"] == pytest.approx(4.1, rel=0.2)
+    assert abs(comparison["count_correlation"]) < 0.3
+    assert comparison["high_class_jaccard"] < 0.3

@@ -1,0 +1,54 @@
+"""Fig. 8 — fault rate versus voltage at 50/60/70/80 degC (ITD effect).
+
+The chamber sweep must show the Inverse Thermal Dependence: heating the board
+reduces the undervolting fault rate, by more than 3x on VC707 between 50 and
+80 degC, and more strongly on the performance-optimized VC707 than on the
+power-optimized KC705-A.
+"""
+
+import pytest
+
+from conftest import run_once, save_report
+from repro.analysis import ExperimentReport
+from repro.core.temperature import STUDY_TEMPERATURES_C
+from repro.harness import UndervoltingExperiment
+
+STUDY_BOARDS = ("VC707", "KC705-A", "KC705-B")
+
+
+@pytest.mark.benchmark(group="fig08")
+def test_fig08_temperature_effect(benchmark, chips, fields):
+    def body():
+        report = ExperimentReport(
+            "fig08_temperature",
+            "Fault rate vs VCCBRAM at 50/60/70/80 degC, pattern 0xFFFF (Fig. 8)",
+        )
+        crash_rates = {}
+        for name in STUDY_BOARDS:
+            experiment = UndervoltingExperiment(chips[name], fault_field=fields[name], runs_per_step=3)
+            sweeps = experiment.temperature_sweep(STUDY_TEMPERATURES_C, n_runs=3)
+            section = report.new_section(
+                f"{name}", ["VCCBRAM_V"] + [f"{int(t)}C_faults_per_Mbit" for t in STUDY_TEMPERATURES_C]
+            )
+            voltages = sweeps[STUDY_TEMPERATURES_C[0]].voltages()
+            for index, voltage in enumerate(voltages):
+                section.add_row(
+                    voltage,
+                    *[sweeps[t].fault_rates_per_mbit()[index] for t in STUDY_TEMPERATURES_C],
+                )
+            crash_rates[name] = {
+                t: sweeps[t].fault_rates_per_mbit()[-1] for t in STUDY_TEMPERATURES_C
+            }
+            reduction = crash_rates[name][50.0] / max(crash_rates[name][80.0], 1e-9)
+            section.add_note(f"rate reduction at Vcrash from 50C to 80C: {reduction:.2f}x")
+        save_report(report)
+        return crash_rates
+
+    crash_rates = run_once(benchmark, body)
+    vc707_reduction = crash_rates["VC707"][50.0] / crash_rates["VC707"][80.0]
+    kc705a_reduction = crash_rates["KC705-A"][50.0] / crash_rates["KC705-A"][80.0]
+    assert vc707_reduction > 3.0  # paper: more than 3x
+    assert vc707_reduction > kc705a_reduction  # VC707 responds more strongly
+    for name in STUDY_BOARDS:
+        rates = [crash_rates[name][t] for t in STUDY_TEMPERATURES_C]
+        assert all(b <= a for a, b in zip(rates, rates[1:]))  # monotone with heat

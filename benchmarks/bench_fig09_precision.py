@@ -1,0 +1,54 @@
+"""Fig. 9 — minimum per-layer fixed-point precision of the NN weights.
+
+The trained network's hidden-layer weights stay inside (-1, 1) and need no
+digit (integer) bits, while the last layer's larger weights need a non-zero
+digit component; all 16 bits are used, with the remainder as fraction bits.
+"""
+
+import pytest
+
+from conftest import run_once, save_report
+from repro.analysis import ExperimentReport
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_fig09_per_layer_precision(benchmark, trained_mnist_network):
+    network = trained_mnist_network
+
+    def body():
+        report = ExperimentReport(
+            "fig09_precision", "Minimum per-layer fixed-point precision of the NN weights (Fig. 9)"
+        )
+        section = report.new_section(
+            "per-layer format", ["layer", "sign_bits", "digit_bits", "fraction_bits", "zero_bit_%"]
+        )
+        summary = network.precision_summary()
+        for row, layer in zip(summary, network.layers):
+            section.add_row(
+                f"Layer{row['layer']}",
+                row["sign_bits"],
+                row["digit_bits"],
+                row["fraction_bits"],
+                100.0 * layer.zero_bit_fraction(),
+            )
+        section.add_note(
+            "paper: all layers except the last fit in (-1, 1) and use no digit bits; "
+            "the last layer needs a 4-bit digit component; 76.3 % of all weight bits are zero"
+        )
+        overall = report.new_section("whole network", ["total_weights", "zero_bit_%"])
+        overall.add_row(network.n_weights, 100.0 * network.zero_bit_fraction())
+        save_report(report)
+        return summary
+
+    summary = run_once(benchmark, body)
+    digit_bits = [row["digit_bits"] for row in summary]
+    # Fig. 9 shape: the earliest layers fit in (-1, 1) with no digit bits, the
+    # digit width grows towards the output, and the last layer needs the most
+    # (4 bits in the paper; the exact width depends on the trained weights).
+    assert digit_bits[0] == 0
+    assert digit_bits[1] == 0
+    assert all(b >= a for a, b in zip(digit_bits, digit_bits[1:]))
+    assert digit_bits[-1] >= 2
+    assert digit_bits[-1] == max(digit_bits)
+    assert all(row["sign_bits"] + row["digit_bits"] + row["fraction_bits"] == 16 for row in summary)
+    assert trained_mnist_network.zero_bit_fraction() > 0.55

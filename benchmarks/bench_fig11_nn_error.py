@@ -1,0 +1,78 @@
+"""Fig. 11 — NN classification error versus VCCBRAM (Vmin down to Vcrash).
+
+The classification error stays at the inherent (fault-free) level until Vmin
+and then grows with the exponentially increasing BRAM fault rate; the curve
+is averaged over several place-and-route runs (see DESIGN.md) and the fault
+rate observed with NN weights is far below the 0xFFFF rate because most
+weight bits are zero.
+"""
+
+import pytest
+
+from conftest import run_once, save_report
+from repro.accelerator import mean_error_sweep
+from repro.analysis import ExperimentReport
+from repro.fpga import FpgaChip
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_error_vs_voltage(benchmark, fields, mnist_dataset, trained_mnist_network):
+    def body():
+        chip = FpgaChip.build("VC707")
+        field = fields["VC707"]
+        cal = field.calibration
+        voltages = []
+        voltage = cal.vmin_bram_v
+        while voltage >= cal.vcrash_bram_v - 1e-9:
+            voltages.append(round(voltage, 3))
+            voltage -= 0.01
+        points = mean_error_sweep(
+            chip,
+            trained_mnist_network,
+            mnist_dataset,
+            voltages,
+            compile_seeds=range(6),
+            fault_field=field,
+            max_samples=1500,
+        )
+        baseline = points[0].classification_error
+
+        report = ExperimentReport(
+            "fig11_nn_error", "NN classification error vs VCCBRAM, VC707 (Fig. 11)"
+        )
+        section = report.new_section(
+            "error vs voltage (mean over 6 place-and-route runs)",
+            ["VCCBRAM_V", "classification_error_%", "weight_bit_faults", "faults_per_Mbit"],
+        )
+        for point in points:
+            section.add_row(
+                point.voltage_v,
+                100.0 * point.classification_error,
+                point.weight_faults,
+                point.fault_rate_per_mbit,
+            )
+        section.add_note(
+            f"inherent (fault-free) error: {100 * baseline:.2f} % (paper: 2.56 %); "
+            "paper error at Vcrash: 6.15 %"
+        )
+        ffff_rate = field.chip_fault_rate_per_mbit(cal.vcrash_bram_v)
+        section.add_note(
+            f"fault rate with NN weights at Vcrash: {points[-1].fault_rate_per_mbit:.1f} /Mbit vs "
+            f"{ffff_rate:.0f} /Mbit with pattern 0xFFFF — weight bits are mostly zero "
+            f"({100 * trained_mnist_network.zero_bit_fraction():.1f} % zero bits; paper: 76.3 %)"
+        )
+        save_report(report)
+        return points, ffff_rate
+
+    points, ffff_rate = run_once(benchmark, body)
+    baseline = points[0].classification_error
+    final = points[-1].classification_error
+    # Error is flat at Vmin and rises towards Vcrash.
+    assert points[0].weight_faults == 0
+    assert final >= baseline
+    assert final > baseline - 1e-9
+    # Weight-resident fault rate is far below the 0xFFFF rate (bit sparsity).
+    assert points[-1].fault_rate_per_mbit < 0.6 * ffff_rate
+    # Fault counts grow monotonically as the voltage drops.
+    faults = [p.weight_faults for p in points]
+    assert all(b >= a for a, b in zip(faults, faults[1:]))

@@ -1,0 +1,27 @@
+"""Table I — specifications of the tested FPGA platforms."""
+
+import pytest
+
+from conftest import run_once, save_report
+from repro.analysis import ExperimentReport
+from repro.fpga import ALL_PLATFORMS
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_platform_specifications(benchmark):
+    def body():
+        report = ExperimentReport(
+            "table1_platforms", "Specifications of tested FPGA platforms (Table I)"
+        )
+        keys = list(ALL_PLATFORMS[0].table_row().keys())
+        section = report.new_section("Table I", ["field"] + [spec.name for spec in ALL_PLATFORMS])
+        rows = {key: [spec.table_row()[key] for spec in ALL_PLATFORMS] for key in keys}
+        for key in keys:
+            section.add_row(key, *rows[key])
+        save_report(report)
+        return rows
+
+    rows = run_once(benchmark, body)
+    assert rows["Number of BRAMs"] == ["2060", "280", "890", "890"]
+    assert set(rows["Nominal VCCBRAM (Vnom)"]) == {"1V"}
+    assert set(rows["Manufacturing Process Technology"]) == {"28nm"}

@@ -1,0 +1,47 @@
+"""Table II — fault-rate stability over 100 consecutive runs at Vcrash."""
+
+import pytest
+
+from conftest import run_once, save_report
+from repro.analysis import ExperimentReport
+from repro.core.characterization import stability_study
+
+PUBLISHED = {
+    "VC707": {"avg": 652.0, "min": 630.0, "max": 669.0, "std": 7.3},
+    "ZC702": {"avg": 153.0, "min": 140.0, "max": 162.0, "std": 5.9},
+    "KC705-A": {"avg": 254.0, "min": 237.0, "max": 264.0, "std": 4.8},
+    "KC705-B": {"avg": 60.0, "min": 51.0, "max": 69.0, "std": 1.8},
+}
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_fault_stability(benchmark, fields):
+    def body():
+        report = ExperimentReport(
+            "table2_stability",
+            "Fault stability over 100 consecutive runs at Vcrash, pattern 0xFFFF (Table II)",
+        )
+        section = report.new_section(
+            "per-platform statistics (faults per Mbit)",
+            ["platform", "AVERAGE", "MINIMUM", "MAXIMUM", "STD.DEV", "location_overlap"],
+        )
+        results = {}
+        for name, field in fields.items():
+            cal = field.calibration
+            study = stability_study(field, cal.vcrash_bram_v, n_runs=100)
+            results[name] = study
+            section.add_row(
+                name, study.average, study.minimum, study.maximum, study.std_dev, study.location_overlap
+            )
+        section.add_note(
+            "paper averages: 652 / 153 / 254 / 60 per Mbit with std. dev 7.3 / 5.9 / 4.8 / 1.8"
+        )
+        save_report(report)
+        return results
+
+    results = run_once(benchmark, body)
+    for name, study in results.items():
+        published = PUBLISHED[name]
+        assert study.average == pytest.approx(published["avg"], rel=0.12)
+        assert study.std_dev < 0.05 * study.average
+        assert study.location_overlap > 0.9

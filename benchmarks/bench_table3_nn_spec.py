@@ -1,0 +1,58 @@
+"""Table III — specification of the baseline NN and its FPGA utilization.
+
+Builds the full 1.5M-weight Table III network (untrained weights suffice for
+structure and utilization numbers), maps it onto the VC707 and reports the
+topology, weight count and resource utilization; also reports the
+width-scaled topology the experiments use.
+"""
+
+import pytest
+
+from conftest import run_once, save_report
+from repro.accelerator import NnAccelerator, WeightMapping
+from repro.analysis import ExperimentReport
+from repro.fpga import FpgaChip
+from repro.nn import FullyConnectedNetwork, PAPER_TOPOLOGY, QuantizedNetwork, SCALED_TOPOLOGY
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_nn_specification(benchmark, fields, mnist_dataset):
+    def body():
+        chip = FpgaChip.build("VC707")
+        full = QuantizedNetwork.from_network(FullyConnectedNetwork.initialize(PAPER_TOPOLOGY, seed=0))
+        accelerator = NnAccelerator(chip=chip, network=full, fault_field=fields["VC707"])
+        utilization = accelerator.utilization()
+
+        report = ExperimentReport("table3_nn_spec", "Baseline NN specification (Table III)")
+        spec = report.new_section("Neural network", ["field", "value"])
+        spec.add_row("Type", "Fully-Connected Classifier")
+        spec.add_row("Topology (number of layers)", "6L (1 input, 4 hidden, 1 output)")
+        spec.add_row("Per layer size", str(PAPER_TOPOLOGY) + f" = {sum(PAPER_TOPOLOGY)} neurons")
+        spec.add_row("Total number of weights", full.n_weights)
+        spec.add_row("Activation function", "Logarithmic Sigmoid (logsig)")
+        spec.add_row("Data representation", "16-bit fixed-point, per-layer minimum precision")
+        spec.add_row("Major benchmark", f"{mnist_dataset.name} ({mnist_dataset.n_features} features, "
+                                        f"{mnist_dataset.n_classes} classes)")
+        spec.add_row("Inference images", mnist_dataset.n_test)
+        spec.add_row("Experiment topology (width-scaled)", str(SCALED_TOPOLOGY))
+
+        util = report.new_section(
+            "VC707 synthesis utilization (%)", ["BRAM", "DSP", "FF", "LUT", "frequency_MHz"]
+        )
+        util.add_row(
+            utilization.percent("BRAM"),
+            utilization.percent("DSP"),
+            utilization.percent("FF"),
+            utilization.percent("LUT"),
+            accelerator.bitstream.design.frequency_mhz,
+        )
+        util.add_note("paper: 70.8 % BRAM, 8.6 % DSP, 3.8 % FF, 4.9 % LUT at 100 MHz")
+        save_report(report)
+        return full, utilization
+
+    full, utilization = run_once(benchmark, body)
+    assert full.n_weights == pytest.approx(1.5e6, rel=0.05)
+    assert utilization.percent("BRAM") == pytest.approx(70.8, abs=1.0)
+    assert utilization.percent("DSP") == pytest.approx(8.6, abs=0.5)
+    assert utilization.percent("FF") == pytest.approx(3.8, abs=0.5)
+    assert utilization.percent("LUT") == pytest.approx(4.9, abs=0.5)

@@ -1,0 +1,87 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it computes the
+same rows/series the paper reports, renders them as an
+:class:`repro.analysis.ExperimentReport`, prints it, and writes it to
+``benchmarks/results/<experiment>.txt`` so the output survives pytest's
+capture.  ``pytest benchmarks/ --benchmark-only`` runs everything.
+
+Heavy shared state (fault fields for all four boards, the trained MNIST-like
+network) is session-scoped, and each benchmark body runs exactly once through
+``benchmark.pedantic(..., rounds=1, iterations=1)`` — the interesting output
+is the reproduced numbers, not micro-timings.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis import ExperimentReport
+from repro.core import FaultField
+from repro.fpga import FpgaChip, platform_names
+from repro.nn import (
+    QuantizedNetwork,
+    SCALED_TOPOLOGY,
+    TrainingConfig,
+    synthetic_forest,
+    synthetic_mnist,
+    synthetic_reuters,
+    train_network,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_report(report: ExperimentReport) -> str:
+    """Print a report and persist it under ``benchmarks/results/``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = report.render()
+    (RESULTS_DIR / f"{report.experiment_id}.txt").write_text(text + "\n")
+    print("\n" + text)
+    return text
+
+
+def run_once(benchmark, func):
+    """Run a benchmark body exactly once and return its result."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def chips():
+    """One chip instance per studied platform, keyed by board name."""
+    return {name: FpgaChip.build(name) for name in platform_names()}
+
+
+@pytest.fixture(scope="session")
+def fields(chips):
+    """Calibrated fault fields for all four boards."""
+    return {name: FaultField(chip) for name, chip in chips.items()}
+
+
+@pytest.fixture(scope="session")
+def mnist_dataset():
+    """The MNIST-like benchmark used by the case-study figures."""
+    return synthetic_mnist(n_train=6000, n_test=1500)
+
+
+@pytest.fixture(scope="session")
+def forest_dataset():
+    """The Forest-like benchmark (Fig. 14b)."""
+    return synthetic_forest(n_train=4000, n_test=1000)
+
+
+@pytest.fixture(scope="session")
+def reuters_dataset():
+    """The Reuters-like benchmark (Fig. 14c)."""
+    return synthetic_reuters(n_train=4000, n_test=1000)
+
+
+@pytest.fixture(scope="session")
+def trained_mnist_network(mnist_dataset):
+    """The trained, quantized case-study network (scaled Table III topology)."""
+    result = train_network(
+        mnist_dataset, topology=SCALED_TOPOLOGY, config=TrainingConfig(seed=3)
+    )
+    return QuantizedNetwork.from_network(result.network)

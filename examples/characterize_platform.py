@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Full Section II characterization of one platform.
+
+Reproduces the four fault-characterization studies on a chosen board:
+
+1. data-pattern dependence (Fig. 4);
+2. stability over repeated runs (Table II);
+3. per-BRAM variability and k-means vulnerability classes (Fig. 5);
+4. the physical Fault Variation Map (Fig. 6), including an ASCII rendering.
+
+Run with:  python examples/characterize_platform.py [PLATFORM]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import render_table
+from repro.core import FaultField
+from repro.core.characterization import (
+    STUDY_PATTERNS,
+    flip_direction_study,
+    pattern_study,
+    stability_study,
+    variability_study,
+)
+from repro.fpga import FpgaChip
+from repro.harness import UndervoltingExperiment
+
+
+def main(platform: str = "KC705-A") -> None:
+    chip = FpgaChip.build(platform)
+    field = FaultField(chip)
+    cal = field.calibration
+    vcrash = cal.vcrash_bram_v
+    print(f"Characterizing {chip.describe()} at Vcrash = {vcrash:.2f} V\n")
+
+    # 1. Data-pattern dependence.
+    patterns = pattern_study(field, vcrash, patterns=STUDY_PATTERNS)
+    print(
+        render_table(
+            ["pattern", "faults per Mbit", "relative to FFFF"],
+            [
+                (name, patterns.rate(name), patterns.rate(name) / patterns.rate("FFFF"))
+                for name in STUDY_PATTERNS
+            ],
+            title="1) Impact of the initial data pattern (Fig. 4)",
+        )
+    )
+    flips = flip_direction_study(field, vcrash)
+    print(
+        f"   {100 * flips.one_to_zero_fraction:.1f} % of faults are 1->0 flips "
+        "(paper: 99.9 %)\n"
+    )
+
+    # 2. Stability over time.
+    stability = stability_study(field, vcrash, n_runs=100)
+    print(
+        render_table(
+            ["metric", "faults per Mbit"],
+            list(stability.as_table_row().items()),
+            title="2) Stability over 100 consecutive runs (Table II)",
+        )
+    )
+    print(f"   fault-location overlap across runs: {stability.location_overlap:.3f}\n")
+
+    # 3. Variability among BRAMs.
+    variability = variability_study(field, vcrash)
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ("max per-BRAM rate (%)", variability.max_percent),
+                ("min per-BRAM rate (%)", variability.min_percent),
+                ("mean per-BRAM rate (%)", variability.mean_percent),
+                ("never-faulty BRAMs (%)", 100 * variability.never_faulty_fraction),
+                ("Gini coefficient", variability.gini_coefficient()),
+            ],
+            title="3) Per-BRAM variability (Fig. 5)",
+        )
+    )
+
+    # 4. Fault Variation Map.
+    experiment = UndervoltingExperiment(chip, fault_field=field, runs_per_step=3)
+    fvm = experiment.extract_fvm()
+    clustering = fvm.clustering()
+    print(
+        render_table(
+            ["class", "BRAMs", "share (%)"],
+            [
+                (name, clustering.cluster(name).size, 100 * clustering.fraction(name))
+                for name in ("low", "mid", "high")
+            ],
+            title="4) Vulnerability classes over the Fault Variation Map (Fig. 6)",
+        )
+    )
+    print("\nASCII FVM (. low, o mid, # high, blank = empty site):\n")
+    print(fvm.ascii_map(chip.floorplan))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "KC705-A")

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""ICBP mitigation end to end (Section III-C, Figs. 12-14).
+
+For each of the three paper benchmarks (synthetic MNIST, Forest, Reuters):
+
+1. train and quantize the classifier;
+2. extract the chip's Fault Variation Map and the per-layer vulnerability;
+3. compile the accelerator with the default placement and with ICBP
+   (the most sensitive layer constrained to low-vulnerable BRAMs);
+4. run both at Vcrash and compare the accuracy loss at identical power.
+
+Run with:  python examples/icbp_mitigation.py
+"""
+
+from __future__ import annotations
+
+from repro.accelerator import IcbpFlow, PlacementPolicy
+from repro.analysis import render_table
+from repro.core import FaultField
+from repro.fpga import FpgaChip
+from repro.nn import (
+    QuantizedNetwork,
+    SCALED_TOPOLOGY,
+    TrainingConfig,
+    synthetic_forest,
+    synthetic_mnist,
+    synthetic_reuters,
+    train_network,
+)
+
+BENCHMARKS = {
+    "MNIST": (synthetic_mnist, SCALED_TOPOLOGY),
+    "Forest": (synthetic_forest, (54, 64, 48, 32, 16, 7)),
+    "Reuters": (synthetic_reuters, (1000, 128, 64, 48, 32, 8)),
+}
+
+
+def main() -> None:
+    chip = FpgaChip.build("VC707")
+    field = FaultField(chip)
+    rows = []
+    for name, (loader, topology) in BENCHMARKS.items():
+        dataset = loader(n_train=6000, n_test=1000)
+        print(f"Training on {dataset.name} ...")
+        result = train_network(dataset, topology=topology, config=TrainingConfig(seed=3))
+        network = QuantizedNetwork.from_network(result.network)
+
+        flow = IcbpFlow(
+            chip=chip, network=network, dataset=dataset, fault_field=field, max_eval_samples=1000
+        )
+        vulnerability = flow.analyze_vulnerability()
+        most_sensitive = vulnerability.most_vulnerable_first()[0]
+        print(
+            f"  most vulnerable layer: Layer{most_sensitive} "
+            f"(normalized vulnerability {vulnerability.normalized()[most_sensitive]:.1f})"
+        )
+
+        comparison = flow.compare_policies(compile_seeds=range(4))
+        default = comparison[PlacementPolicy.DEFAULT]
+        icbp = comparison[PlacementPolicy.LAST_LAYER]
+        rows.append(
+            (
+                name,
+                100 * default.baseline_error,
+                100 * default.accuracy_loss,
+                100 * icbp.accuracy_loss,
+                100 * icbp.power_savings_vs_vmin,
+                str(list(icbp.protected_layers)),
+            )
+        )
+
+    print()
+    print(
+        render_table(
+            [
+                "benchmark",
+                "baseline error (%)",
+                "default-placement loss (%)",
+                "ICBP loss (%)",
+                "power saved vs Vmin (%)",
+                "protected layers",
+            ],
+            rows,
+            title="ICBP vs default placement at Vcrash on VC707 (Fig. 14)",
+        )
+    )
+    print(
+        "\nBoth placements dissipate the same power — ICBP only changes *which* physical "
+        "BRAMs hold the most sensitive weights, so the accuracy loss shrinks to almost "
+        "nothing at no timing, area or power cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: undervolt one FPGA board and look at the consequences.
+
+Builds a VC707 board model, discovers its VCCBRAM guardband the way the paper
+does (sweep down from nominal until the design crashes), then walks the
+critical region between Vmin and Vcrash reporting the fault rate and the BRAM
+power at every 10 mV step.
+
+Run with:  python examples/quickstart.py [PLATFORM]
+where PLATFORM is one of VC707, ZC702, KC705-A, KC705-B (default VC707).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import render_table
+from repro.fpga import FpgaChip
+from repro.harness import UndervoltingExperiment
+
+
+def main(platform: str = "VC707") -> None:
+    chip = FpgaChip.build(platform)
+    print(f"Board under test: {chip.describe()}")
+
+    experiment = UndervoltingExperiment(chip, runs_per_step=11)
+
+    # Step 1 - discover the voltage guardband (Fig. 1).
+    measurement, _ = experiment.discover_guardband()
+    print(
+        f"\nVCCBRAM guardband: nominal {measurement.nominal_v:.2f} V, "
+        f"Vmin {measurement.vmin_v:.2f} V, Vcrash {measurement.vcrash_v:.2f} V "
+        f"({100 * measurement.guardband_fraction:.0f} % below nominal)"
+    )
+    print(
+        f"BRAM power at Vmin is {measurement.power_reduction_factor_at_vmin:.1f}x "
+        "lower than at the nominal voltage, with no faults observed."
+    )
+
+    # Step 2 - characterize the critical region (Listing 1 / Fig. 3).
+    sweep = experiment.critical_region_sweep(n_runs=11)
+    rows = [
+        (step.voltage_v, step.median_fault_rate_per_mbit, step.bram_power_w)
+        for step in sweep.steps
+    ]
+    print()
+    print(
+        render_table(
+            ["VCCBRAM (V)", "faults per Mbit", "BRAM power (W)"],
+            rows,
+            title=f"Critical-region sweep of {platform} (pattern 0xFFFF)",
+        )
+    )
+
+    crash_rate = sweep.fault_rates_per_mbit()[-1]
+    print(
+        f"\nAt Vcrash the chip shows {crash_rate:.0f} faults per Mbit; "
+        "between Vmin and Vcrash the fault rate grows exponentially while the "
+        "BRAM power keeps falling — the trade-off the paper characterizes."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "VC707")

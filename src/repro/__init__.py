@@ -1,0 +1,21 @@
+"""repro — reproduction of "Comprehensive Evaluation of Supply Voltage
+Underscaling in FPGA on-Chip Memories" (Salami et al., MICRO 2018).
+
+The package is organized as:
+
+* :mod:`repro.fpga` — the FPGA platform substrate (BRAMs, floorplan, voltage
+  rails, placement);
+* :mod:`repro.core` — the calibrated undervolting behavioural models (fault
+  field, power, temperature, FVM, clustering, characterization studies);
+* :mod:`repro.harness` — the experimental methodology of Fig. 2 / Listing 1
+  (PMBUS host, voltage sweeps, heat chamber, power meter);
+* :mod:`repro.nn` — the neural-network substrate (datasets, training,
+  fixed-point quantization, inference);
+* :mod:`repro.accelerator` — the FPGA-based NN accelerator case study and the
+  ICBP fault-mitigation technique;
+* :mod:`repro.analysis` — reporting helpers shared by benches and examples.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,48 @@
+"""FPGA-based NN accelerator case study and the ICBP mitigation.
+
+Implements Section III of the paper: mapping quantized weights onto BRAMs,
+running inference with those BRAMs undervolted, the on-chip power breakdown,
+the per-layer vulnerability analysis, and the Intelligently-Constrained BRAM
+Placement (ICBP) technique that recovers the accuracy lost below ``Vmin``.
+"""
+
+from .accelerator import AcceleratorError, ErrorSweepPoint, NnAccelerator, mean_error_sweep
+from .icbp import IcbpError, IcbpEvaluation, IcbpFlow, PlacementPolicy
+from .mapping import MappingError, WeightMapping, WeightSegment, layer_group
+from .power import (
+    AcceleratorPowerError,
+    AcceleratorPowerModel,
+    DEFAULT_BRAM_SHARE_AT_NOMINAL,
+    DEFAULT_REST_SPLIT,
+)
+from .vulnerability import (
+    LayerVulnerability,
+    VulnerabilityError,
+    VulnerabilityReport,
+    analyze_layer_vulnerability,
+    inject_layer_faults,
+)
+
+__all__ = [
+    "AcceleratorError",
+    "AcceleratorPowerError",
+    "AcceleratorPowerModel",
+    "DEFAULT_BRAM_SHARE_AT_NOMINAL",
+    "DEFAULT_REST_SPLIT",
+    "ErrorSweepPoint",
+    "IcbpError",
+    "IcbpEvaluation",
+    "IcbpFlow",
+    "LayerVulnerability",
+    "MappingError",
+    "NnAccelerator",
+    "PlacementPolicy",
+    "VulnerabilityError",
+    "VulnerabilityReport",
+    "WeightMapping",
+    "WeightSegment",
+    "analyze_layer_vulnerability",
+    "inject_layer_faults",
+    "layer_group",
+    "mean_error_sweep",
+]

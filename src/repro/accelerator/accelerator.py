@@ -1,0 +1,276 @@
+"""The FPGA-based NN accelerator operated with undervolted BRAMs.
+
+This module ties everything together for the paper's case study
+(Section III): a quantized network whose weight words are mapped onto
+physical BRAMs of a chip, a fault field that corrupts those words when
+``VCCBRAM`` drops below ``Vmin``, and the classification-error measurements
+of Fig. 11 (error versus voltage) and Fig. 13 (faults per layer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.faultmodel import FaultField
+from repro.core.temperature import REFERENCE_TEMPERATURE_C
+from repro.fpga.bitstream import Bitstream, compile_design
+from repro.fpga.pblock import ConstraintSet
+from repro.fpga.placer import Placement
+from repro.fpga.platform import FpgaChip
+from repro.fpga.resources import ResourceBudget, Utilization
+from repro.nn.datasets import Dataset
+from repro.nn.inference import QuantizedNetwork
+
+from .mapping import WeightMapping
+
+
+class AcceleratorError(RuntimeError):
+    """Raised for inconsistent accelerator configurations."""
+
+
+@dataclass(frozen=True)
+class ErrorSweepPoint:
+    """Classification error and fault statistics at one VCCBRAM value (Fig. 11)."""
+
+    voltage_v: float
+    classification_error: float
+    weight_faults: int
+    fault_rate_per_mbit: float
+
+
+@dataclass
+class NnAccelerator:
+    """A quantized NN whose weights live in the BRAMs of one chip.
+
+    Parameters
+    ----------
+    chip:
+        Target FPGA board.
+    network:
+        Quantized network to accelerate; the clean words are kept pristine and
+        corrupted copies are produced per operating point.
+    fault_field:
+        Undervolting fault model; defaults to the calibrated field.
+    constraints:
+        Optional Pblock constraints (this is how ICBP plugs in).
+    compile_seed:
+        Seed of the default placement order, i.e. "which place-and-route run".
+    """
+
+    chip: FpgaChip
+    network: QuantizedNetwork
+    fault_field: Optional[FaultField] = None
+    constraints: Optional[ConstraintSet] = None
+    compile_seed: int = 0
+    #: Datapath resources; ``None`` reproduces the Table III utilization
+    #: percentages (8.6 % DSP, 3.8 % FF, 4.9 % LUT) on whatever device is used.
+    dsp_used: Optional[int] = None
+    ff_used: Optional[int] = None
+    lut_used: Optional[int] = None
+    mapping: WeightMapping = field(default=None, repr=False)  # type: ignore[assignment]
+    bitstream: Bitstream = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.fault_field is None:
+            self.fault_field = FaultField(self.chip)
+        if self.dsp_used is None:
+            self.dsp_used = int(round(0.086 * self.chip.spec.n_dsps))
+        if self.ff_used is None:
+            self.ff_used = int(round(0.038 * self.chip.spec.n_ffs))
+        if self.lut_used is None:
+            self.lut_used = int(round(0.049 * self.chip.spec.n_luts))
+        if self.mapping is None:
+            self.mapping = WeightMapping(self.network)
+        if self.mapping.n_logical_brams > self.chip.spec.n_brams:
+            raise AcceleratorError(
+                f"{self.mapping.n_logical_brams} weight BRAMs do not fit on "
+                f"{self.chip.name} ({self.chip.spec.n_brams} BRAMs); the paper "
+                "reloads weights from DDR-3 on such boards — use a smaller topology"
+            )
+        if self.bitstream is None:
+            design = self.mapping.build_design(
+                dsp_used=self.dsp_used, ff_used=self.ff_used, lut_used=self.lut_used
+            )
+            self.bitstream = compile_design(
+                design, self.chip, constraints=self.constraints, seed=self.compile_seed
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def placement(self) -> Placement:
+        """Logical-BRAM to physical-BRAM assignment of the compiled design."""
+        return self.bitstream.placement
+
+    @property
+    def calibration(self):
+        """Calibration of the underlying fault field."""
+        return self.fault_field.calibration
+
+    def utilization(self) -> Utilization:
+        """Device utilization of the compiled design (Table III)."""
+        budget = ResourceBudget.from_platform(self.chip.spec)
+        return self.bitstream.design.utilization_on(budget)
+
+    def physical_bram_of(self, logical_name: str) -> int:
+        """Physical BRAM index holding one logical weight block."""
+        return self.placement.site_of(logical_name)
+
+    def layer_physical_brams(self, layer_index: int) -> List[int]:
+        """Physical BRAM indices holding one layer's weights."""
+        return [
+            self.placement.site_of(name)
+            for name in self.mapping.logical_names_of_layer(layer_index)
+        ]
+
+    # ------------------------------------------------------------------
+    # Fault injection through the BRAM fault field
+    # ------------------------------------------------------------------
+    def faulty_network(
+        self,
+        vccbram_v: float,
+        temperature_c: float = REFERENCE_TEMPERATURE_C,
+        run_index: Optional[int] = None,
+    ) -> QuantizedNetwork:
+        """The network as the datapath sees it at a given operating point.
+
+        Every weight segment is corrupted by the fault profile of the physical
+        BRAM it is placed on; above ``Vmin`` this returns an exact copy.
+        """
+        corrupted = self.network.copy()
+        for layer in corrupted.layers:
+            flat = layer.flat_words()
+            for segment in self.mapping.segments_of_layer(layer.index):
+                physical = self.placement.site_of(segment.logical_name)
+                words = flat[segment.word_slice()]
+                flipped = self.fault_field.corrupt_words(
+                    physical,
+                    words,
+                    vccbram_v,
+                    start_row=0,
+                    temperature_c=temperature_c,
+                    run_index=run_index,
+                )
+                flat[segment.word_slice()] = np.asarray(flipped, dtype=np.uint32)
+            layer.set_flat_words(flat)
+        return corrupted
+
+    def count_weight_faults(
+        self,
+        vccbram_v: float,
+        temperature_c: float = REFERENCE_TEMPERATURE_C,
+        run_index: Optional[int] = None,
+    ) -> Dict[int, int]:
+        """Number of flipped weight bits per layer at an operating point (Fig. 13)."""
+        corrupted = self.faulty_network(vccbram_v, temperature_c, run_index)
+        per_layer: Dict[int, int] = {}
+        for clean, faulty in zip(self.network.layers, corrupted.layers):
+            diff = clean.weight_words ^ faulty.weight_words
+            flipped_bits = 0
+            for bit in range(clean.fmt.total_bits):
+                flipped_bits += int(((diff >> bit) & 1).sum())
+            per_layer[clean.index] = flipped_bits
+        return per_layer
+
+    # ------------------------------------------------------------------
+    # Accuracy measurements
+    # ------------------------------------------------------------------
+    def classification_error_at(
+        self,
+        vccbram_v: float,
+        inputs: np.ndarray,
+        labels: np.ndarray,
+        temperature_c: float = REFERENCE_TEMPERATURE_C,
+        run_index: Optional[int] = None,
+    ) -> float:
+        """Classification error with the BRAMs at ``vccbram_v`` (one point of Fig. 11)."""
+        network = self.faulty_network(vccbram_v, temperature_c, run_index)
+        return network.classification_error(inputs, labels)
+
+    def baseline_error(self, inputs: np.ndarray, labels: np.ndarray) -> float:
+        """Inherent (fault-free) classification error of the quantized network."""
+        return self.network.classification_error(inputs, labels)
+
+    def error_sweep(
+        self,
+        voltages_v: Sequence[float],
+        inputs: np.ndarray,
+        labels: np.ndarray,
+        temperature_c: float = REFERENCE_TEMPERATURE_C,
+    ) -> List[ErrorSweepPoint]:
+        """Classification error versus VCCBRAM (the full Fig. 11 curve)."""
+        points: List[ErrorSweepPoint] = []
+        for voltage in voltages_v:
+            faults = self.count_weight_faults(voltage, temperature_c)
+            total_faults = sum(faults.values())
+            error = self.classification_error_at(voltage, inputs, labels, temperature_c)
+            points.append(
+                ErrorSweepPoint(
+                    voltage_v=float(voltage),
+                    classification_error=error,
+                    weight_faults=total_faults,
+                    fault_rate_per_mbit=total_faults / self.chip.brams.total_mbits,
+                )
+            )
+        return points
+
+    def evaluate_on(self, dataset: Dataset, voltages_v: Sequence[float]) -> List[ErrorSweepPoint]:
+        """Convenience wrapper running :meth:`error_sweep` on a dataset's test split."""
+        return self.error_sweep(voltages_v, dataset.test_inputs, dataset.test_labels)
+
+
+def mean_error_sweep(
+    chip: FpgaChip,
+    network: QuantizedNetwork,
+    dataset: Dataset,
+    voltages_v: Sequence[float],
+    compile_seeds: Sequence[int] = (0, 1, 2),
+    fault_field: Optional[FaultField] = None,
+    constraints: Optional[ConstraintSet] = None,
+    max_samples: Optional[int] = None,
+) -> List[ErrorSweepPoint]:
+    """Error-versus-voltage curve averaged over several place-and-route runs.
+
+    The paper's Fig. 11 comes from one board and one compilation; in the
+    reproduction the accuracy loss of the *default* placement depends on which
+    physical BRAMs the sensitive layers land on, so averaging a few
+    compilations gives the representative curve.  The fault counts are
+    identical across seeds (the chip's fault population does not depend on the
+    placement), so only the classification error is averaged.
+    """
+    if not compile_seeds:
+        raise AcceleratorError("at least one compile seed is required")
+    if fault_field is None:
+        fault_field = FaultField(chip)
+    inputs = dataset.test_inputs
+    labels = dataset.test_labels
+    if max_samples is not None and len(labels) > max_samples:
+        inputs = inputs[:max_samples]
+        labels = labels[:max_samples]
+
+    per_seed_points: List[List[ErrorSweepPoint]] = []
+    for seed in compile_seeds:
+        accelerator = NnAccelerator(
+            chip=chip,
+            network=network,
+            fault_field=fault_field,
+            constraints=constraints,
+            compile_seed=seed,
+        )
+        per_seed_points.append(accelerator.error_sweep(voltages_v, inputs, labels))
+
+    averaged: List[ErrorSweepPoint] = []
+    for index, voltage in enumerate(voltages_v):
+        errors = [points[index].classification_error for points in per_seed_points]
+        reference = per_seed_points[0][index]
+        averaged.append(
+            ErrorSweepPoint(
+                voltage_v=float(voltage),
+                classification_error=float(np.mean(errors)),
+                weight_faults=reference.weight_faults,
+                fault_rate_per_mbit=reference.fault_rate_per_mbit,
+            )
+        )
+    return averaged

@@ -1,0 +1,154 @@
+"""Mapping of quantized NN weights onto BRAM blocks.
+
+In the accelerator of Section III the weights live in on-chip BRAMs: each
+basic BRAM stores 1024 16-bit words, so a layer with ``n`` weights occupies
+``ceil(n / 1024)`` logical BRAM blocks, and the placement step decides which
+*physical* BRAMs those become.  That mapping is what couples the NN accuracy
+to the undervolting fault map — a fault in a physical BRAM corrupts exactly
+the weight words mapped onto it.
+
+:class:`WeightMapping` performs the logical side of that mapping: it slices
+every layer's flat word array into BRAM-sized segments, names the logical
+blocks (``layer3_w012``) and produces the :class:`repro.fpga.bitstream.Design`
+the placer consumes.  Loading/corrupting the words against a *physical*
+placement is done by :class:`repro.accelerator.accelerator.NnAccelerator`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.fpga.bitstream import Design
+from repro.fpga.bram import DEFAULT_ROWS
+from repro.nn.inference import QuantizedNetwork
+
+
+class MappingError(ValueError):
+    """Raised when a network does not fit the targeted BRAM resources."""
+
+
+def layer_group(layer_index: int) -> str:
+    """Group tag used for all logical BRAMs of one layer."""
+    return f"layer{layer_index}"
+
+
+@dataclass(frozen=True)
+class WeightSegment:
+    """One BRAM-sized slice of a layer's flat weight-word array."""
+
+    layer_index: int
+    segment_index: int
+    logical_name: str
+    word_offset: int
+    n_words: int
+
+    def word_slice(self) -> slice:
+        """Slice of the layer's flat word array covered by this segment."""
+        return slice(self.word_offset, self.word_offset + self.n_words)
+
+
+@dataclass
+class WeightMapping:
+    """Logical BRAM layout of a quantized network's weights."""
+
+    network: QuantizedNetwork
+    words_per_bram: int = DEFAULT_ROWS
+    segments: List[WeightSegment] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.words_per_bram <= 0:
+            raise MappingError("words_per_bram must be positive")
+        if not self.segments:
+            self._build()
+
+    def _build(self) -> None:
+        for layer in self.network.layers:
+            flat = layer.flat_words()
+            n_segments = max(1, math.ceil(flat.size / self.words_per_bram))
+            for seg in range(n_segments):
+                offset = seg * self.words_per_bram
+                n_words = min(self.words_per_bram, flat.size - offset)
+                if n_words <= 0:
+                    break
+                self.segments.append(
+                    WeightSegment(
+                        layer_index=layer.index,
+                        segment_index=seg,
+                        logical_name=f"layer{layer.index}_w{seg:03d}",
+                        word_offset=offset,
+                        n_words=int(n_words),
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_logical_brams(self) -> int:
+        """Total logical BRAM blocks needed by the weights."""
+        return len(self.segments)
+
+    def segments_of_layer(self, layer_index: int) -> List[WeightSegment]:
+        """Segments (logical BRAMs) holding one layer's weights."""
+        return [seg for seg in self.segments if seg.layer_index == layer_index]
+
+    def brams_per_layer(self) -> Dict[int, int]:
+        """Number of logical BRAMs per layer (the "size" series of Fig. 13)."""
+        counts: Dict[int, int] = {}
+        for seg in self.segments:
+            counts[seg.layer_index] = counts.get(seg.layer_index, 0) + 1
+        return counts
+
+    def logical_names_of_layer(self, layer_index: int) -> List[str]:
+        """Logical block names of one layer, in storage order."""
+        return [seg.logical_name for seg in self.segments_of_layer(layer_index)]
+
+    def segment_by_name(self, logical_name: str) -> WeightSegment:
+        """Look up a segment by its logical block name."""
+        for seg in self.segments:
+            if seg.logical_name == logical_name:
+                return seg
+        raise MappingError(f"no weight segment named {logical_name!r}")
+
+    def words_for_segment(self, segment: WeightSegment) -> np.ndarray:
+        """Current weight words stored in one segment."""
+        layer = self.network.layer(segment.layer_index)
+        return layer.flat_words()[segment.word_slice()].copy()
+
+    # ------------------------------------------------------------------
+    def build_design(
+        self,
+        name: str = "nn-accelerator",
+        dsp_used: int = 240,
+        ff_used: int = 11_500,
+        lut_used: int = 29_700,
+        frequency_mhz: float = 100.0,
+    ) -> Design:
+        """The accelerator design: weight BRAMs plus datapath resources.
+
+        The default DSP/FF/LUT figures reproduce the Table III utilization of
+        the VC707 synthesis (8.6 % DSP, 3.8 % FF, 4.9 % LUT); callers targeting
+        other devices can pass their own numbers.
+        """
+        design = Design(
+            name=name,
+            dsp_used=dsp_used,
+            ff_used=ff_used,
+            lut_used=lut_used,
+            frequency_mhz=frequency_mhz,
+        )
+        for seg in self.segments:
+            design.add_bram(seg.logical_name, group=layer_group(seg.layer_index))
+        return design
+
+    def bram_utilization_fraction(self, total_brams: int) -> float:
+        """Fraction of the device BRAMs used by the weights (Table III: 70.8 %)."""
+        if total_brams <= 0:
+            raise MappingError("total_brams must be positive")
+        if self.n_logical_brams > total_brams:
+            raise MappingError(
+                f"design needs {self.n_logical_brams} BRAMs but device only has {total_brams}"
+            )
+        return self.n_logical_brams / total_brams

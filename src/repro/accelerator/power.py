@@ -1,0 +1,135 @@
+"""On-chip power breakdown of the NN accelerator (Fig. 10).
+
+Fig. 10 shows the accelerator's total on-chip power at ``Vnom``, ``Vmin`` and
+``Vcrash``, broken into the BRAM share and the rest (clocking, DSPs, LUTs,
+routing).  The headline numbers: lowering only ``VCCBRAM`` to ``Vmin``
+removes more than an order of magnitude of BRAM power, which is a **24.1 %**
+total on-chip reduction; continuing to ``Vcrash`` saves a further ~40 % of
+the (already small) BRAM power.
+
+The breakdown here uses the calibrated BRAM rail model of
+:mod:`repro.core.power` for the BRAM component and holds the other components
+constant (their rail, ``VCCINT``, stays at nominal in the case study).  The
+nominal BRAM share is set so the published 24.1 % total reduction at ``Vmin``
+is reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.calibration import PlatformCalibration, get_calibration
+from repro.core.power import RailPowerModel, bram_power_model
+from repro.fpga.platform import FpgaChip
+
+#: Fraction of the accelerator's on-chip power drawn by BRAMs at nominal
+#: voltage.  Chosen so that removing ~92 % of the BRAM power (the calibrated
+#: >10x reduction at Vmin) cuts total on-chip power by the published 24.1 %.
+DEFAULT_BRAM_SHARE_AT_NOMINAL = 0.262
+
+#: Relative split of the non-BRAM on-chip power (XPE-style categories).
+DEFAULT_REST_SPLIT = {
+    "clocking": 0.28,
+    "dsp": 0.22,
+    "logic_routing": 0.36,
+    "io_other": 0.14,
+}
+
+
+class AcceleratorPowerError(ValueError):
+    """Raised for inconsistent power-breakdown configurations."""
+
+
+@dataclass
+class AcceleratorPowerModel:
+    """On-chip power of the NN accelerator as a function of VCCBRAM.
+
+    Parameters
+    ----------
+    chip:
+        Target board (sets the calibrated BRAM rail behaviour).
+    bram_utilization:
+        Fraction of device BRAMs used by the design (70.8 % in Table III).
+    total_on_chip_nominal_w:
+        Total on-chip power at nominal voltage.  Only sets the absolute scale
+        of reported watts; all of the paper's claims are relative.
+    bram_share_at_nominal:
+        BRAM fraction of the on-chip total at nominal voltage.
+    """
+
+    chip: FpgaChip
+    bram_utilization: float = 0.708
+    total_on_chip_nominal_w: float = 10.0
+    bram_share_at_nominal: float = DEFAULT_BRAM_SHARE_AT_NOMINAL
+    rest_split: Dict[str, float] = field(default_factory=lambda: dict(DEFAULT_REST_SPLIT))
+    calibration: Optional[PlatformCalibration] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.bram_share_at_nominal < 1.0:
+            raise AcceleratorPowerError("bram_share_at_nominal must be in (0, 1)")
+        if not 0.0 < self.bram_utilization <= 1.0:
+            raise AcceleratorPowerError("bram_utilization must be in (0, 1]")
+        if self.total_on_chip_nominal_w <= 0:
+            raise AcceleratorPowerError("total power must be positive")
+        split_total = sum(self.rest_split.values())
+        if abs(split_total - 1.0) > 1e-6:
+            raise AcceleratorPowerError("rest_split fractions must sum to 1")
+        if self.calibration is None:
+            self.calibration = get_calibration(self.chip.spec)
+        # Re-scale the calibrated rail model so that, at this design's BRAM
+        # utilization, the nominal BRAM power equals the requested share of
+        # the on-chip total.
+        base_model = bram_power_model(self.calibration)
+        target_nominal = self.bram_share_at_nominal * self.total_on_chip_nominal_w
+        scale = target_nominal / base_model.power_w(self.calibration.vnom_v, self.bram_utilization)
+        self._bram_model = RailPowerModel(
+            nominal_power_w=base_model.nominal_power_w * scale,
+            nominal_voltage_v=base_model.nominal_voltage_v,
+            gamma_per_v=base_model.gamma_per_v,
+            static_fraction=base_model.static_fraction,
+        )
+
+    # ------------------------------------------------------------------
+    def bram_power_w(self, vccbram_v: float) -> float:
+        """BRAM component of the on-chip power at one VCCBRAM value."""
+        return self._bram_model.power_w(vccbram_v, utilization=self.bram_utilization)
+
+    def rest_power_w(self) -> float:
+        """Non-BRAM on-chip power (unchanged by VCCBRAM underscaling)."""
+        return self.total_on_chip_nominal_w * (1.0 - self.bram_share_at_nominal)
+
+    def breakdown_w(self, vccbram_v: float) -> Dict[str, float]:
+        """Component breakdown at one VCCBRAM value (Fig. 10's stacked bar)."""
+        rest = self.rest_power_w()
+        breakdown = {name: fraction * rest for name, fraction in self.rest_split.items()}
+        breakdown["bram"] = self.bram_power_w(vccbram_v)
+        return breakdown
+
+    def total_w(self, vccbram_v: float) -> float:
+        """Total on-chip power at one VCCBRAM value."""
+        return sum(self.breakdown_w(vccbram_v).values())
+
+    def total_reduction_fraction(self, vccbram_v: float) -> float:
+        """Total on-chip power saved relative to nominal (24.1 % at Vmin)."""
+        nominal = self.total_w(self.calibration.vnom_v)
+        return (nominal - self.total_w(vccbram_v)) / nominal
+
+    def bram_reduction_factor(self, vccbram_v: float) -> float:
+        """How many times less BRAM power than at nominal voltage."""
+        return self._bram_model.reduction_factor(
+            self.calibration.vnom_v, vccbram_v, utilization=self.bram_utilization
+        )
+
+    def bram_savings_between(self, from_v: float, to_v: float) -> float:
+        """Fractional BRAM power saved between two voltages (Vmin -> Vcrash: ~40 %)."""
+        return self._bram_model.savings_fraction(from_v, to_v, utilization=self.bram_utilization)
+
+    def figure10_rows(self) -> Dict[str, Dict[str, float]]:
+        """The three Fig. 10 operating points with their breakdowns."""
+        cal = self.calibration
+        return {
+            "Vnom": self.breakdown_w(cal.vnom_v),
+            "Vmin": self.breakdown_w(cal.vmin_bram_v),
+            "Vcrash": self.breakdown_w(cal.vcrash_bram_v),
+        }

@@ -1,0 +1,28 @@
+"""Reporting helpers: summary statistics, ASCII tables, experiment reports."""
+
+from .report import ExperimentReport, ReportError, Section
+from .stats import (
+    StatsError,
+    Summary,
+    fit_exponential_rate,
+    geometric_mean,
+    relative_change,
+    summarize,
+)
+from .tables import TableError, format_value, render_kv, render_table
+
+__all__ = [
+    "ExperimentReport",
+    "ReportError",
+    "Section",
+    "StatsError",
+    "Summary",
+    "TableError",
+    "fit_exponential_rate",
+    "format_value",
+    "geometric_mean",
+    "relative_change",
+    "render_kv",
+    "render_table",
+    "summarize",
+]

@@ -1,0 +1,89 @@
+"""Experiment-result containers with simple serialization.
+
+Benches and examples produce structured results; this module gives them a
+uniform container that can be rendered as text (for the console) and as a
+plain dictionary (for JSON dumps next to ``bench_output.txt``), without any
+third-party dependency.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .tables import render_table
+
+
+class ReportError(ValueError):
+    """Raised for malformed report sections."""
+
+
+@dataclass
+class Section:
+    """One table of an experiment report."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row, validating the column count."""
+        if len(cells) != len(self.headers):
+            raise ReportError(
+                f"section {self.title!r} expects {len(self.headers)} columns, got {len(cells)}"
+            )
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        """Attach a free-form note rendered under the table."""
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """Text rendering of the section."""
+        text = render_table(self.headers, self.rows, title=self.title)
+        if self.notes:
+            text += "\n" + "\n".join(f"  * {note}" for note in self.notes)
+        return text
+
+
+@dataclass
+class ExperimentReport:
+    """A named collection of sections for one paper artefact (table/figure)."""
+
+    experiment_id: str
+    description: str
+    sections: List[Section] = field(default_factory=list)
+
+    def new_section(self, title: str, headers: Sequence[str]) -> Section:
+        """Create, register and return a new section."""
+        section = Section(title=title, headers=list(headers))
+        self.sections.append(section)
+        return section
+
+    def render(self) -> str:
+        """Full text rendering of the report."""
+        header = f"== {self.experiment_id}: {self.description} =="
+        body = "\n\n".join(section.render() for section in self.sections)
+        return f"{header}\n{body}" if body else header
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dictionary form for JSON serialization."""
+        return {
+            "experiment_id": self.experiment_id,
+            "description": self.description,
+            "sections": [
+                {
+                    "title": section.title,
+                    "headers": section.headers,
+                    "rows": section.rows,
+                    "notes": section.notes,
+                }
+                for section in self.sections
+            ],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """JSON rendering (all cells must be JSON-serializable)."""
+        return json.dumps(self.to_dict(), indent=indent, default=str)

@@ -1,0 +1,97 @@
+"""Summary statistics shared by the experiments and benchmarks.
+
+Small, dependency-light helpers: robust summaries of repeated measurements
+(the paper reports medians of 100 runs), exponential-fit diagnostics for the
+fault-rate curves, and relative-change helpers used when comparing the
+reproduction's numbers against the paper's.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+
+class StatsError(ValueError):
+    """Raised for degenerate statistical inputs."""
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a repeated measurement."""
+
+    mean: float
+    median: float
+    minimum: float
+    maximum: float
+    std_dev: float
+    n: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """Dictionary form, convenient for table rows."""
+        return {
+            "mean": self.mean,
+            "median": self.median,
+            "min": self.minimum,
+            "max": self.maximum,
+            "std": self.std_dev,
+            "n": float(self.n),
+        }
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summarize a sequence of repeated measurements."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise StatsError("cannot summarize an empty sequence")
+    return Summary(
+        mean=float(array.mean()),
+        median=float(np.median(array)),
+        minimum=float(array.min()),
+        maximum=float(array.max()),
+        std_dev=float(array.std()),
+        n=int(array.size),
+    )
+
+
+def relative_change(measured: float, reference: float) -> float:
+    """Relative deviation of a measured value from a reference value."""
+    if reference == 0:
+        raise StatsError("reference value must be non-zero")
+    return (measured - reference) / reference
+
+
+def fit_exponential_rate(voltages: Sequence[float], rates: Sequence[float]) -> Tuple[float, float]:
+    """Fit ``rate = a * exp(-k * voltage)`` to positive-rate sweep points.
+
+    Returns ``(k, r_squared)`` of a least-squares line through
+    ``log(rate)`` versus voltage.  Used by tests and benches to confirm the
+    measured fault-rate curves are exponential, as the paper reports.
+    """
+    voltages = np.asarray(list(voltages), dtype=float)
+    rates = np.asarray(list(rates), dtype=float)
+    mask = rates > 0
+    if mask.sum() < 3:
+        raise StatsError("need at least three positive-rate points for an exponential fit")
+    x = voltages[mask]
+    y = np.log(rates[mask])
+    slope, intercept = np.polyfit(x, y, 1)
+    predicted = slope * x + intercept
+    residual = y - predicted
+    total = y - y.mean()
+    denom = float((total**2).sum())
+    r_squared = 1.0 - float((residual**2).sum()) / denom if denom > 0 else 1.0
+    return float(-slope), r_squared
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (used for cross-platform factors)."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise StatsError("cannot take the geometric mean of nothing")
+    if (array <= 0).any():
+        raise StatsError("geometric mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(array))))

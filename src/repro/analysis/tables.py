@@ -1,0 +1,65 @@
+"""ASCII table rendering for benchmark and example output.
+
+The benchmarks regenerate the paper's tables and figure series as text; this
+module provides one consistent renderer so every bench prints comparable,
+aligned output without depending on third-party table libraries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+class TableError(ValueError):
+    """Raised for inconsistent table shapes."""
+
+
+def format_value(value: object, float_digits: int = 3) -> str:
+    """Render one cell: floats rounded, everything else via ``str``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_digits: int = 3,
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table with a separator under the header."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        cells = [format_value(cell, float_digits) for cell in row]
+        if len(cells) != len(headers):
+            raise TableError(
+                f"row has {len(cells)} cells but the table has {len(headers)} columns"
+            )
+        rendered_rows.append(cells)
+
+    widths = [len(str(h)) for h in headers]
+    for cells in rendered_rows:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line([str(h) for h in headers]))
+    parts.append("-+-".join("-" * w for w in widths))
+    parts.extend(line(cells) for cells in rendered_rows)
+    return "\n".join(parts)
+
+
+def render_kv(title: str, pairs: Sequence[Sequence[object]], float_digits: int = 3) -> str:
+    """Render a two-column key/value block."""
+    return render_table(["metric", "value"], pairs, float_digits=float_digits, title=title)

@@ -1,0 +1,253 @@
+"""Command-line interface to the reproduction's main experiments.
+
+Installed as the ``repro-undervolt`` console script.  Four sub-commands cover
+the workflows a user typically wants without writing Python:
+
+* ``guardband``     — Fig. 1: discover Vmin/Vcrash and the guardband of a board;
+* ``sweep``         — Fig. 3 / Listing 1: fault rate and power across the
+  critical region;
+* ``characterize``  — Section II-C: pattern, stability and variability studies;
+* ``icbp``          — Section III: train the case-study network, run it at
+  Vcrash under the default and ICBP placements and compare the accuracy loss.
+
+Every command accepts ``--platform`` (default VC707) and prints aligned ASCII
+tables; machine-readable output is available with ``--json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis import render_table
+from repro.core import FaultField
+from repro.core.characterization import (
+    STUDY_PATTERNS,
+    pattern_study,
+    stability_study,
+    variability_study,
+)
+from repro.fpga import FpgaChip, platform_names
+from repro.harness import UndervoltingExperiment
+
+
+def _add_platform_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--platform",
+        default="VC707",
+        choices=platform_names(),
+        help="board to simulate (Table I of the paper)",
+    )
+
+
+def _add_json_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a JSON document instead of ASCII tables",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level ``repro-undervolt`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-undervolt",
+        description="FPGA BRAM undervolting experiments (MICRO 2018 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    guardband = subparsers.add_parser("guardband", help="discover Vmin/Vcrash (Fig. 1)")
+    _add_platform_argument(guardband)
+    _add_json_argument(guardband)
+
+    sweep = subparsers.add_parser("sweep", help="critical-region fault/power sweep (Fig. 3)")
+    _add_platform_argument(sweep)
+    _add_json_argument(sweep)
+    sweep.add_argument("--runs", type=int, default=11, help="read-back repetitions per voltage step")
+    sweep.add_argument("--pattern", default="FFFF", help="initial BRAM data pattern (e.g. FFFF, AAAA)")
+
+    characterize = subparsers.add_parser(
+        "characterize", help="pattern/stability/variability studies (Section II-C)"
+    )
+    _add_platform_argument(characterize)
+    _add_json_argument(characterize)
+    characterize.add_argument("--runs", type=int, default=50, help="runs for the stability study")
+
+    icbp = subparsers.add_parser("icbp", help="NN case study with ICBP mitigation (Fig. 14)")
+    _add_platform_argument(icbp)
+    _add_json_argument(icbp)
+    icbp.add_argument("--train-samples", type=int, default=6000, help="training-set size")
+    icbp.add_argument("--seeds", type=int, default=4, help="number of place-and-route seeds to average")
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Sub-command implementations
+# ----------------------------------------------------------------------
+def _cmd_guardband(args: argparse.Namespace) -> int:
+    chip = FpgaChip.build(args.platform)
+    experiment = UndervoltingExperiment(chip, runs_per_step=3)
+    payload = {}
+    for rail in ("VCCBRAM", "VCCINT"):
+        measurement, _ = experiment.discover_guardband(rail=rail)
+        payload[rail] = {
+            "vnom_v": measurement.nominal_v,
+            "vmin_v": measurement.vmin_v,
+            "vcrash_v": measurement.vcrash_v,
+            "guardband_fraction": measurement.guardband_fraction,
+            "power_reduction_factor_at_vmin": measurement.power_reduction_factor_at_vmin,
+        }
+    if args.json:
+        print(json.dumps({"platform": args.platform, "rails": payload}, indent=2))
+        return 0
+    rows = [
+        (rail, data["vnom_v"], data["vmin_v"], data["vcrash_v"],
+         100 * data["guardband_fraction"], data["power_reduction_factor_at_vmin"])
+        for rail, data in payload.items()
+    ]
+    print(render_table(
+        ["rail", "Vnom", "Vmin", "Vcrash", "guardband %", "power x at Vmin"],
+        rows,
+        title=f"Voltage guardbands of {args.platform} (Fig. 1)",
+    ))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    chip = FpgaChip.build(args.platform)
+    experiment = UndervoltingExperiment(chip, runs_per_step=args.runs)
+    result = experiment.critical_region_sweep(pattern=args.pattern, n_runs=args.runs)
+    series = result.as_series()
+    if args.json:
+        print(json.dumps(
+            {
+                "platform": args.platform,
+                "pattern": args.pattern,
+                "points": [
+                    {"vccbram_v": v, "faults_per_mbit": rate, "bram_power_w": power}
+                    for v, rate, power in series
+                ],
+            },
+            indent=2,
+        ))
+        return 0
+    print(render_table(
+        ["VCCBRAM (V)", "faults per Mbit", "BRAM power (W)"],
+        series,
+        title=f"Critical-region sweep of {args.platform}, pattern {args.pattern} (Fig. 3)",
+    ))
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    chip = FpgaChip.build(args.platform)
+    field = FaultField(chip)
+    vcrash = field.calibration.vcrash_bram_v
+    patterns = pattern_study(field, vcrash, patterns=STUDY_PATTERNS)
+    stability = stability_study(field, vcrash, n_runs=max(2, args.runs))
+    variability = variability_study(field, vcrash)
+    payload = {
+        "platform": args.platform,
+        "vcrash_v": vcrash,
+        "pattern_rates_per_mbit": patterns.rates_per_mbit,
+        "stability": stability.as_table_row(),
+        "location_overlap": stability.location_overlap,
+        "variability": {
+            "max_percent": variability.max_percent,
+            "mean_percent": variability.mean_percent,
+            "never_faulty_fraction": variability.never_faulty_fraction,
+        },
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(render_table(
+        ["pattern", "faults per Mbit"],
+        [(name, patterns.rate(name)) for name in STUDY_PATTERNS],
+        title=f"Data-pattern study of {args.platform} at {vcrash:.2f} V (Fig. 4)",
+    ))
+    print()
+    print(render_table(
+        ["metric", "value"],
+        list(stability.as_table_row().items()) + [("location overlap", stability.location_overlap)],
+        title=f"Stability over {stability.n_runs} runs (Table II)",
+    ))
+    print()
+    print(render_table(
+        ["metric", "value"],
+        [
+            ("max per-BRAM rate (%)", variability.max_percent),
+            ("mean per-BRAM rate (%)", variability.mean_percent),
+            ("never-faulty BRAMs (%)", 100 * variability.never_faulty_fraction),
+        ],
+        title="Per-BRAM variability (Fig. 5)",
+    ))
+    return 0
+
+
+def _cmd_icbp(args: argparse.Namespace) -> int:
+    # Imported lazily: the NN stack is only needed for this sub-command.
+    from repro.accelerator import IcbpFlow, PlacementPolicy
+    from repro.nn import QuantizedNetwork, SCALED_TOPOLOGY, TrainingConfig, synthetic_mnist, train_network
+
+    chip = FpgaChip.build(args.platform)
+    field = FaultField(chip)
+    dataset = synthetic_mnist(n_train=args.train_samples, n_test=1000)
+    trained = train_network(dataset, topology=SCALED_TOPOLOGY, config=TrainingConfig(seed=3))
+    network = QuantizedNetwork.from_network(trained.network)
+    flow = IcbpFlow(chip=chip, network=network, dataset=dataset, fault_field=field, max_eval_samples=1000)
+    comparison = flow.compare_policies(compile_seeds=range(max(1, args.seeds)))
+    default = comparison[PlacementPolicy.DEFAULT]
+    icbp = comparison[PlacementPolicy.LAST_LAYER]
+    payload = {
+        "platform": args.platform,
+        "voltage_v": default.voltage_v,
+        "baseline_error": default.baseline_error,
+        "default_placement": {
+            "error": default.classification_error,
+            "accuracy_loss": default.accuracy_loss,
+        },
+        "icbp": {
+            "error": icbp.classification_error,
+            "accuracy_loss": icbp.accuracy_loss,
+            "protected_layers": list(icbp.protected_layers),
+        },
+        "power_savings_vs_vmin": icbp.power_savings_vs_vmin,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(render_table(
+        ["placement", "error %", "accuracy loss %"],
+        [
+            ("default", 100 * default.classification_error, 100 * default.accuracy_loss),
+            ("ICBP", 100 * icbp.classification_error, 100 * icbp.accuracy_loss),
+        ],
+        title=(
+            f"ICBP vs default placement on {args.platform} at {default.voltage_v:.2f} V "
+            f"({100 * icbp.power_savings_vs_vmin:.1f} % BRAM power below Vmin)"
+        ),
+    ))
+    return 0
+
+
+_COMMANDS = {
+    "guardband": _cmd_guardband,
+    "sweep": _cmd_sweep,
+    "characterize": _cmd_characterize,
+    "icbp": _cmd_icbp,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``repro-undervolt`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,128 @@
+"""Core undervolting models: calibration, faults, power, FVM, clustering.
+
+This subpackage is the reproduction of the paper's primary contribution — the
+behavioural understanding of what happens to FPGA BRAMs when ``VCCBRAM`` is
+pushed below the guardband.  It provides:
+
+* the published per-platform calibration (:mod:`repro.core.calibration`);
+* the deterministic bitcell fault model (:mod:`repro.core.faultmodel`) built
+  on a process-variation field (:mod:`repro.core.variation`) and the ITD
+  temperature model (:mod:`repro.core.temperature`);
+* the voltage-scaling power model (:mod:`repro.core.power`);
+* guardband detection, Fault Variation Maps, vulnerability clustering and the
+  Section II-C characterization studies.
+"""
+
+from .calibration import (
+    CALIBRATIONS,
+    CalibrationError,
+    PlatformCalibration,
+    average_guardband,
+    get_calibration,
+    voltage_regions,
+)
+from .characterization import (
+    CharacterizationError,
+    FlipDirectionResult,
+    PatternStudyResult,
+    STUDY_PATTERNS,
+    StabilityStudyResult,
+    VariabilityStudyResult,
+    flip_direction_study,
+    pattern_study,
+    stability_study,
+    variability_study,
+)
+from .clustering import (
+    CLASS_NAMES,
+    ClusteringError,
+    ClusteringResult,
+    VulnerabilityCluster,
+    cluster_bram_vulnerability,
+    low_vulnerable_indices,
+)
+from .faultmodel import (
+    BramFaultProfile,
+    FaultField,
+    FaultModelConfig,
+    FaultModelError,
+    FaultRecord,
+)
+from .fvm import FaultVariationMap, FvmEntry, FvmError
+from .guardband import (
+    GuardbandError,
+    GuardbandResult,
+    SweepObservation,
+    average_guardband_fraction,
+    detect_guardband,
+    power_saving_summary,
+)
+from .power import (
+    PowerModelError,
+    PowerSweepPoint,
+    RailPowerModel,
+    bram_power_model,
+    power_sweep,
+    summarize_savings,
+    vccint_power_model,
+)
+from .temperature import (
+    ItdModel,
+    REFERENCE_TEMPERATURE_C,
+    STUDY_TEMPERATURES_C,
+    TemperatureError,
+)
+from .variation import ProcessVariationField, VariationConfig, VariationError
+
+__all__ = [
+    "CALIBRATIONS",
+    "CLASS_NAMES",
+    "BramFaultProfile",
+    "CalibrationError",
+    "CharacterizationError",
+    "ClusteringError",
+    "ClusteringResult",
+    "FaultField",
+    "FaultModelConfig",
+    "FaultModelError",
+    "FaultRecord",
+    "FaultVariationMap",
+    "FlipDirectionResult",
+    "FvmEntry",
+    "FvmError",
+    "GuardbandError",
+    "GuardbandResult",
+    "ItdModel",
+    "PatternStudyResult",
+    "PlatformCalibration",
+    "PowerModelError",
+    "PowerSweepPoint",
+    "ProcessVariationField",
+    "REFERENCE_TEMPERATURE_C",
+    "RailPowerModel",
+    "STUDY_PATTERNS",
+    "STUDY_TEMPERATURES_C",
+    "StabilityStudyResult",
+    "SweepObservation",
+    "TemperatureError",
+    "VariabilityStudyResult",
+    "VariationConfig",
+    "VariationError",
+    "VulnerabilityCluster",
+    "average_guardband",
+    "average_guardband_fraction",
+    "bram_power_model",
+    "cluster_bram_vulnerability",
+    "detect_guardband",
+    "flip_direction_study",
+    "get_calibration",
+    "low_vulnerable_indices",
+    "pattern_study",
+    "power_saving_summary",
+    "power_sweep",
+    "stability_study",
+    "summarize_savings",
+    "variability_study",
+    "vccint_power_model",
+    "voltage_regions",
+]

@@ -1,0 +1,276 @@
+"""Per-platform calibration of the undervolting behavioural model.
+
+The paper is a measurement study; the reproduction replaces the silicon with
+a behavioural model whose constants are *calibrated to the numbers the paper
+publishes*.  This module is the single place those constants live, so every
+experiment, test and benchmark draws from the same source of truth and
+EXPERIMENTS.md can point here for the paper-vs-model mapping.
+
+Published anchors used for calibration (all from the paper text and figures):
+
+* Nominal voltage 1.0 V on every board; average ``VCCBRAM`` guardband 39 %
+  and ``VCCINT`` guardband 34 % (Fig. 1); VC707 ``Vmin`` = 0.61 V and
+  ``Vcrash`` = 0.54 V (Section II-C / Fig. 6).
+* Fault rates at ``Vcrash`` with pattern ``0xFFFF``: 652, 153, 254 and 60
+  faults per Mbit for VC707, ZC702, KC705-A and KC705-B (Fig. 3).
+* Run-to-run standard deviation of the fault rate: 7.3, 5.9, 4.8 and 1.8
+  faults per Mbit (Table II).
+* 99.9 % of faults are ``1 -> 0`` flips (Section II-C-1).
+* 38.9 % of VC707 BRAMs never fault even at ``Vcrash``; per-BRAM rates span
+  0 %–2.84 % with an 0.04 % average; 88.6 % of BRAMs are low-vulnerable with
+  an 0.02 % average (Fig. 5).
+* Heating from 50 °C to 80 °C cuts the VC707 fault rate by more than 3x; the
+  VC707/KC705-A ratio moves from +156 % at 50 °C to −11.6 % at 80 °C
+  (Fig. 8, ITD).
+* BRAM power drops by more than an order of magnitude from ``Vnom`` to
+  ``Vmin`` and by a further ~40 % from ``Vmin`` to ``Vcrash`` (Figs. 3, 10).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.fpga.platform import PlatformSpec, get_platform
+
+
+class CalibrationError(ValueError):
+    """Raised when calibration constants are inconsistent."""
+
+
+@dataclass(frozen=True)
+class PlatformCalibration:
+    """Calibrated undervolting constants for one board.
+
+    Attributes
+    ----------
+    platform:
+        Board name matching :mod:`repro.fpga.platform`.
+    vnom_v:
+        Nominal supply voltage of both studied rails.
+    vmin_bram_v / vcrash_bram_v:
+        Minimum safe voltage and crash voltage of ``VCCBRAM``.
+    vmin_int_v / vcrash_int_v:
+        The same thresholds for ``VCCINT``.
+    fault_rate_at_vcrash_per_mbit:
+        Chip-level fault rate at ``Vcrash`` with pattern ``0xFFFF`` at the
+        default 50 °C board temperature.
+    onset_rate_per_mbit:
+        Fault rate one voltage step below ``Vmin`` (sets the exponential
+        slope together with the crash-rate anchor).
+    run_std_per_mbit:
+        Run-to-run standard deviation of the fault rate at ``Vcrash``
+        (Table II).
+    never_faulty_fraction:
+        Fraction of BRAMs with no vulnerable bitcell at all.
+    one_to_zero_fraction:
+        Fraction of vulnerable cells that fail as ``1 -> 0`` flips.
+    itd_v_per_degc:
+        Inverse-Thermal-Dependence coefficient: equivalent upward shift of
+        the supply voltage per additional degree Celsius.
+    power_gamma_per_v:
+        Exponential slope of rail power versus voltage.
+    bram_power_nominal_w:
+        Absolute BRAM rail power at nominal voltage (sets the scale of the
+        Fig. 3 power curves; ZC702 is reported in mW in the paper).
+    vulnerability_sigma:
+        Log-normal sigma of the per-BRAM vulnerability weights (controls the
+        heavy tail of Fig. 5).
+    """
+
+    platform: str
+    vnom_v: float = 1.0
+    vmin_bram_v: float = 0.61
+    vcrash_bram_v: float = 0.54
+    vmin_int_v: float = 0.66
+    vcrash_int_v: float = 0.59
+    fault_rate_at_vcrash_per_mbit: float = 100.0
+    onset_rate_per_mbit: float = 2.0
+    run_std_per_mbit: float = 5.0
+    never_faulty_fraction: float = 0.40
+    one_to_zero_fraction: float = 0.999
+    itd_v_per_degc: float = 2.0e-4
+    power_gamma_per_v: float = 7.3
+    bram_power_nominal_w: float = 1.0
+    vulnerability_sigma: float = 1.5
+
+    def __post_init__(self) -> None:
+        if not self.vcrash_bram_v < self.vmin_bram_v < self.vnom_v:
+            raise CalibrationError(
+                f"{self.platform}: expected Vcrash < Vmin < Vnom for VCCBRAM"
+            )
+        if not self.vcrash_int_v < self.vmin_int_v < self.vnom_v:
+            raise CalibrationError(
+                f"{self.platform}: expected Vcrash < Vmin < Vnom for VCCINT"
+            )
+        if self.fault_rate_at_vcrash_per_mbit <= 0:
+            raise CalibrationError(f"{self.platform}: crash fault rate must be positive")
+        if not 0 < self.onset_rate_per_mbit < self.fault_rate_at_vcrash_per_mbit:
+            raise CalibrationError(
+                f"{self.platform}: onset rate must lie strictly between 0 and the crash rate"
+            )
+        if not 0.0 <= self.never_faulty_fraction < 1.0:
+            raise CalibrationError(f"{self.platform}: never_faulty_fraction must be in [0, 1)")
+        if not 0.5 <= self.one_to_zero_fraction <= 1.0:
+            raise CalibrationError(f"{self.platform}: one_to_zero_fraction must be in [0.5, 1]")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def guardband_bram_fraction(self) -> float:
+        """Voltage guardband of VCCBRAM as a fraction of nominal (Fig. 1a)."""
+        return (self.vnom_v - self.vmin_bram_v) / self.vnom_v
+
+    @property
+    def guardband_int_fraction(self) -> float:
+        """Voltage guardband of VCCINT as a fraction of nominal (Fig. 1b)."""
+        return (self.vnom_v - self.vmin_int_v) / self.vnom_v
+
+    @property
+    def critical_window_v(self) -> float:
+        """Width of the CRITICAL region (Vmin - Vcrash) for VCCBRAM."""
+        return self.vmin_bram_v - self.vcrash_bram_v
+
+    @property
+    def exponential_slope_per_v(self) -> float:
+        """Slope ``k`` of ``R(V) = R_crash * exp(-k (V - Vcrash))``.
+
+        Anchored so the rate equals ``onset_rate_per_mbit`` one step below
+        ``Vmin`` and ``fault_rate_at_vcrash_per_mbit`` at ``Vcrash``.
+        """
+        return math.log(
+            self.fault_rate_at_vcrash_per_mbit / self.onset_rate_per_mbit
+        ) / self.critical_window_v
+
+    @property
+    def ripple_sigma_v(self) -> float:
+        """Run-to-run supply-noise sigma reproducing Table II's rate spread.
+
+        A small per-run voltage perturbation ``eps`` changes the expected
+        fault rate by ``k * R * eps`` to first order, so the published rate
+        standard deviation maps back to a voltage sigma.
+        """
+        slope = self.exponential_slope_per_v * self.fault_rate_at_vcrash_per_mbit
+        return self.run_std_per_mbit / slope
+
+    def rate_per_mbit(self, vccbram_v: float, temperature_c: float = 50.0) -> float:
+        """Analytic chip-level fault rate (faults per Mbit) at a voltage.
+
+        Above ``Vmin`` the rate is exactly zero (SAFE region); inside the
+        critical region it follows the calibrated exponential; temperature is
+        folded in through the ITD equivalent-voltage shift.  Below ``Vcrash``
+        the device does not operate, but the analytic curve is still defined
+        (extrapolated) so sweeps that probe one step too far get a finite
+        number before the crash is detected.
+        """
+        effective_v = vccbram_v + self.itd_v_per_degc * (temperature_c - 50.0)
+        if effective_v >= self.vmin_bram_v:
+            return 0.0
+        k = self.exponential_slope_per_v
+        return self.fault_rate_at_vcrash_per_mbit * math.exp(
+            -k * (effective_v - self.vcrash_bram_v)
+        )
+
+
+#: Calibrations for the four studied boards.  The BRAM-rail Vmin values are
+#: chosen so the across-platform average guardband is the published 39 %, the
+#: VCCINT values average to 34 %, and the remaining anchors follow the text.
+CALIBRATIONS: Dict[str, PlatformCalibration] = {
+    "VC707": PlatformCalibration(
+        platform="VC707",
+        vmin_bram_v=0.61,
+        vcrash_bram_v=0.54,
+        vmin_int_v=0.65,
+        vcrash_int_v=0.58,
+        fault_rate_at_vcrash_per_mbit=652.0,
+        onset_rate_per_mbit=2.0,
+        run_std_per_mbit=7.3,
+        never_faulty_fraction=0.389,
+        itd_v_per_degc=4.7e-4,
+        power_gamma_per_v=7.3,
+        bram_power_nominal_w=3.20,
+        vulnerability_sigma=1.55,
+    ),
+    "ZC702": PlatformCalibration(
+        platform="ZC702",
+        vmin_bram_v=0.61,
+        vcrash_bram_v=0.53,
+        vmin_int_v=0.67,
+        vcrash_int_v=0.60,
+        fault_rate_at_vcrash_per_mbit=153.0,
+        onset_rate_per_mbit=2.0,
+        run_std_per_mbit=5.9,
+        never_faulty_fraction=0.45,
+        itd_v_per_degc=2.0e-4,
+        power_gamma_per_v=6.8,
+        bram_power_nominal_w=0.180,
+        vulnerability_sigma=1.40,
+    ),
+    "KC705-A": PlatformCalibration(
+        platform="KC705-A",
+        vmin_bram_v=0.60,
+        vcrash_bram_v=0.53,
+        vmin_int_v=0.66,
+        vcrash_int_v=0.59,
+        fault_rate_at_vcrash_per_mbit=254.0,
+        onset_rate_per_mbit=2.0,
+        run_std_per_mbit=4.8,
+        never_faulty_fraction=0.42,
+        itd_v_per_degc=1.0e-4,
+        power_gamma_per_v=7.0,
+        bram_power_nominal_w=1.40,
+        vulnerability_sigma=1.45,
+    ),
+    "KC705-B": PlatformCalibration(
+        platform="KC705-B",
+        vmin_bram_v=0.62,
+        vcrash_bram_v=0.55,
+        vmin_int_v=0.66,
+        vcrash_int_v=0.59,
+        fault_rate_at_vcrash_per_mbit=60.0,
+        onset_rate_per_mbit=2.0,
+        run_std_per_mbit=1.8,
+        never_faulty_fraction=0.52,
+        itd_v_per_degc=1.2e-4,
+        power_gamma_per_v=7.0,
+        bram_power_nominal_w=1.35,
+        vulnerability_sigma=1.35,
+    ),
+}
+
+
+def get_calibration(platform: "str | PlatformSpec") -> PlatformCalibration:
+    """Calibration for one of the studied boards, by name or spec."""
+    name = platform.name if isinstance(platform, PlatformSpec) else get_platform(platform).name
+    try:
+        return CALIBRATIONS[name]
+    except KeyError as exc:  # pragma: no cover - get_platform already validates
+        raise CalibrationError(f"no calibration for platform {name!r}") from exc
+
+
+def average_guardband(rail: str = "VCCBRAM") -> float:
+    """Average guardband fraction across the four boards (paper: 39 % / 34 %)."""
+    if rail.upper() == "VCCBRAM":
+        values = [cal.guardband_bram_fraction for cal in CALIBRATIONS.values()]
+    elif rail.upper() == "VCCINT":
+        values = [cal.guardband_int_fraction for cal in CALIBRATIONS.values()]
+    else:
+        raise CalibrationError(f"unknown rail {rail!r}; expected VCCBRAM or VCCINT")
+    return sum(values) / len(values)
+
+
+def voltage_regions(calibration: PlatformCalibration, rail: str = "VCCBRAM") -> Dict[str, Tuple[float, float]]:
+    """The SAFE / CRITICAL / CRASH voltage regions of Fig. 1 for one board."""
+    if rail.upper() == "VCCBRAM":
+        vmin, vcrash = calibration.vmin_bram_v, calibration.vcrash_bram_v
+    elif rail.upper() == "VCCINT":
+        vmin, vcrash = calibration.vmin_int_v, calibration.vcrash_int_v
+    else:
+        raise CalibrationError(f"unknown rail {rail!r}; expected VCCBRAM or VCCINT")
+    return {
+        "SAFE": (vmin, calibration.vnom_v),
+        "CRITICAL": (vcrash, vmin),
+        "CRASH": (0.0, vcrash),
+    }

@@ -1,0 +1,272 @@
+"""Fault-characterization studies of Section II-C.
+
+The paper characterizes the undervolting faults along four axes:
+
+1. **data-pattern dependence** (Fig. 4) — the fault rate tracks the number of
+   stored ``1`` bits because almost all faults are ``1 -> 0`` flips;
+2. **stability over time** (Table II) — 100 consecutive reads at the same
+   voltage give nearly identical rates and identical locations;
+3. **variability among BRAMs** (Fig. 5) — per-BRAM rates are heavily skewed,
+   with a large never-faulty group;
+4. **flip direction** — 99.9 % of faults are ``1 -> 0``.
+
+Each study here is a pure function over a :class:`repro.core.faultmodel.FaultField`
+(plus parameters), returning small result dataclasses that the harness, the
+benchmarks and the tests all share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .faultmodel import FaultField
+from .temperature import REFERENCE_TEMPERATURE_C
+
+#: The data patterns studied in Fig. 4, in the order the figure lists them.
+STUDY_PATTERNS: Tuple[str, ...] = ("FFFF", "AAAA", "5555", "random50", "0000")
+
+
+class CharacterizationError(ValueError):
+    """Raised for invalid characterization-study parameters."""
+
+
+# ----------------------------------------------------------------------
+# 1. Data-pattern dependence (Fig. 4)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PatternStudyResult:
+    """Fault rate per Mbit for each studied data pattern."""
+
+    voltage_v: float
+    rates_per_mbit: Dict[str, float]
+
+    def rate(self, pattern: str) -> float:
+        """Rate for one pattern name."""
+        try:
+            return self.rates_per_mbit[pattern]
+        except KeyError as exc:
+            raise CharacterizationError(f"pattern {pattern!r} was not studied") from exc
+
+    def ratio(self, pattern_a: str, pattern_b: str) -> float:
+        """Rate ratio between two patterns (paper: FFFF is ~2x AAAA)."""
+        denominator = self.rate(pattern_b)
+        if denominator == 0:
+            return float("inf") if self.rate(pattern_a) > 0 else 1.0
+        return self.rate(pattern_a) / denominator
+
+
+def pattern_study(
+    field: FaultField,
+    voltage_v: float,
+    patterns: Sequence[str] = STUDY_PATTERNS,
+    temperature_c: float = REFERENCE_TEMPERATURE_C,
+) -> PatternStudyResult:
+    """Measure the chip fault rate for each initial data pattern (Fig. 4)."""
+    if not patterns:
+        raise CharacterizationError("at least one pattern is required")
+    rates = {
+        pattern: field.chip_fault_rate_per_mbit(
+            voltage_v, temperature_c=temperature_c, pattern=pattern
+        )
+        for pattern in patterns
+    }
+    return PatternStudyResult(voltage_v=voltage_v, rates_per_mbit=rates)
+
+
+# ----------------------------------------------------------------------
+# 2. Stability over time (Table II)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StabilityStudyResult:
+    """Statistics of the fault rate over repeated runs at a fixed voltage."""
+
+    voltage_v: float
+    n_runs: int
+    rates_per_mbit: Tuple[float, ...]
+    location_overlap: float
+
+    @property
+    def average(self) -> float:
+        """Mean fault rate over the runs (Table II row "AVERAGE")."""
+        return float(np.mean(self.rates_per_mbit))
+
+    @property
+    def minimum(self) -> float:
+        """Minimum fault rate over the runs."""
+        return float(np.min(self.rates_per_mbit))
+
+    @property
+    def maximum(self) -> float:
+        """Maximum fault rate over the runs."""
+        return float(np.max(self.rates_per_mbit))
+
+    @property
+    def std_dev(self) -> float:
+        """Standard deviation of the fault rate over the runs."""
+        return float(np.std(self.rates_per_mbit))
+
+    def as_table_row(self) -> Dict[str, float]:
+        """Table II-style summary for one platform."""
+        return {
+            "AVERAGE fault rate": self.average,
+            "MINIMUM fault rate": self.minimum,
+            "MAXIMUM fault rate": self.maximum,
+            "STD. DEV of fault rates": self.std_dev,
+        }
+
+
+def stability_study(
+    field: FaultField,
+    voltage_v: float,
+    n_runs: int = 100,
+    temperature_c: float = REFERENCE_TEMPERATURE_C,
+    pattern: str = "FFFF",
+    location_sample_brams: int = 64,
+) -> StabilityStudyResult:
+    """Repeat the read-back ``n_runs`` times and summarize the rate stability.
+
+    ``location_overlap`` is the mean Jaccard similarity between the fault
+    locations of the first run and each later run over a sample of BRAMs;
+    the paper observes that locations "do not change over time", i.e. the
+    overlap stays close to 1.
+    """
+    if n_runs < 2:
+        raise CharacterizationError("a stability study needs at least two runs")
+    counts = field.counts_over_runs(voltage_v, n_runs, temperature_c=temperature_c, pattern=pattern)
+    rates = tuple(float(c) / field.chip.brams.total_mbits for c in counts)
+
+    # Location stability over a deterministic sample of the most vulnerable BRAMs.
+    per_bram = field.per_bram_counts(voltage_v, temperature_c=temperature_c, pattern=pattern)
+    sample = np.argsort(per_bram)[::-1][:location_sample_brams]
+    overlaps: List[float] = []
+    reference: Dict[int, set] = {}
+    for bram_index in sample:
+        records = field.fault_sites(
+            int(bram_index), voltage_v, temperature_c=temperature_c, run_index=0, pattern=pattern
+        )
+        reference[int(bram_index)] = {(r.row, r.col) for r in records}
+    for run in (1, max(1, n_runs // 2), n_runs - 1):
+        for bram_index in sample:
+            records = field.fault_sites(
+                int(bram_index), voltage_v, temperature_c=temperature_c, run_index=run, pattern=pattern
+            )
+            observed = {(r.row, r.col) for r in records}
+            expected = reference[int(bram_index)]
+            union = observed | expected
+            if union:
+                overlaps.append(len(observed & expected) / len(union))
+    overlap = float(np.mean(overlaps)) if overlaps else 1.0
+    return StabilityStudyResult(
+        voltage_v=voltage_v,
+        n_runs=n_runs,
+        rates_per_mbit=rates,
+        location_overlap=overlap,
+    )
+
+
+# ----------------------------------------------------------------------
+# 3. Variability among BRAMs (Fig. 5)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class VariabilityStudyResult:
+    """Per-BRAM fault-rate dispersion at one voltage."""
+
+    voltage_v: float
+    per_bram_counts: Tuple[int, ...]
+    bram_bits: int
+
+    @property
+    def max_percent(self) -> float:
+        """Highest per-BRAM fault rate in percent (paper: 2.84 % on VC707)."""
+        return 100.0 * max(self.per_bram_counts) / self.bram_bits
+
+    @property
+    def min_percent(self) -> float:
+        """Lowest per-BRAM fault rate in percent (paper: 0 %)."""
+        return 100.0 * min(self.per_bram_counts) / self.bram_bits
+
+    @property
+    def mean_percent(self) -> float:
+        """Average per-BRAM fault rate in percent (paper: 0.04 % on VC707)."""
+        return 100.0 * float(np.mean(self.per_bram_counts)) / self.bram_bits
+
+    @property
+    def never_faulty_fraction(self) -> float:
+        """Fraction of BRAMs with zero faults at this voltage."""
+        counts = np.asarray(self.per_bram_counts)
+        return float(np.mean(counts == 0))
+
+    def gini_coefficient(self) -> float:
+        """Gini coefficient of the per-BRAM counts (1 = maximally skewed).
+
+        Not reported by the paper, but a convenient scalar for tests to assert
+        the "fully non-uniform" claim.
+        """
+        counts = np.sort(np.asarray(self.per_bram_counts, dtype=float))
+        total = counts.sum()
+        if total == 0:
+            return 0.0
+        n = len(counts)
+        cumulative = np.cumsum(counts)
+        return float((n + 1 - 2 * (cumulative / total).sum()) / n)
+
+
+def variability_study(
+    field: FaultField,
+    voltage_v: float,
+    temperature_c: float = REFERENCE_TEMPERATURE_C,
+    pattern: str = "FFFF",
+) -> VariabilityStudyResult:
+    """Per-BRAM fault-count dispersion at one voltage (Fig. 5's raw data)."""
+    counts = field.per_bram_counts(voltage_v, temperature_c=temperature_c, pattern=pattern)
+    return VariabilityStudyResult(
+        voltage_v=voltage_v,
+        per_bram_counts=tuple(int(c) for c in counts),
+        bram_bits=field.chip.spec.bram_rows * field.chip.spec.bram_cols,
+    )
+
+
+# ----------------------------------------------------------------------
+# 4. Flip-direction study
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FlipDirectionResult:
+    """Share of ``1 -> 0`` versus ``0 -> 1`` faults."""
+
+    one_to_zero: int
+    zero_to_one: int
+
+    @property
+    def one_to_zero_fraction(self) -> float:
+        """Fraction of faults that are ``1 -> 0`` (paper: 99.9 %)."""
+        total = self.one_to_zero + self.zero_to_one
+        if total == 0:
+            return 1.0
+        return self.one_to_zero / total
+
+
+def flip_direction_study(
+    field: FaultField,
+    voltage_v: float,
+    temperature_c: float = REFERENCE_TEMPERATURE_C,
+) -> FlipDirectionResult:
+    """Count flip directions with a mixed pattern so both directions can fire.
+
+    The study uses the 0xAAAA pattern (alternating bits) so that both
+    ``1 -> 0`` and ``0 -> 1`` vulnerable cells have stored values they can
+    corrupt, then counts each direction across the chip.
+    """
+    one_to_zero = 0
+    zero_to_one = 0
+    for bram_index in range(field.chip.spec.n_brams):
+        for record in field.fault_sites(
+            bram_index, voltage_v, temperature_c=temperature_c, pattern="AAAA"
+        ):
+            if record.is_one_to_zero:
+                one_to_zero += 1
+            else:
+                zero_to_one += 1
+    return FlipDirectionResult(one_to_zero=one_to_zero, zero_to_one=zero_to_one)

@@ -1,0 +1,169 @@
+"""Vulnerability clustering of BRAMs (low / mid / high classes).
+
+Section II-C-3 of the paper clusters the per-BRAM fault rates observed at
+``Vcrash`` with the k-means algorithm into low-, mid- and high-vulnerable
+classes (Fig. 5): on VC707, 88.6 % of BRAMs land in the low-vulnerable class
+with an average per-BRAM fault rate of ~0.02 %.  The ICBP mitigation then
+steers the most sensitive NN layer into the low-vulnerable class.
+
+The reproduction implements one-dimensional Lloyd's k-means directly (no
+external dependency beyond NumPy) with a deterministic quantile-based
+initialisation, so clustering the same map twice always gives the same
+classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+#: Ordered class names used throughout the reproduction.
+CLASS_NAMES = ("low", "mid", "high")
+
+
+class ClusteringError(ValueError):
+    """Raised for degenerate clustering inputs."""
+
+
+@dataclass(frozen=True)
+class VulnerabilityCluster:
+    """One k-means class of BRAMs."""
+
+    name: str
+    centroid: float
+    bram_indices: Tuple[int, ...]
+    mean_fault_rate: float
+
+    @property
+    def size(self) -> int:
+        """Number of BRAMs in the class."""
+        return len(self.bram_indices)
+
+
+@dataclass(frozen=True)
+class ClusteringResult:
+    """Full clustering of one chip's per-BRAM fault rates."""
+
+    clusters: Tuple[VulnerabilityCluster, ...]
+    labels: Tuple[str, ...]
+    n_brams: int
+
+    def cluster(self, name: str) -> VulnerabilityCluster:
+        """Look up a class by name ("low", "mid" or "high")."""
+        for cluster in self.clusters:
+            if cluster.name == name:
+                return cluster
+        raise ClusteringError(f"no cluster named {name!r}")
+
+    def fraction(self, name: str) -> float:
+        """Fraction of BRAMs in a class (Fig. 5 reports 88.6 % low on VC707)."""
+        return self.cluster(name).size / self.n_brams
+
+    def label_of(self, bram_index: int) -> str:
+        """Class label of one BRAM."""
+        if not 0 <= bram_index < self.n_brams:
+            raise ClusteringError(f"BRAM index {bram_index} out of range")
+        return self.labels[bram_index]
+
+    def indices_of(self, name: str) -> Tuple[int, ...]:
+        """BRAM indices belonging to a class."""
+        return self.cluster(name).bram_indices
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-class size fraction and mean rate, for tables and benches."""
+        return {
+            cluster.name: {
+                "fraction": cluster.size / self.n_brams,
+                "count": float(cluster.size),
+                "mean_fault_rate": cluster.mean_fault_rate,
+                "centroid": cluster.centroid,
+            }
+            for cluster in self.clusters
+        }
+
+
+def _kmeans_1d(values: np.ndarray, k: int, max_iterations: int = 200) -> Tuple[np.ndarray, np.ndarray]:
+    """Lloyd's algorithm in one dimension with quantile initialisation."""
+    if k <= 0:
+        raise ClusteringError("k must be positive")
+    unique = np.unique(values)
+    if len(unique) < k:
+        # Degenerate input (e.g. all-zero map); spread centroids over the
+        # available distinct values and pad with the maximum.
+        centroids = np.concatenate([unique, np.full(k - len(unique), unique.max())]).astype(float)
+    else:
+        quantiles = np.linspace(0.0, 1.0, k + 2)[1:-1]
+        centroids = np.quantile(values, quantiles).astype(float)
+        centroids = np.sort(centroids)
+    assignments = np.zeros(len(values), dtype=np.int64)
+    for _ in range(max_iterations):
+        distances = np.abs(values[:, None] - centroids[None, :])
+        new_assignments = distances.argmin(axis=1)
+        new_centroids = centroids.copy()
+        for j in range(k):
+            members = values[new_assignments == j]
+            if len(members):
+                new_centroids[j] = members.mean()
+        if np.array_equal(new_assignments, assignments) and np.allclose(new_centroids, centroids):
+            break
+        assignments, centroids = new_assignments, new_centroids
+    order = np.argsort(centroids)
+    remap = np.empty_like(order)
+    remap[order] = np.arange(k)
+    return remap[assignments], centroids[order]
+
+
+def cluster_bram_vulnerability(
+    per_bram_fault_counts: Sequence[int],
+    bram_bits: int = 16 * 1024,
+    k: int = 3,
+) -> ClusteringResult:
+    """Cluster per-BRAM fault counts into ``k`` vulnerability classes.
+
+    Parameters
+    ----------
+    per_bram_fault_counts:
+        Observed fault count of every BRAM at the studied voltage
+        (typically ``Vcrash``), indexed by dense BRAM index.
+    bram_bits:
+        Bits per BRAM, used to convert counts to the percentage rates the
+        paper reports.
+    k:
+        Number of classes; the paper uses 3 (low/mid/high).
+    """
+    counts = np.asarray(per_bram_fault_counts, dtype=float)
+    if counts.ndim != 1 or len(counts) == 0:
+        raise ClusteringError("per_bram_fault_counts must be a non-empty 1-D sequence")
+    if (counts < 0).any():
+        raise ClusteringError("fault counts cannot be negative")
+    if k > len(CLASS_NAMES):
+        raise ClusteringError(f"at most {len(CLASS_NAMES)} classes are supported")
+
+    rates = counts / bram_bits
+    labels_idx, centroids = _kmeans_1d(rates, k)
+
+    clusters: List[VulnerabilityCluster] = []
+    label_names: List[str] = [CLASS_NAMES[i] for i in labels_idx]
+    for class_idx in range(k):
+        members = np.flatnonzero(labels_idx == class_idx)
+        mean_rate = float(rates[members].mean()) if len(members) else 0.0
+        clusters.append(
+            VulnerabilityCluster(
+                name=CLASS_NAMES[class_idx],
+                centroid=float(centroids[class_idx]),
+                bram_indices=tuple(int(i) for i in members),
+                mean_fault_rate=mean_rate,
+            )
+        )
+    return ClusteringResult(
+        clusters=tuple(clusters),
+        labels=tuple(label_names),
+        n_brams=len(counts),
+    )
+
+
+def low_vulnerable_indices(result: ClusteringResult) -> Tuple[int, ...]:
+    """Indices of low-vulnerable BRAMs — the allow-list ICBP builds Pblocks from."""
+    return result.indices_of("low")

@@ -1,0 +1,236 @@
+"""Fault Variation Map (FVM) construction and queries.
+
+The paper's key enabler for low-overhead mitigation is the FVM: a
+chip-dependent map from every BRAM's *physical* location to its observed
+undervolting fault behaviour (Fig. 6 for VC707, Fig. 7 for the KC705 pair).
+Because the faults are deterministic, the FVM is extracted once as a
+pre-processing step and then reused at design time — ICBP consumes the FVM to
+decide which physical BRAMs are safe to place sensitive data into.
+
+An :class:`FvmEntry` records, per BRAM, the physical coordinates and the
+fault count at each swept voltage; the :class:`FaultVariationMap` aggregates
+them and offers the queries the rest of the system needs (per-voltage grids,
+vulnerability classification, low-vulnerable allow-lists, comparison between
+two dies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.fpga.floorplan import Floorplan
+
+from .clustering import ClusteringResult, cluster_bram_vulnerability
+
+
+class FvmError(ValueError):
+    """Raised for malformed FVM construction or queries."""
+
+
+@dataclass(frozen=True)
+class FvmEntry:
+    """Fault behaviour of one physical BRAM across the swept voltages."""
+
+    bram_index: int
+    x: int
+    y: int
+    fault_counts: Tuple[int, ...]
+
+    def total_faults(self) -> int:
+        """Fault count summed over all swept voltages (used for map rendering)."""
+        return int(sum(self.fault_counts))
+
+    def count_at(self, voltage_index: int) -> int:
+        """Fault count at one swept voltage step."""
+        return self.fault_counts[voltage_index]
+
+
+@dataclass
+class FaultVariationMap:
+    """Chip-dependent map of per-BRAM undervolting fault behaviour."""
+
+    platform: str
+    voltages_v: Tuple[float, ...]
+    entries: Tuple[FvmEntry, ...]
+    bram_bits: int = 16 * 1024
+    _clustering: Optional[ClusteringResult] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.entries:
+            raise FvmError("an FVM needs at least one BRAM entry")
+        expected = len(self.voltages_v)
+        for entry in self.entries:
+            if len(entry.fault_counts) != expected:
+                raise FvmError(
+                    f"BRAM {entry.bram_index} has {len(entry.fault_counts)} counts "
+                    f"for {expected} swept voltages"
+                )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_counts(
+        cls,
+        platform: str,
+        floorplan: Floorplan,
+        voltages_v: Sequence[float],
+        counts_by_voltage: Sequence[Sequence[int]],
+        bram_bits: int = 16 * 1024,
+    ) -> "FaultVariationMap":
+        """Build an FVM from per-voltage count vectors.
+
+        ``counts_by_voltage[i][b]`` is the fault count of BRAM ``b`` at swept
+        voltage ``voltages_v[i]``.
+        """
+        if len(counts_by_voltage) != len(voltages_v):
+            raise FvmError("need one count vector per swept voltage")
+        n_brams = floorplan.n_brams
+        for vector in counts_by_voltage:
+            if len(vector) != n_brams:
+                raise FvmError("count vectors must cover every BRAM on the die")
+        entries: List[FvmEntry] = []
+        for bram_index in range(n_brams):
+            x, y = floorplan.coordinates(bram_index)
+            per_voltage = tuple(int(counts_by_voltage[v][bram_index]) for v in range(len(voltages_v)))
+            entries.append(FvmEntry(bram_index=bram_index, x=x, y=y, fault_counts=per_voltage))
+        return cls(
+            platform=platform,
+            voltages_v=tuple(float(v) for v in voltages_v),
+            entries=tuple(entries),
+            bram_bits=bram_bits,
+        )
+
+    # ------------------------------------------------------------------
+    # Scalar summaries
+    # ------------------------------------------------------------------
+    @property
+    def n_brams(self) -> int:
+        """Number of BRAMs covered by the map."""
+        return len(self.entries)
+
+    def counts_at_lowest_voltage(self) -> np.ndarray:
+        """Per-BRAM counts at the lowest swept voltage (``Vcrash`` in the paper)."""
+        lowest_index = int(np.argmin(self.voltages_v))
+        return np.array([entry.fault_counts[lowest_index] for entry in self.entries], dtype=np.int64)
+
+    def per_bram_rates_percent(self) -> np.ndarray:
+        """Per-BRAM fault rate at the lowest voltage, in percent of the BRAM bits."""
+        return 100.0 * self.counts_at_lowest_voltage() / self.bram_bits
+
+    def never_faulty_fraction(self) -> float:
+        """Fraction of BRAMs with zero faults across the entire sweep."""
+        totals = np.array([entry.total_faults() for entry in self.entries])
+        return float(np.mean(totals == 0))
+
+    def statistics(self) -> Dict[str, float]:
+        """Max / min / mean per-BRAM rate at the lowest voltage (Fig. 5 text)."""
+        rates = self.per_bram_rates_percent()
+        return {
+            "max_percent": float(rates.max()),
+            "min_percent": float(rates.min()),
+            "mean_percent": float(rates.mean()),
+            "never_faulty_fraction": self.never_faulty_fraction(),
+        }
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    def clustering(self, k: int = 3) -> ClusteringResult:
+        """K-means vulnerability classes over the map (cached for k=3)."""
+        if k == 3 and self._clustering is not None:
+            return self._clustering
+        result = cluster_bram_vulnerability(
+            self.counts_at_lowest_voltage(), bram_bits=self.bram_bits, k=k
+        )
+        if k == 3:
+            self._clustering = result
+        return result
+
+    def low_vulnerable_brams(self) -> Tuple[int, ...]:
+        """Physical BRAM indices classified as low-vulnerable."""
+        return self.clustering().indices_of("low")
+
+    def high_vulnerable_brams(self) -> Tuple[int, ...]:
+        """Physical BRAM indices classified as high-vulnerable."""
+        return self.clustering().indices_of("high")
+
+    def fault_free_brams(self) -> Tuple[int, ...]:
+        """Physical BRAM indices with zero faults across the whole sweep."""
+        return tuple(
+            entry.bram_index for entry in self.entries if entry.total_faults() == 0
+        )
+
+    def vulnerability_rank(self) -> List[int]:
+        """BRAM indices sorted from least to most vulnerable.
+
+        Ties (e.g. the large fault-free group) are broken by index so the
+        ordering is deterministic.
+        """
+        counts = self.counts_at_lowest_voltage()
+        return [int(i) for i in np.lexsort((np.arange(self.n_brams), counts))]
+
+    # ------------------------------------------------------------------
+    # Rendering / comparison
+    # ------------------------------------------------------------------
+    def to_grid(self, floorplan: Floorplan, voltage_index: Optional[int] = None) -> np.ndarray:
+        """Render the map onto the physical grid; empty sites hold ``-1``.
+
+        ``voltage_index`` selects one swept voltage; ``None`` sums the sweep,
+        which is how Fig. 6 aggregates the 10 mV steps from Vmin to Vcrash.
+        """
+        height = floorplan.grid_height or 0
+        grid = -np.ones((floorplan.n_columns, height), dtype=np.int64)
+        for entry in self.entries:
+            value = entry.total_faults() if voltage_index is None else entry.count_at(voltage_index)
+            grid[entry.x, entry.y] = value
+        return grid
+
+    def ascii_map(self, floorplan: Floorplan, width: int = 72) -> str:
+        """Coarse ASCII rendering of the FVM for terminal/bench output."""
+        grid = self.to_grid(floorplan)
+        symbols = []
+        clustering = self.clustering()
+        for y in range((floorplan.grid_height or 0) - 1, -1, -1):
+            row_chars = []
+            for x in range(floorplan.n_columns):
+                value = grid[x, y]
+                if value < 0:
+                    row_chars.append(" ")
+                else:
+                    index = floorplan.index_at(x, y)
+                    label = clustering.label_of(index) if index is not None else "low"
+                    row_chars.append({"low": ".", "mid": "o", "high": "#"}[label])
+            symbols.append("".join(row_chars)[:width])
+        return "\n".join(symbols)
+
+    def compare(self, other: "FaultVariationMap") -> Dict[str, float]:
+        """Quantify how different two dies' maps are (Fig. 7 analysis).
+
+        Returns the rate ratio at the lowest voltage, the Pearson correlation
+        of the per-BRAM counts and the Jaccard overlap of the high-vulnerable
+        sets.  Two KC705 dies should show a rate ratio around 4x, negligible
+        correlation and little overlap.
+        """
+        if self.n_brams != other.n_brams:
+            raise FvmError("cannot compare FVMs of different BRAM counts")
+        mine = self.counts_at_lowest_voltage().astype(float)
+        theirs = other.counts_at_lowest_voltage().astype(float)
+        total_mine, total_theirs = mine.sum(), theirs.sum()
+        ratio = float(total_mine / total_theirs) if total_theirs > 0 else float("inf")
+        if mine.std() == 0 or theirs.std() == 0:
+            correlation = 0.0
+        else:
+            correlation = float(np.corrcoef(mine, theirs)[0, 1])
+        high_mine = set(self.high_vulnerable_brams())
+        high_theirs = set(other.high_vulnerable_brams())
+        union = high_mine | high_theirs
+        jaccard = len(high_mine & high_theirs) / len(union) if union else 0.0
+        return {
+            "rate_ratio": ratio,
+            "count_correlation": correlation,
+            "high_class_jaccard": jaccard,
+        }

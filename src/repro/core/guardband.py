@@ -1,0 +1,134 @@
+"""Detection of Vmin, Vcrash and the voltage guardband from sweep data.
+
+Fig. 1 of the paper splits the voltage axis of each rail into three regions:
+
+* **SAFE** — from the nominal voltage down to ``Vmin``: no observable fault;
+* **CRITICAL** — from ``Vmin`` down to ``Vcrash``: faults manifest with an
+  exponentially growing rate;
+* **CRASH** — below ``Vcrash``: the design stops operating (DONE de-asserts).
+
+On hardware these thresholds are *discovered* by sweeping the rail downwards
+and watching the read-back data and the DONE pin.  This module implements that
+discovery on top of sweep results, so the reproduction derives the guardband
+the same way the paper does rather than reading it out of the calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class GuardbandError(ValueError):
+    """Raised when sweep data is insufficient to locate the thresholds."""
+
+
+@dataclass(frozen=True)
+class SweepObservation:
+    """One voltage step of a downward sweep."""
+
+    voltage_v: float
+    fault_count: int
+    operational: bool
+
+    def __post_init__(self) -> None:
+        if self.fault_count < 0:
+            raise GuardbandError("fault counts cannot be negative")
+
+
+@dataclass(frozen=True)
+class GuardbandResult:
+    """Discovered voltage regions for one rail of one platform."""
+
+    nominal_v: float
+    vmin_v: float
+    vcrash_v: float
+
+    @property
+    def guardband_v(self) -> float:
+        """Width of the SAFE region below nominal, in volts."""
+        return self.nominal_v - self.vmin_v
+
+    @property
+    def guardband_fraction(self) -> float:
+        """Guardband as a fraction of the nominal voltage (Fig. 1's 39 %/34 %)."""
+        return self.guardband_v / self.nominal_v
+
+    @property
+    def critical_window_v(self) -> float:
+        """Width of the CRITICAL region, in volts."""
+        return self.vmin_v - self.vcrash_v
+
+    def regions(self) -> Dict[str, Tuple[float, float]]:
+        """SAFE / CRITICAL / CRASH intervals as ``(low, high)`` tuples."""
+        return {
+            "SAFE": (self.vmin_v, self.nominal_v),
+            "CRITICAL": (self.vcrash_v, self.vmin_v),
+            "CRASH": (0.0, self.vcrash_v),
+        }
+
+    def classify(self, voltage_v: float) -> str:
+        """Region name for an operating voltage."""
+        if voltage_v >= self.vmin_v:
+            return "SAFE"
+        if voltage_v >= self.vcrash_v:
+            return "CRITICAL"
+        return "CRASH"
+
+
+def detect_guardband(
+    observations: Sequence[SweepObservation],
+    nominal_v: float = 1.0,
+) -> GuardbandResult:
+    """Locate Vmin and Vcrash from a downward voltage sweep.
+
+    ``Vmin`` is the lowest voltage at which the design still operates with
+    zero observed faults; ``Vcrash`` is the lowest voltage at which the design
+    operates at all.  Observations may be given in any order; they are sorted
+    by voltage internally.
+    """
+    if not observations:
+        raise GuardbandError("cannot detect a guardband from an empty sweep")
+    ordered = sorted(observations, key=lambda obs: obs.voltage_v, reverse=True)
+
+    operational = [obs for obs in ordered if obs.operational]
+    if not operational:
+        raise GuardbandError("the design never operated during the sweep")
+
+    fault_free = [obs for obs in operational if obs.fault_count == 0]
+    if not fault_free:
+        raise GuardbandError(
+            "no fault-free operating point observed; sweep must start at or above Vmin"
+        )
+
+    vmin = min(obs.voltage_v for obs in fault_free)
+    vcrash = min(obs.voltage_v for obs in operational)
+    if vcrash > vmin:
+        # Degenerate sweep that never entered the critical region.
+        vcrash = vmin
+    return GuardbandResult(nominal_v=nominal_v, vmin_v=vmin, vcrash_v=vcrash)
+
+
+def average_guardband_fraction(results: Sequence[GuardbandResult]) -> float:
+    """Average guardband fraction across platforms (the headline 39 % / 34 %)."""
+    if not results:
+        raise GuardbandError("no guardband results to average")
+    return sum(result.guardband_fraction for result in results) / len(results)
+
+
+def power_saving_summary(
+    results: Dict[str, GuardbandResult],
+    reduction_factors: Dict[str, float],
+) -> List[Tuple[str, float, float]]:
+    """Join guardband and power results into Fig. 1-style summary rows.
+
+    Returns ``(platform, guardband_fraction, power_reduction_factor)`` rows in
+    the given platform order.
+    """
+    rows: List[Tuple[str, float, float]] = []
+    for platform, result in results.items():
+        factor = reduction_factors.get(platform)
+        if factor is None:
+            raise GuardbandError(f"missing power reduction factor for {platform}")
+        rows.append((platform, result.guardband_fraction, factor))
+    return rows

@@ -1,0 +1,74 @@
+"""Inverse Thermal Dependence (ITD) model.
+
+Section II-D of the paper heats the boards from 50 °C to 80 °C inside a heat
+chamber and observes that the undervolting fault rate *decreases* with
+temperature — by more than 3x on VC707 — because at near-threshold supply
+voltages a hotter die has a lower threshold voltage, switches faster and
+therefore meets timing on more paths (the ITD property of deep-nanometre
+nodes).
+
+The reproduction folds temperature into the fault model as an *equivalent
+voltage shift*: operating at ``V`` and ``T`` behaves like operating at
+``V + itd_coefficient * (T - T_ref)`` at the reference temperature.  The
+coefficient is per-platform (performance-optimized VC707 responds more
+strongly than the power-optimized KC705) and calibrated in
+:mod:`repro.core.calibration`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The paper's default on-board temperature during all non-heated experiments.
+REFERENCE_TEMPERATURE_C = 50.0
+
+#: Temperatures studied in Fig. 8.
+STUDY_TEMPERATURES_C = (50.0, 60.0, 70.0, 80.0)
+
+
+class TemperatureError(ValueError):
+    """Raised for physically meaningless temperature-model parameters."""
+
+
+@dataclass(frozen=True)
+class ItdModel:
+    """Linear equivalent-voltage shift per degree Celsius.
+
+    Attributes
+    ----------
+    v_per_degc:
+        Equivalent voltage gained per degree above the reference temperature.
+        Positive values encode ITD (hotter means fewer faults); zero disables
+        the effect (used by the ablation benchmarks).
+    reference_c:
+        Temperature at which the calibration anchors were measured.
+    """
+
+    v_per_degc: float
+    reference_c: float = REFERENCE_TEMPERATURE_C
+
+    def __post_init__(self) -> None:
+        if self.v_per_degc < 0:
+            raise TemperatureError(
+                "ITD coefficient must be non-negative; a negative value would "
+                "mean hotter silicon fails more at low voltage, the opposite of ITD"
+            )
+
+    def voltage_shift(self, temperature_c: float) -> float:
+        """Equivalent voltage shift at ``temperature_c`` (can be negative below ref)."""
+        return self.v_per_degc * (temperature_c - self.reference_c)
+
+    def effective_voltage(self, vccbram_v: float, temperature_c: float) -> float:
+        """Voltage the fault model should evaluate at for a (V, T) operating point."""
+        return vccbram_v + self.voltage_shift(temperature_c)
+
+    def rate_scaling(self, slope_per_v: float, temperature_c: float) -> float:
+        """Multiplicative fault-rate factor relative to the reference temperature.
+
+        For an exponential rate model with slope ``k``, a voltage shift of
+        ``delta`` scales the rate by ``exp(-k * delta)``; this helper exposes
+        that factor for analytic checks and the temperature benchmark.
+        """
+        import math
+
+        return math.exp(-slope_per_v * self.voltage_shift(temperature_c))

@@ -1,0 +1,191 @@
+"""Process-variation model for per-BRAM vulnerability.
+
+The paper attributes two of its key findings to manufacturing process
+variation:
+
+* *within-die* variation — fault rates are fully non-uniform across the BRAMs
+  of one chip (Fig. 5 / Fig. 6): a large fraction never fault at all, most
+  fault rarely, and a small heavy tail faults heavily;
+* *die-to-die* variation — two boards with the identical part number
+  (KC705-A/B) show a 4.1x different fault rate and unrelated fault maps
+  (Fig. 7).
+
+This module produces the per-BRAM *vulnerability weights* that encode both
+effects.  A weight is a non-negative number proportional to the expected
+number of vulnerable bitcells in that BRAM; weights are deterministic
+functions of the chip seed (derived from the board serial number) and the
+BRAM's physical location, so re-building the field always yields the same
+map — the determinism the ICBP mitigation relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.fpga.floorplan import Floorplan
+
+
+class VariationError(ValueError):
+    """Raised for invalid variation-model configurations."""
+
+
+@dataclass(frozen=True)
+class VariationConfig:
+    """Tunable knobs of the within-die variation field.
+
+    Attributes
+    ----------
+    never_faulty_fraction:
+        Fraction of BRAMs whose weight is forced to exactly zero (38.9 % on
+        VC707 per Fig. 5).
+    lognormal_sigma:
+        Sigma of the per-BRAM log-normal factor; larger values produce the
+        heavier tail seen on the performance-optimized VC707.
+    spatial_components:
+        Number of low-frequency spatial waves combined into the systematic
+        within-die component.
+    spatial_strength:
+        Relative amplitude of the systematic component versus the random
+        per-BRAM component (0 disables spatial correlation).
+    """
+
+    never_faulty_fraction: float = 0.40
+    lognormal_sigma: float = 1.5
+    spatial_components: int = 4
+    spatial_strength: float = 0.6
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.never_faulty_fraction < 1.0:
+            raise VariationError("never_faulty_fraction must be in [0, 1)")
+        if self.lognormal_sigma < 0:
+            raise VariationError("lognormal_sigma must be non-negative")
+        if self.spatial_components < 0:
+            raise VariationError("spatial_components must be non-negative")
+        if not 0.0 <= self.spatial_strength <= 1.0:
+            raise VariationError("spatial_strength must be in [0, 1]")
+
+
+class ProcessVariationField:
+    """Deterministic per-BRAM vulnerability weights over one die.
+
+    Parameters
+    ----------
+    floorplan:
+        Physical layout of the die; the systematic component is a smooth
+        function of the (x, y) site coordinates.
+    seed:
+        Per-die seed (derived from the board serial number).  Different seeds
+        give uncorrelated maps, which is how die-to-die variation appears.
+    config:
+        Within-die variation knobs.
+    """
+
+    def __init__(
+        self,
+        floorplan: Floorplan,
+        seed: int,
+        config: Optional[VariationConfig] = None,
+    ) -> None:
+        self.floorplan = floorplan
+        self.seed = int(seed)
+        self.config = config or VariationConfig()
+        self._weights: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Field construction
+    # ------------------------------------------------------------------
+    def _spatial_component(self, coords: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Smooth systematic within-die component in ``[0, 1]`` per BRAM."""
+        cfg = self.config
+        if cfg.spatial_components == 0 or cfg.spatial_strength == 0.0:
+            return np.zeros(len(coords))
+        x = coords[:, 0].astype(float)
+        y = coords[:, 1].astype(float)
+        x_span = max(float(x.max()) - float(x.min()), 1.0)
+        y_span = max(float(y.max()) - float(y.min()), 1.0)
+        field = np.zeros(len(coords))
+        for _ in range(cfg.spatial_components):
+            freq_x = rng.uniform(0.5, 2.0) * np.pi / x_span
+            freq_y = rng.uniform(0.5, 2.0) * np.pi / y_span
+            phase_x = rng.uniform(0, 2 * np.pi)
+            phase_y = rng.uniform(0, 2 * np.pi)
+            amplitude = rng.uniform(0.5, 1.0)
+            field += amplitude * np.cos(freq_x * x + phase_x) * np.cos(freq_y * y + phase_y)
+        # Normalize to [0, 1].
+        field -= field.min()
+        peak = field.max()
+        if peak > 0:
+            field /= peak
+        return field
+
+    def _build(self) -> np.ndarray:
+        cfg = self.config
+        n = self.floorplan.n_brams
+        rng = np.random.default_rng(self.seed)
+        coords = np.array([self.floorplan.coordinates(i) for i in range(n)])
+
+        systematic = self._spatial_component(coords, rng)
+        random_factor = rng.lognormal(mean=0.0, sigma=cfg.lognormal_sigma, size=n)
+
+        combined = random_factor * (
+            (1.0 - cfg.spatial_strength) + cfg.spatial_strength * (0.25 + 1.5 * systematic)
+        )
+
+        # Force the calibrated fraction of BRAMs to be completely fault-free.
+        # The cut is taken on the combined weight so fault-free BRAMs tend to
+        # cluster in the "strong" regions of the die, as the FVM figures show.
+        n_zero = int(round(cfg.never_faulty_fraction * n))
+        if n_zero > 0:
+            order = np.argsort(combined)
+            combined = combined.copy()
+            combined[order[:n_zero]] = 0.0
+
+        total = combined.sum()
+        if total <= 0:
+            raise VariationError("variation field collapsed to all-zero weights")
+        return combined / total
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def weights(self) -> np.ndarray:
+        """Normalized per-BRAM vulnerability weights (sum to 1)."""
+        if self._weights is None:
+            self._weights = self._build()
+        return self._weights
+
+    def weight_of(self, bram_index: int) -> float:
+        """Vulnerability weight of one BRAM."""
+        return float(self.weights[bram_index])
+
+    def never_faulty_indices(self) -> np.ndarray:
+        """Dense indices of BRAMs with zero vulnerability."""
+        return np.flatnonzero(self.weights == 0.0)
+
+    def never_faulty_fraction(self) -> float:
+        """Realized fraction of fault-free BRAMs (matches the config target)."""
+        return float(np.mean(self.weights == 0.0))
+
+    def expected_cell_counts(self, total_vulnerable_cells: float) -> np.ndarray:
+        """Expected vulnerable-cell count per BRAM for a chip-level total."""
+        if total_vulnerable_cells < 0:
+            raise VariationError("total_vulnerable_cells must be non-negative")
+        return self.weights * total_vulnerable_cells
+
+    def correlation_with(self, other: "ProcessVariationField") -> float:
+        """Pearson correlation between two dies' weight maps.
+
+        Used by the die-to-die analysis (Fig. 7): two KC705 dies should show
+        essentially no correlation, whereas re-building the same die's field
+        must give correlation 1.
+        """
+        a, b = self.weights, other.weights
+        if len(a) != len(b):
+            raise VariationError("cannot correlate maps of different sizes")
+        if np.allclose(a.std(), 0) or np.allclose(b.std(), 0):
+            return 0.0
+        return float(np.corrcoef(a, b)[0, 1])

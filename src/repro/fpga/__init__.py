@@ -1,0 +1,104 @@
+"""FPGA platform substrate: BRAMs, floorplan, voltage rails, placement.
+
+This subpackage models the structural pieces of the studied Xilinx boards
+(Table I of the paper): ideal BRAM storage, the physical floorplan used for
+Fault Variation Maps, the multi-rail voltage regulator, resource budgets, and
+the Pblock-constrained placement step that the ICBP mitigation hooks into.
+
+Electrical misbehaviour under reduced voltage is deliberately *not* modelled
+here; it lives in :mod:`repro.core` and is applied on top of the ideal storage
+by the experiment harness.
+"""
+
+from .bram import (
+    Bram,
+    BramError,
+    BramPool,
+    CascadedMemory,
+    DEFAULT_COLS,
+    DEFAULT_ROWS,
+    data_pattern,
+)
+from .bitstream import (
+    Bitstream,
+    ConfigurationError,
+    ConfiguredDevice,
+    CrashError,
+    Design,
+    compile_design,
+)
+from .floorplan import BramSite, Floorplan, FloorplanError
+from .pblock import ConstraintSet, Pblock, PblockError
+from .placer import BramPlacer, LogicalBram, Placement, PlacementError
+from .platform import (
+    ALL_PLATFORMS,
+    FpgaChip,
+    KC705_A,
+    KC705_B,
+    PlatformError,
+    PlatformSpec,
+    VC707,
+    ZC702,
+    chip_seed,
+    get_platform,
+    platform_names,
+)
+from .resources import ResourceBudget, ResourceError, Utilization
+from .voltage import (
+    DEFAULT_STEP_V,
+    NOMINAL_VOLTAGE,
+    VCCAUX,
+    VCCBRAM,
+    VCCINT,
+    VoltageError,
+    VoltageRail,
+    VoltageRegulator,
+)
+
+__all__ = [
+    "ALL_PLATFORMS",
+    "Bitstream",
+    "Bram",
+    "BramError",
+    "BramPlacer",
+    "BramPool",
+    "BramSite",
+    "CascadedMemory",
+    "ConfigurationError",
+    "ConfiguredDevice",
+    "ConstraintSet",
+    "CrashError",
+    "DEFAULT_COLS",
+    "DEFAULT_ROWS",
+    "DEFAULT_STEP_V",
+    "Design",
+    "Floorplan",
+    "FloorplanError",
+    "FpgaChip",
+    "KC705_A",
+    "KC705_B",
+    "LogicalBram",
+    "NOMINAL_VOLTAGE",
+    "Pblock",
+    "PblockError",
+    "Placement",
+    "PlacementError",
+    "PlatformError",
+    "PlatformSpec",
+    "ResourceBudget",
+    "ResourceError",
+    "Utilization",
+    "VC707",
+    "VCCAUX",
+    "VCCBRAM",
+    "VCCINT",
+    "VoltageError",
+    "VoltageRail",
+    "VoltageRegulator",
+    "ZC702",
+    "chip_seed",
+    "compile_design",
+    "data_pattern",
+    "get_platform",
+    "platform_names",
+]

@@ -1,0 +1,144 @@
+"""Design/bitstream abstraction and device configuration state.
+
+On real hardware the experiments interact with a configured design: a
+bitstream is loaded over JTAG, the DONE pin goes high, and from then on the
+host talks to the design (BRAM read-back logic, UART bridge).  The paper notes
+that below ``Vcrash`` the DONE pin is observed unset — the device effectively
+loses its configuration and stops operating.
+
+This module models that life-cycle:  a :class:`Design` bundles the logical
+BRAMs and resource needs, :class:`ConfiguredDevice` tracks DONE/crash state as
+a function of the applied ``VCCBRAM`` relative to the platform's crash
+voltage, and raises :class:`CrashError` when the host keeps driving a crashed
+device, mirroring the hung/garbage behaviour seen on silicon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from .placer import BramPlacer, LogicalBram, Placement
+from .pblock import ConstraintSet
+from .platform import FpgaChip
+from .resources import ResourceBudget, Utilization
+
+
+class CrashError(RuntimeError):
+    """Raised when the design is operated below its crash voltage."""
+
+
+class ConfigurationError(RuntimeError):
+    """Raised for invalid configuration sequences (e.g. missing bitstream)."""
+
+
+@dataclass
+class Design:
+    """A synthesized design: logical BRAMs plus non-BRAM resource needs."""
+
+    name: str
+    logical_brams: List[LogicalBram] = field(default_factory=list)
+    dsp_used: int = 0
+    ff_used: int = 0
+    lut_used: int = 0
+    frequency_mhz: float = 100.0
+
+    def add_bram(self, name: str, group: str = "") -> LogicalBram:
+        """Append one logical BRAM block to the design."""
+        block = LogicalBram(name=name, group=group)
+        self.logical_brams.append(block)
+        return block
+
+    def add_brams(self, names: Sequence[str], group: str = "") -> List[LogicalBram]:
+        """Append several logical BRAM blocks sharing one group tag."""
+        return [self.add_bram(name, group=group) for name in names]
+
+    @property
+    def n_brams(self) -> int:
+        """Number of logical BRAM blocks in the design."""
+        return len(self.logical_brams)
+
+    def utilization_on(self, budget: ResourceBudget) -> Utilization:
+        """Check the design against a device budget and return utilization."""
+        util = Utilization(budget=budget)
+        util.require("BRAM", self.n_brams)
+        util.require("DSP", self.dsp_used)
+        util.require("FF", self.ff_used)
+        util.require("LUT", self.lut_used)
+        return util
+
+
+@dataclass
+class Bitstream:
+    """A compiled design: the design plus its placement on a specific device."""
+
+    design: Design
+    placement: Placement
+    compile_seed: int = 0
+
+    @property
+    def name(self) -> str:
+        """Design name carried by this bitstream."""
+        return self.design.name
+
+
+def compile_design(
+    design: Design,
+    chip: FpgaChip,
+    constraints: Optional[ConstraintSet] = None,
+    seed: int = 0,
+    reserved_sites: Sequence[int] = (),
+) -> Bitstream:
+    """Run the placement step of the simplified FPGA flow (Fig. 12b).
+
+    Synthesis and routing are outside the paper's scope; the reproduction's
+    "compile" checks resource budgets and produces a placement, which is all
+    the undervolting study needs.
+    """
+    budget = ResourceBudget.from_platform(chip.spec)
+    design.utilization_on(budget)  # raises ResourceError when over budget
+    placer = BramPlacer(floorplan=chip.floorplan, seed=seed)
+    placement = placer.place(design.logical_brams, constraints=constraints, reserved_sites=reserved_sites)
+    return Bitstream(design=design, placement=placement, compile_seed=seed)
+
+
+@dataclass
+class ConfiguredDevice:
+    """A chip with a bitstream loaded; tracks DONE-pin / crash behaviour."""
+
+    chip: FpgaChip
+    bitstream: Optional[Bitstream] = None
+    crash_voltage_v: float = 0.50
+    done: bool = False
+
+    def program(self, bitstream: Bitstream) -> None:
+        """Load a bitstream over JTAG; DONE goes high at nominal voltage."""
+        self.bitstream = bitstream
+        self.done = True
+
+    def check_operational(self) -> None:
+        """Raise :class:`CrashError` if the device is below its crash voltage."""
+        if self.bitstream is None:
+            raise ConfigurationError("no bitstream loaded (DONE never asserted)")
+        if self.chip.vccbram < self.crash_voltage_v - 1e-9:
+            self.done = False
+            raise CrashError(
+                f"{self.chip.name}: VCCBRAM={self.chip.vccbram:.3f} V is below "
+                f"Vcrash={self.crash_voltage_v:.3f} V; DONE pin de-asserted"
+            )
+        self.done = True
+
+    @property
+    def is_operational(self) -> bool:
+        """Whether the design currently responds (DONE asserted)."""
+        try:
+            self.check_operational()
+        except (CrashError, ConfigurationError):
+            return False
+        return True
+
+    def recover(self) -> None:
+        """Power-cycle recovery: rails back to nominal, bitstream reloaded."""
+        self.chip.regulator.reset_all()
+        if self.bitstream is not None:
+            self.done = True

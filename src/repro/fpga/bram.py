@@ -1,0 +1,329 @@
+"""Block RAM (BRAM) storage model.
+
+The studied 7-series devices expose BRAMs as small dual-ported memory blocks.
+In the paper's basic setup every BRAM is a matrix of bitcells with 1024 rows
+and 16 columns (16 Kbit of data; the two parity bits per row exist on silicon
+but are excluded from the study).  BRAMs can be accessed individually or
+cascaded into larger logical memories.
+
+The classes here model *ideal* storage: writes are remembered exactly and
+reads return what was written.  Voltage-induced bit flips are applied on top
+of this ideal content by :mod:`repro.core.faultmodel` and the experiment host,
+mirroring the hardware reality that undervolting corrupts the read-back data
+while the written (intended) data is known to the host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Geometry of the basic-setup BRAM used throughout the paper.
+DEFAULT_ROWS = 1024
+DEFAULT_COLS = 16
+BITS_PER_MBIT = 1_000_000
+
+
+class BramError(ValueError):
+    """Raised for out-of-range BRAM accesses or malformed payloads."""
+
+
+def data_pattern(name_or_word: "str | int", rows: int = DEFAULT_ROWS) -> np.ndarray:
+    """Expand a named or literal 16-bit pattern into a full BRAM image.
+
+    The paper initializes BRAMs with repeating 16-bit words such as
+    ``16'hFFFF`` or ``16'hAAAA`` (Fig. 4).  ``name_or_word`` may be:
+
+    * an ``int`` in ``[0, 0xFFFF]`` — used for every row;
+    * one of the strings ``"FFFF"``, ``"AAAA"``, ``"5555"``, ``"0000"``
+      (case-insensitive, optional ``0x`` prefix);
+    * the string ``"random50"`` — a deterministic pseudo-random image with
+      50 % ones, matching the paper's random half-density pattern.
+    """
+    if isinstance(name_or_word, str):
+        token = name_or_word.strip().lower().replace("0x", "").replace("16'h", "")
+        if token == "random50":
+            rng = np.random.default_rng(0x5050)
+            return rng.integers(0, 2, size=(rows, DEFAULT_COLS), dtype=np.uint8)
+        try:
+            word = int(token, 16)
+        except ValueError as exc:
+            raise BramError(f"unknown data pattern {name_or_word!r}") from exc
+    else:
+        word = int(name_or_word)
+    if not 0 <= word <= 0xFFFF:
+        raise BramError(f"pattern word {word:#x} does not fit in 16 bits")
+    bits = np.array([(word >> (DEFAULT_COLS - 1 - col)) & 1 for col in range(DEFAULT_COLS)], dtype=np.uint8)
+    return np.tile(bits, (rows, 1))
+
+
+@dataclass
+class Bram:
+    """One physical BRAM block: a ``rows x cols`` matrix of bitcells.
+
+    Content is stored as a dense ``uint8`` bit matrix, which keeps the
+    bit-level fault analyses (rate, location, flip direction) simple and
+    exact.
+    """
+
+    index: int
+    rows: int = DEFAULT_ROWS
+    cols: int = DEFAULT_COLS
+    _bits: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise BramError("BRAM geometry must be positive")
+        if self._bits is None:
+            self._bits = np.zeros((self.rows, self.cols), dtype=np.uint8)
+        else:
+            self._bits = np.asarray(self._bits, dtype=np.uint8)
+            if self._bits.shape != (self.rows, self.cols):
+                raise BramError(
+                    f"initial content shape {self._bits.shape} does not match "
+                    f"geometry ({self.rows}, {self.cols})"
+                )
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def n_bits(self) -> int:
+        """Number of data bits in this BRAM (parity excluded)."""
+        return self.rows * self.cols
+
+    @property
+    def size_kbits(self) -> float:
+        """Capacity in Kbit, 16 for the basic-setup BRAM."""
+        return self.n_bits / 1024.0
+
+    # ------------------------------------------------------------------
+    # Whole-block access
+    # ------------------------------------------------------------------
+    def fill(self, pattern: "str | int | np.ndarray") -> None:
+        """Initialize every row with a 16-bit pattern or a full bit image."""
+        if isinstance(pattern, np.ndarray):
+            image = np.asarray(pattern, dtype=np.uint8)
+            if image.shape != (self.rows, self.cols):
+                raise BramError(
+                    f"pattern image shape {image.shape} does not match BRAM "
+                    f"geometry ({self.rows}, {self.cols})"
+                )
+            self._bits = image.copy()
+        else:
+            self._bits = data_pattern(pattern, rows=self.rows)[: self.rows, : self.cols].copy()
+
+    def dump(self) -> np.ndarray:
+        """Return a copy of the full bit image (``rows x cols`` uint8)."""
+        return self._bits.copy()
+
+    def load(self, image: np.ndarray) -> None:
+        """Replace the full bit image; alias of :meth:`fill` for arrays."""
+        self.fill(image)
+
+    def clear(self) -> None:
+        """Zero every bitcell, as a freshly configured BRAM does."""
+        self._bits.fill(0)
+
+    # ------------------------------------------------------------------
+    # Word access
+    # ------------------------------------------------------------------
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.rows:
+            raise BramError(f"row {row} out of range [0, {self.rows})")
+
+    def write_word(self, row: int, word: int) -> None:
+        """Write one 16-bit word into ``row`` (bit 15 is column 0)."""
+        self._check_row(row)
+        if not 0 <= word < (1 << self.cols):
+            raise BramError(f"word {word:#x} does not fit in {self.cols} bits")
+        for col in range(self.cols):
+            self._bits[row, col] = (word >> (self.cols - 1 - col)) & 1
+
+    def read_word(self, row: int) -> int:
+        """Read one row back as an integer word."""
+        self._check_row(row)
+        word = 0
+        for col in range(self.cols):
+            word = (word << 1) | int(self._bits[row, col])
+        return word
+
+    def write_words(self, words: Sequence[int], start_row: int = 0) -> None:
+        """Write a contiguous run of words starting at ``start_row``."""
+        if start_row < 0 or start_row + len(words) > self.rows:
+            raise BramError(
+                f"{len(words)} words starting at row {start_row} exceed {self.rows} rows"
+            )
+        for offset, word in enumerate(words):
+            self.write_word(start_row + offset, word)
+
+    def read_words(self, start_row: int = 0, count: Optional[int] = None) -> List[int]:
+        """Read ``count`` consecutive words starting at ``start_row``."""
+        if count is None:
+            count = self.rows - start_row
+        if start_row < 0 or count < 0 or start_row + count > self.rows:
+            raise BramError("word range out of bounds")
+        return [self.read_word(start_row + offset) for offset in range(count)]
+
+    # ------------------------------------------------------------------
+    # Bit access
+    # ------------------------------------------------------------------
+    def get_bit(self, row: int, col: int) -> int:
+        """Read a single bitcell."""
+        self._check_row(row)
+        if not 0 <= col < self.cols:
+            raise BramError(f"column {col} out of range [0, {self.cols})")
+        return int(self._bits[row, col])
+
+    def set_bit(self, row: int, col: int, value: int) -> None:
+        """Write a single bitcell."""
+        self._check_row(row)
+        if not 0 <= col < self.cols:
+            raise BramError(f"column {col} out of range [0, {self.cols})")
+        self._bits[row, col] = 1 if value else 0
+
+    def count_ones(self) -> int:
+        """Number of bitcells currently holding logic ``1``."""
+        return int(self._bits.sum())
+
+    def ones_fraction(self) -> float:
+        """Fraction of bitcells holding logic ``1``."""
+        return self.count_ones() / self.n_bits
+
+    def diff(self, observed: np.ndarray) -> List[Tuple[int, int, int, int]]:
+        """Compare intended content against an observed read-back image.
+
+        Returns a list of ``(row, col, expected, observed)`` tuples, one per
+        mismatching bitcell.  This is the primitive the host uses to analyse
+        the rate and location of undervolting faults.
+        """
+        observed = np.asarray(observed, dtype=np.uint8)
+        if observed.shape != self._bits.shape:
+            raise BramError("observed image shape does not match BRAM geometry")
+        rows, cols = np.nonzero(self._bits != observed)
+        return [
+            (int(r), int(c), int(self._bits[r, c]), int(observed[r, c]))
+            for r, c in zip(rows, cols)
+        ]
+
+
+@dataclass
+class BramPool:
+    """The full set of BRAM blocks on one chip (``B_0 .. B_N`` in Fig. 2)."""
+
+    n_brams: int
+    rows: int = DEFAULT_ROWS
+    cols: int = DEFAULT_COLS
+    _blocks: List[Bram] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_brams <= 0:
+            raise BramError("a BRAM pool needs at least one block")
+        if not self._blocks:
+            self._blocks = [Bram(index=i, rows=self.rows, cols=self.cols) for i in range(self.n_brams)]
+
+    def __len__(self) -> int:
+        return self.n_brams
+
+    def __iter__(self) -> Iterator[Bram]:
+        return iter(self._blocks)
+
+    def __getitem__(self, index: int) -> Bram:
+        if not 0 <= index < self.n_brams:
+            raise BramError(f"BRAM index {index} out of range [0, {self.n_brams})")
+        return self._blocks[index]
+
+    @property
+    def total_bits(self) -> int:
+        """Total number of data bits across the pool."""
+        return self.n_brams * self.rows * self.cols
+
+    @property
+    def total_mbits(self) -> float:
+        """Total capacity in Mbit, the unit the paper reports fault rates in."""
+        return self.total_bits / BITS_PER_MBIT
+
+    def fill_all(self, pattern: "str | int | np.ndarray") -> None:
+        """Initialize every BRAM in the pool with the same pattern."""
+        for block in self._blocks:
+            block.fill(pattern)
+
+    def clear_all(self) -> None:
+        """Zero the whole pool."""
+        for block in self._blocks:
+            block.clear()
+
+    def count_ones(self) -> int:
+        """Total number of ``1`` bits stored across the pool."""
+        return sum(block.count_ones() for block in self._blocks)
+
+    def subset(self, indices: Iterable[int]) -> List[Bram]:
+        """Return the blocks with the given dense indices, in that order."""
+        return [self[i] for i in indices]
+
+
+@dataclass
+class CascadedMemory:
+    """A larger logical memory built by cascading consecutive BRAM blocks.
+
+    FPGA designers cascade basic blocks to build deeper or wider memories
+    (with some routing overhead).  The NN accelerator uses this to store each
+    layer's weight array across several physical BRAMs.
+    """
+
+    name: str
+    blocks: List[Bram]
+
+    def __post_init__(self) -> None:
+        if not self.blocks:
+            raise BramError(f"cascaded memory {self.name!r} needs at least one BRAM")
+        cols = {block.cols for block in self.blocks}
+        if len(cols) != 1:
+            raise BramError("all cascaded blocks must share the same width")
+
+    @property
+    def depth(self) -> int:
+        """Total number of addressable words."""
+        return sum(block.rows for block in self.blocks)
+
+    @property
+    def width(self) -> int:
+        """Word width in bits."""
+        return self.blocks[0].cols
+
+    def _locate(self, address: int) -> Tuple[Bram, int]:
+        if not 0 <= address < self.depth:
+            raise BramError(f"address {address} out of range [0, {self.depth})")
+        remaining = address
+        for block in self.blocks:
+            if remaining < block.rows:
+                return block, remaining
+            remaining -= block.rows
+        raise BramError(f"address {address} could not be located")  # pragma: no cover
+
+    def write_word(self, address: int, word: int) -> None:
+        """Write a word at a flat address across the cascade."""
+        block, row = self._locate(address)
+        block.write_word(row, word)
+
+    def read_word(self, address: int) -> int:
+        """Read a word from a flat address across the cascade."""
+        block, row = self._locate(address)
+        return block.read_word(row)
+
+    def write_words(self, words: Sequence[int], start: int = 0) -> None:
+        """Write a run of words starting at flat address ``start``."""
+        if start < 0 or start + len(words) > self.depth:
+            raise BramError("word run exceeds cascaded memory depth")
+        for offset, word in enumerate(words):
+            self.write_word(start + offset, word)
+
+    def read_words(self, start: int = 0, count: Optional[int] = None) -> List[int]:
+        """Read a run of words starting at flat address ``start``."""
+        if count is None:
+            count = self.depth - start
+        if start < 0 or count < 0 or start + count > self.depth:
+            raise BramError("word range exceeds cascaded memory depth")
+        return [self.read_word(start + offset) for offset in range(count)]

@@ -1,0 +1,224 @@
+"""Physical floorplan of BRAM sites on an FPGA die.
+
+The paper builds a Fault Variation Map (FVM, Fig. 6 and Fig. 7) by mapping the
+observed per-BRAM fault rates onto the physical X/Y location of every BRAM on
+the die, as reported by Vivado's floorplan view.  Commercial 7-series devices
+arrange BRAMs in vertical columns spread across the fabric, and a die may have
+unused (empty) sites, which the paper draws as white boxes.
+
+This module models exactly that structural information: a grid of *sites*,
+each either populated by a BRAM (identified by a dense ``bram_index``) or
+empty.  It carries no electrical state; the fault model and the harness attach
+behaviour to the indices exposed here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+
+class FloorplanError(ValueError):
+    """Raised for inconsistent floorplan definitions or out-of-range queries."""
+
+
+@dataclass(frozen=True)
+class BramSite:
+    """A single physical BRAM site on the die.
+
+    Attributes
+    ----------
+    x:
+        Column index (0 = left-most BRAM column).
+    y:
+        Row index within the column (0 = bottom of the die).
+    bram_index:
+        Dense index of the BRAM occupying this site, or ``None`` for an empty
+        site (white boxes in Fig. 6).
+    """
+
+    x: int
+    y: int
+    bram_index: Optional[int] = None
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the site has no BRAM placed on it."""
+        return self.bram_index is None
+
+    @property
+    def name(self) -> str:
+        """Vivado-style site name, e.g. ``RAMB18_X3Y17``."""
+        return f"RAMB18_X{self.x}Y{self.y}"
+
+
+@dataclass
+class Floorplan:
+    """Grid of BRAM sites for one FPGA die.
+
+    Parameters
+    ----------
+    n_columns:
+        Number of BRAM columns on the die.
+    rows_per_column:
+        Number of populated BRAM rows in each column.  Columns may have
+        different heights; the grid height is the maximum.
+    grid_height:
+        Total number of site rows in the grid.  Sites above a column's
+        populated height are empty.  Defaults to the tallest column.
+    """
+
+    n_columns: int
+    rows_per_column: Sequence[int]
+    grid_height: Optional[int] = None
+    _sites: List[BramSite] = field(default_factory=list, repr=False)
+    _by_coord: Dict[Tuple[int, int], BramSite] = field(default_factory=dict, repr=False)
+    _by_index: Dict[int, BramSite] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_columns <= 0:
+            raise FloorplanError("floorplan needs at least one BRAM column")
+        if len(self.rows_per_column) != self.n_columns:
+            raise FloorplanError(
+                "rows_per_column must have one entry per column "
+                f"({len(self.rows_per_column)} given for {self.n_columns} columns)"
+            )
+        if any(rows < 0 for rows in self.rows_per_column):
+            raise FloorplanError("column heights must be non-negative")
+        tallest = max(self.rows_per_column)
+        if self.grid_height is None:
+            self.grid_height = tallest
+        if self.grid_height < tallest:
+            raise FloorplanError("grid_height is smaller than the tallest column")
+        self._build_sites()
+
+    def _build_sites(self) -> None:
+        index = 0
+        for x in range(self.n_columns):
+            populated = self.rows_per_column[x]
+            for y in range(self.grid_height):
+                if y < populated:
+                    site = BramSite(x=x, y=y, bram_index=index)
+                    self._by_index[index] = site
+                    index += 1
+                else:
+                    site = BramSite(x=x, y=y, bram_index=None)
+                self._sites.append(site)
+                self._by_coord[(x, y)] = site
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def regular(cls, n_brams: int, n_columns: int, grid_height: Optional[int] = None) -> "Floorplan":
+        """Build a floorplan for ``n_brams`` spread as evenly as possible.
+
+        The first ``n_brams % n_columns`` columns get one extra BRAM, which is
+        how real dies end up with ragged column tops.
+        """
+        if n_brams <= 0:
+            raise FloorplanError("n_brams must be positive")
+        if n_columns <= 0:
+            raise FloorplanError("n_columns must be positive")
+        base = n_brams // n_columns
+        extra = n_brams % n_columns
+        heights = [base + (1 if col < extra else 0) for col in range(n_columns)]
+        return cls(n_columns=n_columns, rows_per_column=heights, grid_height=grid_height)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def n_brams(self) -> int:
+        """Number of populated BRAM sites."""
+        return len(self._by_index)
+
+    @property
+    def n_sites(self) -> int:
+        """Total number of sites including empty ones."""
+        return len(self._sites)
+
+    def site_at(self, x: int, y: int) -> BramSite:
+        """Return the site at grid coordinate ``(x, y)``."""
+        try:
+            return self._by_coord[(x, y)]
+        except KeyError as exc:
+            raise FloorplanError(f"no BRAM site at ({x}, {y})") from exc
+
+    def site_of(self, bram_index: int) -> BramSite:
+        """Return the physical site of the BRAM with dense index ``bram_index``."""
+        try:
+            return self._by_index[bram_index]
+        except KeyError as exc:
+            raise FloorplanError(f"no BRAM with index {bram_index}") from exc
+
+    def coordinates(self, bram_index: int) -> Tuple[int, int]:
+        """Physical ``(x, y)`` coordinate of a BRAM index."""
+        site = self.site_of(bram_index)
+        return site.x, site.y
+
+    def index_at(self, x: int, y: int) -> Optional[int]:
+        """BRAM index occupying ``(x, y)``, or ``None`` for an empty site."""
+        return self.site_at(x, y).bram_index
+
+    def iter_sites(self) -> Iterator[BramSite]:
+        """Iterate over all sites in column-major order."""
+        return iter(self._sites)
+
+    def iter_brams(self) -> Iterator[BramSite]:
+        """Iterate over populated sites only, in dense-index order."""
+        for index in range(self.n_brams):
+            yield self._by_index[index]
+
+    def column_of(self, bram_index: int) -> int:
+        """Column (X coordinate) of a BRAM index."""
+        return self.site_of(bram_index).x
+
+    def brams_in_column(self, x: int) -> List[int]:
+        """Dense indices of all BRAMs located in column ``x``."""
+        if not 0 <= x < self.n_columns:
+            raise FloorplanError(f"column {x} out of range [0, {self.n_columns})")
+        return [
+            site.bram_index
+            for site in self._sites
+            if site.x == x and site.bram_index is not None
+        ]
+
+    def brams_in_region(self, x_range: Tuple[int, int], y_range: Tuple[int, int]) -> List[int]:
+        """Dense indices of BRAMs within an inclusive rectangular region.
+
+        This mirrors the rectangular Pblock regions Vivado lets a designer
+        draw over the device view.
+        """
+        x_lo, x_hi = x_range
+        y_lo, y_hi = y_range
+        if x_lo > x_hi or y_lo > y_hi:
+            raise FloorplanError("region bounds must satisfy lo <= hi")
+        found: List[int] = []
+        for site in self._sites:
+            if site.bram_index is None:
+                continue
+            if x_lo <= site.x <= x_hi and y_lo <= site.y <= y_hi:
+                found.append(site.bram_index)
+        return sorted(found)
+
+    def manhattan_distance(self, index_a: int, index_b: int) -> int:
+        """Manhattan distance between two BRAMs, used by placement heuristics."""
+        xa, ya = self.coordinates(index_a)
+        xb, yb = self.coordinates(index_b)
+        return abs(xa - xb) + abs(ya - yb)
+
+    def to_grid(self) -> List[List[Optional[int]]]:
+        """Return the floorplan as a dense ``[column][row]`` grid of indices."""
+        grid: List[List[Optional[int]]] = []
+        for x in range(self.n_columns):
+            column = [self.index_at(x, y) for y in range(self.grid_height or 0)]
+            grid.append(column)
+        return grid
+
+    def describe(self) -> str:
+        """Human-readable one-line summary used in logs and bench output."""
+        return (
+            f"Floorplan({self.n_columns} columns x {self.grid_height} rows, "
+            f"{self.n_brams} BRAMs, {self.n_sites - self.n_brams} empty sites)"
+        )

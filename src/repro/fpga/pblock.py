@@ -1,0 +1,118 @@
+"""Pblock-style placement constraints.
+
+Vivado's Physical Blocks (Pblocks) let a designer pin a set of logical cells
+to a region of the die.  The paper's ICBP mitigation (Fig. 12b) uses exactly
+this facility: the logical BRAMs holding the last NN layer's weights are
+constrained to physical BRAMs previously tagged as low-vulnerable in the
+chip's Fault Variation Map.
+
+A :class:`Pblock` here is simply a named set of *allowed physical BRAM
+indices* plus the list of *logical block names* constrained to it.  The placer
+consumes these constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from .floorplan import Floorplan
+
+
+class PblockError(ValueError):
+    """Raised for malformed or unsatisfiable placement constraints."""
+
+
+@dataclass
+class Pblock:
+    """A placement constraint: these logical blocks may only use these sites."""
+
+    name: str
+    allowed_sites: FrozenSet[int]
+    constrained_blocks: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PblockError("a Pblock needs a non-empty name")
+        self.allowed_sites = frozenset(int(i) for i in self.allowed_sites)
+        self.constrained_blocks = tuple(self.constrained_blocks)
+        if not self.allowed_sites:
+            raise PblockError(f"Pblock {self.name!r} has no allowed sites")
+
+    @classmethod
+    def from_sites(cls, name: str, sites: Iterable[int], blocks: Sequence[str] = ()) -> "Pblock":
+        """Build a Pblock from an explicit allow-list of physical BRAM indices."""
+        return cls(name=name, allowed_sites=frozenset(sites), constrained_blocks=tuple(blocks))
+
+    @classmethod
+    def from_region(
+        cls,
+        name: str,
+        floorplan: Floorplan,
+        x_range: Tuple[int, int],
+        y_range: Tuple[int, int],
+        blocks: Sequence[str] = (),
+    ) -> "Pblock":
+        """Build a Pblock from a rectangular region of the floorplan.
+
+        This is the shape of constraint a designer would draw interactively in
+        Vivado; ICBP instead computes the allow-list from the FVM and uses
+        :meth:`from_sites`.
+        """
+        sites = floorplan.brams_in_region(x_range, y_range)
+        if not sites:
+            raise PblockError(f"region for Pblock {name!r} contains no BRAM sites")
+        return cls(name=name, allowed_sites=frozenset(sites), constrained_blocks=tuple(blocks))
+
+    def constrain(self, *block_names: str) -> "Pblock":
+        """Return a copy of this Pblock that also constrains ``block_names``."""
+        combined = tuple(dict.fromkeys(self.constrained_blocks + block_names))
+        return Pblock(name=self.name, allowed_sites=self.allowed_sites, constrained_blocks=combined)
+
+    def allows(self, site_index: int) -> bool:
+        """Whether a physical BRAM index is inside this Pblock."""
+        return site_index in self.allowed_sites
+
+    @property
+    def capacity(self) -> int:
+        """Number of physical BRAMs available inside the Pblock."""
+        return len(self.allowed_sites)
+
+
+@dataclass
+class ConstraintSet:
+    """A collection of Pblocks applied to one design compilation."""
+
+    pblocks: List[Pblock] = field(default_factory=list)
+
+    def add(self, pblock: Pblock) -> None:
+        """Add a Pblock, rejecting duplicate names and doubly-constrained blocks."""
+        if any(existing.name == pblock.name for existing in self.pblocks):
+            raise PblockError(f"duplicate Pblock name {pblock.name!r}")
+        already: Set[str] = set()
+        for existing in self.pblocks:
+            already.update(existing.constrained_blocks)
+        clash = already.intersection(pblock.constrained_blocks)
+        if clash:
+            raise PblockError(f"blocks constrained by more than one Pblock: {sorted(clash)}")
+        self.pblocks.append(pblock)
+
+    def pblock_for(self, block_name: str) -> "Pblock | None":
+        """The Pblock constraining ``block_name``, if any."""
+        for pblock in self.pblocks:
+            if block_name in pblock.constrained_blocks:
+                return pblock
+        return None
+
+    def constrained_blocks(self) -> Set[str]:
+        """All logical block names constrained by any Pblock."""
+        names: Set[str] = set()
+        for pblock in self.pblocks:
+            names.update(pblock.constrained_blocks)
+        return names
+
+    def __len__(self) -> int:
+        return len(self.pblocks)
+
+    def __iter__(self):
+        return iter(self.pblocks)

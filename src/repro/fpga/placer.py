@@ -1,0 +1,176 @@
+"""Logical-to-physical BRAM placement.
+
+The FPGA design flow (Fig. 12b) synthesizes a design into logical BRAM blocks
+and the placer assigns each one to a physical BRAM site.  The reproduction
+models only the slice of that flow the paper exercises:
+
+* a *default* placement that packs logical BRAMs onto physical sites in a
+  deterministic but constraint-free order (what Vivado does absent guidance,
+  and what the paper calls "default placement" in Fig. 14);
+* a *constrained* placement honouring Pblock allow-lists, which is the whole
+  mechanism behind ICBP.
+
+Placement results are value objects mapping logical block names to physical
+BRAM indices; the accelerator uses them to decide which physical BRAMs hold
+which weights, and therefore which faults hit which NN layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .floorplan import Floorplan
+from .pblock import ConstraintSet, PblockError
+
+
+class PlacementError(ValueError):
+    """Raised when a design cannot be placed on the target device."""
+
+
+@dataclass(frozen=True)
+class LogicalBram:
+    """One logical BRAM block produced by synthesis.
+
+    Attributes
+    ----------
+    name:
+        Unique block name, e.g. ``"layer4_weights_0"``.
+    group:
+        Free-form grouping tag (the NN accelerator uses the layer name), used
+        for reporting and by placement policies.
+    """
+
+    name: str
+    group: str = ""
+
+
+@dataclass
+class Placement:
+    """Result of placing a design: logical block name -> physical BRAM index."""
+
+    assignment: Dict[str, int] = field(default_factory=dict)
+
+    def site_of(self, block_name: str) -> int:
+        """Physical BRAM index assigned to a logical block."""
+        try:
+            return self.assignment[block_name]
+        except KeyError as exc:
+            raise PlacementError(f"block {block_name!r} is not placed") from exc
+
+    def block_at(self, site_index: int) -> Optional[str]:
+        """Logical block occupying a physical BRAM index, if any."""
+        for name, index in self.assignment.items():
+            if index == site_index:
+                return name
+        return None
+
+    def used_sites(self) -> List[int]:
+        """Physical BRAM indices claimed by the design, sorted."""
+        return sorted(self.assignment.values())
+
+    def blocks(self) -> List[str]:
+        """Names of all placed logical blocks, in insertion order."""
+        return list(self.assignment.keys())
+
+    def __len__(self) -> int:
+        return len(self.assignment)
+
+    def __contains__(self, block_name: str) -> bool:
+        return block_name in self.assignment
+
+
+@dataclass
+class BramPlacer:
+    """Deterministic placer over a chip floorplan.
+
+    Parameters
+    ----------
+    floorplan:
+        Physical BRAM layout of the target device.
+    seed:
+        Seed for the pseudo-random site ordering used by the default
+        (unconstrained) placement.  Using a per-compilation seed mirrors the
+        paper's observation that different place-and-route runs scatter the
+        same logical BRAMs over different physical sites.
+    """
+
+    floorplan: Floorplan
+    seed: int = 0
+
+    def _site_order(self) -> List[int]:
+        """Pseudo-random but reproducible order in which free sites are used."""
+        rng = np.random.default_rng(self.seed)
+        order = np.arange(self.floorplan.n_brams)
+        rng.shuffle(order)
+        return [int(i) for i in order]
+
+    def place(
+        self,
+        blocks: Sequence[LogicalBram],
+        constraints: Optional[ConstraintSet] = None,
+        reserved_sites: Iterable[int] = (),
+    ) -> Placement:
+        """Assign every logical block a physical BRAM index.
+
+        Constrained blocks are placed first, inside their Pblock allow-list;
+        remaining blocks fill the rest of the device in the pseudo-random
+        default order.  ``reserved_sites`` are excluded entirely (e.g. BRAMs
+        used by unrelated infrastructure such as the UART bridge).
+        """
+        names = [block.name for block in blocks]
+        if len(set(names)) != len(names):
+            raise PlacementError("logical block names must be unique")
+        if len(blocks) > self.floorplan.n_brams:
+            raise PlacementError(
+                f"design has {len(blocks)} logical BRAMs but device only has "
+                f"{self.floorplan.n_brams}"
+            )
+
+        reserved = {int(i) for i in reserved_sites}
+        for index in reserved:
+            if not 0 <= index < self.floorplan.n_brams:
+                raise PlacementError(f"reserved site {index} does not exist")
+
+        assignment: Dict[str, int] = {}
+        taken: set = set(reserved)
+
+        # Pass 1: constrained blocks into their Pblocks.
+        if constraints is not None:
+            for block in blocks:
+                pblock = constraints.pblock_for(block.name)
+                if pblock is None:
+                    continue
+                candidates = [
+                    site for site in sorted(pblock.allowed_sites)
+                    if site not in taken and 0 <= site < self.floorplan.n_brams
+                ]
+                if not candidates:
+                    raise PlacementError(
+                        f"Pblock {pblock.name!r} has no free site left for block "
+                        f"{block.name!r}"
+                    )
+                site = candidates[0]
+                assignment[block.name] = site
+                taken.add(site)
+
+        # Pass 2: everything else in default order.
+        free_order = [site for site in self._site_order() if site not in taken]
+        cursor = 0
+        for block in blocks:
+            if block.name in assignment:
+                continue
+            if cursor >= len(free_order):
+                raise PlacementError("ran out of free BRAM sites during placement")
+            assignment[block.name] = free_order[cursor]
+            cursor += 1
+
+        # Preserve the design's block ordering in the result for readability.
+        ordered = {block.name: assignment[block.name] for block in blocks}
+        return Placement(assignment=ordered)
+
+    def replace_compilation(self, new_seed: int) -> "BramPlacer":
+        """A placer representing a fresh place-and-route run of the same design."""
+        return BramPlacer(floorplan=self.floorplan, seed=new_seed)

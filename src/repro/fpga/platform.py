@@ -1,0 +1,262 @@
+"""Descriptors and chip instances for the four studied FPGA platforms.
+
+Table I of the paper lists the tested boards: VC707 (Virtex-7,
+performance-optimized), ZC702 (Zynq-7000, hardware/software architecture) and
+two identical samples of KC705 (Kintex-7, power-optimized) used to expose
+die-to-die process variation.  All are 28 nm parts with 1024x16-bit basic
+BRAMs and a 1.0 V nominal ``VCCBRAM``.
+
+This module provides:
+
+* :class:`PlatformSpec` — the static, datasheet-level description (Table I);
+* :class:`FpgaChip` — one physical chip instance: a BRAM pool, a floorplan
+  and a voltage regulator, seeded by its serial number so that two chips of
+  the same platform are distinct dies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .bram import DEFAULT_COLS, DEFAULT_ROWS, BramPool
+from .floorplan import Floorplan
+from .voltage import VCCAUX, VCCBRAM, VCCINT, VoltageRegulator
+
+
+class PlatformError(ValueError):
+    """Raised for unknown platforms or inconsistent specifications."""
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Datasheet-level description of one board (one row of Table I)."""
+
+    name: str
+    device_family: str
+    chip_model: str
+    speed_grade: str
+    serial_number: str
+    n_brams: int
+    bram_rows: int = DEFAULT_ROWS
+    bram_cols: int = DEFAULT_COLS
+    process_nm: int = 28
+    nominal_vccbram: float = 1.0
+    nominal_vccint: float = 1.0
+    design_goal: str = "general"
+    #: Number of BRAM columns used when building the physical floorplan.
+    floorplan_columns: int = 10
+    #: Total DSP / FF / LUT resources (Table III gives the VC707 numbers).
+    n_dsps: int = 0
+    n_ffs: int = 0
+    n_luts: int = 0
+
+    @property
+    def bram_kbits(self) -> float:
+        """Capacity of one basic BRAM in Kbit."""
+        return self.bram_rows * self.bram_cols / 1024.0
+
+    @property
+    def total_bram_mbits(self) -> float:
+        """Total BRAM capacity of the device in Mbit."""
+        return self.n_brams * self.bram_rows * self.bram_cols / 1_000_000.0
+
+    def table_row(self) -> Dict[str, str]:
+        """Render this spec as the strings reported in Table I."""
+        return {
+            "Hardware Platform (Board)": self.name,
+            "Device Family": self.device_family,
+            "Chip Model": self.chip_model,
+            "Speed Grade": self.speed_grade,
+            "Serial Number (S/N)": self.serial_number,
+            "Number of BRAMs": str(self.n_brams),
+            "Basic Size of Each BRAM": f"{self.bram_rows}*{self.bram_cols}-bits",
+            "Manufacturing Process Technology": f"{self.process_nm}nm",
+            "Nominal VCCBRAM (Vnom)": f"{self.nominal_vccbram:g}V",
+        }
+
+
+#: Table I of the paper, one spec per studied board.
+VC707 = PlatformSpec(
+    name="VC707",
+    device_family="Virtex-7",
+    chip_model="XC7VX485T-ffg1761-2",
+    speed_grade="-2",
+    serial_number="1308-6520",
+    n_brams=2060,
+    design_goal="performance",
+    floorplan_columns=20,
+    n_dsps=2800,
+    n_ffs=303_600,
+    n_luts=607_200,
+)
+
+ZC702 = PlatformSpec(
+    name="ZC702",
+    device_family="Zynq7000",
+    chip_model="XC7Z020-CLG484-1",
+    speed_grade="-1",
+    serial_number="630851561533-44019",
+    n_brams=280,
+    design_goal="hardware-software",
+    floorplan_columns=8,
+    n_dsps=220,
+    n_ffs=106_400,
+    n_luts=53_200,
+)
+
+KC705_A = PlatformSpec(
+    name="KC705-A",
+    device_family="Kintex-7",
+    chip_model="XC7K325T-ffg900-2",
+    speed_grade="-2",
+    serial_number="604018691749-76023",
+    n_brams=890,
+    design_goal="power",
+    floorplan_columns=10,
+    n_dsps=840,
+    n_ffs=407_600,
+    n_luts=203_800,
+)
+
+KC705_B = PlatformSpec(
+    name="KC705-B",
+    device_family="Kintex-7",
+    chip_model="XC7K325T-ffg900-2",
+    speed_grade="-2",
+    serial_number="604016111717-65664",
+    n_brams=890,
+    design_goal="power",
+    floorplan_columns=10,
+    n_dsps=840,
+    n_ffs=407_600,
+    n_luts=203_800,
+)
+
+#: All platforms studied in the paper, in the order of Table I.
+ALL_PLATFORMS: Tuple[PlatformSpec, ...] = (VC707, ZC702, KC705_A, KC705_B)
+
+_PLATFORMS_BY_NAME: Dict[str, PlatformSpec] = {spec.name: spec for spec in ALL_PLATFORMS}
+
+
+def get_platform(name: str) -> PlatformSpec:
+    """Look up one of the studied platforms by board name (case-insensitive)."""
+    key = name.strip().upper().replace("_", "-")
+    for candidate, spec in _PLATFORMS_BY_NAME.items():
+        if candidate.upper() == key:
+            return spec
+    raise PlatformError(
+        f"unknown platform {name!r}; available: {', '.join(_PLATFORMS_BY_NAME)}"
+    )
+
+
+def platform_names() -> List[str]:
+    """Names of all studied platforms, in Table I order."""
+    return [spec.name for spec in ALL_PLATFORMS]
+
+
+def chip_seed(spec: PlatformSpec, salt: str = "") -> int:
+    """Deterministic per-die seed derived from the board serial number.
+
+    The fault model uses this seed so that two chips of the same platform
+    (the two KC705 samples) get different process-variation fields, which is
+    exactly what the paper attributes the 4.1x rate difference to.
+    """
+    digest = hashlib.sha256(f"{spec.chip_model}:{spec.serial_number}:{salt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass
+class FpgaChip:
+    """One physical chip instance mounted on a board.
+
+    Combines the static platform spec with the stateful pieces: a pool of
+    ideal BRAM blocks, the physical floorplan used to build FVMs, and the
+    multi-rail voltage regulator the host drives over PMBUS.
+    """
+
+    spec: PlatformSpec
+    brams: BramPool = field(default=None, repr=False)  # type: ignore[assignment]
+    floorplan: Floorplan = field(default=None, repr=False)  # type: ignore[assignment]
+    regulator: VoltageRegulator = field(default=None, repr=False)  # type: ignore[assignment]
+    #: Die temperature in Celsius as reported by the on-board sensor.
+    board_temperature_c: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.brams is None:
+            self.brams = BramPool(
+                n_brams=self.spec.n_brams,
+                rows=self.spec.bram_rows,
+                cols=self.spec.bram_cols,
+            )
+        if self.floorplan is None:
+            self.floorplan = Floorplan.regular(
+                n_brams=self.spec.n_brams,
+                n_columns=self.spec.floorplan_columns,
+            )
+        if self.regulator is None:
+            self.regulator = VoltageRegulator.for_platform((VCCBRAM, VCCINT, VCCAUX))
+        if self.floorplan.n_brams != self.spec.n_brams:
+            raise PlatformError("floorplan BRAM count does not match platform spec")
+        if len(self.brams) != self.spec.n_brams:
+            raise PlatformError("BRAM pool size does not match platform spec")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, platform: "str | PlatformSpec") -> "FpgaChip":
+        """Convenience constructor from a platform name or spec."""
+        spec = platform if isinstance(platform, PlatformSpec) else get_platform(platform)
+        return cls(spec=spec)
+
+    @property
+    def name(self) -> str:
+        """Board name, e.g. ``"VC707"``."""
+        return self.spec.name
+
+    @property
+    def seed(self) -> int:
+        """Per-die seed used by the fault model."""
+        return chip_seed(self.spec)
+
+    @property
+    def vccbram(self) -> float:
+        """Current VCCBRAM setpoint in volts."""
+        return self.regulator.rail(VCCBRAM).setpoint_v
+
+    @property
+    def vccint(self) -> float:
+        """Current VCCINT setpoint in volts."""
+        return self.regulator.rail(VCCINT).setpoint_v
+
+    def set_vccbram(self, volts: float) -> float:
+        """Drive the BRAM supply rail."""
+        return self.regulator.set_voltage(VCCBRAM, volts)
+
+    def set_vccint(self, volts: float) -> float:
+        """Drive the internal-logic supply rail."""
+        return self.regulator.set_voltage(VCCINT, volts)
+
+    def set_temperature(self, celsius: float) -> None:
+        """Set the on-board (heat-chamber controlled) temperature."""
+        if not -40.0 <= celsius <= 125.0:
+            raise PlatformError(f"temperature {celsius} degC outside device ratings")
+        self.board_temperature_c = float(celsius)
+
+    def soft_reset(self) -> None:
+        """Model the soft reset issued between voltage steps (Listing 1).
+
+        BRAM contents survive a soft reset; only the rails return to their
+        current setpoints (no change).  Provided as an explicit hook so the
+        harness mirrors the paper's procedure.
+        """
+        # Intentionally a no-op on state: content and setpoints persist.
+        return None
+
+    def describe(self) -> str:
+        """Human-readable summary for logs and bench output."""
+        return (
+            f"{self.spec.name} ({self.spec.device_family}, {self.spec.chip_model}, "
+            f"{self.spec.n_brams} BRAMs, {self.spec.total_bram_mbits:.2f} Mbit, "
+            f"S/N {self.spec.serial_number})"
+        )

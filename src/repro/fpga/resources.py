@@ -1,0 +1,91 @@
+"""FPGA resource budgets and utilization accounting.
+
+Table III of the paper reports the resource utilization of the synthesized NN
+accelerator on the VC707: 70.8 % of the 2060 BRAMs, 8.6 % of the 2800 DSPs,
+3.8 % of the FFs and 4.9 % of the LUTs (and a second, larger configuration
+with 58.3 % DSP / 13.1 % FF / 43.1 % LUT).  The reproduction keeps the same
+bookkeeping so design-level checks ("does the weight set fit on this chip?")
+behave like the real flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .platform import PlatformSpec
+
+
+class ResourceError(ValueError):
+    """Raised when a design over-subscribes the device resources."""
+
+
+#: Canonical resource kinds tracked by the reproduction.
+RESOURCE_KINDS = ("BRAM", "DSP", "FF", "LUT")
+
+
+@dataclass(frozen=True)
+class ResourceBudget:
+    """Total resources available on a device."""
+
+    bram: int
+    dsp: int
+    ff: int
+    lut: int
+
+    @classmethod
+    def from_platform(cls, spec: PlatformSpec) -> "ResourceBudget":
+        """Derive the budget from a platform spec (Table I / Table III totals)."""
+        return cls(bram=spec.n_brams, dsp=spec.n_dsps, ff=spec.n_ffs, lut=spec.n_luts)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Budget keyed by canonical resource kind."""
+        return {"BRAM": self.bram, "DSP": self.dsp, "FF": self.ff, "LUT": self.lut}
+
+
+@dataclass
+class Utilization:
+    """Running utilization of one design against a budget."""
+
+    budget: ResourceBudget
+    used: Dict[str, int] = field(default_factory=lambda: {kind: 0 for kind in RESOURCE_KINDS})
+
+    def require(self, kind: str, amount: int) -> None:
+        """Claim ``amount`` units of ``kind``, failing if the budget overflows."""
+        if kind not in RESOURCE_KINDS:
+            raise ResourceError(f"unknown resource kind {kind!r}")
+        if amount < 0:
+            raise ResourceError("resource amounts must be non-negative")
+        total = self.budget.as_dict()[kind]
+        if self.used[kind] + amount > total:
+            raise ResourceError(
+                f"design needs {self.used[kind] + amount} {kind} but device has {total}"
+            )
+        self.used[kind] += amount
+
+    def release(self, kind: str, amount: int) -> None:
+        """Return ``amount`` units of ``kind`` to the pool."""
+        if kind not in RESOURCE_KINDS:
+            raise ResourceError(f"unknown resource kind {kind!r}")
+        if amount < 0 or amount > self.used[kind]:
+            raise ResourceError("cannot release more than is in use")
+        self.used[kind] -= amount
+
+    def fraction(self, kind: str) -> float:
+        """Utilized fraction of ``kind`` in ``[0, 1]``."""
+        total = self.budget.as_dict()[kind]
+        if total == 0:
+            return 0.0
+        return self.used[kind] / total
+
+    def percent(self, kind: str) -> float:
+        """Utilized percentage of ``kind``, as Table III reports it."""
+        return 100.0 * self.fraction(kind)
+
+    def report(self) -> Dict[str, float]:
+        """Utilization percentages for every resource kind."""
+        return {kind: self.percent(kind) for kind in RESOURCE_KINDS}
+
+    def remaining(self, kind: str) -> int:
+        """Unclaimed units of ``kind``."""
+        return self.budget.as_dict()[kind] - self.used[kind]

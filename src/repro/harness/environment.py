@@ -1,0 +1,93 @@
+"""Heat chamber and temperature monitoring.
+
+For the temperature study (Section II-D, Fig. 8) the authors place the board
+inside a heat chamber, regulate the ambient temperature, and read the
+on-board temperature over PMBUS.  The reproduction's heat chamber simply
+drives the chip's board-temperature state (which the ITD model in
+:mod:`repro.core.temperature` consumes), ramps in finite steps like a real
+chamber, and exposes the same monitoring call the harness scripts use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.fpga.platform import FpgaChip
+
+from .pmbus import PmbusAdapter
+
+
+class EnvironmentError_(RuntimeError):
+    """Raised for unreachable chamber setpoints."""
+
+
+@dataclass
+class HeatChamber:
+    """Ambient-temperature chamber holding one board.
+
+    Parameters
+    ----------
+    chip:
+        Board under test; its ``board_temperature_c`` tracks the chamber.
+    min_c / max_c:
+        Achievable chamber range.  The paper studies 50–80 °C.
+    ramp_step_c:
+        Maximum temperature change applied per :meth:`settle` call, modelling
+        the chamber's finite ramp rate.
+    """
+
+    chip: FpgaChip
+    min_c: float = 20.0
+    max_c: float = 110.0
+    ramp_step_c: float = 5.0
+    setpoint_c: Optional[float] = None
+    history_c: List[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.setpoint_c is None:
+            self.setpoint_c = self.chip.board_temperature_c
+        self.history_c.append(self.chip.board_temperature_c)
+
+    def set_temperature(self, celsius: float) -> None:
+        """Command a new chamber setpoint (does not apply instantly)."""
+        if not self.min_c <= celsius <= self.max_c:
+            raise EnvironmentError_(
+                f"setpoint {celsius} degC outside chamber range "
+                f"[{self.min_c}, {self.max_c}]"
+            )
+        self.setpoint_c = float(celsius)
+
+    def settle(self, max_steps: int = 100) -> float:
+        """Ramp the board temperature to the setpoint and return it."""
+        if self.setpoint_c is None:
+            return self.chip.board_temperature_c
+        for _ in range(max_steps):
+            current = self.chip.board_temperature_c
+            delta = self.setpoint_c - current
+            if abs(delta) < 1e-9:
+                break
+            step = max(-self.ramp_step_c, min(self.ramp_step_c, delta))
+            self.chip.set_temperature(current + step)
+            self.history_c.append(self.chip.board_temperature_c)
+        return self.chip.board_temperature_c
+
+    def go_to(self, celsius: float) -> float:
+        """Convenience: set a target and settle there."""
+        self.set_temperature(celsius)
+        return self.settle()
+
+
+@dataclass
+class TemperatureMonitor:
+    """On-board temperature monitor read over PMBUS (Fig. 2's sensor path)."""
+
+    adapter: PmbusAdapter
+
+    def read_c(self) -> float:
+        """Current on-board temperature in Celsius."""
+        return self.adapter.read_temperature()
+
+    def is_within(self, target_c: float, tolerance_c: float = 1.0) -> bool:
+        """Whether the board has reached a target temperature."""
+        return abs(self.read_c() - target_c) <= tolerance_c

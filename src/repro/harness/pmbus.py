@@ -1,0 +1,122 @@
+"""PMBUS-style command interface to the on-board voltage controller.
+
+On the real boards the host talks to the TI UCD9248 regulator through a TI
+PMBUS USB adapter and a C API (Fig. 2): it issues ``VOUT_COMMAND`` writes to
+change a rail, ``READ_VOUT`` to confirm it, and ``READ_TEMPERATURE`` to read
+the on-board sensor.  The reproduction keeps that command vocabulary — and a
+command log, which the tests use to assert the experiment actually drives the
+rails the way Listing 1 says — while the electrical behaviour lives in
+:mod:`repro.fpga.voltage`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.fpga.platform import FpgaChip
+from repro.fpga.voltage import VoltageError
+
+#: PMBUS command names used by the harness.
+VOUT_COMMAND = "VOUT_COMMAND"
+READ_VOUT = "READ_VOUT"
+READ_TEMPERATURE = "READ_TEMPERATURE_1"
+OPERATION_ON = "OPERATION_ON"
+OPERATION_SOFT_OFF = "OPERATION_SOFT_OFF"
+
+
+class PmbusError(RuntimeError):
+    """Raised when a PMBUS transaction is rejected by the regulator."""
+
+
+@dataclass(frozen=True)
+class PmbusTransaction:
+    """One logged PMBUS command and its response."""
+
+    command: str
+    rail: Optional[str]
+    argument: Optional[float]
+    response: Optional[float]
+
+
+@dataclass
+class PmbusAdapter:
+    """Host-side PMBUS adapter bound to one board's regulator.
+
+    Parameters
+    ----------
+    chip:
+        The board whose regulator and temperature sensor this adapter reaches.
+    """
+
+    chip: FpgaChip
+    log: List[PmbusTransaction] = field(default_factory=list)
+    powered_on: bool = True
+
+    def _record(
+        self,
+        command: str,
+        rail: Optional[str] = None,
+        argument: Optional[float] = None,
+        response: Optional[float] = None,
+    ) -> None:
+        self.log.append(
+            PmbusTransaction(command=command, rail=rail, argument=argument, response=response)
+        )
+
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
+    def vout_command(self, rail: str, volts: float) -> float:
+        """Set a rail's output voltage (``VOUT_COMMAND``)."""
+        if not self.powered_on:
+            raise PmbusError("regulator output is off; issue OPERATION_ON first")
+        try:
+            applied = self.chip.regulator.set_voltage(rail, volts)
+        except VoltageError as exc:
+            self._record(VOUT_COMMAND, rail, volts, None)
+            raise PmbusError(str(exc)) from exc
+        self._record(VOUT_COMMAND, rail, volts, applied)
+        return applied
+
+    def read_vout(self, rail: str) -> float:
+        """Read a rail's output voltage back (``READ_VOUT``)."""
+        value = self.chip.regulator.read_voltage(rail)
+        self._record(READ_VOUT, rail, None, value)
+        return value
+
+    def read_temperature(self) -> float:
+        """Read the on-board temperature sensor (``READ_TEMPERATURE_1``)."""
+        value = self.chip.board_temperature_c
+        self._record(READ_TEMPERATURE, None, None, value)
+        return value
+
+    def operation_on(self) -> None:
+        """Enable the regulator outputs."""
+        self.powered_on = True
+        self._record(OPERATION_ON)
+
+    def operation_soft_off(self) -> None:
+        """Soft-disable the regulator outputs (used for crash recovery)."""
+        self.powered_on = False
+        self._record(OPERATION_SOFT_OFF)
+
+    # ------------------------------------------------------------------
+    # Log queries
+    # ------------------------------------------------------------------
+    def commands_issued(self, command: Optional[str] = None) -> List[PmbusTransaction]:
+        """The logged transactions, optionally filtered by command name."""
+        if command is None:
+            return list(self.log)
+        return [entry for entry in self.log if entry.command == command]
+
+    def last_setpoint(self, rail: str) -> Optional[float]:
+        """Most recent ``VOUT_COMMAND`` value applied to a rail, if any."""
+        for entry in reversed(self.log):
+            if entry.command == VOUT_COMMAND and entry.rail == rail and entry.response is not None:
+                return entry.response
+        return None
+
+    def clear_log(self) -> None:
+        """Forget the transaction history (between experiments)."""
+        self.log.clear()

@@ -1,0 +1,146 @@
+"""Result records shared by the experiment harness.
+
+The harness mirrors the paper's measurement loop (Listing 1): for each
+voltage step the BRAM contents are read back repeatedly, faults are counted
+and located, and the BRAM power is recorded.  These dataclasses are the
+typed results that flow out of that loop into the analyses, benchmarks and
+examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class RecordError(ValueError):
+    """Raised for inconsistent experiment records."""
+
+
+@dataclass(frozen=True)
+class RunObservation:
+    """One read-back pass over the whole BRAM pool at a fixed voltage."""
+
+    run_index: int
+    fault_count: int
+
+    def __post_init__(self) -> None:
+        if self.fault_count < 0:
+            raise RecordError("fault counts cannot be negative")
+
+
+@dataclass
+class VoltageStepResult:
+    """Everything measured at one voltage step of a sweep."""
+
+    voltage_v: float
+    temperature_c: float
+    runs: List[RunObservation] = field(default_factory=list)
+    per_bram_counts: Optional[Tuple[int, ...]] = None
+    bram_power_w: Optional[float] = None
+    operational: bool = True
+    total_mbits: float = 1.0
+
+    @property
+    def fault_counts(self) -> List[int]:
+        """Fault counts of the individual runs."""
+        return [run.fault_count for run in self.runs]
+
+    @property
+    def median_fault_count(self) -> float:
+        """Median fault count over the runs (the paper reports medians)."""
+        if not self.runs:
+            return 0.0
+        return float(np.median(self.fault_counts))
+
+    @property
+    def median_fault_rate_per_mbit(self) -> float:
+        """Median fault rate in faults per Mbit."""
+        return self.median_fault_count / self.total_mbits
+
+    @property
+    def fault_rate_std_per_mbit(self) -> float:
+        """Run-to-run standard deviation in faults per Mbit."""
+        if len(self.runs) < 2:
+            return 0.0
+        return float(np.std(self.fault_counts)) / self.total_mbits
+
+    def is_fault_free(self) -> bool:
+        """Whether no run observed any fault at this voltage."""
+        return self.operational and all(run.fault_count == 0 for run in self.runs)
+
+
+@dataclass
+class SweepResult:
+    """A full downward voltage sweep on one platform."""
+
+    platform: str
+    rail: str
+    pattern: str
+    steps: List[VoltageStepResult] = field(default_factory=list)
+    crashed_at_v: Optional[float] = None
+
+    def voltages(self) -> List[float]:
+        """Swept voltages in measurement order."""
+        return [step.voltage_v for step in self.steps]
+
+    def operational_steps(self) -> List[VoltageStepResult]:
+        """Steps at which the design still operated."""
+        return [step for step in self.steps if step.operational]
+
+    def fault_rates_per_mbit(self) -> List[float]:
+        """Median fault rate per step, the y-axis of Fig. 3 and Fig. 8."""
+        return [step.median_fault_rate_per_mbit for step in self.steps]
+
+    def powers_w(self) -> List[Optional[float]]:
+        """BRAM power per step, the second y-axis of Fig. 3."""
+        return [step.bram_power_w for step in self.steps]
+
+    def step_at(self, voltage_v: float, tolerance_v: float = 5e-4) -> VoltageStepResult:
+        """Look up the step measured at (approximately) one voltage."""
+        for step in self.steps:
+            if abs(step.voltage_v - voltage_v) <= tolerance_v:
+                return step
+        raise RecordError(f"no step measured at {voltage_v:.3f} V")
+
+    def last_operational_voltage(self) -> float:
+        """Lowest voltage at which the design still worked (the observed Vcrash)."""
+        operational = self.operational_steps()
+        if not operational:
+            raise RecordError("the design never operated during this sweep")
+        return min(step.voltage_v for step in operational)
+
+    def first_faulty_voltage(self) -> Optional[float]:
+        """Highest voltage at which any fault was observed, or ``None``."""
+        faulty = [
+            step.voltage_v
+            for step in self.operational_steps()
+            if step.median_fault_count > 0
+        ]
+        return max(faulty) if faulty else None
+
+    def as_series(self) -> List[Tuple[float, float, Optional[float]]]:
+        """Rows of ``(voltage, fault_rate_per_mbit, power_w)`` for tables."""
+        return [
+            (step.voltage_v, step.median_fault_rate_per_mbit, step.bram_power_w)
+            for step in self.steps
+        ]
+
+
+@dataclass
+class GuardbandMeasurement:
+    """Outcome of the Vmin/Vcrash discovery experiment on one rail."""
+
+    platform: str
+    rail: str
+    nominal_v: float
+    vmin_v: float
+    vcrash_v: float
+    power_reduction_factor_at_vmin: float
+
+    @property
+    def guardband_fraction(self) -> float:
+        """Guardband below nominal as a fraction (Fig. 1's headline numbers)."""
+        return (self.nominal_v - self.vmin_v) / self.nominal_v

@@ -1,0 +1,291 @@
+"""Voltage-sweep drivers implementing the paper's measurement loops.
+
+Two loops matter:
+
+* the **guardband discovery** sweep of Fig. 1: start at the nominal voltage
+  and walk each rail down in 10 mV steps until the design crashes, noting the
+  lowest fault-free voltage (``Vmin``) and the lowest operational voltage
+  (``Vcrash``);
+* the **critical-region characterization** loop of Listing 1: for every
+  voltage between ``Vmin`` and ``Vcrash``, read the whole BRAM pool back 100
+  times, analyse fault rate and location, record power, step down 10 mV and
+  repeat.
+
+Both are implemented here on top of :class:`repro.harness.host.HostController`
+and return the typed records of :mod:`repro.harness.records`, which the
+benchmarks turn into the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.calibration import PlatformCalibration, get_calibration
+from repro.core.faultmodel import FaultField
+from repro.core.fvm import FaultVariationMap
+from repro.core.guardband import GuardbandResult, SweepObservation, detect_guardband
+from repro.core.temperature import REFERENCE_TEMPERATURE_C
+from repro.fpga.platform import FpgaChip
+from repro.fpga.voltage import DEFAULT_STEP_V, VCCBRAM, VCCINT
+
+from .environment import HeatChamber
+from .host import HostController
+from .powermeter import PowerMeter
+from .records import GuardbandMeasurement, RunObservation, SweepResult, VoltageStepResult
+
+
+class SweepError(RuntimeError):
+    """Raised for invalid sweep configurations."""
+
+
+@dataclass
+class UndervoltingExperiment:
+    """The end-to-end undervolting experiment on one board.
+
+    Parameters
+    ----------
+    chip:
+        Board under test; a fresh chip is normally built per experiment.
+    fault_field:
+        Fault model; defaults to the calibrated field for the platform.
+    runs_per_step:
+        Read-back repetitions per voltage step.  The paper uses 100; smaller
+        values keep the benchmarks quick and the statistics are unaffected in
+        expectation.
+    """
+
+    chip: FpgaChip
+    fault_field: Optional[FaultField] = None
+    host: Optional[HostController] = None
+    power_meter: Optional[PowerMeter] = None
+    runs_per_step: int = 100
+    step_v: float = DEFAULT_STEP_V
+
+    def __post_init__(self) -> None:
+        if self.runs_per_step < 1:
+            raise SweepError("runs_per_step must be at least 1")
+        if self.fault_field is None:
+            self.fault_field = FaultField(self.chip)
+        if self.host is None:
+            self.host = HostController(self.chip, fault_field=self.fault_field)
+        if self.power_meter is None:
+            self.power_meter = PowerMeter(self.chip, calibration=self.fault_field.calibration)
+
+    # ------------------------------------------------------------------
+    @property
+    def calibration(self) -> PlatformCalibration:
+        """Calibration backing the fault field."""
+        return self.fault_field.calibration
+
+    def _int_fault_count(self, vccint_v: float) -> int:
+        """Observable logic faults when undervolting VCCINT (Fig. 1b).
+
+        The paper does not characterize VCCINT faults bit-by-bit (the rail
+        feeds LUTs, DSPs and routing, which cannot be read back like BRAMs);
+        it only locates the SAFE/CRITICAL/CRASH boundaries.  The reproduction
+        models the observable fault count with the same exponential-onset
+        shape anchored at the calibrated VCCINT thresholds.
+        """
+        cal = self.calibration
+        if vccint_v >= cal.vmin_int_v:
+            return 0
+        window = cal.vmin_int_v - cal.vcrash_int_v
+        slope = math.log(500.0) / window
+        return int(round(2.0 * math.exp(slope * (cal.vmin_int_v - vccint_v) - slope * self.step_v)))
+
+    # ------------------------------------------------------------------
+    # Guardband discovery (Fig. 1)
+    # ------------------------------------------------------------------
+    def discover_guardband(
+        self,
+        rail: str = VCCBRAM,
+        pattern: "str | int" = 0xFFFF,
+        probe_runs: int = 3,
+    ) -> Tuple[GuardbandMeasurement, SweepResult]:
+        """Walk one rail down from nominal until the design stops operating."""
+        cal = self.calibration
+        if rail == VCCBRAM:
+            vmin_true, vcrash_true = cal.vmin_bram_v, cal.vcrash_bram_v
+        elif rail == VCCINT:
+            vmin_true, vcrash_true = cal.vmin_int_v, cal.vcrash_int_v
+        else:
+            raise SweepError(f"unsupported rail {rail!r}")
+
+        self.host.initialize_brams(pattern)
+        result = SweepResult(platform=self.chip.name, rail=rail, pattern=str(pattern))
+        observations: List[SweepObservation] = []
+        voltage = cal.vnom_v
+        crashed_at: Optional[float] = None
+        while voltage > 0.3:
+            operational = voltage >= vcrash_true - 1e-9
+            if rail == VCCBRAM:
+                self.chip.set_vccbram(max(voltage, 0.40))
+                counts = (
+                    [self.host.count_chip_faults(run_index=r) for r in range(probe_runs)]
+                    if operational
+                    else []
+                )
+            else:
+                self.chip.set_vccint(max(voltage, 0.40))
+                counts = [self._int_fault_count(voltage)] * probe_runs if operational else []
+            step = VoltageStepResult(
+                voltage_v=voltage,
+                temperature_c=self.chip.board_temperature_c,
+                runs=[RunObservation(run_index=r, fault_count=c) for r, c in enumerate(counts)],
+                bram_power_w=self.power_meter.read_bram_power_w(voltage) if rail == VCCBRAM else None,
+                operational=operational,
+                total_mbits=self.chip.brams.total_mbits,
+            )
+            result.steps.append(step)
+            observations.append(
+                SweepObservation(
+                    voltage_v=voltage,
+                    fault_count=int(step.median_fault_count),
+                    operational=operational,
+                )
+            )
+            if not operational:
+                crashed_at = voltage
+                break
+            voltage = round(voltage - self.step_v, 4)
+
+        result.crashed_at_v = crashed_at
+        guardband: GuardbandResult = detect_guardband(observations, nominal_v=cal.vnom_v)
+        reduction = self.power_meter.bram_reduction_factor(cal.vnom_v, guardband.vmin_v)
+        measurement = GuardbandMeasurement(
+            platform=self.chip.name,
+            rail=rail,
+            nominal_v=cal.vnom_v,
+            vmin_v=guardband.vmin_v,
+            vcrash_v=guardband.vcrash_v,
+            power_reduction_factor_at_vmin=reduction,
+        )
+        # Leave the board in a sane state for whatever runs next.
+        self.chip.regulator.reset_all()
+        self.host.recover_from_crash()
+        return measurement, result
+
+    # ------------------------------------------------------------------
+    # Critical-region characterization (Listing 1, Fig. 3)
+    # ------------------------------------------------------------------
+    def critical_region_sweep(
+        self,
+        pattern: "str | int" = 0xFFFF,
+        n_runs: Optional[int] = None,
+        start_v: Optional[float] = None,
+        stop_v: Optional[float] = None,
+        collect_per_bram: bool = False,
+        temperature_c: Optional[float] = None,
+    ) -> SweepResult:
+        """Listing 1: sweep VCCBRAM from ``Vmin`` down to ``Vcrash``.
+
+        Every step reads the pool ``n_runs`` times (vectorized through the
+        fault field), records the median fault rate, optionally the per-BRAM
+        counts (for FVM construction) and the BRAM power.
+        """
+        cal = self.calibration
+        n_runs = self.runs_per_step if n_runs is None else n_runs
+        if n_runs < 1:
+            raise SweepError("n_runs must be at least 1")
+        start = cal.vmin_bram_v if start_v is None else start_v
+        stop = cal.vcrash_bram_v if stop_v is None else stop_v
+        if stop > start:
+            raise SweepError("critical-region sweep must go downward")
+        if temperature_c is not None:
+            self.chip.set_temperature(temperature_c)
+
+        self.host.initialize_brams(pattern)
+        result = SweepResult(platform=self.chip.name, rail=VCCBRAM, pattern=str(pattern))
+        voltage = start
+        while voltage >= stop - 1e-9:
+            self.chip.set_vccbram(voltage)
+            counts = self.fault_field.counts_over_runs(
+                voltage,
+                n_runs,
+                temperature_c=self.chip.board_temperature_c,
+                pattern=pattern,
+            )
+            per_bram = None
+            if collect_per_bram:
+                per_bram = tuple(
+                    int(c)
+                    for c in self.fault_field.per_bram_counts(
+                        voltage,
+                        temperature_c=self.chip.board_temperature_c,
+                        pattern=pattern,
+                    )
+                )
+            step = VoltageStepResult(
+                voltage_v=voltage,
+                temperature_c=self.chip.board_temperature_c,
+                runs=[RunObservation(run_index=r, fault_count=int(c)) for r, c in enumerate(counts)],
+                per_bram_counts=per_bram,
+                bram_power_w=self.power_meter.read_bram_power_w(voltage),
+                operational=True,
+                total_mbits=self.chip.brams.total_mbits,
+            )
+            result.steps.append(step)
+            self.chip.soft_reset()
+            voltage = round(voltage - self.step_v, 4)
+        self.chip.set_vccbram(cal.vnom_v)
+        return result
+
+    # ------------------------------------------------------------------
+    # Fault Variation Map extraction (Figs. 6 and 7)
+    # ------------------------------------------------------------------
+    def extract_fvm(
+        self,
+        pattern: "str | int" = 0xFFFF,
+        voltages: Optional[Sequence[float]] = None,
+        temperature_c: float = REFERENCE_TEMPERATURE_C,
+    ) -> FaultVariationMap:
+        """Build the chip's FVM by sweeping the critical region once."""
+        cal = self.calibration
+        if voltages is None:
+            voltages = []
+            voltage = cal.vmin_bram_v
+            while voltage >= cal.vcrash_bram_v - 1e-9:
+                voltages.append(round(voltage, 4))
+                voltage -= self.step_v
+        counts_by_voltage = [
+            [
+                int(c)
+                for c in self.fault_field.per_bram_counts(
+                    voltage, temperature_c=temperature_c, pattern=pattern
+                )
+            ]
+            for voltage in voltages
+        ]
+        return FaultVariationMap.from_counts(
+            platform=self.chip.name,
+            floorplan=self.chip.floorplan,
+            voltages_v=voltages,
+            counts_by_voltage=counts_by_voltage,
+            bram_bits=self.chip.spec.bram_rows * self.chip.spec.bram_cols,
+        )
+
+    # ------------------------------------------------------------------
+    # Temperature study (Fig. 8)
+    # ------------------------------------------------------------------
+    def temperature_sweep(
+        self,
+        temperatures_c: Sequence[float],
+        pattern: "str | int" = 0xFFFF,
+        n_runs: int = 5,
+    ) -> Dict[float, SweepResult]:
+        """Repeat the critical-region sweep at several chamber temperatures."""
+        if not temperatures_c:
+            raise SweepError("at least one temperature is required")
+        chamber = HeatChamber(self.chip)
+        results: Dict[float, SweepResult] = {}
+        for target in temperatures_c:
+            chamber.go_to(target)
+            results[float(target)] = self.critical_region_sweep(
+                pattern=pattern, n_runs=n_runs
+            )
+        chamber.go_to(REFERENCE_TEMPERATURE_C)
+        return results

@@ -1,0 +1,185 @@
+"""16-bit fixed-point data representation with per-layer minimum precision.
+
+Section III-A of the paper stores each weight as a 16-bit fixed-point value
+composed of *sign*, *digit* (integer) and *fraction* components.  A
+pre-processing pass finds, per layer, the minimum sign and digit widths that
+represent the trained weights without accuracy loss, and the remaining bits
+become fraction bits (Fig. 9): every layer except the last needs no digit
+bits because its weights lie inside (-1, 1), while the last layer needs a
+4-bit digit component.
+
+The representation here is sign-magnitude (1 sign bit + digit bits +
+fraction bits), which matches the paper's decomposition and gives the
+bit-level sparsity the fault-tolerance argument rests on: small weights have
+mostly ``0`` bits, and a ``1 -> 0`` flip can only move a weight towards zero.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .model import FullyConnectedNetwork
+
+#: Word width used by the accelerator's weight memories (one BRAM column set).
+DEFAULT_TOTAL_BITS = 16
+
+
+class FixedPointError(ValueError):
+    """Raised for invalid fixed-point formats or out-of-range encodings."""
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A sign-magnitude fixed-point format: 1 sign bit, digit bits, fraction bits."""
+
+    digit_bits: int
+    fraction_bits: int
+    sign_bits: int = 1
+
+    def __post_init__(self) -> None:
+        if self.sign_bits != 1:
+            raise FixedPointError("the representation always uses exactly one sign bit")
+        if self.digit_bits < 0 or self.fraction_bits < 0:
+            raise FixedPointError("bit widths must be non-negative")
+        if self.total_bits > 32:
+            raise FixedPointError("formats wider than 32 bits are not supported")
+
+    # ------------------------------------------------------------------
+    @property
+    def total_bits(self) -> int:
+        """Total word width (16 for the paper's accelerator)."""
+        return self.sign_bits + self.digit_bits + self.fraction_bits
+
+    @property
+    def scale(self) -> float:
+        """Value of one least-significant fraction bit."""
+        return 2.0 ** (-self.fraction_bits)
+
+    @property
+    def max_magnitude(self) -> float:
+        """Largest representable absolute value."""
+        return (2 ** (self.digit_bits + self.fraction_bits) - 1) * self.scale
+
+    @property
+    def resolution(self) -> float:
+        """Quantization step (alias of :attr:`scale`)."""
+        return self.scale
+
+    def describe(self) -> str:
+        """Compact description, e.g. ``"s1.d0.f15"``."""
+        return f"s{self.sign_bits}.d{self.digit_bits}.f{self.fraction_bits}"
+
+    # ------------------------------------------------------------------
+    # Scalar encode / decode
+    # ------------------------------------------------------------------
+    def encode(self, value: float) -> int:
+        """Encode a float into a sign-magnitude word (saturating)."""
+        magnitude = min(abs(float(value)), self.max_magnitude)
+        quantized = int(round(magnitude / self.scale))
+        quantized = min(quantized, 2 ** (self.digit_bits + self.fraction_bits) - 1)
+        sign = 1 if value < 0 else 0
+        return (sign << (self.total_bits - 1)) | quantized
+
+    def decode(self, word: int) -> float:
+        """Decode a sign-magnitude word back into a float."""
+        if not 0 <= word < (1 << self.total_bits):
+            raise FixedPointError(f"word {word:#x} does not fit in {self.total_bits} bits")
+        sign = (word >> (self.total_bits - 1)) & 1
+        magnitude = word & ((1 << (self.total_bits - 1)) - 1)
+        value = magnitude * self.scale
+        return -value if sign else value
+
+    # ------------------------------------------------------------------
+    # Array encode / decode
+    # ------------------------------------------------------------------
+    def encode_array(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized encoding into ``uint32`` words (top bits zero)."""
+        values = np.asarray(values, dtype=float)
+        magnitude = np.minimum(np.abs(values), self.max_magnitude)
+        quantized = np.rint(magnitude / self.scale).astype(np.int64)
+        quantized = np.minimum(quantized, 2 ** (self.digit_bits + self.fraction_bits) - 1)
+        sign = (values < 0).astype(np.int64)
+        return ((sign << (self.total_bits - 1)) | quantized).astype(np.uint32)
+
+    def decode_array(self, words: np.ndarray) -> np.ndarray:
+        """Vectorized decoding of ``uint`` words back to floats."""
+        words = np.asarray(words, dtype=np.int64)
+        if (words < 0).any() or (words >= (1 << self.total_bits)).any():
+            raise FixedPointError(f"words do not fit in {self.total_bits} bits")
+        sign = (words >> (self.total_bits - 1)) & 1
+        magnitude = words & ((1 << (self.total_bits - 1)) - 1)
+        values = magnitude * self.scale
+        return np.where(sign == 1, -values, values)
+
+    def quantize_array(self, values: np.ndarray) -> np.ndarray:
+        """Round-trip an array through the format (quantization error only)."""
+        return self.decode_array(self.encode_array(values))
+
+    def quantization_error(self, values: np.ndarray) -> float:
+        """Maximum absolute quantization error over an array."""
+        return float(np.max(np.abs(self.quantize_array(values) - np.asarray(values, dtype=float))))
+
+
+def minimum_digit_bits(values: np.ndarray) -> int:
+    """Minimum number of digit (integer) bits needed for an array of weights."""
+    peak = float(np.max(np.abs(np.asarray(values, dtype=float)))) if np.size(values) else 0.0
+    if peak < 1.0:
+        return 0
+    return int(math.floor(math.log2(peak))) + 1
+
+
+def minimum_format_for(values: np.ndarray, total_bits: int = DEFAULT_TOTAL_BITS) -> FixedPointFormat:
+    """Minimum-precision format of Fig. 9 for one layer's weights.
+
+    The digit width is the smallest that avoids saturation of the trained
+    weights; every remaining bit beyond the sign becomes fraction.
+    """
+    digit = minimum_digit_bits(values)
+    fraction = total_bits - 1 - digit
+    if fraction < 0:
+        raise FixedPointError(
+            f"weights need {digit} digit bits, which does not fit in {total_bits} bits"
+        )
+    return FixedPointFormat(digit_bits=digit, fraction_bits=fraction)
+
+
+def per_layer_formats(
+    network: FullyConnectedNetwork, total_bits: int = DEFAULT_TOTAL_BITS
+) -> List[FixedPointFormat]:
+    """Per-layer minimum-precision formats for a trained network (Fig. 9)."""
+    return [minimum_format_for(layer.weights, total_bits) for layer in network.layers]
+
+
+def precision_table(network: FullyConnectedNetwork, total_bits: int = DEFAULT_TOTAL_BITS) -> List[Dict[str, int]]:
+    """Fig. 9 as rows of ``{layer, sign, digit, fraction}`` bit widths."""
+    rows: List[Dict[str, int]] = []
+    for j, fmt in enumerate(per_layer_formats(network, total_bits)):
+        rows.append(
+            {
+                "layer": j,
+                "sign_bits": fmt.sign_bits,
+                "digit_bits": fmt.digit_bits,
+                "fraction_bits": fmt.fraction_bits,
+            }
+        )
+    return rows
+
+
+def zero_bit_fraction(words: np.ndarray, total_bits: int = DEFAULT_TOTAL_BITS) -> float:
+    """Fraction of ``0`` bits over an array of encoded words.
+
+    The paper measures 76.3 % of the MNIST network's weight bits to be zero,
+    which is why the workload tolerates ``1 -> 0`` flips so well.
+    """
+    words = np.asarray(words, dtype=np.int64)
+    if words.size == 0:
+        return 1.0
+    ones = 0
+    for bit in range(total_bits):
+        ones += int(((words >> bit) & 1).sum())
+    total = words.size * total_bits
+    return 1.0 - ones / total

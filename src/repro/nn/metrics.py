@@ -1,0 +1,99 @@
+"""Classification and bit-level metrics for the NN case study.
+
+Small, dependency-free helpers shared by the training loop, the accelerator
+experiments and the benchmarks: classification error (the paper's accuracy
+metric), confusion matrices, and the weight-bit sparsity statistics behind
+the inherent fault-tolerance argument of Section III-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+class MetricsError(ValueError):
+    """Raised for mismatched metric inputs."""
+
+
+def classification_error(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of misclassified samples."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise MetricsError("predictions and labels must have the same shape")
+    if predictions.size == 0:
+        raise MetricsError("cannot compute an error over zero samples")
+    return float(np.mean(predictions != labels))
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Complement of :func:`classification_error`."""
+    return 1.0 - classification_error(predictions, labels)
+
+
+def confusion_matrix(predictions: np.ndarray, labels: np.ndarray, n_classes: int) -> np.ndarray:
+    """Confusion matrix with true classes as rows and predictions as columns."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise MetricsError("predictions and labels must have the same shape")
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    for true, predicted in zip(labels, predictions):
+        if not (0 <= true < n_classes and 0 <= predicted < n_classes):
+            raise MetricsError("class index outside [0, n_classes)")
+        matrix[true, predicted] += 1
+    return matrix
+
+
+@dataclass(frozen=True)
+class AccuracyDelta:
+    """Error before and after some perturbation (faults, mitigation, ...)."""
+
+    baseline_error: float
+    perturbed_error: float
+
+    @property
+    def error_increase(self) -> float:
+        """Absolute increase in classification error (the paper's "accuracy loss")."""
+        return self.perturbed_error - self.baseline_error
+
+    @property
+    def relative_increase(self) -> float:
+        """Error increase relative to the baseline error."""
+        if self.baseline_error == 0:
+            return float("inf") if self.perturbed_error > 0 else 0.0
+        return self.error_increase / self.baseline_error
+
+
+def weight_value_sparsity(weights: Sequence[np.ndarray], threshold: float = 1e-3) -> float:
+    """Fraction of weights whose magnitude is below ``threshold``.
+
+    Complements the bit-level sparsity: the paper cites weight sparsity
+    studies (Minerva and others) as the reason NN workloads tolerate
+    undervolting faults.
+    """
+    total = 0
+    small = 0
+    for array in weights:
+        array = np.asarray(array)
+        total += array.size
+        small += int((np.abs(array) < threshold).sum())
+    if total == 0:
+        raise MetricsError("no weights supplied")
+    return small / total
+
+
+def per_class_error(predictions: np.ndarray, labels: np.ndarray, n_classes: int) -> Dict[int, float]:
+    """Classification error per true class."""
+    matrix = confusion_matrix(predictions, labels, n_classes)
+    errors: Dict[int, float] = {}
+    for cls in range(n_classes):
+        row_total = matrix[cls].sum()
+        if row_total == 0:
+            errors[cls] = 0.0
+        else:
+            errors[cls] = 1.0 - matrix[cls, cls] / row_total
+    return errors

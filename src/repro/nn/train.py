@@ -1,0 +1,166 @@
+"""Offline training of the fully-connected network.
+
+The paper trains its network offline (a MATLAB implementation on the 60 000
+MNIST training images) and only the *inference* phase runs on the FPGA.  The
+reproduction keeps the same split: this module trains the float network with
+plain mini-batch SGD and cross-entropy loss, after which the weights are
+quantized and loaded into the (simulated) BRAMs.
+
+Training is deliberately simple — no momentum schedules or regularization
+sweeps — because the case study only needs a reasonably accurate classifier
+whose weights have the published bit-level properties; the achieved accuracy
+on the synthetic datasets is recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .datasets import Dataset
+from .model import DenseLayer, FullyConnectedNetwork, logsig, logsig_derivative, softmax
+
+
+class TrainingError(ValueError):
+    """Raised for invalid training configurations."""
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyper-parameters of the offline training stage."""
+
+    epochs: int = 15
+    batch_size: int = 64
+    learning_rate: float = 0.3
+    momentum: float = 0.9
+    seed: int = 7
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0:
+            raise TrainingError("epochs must be positive")
+        if self.batch_size <= 0:
+            raise TrainingError("batch_size must be positive")
+        if self.learning_rate <= 0:
+            raise TrainingError("learning_rate must be positive")
+        if not 0.0 <= self.momentum < 1.0:
+            raise TrainingError("momentum must be in [0, 1)")
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of a training run."""
+
+    network: FullyConnectedNetwork
+    train_errors: List[float] = field(default_factory=list)
+    test_error: Optional[float] = None
+
+    @property
+    def final_train_error(self) -> float:
+        """Classification error on the training set after the last epoch."""
+        return self.train_errors[-1] if self.train_errors else 1.0
+
+
+def _forward_pass(
+    network: FullyConnectedNetwork, inputs: np.ndarray
+) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+    """Forward pass keeping the per-layer pre- and post-activations."""
+    activations = [inputs]
+    pre_activations: List[np.ndarray] = []
+    current = inputs
+    last = network.n_weight_layers - 1
+    for j, layer in enumerate(network.layers):
+        pre = current @ layer.weights + layer.biases
+        pre_activations.append(pre)
+        current = softmax(pre) if j == last else logsig(pre)
+        activations.append(current)
+    return pre_activations, activations
+
+
+def _backward_pass(
+    network: FullyConnectedNetwork,
+    activations: List[np.ndarray],
+    targets: np.ndarray,
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Gradients of the cross-entropy loss for every layer."""
+    gradients: List[Tuple[np.ndarray, np.ndarray]] = [None] * network.n_weight_layers  # type: ignore[list-item]
+    batch = targets.shape[0]
+    # Softmax + cross-entropy gives this simple output delta.
+    delta = (activations[-1] - targets) / batch
+    for j in range(network.n_weight_layers - 1, -1, -1):
+        layer = network.layers[j]
+        grad_w = activations[j].T @ delta
+        grad_b = delta.sum(axis=0)
+        gradients[j] = (grad_w, grad_b)
+        if j > 0:
+            delta = (delta @ layer.weights.T) * logsig_derivative(activations[j])
+    return gradients
+
+
+def classification_error(network: FullyConnectedNetwork, inputs: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of misclassified samples (the paper's error metric)."""
+    predictions = network.predict(inputs)
+    return float(np.mean(predictions != labels))
+
+
+def train_network(
+    dataset: Dataset,
+    topology: Optional[Tuple[int, ...]] = None,
+    config: Optional[TrainingConfig] = None,
+) -> TrainingResult:
+    """Train a fully-connected classifier on one dataset.
+
+    ``topology`` defaults to ``(n_features, 128, 64, n_classes)`` for quick
+    runs; pass :data:`repro.nn.model.PAPER_TOPOLOGY` to train the full
+    Table III network on the MNIST-like benchmark.
+    """
+    config = config or TrainingConfig()
+    if topology is None:
+        topology = (dataset.n_features, 128, 64, dataset.n_classes)
+    if topology[0] != dataset.n_features:
+        raise TrainingError(
+            f"topology input width {topology[0]} does not match dataset features "
+            f"{dataset.n_features}"
+        )
+    if topology[-1] != dataset.n_classes:
+        raise TrainingError(
+            f"topology output width {topology[-1]} does not match dataset classes "
+            f"{dataset.n_classes}"
+        )
+
+    network = FullyConnectedNetwork.initialize(topology, seed=config.seed)
+    rng = np.random.default_rng(config.seed)
+    targets = np.zeros((dataset.n_train, dataset.n_classes))
+    targets[np.arange(dataset.n_train), dataset.train_labels] = 1.0
+
+    velocities = [
+        (np.zeros_like(layer.weights), np.zeros_like(layer.biases)) for layer in network.layers
+    ]
+    result = TrainingResult(network=network)
+
+    for epoch in range(config.epochs):
+        order = rng.permutation(dataset.n_train)
+        for start in range(0, dataset.n_train, config.batch_size):
+            batch_idx = order[start : start + config.batch_size]
+            batch_x = dataset.train_inputs[batch_idx]
+            batch_t = targets[batch_idx]
+            _, activations = _forward_pass(network, batch_x)
+            gradients = _backward_pass(network, activations, batch_t)
+            for j, layer in enumerate(network.layers):
+                grad_w, grad_b = gradients[j]
+                vel_w, vel_b = velocities[j]
+                vel_w *= config.momentum
+                vel_w -= config.learning_rate * grad_w
+                vel_b *= config.momentum
+                vel_b -= config.learning_rate * grad_b
+                layer.weights += vel_w
+                layer.biases += vel_b
+        train_error = classification_error(network, dataset.train_inputs, dataset.train_labels)
+        result.train_errors.append(train_error)
+        if config.verbose:  # pragma: no cover - logging only
+            print(f"epoch {epoch + 1}/{config.epochs}: train error {train_error:.4f}")
+
+    result.test_error = classification_error(network, dataset.test_inputs, dataset.test_labels)
+    return result

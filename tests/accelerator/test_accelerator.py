@@ -1,0 +1,123 @@
+"""Tests for the NN accelerator under undervolted BRAMs."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator.accelerator import AcceleratorError, NnAccelerator, mean_error_sweep
+from repro.core.faultmodel import FaultField
+from repro.fpga.platform import FpgaChip
+from repro.nn.inference import QuantizedNetwork
+from repro.nn.model import FullyConnectedNetwork
+
+
+@pytest.fixture(scope="module")
+def accelerator(quantized_small_network) -> NnAccelerator:
+    chip = FpgaChip.build("ZC702")
+    return NnAccelerator(chip=chip, network=quantized_small_network, compile_seed=1)
+
+
+class TestConstruction:
+    def test_placement_covers_all_segments(self, accelerator):
+        assert len(accelerator.placement) == accelerator.mapping.n_logical_brams
+        sites = accelerator.placement.used_sites()
+        assert len(sites) == len(set(sites))
+
+    def test_layer_physical_brams(self, accelerator, quantized_small_network):
+        for layer in quantized_small_network.layers:
+            brams = accelerator.layer_physical_brams(layer.index)
+            assert len(brams) == len(accelerator.mapping.segments_of_layer(layer.index))
+
+    def test_utilization_reports_all_resources(self, accelerator):
+        util = accelerator.utilization()
+        assert util.percent("BRAM") > 0
+        assert util.percent("DSP") > 0
+
+    def test_oversized_network_rejected(self):
+        huge = FullyConnectedNetwork.initialize((2048, 2048, 2048, 10), seed=0)
+        quantized = QuantizedNetwork.from_network(huge)
+        with pytest.raises(AcceleratorError):
+            NnAccelerator(chip=FpgaChip.build("ZC702"), network=quantized)
+
+
+class TestFaultInjection:
+    def test_safe_region_network_is_identical(self, accelerator, quantized_small_network):
+        clean = accelerator.faulty_network(1.0)
+        for original, observed in zip(quantized_small_network.layers, clean.layers):
+            assert np.array_equal(original.weight_words, observed.weight_words)
+
+    def test_vcrash_network_has_cleared_bits_only(self, accelerator, quantized_small_network):
+        cal = accelerator.calibration
+        faulty = accelerator.faulty_network(cal.vcrash_bram_v)
+        any_difference = False
+        for original, observed in zip(quantized_small_network.layers, faulty.layers):
+            cleared = original.weight_words & ~observed.weight_words
+            introduced = observed.weight_words & ~original.weight_words
+            if (cleared > 0).any():
+                any_difference = True
+            # 1 -> 0 flips dominate: essentially no bits may be introduced.
+            assert int((introduced > 0).sum()) <= max(1, int((cleared > 0).sum()) // 100)
+        assert any_difference
+
+    def test_count_weight_faults_matches_word_diff(self, accelerator, quantized_small_network):
+        cal = accelerator.calibration
+        per_layer = accelerator.count_weight_faults(cal.vcrash_bram_v)
+        faulty = accelerator.faulty_network(cal.vcrash_bram_v)
+        recount = 0
+        for original, observed in zip(quantized_small_network.layers, faulty.layers):
+            diff = original.weight_words ^ observed.weight_words
+            recount += sum(int(((diff >> b) & 1).sum()) for b in range(16))
+        assert sum(per_layer.values()) == recount
+
+    def test_deterministic_injection(self, accelerator):
+        cal = accelerator.calibration
+        first = accelerator.count_weight_faults(cal.vcrash_bram_v)
+        second = accelerator.count_weight_faults(cal.vcrash_bram_v)
+        assert first == second
+
+
+class TestAccuracy:
+    def test_baseline_matches_quantized_network(self, accelerator, small_dataset, quantized_small_network):
+        baseline = accelerator.baseline_error(small_dataset.test_inputs, small_dataset.test_labels)
+        direct = quantized_small_network.classification_error(
+            small_dataset.test_inputs, small_dataset.test_labels
+        )
+        assert baseline == pytest.approx(direct)
+
+    def test_error_sweep_structure(self, accelerator, small_dataset):
+        cal = accelerator.calibration
+        voltages = [cal.vmin_bram_v, cal.vcrash_bram_v]
+        points = accelerator.evaluate_on(small_dataset, voltages)
+        assert [p.voltage_v for p in points] == voltages
+        assert points[0].weight_faults == 0
+        assert points[1].weight_faults > 0
+        assert points[1].classification_error >= 0
+
+    def test_error_never_below_zero_nor_above_one(self, accelerator, small_dataset):
+        cal = accelerator.calibration
+        error = accelerator.classification_error_at(
+            cal.vcrash_bram_v, small_dataset.test_inputs, small_dataset.test_labels
+        )
+        assert 0.0 <= error <= 1.0
+
+
+class TestMeanErrorSweep:
+    def test_averages_over_seeds(self, small_dataset, quantized_small_network):
+        chip = FpgaChip.build("ZC702")
+        field = FaultField(chip)
+        cal = field.calibration
+        points = mean_error_sweep(
+            chip,
+            quantized_small_network,
+            small_dataset,
+            [cal.vmin_bram_v, cal.vcrash_bram_v],
+            compile_seeds=(0, 1),
+            fault_field=field,
+            max_samples=200,
+        )
+        assert len(points) == 2
+        assert points[0].classification_error <= points[1].classification_error + 0.05
+
+    def test_requires_seeds(self, small_dataset, quantized_small_network):
+        chip = FpgaChip.build("ZC702")
+        with pytest.raises(AcceleratorError):
+            mean_error_sweep(chip, quantized_small_network, small_dataset, [0.6], compile_seeds=())

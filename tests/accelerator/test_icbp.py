@@ -1,0 +1,89 @@
+"""Tests for the ICBP mitigation flow."""
+
+import pytest
+
+from repro.accelerator.icbp import IcbpError, IcbpFlow, PlacementPolicy
+from repro.core.faultmodel import FaultField
+from repro.fpga.platform import FpgaChip
+
+
+@pytest.fixture(scope="module")
+def flow(quantized_small_network, small_dataset) -> IcbpFlow:
+    chip = FpgaChip.build("ZC702")
+    return IcbpFlow(
+        chip=chip,
+        network=quantized_small_network,
+        dataset=small_dataset,
+        fault_field=FaultField(chip),
+        max_eval_samples=300,
+    )
+
+
+class TestPreprocessing:
+    def test_fvm_extracted_once_and_cached(self, flow):
+        first = flow.extract_fvm()
+        second = flow.extract_fvm()
+        assert first is second
+        assert first.n_brams == flow.chip.spec.n_brams
+
+    def test_vulnerability_report_cached(self, flow):
+        first = flow.analyze_vulnerability()
+        second = flow.analyze_vulnerability()
+        assert first is second
+
+
+class TestConstraints:
+    def test_default_policy_has_no_constraints(self, flow):
+        constraints, protected = flow.build_constraints(PlacementPolicy.DEFAULT)
+        assert constraints is None
+        assert protected == ()
+
+    def test_last_layer_policy_constrains_only_last_layer(self, flow, quantized_small_network):
+        constraints, protected = flow.build_constraints(PlacementPolicy.LAST_LAYER)
+        last = quantized_small_network.n_weight_layers - 1
+        assert protected == (last,)
+        constrained = constraints.constrained_blocks()
+        assert all(name.startswith(f"layer{last}_") for name in constrained)
+
+    def test_constrained_sites_are_low_vulnerable(self, flow):
+        constraints, _ = flow.build_constraints(PlacementPolicy.LAST_LAYER)
+        fvm = flow.extract_fvm()
+        allowed = set(fvm.low_vulnerable_brams()) | set(fvm.fault_free_brams())
+        for pblock in constraints:
+            assert pblock.allowed_sites <= allowed
+
+    def test_vulnerability_ordered_policy_protects_more_layers(self, flow):
+        _, protected_last = flow.build_constraints(PlacementPolicy.LAST_LAYER)
+        _, protected_ordered = flow.build_constraints(PlacementPolicy.VULNERABILITY_ORDERED)
+        assert len(protected_ordered) >= len(protected_last)
+
+
+class TestEvaluation:
+    def test_icbp_never_worse_than_default(self, flow):
+        comparison = flow.compare_policies(compile_seeds=(0, 1, 2))
+        default = comparison[PlacementPolicy.DEFAULT]
+        icbp = comparison[PlacementPolicy.LAST_LAYER]
+        assert icbp.accuracy_loss <= default.accuracy_loss + 1e-9
+        # Power savings are placement-independent: same voltage, same rail.
+        assert icbp.power_savings_vs_vmin == pytest.approx(default.power_savings_vs_vmin)
+        assert default.power_savings_vs_vmin > 0.2
+
+    def test_icbp_loss_is_small(self, flow):
+        evaluation = flow.evaluate(PlacementPolicy.LAST_LAYER, compile_seeds=(0, 1))
+        assert evaluation.accuracy_loss < 0.03
+
+    def test_max_aggregate_at_least_mean(self, flow):
+        mean_eval = flow.evaluate(PlacementPolicy.DEFAULT, compile_seeds=(0, 1, 2), aggregate="mean")
+        max_eval = flow.evaluate(PlacementPolicy.DEFAULT, compile_seeds=(0, 1, 2), aggregate="max")
+        assert max_eval.classification_error >= mean_eval.classification_error - 1e-9
+
+    def test_safe_voltage_has_no_loss_for_any_policy(self, flow):
+        cal = flow.fault_field.calibration
+        evaluation = flow.evaluate(PlacementPolicy.DEFAULT, voltage_v=cal.vmin_bram_v)
+        assert evaluation.accuracy_loss == pytest.approx(0.0)
+
+    def test_invalid_arguments_rejected(self, flow):
+        with pytest.raises(IcbpError):
+            flow.evaluate(PlacementPolicy.DEFAULT, compile_seeds=())
+        with pytest.raises(IcbpError):
+            flow.evaluate(PlacementPolicy.DEFAULT, aggregate="median")

@@ -1,0 +1,79 @@
+"""Tests for weight-to-BRAM mapping."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.accelerator.mapping import MappingError, WeightMapping, layer_group
+from repro.nn.inference import QuantizedNetwork
+from repro.nn.model import FullyConnectedNetwork, PAPER_TOPOLOGY
+
+
+@pytest.fixture(scope="module")
+def mapping(quantized_small_network) -> WeightMapping:
+    return WeightMapping(quantized_small_network)
+
+
+class TestSegments:
+    def test_every_layer_fully_covered(self, mapping, quantized_small_network):
+        for layer in quantized_small_network.layers:
+            segments = mapping.segments_of_layer(layer.index)
+            covered = sum(seg.n_words for seg in segments)
+            assert covered == layer.n_weights
+            offsets = [seg.word_offset for seg in segments]
+            assert offsets == sorted(offsets)
+
+    def test_segments_respect_bram_depth(self, mapping):
+        assert all(seg.n_words <= mapping.words_per_bram for seg in mapping.segments)
+        assert all(seg.n_words > 0 for seg in mapping.segments)
+
+    def test_logical_names_unique_and_grouped(self, mapping):
+        names = [seg.logical_name for seg in mapping.segments]
+        assert len(names) == len(set(names))
+        seg = mapping.segments[0]
+        assert seg.logical_name.startswith(f"layer{seg.layer_index}_")
+        assert layer_group(3) == "layer3"
+
+    def test_brams_per_layer_matches_ceil_division(self, mapping, quantized_small_network):
+        per_layer = mapping.brams_per_layer()
+        for layer in quantized_small_network.layers:
+            expected = max(1, math.ceil(layer.n_weights / mapping.words_per_bram))
+            assert per_layer[layer.index] == expected
+
+    def test_segment_lookup_and_words(self, mapping, quantized_small_network):
+        seg = mapping.segments_of_layer(0)[0]
+        words = mapping.words_for_segment(seg)
+        layer_words = quantized_small_network.layer(0).flat_words()
+        assert np.array_equal(words, layer_words[: seg.n_words])
+        assert mapping.segment_by_name(seg.logical_name) == seg
+        with pytest.raises(MappingError):
+            mapping.segment_by_name("nonexistent")
+
+    def test_invalid_words_per_bram_rejected(self, quantized_small_network):
+        with pytest.raises(MappingError):
+            WeightMapping(quantized_small_network, words_per_bram=0)
+
+
+class TestDesignAndUtilization:
+    def test_design_contains_all_segments(self, mapping):
+        design = mapping.build_design()
+        assert design.n_brams == mapping.n_logical_brams
+        groups = {block.group for block in design.logical_brams}
+        assert groups == {layer_group(i) for i in range(len(mapping.network.layers))}
+
+    def test_utilization_fraction(self, mapping):
+        fraction = mapping.bram_utilization_fraction(2060)
+        assert 0 < fraction < 1
+        with pytest.raises(MappingError):
+            mapping.bram_utilization_fraction(0)
+        with pytest.raises(MappingError):
+            mapping.bram_utilization_fraction(mapping.n_logical_brams - 1)
+
+    def test_paper_topology_uses_about_70_percent_of_vc707(self):
+        """Table III: the 1.5M-weight network fills 70.8 % of VC707's BRAMs."""
+        network = FullyConnectedNetwork.initialize(PAPER_TOPOLOGY, seed=0)
+        quantized = QuantizedNetwork.from_network(network)
+        mapping = WeightMapping(quantized)
+        fraction = mapping.bram_utilization_fraction(2060)
+        assert fraction == pytest.approx(0.708, abs=0.02)

@@ -1,0 +1,63 @@
+"""Tests for the accelerator on-chip power breakdown (Fig. 10)."""
+
+import pytest
+
+from repro.accelerator.power import AcceleratorPowerError, AcceleratorPowerModel
+from repro.fpga.platform import FpgaChip
+
+
+@pytest.fixture(scope="module")
+def power_model() -> AcceleratorPowerModel:
+    return AcceleratorPowerModel(chip=FpgaChip.build("VC707"), bram_utilization=0.708)
+
+
+class TestFig10Anchors:
+    def test_total_reduction_at_vmin_is_about_24_percent(self, power_model):
+        cal = power_model.calibration
+        reduction = power_model.total_reduction_fraction(cal.vmin_bram_v)
+        assert reduction == pytest.approx(0.241, abs=0.02)
+
+    def test_bram_power_drops_an_order_of_magnitude_at_vmin(self, power_model):
+        cal = power_model.calibration
+        assert power_model.bram_reduction_factor(cal.vmin_bram_v) > 10
+
+    def test_further_40_percent_between_vmin_and_vcrash(self, power_model):
+        cal = power_model.calibration
+        savings = power_model.bram_savings_between(cal.vmin_bram_v, cal.vcrash_bram_v)
+        assert savings == pytest.approx(0.40, abs=0.08)
+
+    def test_breakdown_components(self, power_model):
+        cal = power_model.calibration
+        breakdown = power_model.breakdown_w(cal.vnom_v)
+        assert set(breakdown) == {"clocking", "dsp", "logic_routing", "io_other", "bram"}
+        assert breakdown["bram"] / sum(breakdown.values()) == pytest.approx(0.262, abs=0.01)
+
+    def test_rest_power_unaffected_by_vccbram(self, power_model):
+        cal = power_model.calibration
+        nominal = power_model.breakdown_w(cal.vnom_v)
+        undervolted = power_model.breakdown_w(cal.vcrash_bram_v)
+        for component in ("clocking", "dsp", "logic_routing", "io_other"):
+            assert undervolted[component] == pytest.approx(nominal[component])
+        assert undervolted["bram"] < nominal["bram"]
+
+    def test_figure10_rows_cover_three_operating_points(self, power_model):
+        rows = power_model.figure10_rows()
+        assert set(rows) == {"Vnom", "Vmin", "Vcrash"}
+        assert sum(rows["Vcrash"].values()) < sum(rows["Vnom"].values())
+
+    def test_total_monotone_in_voltage(self, power_model):
+        totals = [power_model.total_w(v) for v in (1.0, 0.8, 0.61, 0.54)]
+        assert all(b < a for a, b in zip(totals, totals[1:]))
+
+
+class TestValidation:
+    def test_invalid_configuration_rejected(self):
+        chip = FpgaChip.build("VC707")
+        with pytest.raises(AcceleratorPowerError):
+            AcceleratorPowerModel(chip=chip, bram_share_at_nominal=0.0)
+        with pytest.raises(AcceleratorPowerError):
+            AcceleratorPowerModel(chip=chip, bram_utilization=0.0)
+        with pytest.raises(AcceleratorPowerError):
+            AcceleratorPowerModel(chip=chip, total_on_chip_nominal_w=-1.0)
+        with pytest.raises(AcceleratorPowerError):
+            AcceleratorPowerModel(chip=chip, rest_split={"clocking": 0.5})

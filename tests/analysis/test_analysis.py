@@ -1,0 +1,103 @@
+"""Tests for the analysis helpers: stats, tables, reports."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import ExperimentReport, ReportError
+from repro.analysis.stats import (
+    StatsError,
+    fit_exponential_rate,
+    geometric_mean,
+    relative_change,
+    summarize,
+)
+from repro.analysis.tables import TableError, format_value, render_kv, render_table
+
+
+class TestStats:
+    def test_summarize_basic(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.median == pytest.approx(2.5)
+        assert summary.minimum == 1.0 and summary.maximum == 4.0
+        assert summary.n == 4
+        assert set(summary.as_dict()) == {"mean", "median", "min", "max", "std", "n"}
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(StatsError):
+            summarize([])
+
+    def test_relative_change(self):
+        assert relative_change(652.0, 600.0) == pytest.approx(52 / 600)
+        with pytest.raises(StatsError):
+            relative_change(1.0, 0.0)
+
+    def test_fit_exponential_recovers_slope(self):
+        k_true = 80.0
+        voltages = np.linspace(0.54, 0.61, 8)
+        rates = 600 * np.exp(-k_true * (voltages - 0.54))
+        k_fit, r2 = fit_exponential_rate(voltages, rates)
+        assert k_fit == pytest.approx(k_true, rel=1e-6)
+        assert r2 == pytest.approx(1.0)
+
+    def test_fit_requires_enough_points(self):
+        with pytest.raises(StatsError):
+            fit_exponential_rate([0.6, 0.59], [1.0, 2.0])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        with pytest.raises(StatsError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(StatsError):
+            geometric_mean([])
+
+
+class TestTables:
+    def test_format_value_variants(self):
+        assert format_value(True) == "yes"
+        assert format_value(1234.5678) == "1,234.6"
+        assert format_value(0.123456) == "0.123"
+        assert format_value(float("nan")) == "nan"
+        assert format_value("text") == "text"
+
+    def test_render_table_alignment_and_separator(self):
+        text = render_table(["a", "bb"], [[1, 2.0], [3, 40.5]], title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "-+-" in lines[2]
+        assert len(lines) == 5
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(TableError):
+            render_table(["a"], [[1, 2]])
+
+    def test_render_kv(self):
+        text = render_kv("metrics", [["guardband", 0.39]])
+        assert "guardband" in text and "0.390" in text
+
+
+class TestReports:
+    def test_sections_render_and_serialize(self):
+        report = ExperimentReport("fig03", "fault rate and power vs voltage")
+        section = report.new_section("VC707", ["voltage", "rate"])
+        section.add_row(0.61, 0.0)
+        section.add_row(0.54, 652.0)
+        section.add_note("pattern 0xFFFF")
+        text = report.render()
+        assert "fig03" in text and "VC707" in text and "652" in text
+        payload = json.loads(report.to_json())
+        assert payload["experiment_id"] == "fig03"
+        assert payload["sections"][0]["rows"][1][1] == 652.0
+
+    def test_column_mismatch_rejected(self):
+        report = ExperimentReport("x", "y")
+        section = report.new_section("s", ["a", "b"])
+        with pytest.raises(ReportError):
+            section.add_row(1)
+
+    def test_empty_report_renders_header_only(self):
+        report = ExperimentReport("x", "y")
+        assert report.render().startswith("== x: y ==")

@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite.
+
+Heavy objects (chips, fault fields, trained networks) are session-scoped so
+the suite stays fast; every fixture is fully deterministic (seeded), so tests
+can assert on concrete numbers where the paper publishes them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FaultField
+from repro.fpga import FpgaChip
+from repro.nn import (
+    QuantizedNetwork,
+    TrainingConfig,
+    synthetic_forest,
+    synthetic_mnist,
+    train_network,
+)
+
+
+@pytest.fixture(scope="session")
+def zc702_chip() -> FpgaChip:
+    """The smallest studied board (280 BRAMs) — the default test chip."""
+    return FpgaChip.build("ZC702")
+
+
+@pytest.fixture(scope="session")
+def zc702_field(zc702_chip: FpgaChip) -> FaultField:
+    """Calibrated fault field of the ZC702 test chip."""
+    return FaultField(zc702_chip)
+
+
+@pytest.fixture(scope="session")
+def vc707_chip() -> FpgaChip:
+    """The performance-optimized board used for most of the paper's figures."""
+    return FpgaChip.build("VC707")
+
+
+@pytest.fixture(scope="session")
+def vc707_field(vc707_chip: FpgaChip) -> FaultField:
+    """Calibrated fault field of the VC707."""
+    return FaultField(vc707_chip)
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small Forest-like dataset: 54 features, 7 classes, quick to train on."""
+    return synthetic_forest(n_train=1200, n_test=400, seed=5)
+
+
+@pytest.fixture(scope="session")
+def mnist_dataset():
+    """A reduced MNIST-like dataset used by the accelerator tests."""
+    return synthetic_mnist(n_train=1500, n_test=500, seed=9)
+
+
+@pytest.fixture(scope="session")
+def trained_small_network(small_dataset):
+    """A trained float network on the small dataset (4 weight layers)."""
+    result = train_network(
+        small_dataset,
+        topology=(54, 32, 24, 16, 7),
+        config=TrainingConfig(epochs=10, seed=2, learning_rate=0.3),
+    )
+    return result
+
+
+@pytest.fixture(scope="session")
+def quantized_small_network(trained_small_network) -> QuantizedNetwork:
+    """The quantized (16-bit fixed-point) version of the small trained network."""
+    return QuantizedNetwork.from_network(trained_small_network.network)

@@ -1,0 +1,124 @@
+"""Tests for the published calibration constants."""
+
+import math
+
+import pytest
+
+from repro.core.calibration import (
+    CALIBRATIONS,
+    CalibrationError,
+    PlatformCalibration,
+    average_guardband,
+    get_calibration,
+    voltage_regions,
+)
+
+
+class TestPublishedAnchors:
+    """The calibration must encode the numbers the paper publishes."""
+
+    def test_all_four_platforms_calibrated(self):
+        assert set(CALIBRATIONS) == {"VC707", "ZC702", "KC705-A", "KC705-B"}
+
+    def test_crash_fault_rates_match_fig3(self):
+        assert CALIBRATIONS["VC707"].fault_rate_at_vcrash_per_mbit == 652
+        assert CALIBRATIONS["ZC702"].fault_rate_at_vcrash_per_mbit == 153
+        assert CALIBRATIONS["KC705-A"].fault_rate_at_vcrash_per_mbit == 254
+        assert CALIBRATIONS["KC705-B"].fault_rate_at_vcrash_per_mbit == 60
+
+    def test_kc705_die_to_die_ratio_is_about_4x(self):
+        ratio = (
+            CALIBRATIONS["KC705-A"].fault_rate_at_vcrash_per_mbit
+            / CALIBRATIONS["KC705-B"].fault_rate_at_vcrash_per_mbit
+        )
+        assert ratio == pytest.approx(4.1, abs=0.3)
+
+    def test_vc707_critical_region_matches_section2(self):
+        cal = CALIBRATIONS["VC707"]
+        assert cal.vmin_bram_v == pytest.approx(0.61)
+        assert cal.vcrash_bram_v == pytest.approx(0.54)
+
+    def test_average_guardbands_match_fig1(self):
+        assert average_guardband("VCCBRAM") == pytest.approx(0.39, abs=0.005)
+        assert average_guardband("VCCINT") == pytest.approx(0.34, abs=0.005)
+
+    def test_run_std_matches_table2(self):
+        assert CALIBRATIONS["VC707"].run_std_per_mbit == pytest.approx(7.3)
+        assert CALIBRATIONS["KC705-B"].run_std_per_mbit == pytest.approx(1.8)
+
+    def test_one_to_zero_fraction_is_999_permille(self):
+        for cal in CALIBRATIONS.values():
+            assert cal.one_to_zero_fraction == pytest.approx(0.999)
+
+    def test_unknown_rail_rejected(self):
+        with pytest.raises(CalibrationError):
+            average_guardband("VCCAUX")
+
+
+class TestDerivedQuantities:
+    def test_exponential_slope_reaches_crash_rate(self):
+        cal = get_calibration("VC707")
+        k = cal.exponential_slope_per_v
+        predicted = cal.onset_rate_per_mbit * math.exp(k * cal.critical_window_v)
+        assert predicted == pytest.approx(cal.fault_rate_at_vcrash_per_mbit, rel=1e-6)
+
+    def test_rate_curve_zero_in_safe_region(self):
+        cal = get_calibration("VC707")
+        assert cal.rate_per_mbit(1.0) == 0.0
+        assert cal.rate_per_mbit(cal.vmin_bram_v) == 0.0
+
+    def test_rate_curve_monotone_in_critical_region(self):
+        cal = get_calibration("KC705-A")
+        voltages = [cal.vmin_bram_v - 0.01 * i for i in range(1, 8)]
+        rates = [cal.rate_per_mbit(v) for v in voltages]
+        assert all(b > a for a, b in zip(rates, rates[1:]))
+
+    def test_rate_curve_hits_published_rate_at_vcrash(self):
+        for cal in CALIBRATIONS.values():
+            rate = cal.rate_per_mbit(cal.vcrash_bram_v)
+            assert rate == pytest.approx(cal.fault_rate_at_vcrash_per_mbit, rel=0.1)
+
+    def test_temperature_reduces_rate(self):
+        cal = get_calibration("VC707")
+        cold = cal.rate_per_mbit(cal.vcrash_bram_v, temperature_c=50)
+        hot = cal.rate_per_mbit(cal.vcrash_bram_v, temperature_c=80)
+        assert hot < cold
+        assert cold / hot > 3.0  # paper: more than 3x on VC707
+
+    def test_ripple_sigma_reproduces_table2_spread(self):
+        cal = get_calibration("VC707")
+        expected_std = cal.ripple_sigma_v * cal.exponential_slope_per_v * cal.fault_rate_at_vcrash_per_mbit
+        assert expected_std == pytest.approx(cal.run_std_per_mbit, rel=1e-6)
+
+    def test_guardband_fractions(self):
+        cal = get_calibration("VC707")
+        assert cal.guardband_bram_fraction == pytest.approx(0.39)
+        assert cal.guardband_int_fraction == pytest.approx(0.35)
+
+    def test_voltage_regions_partition(self):
+        cal = get_calibration("ZC702")
+        regions = voltage_regions(cal)
+        assert regions["SAFE"][0] == pytest.approx(cal.vmin_bram_v)
+        assert regions["CRITICAL"] == (cal.vcrash_bram_v, cal.vmin_bram_v)
+        assert regions["CRASH"][1] == pytest.approx(cal.vcrash_bram_v)
+        with pytest.raises(CalibrationError):
+            voltage_regions(cal, rail="VCCO")
+
+
+class TestValidation:
+    def test_inverted_thresholds_rejected(self):
+        with pytest.raises(CalibrationError):
+            PlatformCalibration(platform="X", vmin_bram_v=0.5, vcrash_bram_v=0.6)
+
+    def test_bad_onset_rate_rejected(self):
+        with pytest.raises(CalibrationError):
+            PlatformCalibration(platform="X", onset_rate_per_mbit=0.0)
+
+    def test_bad_never_faulty_fraction_rejected(self):
+        with pytest.raises(CalibrationError):
+            PlatformCalibration(platform="X", never_faulty_fraction=1.0)
+
+    def test_get_calibration_by_spec(self):
+        from repro.fpga.platform import ZC702
+
+        assert get_calibration(ZC702).platform == "ZC702"

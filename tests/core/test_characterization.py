@@ -1,0 +1,97 @@
+"""Tests for the Section II-C characterization studies."""
+
+import pytest
+
+from repro.core.characterization import (
+    CharacterizationError,
+    STUDY_PATTERNS,
+    flip_direction_study,
+    pattern_study,
+    stability_study,
+    variability_study,
+)
+
+
+class TestPatternStudy:
+    def test_studies_default_patterns(self, zc702_field):
+        cal = zc702_field.calibration
+        result = pattern_study(zc702_field, cal.vcrash_bram_v)
+        assert set(result.rates_per_mbit) == set(STUDY_PATTERNS)
+
+    def test_ffff_double_aaaa_and_zero_near_zero(self, zc702_field):
+        cal = zc702_field.calibration
+        result = pattern_study(zc702_field, cal.vcrash_bram_v)
+        assert result.ratio("FFFF", "AAAA") == pytest.approx(2.0, rel=0.2)
+        assert result.rate("0000") < 0.01 * result.rate("FFFF")
+
+    def test_same_density_patterns_similar(self, zc702_field):
+        cal = zc702_field.calibration
+        result = pattern_study(zc702_field, cal.vcrash_bram_v)
+        assert result.ratio("AAAA", "5555") == pytest.approx(1.0, abs=0.3)
+        assert result.ratio("random50", "AAAA") == pytest.approx(1.0, abs=0.35)
+
+    def test_unknown_pattern_lookup_rejected(self, zc702_field):
+        result = pattern_study(zc702_field, 0.55, patterns=("FFFF",))
+        with pytest.raises(CharacterizationError):
+            result.rate("AAAA")
+
+    def test_empty_pattern_list_rejected(self, zc702_field):
+        with pytest.raises(CharacterizationError):
+            pattern_study(zc702_field, 0.55, patterns=())
+
+    def test_ratio_against_zero_rate(self, zc702_field):
+        result = pattern_study(zc702_field, 1.0, patterns=("FFFF", "0000"))
+        assert result.ratio("FFFF", "0000") == 1.0  # both zero in the SAFE region
+
+
+class TestStabilityStudy:
+    def test_table2_shape(self, zc702_field):
+        cal = zc702_field.calibration
+        result = stability_study(zc702_field, cal.vcrash_bram_v, n_runs=60)
+        assert result.minimum <= result.average <= result.maximum
+        assert result.std_dev < 0.05 * result.average
+        assert result.average == pytest.approx(cal.fault_rate_at_vcrash_per_mbit, rel=0.1)
+        row = result.as_table_row()
+        assert set(row) == {
+            "AVERAGE fault rate",
+            "MINIMUM fault rate",
+            "MAXIMUM fault rate",
+            "STD. DEV of fault rates",
+        }
+
+    def test_locations_stable_over_runs(self, zc702_field):
+        cal = zc702_field.calibration
+        result = stability_study(zc702_field, cal.vcrash_bram_v, n_runs=20)
+        assert result.location_overlap > 0.9
+
+    def test_requires_at_least_two_runs(self, zc702_field):
+        with pytest.raises(CharacterizationError):
+            stability_study(zc702_field, 0.55, n_runs=1)
+
+
+class TestVariabilityStudy:
+    def test_fig5_shape(self, zc702_field):
+        cal = zc702_field.calibration
+        result = variability_study(zc702_field, cal.vcrash_bram_v)
+        assert result.min_percent == 0.0
+        assert result.max_percent > 10 * result.mean_percent
+        assert 0.3 < result.never_faulty_fraction < 0.7
+        assert result.gini_coefficient() > 0.6
+
+    def test_variability_shrinks_in_safe_region(self, zc702_field):
+        result = variability_study(zc702_field, 1.0)
+        assert result.max_percent == 0.0
+        assert result.never_faulty_fraction == 1.0
+        assert result.gini_coefficient() == 0.0
+
+
+class TestFlipDirection:
+    def test_vast_majority_one_to_zero(self, zc702_field):
+        cal = zc702_field.calibration
+        result = flip_direction_study(zc702_field, cal.vcrash_bram_v)
+        assert result.one_to_zero + result.zero_to_one > 0
+        assert result.one_to_zero_fraction > 0.98
+
+    def test_no_faults_means_fraction_one(self, zc702_field):
+        result = flip_direction_study(zc702_field, 1.0)
+        assert result.one_to_zero_fraction == 1.0

@@ -1,0 +1,97 @@
+"""Tests for the k-means vulnerability clustering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clustering import (
+    ClusteringError,
+    cluster_bram_vulnerability,
+    low_vulnerable_indices,
+)
+
+
+def synthetic_counts(n_low=850, n_mid=120, n_high=30, seed=3):
+    """A skewed per-BRAM count vector shaped like the paper's Fig. 5 data."""
+    rng = np.random.default_rng(seed)
+    low = rng.integers(0, 6, size=n_low)
+    mid = rng.integers(40, 90, size=n_mid)
+    high = rng.integers(250, 500, size=n_high)
+    counts = np.concatenate([low, mid, high])
+    rng.shuffle(counts)
+    return counts
+
+
+class TestClustering:
+    def test_three_classes_with_ordered_centroids(self):
+        result = cluster_bram_vulnerability(synthetic_counts())
+        assert [c.name for c in result.clusters] == ["low", "mid", "high"]
+        centroids = [c.centroid for c in result.clusters]
+        assert centroids[0] < centroids[1] < centroids[2]
+
+    def test_majority_is_low_vulnerable(self):
+        result = cluster_bram_vulnerability(synthetic_counts())
+        assert result.fraction("low") > 0.7  # paper: 88.6 % on VC707
+        assert result.fraction("high") < 0.1
+
+    def test_labels_cover_every_bram(self):
+        counts = synthetic_counts()
+        result = cluster_bram_vulnerability(counts)
+        assert len(result.labels) == len(counts)
+        total = sum(cluster.size for cluster in result.clusters)
+        assert total == len(counts)
+
+    def test_label_lookup_and_indices(self):
+        counts = synthetic_counts()
+        result = cluster_bram_vulnerability(counts)
+        high_indices = result.indices_of("high")
+        assert all(result.label_of(i) == "high" for i in high_indices)
+        # Every BRAM in the high class must have more faults than the low-class mean.
+        low_mean = result.cluster("low").mean_fault_rate
+        for index in high_indices:
+            assert counts[index] / (16 * 1024) > low_mean
+
+    def test_low_vulnerable_helper(self):
+        counts = synthetic_counts()
+        result = cluster_bram_vulnerability(counts)
+        assert low_vulnerable_indices(result) == result.indices_of("low")
+
+    def test_summary_fractions_sum_to_one(self):
+        result = cluster_bram_vulnerability(synthetic_counts())
+        summary = result.summary()
+        assert sum(entry["fraction"] for entry in summary.values()) == pytest.approx(1.0)
+
+    def test_all_zero_map_does_not_crash(self):
+        result = cluster_bram_vulnerability(np.zeros(100, dtype=int))
+        assert result.fraction("low") + result.fraction("mid") + result.fraction("high") == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        counts = synthetic_counts()
+        first = cluster_bram_vulnerability(counts)
+        second = cluster_bram_vulnerability(counts)
+        assert first.labels == second.labels
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ClusteringError):
+            cluster_bram_vulnerability([])
+        with pytest.raises(ClusteringError):
+            cluster_bram_vulnerability([-1, 2, 3])
+        with pytest.raises(ClusteringError):
+            cluster_bram_vulnerability([1, 2, 3], k=5)
+        with pytest.raises(ClusteringError):
+            cluster_bram_vulnerability(synthetic_counts()).cluster("extreme")
+        with pytest.raises(ClusteringError):
+            cluster_bram_vulnerability(synthetic_counts()).label_of(10_000)
+
+    @given(
+        counts=st.lists(st.integers(min_value=0, max_value=500), min_size=5, max_size=200)
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_partition_property(self, counts):
+        """Every BRAM lands in exactly one class regardless of the input shape."""
+        result = cluster_bram_vulnerability(counts)
+        all_indices = sorted(
+            index for cluster in result.clusters for index in cluster.bram_indices
+        )
+        assert all_indices == list(range(len(counts)))

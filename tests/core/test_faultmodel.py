@@ -1,0 +1,260 @@
+"""Tests for the bitcell-level fault model — the centre of the reproduction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.calibration import get_calibration
+from repro.core.faultmodel import FaultField, FaultModelConfig, FaultModelError
+from repro.fpga.bram import data_pattern
+from repro.fpga.platform import FpgaChip
+
+
+class TestCalibratedRates:
+    """Chip-level rates must reproduce the paper's Fig. 3 anchors."""
+
+    def test_no_faults_in_safe_region(self, zc702_field):
+        cal = zc702_field.calibration
+        assert zc702_field.chip_fault_count(1.0) == 0
+        assert zc702_field.chip_fault_count(cal.vmin_bram_v) == 0
+
+    def test_rate_at_vcrash_matches_calibration(self, zc702_field):
+        cal = zc702_field.calibration
+        rate = zc702_field.chip_fault_rate_per_mbit(cal.vcrash_bram_v)
+        assert rate == pytest.approx(cal.fault_rate_at_vcrash_per_mbit, rel=0.10)
+
+    def test_vc707_rate_at_vcrash(self, vc707_field):
+        rate = vc707_field.chip_fault_rate_per_mbit(0.54)
+        assert rate == pytest.approx(652, rel=0.08)
+
+    def test_rate_monotone_with_voltage(self, zc702_field):
+        cal = zc702_field.calibration
+        voltages = np.arange(cal.vmin_bram_v, cal.vcrash_bram_v - 1e-9, -0.01)
+        counts = [zc702_field.chip_fault_count(round(float(v), 3)) for v in voltages]
+        assert all(b >= a for a, b in zip(counts, counts[1:]))
+        assert counts[-1] > counts[0]
+
+    def test_rate_roughly_exponential(self, zc702_field):
+        from repro.analysis.stats import fit_exponential_rate
+
+        cal = zc702_field.calibration
+        voltages = [round(cal.vmin_bram_v - 0.01 * i, 3) for i in range(1, 9)]
+        rates = [zc702_field.chip_fault_rate_per_mbit(v) for v in voltages]
+        slope, r_squared = fit_exponential_rate(voltages, rates)
+        assert slope > 0
+        assert r_squared > 0.95
+
+    def test_analytic_rate_matches_measured(self, zc702_field):
+        cal = zc702_field.calibration
+        voltage = cal.vcrash_bram_v + 0.02
+        analytic = zc702_field.analytic_rate_per_mbit(voltage)
+        measured = zc702_field.chip_fault_rate_per_mbit(voltage)
+        assert measured == pytest.approx(analytic, rel=0.25)
+
+
+class TestDeterminism:
+    """Faults must be deterministic and location-stable (Section II-C-2)."""
+
+    def test_same_chip_same_faults(self):
+        chip_a = FpgaChip.build("ZC702")
+        chip_b = FpgaChip.build("ZC702")
+        field_a, field_b = FaultField(chip_a), FaultField(chip_b)
+        cal = field_a.calibration
+        counts_a = field_a.per_bram_counts(cal.vcrash_bram_v)
+        counts_b = field_b.per_bram_counts(cal.vcrash_bram_v)
+        assert np.array_equal(counts_a, counts_b)
+
+    def test_fault_locations_identical_across_rebuilds(self, zc702_chip):
+        cal = get_calibration("ZC702")
+        records_a = FaultField(zc702_chip).fault_sites(0, cal.vcrash_bram_v)
+        records_b = FaultField(zc702_chip).fault_sites(0, cal.vcrash_bram_v)
+        assert [(r.row, r.col) for r in records_a] == [(r.row, r.col) for r in records_b]
+
+    def test_faults_nested_in_voltage(self, zc702_field):
+        """Cells faulty at a higher voltage stay faulty at any lower voltage."""
+        cal = zc702_field.calibration
+        hi_v = cal.vmin_bram_v - 0.03
+        lo_v = cal.vcrash_bram_v
+        per_bram_hi = zc702_field.per_bram_counts(hi_v)
+        busiest = int(np.argmax(per_bram_hi))
+        high = {(r.row, r.col) for r in zc702_field.fault_sites(busiest, hi_v)}
+        low = {(r.row, r.col) for r in zc702_field.fault_sites(busiest, lo_v)}
+        assert high.issubset(low)
+
+    def test_die_to_die_maps_differ(self):
+        field_a = FaultField(FpgaChip.build("KC705-A"))
+        field_b = FaultField(FpgaChip.build("KC705-B"))
+        counts_a = field_a.per_bram_counts(0.55)
+        counts_b = field_b.per_bram_counts(0.55)
+        # Same part number, different dies: different totals and different maps.
+        assert counts_a.sum() != counts_b.sum()
+        busiest_a = set(np.argsort(counts_a)[-20:].tolist())
+        busiest_b = set(np.argsort(counts_b)[-20:].tolist())
+        assert busiest_a != busiest_b
+
+
+class TestFlipDirectionAndPattern:
+    def test_vast_majority_one_to_zero(self, zc702_field):
+        fraction = zc702_field.one_to_zero_fraction()
+        assert fraction > 0.99
+
+    def test_ffff_roughly_double_aaaa(self, zc702_field):
+        cal = zc702_field.calibration
+        ffff = zc702_field.chip_fault_rate_per_mbit(cal.vcrash_bram_v, pattern="FFFF")
+        aaaa = zc702_field.chip_fault_rate_per_mbit(cal.vcrash_bram_v, pattern="AAAA")
+        assert ffff / aaaa == pytest.approx(2.0, rel=0.2)
+
+    def test_all_zero_pattern_has_few_faults(self, zc702_field):
+        cal = zc702_field.calibration
+        ffff = zc702_field.chip_fault_count(cal.vcrash_bram_v, pattern="FFFF")
+        zeros = zc702_field.chip_fault_count(cal.vcrash_bram_v, pattern=0x0000)
+        assert zeros < 0.01 * ffff
+
+    def test_permutations_of_same_density_similar(self, zc702_field):
+        cal = zc702_field.calibration
+        aaaa = zc702_field.chip_fault_count(cal.vcrash_bram_v, pattern="AAAA")
+        f5555 = zc702_field.chip_fault_count(cal.vcrash_bram_v, pattern="5555")
+        assert f5555 == pytest.approx(aaaa, rel=0.25)
+
+
+class TestTemperatureAndRipple:
+    def test_higher_temperature_reduces_faults(self, vc707_field):
+        cold = vc707_field.chip_fault_count(0.54, temperature_c=50.0)
+        hot = vc707_field.chip_fault_count(0.54, temperature_c=80.0)
+        assert cold / hot > 3.0  # paper: >3x reduction on VC707
+
+    def test_temperature_disabled_by_config(self, zc702_chip):
+        field = FaultField(zc702_chip, config=FaultModelConfig(temperature_enabled=False))
+        cal = field.calibration
+        cold = field.chip_fault_count(cal.vcrash_bram_v, temperature_c=50.0)
+        hot = field.chip_fault_count(cal.vcrash_bram_v, temperature_c=80.0)
+        assert cold == hot
+
+    def test_run_to_run_spread_matches_table2(self, zc702_field):
+        cal = zc702_field.calibration
+        counts = zc702_field.counts_over_runs(cal.vcrash_bram_v, 100)
+        rates = counts / zc702_field.chip.brams.total_mbits
+        assert rates.mean() == pytest.approx(cal.fault_rate_at_vcrash_per_mbit, rel=0.1)
+        assert rates.std() == pytest.approx(cal.run_std_per_mbit, rel=0.6)
+        assert rates.std() < 0.05 * rates.mean()
+
+    def test_ripple_disabled_makes_runs_identical(self, zc702_chip):
+        field = FaultField(zc702_chip, config=FaultModelConfig(ripple_enabled=False))
+        cal = field.calibration
+        counts = field.counts_over_runs(cal.vcrash_bram_v, 10)
+        assert len(set(counts.tolist())) == 1
+
+    def test_counts_over_runs_validates_input(self, zc702_field):
+        with pytest.raises(FaultModelError):
+            zc702_field.counts_over_runs(0.55, 0)
+
+
+class TestPerBramDistribution:
+    def test_never_faulty_fraction_close_to_calibration(self, zc702_field):
+        cal = zc702_field.calibration
+        fraction = zc702_field.never_faulty_fraction()
+        assert fraction == pytest.approx(cal.never_faulty_fraction, abs=0.12)
+        assert fraction > 0.3
+
+    def test_distribution_heavily_skewed(self, zc702_field):
+        cal = zc702_field.calibration
+        counts = zc702_field.per_bram_counts(cal.vcrash_bram_v)
+        assert counts.max() > 5 * max(counts.mean(), 1.0)
+        assert (counts == 0).mean() > 0.3
+
+    def test_per_bram_counts_sum_to_chip_count(self, zc702_field):
+        cal = zc702_field.calibration
+        per_bram = zc702_field.per_bram_counts(cal.vcrash_bram_v)
+        assert per_bram.sum() == zc702_field.chip_fault_count(cal.vcrash_bram_v)
+
+    def test_subset_of_bram_indices(self, zc702_field):
+        cal = zc702_field.calibration
+        subset = zc702_field.per_bram_counts(cal.vcrash_bram_v, bram_indices=[0, 1, 2])
+        assert len(subset) == 3
+
+
+class TestReadbackCorruption:
+    def test_observed_image_matches_fault_sites(self, zc702_field):
+        cal = zc702_field.calibration
+        counts = zc702_field.per_bram_counts(cal.vcrash_bram_v)
+        busiest = int(np.argmax(counts))
+        stored = data_pattern("FFFF")
+        observed = zc702_field.observed_image(busiest, stored, cal.vcrash_bram_v)
+        flipped = {(int(r), int(c)) for r, c in zip(*np.nonzero(stored != observed))}
+        expected = {
+            (r.row, r.col)
+            for r in zc702_field.fault_sites(busiest, cal.vcrash_bram_v, pattern="FFFF")
+        }
+        assert flipped == expected
+
+    def test_observed_image_identity_in_safe_region(self, zc702_field):
+        stored = data_pattern("FFFF")
+        observed = zc702_field.observed_image(0, stored, 1.0)
+        assert np.array_equal(stored, observed)
+
+    def test_observed_image_shape_checked(self, zc702_field):
+        with pytest.raises(FaultModelError):
+            zc702_field.observed_image(0, np.zeros((4, 4), dtype=np.uint8), 0.55)
+
+    def test_corrupt_words_consistent_with_profile(self, zc702_field):
+        cal = zc702_field.calibration
+        counts = zc702_field.per_bram_counts(cal.vcrash_bram_v)
+        busiest = int(np.argmax(counts))
+        words = [0xFFFF] * zc702_field.chip.spec.bram_rows
+        corrupted = zc702_field.corrupt_words(busiest, words, cal.vcrash_bram_v)
+        changed_rows = {i for i, (a, b) in enumerate(zip(words, corrupted)) if a != b}
+        expected_rows = {
+            r.row for r in zc702_field.fault_sites(busiest, cal.vcrash_bram_v, pattern="FFFF")
+        }
+        assert changed_rows == expected_rows
+        # 1 -> 0 flips can only clear bits in an all-ones word.
+        assert all(b <= 0xFFFF and bin(b).count("1") <= 16 for b in corrupted)
+
+    def test_corrupt_words_outside_range_untouched(self, zc702_field):
+        cal = zc702_field.calibration
+        words = [0xFFFF] * 4
+        corrupted = zc702_field.corrupt_words(0, words, cal.vcrash_bram_v, start_row=2000)
+        assert corrupted == words
+
+    def test_fault_records_direction(self, zc702_field):
+        cal = zc702_field.calibration
+        for bram_index in range(20):
+            for record in zc702_field.fault_sites(bram_index, cal.vcrash_bram_v, pattern="FFFF"):
+                assert record.expected_bit == 1
+                assert record.observed_bit == 0
+                assert record.is_one_to_zero
+
+
+class TestConfigurationAblation:
+    def test_die_to_die_disabled_makes_kc705_samples_identical(self):
+        from repro.core.variation import VariationConfig
+
+        config = FaultModelConfig(die_to_die_enabled=False)
+        shared_variation = VariationConfig(never_faulty_fraction=0.45, lognormal_sigma=1.4)
+        field_a = FaultField(
+            FpgaChip.build("KC705-A"), config=config, variation_config=shared_variation
+        )
+        field_b = FaultField(
+            FpgaChip.build("KC705-B"), config=config, variation_config=shared_variation
+        )
+        # Same part number and no die-to-die term: identical variation maps.
+        assert np.array_equal(field_a.variation.weights, field_b.variation.weights)
+
+    def test_die_to_die_enabled_differs_even_with_shared_config(self):
+        from repro.core.variation import VariationConfig
+
+        shared_variation = VariationConfig(never_faulty_fraction=0.45, lognormal_sigma=1.4)
+        field_a = FaultField(FpgaChip.build("KC705-A"), variation_config=shared_variation)
+        field_b = FaultField(FpgaChip.build("KC705-B"), variation_config=shared_variation)
+        assert not np.array_equal(field_a.variation.weights, field_b.variation.weights)
+
+    def test_invalid_bram_index_rejected(self, zc702_field):
+        with pytest.raises(FaultModelError):
+            zc702_field.profile(zc702_field.chip.spec.n_brams)
+
+    @given(voltage=st.floats(min_value=0.53, max_value=0.70))
+    @settings(max_examples=25, deadline=None)
+    def test_counts_never_negative_property(self, zc702_field, voltage):
+        count = zc702_field.chip_fault_count(round(voltage, 3))
+        assert count >= 0

@@ -1,0 +1,109 @@
+"""Tests for the Fault Variation Map."""
+
+import numpy as np
+import pytest
+
+from repro.core.faultmodel import FaultField
+from repro.core.fvm import FaultVariationMap, FvmError
+from repro.fpga.floorplan import Floorplan
+from repro.fpga.platform import FpgaChip
+
+
+def build_fvm(field: FaultField, voltages=None) -> FaultVariationMap:
+    cal = field.calibration
+    if voltages is None:
+        voltages = [round(cal.vmin_bram_v - 0.01 * i, 3) for i in range(0, 8)]
+        voltages = [v for v in voltages if v >= cal.vcrash_bram_v - 1e-9]
+    counts = [[int(c) for c in field.per_bram_counts(v)] for v in voltages]
+    return FaultVariationMap.from_counts(
+        platform=field.chip.name,
+        floorplan=field.chip.floorplan,
+        voltages_v=voltages,
+        counts_by_voltage=counts,
+    )
+
+
+@pytest.fixture(scope="module")
+def zc702_fvm(zc702_field) -> FaultVariationMap:
+    return build_fvm(zc702_field)
+
+
+class TestConstruction:
+    def test_from_counts_covers_all_brams(self, zc702_fvm, zc702_chip):
+        assert zc702_fvm.n_brams == zc702_chip.spec.n_brams
+
+    def test_mismatched_vectors_rejected(self):
+        plan = Floorplan.regular(10, 2)
+        with pytest.raises(FvmError):
+            FaultVariationMap.from_counts("X", plan, [0.6, 0.55], [[0] * 10])
+        with pytest.raises(FvmError):
+            FaultVariationMap.from_counts("X", plan, [0.6], [[0] * 5])
+
+
+class TestStatistics:
+    def test_statistics_match_paper_shape(self, zc702_fvm):
+        stats = zc702_fvm.statistics()
+        assert stats["min_percent"] == 0.0
+        assert stats["max_percent"] > 10 * stats["mean_percent"]
+        assert 0.3 < stats["never_faulty_fraction"] < 0.7
+
+    def test_counts_at_lowest_voltage_consistent(self, zc702_fvm, zc702_field):
+        cal = zc702_field.calibration
+        lowest = min(zc702_fvm.voltages_v)
+        expected = zc702_field.per_bram_counts(lowest)
+        assert np.array_equal(zc702_fvm.counts_at_lowest_voltage(), expected)
+
+    def test_vulnerability_rank_sorted(self, zc702_fvm):
+        rank = zc702_fvm.vulnerability_rank()
+        counts = zc702_fvm.counts_at_lowest_voltage()
+        ranked_counts = [counts[i] for i in rank]
+        assert ranked_counts == sorted(ranked_counts)
+        assert len(rank) == zc702_fvm.n_brams
+
+    def test_fault_free_brams_have_zero_counts(self, zc702_fvm):
+        counts = zc702_fvm.counts_at_lowest_voltage()
+        for index in zc702_fvm.fault_free_brams():
+            assert counts[index] == 0
+
+
+class TestClassification:
+    def test_clustering_cached_and_majority_low(self, zc702_fvm):
+        first = zc702_fvm.clustering()
+        second = zc702_fvm.clustering()
+        assert first is second
+        assert first.fraction("low") > 0.6
+
+    def test_low_and_high_sets_disjoint(self, zc702_fvm):
+        low = set(zc702_fvm.low_vulnerable_brams())
+        high = set(zc702_fvm.high_vulnerable_brams())
+        assert not low & high
+
+
+class TestRenderingAndComparison:
+    def test_grid_rendering_marks_empty_sites(self, zc702_fvm, zc702_chip):
+        grid = zc702_fvm.to_grid(zc702_chip.floorplan)
+        assert grid.shape == (zc702_chip.floorplan.n_columns, zc702_chip.floorplan.grid_height)
+        assert (grid >= -1).all()
+
+    def test_ascii_map_has_one_row_per_grid_row(self, zc702_fvm, zc702_chip):
+        text = zc702_fvm.ascii_map(zc702_chip.floorplan)
+        assert len(text.splitlines()) == zc702_chip.floorplan.grid_height
+
+    def test_die_to_die_comparison(self):
+        """Two KC705 samples: ~4x rate ratio, unrelated maps (Fig. 7).
+
+        As in the paper, each die's FVM is extracted at its own Vcrash.
+        """
+        field_a = FaultField(FpgaChip.build("KC705-A"))
+        field_b = FaultField(FpgaChip.build("KC705-B"))
+        fvm_a = build_fvm(field_a, voltages=[field_a.calibration.vcrash_bram_v])
+        fvm_b = build_fvm(field_b, voltages=[field_b.calibration.vcrash_bram_v])
+        comparison = fvm_a.compare(fvm_b)
+        assert comparison["rate_ratio"] == pytest.approx(4.1, rel=0.2)
+        assert abs(comparison["count_correlation"]) < 0.3
+        assert comparison["high_class_jaccard"] < 0.3
+
+    def test_compare_requires_same_size(self, zc702_fvm):
+        other = build_fvm(FaultField(FpgaChip.build("KC705-B")), voltages=[0.55])
+        with pytest.raises(FvmError):
+            zc702_fvm.compare(other)

@@ -1,0 +1,98 @@
+"""Tests for guardband detection from sweep observations."""
+
+import pytest
+
+from repro.core.guardband import (
+    GuardbandError,
+    GuardbandResult,
+    SweepObservation,
+    average_guardband_fraction,
+    detect_guardband,
+    power_saving_summary,
+)
+
+
+def build_sweep(vmin=0.61, vcrash=0.54, nominal=1.0, step=0.01):
+    """Synthesize a downward sweep: fault-free above vmin, faulty to vcrash."""
+    observations = []
+    voltage = nominal
+    while voltage >= vcrash - 1e-9:
+        faults = 0 if voltage >= vmin else int(10 * (vmin - voltage) * 1000)
+        observations.append(
+            SweepObservation(voltage_v=round(voltage, 3), fault_count=faults, operational=True)
+        )
+        voltage -= step
+    observations.append(
+        SweepObservation(voltage_v=round(vcrash - step, 3), fault_count=0, operational=False)
+    )
+    return observations
+
+
+class TestDetectGuardband:
+    def test_detects_published_thresholds(self):
+        result = detect_guardband(build_sweep())
+        assert result.vmin_v == pytest.approx(0.61)
+        assert result.vcrash_v == pytest.approx(0.54)
+        assert result.guardband_fraction == pytest.approx(0.39)
+        assert result.critical_window_v == pytest.approx(0.07)
+
+    def test_order_of_observations_does_not_matter(self):
+        observations = build_sweep()
+        result = detect_guardband(list(reversed(observations)))
+        assert result.vmin_v == pytest.approx(0.61)
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(GuardbandError):
+            detect_guardband([])
+
+    def test_never_operational_rejected(self):
+        observations = [SweepObservation(1.0, 0, operational=False)]
+        with pytest.raises(GuardbandError):
+            detect_guardband(observations)
+
+    def test_no_fault_free_point_rejected(self):
+        observations = [SweepObservation(0.6, 5, operational=True)]
+        with pytest.raises(GuardbandError):
+            detect_guardband(observations)
+
+    def test_sweep_that_never_faults_has_vcrash_equal_vmin(self):
+        observations = [
+            SweepObservation(1.0, 0, True),
+            SweepObservation(0.9, 0, True),
+            SweepObservation(0.8, 0, False),
+        ]
+        result = detect_guardband(observations)
+        assert result.vmin_v == pytest.approx(0.9)
+        assert result.vcrash_v == pytest.approx(0.9)
+
+    def test_negative_fault_count_rejected(self):
+        with pytest.raises(GuardbandError):
+            SweepObservation(0.6, -1, True)
+
+
+class TestGuardbandResult:
+    def test_region_classification(self):
+        result = GuardbandResult(nominal_v=1.0, vmin_v=0.61, vcrash_v=0.54)
+        assert result.classify(0.8) == "SAFE"
+        assert result.classify(0.58) == "CRITICAL"
+        assert result.classify(0.5) == "CRASH"
+        regions = result.regions()
+        assert regions["SAFE"] == (0.61, 1.0)
+        assert regions["CRASH"][1] == 0.54
+
+    def test_average_guardband_fraction(self):
+        results = [
+            GuardbandResult(1.0, 0.61, 0.54),
+            GuardbandResult(1.0, 0.63, 0.55),
+        ]
+        assert average_guardband_fraction(results) == pytest.approx(0.38)
+        with pytest.raises(GuardbandError):
+            average_guardband_fraction([])
+
+    def test_power_saving_summary(self):
+        results = {"VC707": GuardbandResult(1.0, 0.61, 0.54)}
+        rows = power_saving_summary(results, {"VC707": 17.0})
+        assert rows[0][0] == "VC707"
+        assert rows[0][2] == 17.0
+        with pytest.raises(GuardbandError):
+            power_saving_summary(results, {})

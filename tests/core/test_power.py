@@ -1,0 +1,103 @@
+"""Tests for the rail power models."""
+
+import pytest
+
+from repro.core.calibration import get_calibration
+from repro.core.power import (
+    PowerModelError,
+    RailPowerModel,
+    bram_power_model,
+    power_sweep,
+    summarize_savings,
+    vccint_power_model,
+)
+
+
+class TestRailPowerModel:
+    def test_nominal_power_at_nominal_voltage(self):
+        model = RailPowerModel(nominal_power_w=2.0)
+        assert model.power_w(1.0) == pytest.approx(2.0)
+
+    def test_power_decreases_with_voltage(self):
+        model = RailPowerModel(nominal_power_w=2.0)
+        voltages = [1.0, 0.9, 0.8, 0.7, 0.6]
+        powers = [model.power_w(v) for v in voltages]
+        assert all(b < a for a, b in zip(powers, powers[1:]))
+
+    def test_dynamic_and_static_sum_to_total(self):
+        model = RailPowerModel(nominal_power_w=2.0, static_fraction=0.35)
+        voltage = 0.7
+        total = model.power_w(voltage, utilization=0.6)
+        split = model.dynamic_power_w(voltage, 0.6) + model.static_power_w(voltage)
+        assert total == pytest.approx(split)
+
+    def test_utilization_scales_dynamic_only(self):
+        model = RailPowerModel(nominal_power_w=2.0, static_fraction=0.5)
+        full = model.power_w(1.0, utilization=1.0)
+        idle = model.power_w(1.0, utilization=0.0)
+        assert idle == pytest.approx(1.0)
+        assert full == pytest.approx(2.0)
+
+    def test_savings_and_reduction_consistent(self):
+        model = RailPowerModel(nominal_power_w=2.0)
+        savings = model.savings_fraction(1.0, 0.61)
+        factor = model.reduction_factor(1.0, 0.61)
+        assert savings == pytest.approx(1.0 - 1.0 / factor)
+
+    def test_invalid_inputs_rejected(self):
+        model = RailPowerModel(nominal_power_w=2.0)
+        with pytest.raises(PowerModelError):
+            model.power_w(0.0)
+        with pytest.raises(PowerModelError):
+            model.power_w(1.0, utilization=1.5)
+        with pytest.raises(PowerModelError):
+            RailPowerModel(nominal_power_w=-1.0)
+        with pytest.raises(PowerModelError):
+            RailPowerModel(nominal_power_w=1.0, gamma_per_v=0.0)
+
+
+class TestCalibratedBramPower:
+    """The calibrated models must reproduce the paper's headline power claims."""
+
+    @pytest.mark.parametrize("platform", ["VC707", "ZC702", "KC705-A", "KC705-B"])
+    def test_order_of_magnitude_saving_at_vmin(self, platform):
+        cal = get_calibration(platform)
+        model = bram_power_model(cal)
+        factor = model.reduction_factor(cal.vnom_v, cal.vmin_bram_v)
+        assert factor > 10.0  # "more than an order of magnitude"
+
+    def test_roughly_40_percent_more_between_vmin_and_vcrash(self):
+        cal = get_calibration("VC707")
+        model = bram_power_model(cal)
+        savings = model.savings_fraction(cal.vmin_bram_v, cal.vcrash_bram_v)
+        assert savings == pytest.approx(0.40, abs=0.08)
+
+    def test_summarize_savings_keys(self):
+        cal = get_calibration("VC707")
+        model = bram_power_model(cal)
+        summary = summarize_savings(model, cal.vnom_v, cal.vmin_bram_v, cal.vcrash_bram_v)
+        assert summary["nominal_to_vmin_factor"] > 10
+        assert 0 < summary["vmin_to_vcrash_savings"] < 1
+        assert summary["nominal_to_vcrash_savings"] > summary["vmin_to_vcrash_savings"]
+
+    def test_zc702_absolute_power_is_milliwatt_scale(self):
+        cal = get_calibration("ZC702")
+        model = bram_power_model(cal)
+        assert model.power_w(1.0) < 0.5  # reported in mW in the paper
+
+    def test_vccint_model_shares_slope(self):
+        cal = get_calibration("VC707")
+        model = vccint_power_model(cal, nominal_power_w=3.0)
+        assert model.gamma_per_v == cal.power_gamma_per_v
+        assert model.power_w(1.0) == pytest.approx(3.0)
+
+
+class TestPowerSweep:
+    def test_sweep_points_match_model(self):
+        cal = get_calibration("KC705-A")
+        model = bram_power_model(cal)
+        voltages = [1.0, 0.8, 0.6]
+        points = power_sweep(model, voltages)
+        assert [p.voltage_v for p in points] == voltages
+        assert points[0].power_w > points[-1].power_w
+        assert points[0].as_tuple() == (1.0, pytest.approx(model.power_w(1.0)))

@@ -1,0 +1,43 @@
+"""Tests for the Inverse Thermal Dependence model."""
+
+import math
+
+import pytest
+
+from repro.core.temperature import (
+    ItdModel,
+    REFERENCE_TEMPERATURE_C,
+    STUDY_TEMPERATURES_C,
+    TemperatureError,
+)
+
+
+class TestItdModel:
+    def test_reference_temperature_is_50c(self):
+        assert REFERENCE_TEMPERATURE_C == 50.0
+        assert STUDY_TEMPERATURES_C == (50.0, 60.0, 70.0, 80.0)
+
+    def test_shift_is_zero_at_reference(self):
+        model = ItdModel(v_per_degc=4.7e-4)
+        assert model.voltage_shift(50.0) == pytest.approx(0.0)
+
+    def test_hotter_means_higher_effective_voltage(self):
+        model = ItdModel(v_per_degc=4.7e-4)
+        assert model.effective_voltage(0.56, 80.0) > 0.56
+        assert model.effective_voltage(0.56, 30.0) < 0.56
+
+    def test_rate_scaling_matches_exponential(self):
+        model = ItdModel(v_per_degc=4.7e-4)
+        slope = 82.0
+        factor = model.rate_scaling(slope, 80.0)
+        assert factor == pytest.approx(math.exp(-slope * 4.7e-4 * 30.0))
+        assert factor < 1.0
+
+    def test_zero_coefficient_disables_effect(self):
+        model = ItdModel(v_per_degc=0.0)
+        assert model.effective_voltage(0.56, 80.0) == pytest.approx(0.56)
+        assert model.rate_scaling(80.0, 80.0) == pytest.approx(1.0)
+
+    def test_negative_coefficient_rejected(self):
+        with pytest.raises(TemperatureError):
+            ItdModel(v_per_degc=-1e-4)

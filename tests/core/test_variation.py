@@ -1,0 +1,76 @@
+"""Tests for the process-variation field."""
+
+import numpy as np
+import pytest
+
+from repro.core.variation import ProcessVariationField, VariationConfig, VariationError
+from repro.fpga.floorplan import Floorplan
+
+
+@pytest.fixture(scope="module")
+def floorplan() -> Floorplan:
+    return Floorplan.regular(n_brams=300, n_columns=10)
+
+
+class TestVariationConfig:
+    def test_invalid_fractions_rejected(self):
+        with pytest.raises(VariationError):
+            VariationConfig(never_faulty_fraction=1.0)
+        with pytest.raises(VariationError):
+            VariationConfig(lognormal_sigma=-1.0)
+        with pytest.raises(VariationError):
+            VariationConfig(spatial_strength=1.5)
+        with pytest.raises(VariationError):
+            VariationConfig(spatial_components=-1)
+
+
+class TestField:
+    def test_weights_normalized_and_nonnegative(self, floorplan):
+        field = ProcessVariationField(floorplan, seed=1)
+        weights = field.weights
+        assert len(weights) == floorplan.n_brams
+        assert (weights >= 0).all()
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_never_faulty_fraction_respected(self, floorplan):
+        config = VariationConfig(never_faulty_fraction=0.4)
+        field = ProcessVariationField(floorplan, seed=1, config=config)
+        assert field.never_faulty_fraction() == pytest.approx(0.4, abs=0.01)
+        assert len(field.never_faulty_indices()) == int(round(0.4 * floorplan.n_brams))
+
+    def test_deterministic_per_seed(self, floorplan):
+        first = ProcessVariationField(floorplan, seed=7).weights
+        second = ProcessVariationField(floorplan, seed=7).weights
+        assert np.array_equal(first, second)
+
+    def test_different_seeds_give_uncorrelated_maps(self, floorplan):
+        field_a = ProcessVariationField(floorplan, seed=1)
+        field_b = ProcessVariationField(floorplan, seed=2)
+        assert abs(field_a.correlation_with(field_b)) < 0.3
+        assert field_a.correlation_with(field_a) == pytest.approx(1.0)
+
+    def test_heavy_tail_present(self, floorplan):
+        field = ProcessVariationField(floorplan, seed=3)
+        weights = field.weights
+        positive = weights[weights > 0]
+        # The largest BRAM weight should dominate the median vulnerable BRAM,
+        # reproducing the paper's max 2.84 % versus mean 0.04 % skew.
+        assert positive.max() / np.median(positive) > 5.0
+
+    def test_expected_cell_counts_scale(self, floorplan):
+        field = ProcessVariationField(floorplan, seed=3)
+        counts = field.expected_cell_counts(1000.0)
+        assert counts.sum() == pytest.approx(1000.0)
+        with pytest.raises(VariationError):
+            field.expected_cell_counts(-1.0)
+
+    def test_correlation_requires_same_size(self, floorplan):
+        field = ProcessVariationField(floorplan, seed=1)
+        other = ProcessVariationField(Floorplan.regular(100, 5), seed=1)
+        with pytest.raises(VariationError):
+            field.correlation_with(other)
+
+    def test_spatial_disabled_still_normalizes(self, floorplan):
+        config = VariationConfig(spatial_strength=0.0, spatial_components=0)
+        field = ProcessVariationField(floorplan, seed=5, config=config)
+        assert field.weights.sum() == pytest.approx(1.0)

@@ -1,0 +1,83 @@
+"""Tests for the design/bitstream abstraction and crash behaviour."""
+
+import pytest
+
+from repro.fpga.bitstream import (
+    ConfigurationError,
+    ConfiguredDevice,
+    CrashError,
+    Design,
+    compile_design,
+)
+from repro.fpga.platform import FpgaChip
+from repro.fpga.resources import ResourceBudget, ResourceError
+
+
+@pytest.fixture()
+def chip() -> FpgaChip:
+    return FpgaChip.build("ZC702")
+
+
+class TestDesign:
+    def test_add_brams_and_counts(self):
+        design = Design(name="d")
+        design.add_brams(["a", "b", "c"], group="layer0")
+        assert design.n_brams == 3
+        assert design.logical_brams[0].group == "layer0"
+
+    def test_utilization_checks_budget(self, chip):
+        design = Design(name="d", dsp_used=10, ff_used=100, lut_used=100)
+        design.add_brams([f"b{i}" for i in range(5)])
+        util = design.utilization_on(ResourceBudget.from_platform(chip.spec))
+        assert util.used["BRAM"] == 5
+
+    def test_over_budget_design_rejected(self, chip):
+        design = Design(name="d", dsp_used=10_000)
+        with pytest.raises(ResourceError):
+            compile_design(design, chip)
+
+
+class TestCompileDesign:
+    def test_compile_produces_placement(self, chip):
+        design = Design(name="d")
+        design.add_brams([f"b{i}" for i in range(10)])
+        bitstream = compile_design(design, chip, seed=1)
+        assert len(bitstream.placement) == 10
+        assert bitstream.name == "d"
+
+    def test_different_seeds_differ(self, chip):
+        design = Design(name="d")
+        design.add_brams([f"b{i}" for i in range(10)])
+        first = compile_design(design, chip, seed=1)
+        second = compile_design(design, chip, seed=2)
+        assert first.placement.assignment != second.placement.assignment
+
+
+class TestConfiguredDevice:
+    def test_requires_bitstream(self, chip):
+        device = ConfiguredDevice(chip=chip)
+        with pytest.raises(ConfigurationError):
+            device.check_operational()
+        assert not device.is_operational
+
+    def test_done_pin_tracks_crash_voltage(self, chip):
+        design = Design(name="d")
+        bitstream = compile_design(design, chip)
+        device = ConfiguredDevice(chip=chip, bitstream=None, crash_voltage_v=0.53)
+        device.program(bitstream)
+        chip.set_vccbram(0.54)
+        assert device.is_operational
+        chip.set_vccbram(0.52)
+        with pytest.raises(CrashError):
+            device.check_operational()
+        assert device.done is False
+
+    def test_recover_restores_operation(self, chip):
+        design = Design(name="d")
+        device = ConfiguredDevice(chip=chip, crash_voltage_v=0.53)
+        device.program(compile_design(design, chip))
+        chip.set_vccbram(0.50)
+        assert not device.is_operational
+        device.recover()
+        assert device.is_operational
+        assert chip.vccbram == pytest.approx(1.0)

@@ -1,0 +1,197 @@
+"""Unit and property tests for the BRAM storage model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpga.bram import (
+    Bram,
+    BramError,
+    BramPool,
+    CascadedMemory,
+    DEFAULT_COLS,
+    DEFAULT_ROWS,
+    data_pattern,
+)
+
+
+class TestDataPattern:
+    def test_ffff_pattern_is_all_ones(self):
+        image = data_pattern("FFFF")
+        assert image.shape == (DEFAULT_ROWS, DEFAULT_COLS)
+        assert image.sum() == DEFAULT_ROWS * DEFAULT_COLS
+
+    def test_zero_pattern_is_all_zeros(self):
+        assert data_pattern(0x0000).sum() == 0
+
+    def test_aaaa_pattern_has_half_ones(self):
+        image = data_pattern("AAAA")
+        assert image.sum() == DEFAULT_ROWS * DEFAULT_COLS // 2
+        # 0xAAAA = 1010...: even columns (bit 15, 13, ...) hold the ones.
+        assert image[0, 0] == 1
+        assert image[0, 1] == 0
+
+    def test_5555_is_complement_of_aaaa(self):
+        a = data_pattern("AAAA")
+        b = data_pattern("5555")
+        assert np.array_equal(a + b, np.ones_like(a))
+
+    def test_random50_is_deterministic_and_half_dense(self):
+        first = data_pattern("random50")
+        second = data_pattern("random50")
+        assert np.array_equal(first, second)
+        density = first.mean()
+        assert 0.45 < density < 0.55
+
+    def test_hex_prefix_accepted(self):
+        assert np.array_equal(data_pattern("0xFFFF"), data_pattern(0xFFFF))
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(BramError):
+            data_pattern("not-a-pattern")
+
+    def test_too_wide_word_rejected(self):
+        with pytest.raises(BramError):
+            data_pattern(0x10000)
+
+
+class TestBram:
+    def test_geometry_defaults_match_paper(self):
+        bram = Bram(index=0)
+        assert bram.rows == 1024
+        assert bram.cols == 16
+        assert bram.n_bits == 16 * 1024
+        assert bram.size_kbits == 16.0
+
+    def test_fill_and_dump_roundtrip(self):
+        bram = Bram(index=0)
+        bram.fill("AAAA")
+        image = bram.dump()
+        assert image.sum() == bram.n_bits // 2
+        # dump returns a copy, not a view
+        image[0, 0] = 1 - image[0, 0]
+        assert bram.dump()[0, 0] != image[0, 0]
+
+    def test_word_write_read_roundtrip(self):
+        bram = Bram(index=0)
+        bram.write_word(5, 0xBEEF)
+        assert bram.read_word(5) == 0xBEEF
+
+    def test_write_words_and_read_words(self):
+        bram = Bram(index=0)
+        words = [1, 2, 3, 0xFFFF]
+        bram.write_words(words, start_row=10)
+        assert bram.read_words(start_row=10, count=4) == words
+
+    def test_write_words_overflow_rejected(self):
+        bram = Bram(index=0, rows=4)
+        with pytest.raises(BramError):
+            bram.write_words([1, 2, 3], start_row=2)
+
+    def test_bit_accessors(self):
+        bram = Bram(index=0)
+        bram.set_bit(3, 7, 1)
+        assert bram.get_bit(3, 7) == 1
+        bram.set_bit(3, 7, 0)
+        assert bram.get_bit(3, 7) == 0
+
+    def test_out_of_range_accesses_rejected(self):
+        bram = Bram(index=0)
+        with pytest.raises(BramError):
+            bram.read_word(1024)
+        with pytest.raises(BramError):
+            bram.get_bit(0, 16)
+        with pytest.raises(BramError):
+            bram.write_word(0, 1 << 16)
+
+    def test_count_ones_tracks_pattern(self):
+        bram = Bram(index=0)
+        bram.fill("FFFF")
+        assert bram.count_ones() == bram.n_bits
+        assert bram.ones_fraction() == 1.0
+        bram.clear()
+        assert bram.count_ones() == 0
+
+    def test_diff_locates_flips(self):
+        bram = Bram(index=0)
+        bram.fill("FFFF")
+        observed = bram.dump()
+        observed[10, 3] = 0
+        observed[100, 15] = 0
+        diffs = bram.diff(observed)
+        assert (10, 3, 1, 0) in diffs
+        assert (100, 15, 1, 0) in diffs
+        assert len(diffs) == 2
+
+    def test_diff_shape_mismatch_rejected(self):
+        bram = Bram(index=0)
+        with pytest.raises(BramError):
+            bram.diff(np.zeros((2, 2), dtype=np.uint8))
+
+    @given(word=st.integers(min_value=0, max_value=0xFFFF), row=st.integers(min_value=0, max_value=1023))
+    @settings(max_examples=50, deadline=None)
+    def test_word_roundtrip_property(self, word, row):
+        bram = Bram(index=0)
+        bram.write_word(row, word)
+        assert bram.read_word(row) == word
+
+
+class TestBramPool:
+    def test_pool_sizes(self):
+        pool = BramPool(n_brams=10)
+        assert len(pool) == 10
+        assert pool.total_bits == 10 * 16 * 1024
+        assert pool.total_mbits == pytest.approx(10 * 16384 / 1e6)
+
+    def test_fill_all_and_count(self):
+        pool = BramPool(n_brams=3)
+        pool.fill_all("FFFF")
+        assert pool.count_ones() == pool.total_bits
+        pool.clear_all()
+        assert pool.count_ones() == 0
+
+    def test_indexing_and_subset(self):
+        pool = BramPool(n_brams=5)
+        assert pool[2].index == 2
+        subset = pool.subset([4, 1])
+        assert [b.index for b in subset] == [4, 1]
+        with pytest.raises(BramError):
+            pool[5]
+
+    def test_iteration_covers_all_blocks(self):
+        pool = BramPool(n_brams=7)
+        assert sorted(b.index for b in pool) == list(range(7))
+
+
+class TestCascadedMemory:
+    def test_depth_and_width(self):
+        blocks = [Bram(index=i, rows=8, cols=16) for i in range(3)]
+        memory = CascadedMemory(name="weights", blocks=blocks)
+        assert memory.depth == 24
+        assert memory.width == 16
+
+    def test_flat_addressing_spans_blocks(self):
+        blocks = [Bram(index=i, rows=4, cols=16) for i in range(2)]
+        memory = CascadedMemory(name="weights", blocks=blocks)
+        memory.write_word(5, 0x1234)  # lands in the second block, row 1
+        assert blocks[1].read_word(1) == 0x1234
+        assert memory.read_word(5) == 0x1234
+
+    def test_bulk_words_roundtrip(self):
+        blocks = [Bram(index=i, rows=4, cols=16) for i in range(2)]
+        memory = CascadedMemory(name="weights", blocks=blocks)
+        words = list(range(8))
+        memory.write_words(words)
+        assert memory.read_words() == words
+
+    def test_out_of_range_rejected(self):
+        memory = CascadedMemory(name="w", blocks=[Bram(index=0, rows=4, cols=16)])
+        with pytest.raises(BramError):
+            memory.read_word(4)
+        with pytest.raises(BramError):
+            memory.write_words([1, 2, 3], start=2)
+
+    def test_empty_cascade_rejected(self):
+        with pytest.raises(BramError):
+            CascadedMemory(name="w", blocks=[])

@@ -1,0 +1,106 @@
+"""Tests for the physical floorplan model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpga.floorplan import Floorplan, FloorplanError
+
+
+class TestConstruction:
+    def test_regular_floorplan_covers_all_brams(self):
+        plan = Floorplan.regular(n_brams=103, n_columns=10)
+        assert plan.n_brams == 103
+        assert plan.n_columns == 10
+        # Ragged columns: three columns get 11 rows, the rest 10.
+        assert sorted(plan.rows_per_column, reverse=True)[:3] == [11, 11, 11]
+
+    def test_empty_sites_exist_when_columns_are_ragged(self):
+        plan = Floorplan.regular(n_brams=103, n_columns=10)
+        assert plan.n_sites > plan.n_brams
+        empty = [site for site in plan.iter_sites() if site.is_empty]
+        assert len(empty) == plan.n_sites - plan.n_brams
+
+    def test_mismatched_heights_rejected(self):
+        with pytest.raises(FloorplanError):
+            Floorplan(n_columns=3, rows_per_column=[1, 2])
+
+    def test_grid_height_must_cover_tallest_column(self):
+        with pytest.raises(FloorplanError):
+            Floorplan(n_columns=2, rows_per_column=[4, 6], grid_height=5)
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(FloorplanError):
+            Floorplan.regular(n_brams=0, n_columns=4)
+        with pytest.raises(FloorplanError):
+            Floorplan.regular(n_brams=10, n_columns=0)
+
+
+class TestQueries:
+    @pytest.fixture(scope="class")
+    def plan(self) -> Floorplan:
+        return Floorplan.regular(n_brams=95, n_columns=8)
+
+    def test_coordinate_roundtrip(self, plan):
+        for index in range(plan.n_brams):
+            x, y = plan.coordinates(index)
+            assert plan.index_at(x, y) == index
+
+    def test_site_names_follow_vivado_style(self, plan):
+        site = plan.site_of(0)
+        assert site.name == f"RAMB18_X{site.x}Y{site.y}"
+
+    def test_unknown_index_rejected(self, plan):
+        with pytest.raises(FloorplanError):
+            plan.site_of(plan.n_brams)
+        with pytest.raises(FloorplanError):
+            plan.site_at(plan.n_columns, 0)
+
+    def test_brams_in_column(self, plan):
+        column0 = plan.brams_in_column(0)
+        assert column0 == sorted(column0)
+        assert all(plan.column_of(i) == 0 for i in column0)
+        with pytest.raises(FloorplanError):
+            plan.brams_in_column(plan.n_columns)
+
+    def test_region_query_is_inclusive(self, plan):
+        full = plan.brams_in_region((0, plan.n_columns - 1), (0, plan.grid_height - 1))
+        assert len(full) == plan.n_brams
+        single = plan.brams_in_region((0, 0), (0, 0))
+        assert single == [plan.index_at(0, 0)]
+
+    def test_region_with_bad_bounds_rejected(self, plan):
+        with pytest.raises(FloorplanError):
+            plan.brams_in_region((3, 1), (0, 0))
+
+    def test_manhattan_distance_symmetry(self, plan):
+        assert plan.manhattan_distance(0, 10) == plan.manhattan_distance(10, 0)
+        assert plan.manhattan_distance(5, 5) == 0
+
+    def test_to_grid_shape(self, plan):
+        grid = plan.to_grid()
+        assert len(grid) == plan.n_columns
+        assert all(len(column) == plan.grid_height for column in grid)
+
+    def test_describe_mentions_counts(self, plan):
+        text = plan.describe()
+        assert str(plan.n_brams) in text
+        assert str(plan.n_columns) in text
+
+    def test_iter_brams_in_index_order(self, plan):
+        indices = [site.bram_index for site in plan.iter_brams()]
+        assert indices == list(range(plan.n_brams))
+
+
+@given(n_brams=st.integers(min_value=1, max_value=600), n_columns=st.integers(min_value=1, max_value=25))
+@settings(max_examples=40, deadline=None)
+def test_regular_floorplan_properties(n_brams, n_columns):
+    """Every BRAM gets exactly one site and coordinates round-trip."""
+    plan = Floorplan.regular(n_brams=n_brams, n_columns=n_columns)
+    assert plan.n_brams == n_brams
+    seen = set()
+    for site in plan.iter_brams():
+        assert site.bram_index not in seen
+        seen.add(site.bram_index)
+        assert plan.index_at(site.x, site.y) == site.bram_index
+    assert len(seen) == n_brams

@@ -1,0 +1,140 @@
+"""Tests for Pblock constraints and the BRAM placer."""
+
+import pytest
+
+from repro.fpga.floorplan import Floorplan
+from repro.fpga.pblock import ConstraintSet, Pblock, PblockError
+from repro.fpga.placer import BramPlacer, LogicalBram, Placement, PlacementError
+
+
+@pytest.fixture()
+def floorplan() -> Floorplan:
+    return Floorplan.regular(n_brams=60, n_columns=6)
+
+
+class TestPblock:
+    def test_from_sites_and_allows(self):
+        pblock = Pblock.from_sites("safe", [1, 2, 3], ["blockA"])
+        assert pblock.capacity == 3
+        assert pblock.allows(2)
+        assert not pblock.allows(9)
+
+    def test_from_region_uses_floorplan(self, floorplan):
+        pblock = Pblock.from_region("corner", floorplan, (0, 1), (0, 4))
+        assert pblock.capacity > 0
+        assert all(floorplan.coordinates(i)[0] <= 1 for i in pblock.allowed_sites)
+
+    def test_empty_region_rejected(self, floorplan):
+        with pytest.raises(PblockError):
+            Pblock.from_sites("empty", [])
+
+    def test_constrain_adds_blocks_immutably(self):
+        pblock = Pblock.from_sites("safe", [1, 2])
+        extended = pblock.constrain("blockA", "blockB")
+        assert extended.constrained_blocks == ("blockA", "blockB")
+        assert pblock.constrained_blocks == ()
+
+    def test_unnamed_pblock_rejected(self):
+        with pytest.raises(PblockError):
+            Pblock(name="", allowed_sites=frozenset({1}))
+
+
+class TestConstraintSet:
+    def test_lookup_by_block(self):
+        constraints = ConstraintSet()
+        constraints.add(Pblock.from_sites("safe", [1, 2], ["blockA"]))
+        assert constraints.pblock_for("blockA").name == "safe"
+        assert constraints.pblock_for("blockB") is None
+        assert constraints.constrained_blocks() == {"blockA"}
+
+    def test_duplicate_names_rejected(self):
+        constraints = ConstraintSet()
+        constraints.add(Pblock.from_sites("safe", [1]))
+        with pytest.raises(PblockError):
+            constraints.add(Pblock.from_sites("safe", [2]))
+
+    def test_double_constrained_block_rejected(self):
+        constraints = ConstraintSet()
+        constraints.add(Pblock.from_sites("a", [1], ["blockA"]))
+        with pytest.raises(PblockError):
+            constraints.add(Pblock.from_sites("b", [2], ["blockA"]))
+
+    def test_len_and_iter(self):
+        constraints = ConstraintSet()
+        constraints.add(Pblock.from_sites("a", [1]))
+        constraints.add(Pblock.from_sites("b", [2]))
+        assert len(constraints) == 2
+        assert {p.name for p in constraints} == {"a", "b"}
+
+
+class TestPlacer:
+    def test_default_placement_assigns_unique_sites(self, floorplan):
+        placer = BramPlacer(floorplan=floorplan, seed=1)
+        blocks = [LogicalBram(name=f"b{i}") for i in range(30)]
+        placement = placer.place(blocks)
+        sites = placement.used_sites()
+        assert len(sites) == 30
+        assert len(set(sites)) == 30
+        assert all(0 <= s < floorplan.n_brams for s in sites)
+
+    def test_placement_is_deterministic_per_seed(self, floorplan):
+        blocks = [LogicalBram(name=f"b{i}") for i in range(20)]
+        first = BramPlacer(floorplan=floorplan, seed=3).place(blocks)
+        second = BramPlacer(floorplan=floorplan, seed=3).place(blocks)
+        third = BramPlacer(floorplan=floorplan, seed=4).place(blocks)
+        assert first.assignment == second.assignment
+        assert first.assignment != third.assignment
+
+    def test_constrained_blocks_land_in_pblock(self, floorplan):
+        blocks = [LogicalBram(name=f"b{i}") for i in range(20)]
+        constraints = ConstraintSet()
+        constraints.add(Pblock.from_sites("safe", [2, 3, 5], ["b7", "b9"]))
+        placement = BramPlacer(floorplan=floorplan, seed=0).place(blocks, constraints)
+        assert placement.site_of("b7") in {2, 3, 5}
+        assert placement.site_of("b9") in {2, 3, 5}
+        assert placement.site_of("b7") != placement.site_of("b9")
+
+    def test_unconstrained_blocks_avoid_reserved_sites(self, floorplan):
+        blocks = [LogicalBram(name=f"b{i}") for i in range(10)]
+        placement = BramPlacer(floorplan=floorplan, seed=0).place(blocks, reserved_sites=[0, 1, 2])
+        assert not set(placement.used_sites()) & {0, 1, 2}
+
+    def test_pblock_overflow_detected(self, floorplan):
+        blocks = [LogicalBram(name=f"b{i}") for i in range(4)]
+        constraints = ConstraintSet()
+        constraints.add(Pblock.from_sites("tiny", [1], ["b0", "b1"]))
+        with pytest.raises(PlacementError):
+            BramPlacer(floorplan=floorplan, seed=0).place(blocks, constraints)
+
+    def test_design_bigger_than_device_rejected(self, floorplan):
+        blocks = [LogicalBram(name=f"b{i}") for i in range(floorplan.n_brams + 1)]
+        with pytest.raises(PlacementError):
+            BramPlacer(floorplan=floorplan, seed=0).place(blocks)
+
+    def test_duplicate_block_names_rejected(self, floorplan):
+        blocks = [LogicalBram(name="same"), LogicalBram(name="same")]
+        with pytest.raises(PlacementError):
+            BramPlacer(floorplan=floorplan, seed=0).place(blocks)
+
+    def test_invalid_reserved_site_rejected(self, floorplan):
+        with pytest.raises(PlacementError):
+            BramPlacer(floorplan=floorplan, seed=0).place(
+                [LogicalBram(name="b0")], reserved_sites=[floorplan.n_brams]
+            )
+
+    def test_placement_lookup_helpers(self, floorplan):
+        blocks = [LogicalBram(name="b0"), LogicalBram(name="b1")]
+        placement = BramPlacer(floorplan=floorplan, seed=0).place(blocks)
+        site = placement.site_of("b0")
+        assert placement.block_at(site) == "b0"
+        assert placement.block_at(9999) is None
+        assert "b0" in placement
+        assert len(placement) == 2
+        with pytest.raises(PlacementError):
+            placement.site_of("missing")
+
+    def test_replace_compilation_changes_seed(self, floorplan):
+        placer = BramPlacer(floorplan=floorplan, seed=0)
+        other = placer.replace_compilation(9)
+        assert other.seed == 9
+        assert other.floorplan is floorplan

@@ -1,0 +1,111 @@
+"""Tests for platform specs (Table I) and chip instances."""
+
+import pytest
+
+from repro.fpga.platform import (
+    ALL_PLATFORMS,
+    FpgaChip,
+    KC705_A,
+    KC705_B,
+    PlatformError,
+    VC707,
+    ZC702,
+    chip_seed,
+    get_platform,
+    platform_names,
+)
+
+
+class TestTableOne:
+    """The specs must reproduce the published Table I entries."""
+
+    def test_four_platforms_studied(self):
+        assert len(ALL_PLATFORMS) == 4
+        assert platform_names() == ["VC707", "ZC702", "KC705-A", "KC705-B"]
+
+    def test_bram_counts_match_table1(self):
+        assert VC707.n_brams == 2060
+        assert ZC702.n_brams == 280
+        assert KC705_A.n_brams == 890
+        assert KC705_B.n_brams == 890
+
+    def test_all_platforms_are_28nm_1v(self):
+        for spec in ALL_PLATFORMS:
+            assert spec.process_nm == 28
+            assert spec.nominal_vccbram == pytest.approx(1.0)
+            assert spec.bram_rows == 1024
+            assert spec.bram_cols == 16
+
+    def test_chip_models_match_table1(self):
+        assert VC707.chip_model.startswith("XC7VX485T")
+        assert ZC702.chip_model.startswith("XC7Z020")
+        assert KC705_A.chip_model == KC705_B.chip_model
+
+    def test_kc705_samples_differ_only_by_serial(self):
+        assert KC705_A.serial_number != KC705_B.serial_number
+        assert KC705_A.device_family == KC705_B.device_family
+        assert KC705_A.n_brams == KC705_B.n_brams
+
+    def test_table_row_rendering(self):
+        row = VC707.table_row()
+        assert row["Number of BRAMs"] == "2060"
+        assert row["Basic Size of Each BRAM"] == "1024*16-bits"
+        assert row["Manufacturing Process Technology"] == "28nm"
+
+    def test_total_bram_capacity(self):
+        assert VC707.total_bram_mbits == pytest.approx(2060 * 16384 / 1e6)
+        assert VC707.bram_kbits == pytest.approx(16.0)
+
+
+class TestLookup:
+    def test_get_platform_case_insensitive(self):
+        assert get_platform("vc707") is VC707
+        assert get_platform("kc705_a") is KC705_A
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(PlatformError):
+            get_platform("VC999")
+
+    def test_chip_seed_differs_across_dies(self):
+        assert chip_seed(KC705_A) != chip_seed(KC705_B)
+        assert chip_seed(KC705_A) == chip_seed(KC705_A)
+
+
+class TestFpgaChip:
+    def test_build_from_name(self):
+        chip = FpgaChip.build("ZC702")
+        assert chip.name == "ZC702"
+        assert len(chip.brams) == 280
+        assert chip.floorplan.n_brams == 280
+
+    def test_rail_accessors(self):
+        chip = FpgaChip.build("ZC702")
+        chip.set_vccbram(0.61)
+        chip.set_vccint(0.9)
+        assert chip.vccbram == pytest.approx(0.61)
+        assert chip.vccint == pytest.approx(0.9)
+
+    def test_temperature_limits(self):
+        chip = FpgaChip.build("ZC702")
+        chip.set_temperature(80.0)
+        assert chip.board_temperature_c == 80.0
+        with pytest.raises(PlatformError):
+            chip.set_temperature(300.0)
+
+    def test_soft_reset_preserves_content_and_setpoints(self):
+        chip = FpgaChip.build("ZC702")
+        chip.brams[0].write_word(0, 0xFFFF)
+        chip.set_vccbram(0.6)
+        chip.soft_reset()
+        assert chip.brams[0].read_word(0) == 0xFFFF
+        assert chip.vccbram == pytest.approx(0.6)
+
+    def test_describe_mentions_platform(self):
+        chip = FpgaChip.build("VC707")
+        assert "VC707" in chip.describe()
+        assert "2060" in chip.describe()
+
+    def test_seed_is_stable(self):
+        chip_a = FpgaChip.build("KC705-A")
+        chip_b = FpgaChip.build("KC705-A")
+        assert chip_a.seed == chip_b.seed

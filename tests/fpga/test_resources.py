@@ -1,0 +1,63 @@
+"""Tests for resource budgets and utilization accounting."""
+
+import pytest
+
+from repro.fpga.platform import VC707
+from repro.fpga.resources import ResourceBudget, ResourceError, Utilization
+
+
+class TestResourceBudget:
+    def test_from_platform_uses_table_totals(self):
+        budget = ResourceBudget.from_platform(VC707)
+        assert budget.bram == 2060
+        assert budget.dsp == 2800
+        assert budget.as_dict()["LUT"] == 607_200
+
+    def test_as_dict_has_all_kinds(self):
+        budget = ResourceBudget(bram=10, dsp=20, ff=30, lut=40)
+        assert set(budget.as_dict()) == {"BRAM", "DSP", "FF", "LUT"}
+
+
+class TestUtilization:
+    def test_require_and_percent(self):
+        budget = ResourceBudget.from_platform(VC707)
+        util = Utilization(budget=budget)
+        util.require("BRAM", 1459)
+        assert util.percent("BRAM") == pytest.approx(70.8, abs=0.1)
+        util.require("DSP", 241)
+        assert util.percent("DSP") == pytest.approx(8.6, abs=0.1)
+
+    def test_overflow_rejected(self):
+        util = Utilization(budget=ResourceBudget(bram=4, dsp=1, ff=1, lut=1))
+        util.require("BRAM", 3)
+        with pytest.raises(ResourceError):
+            util.require("BRAM", 2)
+
+    def test_release_returns_capacity(self):
+        util = Utilization(budget=ResourceBudget(bram=4, dsp=1, ff=1, lut=1))
+        util.require("BRAM", 3)
+        util.release("BRAM", 2)
+        assert util.remaining("BRAM") == 3
+        with pytest.raises(ResourceError):
+            util.release("BRAM", 5)
+
+    def test_unknown_kind_rejected(self):
+        util = Utilization(budget=ResourceBudget(bram=1, dsp=1, ff=1, lut=1))
+        with pytest.raises(ResourceError):
+            util.require("URAM", 1)
+
+    def test_negative_amount_rejected(self):
+        util = Utilization(budget=ResourceBudget(bram=1, dsp=1, ff=1, lut=1))
+        with pytest.raises(ResourceError):
+            util.require("BRAM", -1)
+
+    def test_zero_budget_fraction_is_zero(self):
+        util = Utilization(budget=ResourceBudget(bram=1, dsp=0, ff=1, lut=1))
+        assert util.fraction("DSP") == 0.0
+
+    def test_report_covers_all_kinds(self):
+        util = Utilization(budget=ResourceBudget(bram=10, dsp=10, ff=10, lut=10))
+        util.require("FF", 5)
+        report = util.report()
+        assert report["FF"] == pytest.approx(50.0)
+        assert set(report) == {"BRAM", "DSP", "FF", "LUT"}

@@ -1,0 +1,114 @@
+"""Tests for voltage rails and the regulator model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpga.voltage import (
+    DEFAULT_STEP_V,
+    VCCBRAM,
+    VCCINT,
+    VoltageError,
+    VoltageRail,
+    VoltageRegulator,
+)
+
+
+class TestVoltageRail:
+    def test_defaults_to_nominal(self):
+        rail = VoltageRail(name=VCCBRAM)
+        assert rail.setpoint_v == pytest.approx(1.0)
+        assert rail.guardband_fraction == pytest.approx(0.0)
+
+    def test_set_quantizes_to_resolution(self):
+        rail = VoltageRail(name=VCCBRAM, resolution_v=0.005)
+        applied = rail.set(0.6124)
+        assert applied == pytest.approx(0.610)
+
+    def test_limits_enforced(self):
+        rail = VoltageRail(name=VCCBRAM, min_v=0.5, max_v=1.05)
+        with pytest.raises(VoltageError):
+            rail.set(0.3)
+        with pytest.raises(VoltageError):
+            rail.set(1.2)
+
+    def test_undervolt_by_accumulates(self):
+        rail = VoltageRail(name=VCCBRAM)
+        rail.undervolt_by(0.2)
+        rail.undervolt_by(0.1)
+        assert rail.setpoint_v == pytest.approx(0.7)
+        assert rail.guardband_fraction == pytest.approx(0.3)
+
+    def test_undervolt_by_negative_rejected(self):
+        rail = VoltageRail(name=VCCBRAM)
+        with pytest.raises(VoltageError):
+            rail.undervolt_by(-0.1)
+
+    def test_reset_returns_to_nominal(self):
+        rail = VoltageRail(name=VCCBRAM)
+        rail.set(0.62)
+        rail.reset()
+        assert rail.setpoint_v == pytest.approx(1.0)
+
+    def test_read_is_close_to_setpoint_and_stable(self):
+        rail = VoltageRail(name=VCCBRAM)
+        rail.set(0.61)
+        first, second = rail.read(), rail.read()
+        assert first == second
+        assert abs(first - 0.61) < 0.001
+
+    def test_inconsistent_limits_rejected(self):
+        with pytest.raises(VoltageError):
+            VoltageRail(name=VCCBRAM, min_v=1.2, max_v=1.0)
+        with pytest.raises(VoltageError):
+            VoltageRail(name=VCCBRAM, nominal_v=2.0)
+
+    @given(target=st.floats(min_value=0.41, max_value=1.09))
+    @settings(max_examples=50, deadline=None)
+    def test_set_always_lands_within_resolution(self, target):
+        rail = VoltageRail(name=VCCBRAM)
+        applied = rail.set(target)
+        assert abs(applied - target) <= rail.resolution_v / 2 + 1e-9
+
+
+class TestVoltageRegulator:
+    def test_for_platform_registers_standard_rails(self):
+        regulator = VoltageRegulator.for_platform()
+        assert set(regulator.rails) >= {VCCBRAM, VCCINT}
+
+    def test_duplicate_rail_rejected(self):
+        regulator = VoltageRegulator.for_platform()
+        with pytest.raises(VoltageError):
+            regulator.add_rail(VoltageRail(name=VCCBRAM))
+
+    def test_unknown_rail_rejected(self):
+        regulator = VoltageRegulator.for_platform()
+        with pytest.raises(VoltageError):
+            regulator.set_voltage("VCCXYZ", 0.9)
+
+    def test_set_and_snapshot(self):
+        regulator = VoltageRegulator.for_platform()
+        regulator.set_voltage(VCCBRAM, 0.61)
+        snapshot = regulator.snapshot()
+        assert snapshot[VCCBRAM] == pytest.approx(0.61)
+        assert snapshot[VCCINT] == pytest.approx(1.0)
+
+    def test_reset_all(self):
+        regulator = VoltageRegulator.for_platform()
+        regulator.set_voltage(VCCBRAM, 0.61)
+        regulator.reset_all()
+        assert regulator.snapshot()[VCCBRAM] == pytest.approx(1.0)
+
+    def test_sweep_points_include_both_endpoints(self):
+        regulator = VoltageRegulator.for_platform()
+        points = regulator.sweep_points(VCCBRAM, 0.61, 0.54, DEFAULT_STEP_V)
+        assert points[0] == pytest.approx(0.61)
+        assert points[-1] == pytest.approx(0.54)
+        assert len(points) == 8
+
+    def test_sweep_points_validate_direction_and_step(self):
+        regulator = VoltageRegulator.for_platform()
+        with pytest.raises(VoltageError):
+            regulator.sweep_points(VCCBRAM, 0.5, 0.6)
+        with pytest.raises(VoltageError):
+            regulator.sweep_points(VCCBRAM, 0.6, 0.5, step_v=0.0)

@@ -1,0 +1,49 @@
+"""Tests for the heat chamber and temperature monitor."""
+
+import pytest
+
+from repro.fpga.platform import FpgaChip
+from repro.harness.environment import EnvironmentError_, HeatChamber, TemperatureMonitor
+from repro.harness.pmbus import PmbusAdapter
+
+
+@pytest.fixture()
+def chip() -> FpgaChip:
+    return FpgaChip.build("ZC702")
+
+
+class TestHeatChamber:
+    def test_go_to_reaches_setpoint(self, chip):
+        chamber = HeatChamber(chip)
+        final = chamber.go_to(80.0)
+        assert final == pytest.approx(80.0)
+        assert chip.board_temperature_c == pytest.approx(80.0)
+
+    def test_ramp_is_gradual(self, chip):
+        chamber = HeatChamber(chip, ramp_step_c=5.0)
+        chamber.go_to(80.0)
+        deltas = [
+            abs(b - a) for a, b in zip(chamber.history_c, chamber.history_c[1:])
+        ]
+        assert max(deltas) <= 5.0 + 1e-9
+        assert len(chamber.history_c) >= 7  # 50 -> 80 in 5 degC steps
+
+    def test_out_of_range_setpoint_rejected(self, chip):
+        chamber = HeatChamber(chip)
+        with pytest.raises(EnvironmentError_):
+            chamber.set_temperature(200.0)
+
+    def test_cooling_also_works(self, chip):
+        chamber = HeatChamber(chip)
+        chamber.go_to(80.0)
+        chamber.go_to(50.0)
+        assert chip.board_temperature_c == pytest.approx(50.0)
+
+
+class TestTemperatureMonitor:
+    def test_reads_through_pmbus(self, chip):
+        monitor = TemperatureMonitor(PmbusAdapter(chip))
+        chip.set_temperature(62.0)
+        assert monitor.read_c() == 62.0
+        assert monitor.is_within(62.5, tolerance_c=1.0)
+        assert not monitor.is_within(70.0, tolerance_c=1.0)

@@ -1,0 +1,86 @@
+"""Tests for the host controller (BRAM init, read-back, fault analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.fpga.bitstream import CrashError
+from repro.fpga.platform import FpgaChip
+from repro.fpga.voltage import VCCBRAM
+from repro.harness.host import HostController
+from repro.harness.pmbus import VOUT_COMMAND
+
+
+@pytest.fixture()
+def host() -> HostController:
+    return HostController(FpgaChip.build("ZC702"))
+
+
+class TestRailControl:
+    def test_set_vccbram_goes_through_pmbus(self, host):
+        host.set_vccbram(0.61)
+        assert host.chip.vccbram == pytest.approx(0.61)
+        assert host.adapter.commands_issued(VOUT_COMMAND)[-1].rail == VCCBRAM
+
+    def test_undervolt_step_default_10mv(self, host):
+        host.set_vccbram(0.61)
+        host.undervolt_step()
+        assert host.chip.vccbram == pytest.approx(0.60)
+
+
+class TestReadback:
+    def test_safe_region_readback_is_clean(self, host):
+        host.initialize_brams("FFFF")
+        observed = host.read_bram(0)
+        assert observed.sum() == observed.size
+        assert host.count_chip_faults() == 0
+
+    def test_critical_region_readback_has_faults(self, host):
+        cal = host.fault_field.calibration
+        host.initialize_brams("FFFF")
+        host.set_vccbram(cal.vcrash_bram_v)
+        assert host.count_chip_faults() > 0
+
+    def test_analyze_bram_matches_fault_field(self, host):
+        cal = host.fault_field.calibration
+        host.initialize_brams("FFFF")
+        host.set_vccbram(cal.vcrash_bram_v)
+        per_bram = host.per_bram_fault_counts()
+        busiest = int(np.argmax(per_bram))
+        records = host.analyze_bram(busiest)
+        assert len(records) == per_bram[busiest]
+        assert all(r.expected_bit == 1 and r.observed_bit == 0 for r in records)
+
+    def test_per_bram_counts_sum_matches_total(self, host):
+        cal = host.fault_field.calibration
+        host.initialize_brams("FFFF")
+        host.set_vccbram(cal.vcrash_bram_v)
+        assert host.per_bram_fault_counts().sum() == host.count_chip_faults()
+
+    def test_pattern_affects_counts(self, host):
+        cal = host.fault_field.calibration
+        host.set_vccbram(cal.vcrash_bram_v)
+        host.initialize_brams("FFFF")
+        full = host.count_chip_faults()
+        host.initialize_brams(0x0000)
+        sparse = host.count_chip_faults()
+        assert sparse < full
+
+
+class TestCrashBehaviour:
+    def test_reads_below_vcrash_raise(self, host):
+        cal = host.fault_field.calibration
+        host.initialize_brams("FFFF")
+        host.set_vccbram(cal.vcrash_bram_v - 0.02)
+        assert not host.is_operational()
+        with pytest.raises(CrashError):
+            host.count_chip_faults()
+        with pytest.raises(CrashError):
+            host.read_bram(0)
+
+    def test_recovery_restores_operation(self, host):
+        cal = host.fault_field.calibration
+        host.initialize_brams("FFFF")
+        host.set_vccbram(cal.vcrash_bram_v - 0.02)
+        host.recover_from_crash()
+        assert host.is_operational()
+        assert host.count_chip_faults() == 0  # back at nominal voltage

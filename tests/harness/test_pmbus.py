@@ -1,0 +1,67 @@
+"""Tests for the PMBUS adapter."""
+
+import pytest
+
+from repro.fpga.platform import FpgaChip
+from repro.fpga.voltage import VCCBRAM, VCCINT
+from repro.harness.pmbus import (
+    PmbusAdapter,
+    PmbusError,
+    READ_TEMPERATURE,
+    READ_VOUT,
+    VOUT_COMMAND,
+)
+
+
+@pytest.fixture()
+def adapter() -> PmbusAdapter:
+    return PmbusAdapter(FpgaChip.build("ZC702"))
+
+
+class TestCommands:
+    def test_vout_command_drives_rail(self, adapter):
+        applied = adapter.vout_command(VCCBRAM, 0.61)
+        assert applied == pytest.approx(0.61)
+        assert adapter.chip.vccbram == pytest.approx(0.61)
+
+    def test_read_vout_close_to_setpoint(self, adapter):
+        adapter.vout_command(VCCINT, 0.9)
+        assert abs(adapter.read_vout(VCCINT) - 0.9) < 0.001
+
+    def test_read_temperature_reports_board_state(self, adapter):
+        adapter.chip.set_temperature(70.0)
+        assert adapter.read_temperature() == 70.0
+
+    def test_out_of_range_request_raises_and_is_logged(self, adapter):
+        with pytest.raises(PmbusError):
+            adapter.vout_command(VCCBRAM, 0.1)
+        failed = adapter.commands_issued(VOUT_COMMAND)[-1]
+        assert failed.response is None
+
+    def test_commands_rejected_when_powered_off(self, adapter):
+        adapter.operation_soft_off()
+        with pytest.raises(PmbusError):
+            adapter.vout_command(VCCBRAM, 0.8)
+        adapter.operation_on()
+        assert adapter.vout_command(VCCBRAM, 0.8) == pytest.approx(0.8)
+
+
+class TestLog:
+    def test_every_transaction_logged(self, adapter):
+        adapter.vout_command(VCCBRAM, 0.7)
+        adapter.read_vout(VCCBRAM)
+        adapter.read_temperature()
+        commands = [entry.command for entry in adapter.commands_issued()]
+        assert commands == [VOUT_COMMAND, READ_VOUT, READ_TEMPERATURE]
+
+    def test_last_setpoint_lookup(self, adapter):
+        adapter.vout_command(VCCBRAM, 0.7)
+        adapter.vout_command(VCCBRAM, 0.65)
+        adapter.vout_command(VCCINT, 0.9)
+        assert adapter.last_setpoint(VCCBRAM) == pytest.approx(0.65)
+        assert adapter.last_setpoint("VCCAUX") is None
+
+    def test_clear_log(self, adapter):
+        adapter.read_temperature()
+        adapter.clear_log()
+        assert adapter.commands_issued() == []

@@ -1,0 +1,56 @@
+"""Tests for the power meter and XPE-style breakdown."""
+
+import pytest
+
+from repro.fpga.platform import FpgaChip
+from repro.harness.powermeter import PowerMeter, PowerMeterError, XpePowerEstimate
+
+
+@pytest.fixture()
+def chip() -> FpgaChip:
+    return FpgaChip.build("KC705-A")
+
+
+class TestPowerMeter:
+    def test_reads_track_rail_setpoint(self, chip):
+        meter = PowerMeter(chip)
+        nominal = meter.read_bram_power_w()
+        chip.set_vccbram(0.60)
+        undervolted = meter.read_bram_power_w()
+        assert undervolted < nominal / 10
+
+    def test_explicit_voltage_overrides_setpoint(self, chip):
+        meter = PowerMeter(chip)
+        assert meter.read_bram_power_w(0.61) < meter.read_bram_power_w(1.0)
+
+    def test_total_includes_vccint(self, chip):
+        meter = PowerMeter(chip, vccint_nominal_w=2.0)
+        assert meter.read_total_power_w() > meter.read_bram_power_w()
+
+    def test_reduction_factor_exceeds_10x_at_vmin(self, chip):
+        meter = PowerMeter(chip)
+        cal = meter.calibration
+        assert meter.bram_reduction_factor(cal.vnom_v, cal.vmin_bram_v) > 10
+
+    def test_invalid_utilization_rejected(self, chip):
+        with pytest.raises(PowerMeterError):
+            PowerMeter(chip, bram_utilization=1.5)
+
+    def test_utilization_scales_power(self, chip):
+        full = PowerMeter(chip, bram_utilization=1.0).read_bram_power_w(1.0)
+        partial = PowerMeter(chip, bram_utilization=0.5).read_bram_power_w(1.0)
+        assert partial < full
+
+
+class TestXpeEstimate:
+    def test_percentages_sum_to_100(self):
+        estimate = XpePowerEstimate(components_w={"bram": 2.0, "rest": 6.0})
+        percentages = estimate.as_percentages()
+        assert sum(percentages.values()) == pytest.approx(100.0)
+        assert estimate.fraction("bram") == pytest.approx(0.25)
+        assert estimate.total_w == pytest.approx(8.0)
+
+    def test_empty_estimate_degenerates_gracefully(self):
+        estimate = XpePowerEstimate()
+        assert estimate.total_w == 0.0
+        assert estimate.fraction("bram") == 0.0

@@ -1,0 +1,92 @@
+"""Tests for the experiment record dataclasses."""
+
+import pytest
+
+from repro.harness.records import (
+    GuardbandMeasurement,
+    RecordError,
+    RunObservation,
+    SweepResult,
+    VoltageStepResult,
+)
+
+
+def make_step(voltage, counts, operational=True, power=None, mbits=4.0):
+    return VoltageStepResult(
+        voltage_v=voltage,
+        temperature_c=50.0,
+        runs=[RunObservation(run_index=i, fault_count=c) for i, c in enumerate(counts)],
+        bram_power_w=power,
+        operational=operational,
+        total_mbits=mbits,
+    )
+
+
+class TestVoltageStepResult:
+    def test_median_and_std(self):
+        step = make_step(0.55, [10, 12, 14, 100])
+        assert step.median_fault_count == pytest.approx(13.0)
+        assert step.median_fault_rate_per_mbit == pytest.approx(13.0 / 4.0)
+        assert step.fault_rate_std_per_mbit > 0
+
+    def test_fault_free_detection(self):
+        assert make_step(0.7, [0, 0, 0]).is_fault_free()
+        assert not make_step(0.55, [0, 1]).is_fault_free()
+        assert not make_step(0.5, [0], operational=False).is_fault_free()
+
+    def test_empty_runs_have_zero_median(self):
+        step = make_step(0.55, [])
+        assert step.median_fault_count == 0.0
+        assert step.fault_rate_std_per_mbit == 0.0
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(RecordError):
+            RunObservation(run_index=0, fault_count=-1)
+
+
+class TestSweepResult:
+    def build(self):
+        sweep = SweepResult(platform="ZC702", rail="VCCBRAM", pattern="FFFF")
+        sweep.steps = [
+            make_step(0.61, [0, 0], power=0.012),
+            make_step(0.58, [5, 6], power=0.010),
+            make_step(0.55, [50, 52], power=0.008),
+            make_step(0.53, [0], operational=False),
+        ]
+        return sweep
+
+    def test_series_accessors(self):
+        sweep = self.build()
+        assert sweep.voltages() == [0.61, 0.58, 0.55, 0.53]
+        assert len(sweep.operational_steps()) == 3
+        assert sweep.fault_rates_per_mbit()[0] == 0.0
+        assert sweep.powers_w()[0] == pytest.approx(0.012)
+        assert len(sweep.as_series()) == 4
+
+    def test_threshold_helpers(self):
+        sweep = self.build()
+        assert sweep.last_operational_voltage() == pytest.approx(0.55)
+        assert sweep.first_faulty_voltage() == pytest.approx(0.58)
+        assert sweep.step_at(0.58).median_fault_count == pytest.approx(5.5)
+        with pytest.raises(RecordError):
+            sweep.step_at(0.99)
+
+    def test_no_operational_steps_rejected(self):
+        sweep = SweepResult(platform="X", rail="VCCBRAM", pattern="FFFF")
+        sweep.steps = [make_step(0.5, [0], operational=False)]
+        with pytest.raises(RecordError):
+            sweep.last_operational_voltage()
+        assert sweep.first_faulty_voltage() is None
+
+
+class TestGuardbandMeasurement:
+    def test_guardband_fraction(self):
+        measurement = GuardbandMeasurement(
+            platform="VC707",
+            rail="VCCBRAM",
+            nominal_v=1.0,
+            vmin_v=0.61,
+            vcrash_v=0.54,
+            power_reduction_factor_at_vmin=17.0,
+        )
+        assert measurement.guardband_fraction == pytest.approx(0.39)

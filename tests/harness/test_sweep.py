@@ -1,0 +1,98 @@
+"""Tests for the sweep drivers (guardband discovery, Listing 1, FVM, temperature)."""
+
+import pytest
+
+from repro.core.temperature import STUDY_TEMPERATURES_C
+from repro.fpga.platform import FpgaChip
+from repro.fpga.voltage import VCCBRAM, VCCINT
+from repro.harness.sweep import SweepError, UndervoltingExperiment
+
+
+@pytest.fixture(scope="module")
+def experiment() -> UndervoltingExperiment:
+    return UndervoltingExperiment(FpgaChip.build("ZC702"), runs_per_step=5)
+
+
+class TestGuardbandDiscovery:
+    def test_vccbram_guardband_matches_calibration(self, experiment):
+        cal = experiment.calibration
+        measurement, sweep = experiment.discover_guardband(rail=VCCBRAM)
+        assert measurement.vmin_v == pytest.approx(cal.vmin_bram_v, abs=0.011)
+        assert measurement.vcrash_v == pytest.approx(cal.vcrash_bram_v, abs=0.011)
+        assert measurement.guardband_fraction == pytest.approx(
+            cal.guardband_bram_fraction, abs=0.015
+        )
+        assert measurement.power_reduction_factor_at_vmin > 10
+        assert sweep.crashed_at_v is not None
+        assert sweep.crashed_at_v < cal.vcrash_bram_v
+
+    def test_vccint_guardband_measured(self, experiment):
+        cal = experiment.calibration
+        measurement, _ = experiment.discover_guardband(rail=VCCINT)
+        assert measurement.vmin_v == pytest.approx(cal.vmin_int_v, abs=0.011)
+        assert measurement.rail == VCCINT
+
+    def test_unknown_rail_rejected(self, experiment):
+        with pytest.raises(SweepError):
+            experiment.discover_guardband(rail="VCCAUX")
+
+    def test_board_left_at_nominal_after_discovery(self, experiment):
+        experiment.discover_guardband()
+        assert experiment.chip.vccbram == pytest.approx(1.0)
+
+
+class TestCriticalRegionSweep:
+    def test_listing1_sweep_shape(self, experiment):
+        cal = experiment.calibration
+        result = experiment.critical_region_sweep(n_runs=5)
+        voltages = result.voltages()
+        assert voltages[0] == pytest.approx(cal.vmin_bram_v)
+        assert voltages[-1] == pytest.approx(cal.vcrash_bram_v, abs=0.011)
+        rates = result.fault_rates_per_mbit()
+        assert rates[0] == 0.0
+        assert rates[-1] == pytest.approx(cal.fault_rate_at_vcrash_per_mbit, rel=0.15)
+        assert all(b >= a for a, b in zip(rates, rates[1:]))
+        powers = result.powers_w()
+        assert all(b < a for a, b in zip(powers, powers[1:]))
+
+    def test_per_bram_collection_optional(self, experiment):
+        result = experiment.critical_region_sweep(n_runs=2, collect_per_bram=True)
+        assert result.steps[-1].per_bram_counts is not None
+        assert sum(result.steps[-1].per_bram_counts) > 0
+
+    def test_upward_sweep_rejected(self, experiment):
+        with pytest.raises(SweepError):
+            experiment.critical_region_sweep(start_v=0.55, stop_v=0.60)
+
+    def test_invalid_runs_rejected(self, experiment):
+        with pytest.raises(SweepError):
+            experiment.critical_region_sweep(n_runs=0)
+        with pytest.raises(SweepError):
+            UndervoltingExperiment(FpgaChip.build("ZC702"), runs_per_step=0)
+
+
+class TestFvmExtraction:
+    def test_fvm_covers_critical_region(self, experiment):
+        fvm = experiment.extract_fvm()
+        cal = experiment.calibration
+        assert max(fvm.voltages_v) == pytest.approx(cal.vmin_bram_v)
+        assert min(fvm.voltages_v) == pytest.approx(cal.vcrash_bram_v, abs=0.011)
+        assert fvm.n_brams == experiment.chip.spec.n_brams
+        assert 0.3 < fvm.never_faulty_fraction() < 0.7
+
+
+class TestTemperatureSweep:
+    def test_itd_reduces_rates(self, experiment):
+        results = experiment.temperature_sweep([50.0, 80.0], n_runs=2)
+        rate_50 = results[50.0].fault_rates_per_mbit()[-1]
+        rate_80 = results[80.0].fault_rates_per_mbit()[-1]
+        assert rate_80 < rate_50
+        # board returned to the reference temperature afterwards
+        assert experiment.chip.board_temperature_c == pytest.approx(50.0)
+
+    def test_requires_temperatures(self, experiment):
+        with pytest.raises(SweepError):
+            experiment.temperature_sweep([])
+
+    def test_study_temperatures_constant(self):
+        assert STUDY_TEMPERATURES_C == (50.0, 60.0, 70.0, 80.0)

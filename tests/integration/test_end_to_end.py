@@ -1,0 +1,100 @@
+"""End-to-end integration tests spanning the harness, core models and case study."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator import IcbpFlow, NnAccelerator, PlacementPolicy
+from repro.core import FaultField, cluster_bram_vulnerability, detect_guardband
+from repro.core.guardband import SweepObservation
+from repro.fpga import FpgaChip
+from repro.harness import UndervoltingExperiment
+from repro.nn import QuantizedNetwork, TrainingConfig, synthetic_forest, train_network
+
+
+class TestCharacterizationPipeline:
+    """Section II, end to end: discover the guardband, characterize, cluster."""
+
+    @pytest.fixture(scope="class")
+    def experiment(self):
+        return UndervoltingExperiment(FpgaChip.build("ZC702"), runs_per_step=5)
+
+    def test_guardband_then_characterization(self, experiment):
+        cal = experiment.calibration
+        measurement, sweep = experiment.discover_guardband()
+        assert measurement.guardband_fraction == pytest.approx(
+            cal.guardband_bram_fraction, abs=0.015
+        )
+
+        # The detected thresholds drive the critical-region sweep of Listing 1.
+        critical = experiment.critical_region_sweep(
+            start_v=measurement.vmin_v, stop_v=measurement.vcrash_v, n_runs=5
+        )
+        rates = critical.fault_rates_per_mbit()
+        assert rates[0] == 0.0
+        assert rates[-1] > 50
+
+        # Per-BRAM counts at Vcrash cluster into a dominant low class.
+        fvm = experiment.extract_fvm()
+        clustering = cluster_bram_vulnerability(fvm.counts_at_lowest_voltage())
+        assert clustering.fraction("low") > 0.6
+
+    def test_guardband_detection_from_sweep_records(self, experiment):
+        _, sweep = experiment.discover_guardband()
+        observations = [
+            SweepObservation(
+                voltage_v=step.voltage_v,
+                fault_count=int(step.median_fault_count),
+                operational=step.operational,
+            )
+            for step in sweep.steps
+        ]
+        result = detect_guardband(observations)
+        assert result.vmin_v == pytest.approx(experiment.calibration.vmin_bram_v, abs=0.011)
+
+
+class TestCaseStudyPipeline:
+    """Section III, end to end: train, quantize, accelerate, mitigate."""
+
+    def test_train_quantize_accelerate_and_mitigate(self):
+        dataset = synthetic_forest(n_train=1600, n_test=300, seed=11)
+        result = train_network(
+            dataset,
+            topology=(54, 32, 24, 16, 7),
+            config=TrainingConfig(epochs=15, seed=4),
+        )
+        quantized = QuantizedNetwork.from_network(result.network)
+        baseline = quantized.classification_error(dataset.test_inputs, dataset.test_labels)
+        assert baseline < 0.2
+
+        chip = FpgaChip.build("ZC702")
+        field = FaultField(chip)
+        cal = field.calibration
+
+        accelerator = NnAccelerator(chip=chip, network=quantized, fault_field=field)
+        points = accelerator.evaluate_on(dataset, [cal.vmin_bram_v, cal.vcrash_bram_v])
+        assert points[0].classification_error == pytest.approx(baseline)
+        assert points[1].weight_faults > 0
+
+        flow = IcbpFlow(
+            chip=chip,
+            network=quantized,
+            dataset=dataset,
+            fault_field=field,
+            max_eval_samples=300,
+        )
+        comparison = flow.compare_policies(compile_seeds=(0, 1))
+        default = comparison[PlacementPolicy.DEFAULT]
+        icbp = comparison[PlacementPolicy.LAST_LAYER]
+        assert icbp.accuracy_loss <= default.accuracy_loss + 1e-9
+        assert icbp.power_savings_vs_vmin == pytest.approx(0.4, abs=0.1)
+
+    def test_placement_determines_which_weights_get_hit(self, quantized_small_network, small_dataset):
+        """Different compile seeds corrupt different weights of the same network."""
+        chip = FpgaChip.build("ZC702")
+        field = FaultField(chip)
+        cal = field.calibration
+        acc_a = NnAccelerator(chip=chip, network=quantized_small_network, fault_field=field, compile_seed=0)
+        acc_b = NnAccelerator(chip=chip, network=quantized_small_network, fault_field=field, compile_seed=5)
+        faults_a = acc_a.count_weight_faults(cal.vcrash_bram_v)
+        faults_b = acc_b.count_weight_faults(cal.vcrash_bram_v)
+        assert faults_a != faults_b or acc_a.placement.assignment != acc_b.placement.assignment

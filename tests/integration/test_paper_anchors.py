@@ -1,0 +1,87 @@
+"""Cross-cutting checks of the published anchors the reproduction is calibrated to.
+
+These tests are the executable form of EXPERIMENTS.md: each asserts that a
+headline number or qualitative shape from the paper holds when measured
+through the library's public API (not read back from the calibration table).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FaultField, average_guardband, bram_power_model, get_calibration
+from repro.core.characterization import pattern_study, stability_study, variability_study
+from repro.fpga import FpgaChip
+
+
+class TestHeadlineGuardbandAndPower:
+    def test_average_bram_guardband_is_39_percent(self):
+        assert average_guardband("VCCBRAM") == pytest.approx(0.39, abs=0.005)
+
+    def test_average_int_guardband_is_34_percent(self):
+        assert average_guardband("VCCINT") == pytest.approx(0.34, abs=0.005)
+
+    @pytest.mark.parametrize("platform", ["VC707", "ZC702", "KC705-A", "KC705-B"])
+    def test_more_than_order_of_magnitude_power_saving(self, platform):
+        cal = get_calibration(platform)
+        model = bram_power_model(cal)
+        assert model.reduction_factor(cal.vnom_v, cal.vmin_bram_v) > 10
+
+
+class TestFaultRateAnchors:
+    @pytest.mark.parametrize(
+        "platform,published_rate",
+        [("ZC702", 153.0), ("KC705-A", 254.0), ("KC705-B", 60.0)],
+    )
+    def test_crash_rates_reproduced(self, platform, published_rate):
+        field = FaultField(FpgaChip.build(platform))
+        cal = field.calibration
+        measured = field.chip_fault_rate_per_mbit(cal.vcrash_bram_v)
+        assert measured == pytest.approx(published_rate, rel=0.1)
+
+    def test_vc707_crash_rate_reproduced(self, vc707_field):
+        measured = vc707_field.chip_fault_rate_per_mbit(0.54)
+        assert measured == pytest.approx(652.0, rel=0.08)
+
+    def test_kc705_die_to_die_factor(self):
+        field_a = FaultField(FpgaChip.build("KC705-A"))
+        field_b = FaultField(FpgaChip.build("KC705-B"))
+        rate_a = field_a.chip_fault_rate_per_mbit(field_a.calibration.vcrash_bram_v)
+        rate_b = field_b.chip_fault_rate_per_mbit(field_b.calibration.vcrash_bram_v)
+        assert rate_a / rate_b == pytest.approx(4.1, rel=0.2)
+
+
+class TestCharacterizationAnchors:
+    def test_one_to_zero_fraction(self, zc702_field):
+        assert zc702_field.one_to_zero_fraction() == pytest.approx(0.999, abs=0.003)
+
+    def test_pattern_proportionality(self, zc702_field):
+        cal = zc702_field.calibration
+        study = pattern_study(zc702_field, cal.vcrash_bram_v)
+        assert study.ratio("FFFF", "AAAA") == pytest.approx(2.0, rel=0.2)
+
+    def test_run_to_run_stability(self, zc702_field):
+        cal = zc702_field.calibration
+        study = stability_study(zc702_field, cal.vcrash_bram_v, n_runs=50)
+        assert study.std_dev / study.average < 0.05
+        assert study.location_overlap > 0.9
+
+    def test_vc707_never_faulty_fraction(self, vc707_field):
+        """Fig. 5: 38.9 % of VC707 BRAMs never fault even at Vcrash."""
+        study = variability_study(vc707_field, 0.54)
+        assert study.never_faulty_fraction == pytest.approx(0.389, abs=0.06)
+
+    def test_vc707_temperature_reduction_exceeds_3x(self, vc707_field):
+        cold = vc707_field.chip_fault_count(0.54, temperature_c=50.0)
+        hot = vc707_field.chip_fault_count(0.54, temperature_c=80.0)
+        assert cold / hot > 3.0
+
+    def test_vc707_reduces_faster_than_kc705a_with_heat(self, vc707_field):
+        """Fig. 8: VC707's rate falls more steeply with temperature than KC705-A's."""
+        field_a = FaultField(FpgaChip.build("KC705-A"))
+        vc707_ratio = vc707_field.chip_fault_count(0.54, temperature_c=50.0) / max(
+            1, vc707_field.chip_fault_count(0.54, temperature_c=80.0)
+        )
+        kc705_ratio = field_a.chip_fault_count(0.53, temperature_c=50.0) / max(
+            1, field_a.chip_fault_count(0.53, temperature_c=80.0)
+        )
+        assert vc707_ratio > kc705_ratio

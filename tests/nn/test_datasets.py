@@ -1,0 +1,89 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.nn.datasets import (
+    BENCHMARKS,
+    DatasetError,
+    load_benchmark,
+    one_hot_labels,
+    synthetic_forest,
+    synthetic_mnist,
+    synthetic_reuters,
+)
+
+
+class TestShapes:
+    def test_mnist_dimensions_match_original(self):
+        dataset = synthetic_mnist(n_train=200, n_test=50)
+        assert dataset.n_features == 784  # 28 x 28
+        assert dataset.n_classes == 10
+        assert dataset.train_inputs.shape == (200, 784)
+        assert dataset.test_inputs.shape == (50, 784)
+
+    def test_forest_dimensions_match_original(self):
+        dataset = synthetic_forest(n_train=100, n_test=30)
+        assert dataset.n_features == 54
+        assert dataset.n_classes == 7
+
+    def test_reuters_dimensions(self):
+        dataset = synthetic_reuters(n_train=100, n_test=30)
+        assert dataset.n_features == 1000
+        assert dataset.n_classes == 8
+
+    def test_summary_counts(self):
+        dataset = synthetic_forest(n_train=100, n_test=30)
+        summary = dataset.summary()
+        assert summary == {"features": 54, "classes": 7, "train": 100, "test": 30}
+
+
+class TestDeterminismAndRanges:
+    def test_same_seed_same_data(self):
+        first = synthetic_mnist(n_train=100, n_test=20, seed=4)
+        second = synthetic_mnist(n_train=100, n_test=20, seed=4)
+        assert np.array_equal(first.train_inputs, second.train_inputs)
+        assert np.array_equal(first.test_labels, second.test_labels)
+
+    def test_different_seed_different_data(self):
+        first = synthetic_mnist(n_train=100, n_test=20, seed=4)
+        second = synthetic_mnist(n_train=100, n_test=20, seed=5)
+        assert not np.array_equal(first.train_inputs, second.train_inputs)
+
+    def test_inputs_are_normalized(self):
+        dataset = synthetic_mnist(n_train=100, n_test=20)
+        assert dataset.train_inputs.min() >= 0.0
+        assert dataset.train_inputs.max() <= 1.0
+
+    def test_labels_in_range(self):
+        dataset = synthetic_reuters(n_train=100, n_test=20)
+        assert dataset.train_labels.min() >= 0
+        assert dataset.train_labels.max() < dataset.n_classes
+
+    def test_all_classes_present(self):
+        dataset = synthetic_mnist(n_train=500, n_test=100)
+        assert set(np.unique(dataset.train_labels)) == set(range(10))
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(DatasetError):
+            synthetic_mnist(n_train=0, n_test=10)
+
+
+class TestRegistryAndLabels:
+    def test_registry_names_match_paper(self):
+        assert set(BENCHMARKS) == {"MNIST", "Forest", "Reuters"}
+
+    def test_load_benchmark_by_name(self):
+        dataset = load_benchmark("Forest", n_train=50, n_test=10)
+        assert dataset.name.startswith("Forest")
+        with pytest.raises(DatasetError):
+            load_benchmark("ImageNet")
+
+    def test_one_hot_labels(self):
+        dataset = synthetic_forest(n_train=50, n_test=10)
+        encoded = one_hot_labels(dataset, "train")
+        assert encoded.shape == (50, 7)
+        assert np.array_equal(encoded.sum(axis=1), np.ones(50))
+        assert np.array_equal(encoded.argmax(axis=1), dataset.train_labels)
+        with pytest.raises(DatasetError):
+            one_hot_labels(dataset, "validation")

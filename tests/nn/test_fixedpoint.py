@@ -1,0 +1,133 @@
+"""Tests for the fixed-point representation and per-layer precision."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.fixedpoint import (
+    FixedPointError,
+    FixedPointFormat,
+    minimum_digit_bits,
+    minimum_format_for,
+    per_layer_formats,
+    precision_table,
+    zero_bit_fraction,
+)
+from repro.nn.model import DenseLayer, FullyConnectedNetwork
+
+
+class TestFormat:
+    def test_total_bits_and_scale(self):
+        fmt = FixedPointFormat(digit_bits=0, fraction_bits=15)
+        assert fmt.total_bits == 16
+        assert fmt.scale == pytest.approx(2**-15)
+        assert fmt.max_magnitude == pytest.approx((2**15 - 1) * 2**-15)
+        assert fmt.describe() == "s1.d0.f15"
+
+    def test_encode_decode_roundtrip_scalar(self):
+        fmt = FixedPointFormat(digit_bits=4, fraction_bits=11)
+        for value in (0.0, 0.5, -0.5, 3.25, -7.125, 15.0):
+            decoded = fmt.decode(fmt.encode(value))
+            assert decoded == pytest.approx(value, abs=fmt.scale)
+
+    def test_saturation_at_max_magnitude(self):
+        fmt = FixedPointFormat(digit_bits=0, fraction_bits=15)
+        assert fmt.decode(fmt.encode(5.0)) == pytest.approx(fmt.max_magnitude)
+        assert fmt.decode(fmt.encode(-5.0)) == pytest.approx(-fmt.max_magnitude)
+
+    def test_sign_bit_is_msb(self):
+        fmt = FixedPointFormat(digit_bits=0, fraction_bits=15)
+        word = fmt.encode(-0.5)
+        assert (word >> 15) & 1 == 1
+        assert (fmt.encode(0.5) >> 15) & 1 == 0
+
+    def test_decode_rejects_out_of_range_words(self):
+        fmt = FixedPointFormat(digit_bits=0, fraction_bits=15)
+        with pytest.raises(FixedPointError):
+            fmt.decode(1 << 16)
+
+    def test_invalid_formats_rejected(self):
+        with pytest.raises(FixedPointError):
+            FixedPointFormat(digit_bits=-1, fraction_bits=10)
+        with pytest.raises(FixedPointError):
+            FixedPointFormat(digit_bits=0, fraction_bits=10, sign_bits=2)
+        with pytest.raises(FixedPointError):
+            FixedPointFormat(digit_bits=30, fraction_bits=10)
+
+    def test_array_roundtrip_matches_scalar(self):
+        fmt = FixedPointFormat(digit_bits=2, fraction_bits=13)
+        values = np.array([0.1, -0.7, 2.5, -3.99, 0.0])
+        words = fmt.encode_array(values)
+        scalars = np.array([fmt.encode(v) for v in values])
+        assert np.array_equal(words, scalars)
+        decoded = fmt.decode_array(words)
+        assert np.allclose(decoded, fmt.quantize_array(values))
+
+    def test_quantization_error_bounded_by_half_lsb(self):
+        fmt = FixedPointFormat(digit_bits=0, fraction_bits=15)
+        values = np.random.default_rng(0).uniform(-0.9, 0.9, size=200)
+        assert fmt.quantization_error(values) <= fmt.scale / 2 + 1e-12
+
+    @given(
+        value=st.floats(min_value=-7.9, max_value=7.9, allow_nan=False),
+        fraction=st.integers(min_value=4, max_value=12),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_property(self, value, fraction):
+        fmt = FixedPointFormat(digit_bits=3, fraction_bits=fraction)
+        assert fmt.decode(fmt.encode(value)) == pytest.approx(value, abs=fmt.scale)
+
+
+class TestMinimumPrecision:
+    def test_digit_bits_for_subunit_weights_is_zero(self):
+        assert minimum_digit_bits(np.array([0.3, -0.99, 0.0])) == 0
+
+    def test_digit_bits_grow_with_magnitude(self):
+        assert minimum_digit_bits(np.array([1.2])) == 1
+        assert minimum_digit_bits(np.array([-3.7])) == 2
+        assert minimum_digit_bits(np.array([9.0])) == 4
+
+    def test_minimum_format_uses_all_16_bits(self):
+        fmt = minimum_format_for(np.array([0.4, -0.2]))
+        assert fmt.total_bits == 16
+        assert fmt.digit_bits == 0
+        assert fmt.fraction_bits == 15
+
+    def test_too_large_weights_rejected(self):
+        with pytest.raises(FixedPointError):
+            minimum_format_for(np.array([1e6]), total_bits=16)
+
+    def test_per_layer_formats_reproduce_fig9_shape(self):
+        """Hidden layers stay inside (-1, 1); only the last needs digit bits."""
+        layers = [
+            DenseLayer(index=0, weights=np.full((4, 4), 0.4), biases=np.zeros(4)),
+            DenseLayer(index=1, weights=np.full((4, 4), 0.8), biases=np.zeros(4)),
+            DenseLayer(index=2, weights=np.full((4, 2), 9.0), biases=np.zeros(2)),
+        ]
+        network = FullyConnectedNetwork(topology=(4, 4, 4, 2), layers=layers)
+        formats = per_layer_formats(network)
+        assert formats[0].digit_bits == 0
+        assert formats[1].digit_bits == 0
+        assert formats[2].digit_bits == 4
+        table = precision_table(network)
+        assert table[2]["digit_bits"] == 4
+        assert all(row["sign_bits"] == 1 for row in table)
+
+
+class TestZeroBitFraction:
+    def test_all_zero_words(self):
+        assert zero_bit_fraction(np.zeros(10, dtype=np.int64)) == 1.0
+
+    def test_all_ones_words(self):
+        assert zero_bit_fraction(np.full(10, 0xFFFF, dtype=np.int64)) == 0.0
+
+    def test_small_weights_are_bit_sparse(self):
+        """Small fixed-point weights have mostly-zero bits (paper: 76.3 %)."""
+        fmt = FixedPointFormat(digit_bits=0, fraction_bits=15)
+        weights = np.random.default_rng(1).normal(0.0, 0.02, size=5000)
+        words = fmt.encode_array(weights)
+        assert zero_bit_fraction(words) > 0.6
+
+    def test_empty_input(self):
+        assert zero_bit_fraction(np.array([], dtype=np.int64)) == 1.0

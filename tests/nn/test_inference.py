@@ -1,0 +1,84 @@
+"""Tests for the quantized inference engine."""
+
+import numpy as np
+import pytest
+
+from repro.nn.inference import InferenceError, QuantizedNetwork
+
+
+class TestQuantization:
+    def test_quantized_accuracy_close_to_float(self, trained_small_network, small_dataset, quantized_small_network):
+        float_error = trained_small_network.test_error
+        quant_error = quantized_small_network.classification_error(
+            small_dataset.test_inputs, small_dataset.test_labels
+        )
+        assert abs(quant_error - float_error) < 0.02
+
+    def test_structure_preserved(self, trained_small_network, quantized_small_network):
+        network = trained_small_network.network
+        quantized = quantized_small_network
+        assert quantized.topology == network.topology
+        assert quantized.n_weight_layers == network.n_weight_layers
+        assert quantized.n_weights == network.n_weights
+
+    def test_decoded_weights_close_to_float(self, trained_small_network, quantized_small_network):
+        for float_layer, quant_layer in zip(
+            trained_small_network.network.layers, quantized_small_network.layers
+        ):
+            decoded = quant_layer.decoded_weights()
+            assert np.allclose(decoded, float_layer.weights, atol=2 * quant_layer.fmt.scale)
+
+    def test_precision_summary_covers_all_layers(self, quantized_small_network):
+        summary = quantized_small_network.precision_summary()
+        assert len(summary) == quantized_small_network.n_weight_layers
+        assert all(row["sign_bits"] == 1 for row in summary)
+
+    def test_zero_bit_fraction_is_high(self, quantized_small_network):
+        assert quantized_small_network.zero_bit_fraction() > 0.5
+
+
+class TestWordManipulation:
+    def test_flat_words_roundtrip(self, quantized_small_network):
+        layer = quantized_small_network.copy().layer(0)
+        flat = layer.flat_words()
+        layer.set_flat_words(flat)
+        assert np.array_equal(layer.flat_words(), flat)
+
+    def test_set_flat_words_validates_size(self, quantized_small_network):
+        layer = quantized_small_network.copy().layer(0)
+        with pytest.raises(InferenceError):
+            layer.set_flat_words(np.zeros(3, dtype=np.uint32))
+
+    def test_word_corruption_changes_decoded_weight(self, quantized_small_network):
+        network = quantized_small_network.copy()
+        layer = network.layer(0)
+        flat = layer.flat_words()
+        # Set then clear the sign bit of the largest-magnitude word.
+        target = int(np.argmax(flat & 0x7FFF))
+        original = layer.decoded_weights().flatten()[target]
+        flat[target] = flat[target] & np.uint32(0x7FFF ^ (flat[target] & 0x4000))
+        layer.set_flat_words(flat)
+        corrupted = layer.decoded_weights().flatten()[target]
+        assert corrupted != pytest.approx(original)
+
+    def test_copy_is_deep(self, quantized_small_network):
+        clone = quantized_small_network.copy()
+        flat = clone.layer(0).flat_words()
+        flat[:] = 0
+        clone.layer(0).set_flat_words(flat)
+        assert quantized_small_network.layer(0).flat_words().sum() > 0
+
+
+class TestForwardValidation:
+    def test_forward_checks_input_width(self, quantized_small_network):
+        with pytest.raises(InferenceError):
+            quantized_small_network.forward(np.zeros((2, 3)))
+
+    def test_forward_single_sample(self, quantized_small_network, small_dataset):
+        out = quantized_small_network.forward(small_dataset.test_inputs[0])
+        assert out.shape == (1, small_dataset.n_classes)
+        assert np.allclose(out.sum(axis=1), 1.0)
+
+    def test_layer_index_validated(self, quantized_small_network):
+        with pytest.raises(InferenceError):
+            quantized_small_network.layer(99)

@@ -1,0 +1,75 @@
+"""Tests for classification and sparsity metrics."""
+
+import numpy as np
+import pytest
+
+from repro.nn.metrics import (
+    AccuracyDelta,
+    MetricsError,
+    accuracy,
+    classification_error,
+    confusion_matrix,
+    per_class_error,
+    weight_value_sparsity,
+)
+
+
+class TestClassificationError:
+    def test_basic_error_and_accuracy(self):
+        predictions = np.array([0, 1, 2, 2])
+        labels = np.array([0, 1, 1, 2])
+        assert classification_error(predictions, labels) == pytest.approx(0.25)
+        assert accuracy(predictions, labels) == pytest.approx(0.75)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(MetricsError):
+            classification_error(np.array([1]), np.array([1, 2]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(MetricsError):
+            classification_error(np.array([]), np.array([]))
+
+
+class TestConfusionMatrix:
+    def test_diagonal_counts_correct_predictions(self):
+        predictions = np.array([0, 1, 1, 2])
+        labels = np.array([0, 1, 2, 2])
+        matrix = confusion_matrix(predictions, labels, 3)
+        assert matrix[0, 0] == 1
+        assert matrix[2, 1] == 1
+        assert matrix.sum() == 4
+
+    def test_out_of_range_class_rejected(self):
+        with pytest.raises(MetricsError):
+            confusion_matrix(np.array([5]), np.array([0]), 3)
+
+    def test_per_class_error(self):
+        predictions = np.array([0, 1, 1, 2])
+        labels = np.array([0, 1, 2, 2])
+        errors = per_class_error(predictions, labels, 3)
+        assert errors[0] == 0.0
+        assert errors[2] == pytest.approx(0.5)
+        # A class absent from the labels has zero error by convention.
+        errors_with_gap = per_class_error(np.array([0]), np.array([0]), 3)
+        assert errors_with_gap[1] == 0.0
+
+
+class TestAccuracyDelta:
+    def test_error_increase(self):
+        delta = AccuracyDelta(baseline_error=0.0256, perturbed_error=0.0615)
+        assert delta.error_increase == pytest.approx(0.0359)
+        assert delta.relative_increase == pytest.approx(0.0359 / 0.0256)
+
+    def test_zero_baseline(self):
+        assert AccuracyDelta(0.0, 0.0).relative_increase == 0.0
+        assert AccuracyDelta(0.0, 0.1).relative_increase == float("inf")
+
+
+class TestWeightSparsity:
+    def test_sparsity_counts_small_weights(self):
+        weights = [np.array([0.0, 1e-5, 0.5]), np.array([1e-4, 2.0])]
+        assert weight_value_sparsity(weights, threshold=1e-3) == pytest.approx(3 / 5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(MetricsError):
+            weight_value_sparsity([])

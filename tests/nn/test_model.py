@@ -1,0 +1,118 @@
+"""Tests for the fully-connected network container."""
+
+import numpy as np
+import pytest
+
+from repro.nn.model import (
+    DenseLayer,
+    FullyConnectedNetwork,
+    ModelError,
+    PAPER_TOPOLOGY,
+    SCALED_TOPOLOGY,
+    logsig,
+    logsig_derivative,
+    softmax,
+)
+
+
+class TestActivations:
+    def test_logsig_range_and_midpoint(self):
+        x = np.linspace(-100, 100, 201)
+        y = logsig(x)
+        assert (y >= 0).all() and (y <= 1).all()
+        assert logsig(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_logsig_derivative_peaks_at_half(self):
+        assert logsig_derivative(np.array([0.5]))[0] == pytest.approx(0.25)
+        assert logsig_derivative(np.array([0.0]))[0] == 0.0
+
+    def test_softmax_rows_sum_to_one(self):
+        x = np.array([[1.0, 2.0, 3.0], [1000.0, 1000.0, 1000.0]])
+        y = softmax(x)
+        assert np.allclose(y.sum(axis=1), 1.0)
+        assert not np.isnan(y).any()
+
+
+class TestTopology:
+    def test_paper_topology_matches_table3(self):
+        assert PAPER_TOPOLOGY == (784, 1024, 512, 256, 128, 10)
+        network = FullyConnectedNetwork.initialize(PAPER_TOPOLOGY)
+        assert network.n_weight_layers == 5
+        assert network.n_neurons == 2714
+        # Table III: ~1.5 million weights.
+        assert network.n_weights == pytest.approx(1.5e6, rel=0.05)
+
+    def test_scaled_topology_preserves_depth(self):
+        assert len(SCALED_TOPOLOGY) == len(PAPER_TOPOLOGY)
+        assert SCALED_TOPOLOGY[0] == 784 and SCALED_TOPOLOGY[-1] == 10
+
+    def test_invalid_topologies_rejected(self):
+        with pytest.raises(ModelError):
+            FullyConnectedNetwork(topology=(10,))
+        with pytest.raises(ModelError):
+            FullyConnectedNetwork(topology=(10, 0, 5))
+
+
+class TestNetworkBehaviour:
+    def test_initialize_is_deterministic(self):
+        first = FullyConnectedNetwork.initialize((10, 8, 3), seed=1)
+        second = FullyConnectedNetwork.initialize((10, 8, 3), seed=1)
+        assert np.array_equal(first.layers[0].weights, second.layers[0].weights)
+
+    def test_forward_output_is_probability_distribution(self):
+        network = FullyConnectedNetwork.initialize((10, 8, 3), seed=1)
+        out = network.forward(np.random.default_rng(0).random((5, 10)))
+        assert out.shape == (5, 3)
+        assert np.allclose(out.sum(axis=1), 1.0)
+
+    def test_forward_accepts_single_sample(self):
+        network = FullyConnectedNetwork.initialize((10, 8, 3), seed=1)
+        out = network.forward(np.zeros(10))
+        assert out.shape == (1, 3)
+
+    def test_forward_checks_input_width(self):
+        network = FullyConnectedNetwork.initialize((10, 8, 3), seed=1)
+        with pytest.raises(ModelError):
+            network.forward(np.zeros((2, 7)))
+
+    def test_predict_returns_class_indices(self):
+        network = FullyConnectedNetwork.initialize((10, 8, 3), seed=1)
+        predictions = network.predict(np.random.default_rng(0).random((5, 10)))
+        assert predictions.shape == (5,)
+        assert set(predictions.tolist()).issubset({0, 1, 2})
+
+    def test_copy_is_independent(self):
+        network = FullyConnectedNetwork.initialize((10, 8, 3), seed=1)
+        clone = network.copy()
+        clone.layers[0].weights[0, 0] += 1.0
+        assert network.layers[0].weights[0, 0] != clone.layers[0].weights[0, 0]
+
+    def test_layer_accessor_and_ranges(self):
+        network = FullyConnectedNetwork.initialize((10, 8, 3), seed=1)
+        layer = network.layer(1)
+        assert layer.n_inputs == 8 and layer.n_outputs == 3
+        low, high = layer.weight_range()
+        assert low <= high
+        with pytest.raises(ModelError):
+            network.layer(5)
+
+    def test_summary_mentions_logsig(self):
+        network = FullyConnectedNetwork.initialize((10, 8, 3), seed=1)
+        summary = network.summary()
+        assert "Sigmoid" in summary["activation"]
+        assert summary["n_weights"] == 10 * 8 + 8 * 3
+
+
+class TestDenseLayerValidation:
+    def test_bias_shape_checked(self):
+        with pytest.raises(ModelError):
+            DenseLayer(index=0, weights=np.zeros((3, 2)), biases=np.zeros(3))
+
+    def test_weight_dimension_checked(self):
+        with pytest.raises(ModelError):
+            DenseLayer(index=0, weights=np.zeros(3), biases=np.zeros(3))
+
+    def test_layer_shape_consistency_checked(self):
+        layers = [DenseLayer(index=0, weights=np.zeros((4, 2)), biases=np.zeros(2))]
+        with pytest.raises(ModelError):
+            FullyConnectedNetwork(topology=(4, 3), layers=layers)

@@ -1,0 +1,48 @@
+"""Tests for the training loop."""
+
+import pytest
+
+from repro.nn.train import TrainingConfig, TrainingError, classification_error, train_network
+
+
+class TestTrainingConfigValidation:
+    def test_invalid_hyperparameters_rejected(self):
+        with pytest.raises(TrainingError):
+            TrainingConfig(epochs=0)
+        with pytest.raises(TrainingError):
+            TrainingConfig(batch_size=0)
+        with pytest.raises(TrainingError):
+            TrainingConfig(learning_rate=0.0)
+        with pytest.raises(TrainingError):
+            TrainingConfig(momentum=1.0)
+
+
+class TestTraining:
+    def test_training_learns_the_small_dataset(self, trained_small_network, small_dataset):
+        result = trained_small_network
+        assert result.test_error < 0.15
+        assert result.train_errors[-1] < result.train_errors[0]
+        # classification_error helper agrees with the stored test error
+        recomputed = classification_error(
+            result.network, small_dataset.test_inputs, small_dataset.test_labels
+        )
+        assert recomputed == pytest.approx(result.test_error)
+
+    def test_training_is_deterministic(self, small_dataset):
+        config = TrainingConfig(epochs=2, seed=3)
+        first = train_network(small_dataset, topology=(54, 16, 7), config=config)
+        second = train_network(small_dataset, topology=(54, 16, 7), config=config)
+        assert first.train_errors == second.train_errors
+        assert first.test_error == second.test_error
+
+    def test_default_topology_derived_from_dataset(self, small_dataset):
+        config = TrainingConfig(epochs=1, seed=1)
+        result = train_network(small_dataset, config=config)
+        assert result.network.topology[0] == small_dataset.n_features
+        assert result.network.topology[-1] == small_dataset.n_classes
+
+    def test_topology_mismatch_rejected(self, small_dataset):
+        with pytest.raises(TrainingError):
+            train_network(small_dataset, topology=(10, 5, 7))
+        with pytest.raises(TrainingError):
+            train_network(small_dataset, topology=(54, 5, 3))

@@ -1,0 +1,71 @@
+"""Tests for the ``repro-undervolt`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_platform(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["guardband", "--platform", "VC999"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.platform == "VC707"
+        assert args.runs == 11
+        assert args.pattern == "FFFF"
+
+
+class TestGuardbandCommand:
+    def test_json_output_contains_both_rails(self, capsys):
+        assert main(["guardband", "--platform", "ZC702", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["platform"] == "ZC702"
+        assert set(payload["rails"]) == {"VCCBRAM", "VCCINT"}
+        assert payload["rails"]["VCCBRAM"]["vmin_v"] == pytest.approx(0.61, abs=0.011)
+
+    def test_table_output_mentions_guardband(self, capsys):
+        assert main(["guardband", "--platform", "ZC702"]) == 0
+        output = capsys.readouterr().out
+        assert "guardband" in output
+        assert "VCCBRAM" in output and "VCCINT" in output
+
+
+class TestSweepCommand:
+    def test_json_points_cover_critical_region(self, capsys):
+        assert main(["sweep", "--platform", "ZC702", "--runs", "3", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        points = payload["points"]
+        assert points[0]["faults_per_mbit"] == 0.0
+        assert points[-1]["faults_per_mbit"] > 100
+        assert points[0]["bram_power_w"] > points[-1]["bram_power_w"]
+
+    def test_pattern_option_changes_rates(self, capsys):
+        main(["sweep", "--platform", "ZC702", "--runs", "3", "--pattern", "0000", "--json"])
+        sparse = json.loads(capsys.readouterr().out)
+        main(["sweep", "--platform", "ZC702", "--runs", "3", "--pattern", "FFFF", "--json"])
+        dense = json.loads(capsys.readouterr().out)
+        assert sparse["points"][-1]["faults_per_mbit"] < dense["points"][-1]["faults_per_mbit"]
+
+
+class TestCharacterizeCommand:
+    def test_json_summary(self, capsys):
+        assert main(["characterize", "--platform", "ZC702", "--runs", "10", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["pattern_rates_per_mbit"]["FFFF"] > payload["pattern_rates_per_mbit"]["0000"]
+        assert payload["location_overlap"] > 0.9
+        assert 0.3 < payload["variability"]["never_faulty_fraction"] < 0.7
+
+    def test_table_output_has_three_sections(self, capsys):
+        assert main(["characterize", "--platform", "ZC702", "--runs", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "Data-pattern study" in output
+        assert "Stability" in output
+        assert "variability" in output
