@@ -1,0 +1,91 @@
+"""Batch engine — 50-voltage x 100-run sweep, batched vs. loop baseline.
+
+Acceptance benchmark for the vectorized batch evaluation engine
+(:mod:`repro.core.batch`): evaluating a 50-voltage x 100-run operating grid
+through one batched call must produce *bit-identical* fault counts to the
+historical per-BRAM Python loop, and do so at least 10x faster.
+
+The loop baseline below is a faithful reimplementation of the seed's
+``FaultField.counts_over_runs`` hot path: one Python iteration per BRAM per
+voltage step, each performing the (cells x runs) boolean comparison.  Both
+paths are timed on fully-warmed caches (profiles built, flat table
+assembled) so the comparison isolates evaluation cost, which is what repeat
+sweeps pay.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import run_once, save_report
+from repro.analysis import ExperimentReport
+from repro.core.batch import OperatingGrid
+
+N_VOLTAGES = 50
+N_RUNS = 100
+BOARD = "VC707"
+
+
+def loop_baseline_counts(field, voltages, n_runs, pattern=0xFFFF):
+    """The seed's per-BRAM/per-voltage loop, kept as the reference baseline."""
+    pattern_bits = field._pattern_bits(pattern)
+    totals = np.zeros((len(voltages), n_runs), dtype=np.int64)
+    ripples = np.array([field.ripple_v(run) for run in range(n_runs)])
+    for step, vccbram_v in enumerate(voltages):
+        base_v = field.itd.effective_voltage(vccbram_v, 50.0)
+        run_voltages = base_v + ripples
+        for index in range(field.chip.spec.n_brams):
+            profile = field.profile(index)
+            if profile.is_empty():
+                continue
+            stored = pattern_bits[profile.cols].astype(bool)
+            observable = np.where(profile.one_to_zero, stored, ~stored)
+            if not observable.any():
+                continue
+            thresholds = profile.failure_voltages_v[observable]
+            totals[step] += (thresholds[:, None] > run_voltages[None, :]).sum(axis=0)
+    return totals
+
+
+@pytest.mark.benchmark(group="batch_engine")
+def test_batch_engine_speed_and_equivalence(benchmark, chips, fields):
+    field = fields[BOARD]
+    cal = field.calibration
+    span = cal.vmin_bram_v - cal.vcrash_bram_v
+    voltages = [
+        round(cal.vmin_bram_v - span * i / (N_VOLTAGES - 1), 6) for i in range(N_VOLTAGES)
+    ]
+    grid = OperatingGrid(tuple(voltages), run_indices=tuple(range(N_RUNS)))
+
+    def body():
+        # Warm both paths' caches so the timing compares evaluation only.
+        field.batch.chip_counts(grid)
+        loop_start = time.perf_counter()
+        loop_counts = loop_baseline_counts(field, voltages, N_RUNS)
+        loop_seconds = time.perf_counter() - loop_start
+
+        batch_start = time.perf_counter()
+        batch_counts = field.batch.chip_counts(grid)[:, 0, :]
+        batch_seconds = time.perf_counter() - batch_start
+
+        report = ExperimentReport(
+            "batch_engine",
+            f"Batched vs loop evaluation of a {N_VOLTAGES}x{N_RUNS} (V x run) grid on {BOARD}",
+        )
+        section = report.new_section(
+            "timing", ["path", "grid_points", "seconds", "points_per_second"]
+        )
+        n_points = grid.n_points
+        section.add_row("per-BRAM loop", n_points, round(loop_seconds, 4), int(n_points / loop_seconds))
+        section.add_row("batched", n_points, round(batch_seconds, 6), int(n_points / batch_seconds))
+        section.add_note(
+            f"speedup: {loop_seconds / batch_seconds:.1f}x; results bit-identical: "
+            f"{bool(np.array_equal(loop_counts, batch_counts))}"
+        )
+        save_report(report)
+        return loop_counts, batch_counts, loop_seconds, batch_seconds
+
+    loop_counts, batch_counts, loop_seconds, batch_seconds = run_once(benchmark, body)
+    assert np.array_equal(loop_counts, batch_counts)
+    assert loop_seconds / batch_seconds >= 10.0

@@ -19,7 +19,7 @@ import pathlib
 import pytest
 
 from repro.analysis import ExperimentReport
-from repro.core import FaultField
+from repro.core import cached_fault_field
 from repro.fpga import FpgaChip, platform_names
 from repro.nn import (
     QuantizedNetwork,
@@ -56,8 +56,8 @@ def chips():
 
 @pytest.fixture(scope="session")
 def fields(chips):
-    """Calibrated fault fields for all four boards."""
-    return {name: FaultField(chip) for name, chip in chips.items()}
+    """Calibrated fault fields for all four boards (memoized per chip)."""
+    return {name: cached_fault_field(chip) for name, chip in chips.items()}
 
 
 @pytest.fixture(scope="session")

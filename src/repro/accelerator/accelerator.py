@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.batch import cached_fault_field
 from repro.core.faultmodel import FaultField
 from repro.core.temperature import REFERENCE_TEMPERATURE_C
 from repro.fpga.bitstream import Bitstream, compile_design
@@ -75,7 +76,7 @@ class NnAccelerator:
 
     def __post_init__(self) -> None:
         if self.fault_field is None:
-            self.fault_field = FaultField(self.chip)
+            self.fault_field = cached_fault_field(self.chip)
         if self.dsp_used is None:
             self.dsp_used = int(round(0.086 * self.chip.spec.n_dsps))
         if self.ff_used is None:
@@ -243,7 +244,7 @@ def mean_error_sweep(
     if not compile_seeds:
         raise AcceleratorError("at least one compile seed is required")
     if fault_field is None:
-        fault_field = FaultField(chip)
+        fault_field = cached_fault_field(chip)
     inputs = dataset.test_inputs
     labels = dataset.test_labels
     if max_samples is not None and len(labels) > max_samples:

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.batch import OperatingGrid, cached_fault_field, voltage_ladder
 from repro.core.faultmodel import FaultField
 from repro.core.fvm import FaultVariationMap
 from repro.core.temperature import REFERENCE_TEMPERATURE_C
@@ -108,7 +109,7 @@ class IcbpFlow:
 
     def __post_init__(self) -> None:
         if self.fault_field is None:
-            self.fault_field = FaultField(self.chip)
+            self.fault_field = cached_fault_field(self.chip)
 
     # ------------------------------------------------------------------
     # Pre-processing stages (Fig. 12b, left side)
@@ -117,19 +118,17 @@ class IcbpFlow:
         """Extract (or return the cached) Fault Variation Map of the chip."""
         if self.fvm is None:
             cal = self.fault_field.calibration
-            voltages = []
-            voltage = cal.vmin_bram_v
-            while voltage >= cal.vcrash_bram_v - 1e-9:
-                voltages.append(round(voltage, 4))
-                voltage -= 0.010
-            counts_by_voltage = [
-                [int(c) for c in self.fault_field.per_bram_counts(v)] for v in voltages
+            voltages = [
+                round(v, 4)
+                for v in voltage_ladder(cal.vmin_bram_v, cal.vcrash_bram_v, 0.010)
             ]
-            self.fvm = FaultVariationMap.from_counts(
+            grid = OperatingGrid.from_axes(voltages)
+            matrix = self.fault_field.batch.per_bram_counts(grid)[:, 0, 0, :]
+            self.fvm = FaultVariationMap.from_matrix(
                 platform=self.chip.name,
                 floorplan=self.chip.floorplan,
                 voltages_v=voltages,
-                counts_by_voltage=counts_by_voltage,
+                counts=matrix,
                 bram_bits=self.chip.spec.bram_rows * self.chip.spec.bram_cols,
             )
         return self.fvm

@@ -22,7 +22,7 @@ import sys
 from typing import List, Optional
 
 from repro.analysis import render_table
-from repro.core import FaultField
+from repro.core import cached_fault_field
 from repro.core.characterization import (
     STUDY_PATTERNS,
     pattern_study,
@@ -144,7 +144,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
     chip = FpgaChip.build(args.platform)
-    field = FaultField(chip)
+    field = cached_fault_field(chip)
     vcrash = field.calibration.vcrash_bram_v
     patterns = pattern_study(field, vcrash, patterns=STUDY_PATTERNS)
     stability = stability_study(field, vcrash, n_runs=max(2, args.runs))
@@ -194,7 +194,7 @@ def _cmd_icbp(args: argparse.Namespace) -> int:
     from repro.nn import QuantizedNetwork, SCALED_TOPOLOGY, TrainingConfig, synthetic_mnist, train_network
 
     chip = FpgaChip.build(args.platform)
-    field = FaultField(chip)
+    field = cached_fault_field(chip)
     dataset = synthetic_mnist(n_train=args.train_samples, n_test=1000)
     trained = train_network(dataset, topology=SCALED_TOPOLOGY, config=TrainingConfig(seed=3))
     network = QuantizedNetwork.from_network(trained.network)

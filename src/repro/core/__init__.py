@@ -13,6 +13,17 @@ pushed below the guardband.  It provides:
   Section II-C characterization studies.
 """
 
+from .batch import (
+    BatchError,
+    BatchFaultEvaluator,
+    BatchGridResult,
+    FlatFaultTable,
+    OperatingGrid,
+    cached_fault_field,
+    clear_fault_field_cache,
+    power_curve,
+    voltage_ladder,
+)
 from .calibration import (
     CALIBRATIONS,
     CalibrationError,
@@ -77,6 +88,9 @@ from .variation import ProcessVariationField, VariationConfig, VariationError
 __all__ = [
     "CALIBRATIONS",
     "CLASS_NAMES",
+    "BatchError",
+    "BatchFaultEvaluator",
+    "BatchGridResult",
     "BramFaultProfile",
     "CalibrationError",
     "CharacterizationError",
@@ -87,12 +101,14 @@ __all__ = [
     "FaultModelError",
     "FaultRecord",
     "FaultVariationMap",
+    "FlatFaultTable",
     "FlipDirectionResult",
     "FvmEntry",
     "FvmError",
     "GuardbandError",
     "GuardbandResult",
     "ItdModel",
+    "OperatingGrid",
     "PatternStudyResult",
     "PlatformCalibration",
     "PowerModelError",
@@ -112,17 +128,21 @@ __all__ = [
     "average_guardband",
     "average_guardband_fraction",
     "bram_power_model",
+    "cached_fault_field",
+    "clear_fault_field_cache",
     "cluster_bram_vulnerability",
     "detect_guardband",
     "flip_direction_study",
     "get_calibration",
     "low_vulnerable_indices",
     "pattern_study",
+    "power_curve",
     "power_saving_summary",
     "power_sweep",
     "stability_study",
     "summarize_savings",
     "variability_study",
     "vccint_power_model",
+    "voltage_ladder",
     "voltage_regions",
 ]

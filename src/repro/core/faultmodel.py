@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,6 +36,9 @@ from repro.fpga.platform import FpgaChip
 from .calibration import PlatformCalibration, get_calibration
 from .temperature import REFERENCE_TEMPERATURE_C, ItdModel
 from .variation import ProcessVariationField, VariationConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .batch import BatchFaultEvaluator
 
 
 class FaultModelError(ValueError):
@@ -161,6 +164,22 @@ class FaultField:
         self._profiles: Dict[int, BramFaultProfile] = {}
         self._rng_root = np.random.default_rng(seed ^ 0x5EEDF00D)
         self._per_bram_seeds = self._rng_root.integers(0, 2**63 - 1, size=chip.spec.n_brams)
+        self._batch = None
+
+    @property
+    def batch(self) -> "BatchFaultEvaluator":
+        """Vectorized grid evaluator over this field (built lazily, cached).
+
+        All aggregate queries below (:meth:`per_bram_counts`,
+        :meth:`chip_fault_count`, :meth:`counts_over_runs`, ...) delegate to
+        it; use it directly to evaluate whole (voltage x temperature x run)
+        grids in one call — see :mod:`repro.core.batch`.
+        """
+        if self._batch is None:
+            from .batch import BatchFaultEvaluator
+
+            self._batch = BatchFaultEvaluator(self)
+        return self._batch
 
     # ------------------------------------------------------------------
     # Calibrated scalars
@@ -369,16 +388,23 @@ class FaultField:
         bram_indices: Optional[Sequence[int]] = None,
     ) -> np.ndarray:
         """Observable fault count per BRAM for a repeating-word pattern."""
-        if bram_indices is None:
-            bram_indices = range(self.chip.spec.n_brams)
-        indices = list(bram_indices)
-        effective_v = self.effective_voltage(vccbram_v, temperature_c, run_index)
-        pattern_bits = self._pattern_bits(pattern)
-        counts = np.zeros(len(indices), dtype=np.int64)
-        for slot, index in enumerate(indices):
-            profile = self.profile(index)
-            counts[slot] = int(self._firing_mask(profile, effective_v, None, pattern_bits).sum())
-        return counts
+        if bram_indices is not None:
+            # Subset queries stay on the lazy per-profile path so they only
+            # materialize (and range-check) the BRAMs actually asked for.
+            indices = list(bram_indices)
+            effective_v = self.effective_voltage(vccbram_v, temperature_c, run_index)
+            pattern_bits = self._pattern_bits(pattern)
+            counts = np.zeros(len(indices), dtype=np.int64)
+            for slot, index in enumerate(indices):
+                profile = self.profile(index)
+                counts[slot] = int(
+                    self._firing_mask(profile, effective_v, None, pattern_bits).sum()
+                )
+            return counts
+        from .batch import OperatingGrid
+
+        grid = OperatingGrid.single(vccbram_v, temperature_c, run_index)
+        return self.batch.per_bram_counts(grid, pattern)[0, 0, 0]
 
     def chip_fault_count(
         self,
@@ -388,9 +414,10 @@ class FaultField:
         pattern: "str | int" = 0xFFFF,
     ) -> int:
         """Total observable faults across the whole chip."""
-        return int(
-            self.per_bram_counts(vccbram_v, temperature_c, run_index, pattern).sum()
-        )
+        from .batch import OperatingGrid
+
+        grid = OperatingGrid.single(vccbram_v, temperature_c, run_index)
+        return int(self.batch.chip_counts(grid, pattern)[0, 0, 0])
 
     def chip_fault_rate_per_mbit(
         self,
@@ -412,28 +439,20 @@ class FaultField:
     ) -> np.ndarray:
         """Chip-level fault counts for ``n_runs`` consecutive runs.
 
-        Vectorized over runs: only the per-run ripple differs between runs, so
-        each BRAM's thresholds are compared against all run voltages at once.
+        Fully vectorized through the batch engine: one sorted-threshold
+        ``searchsorted`` covers every run at once (see
+        :meth:`repro.core.batch.BatchFaultEvaluator.chip_counts`).
         """
         if n_runs <= 0:
             raise FaultModelError("n_runs must be positive")
-        base_v = self.itd.effective_voltage(vccbram_v, temperature_c) if self.config.temperature_enabled else vccbram_v
-        ripples = np.array([self.ripple_v(run) for run in range(n_runs)])
-        voltages = base_v + ripples
-        pattern_bits = self._pattern_bits(pattern)
-        totals = np.zeros(n_runs, dtype=np.int64)
-        for index in range(self.chip.spec.n_brams):
-            profile = self.profile(index)
-            if profile.is_empty():
-                continue
-            stored = pattern_bits[profile.cols].astype(bool)
-            observable = np.where(profile.one_to_zero, stored, ~stored)
-            if not observable.any():
-                continue
-            thresholds = profile.failure_voltages_v[observable]
-            # (n_cells, n_runs) comparison collapsed to per-run counts.
-            totals += (thresholds[:, None] > voltages[None, :]).sum(axis=0)
-        return totals
+        from .batch import OperatingGrid
+
+        grid = OperatingGrid(
+            voltages_v=(vccbram_v,),
+            temperatures_c=(temperature_c,),
+            run_indices=tuple(range(n_runs)),
+        )
+        return self.batch.chip_counts(grid, pattern)[0, 0, :]
 
     # ------------------------------------------------------------------
     # Read-back corruption
@@ -502,17 +521,12 @@ class FaultField:
     # ------------------------------------------------------------------
     def never_faulty_fraction(self) -> float:
         """Fraction of BRAMs without a single vulnerable cell."""
-        empty = sum(1 for i in range(self.chip.spec.n_brams) if self.profile(i).is_empty())
-        return empty / self.chip.spec.n_brams
+        cells = self.batch.table.cells_per_bram()
+        return float(np.mean(cells == 0))
 
     def one_to_zero_fraction(self) -> float:
         """Fraction of vulnerable cells that fail ``1 -> 0`` (paper: 99.9 %)."""
-        ones = 0
-        total = 0
-        for i in range(self.chip.spec.n_brams):
-            profile = self.profile(i)
-            ones += int(profile.one_to_zero.sum())
-            total += profile.n_vulnerable
-        if total == 0:
+        table = self.batch.table
+        if table.n_cells == 0:
             return 1.0
-        return ones / total
+        return float(table.one_to_zero.sum()) / table.n_cells

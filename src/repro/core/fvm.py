@@ -92,11 +92,37 @@ class FaultVariationMap:
         for vector in counts_by_voltage:
             if len(vector) != n_brams:
                 raise FvmError("count vectors must cover every BRAM on the die")
+        matrix = np.asarray(counts_by_voltage, dtype=np.int64)
+        return cls.from_matrix(platform, floorplan, voltages_v, matrix, bram_bits=bram_bits)
+
+    @classmethod
+    def from_matrix(
+        cls,
+        platform: str,
+        floorplan: Floorplan,
+        voltages_v: Sequence[float],
+        counts: np.ndarray,
+        bram_bits: int = 16 * 1024,
+    ) -> "FaultVariationMap":
+        """Build an FVM from a dense ``(n_voltages, n_brams)`` count matrix.
+
+        This is the natural constructor for the batched sweep engine
+        (:mod:`repro.core.batch`), whose per-BRAM path produces exactly this
+        matrix in one call.
+        """
+        matrix = np.asarray(counts)
+        expected = (len(voltages_v), floorplan.n_brams)
+        if matrix.shape != expected:
+            raise FvmError(f"count matrix shape {matrix.shape} does not match {expected}")
+        if matrix.size and matrix.min() < 0:
+            raise FvmError("fault counts cannot be negative")
+        per_bram_rows = matrix.T.tolist()
         entries: List[FvmEntry] = []
-        for bram_index in range(n_brams):
+        for bram_index, row in enumerate(per_bram_rows):
             x, y = floorplan.coordinates(bram_index)
-            per_voltage = tuple(int(counts_by_voltage[v][bram_index]) for v in range(len(voltages_v)))
-            entries.append(FvmEntry(bram_index=bram_index, x=x, y=y, fault_counts=per_voltage))
+            entries.append(
+                FvmEntry(bram_index=bram_index, x=x, y=y, fault_counts=tuple(int(c) for c in row))
+            )
         return cls(
             platform=platform,
             voltages_v=tuple(float(v) for v in voltages_v),
@@ -111,6 +137,10 @@ class FaultVariationMap:
     def n_brams(self) -> int:
         """Number of BRAMs covered by the map."""
         return len(self.entries)
+
+    def counts_matrix(self) -> np.ndarray:
+        """The full ``(n_voltages, n_brams)`` count matrix backing the map."""
+        return np.array([entry.fault_counts for entry in self.entries], dtype=np.int64).T
 
     def counts_at_lowest_voltage(self) -> np.ndarray:
         """Per-BRAM counts at the lowest swept voltage (``Vcrash`` in the paper)."""

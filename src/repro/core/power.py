@@ -26,9 +26,10 @@ pool (the NN accelerator uses 70.8 %) draw proportionally less.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
 
 from .calibration import PlatformCalibration
 
@@ -69,12 +70,28 @@ class RailPowerModel:
             raise PowerModelError("static_fraction must be in [0, 1]")
 
     def power_w(self, voltage_v: float, utilization: float = 1.0) -> float:
-        """Total rail power at ``voltage_v`` for a given utilization in [0, 1]."""
-        if voltage_v <= 0:
+        """Total rail power at ``voltage_v`` for a given utilization in [0, 1].
+
+        Delegates to :meth:`power_array` so the scalar and batched paths are
+        one implementation (and therefore bit-identical to each other).
+        """
+        return float(self.power_array([voltage_v], utilization=utilization)[0])
+
+    def power_array(self, voltages_v: Sequence[float], utilization: float = 1.0) -> np.ndarray:
+        """Vectorized :meth:`power_w` over a whole voltage axis.
+
+        This is the single implementation of the exponential power law —
+        :meth:`power_w` and the sweep engine's
+        :func:`repro.core.batch.power_curve` both delegate here.
+        """
+        volts = np.asarray(list(voltages_v), dtype=float)
+        if volts.size == 0:
+            return volts
+        if np.any(volts <= 0):
             raise PowerModelError("voltage must be positive")
         if not 0.0 <= utilization <= 1.0:
             raise PowerModelError("utilization must be in [0, 1]")
-        scale = math.exp(-self.gamma_per_v * (self.nominal_voltage_v - voltage_v))
+        scale = np.exp(-self.gamma_per_v * (self.nominal_voltage_v - volts))
         # Static power is drawn by the whole rail regardless of how many
         # blocks the design instantiates; dynamic power scales with use.
         dynamic = (1.0 - self.static_fraction) * self.nominal_power_w * utilization
@@ -83,12 +100,12 @@ class RailPowerModel:
 
     def dynamic_power_w(self, voltage_v: float, utilization: float = 1.0) -> float:
         """Dynamic component of :meth:`power_w`."""
-        scale = math.exp(-self.gamma_per_v * (self.nominal_voltage_v - voltage_v))
+        scale = float(np.exp(-self.gamma_per_v * (self.nominal_voltage_v - voltage_v)))
         return (1.0 - self.static_fraction) * self.nominal_power_w * utilization * scale
 
     def static_power_w(self, voltage_v: float) -> float:
         """Static component of :meth:`power_w`."""
-        scale = math.exp(-self.gamma_per_v * (self.nominal_voltage_v - voltage_v))
+        scale = float(np.exp(-self.gamma_per_v * (self.nominal_voltage_v - voltage_v)))
         return self.static_fraction * self.nominal_power_w * scale
 
     def savings_fraction(self, from_v: float, to_v: float, utilization: float = 1.0) -> float:

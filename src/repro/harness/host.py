@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.batch import cached_fault_field
 from repro.core.faultmodel import FaultField, FaultRecord
 from repro.fpga.bitstream import ConfiguredDevice, CrashError, Design, compile_design
 from repro.fpga.platform import FpgaChip
@@ -54,7 +55,7 @@ class HostController:
 
     def __post_init__(self) -> None:
         if self.fault_field is None:
-            self.fault_field = FaultField(self.chip)
+            self.fault_field = cached_fault_field(self.chip)
         if self.adapter is None:
             self.adapter = PmbusAdapter(self.chip)
         if self.device is None:
@@ -139,6 +140,20 @@ class HostController:
             self.chip.vccbram,
             temperature_c=self.temperature_c,
             run_index=run_index,
+            pattern=self.current_pattern,
+        )
+
+    def count_chip_faults_over_runs(self, n_runs: int) -> np.ndarray:
+        """Chip-level fault counts for ``n_runs`` read-back passes.
+
+        One batched query over the run axis at the current operating point —
+        equivalent to calling :meth:`count_chip_faults` once per run index.
+        """
+        self.device.check_operational()
+        return self.fault_field.counts_over_runs(
+            self.chip.vccbram,
+            n_runs,
+            temperature_c=self.temperature_c,
             pattern=self.current_pattern,
         )
 

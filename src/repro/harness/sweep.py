@@ -24,6 +24,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.batch import (
+    BatchGridResult,
+    OperatingGrid,
+    cached_fault_field,
+    power_curve,
+    voltage_ladder,
+)
 from repro.core.calibration import PlatformCalibration, get_calibration
 from repro.core.faultmodel import FaultField
 from repro.core.fvm import FaultVariationMap
@@ -69,7 +76,7 @@ class UndervoltingExperiment:
         if self.runs_per_step < 1:
             raise SweepError("runs_per_step must be at least 1")
         if self.fault_field is None:
-            self.fault_field = FaultField(self.chip)
+            self.fault_field = cached_fault_field(self.chip)
         if self.host is None:
             self.host = HostController(self.chip, fault_field=self.fault_field)
         if self.power_meter is None:
@@ -125,7 +132,7 @@ class UndervoltingExperiment:
             if rail == VCCBRAM:
                 self.chip.set_vccbram(max(voltage, 0.40))
                 counts = (
-                    [self.host.count_chip_faults(run_index=r) for r in range(probe_runs)]
+                    [int(c) for c in self.host.count_chip_faults_over_runs(probe_runs)]
                     if operational
                     else []
                 )
@@ -183,9 +190,12 @@ class UndervoltingExperiment:
     ) -> SweepResult:
         """Listing 1: sweep VCCBRAM from ``Vmin`` down to ``Vcrash``.
 
-        Every step reads the pool ``n_runs`` times (vectorized through the
-        fault field), records the median fault rate, optionally the per-BRAM
-        counts (for FVM construction) and the BRAM power.
+        The whole (voltage x run) grid is evaluated in one call through the
+        batch engine — a single sorted-threshold query replaces the per-step
+        per-BRAM loops — and the result is unpacked back into the per-step
+        records the analyses consume.  The per-step rail programming and soft
+        reset of Listing 1 are still issued so the simulated hardware sees
+        the same command sequence as before.
         """
         cal = self.calibration
         n_runs = self.runs_per_step if n_runs is None else n_runs
@@ -199,40 +209,84 @@ class UndervoltingExperiment:
             self.chip.set_temperature(temperature_c)
 
         self.host.initialize_brams(pattern)
+        voltages = self._descending_voltages(start, stop)
+        temperature = self.chip.board_temperature_c
+        grid = OperatingGrid.from_axes(voltages, (temperature,), runs=n_runs)
+        counts = self.fault_field.batch.chip_counts(grid, pattern)
+        per_bram_matrix = None
+        if collect_per_bram:
+            per_bram_matrix = self.fault_field.batch.per_bram_counts(
+                OperatingGrid.from_axes(voltages, (temperature,)), pattern
+            )[:, 0, 0, :]
+        powers = power_curve(
+            self.power_meter.bram_model, voltages, self.power_meter.bram_utilization
+        )
+
         result = SweepResult(platform=self.chip.name, rail=VCCBRAM, pattern=str(pattern))
-        voltage = start
-        while voltage >= stop - 1e-9:
+        for index, voltage in enumerate(voltages):
             self.chip.set_vccbram(voltage)
-            counts = self.fault_field.counts_over_runs(
-                voltage,
-                n_runs,
-                temperature_c=self.chip.board_temperature_c,
-                pattern=pattern,
-            )
-            per_bram = None
-            if collect_per_bram:
-                per_bram = tuple(
-                    int(c)
-                    for c in self.fault_field.per_bram_counts(
-                        voltage,
-                        temperature_c=self.chip.board_temperature_c,
-                        pattern=pattern,
-                    )
-                )
             step = VoltageStepResult(
                 voltage_v=voltage,
-                temperature_c=self.chip.board_temperature_c,
-                runs=[RunObservation(run_index=r, fault_count=int(c)) for r, c in enumerate(counts)],
-                per_bram_counts=per_bram,
-                bram_power_w=self.power_meter.read_bram_power_w(voltage),
+                temperature_c=temperature,
+                runs=[
+                    RunObservation(run_index=r, fault_count=int(c))
+                    for r, c in enumerate(counts[index, 0, :])
+                ],
+                per_bram_counts=(
+                    tuple(int(c) for c in per_bram_matrix[index])
+                    if per_bram_matrix is not None
+                    else None
+                ),
+                bram_power_w=float(powers[index]),
                 operational=True,
                 total_mbits=self.chip.brams.total_mbits,
             )
             result.steps.append(step)
             self.chip.soft_reset()
-            voltage = round(voltage - self.step_v, 4)
         self.chip.set_vccbram(cal.vnom_v)
         return result
+
+    def _descending_voltages(self, start: float, stop: float) -> List[float]:
+        """The 10 mV (``step_v``) ladder from ``start`` down to ``stop``."""
+        return list(voltage_ladder(start, stop, self.step_v))
+
+    # ------------------------------------------------------------------
+    # Batched grid evaluation (the scenario fan-out entry point)
+    # ------------------------------------------------------------------
+    def grid_sweep(
+        self,
+        voltages_v: Optional[Sequence[float]] = None,
+        temperatures_c: Optional[Sequence[float]] = None,
+        n_runs: Optional[int] = None,
+        pattern: "str | int" = 0xFFFF,
+    ) -> BatchGridResult:
+        """Evaluate a whole (voltage x temperature x run) operating grid.
+
+        This is the first-class batched API: every scenario in the cross
+        product is evaluated in one NumPy pass, with no per-step hardware
+        mutation — ideal for wide scenario exploration, and the path the
+        batch-engine benchmark measures.  Defaults cover the critical region
+        at the reference temperature with ``runs_per_step`` runs.
+        """
+        if voltages_v is None:
+            cal = self.calibration
+            voltages_v = self._descending_voltages(cal.vmin_bram_v, cal.vcrash_bram_v)
+        grid = OperatingGrid.from_axes(
+            voltages_v,
+            temperatures_c,
+            runs=self.runs_per_step if n_runs is None else n_runs,
+        )
+        counts = self.fault_field.batch.chip_counts(grid, pattern)
+        powers = power_curve(
+            self.power_meter.bram_model, grid.voltages_v, self.power_meter.bram_utilization
+        )
+        return BatchGridResult(
+            grid=grid,
+            chip_counts=counts,
+            total_mbits=self.chip.brams.total_mbits,
+            pattern=str(pattern),
+            bram_power_w=powers,
+        )
 
     # ------------------------------------------------------------------
     # Fault Variation Map extraction (Figs. 6 and 7)
@@ -243,28 +297,24 @@ class UndervoltingExperiment:
         voltages: Optional[Sequence[float]] = None,
         temperature_c: float = REFERENCE_TEMPERATURE_C,
     ) -> FaultVariationMap:
-        """Build the chip's FVM by sweeping the critical region once."""
+        """Build the chip's FVM by sweeping the critical region once.
+
+        The whole (voltage x BRAM) count matrix comes out of a single batched
+        per-BRAM evaluation; no per-voltage Python loop remains.
+        """
         cal = self.calibration
         if voltages is None:
-            voltages = []
-            voltage = cal.vmin_bram_v
-            while voltage >= cal.vcrash_bram_v - 1e-9:
-                voltages.append(round(voltage, 4))
-                voltage -= self.step_v
-        counts_by_voltage = [
-            [
-                int(c)
-                for c in self.fault_field.per_bram_counts(
-                    voltage, temperature_c=temperature_c, pattern=pattern
-                )
+            voltages = [
+                round(v, 4)
+                for v in self._descending_voltages(cal.vmin_bram_v, cal.vcrash_bram_v)
             ]
-            for voltage in voltages
-        ]
-        return FaultVariationMap.from_counts(
+        grid = OperatingGrid.from_axes(voltages, (temperature_c,))
+        matrix = self.fault_field.batch.per_bram_counts(grid, pattern)[:, 0, 0, :]
+        return FaultVariationMap.from_matrix(
             platform=self.chip.name,
             floorplan=self.chip.floorplan,
-            voltages_v=voltages,
-            counts_by_voltage=counts_by_voltage,
+            voltages_v=list(voltages),
+            counts=matrix,
             bram_bits=self.chip.spec.bram_rows * self.chip.spec.bram_cols,
         )
 

@@ -1,0 +1,298 @@
+"""Equivalence and property tests for the vectorized batch engine.
+
+The batch engine's contract is *bit-identical* agreement with the scalar
+fault-model API — not statistical closeness.  The reference implementation
+used here is the per-BRAM boolean firing-mask path
+(:meth:`FaultField.count_bram_faults`), which shares no code with the
+sorted-threshold/searchsorted evaluation under test.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.batch import (
+    BatchError,
+    OperatingGrid,
+    cached_fault_field,
+    clear_fault_field_cache,
+    power_curve,
+)
+from repro.core.faultmodel import FaultField, FaultModelConfig, FaultModelError
+from repro.core.fvm import FaultVariationMap
+from repro.core.power import bram_power_model
+from repro.fpga.platform import FpgaChip
+
+PATTERNS = ["FFFF", "AAAA", "5555", 0x0000, "random50"]
+
+ABLATION_CONFIGS = [
+    FaultModelConfig(),
+    FaultModelConfig(temperature_enabled=False),
+    FaultModelConfig(ripple_enabled=False),
+    FaultModelConfig(die_to_die_enabled=False),
+    FaultModelConfig(spatial_variation_enabled=False),
+]
+
+
+def scalar_chip_count(field, voltage, temperature=50.0, run=None, pattern=0xFFFF):
+    """Chip count via the per-BRAM boolean-mask reference path."""
+    return sum(
+        field.count_bram_faults(
+            index, voltage, temperature_c=temperature, run_index=run, pattern=pattern
+        )
+        for index in range(field.chip.spec.n_brams)
+    )
+
+
+def scalar_per_bram(field, voltage, temperature=50.0, run=None, pattern=0xFFFF):
+    """Per-BRAM counts via the boolean-mask reference path."""
+    return np.array(
+        [
+            field.count_bram_faults(
+                index, voltage, temperature_c=temperature, run_index=run, pattern=pattern
+            )
+            for index in range(field.chip.spec.n_brams)
+        ],
+        dtype=np.int64,
+    )
+
+
+class TestOperatingGrid:
+    def test_shape_and_size(self):
+        grid = OperatingGrid.from_axes([0.55, 0.56], [50.0, 80.0], runs=3)
+        assert grid.shape == (2, 2, 3)
+        assert grid.n_points == 12
+        assert grid.run_indices == (0, 1, 2)
+
+    def test_runless_grid_has_unit_run_axis(self):
+        grid = OperatingGrid.from_axes([0.55])
+        assert grid.shape == (1, 1, 1)
+        assert grid.run_indices is None
+
+    def test_single_matches_scalar_point(self):
+        grid = OperatingGrid.single(0.55, 60.0, run_index=4)
+        assert grid.voltages_v == (0.55,)
+        assert grid.temperatures_c == (60.0,)
+        assert grid.run_indices == (4,)
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(BatchError):
+            OperatingGrid(voltages_v=())
+        with pytest.raises(BatchError):
+            OperatingGrid(voltages_v=(0.55,), temperatures_c=())
+        with pytest.raises(BatchError):
+            OperatingGrid(voltages_v=(0.55,), run_indices=())
+
+    def test_zero_run_count_rejected(self):
+        with pytest.raises(BatchError):
+            OperatingGrid.from_axes([0.55], runs=0)
+
+    def test_negative_run_index_matches_scalar(self, zc702_field):
+        """Negative run indices are valid ripple seeds, as in the scalar API."""
+        cal = zc702_field.calibration
+        grid = OperatingGrid.single(cal.vcrash_bram_v, run_index=-1)
+        batched = int(zc702_field.batch.chip_counts(grid)[0, 0, 0])
+        assert batched == scalar_chip_count(zc702_field, cal.vcrash_bram_v, run=-1)
+
+
+class TestChipCountEquivalence:
+    """Batched chip-level counts == scalar reference, bit for bit."""
+
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    def test_voltage_run_grid_matches_scalar(self, zc702_field, pattern):
+        cal = zc702_field.calibration
+        voltages = [round(cal.vmin_bram_v - 0.01 * i, 3) for i in range(9)]
+        runs = (0, 2, 5)
+        grid = OperatingGrid(tuple(voltages), run_indices=runs)
+        batched = zc702_field.batch.chip_counts(grid, pattern)
+        for iv, voltage in enumerate(voltages):
+            for ir, run in enumerate(runs):
+                assert batched[iv, 0, ir] == scalar_chip_count(
+                    zc702_field, voltage, run=run, pattern=pattern
+                )
+
+    def test_temperature_axis_matches_scalar(self, zc702_field):
+        cal = zc702_field.calibration
+        temps = (50.0, 62.5, 80.0)
+        grid = OperatingGrid((cal.vcrash_bram_v, cal.vmin_bram_v), temps)
+        batched = zc702_field.batch.chip_counts(grid)
+        for iv, voltage in enumerate((cal.vcrash_bram_v, cal.vmin_bram_v)):
+            for it, temp in enumerate(temps):
+                assert batched[iv, it, 0] == scalar_chip_count(zc702_field, voltage, temp)
+
+    @pytest.mark.parametrize("config", ABLATION_CONFIGS, ids=lambda c: str(c))
+    def test_ablation_configs_match_scalar(self, zc702_chip, config):
+        field = FaultField(zc702_chip, config=config)
+        cal = field.calibration
+        voltages = (cal.vcrash_bram_v, round(cal.vcrash_bram_v + 0.03, 3))
+        grid = OperatingGrid(voltages, (50.0, 75.0), (0, 1))
+        batched = field.batch.chip_counts(grid)
+        for iv, voltage in enumerate(voltages):
+            for it, temp in enumerate((50.0, 75.0)):
+                for ir, run in enumerate((0, 1)):
+                    assert batched[iv, it, ir] == scalar_chip_count(
+                        field, voltage, temp, run
+                    )
+
+    @given(
+        voltage=st.floats(min_value=0.50, max_value=0.70),
+        temperature=st.floats(min_value=40.0, max_value=90.0),
+        run=st.one_of(st.none(), st.integers(min_value=0, max_value=500)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_any_operating_point_matches_scalar(self, zc702_field, voltage, temperature, run):
+        grid = OperatingGrid.single(voltage, temperature, run)
+        batched = int(zc702_field.batch.chip_counts(grid)[0, 0, 0])
+        assert batched == scalar_chip_count(zc702_field, voltage, temperature, run)
+        assert batched == zc702_field.chip_fault_count(
+            voltage, temperature_c=temperature, run_index=run
+        )
+
+    def test_counts_over_runs_matches_per_run_scalar(self, zc702_field):
+        cal = zc702_field.calibration
+        counts = zc702_field.counts_over_runs(cal.vcrash_bram_v, 12)
+        expected = [
+            scalar_chip_count(zc702_field, cal.vcrash_bram_v, run=r) for r in range(12)
+        ]
+        assert counts.tolist() == expected
+
+    def test_counts_over_runs_still_validates(self, zc702_field):
+        with pytest.raises(FaultModelError):
+            zc702_field.counts_over_runs(0.55, 0)
+
+    def test_no_pattern_matches_scalar_convention(self, zc702_field):
+        """``pattern=None`` keeps only 1->0 cells, exactly like _firing_mask."""
+        cal = zc702_field.calibration
+        grid = OperatingGrid.single(cal.vcrash_bram_v)
+        batched = int(zc702_field.batch.chip_counts(grid, None)[0, 0, 0])
+        assert batched == scalar_chip_count(zc702_field, cal.vcrash_bram_v, pattern=None)
+
+    def test_bram_indices_out_of_range_rejected(self, zc702_field):
+        with pytest.raises(FaultModelError):
+            zc702_field.per_bram_counts(0.55, bram_indices=[-1])
+        with pytest.raises(FaultModelError):
+            zc702_field.per_bram_counts(0.55, bram_indices=[zc702_field.chip.spec.n_brams])
+
+
+class TestPerBramEquivalence:
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    def test_per_bram_grid_matches_scalar(self, zc702_field, pattern):
+        cal = zc702_field.calibration
+        voltages = (cal.vcrash_bram_v, round(cal.vcrash_bram_v + 0.04, 3))
+        grid = OperatingGrid(voltages)
+        batched = zc702_field.batch.per_bram_counts(grid, pattern)
+        for iv, voltage in enumerate(voltages):
+            reference = scalar_per_bram(zc702_field, voltage, pattern=pattern)
+            assert np.array_equal(batched[iv, 0, 0], reference)
+
+    def test_per_bram_with_ripple_matches_scalar(self, zc702_field):
+        cal = zc702_field.calibration
+        grid = OperatingGrid((cal.vcrash_bram_v,), run_indices=(7,))
+        batched = zc702_field.batch.per_bram_counts(grid)[0, 0, 0]
+        assert np.array_equal(batched, scalar_per_bram(zc702_field, cal.vcrash_bram_v, run=7))
+
+    def test_per_bram_sums_equal_chip_counts(self, zc702_field):
+        cal = zc702_field.calibration
+        voltages = tuple(round(cal.vmin_bram_v - 0.01 * i, 3) for i in range(9))
+        grid = OperatingGrid(voltages, (50.0, 70.0), (0, 1, 2))
+        per_bram = zc702_field.batch.per_bram_counts(grid)
+        chip = zc702_field.batch.chip_counts(grid)
+        assert np.array_equal(per_bram.sum(axis=-1), chip)
+
+    def test_grid_order_does_not_matter(self, zc702_field):
+        """Shuffled voltage axes come back in the order they were given."""
+        cal = zc702_field.calibration
+        ladder = [round(cal.vmin_bram_v - 0.01 * i, 3) for i in range(8)]
+        shuffled = ladder[::-1][1:] + [ladder[0]]
+        a = zc702_field.batch.per_bram_counts(OperatingGrid(tuple(ladder)))
+        b = zc702_field.batch.per_bram_counts(OperatingGrid(tuple(shuffled)))
+        for iv, voltage in enumerate(shuffled):
+            assert np.array_equal(b[iv, 0, 0], a[ladder.index(voltage), 0, 0])
+
+
+class TestFlatTable:
+    def test_table_covers_every_profile(self, zc702_field):
+        table = zc702_field.batch.table
+        assert table.n_brams == zc702_field.chip.spec.n_brams
+        sizes = table.cells_per_bram()
+        for index in range(table.n_brams):
+            assert sizes[index] == zc702_field.profile(index).n_vulnerable
+
+    def test_summary_fractions_match_profile_loop(self, zc702_field):
+        n = zc702_field.chip.spec.n_brams
+        empty = sum(1 for i in range(n) if zc702_field.profile(i).is_empty())
+        assert zc702_field.never_faulty_fraction() == pytest.approx(empty / n)
+        ones = sum(int(zc702_field.profile(i).one_to_zero.sum()) for i in range(n))
+        total = sum(zc702_field.profile(i).n_vulnerable for i in range(n))
+        assert zc702_field.one_to_zero_fraction() == pytest.approx(ones / total)
+
+
+class TestFieldCache:
+    def test_same_chip_same_field(self, zc702_chip):
+        clear_fault_field_cache()
+        assert cached_fault_field(zc702_chip) is cached_fault_field(zc702_chip)
+
+    def test_different_config_different_field(self, zc702_chip):
+        default = cached_fault_field(zc702_chip)
+        ablated = cached_fault_field(
+            zc702_chip, config=FaultModelConfig(ripple_enabled=False)
+        )
+        assert default is not ablated
+        assert ablated.config.ripple_enabled is False
+
+    def test_different_chip_different_field(self, zc702_chip):
+        other = FpgaChip.build("ZC702")
+        assert cached_fault_field(zc702_chip) is not cached_fault_field(other)
+
+    def test_clear_resets_cache(self, zc702_chip):
+        before = cached_fault_field(zc702_chip)
+        clear_fault_field_cache()
+        assert cached_fault_field(zc702_chip) is not before
+
+    def test_cached_field_counts_match_fresh_field(self, zc702_chip, zc702_field):
+        cal = zc702_field.calibration
+        cached = cached_fault_field(zc702_chip)
+        assert np.array_equal(
+            cached.per_bram_counts(cal.vcrash_bram_v),
+            zc702_field.per_bram_counts(cal.vcrash_bram_v),
+        )
+
+
+class TestPowerCurve:
+    def test_matches_scalar_model(self, zc702_field):
+        model = bram_power_model(zc702_field.calibration)
+        voltages = [1.0, 0.8, 0.61, 0.54]
+        curve = power_curve(model, voltages, utilization=0.7)
+        for voltage, power in zip(voltages, curve):
+            assert power == pytest.approx(model.power_w(voltage, utilization=0.7), rel=1e-12)
+
+    def test_rejects_bad_inputs(self, zc702_field):
+        from repro.core.power import PowerModelError
+
+        model = bram_power_model(zc702_field.calibration)
+        with pytest.raises(PowerModelError):
+            power_curve(model, [0.0])
+        with pytest.raises(PowerModelError):
+            power_curve(model, [0.6], utilization=1.5)
+
+
+class TestFvmFromMatrix:
+    def test_matches_from_counts(self, zc702_chip, zc702_field):
+        cal = zc702_field.calibration
+        voltages = [cal.vmin_bram_v, cal.vcrash_bram_v]
+        matrix = zc702_field.batch.per_bram_counts(OperatingGrid(tuple(voltages)))[:, 0, 0, :]
+        via_matrix = FaultVariationMap.from_matrix(
+            "ZC702", zc702_chip.floorplan, voltages, matrix
+        )
+        via_lists = FaultVariationMap.from_counts(
+            "ZC702", zc702_chip.floorplan, voltages, [list(row) for row in matrix]
+        )
+        assert via_matrix.entries == via_lists.entries
+        assert np.array_equal(via_matrix.counts_matrix(), matrix)
+
+    def test_shape_validated(self, zc702_chip):
+        with pytest.raises(Exception):
+            FaultVariationMap.from_matrix(
+                "ZC702", zc702_chip.floorplan, [0.55], np.zeros((2, 3), dtype=int)
+            )

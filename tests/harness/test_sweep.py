@@ -1,7 +1,9 @@
 """Tests for the sweep drivers (guardband discovery, Listing 1, FVM, temperature)."""
 
+import numpy as np
 import pytest
 
+from repro.core.batch import BatchError, BatchGridResult, OperatingGrid
 from repro.core.temperature import STUDY_TEMPERATURES_C
 from repro.fpga.platform import FpgaChip
 from repro.fpga.voltage import VCCBRAM, VCCINT
@@ -79,6 +81,54 @@ class TestFvmExtraction:
         assert min(fvm.voltages_v) == pytest.approx(cal.vcrash_bram_v, abs=0.011)
         assert fvm.n_brams == experiment.chip.spec.n_brams
         assert 0.3 < fvm.never_faulty_fraction() < 0.7
+
+
+class TestGridSweep:
+    def test_default_grid_covers_critical_region(self, experiment):
+        cal = experiment.calibration
+        result = experiment.grid_sweep(n_runs=4)
+        n_voltages = len(result.grid.voltages_v)
+        assert result.chip_counts.shape == (n_voltages, 1, 4)
+        assert result.grid.voltages_v[0] == pytest.approx(cal.vmin_bram_v)
+        assert result.grid.voltages_v[-1] == pytest.approx(cal.vcrash_bram_v, abs=0.011)
+
+    def test_counts_and_rates_match_legacy_sweep(self, experiment):
+        legacy = experiment.critical_region_sweep(n_runs=3)
+        batched = experiment.grid_sweep(n_runs=3)
+        assert [
+            float(r) for r in batched.median_rates_per_mbit()[:, 0]
+        ] == pytest.approx(legacy.fault_rates_per_mbit())
+        assert [float(p) for p in batched.bram_power_w] == pytest.approx(
+            [p for p in legacy.powers_w()]
+        )
+        assert np.array_equal(
+            batched.rates_per_mbit(), batched.chip_counts / batched.total_mbits
+        )
+
+    def test_temperature_axis_reduces_rates(self, experiment):
+        cal = experiment.calibration
+        result = experiment.grid_sweep(
+            voltages_v=[cal.vcrash_bram_v], temperatures_c=[50.0, 80.0], n_runs=2
+        )
+        medians = result.median_counts()
+        assert medians.shape == (1, 2)
+        assert medians[0, 1] < medians[0, 0]
+        assert result.run_std_per_mbit().shape == (1, 2)
+
+    def test_chip_rates_per_mbit_consistent(self, experiment):
+        cal = experiment.calibration
+        grid = OperatingGrid.from_axes([cal.vcrash_bram_v], runs=5)
+        field = experiment.fault_field
+        rates = field.batch.chip_rates_per_mbit(grid)
+        counts = field.batch.chip_counts(grid)
+        assert np.array_equal(rates, counts / experiment.chip.brams.total_mbits)
+
+    def test_result_shape_validated(self, experiment):
+        grid = OperatingGrid.from_axes([0.55], runs=2)
+        with pytest.raises(BatchError):
+            BatchGridResult(grid=grid, chip_counts=np.zeros((2, 1, 1)), total_mbits=1.0)
+        with pytest.raises(BatchError):
+            BatchGridResult(grid=grid, chip_counts=np.zeros((1, 1, 2)), total_mbits=0.0)
 
 
 class TestTemperatureSweep:
