@@ -1,4 +1,4 @@
-"""Ablation — which fault-model ingredients matter (DESIGN.md section 7).
+"""Ablation — which fault-model ingredients matter (Figs. 7/8, Table II).
 
 Turns off one ingredient of the fault model at a time and reports which of
 the paper's qualitative findings breaks:

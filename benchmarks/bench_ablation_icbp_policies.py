@@ -1,4 +1,4 @@
-"""Ablation — ICBP placement policies beyond the paper's last-layer rule.
+"""Ablation — ICBP placement policies beyond the last-layer rule (Fig. 14).
 
 Compares the default placement, the paper's last-layer ICBP and the
 vulnerability-ordered extension (protect layers in decreasing sensitivity

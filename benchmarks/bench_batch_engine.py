@@ -1,4 +1,4 @@
-"""Batch engine — 50-voltage x 100-run sweep, batched vs. loop baseline.
+"""Batch engine — the Table II grid (50 voltages x 100 runs), batched vs. loop.
 
 Acceptance benchmark for the vectorized batch evaluation engine
 (:mod:`repro.core.batch`): evaluating a 50-voltage x 100-run operating grid

@@ -1,0 +1,138 @@
+"""Fleet campaign — 16 chips over two platforms through the campaign engine
+(Table I / Figs. 1 and 7, generalized from four boards to a fleet).
+
+Acceptance benchmark for :mod:`repro.campaign`: a declarative 16-chip
+two-platform spec (8 ZC702 + 8 KC705-A dies, each fleet anchored on the
+studied board) must
+
+* run to completion through ``run_campaign`` and persist every unit;
+* resume after interruption — a second run executes nothing and skips all
+  16 units;
+* produce per-chip guardband numbers *bit-identical* to driving the
+  single-chip :class:`repro.harness.UndervoltingExperiment` on the same
+  serial;
+* aggregate into fleet statistics: the cross-chip guardband distribution
+  must sit at the paper's per-platform anchors, and the FVM campaign over
+  the same fleet must show essentially unrelated fault maps between
+  same-part-number dies (the Fig. 7 die-to-die finding, across 56 pairs).
+"""
+
+import shutil
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from conftest import run_once, save_report
+from repro.analysis import ExperimentReport
+from repro.campaign import CampaignStore, build_report, preset_spec, run_campaign
+from repro.fpga import FpgaChip
+from repro.fpga.voltage import VCCBRAM, VCCINT
+from repro.harness import UndervoltingExperiment
+
+
+@pytest.mark.benchmark(group="campaign")
+def test_campaign_fleet16(benchmark):
+    def body():
+        report = ExperimentReport(
+            "campaign_fleet", "16-chip two-platform campaign through repro.campaign"
+        )
+        root = Path(tempfile.mkdtemp(prefix="campaign-bench-"))
+        try:
+            spec = preset_spec("fleet16")
+            assert len(spec.chips()) == 16 and len(spec.groups) == 2
+
+            first = run_campaign(spec, root=root, max_workers=2)
+            resumed = run_campaign(spec, root=root, max_workers=2)
+            store = CampaignStore(spec.name, root)
+            status = store.status(spec)
+
+            section = report.new_section("execution", ["metric", "value"])
+            section.add_row("units executed (first run)", len(first.executed))
+            section.add_row("units executed (resume)", len(resumed.executed))
+            section.add_row("units skipped (resume)", len(resumed.skipped))
+            section.add_row("store complete", status.is_complete)
+
+            # Bit-identity: the campaign's stored guardband for the stock
+            # ZC702 serial equals the single-chip experiment, float for float.
+            chip = FpgaChip.build("ZC702")
+            experiment = UndervoltingExperiment(chip, runs_per_step=3)
+            identical = True
+            stock_unit = next(
+                u
+                for u in spec.expand()
+                if u.platform == "ZC702" and u.serial == chip.spec.serial_number
+            )
+            stored = store.load(stock_unit).summary["rails"]
+            for rail in (VCCBRAM, VCCINT):
+                measurement, _ = experiment.discover_guardband(
+                    rail=rail,
+                    pattern=stock_unit.pattern,
+                    probe_runs=stock_unit.runs_per_step,
+                )
+                identical &= stored[rail]["vmin_v"] == measurement.vmin_v
+                identical &= stored[rail]["vcrash_v"] == measurement.vcrash_v
+                identical &= (
+                    stored[rail]["power_reduction_factor_at_vmin"]
+                    == measurement.power_reduction_factor_at_vmin
+                )
+            section.add_row("guardband bit-identical to single-chip path", identical)
+
+            fleet = build_report(store, spec)
+            population = report.new_section(
+                "fleet guardband population",
+                ["scope", "metric", "mean", "min", "max", "p95"],
+            )
+            for scope, dists in [("fleet", fleet.fleet)] + sorted(
+                fleet.by_platform.items()
+            ):
+                for metric, dist in dists.items():
+                    population.add_row(
+                        scope,
+                        metric,
+                        dist.summary.mean,
+                        dist.summary.minimum,
+                        dist.summary.maximum,
+                        dist.percentiles["p95"],
+                    )
+
+            # Same fleet through the FVM loop: die-to-die similarity.
+            fvm_spec = preset_spec("fleet16-fvm")
+            run_campaign(fvm_spec, root=root, max_workers=2)
+            fvm_fleet = build_report(CampaignStore(fvm_spec.name, root), fvm_spec)
+            extremes = fvm_fleet.to_dict()["fvm_similarity"]["extremes"]
+            similarity = report.new_section(
+                "die-to-die FVM similarity (Fig. 7, generalized)", ["metric", "value"]
+            )
+            for metric, value in sorted(extremes.items()):
+                similarity.add_row(metric, value)
+            similarity.add_note(
+                "same part number, unrelated fault maps: correlation and overlap "
+                "stay low across every pair of the fleet"
+            )
+
+            save_report(report)
+            return {
+                "first": first,
+                "resumed": resumed,
+                "status": status,
+                "identical": identical,
+                "fleet": fleet,
+                "extremes": extremes,
+            }
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    out = run_once(benchmark, body)
+    assert len(out["first"].executed) == 16
+    assert len(out["resumed"].executed) == 0 and len(out["resumed"].skipped) == 16
+    assert out["status"].is_complete
+    assert out["identical"]
+    # Guardband anchors: ~39-40 % on VCCBRAM across the whole fleet (Fig. 1).
+    guardband = out["fleet"].fleet["vccbram_guardband_fraction"]
+    assert guardband.summary.mean == pytest.approx(0.395, abs=0.02)
+    # Unrelated maps between same-part-number dies (Fig. 7): low correlation
+    # and low overlap of the high-vulnerable sets, across all 56 pairs.
+    assert out["extremes"]["n_pairs"] == 56
+    assert out["extremes"]["max_abs_correlation"] < 0.5
+    assert out["extremes"]["max_high_class_jaccard"] < 0.5

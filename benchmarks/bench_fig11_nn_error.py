@@ -2,7 +2,7 @@
 
 The classification error stays at the inherent (fault-free) level until Vmin
 and then grows with the exponentially increasing BRAM fault rate; the curve
-is averaged over several place-and-route runs (see DESIGN.md) and the fault
+is averaged over several place-and-route runs (see docs/intro.md) and the fault
 rate observed with NN weights is far below the 0xFFFF rate because most
 weight bits are zero.
 """

@@ -9,10 +9,14 @@ For each of the three paper benchmarks (synthetic MNIST, Forest, Reuters):
    (the most sensitive layer constrained to low-vulnerable BRAMs);
 4. run both at Vcrash and compare the accuracy loss at identical power.
 
-Run with:  python examples/icbp_mitigation.py
+Run with:  python examples/icbp_mitigation.py [--fast]
+where --fast shrinks the training sets and seed count for a quick smoke
+run (used by CI); the full settings reproduce the Fig. 14 numbers.
 """
 
 from __future__ import annotations
+
+import sys
 
 from repro.accelerator import IcbpFlow, PlacementPolicy
 from repro.analysis import render_table
@@ -35,18 +39,19 @@ BENCHMARKS = {
 }
 
 
-def main() -> None:
+def main(fast: bool = False) -> None:
+    n_train, n_test, n_seeds = (600, 300, 1) if fast else (6000, 1000, 4)
     chip = FpgaChip.build("VC707")
     field = FaultField(chip)
     rows = []
     for name, (loader, topology) in BENCHMARKS.items():
-        dataset = loader(n_train=6000, n_test=1000)
+        dataset = loader(n_train=n_train, n_test=n_test)
         print(f"Training on {dataset.name} ...")
         result = train_network(dataset, topology=topology, config=TrainingConfig(seed=3))
         network = QuantizedNetwork.from_network(result.network)
 
         flow = IcbpFlow(
-            chip=chip, network=network, dataset=dataset, fault_field=field, max_eval_samples=1000
+            chip=chip, network=network, dataset=dataset, fault_field=field, max_eval_samples=n_test
         )
         vulnerability = flow.analyze_vulnerability()
         most_sensitive = vulnerability.most_vulnerable_first()[0]
@@ -55,7 +60,7 @@ def main() -> None:
             f"(normalized vulnerability {vulnerability.normalized()[most_sensitive]:.1f})"
         )
 
-        comparison = flow.compare_policies(compile_seeds=range(4))
+        comparison = flow.compare_policies(compile_seeds=range(n_seeds))
         default = comparison[PlacementPolicy.DEFAULT]
         icbp = comparison[PlacementPolicy.LAST_LAYER]
         rows.append(
@@ -92,4 +97,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    main(fast="--fast" in sys.argv[1:])

@@ -7,10 +7,14 @@ onto the VC707's BRAMs, and then lowers VCCBRAM: the on-chip power breakdown
 collapses while the classification error starts to climb once faults appear
 below Vmin.
 
-Run with:  python examples/nn_undervolting.py
+Run with:  python examples/nn_undervolting.py [--fast]
+where --fast shrinks the training set and seed count for a quick smoke
+run (used by CI); the full settings reproduce the Figs. 10/11 numbers.
 """
 
 from __future__ import annotations
+
+import sys
 
 from repro.accelerator import AcceleratorPowerModel, NnAccelerator, mean_error_sweep
 from repro.analysis import render_table
@@ -19,9 +23,10 @@ from repro.fpga import FpgaChip
 from repro.nn import QuantizedNetwork, SCALED_TOPOLOGY, TrainingConfig, synthetic_mnist, train_network
 
 
-def main() -> None:
+def main(fast: bool = False) -> None:
+    n_train, n_test, n_seeds = (600, 300, 1) if fast else (6000, 1500, 4)
     # Offline training (the FPGA only runs inference).
-    dataset = synthetic_mnist(n_train=6000, n_test=1500)
+    dataset = synthetic_mnist(n_train=n_train, n_test=n_test)
     print(f"Training the classifier on {dataset.name}: {dataset.summary()}")
     result = train_network(dataset, topology=SCALED_TOPOLOGY, config=TrainingConfig(seed=3))
     network = QuantizedNetwork.from_network(result.network)
@@ -67,7 +72,8 @@ def main() -> None:
     voltages = [round(cal.vmin_bram_v - 0.01 * i, 3) for i in range(8)]
     voltages = [v for v in voltages if v >= cal.vcrash_bram_v - 1e-9]
     points = mean_error_sweep(
-        chip, network, dataset, voltages, compile_seeds=range(4), fault_field=field, max_samples=1500
+        chip, network, dataset, voltages,
+        compile_seeds=range(n_seeds), fault_field=field, max_samples=n_test,
     )
     print()
     print(
@@ -84,4 +90,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    main(fast="--fast" in sys.argv[1:])

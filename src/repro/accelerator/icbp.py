@@ -18,7 +18,7 @@ power overhead.
 
 Beyond the paper's last-layer policy, the reproduction also implements a
 vulnerability-ordered policy (protect layers in decreasing sensitivity until
-the low-vulnerable BRAMs run out) as the ablation discussed in DESIGN.md.
+the low-vulnerable BRAMs run out) as the ablation benchmarks/bench_ablation_icbp_policies.py studies.
 """
 
 from __future__ import annotations

@@ -1,5 +1,14 @@
-"""Reporting helpers: summary statistics, ASCII tables, experiment reports."""
+"""Reporting helpers: summary statistics, fleet aggregation, ASCII tables."""
 
+from .fleet import (
+    DEFAULT_PERCENTILES,
+    FleetDistribution,
+    PairSimilarity,
+    fleet_percentiles,
+    fvm_similarity,
+    population_summary,
+    similarity_extremes,
+)
 from .report import ExperimentReport, ReportError, Section
 from .stats import (
     StatsError,
@@ -12,17 +21,24 @@ from .stats import (
 from .tables import TableError, format_value, render_kv, render_table
 
 __all__ = [
+    "DEFAULT_PERCENTILES",
     "ExperimentReport",
+    "FleetDistribution",
+    "PairSimilarity",
     "ReportError",
     "Section",
     "StatsError",
     "Summary",
     "TableError",
     "fit_exponential_rate",
+    "fleet_percentiles",
     "format_value",
+    "fvm_similarity",
     "geometric_mean",
+    "population_summary",
     "relative_change",
     "render_kv",
     "render_table",
+    "similarity_extremes",
     "summarize",
 ]

@@ -1,0 +1,174 @@
+"""Population statistics over fleets of chips.
+
+The paper's cross-board findings — guardbands in a narrow band across four
+boards, a 4.1x fault-rate ratio between two same-part-number dies — are
+statements about *populations*.  The campaign subsystem
+(:mod:`repro.campaign`) produces per-chip results for arbitrary fleets; this
+module provides the aggregation layer: distribution summaries with
+percentiles for any per-chip metric, and pairwise Fault-Variation-Map
+similarity between dies sharing a part number (the Fig. 7 comparison,
+generalized from one pair to ``n*(n-1)/2`` pairs).
+
+Everything here is deliberately decoupled from the campaign store: inputs
+are plain sequences and mappings, so single-board studies and ad-hoc scripts
+can use the same statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.fvm import FaultVariationMap
+
+from .stats import StatsError, Summary, summarize
+
+#: Percentiles reported for fleet distributions, in order.
+DEFAULT_PERCENTILES: Tuple[float, ...] = (5.0, 25.0, 50.0, 75.0, 95.0)
+
+
+def fleet_percentiles(
+    values: Sequence[float], percentiles: Sequence[float] = DEFAULT_PERCENTILES
+) -> Dict[str, float]:
+    """Named percentiles (``"p5"`` ... ``"p95"``) of a per-chip metric."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise StatsError("cannot take percentiles of an empty fleet")
+    points = np.percentile(array, list(percentiles))
+    return {f"p{q:g}": float(v) for q, v in zip(percentiles, points)}
+
+
+@dataclass(frozen=True)
+class FleetDistribution:
+    """Distribution of one metric across a fleet of chips."""
+
+    metric: str
+    summary: Summary
+    percentiles: Dict[str, float]
+
+    @classmethod
+    def from_values(
+        cls,
+        metric: str,
+        values: Sequence[float],
+        percentiles: Sequence[float] = DEFAULT_PERCENTILES,
+    ) -> "FleetDistribution":
+        """Summarize one metric over the fleet."""
+        return cls(
+            metric=metric,
+            summary=summarize(values),
+            percentiles=fleet_percentiles(values, percentiles),
+        )
+
+    @property
+    def spread_fraction(self) -> float:
+        """Max-to-min spread relative to the fleet mean (0 for a flat fleet)."""
+        if self.summary.mean == 0:
+            return 0.0
+        return (self.summary.maximum - self.summary.minimum) / abs(self.summary.mean)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary: summary fields plus the percentile points."""
+        payload = self.summary.as_dict()
+        payload.update(self.percentiles)
+        payload["spread_fraction"] = self.spread_fraction
+        return payload
+
+
+def population_summary(
+    metric_values: Mapping[str, Sequence[float]],
+    percentiles: Sequence[float] = DEFAULT_PERCENTILES,
+) -> Dict[str, FleetDistribution]:
+    """One :class:`FleetDistribution` per named metric."""
+    return {
+        metric: FleetDistribution.from_values(metric, values, percentiles)
+        for metric, values in metric_values.items()
+    }
+
+
+# ----------------------------------------------------------------------
+# FVM similarity between same-part-number dies
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PairSimilarity:
+    """Fig. 7-style comparison of two dies sharing a part number."""
+
+    platform: str
+    serial_a: str
+    serial_b: str
+    rate_ratio: float
+    count_correlation: float
+    high_class_jaccard: float
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON form of the pair comparison.
+
+        A non-finite rate ratio (one die fault-free) maps to ``null`` so the
+        document stays strict JSON — ``json.dumps`` would otherwise emit the
+        non-standard ``Infinity`` token.
+        """
+        return {
+            "platform": self.platform,
+            "serial_a": self.serial_a,
+            "serial_b": self.serial_b,
+            "rate_ratio": self.rate_ratio if np.isfinite(self.rate_ratio) else None,
+            "count_correlation": self.count_correlation,
+            "high_class_jaccard": self.high_class_jaccard,
+        }
+
+
+def fvm_similarity(
+    maps_by_serial: Mapping[str, FaultVariationMap], platform: str
+) -> List[PairSimilarity]:
+    """Pairwise FVM similarity across one platform's fleet.
+
+    Serials are compared in sorted order, each unordered pair once, and the
+    ``rate_ratio`` is normalized to >= 1 so it reads as "the hotter die shows
+    N times the faults of the cooler die" regardless of pair orientation; a
+    pair where one die shows no faults at all is ``inf`` either way around.
+    """
+    pairs: List[PairSimilarity] = []
+    for serial_a, serial_b in combinations(sorted(maps_by_serial), 2):
+        comparison = maps_by_serial[serial_a].compare(maps_by_serial[serial_b])
+        ratio = comparison["rate_ratio"]
+        if ratio == 0:
+            ratio = float("inf")
+        elif np.isfinite(ratio) and ratio < 1.0:
+            ratio = 1.0 / ratio
+        pairs.append(
+            PairSimilarity(
+                platform=platform,
+                serial_a=serial_a,
+                serial_b=serial_b,
+                rate_ratio=float(ratio),
+                count_correlation=comparison["count_correlation"],
+                high_class_jaccard=comparison["high_class_jaccard"],
+            )
+        )
+    return pairs
+
+
+def similarity_extremes(pairs: Sequence[PairSimilarity]) -> Dict[str, Optional[float]]:
+    """Headline numbers over a set of pair comparisons.
+
+    The paper's die-to-die claim generalizes to: large rate ratios, near-zero
+    map correlation, and little overlap of the high-vulnerable sets — even
+    across a whole fleet of identical part numbers.  The ratio entries are
+    ``None`` when no pair has a finite ratio (every comparison involved a
+    fault-free die), keeping the JSON form strict.
+    """
+    if not pairs:
+        raise StatsError("no die pairs to summarize")
+    ratios = [p.rate_ratio for p in pairs if np.isfinite(p.rate_ratio)]
+    correlations = [abs(p.count_correlation) for p in pairs]
+    jaccards = [p.high_class_jaccard for p in pairs]
+    return {
+        "n_pairs": float(len(pairs)),
+        "max_rate_ratio": float(max(ratios)) if ratios else None,
+        "median_rate_ratio": float(np.median(ratios)) if ratios else None,
+        "max_abs_correlation": float(max(correlations)),
+        "max_high_class_jaccard": float(max(jaccards)),
+    }

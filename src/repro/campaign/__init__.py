@@ -1,0 +1,47 @@
+"""Fleet-scale campaigns: declarative specs, sharded execution, persistence.
+
+This subpackage turns the one-board reproduction into a fleet simulator.  A
+:class:`CampaignSpec` declares a population of simulated boards (platforms x
+serial ranges x temperatures x data patterns) and one of the paper's
+measurement loops; :func:`run_campaign` expands it into independent
+:class:`WorkUnit` s, shards them per die over worker processes, and persists
+each result to an on-disk :class:`CampaignStore` (``campaigns/<name>/``)
+whose JSON commit markers make interrupted campaigns resumable.
+:func:`build_report` aggregates the store into cross-chip population
+statistics via :mod:`repro.analysis.fleet`.
+
+See ``docs/campaigns.md`` for the spec format, sharding model, store layout
+and resume semantics; the CLI front end is ``repro-undervolt campaign``.
+"""
+
+from .report import CampaignReport, build_report, fvm_from_result, unit_metrics
+from .runner import CampaignRunReport, execute_unit, run_campaign
+from .spec import (
+    SWEEP_KINDS,
+    CampaignError,
+    CampaignSpec,
+    ChipGroup,
+    WorkUnit,
+    preset_spec,
+)
+from .store import DEFAULT_ROOT, CampaignStatus, CampaignStore, UnitResult
+
+__all__ = [
+    "CampaignError",
+    "CampaignReport",
+    "CampaignRunReport",
+    "CampaignSpec",
+    "CampaignStatus",
+    "CampaignStore",
+    "ChipGroup",
+    "DEFAULT_ROOT",
+    "SWEEP_KINDS",
+    "UnitResult",
+    "WorkUnit",
+    "build_report",
+    "execute_unit",
+    "fvm_from_result",
+    "preset_spec",
+    "run_campaign",
+    "unit_metrics",
+]

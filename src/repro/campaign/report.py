@@ -1,0 +1,172 @@
+"""Aggregation of a campaign's per-unit results into fleet statistics.
+
+Bridges the campaign store and :mod:`repro.analysis.fleet`: load every
+completed unit, pull out the sweep-kind-specific scalar metrics, summarize
+them as cross-chip distributions (whole fleet and per platform), and — for
+FVM campaigns — run the Fig. 7 die-to-die comparison across every
+same-part-number pair of the fleet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.fleet import (
+    FleetDistribution,
+    PairSimilarity,
+    fvm_similarity,
+    population_summary,
+    similarity_extremes,
+)
+from repro.core.fvm import FaultVariationMap
+from repro.fpga.floorplan import Floorplan
+from repro.fpga.platform import get_platform
+
+from .spec import CampaignError, CampaignSpec
+from .store import CampaignStore, UnitResult
+
+#: Scalar metrics aggregated per sweep kind (name -> key in the unit summary;
+#: guardband metrics are assembled from the nested per-rail dict instead).
+_SWEEP_METRICS = ("rate_at_vcrash_per_mbit", "power_at_vmin_w", "power_at_vcrash_w")
+_FVM_METRICS = ("max_percent", "mean_percent", "never_faulty_fraction")
+
+
+def unit_metrics(result: UnitResult) -> Dict[str, float]:
+    """The aggregatable scalars of one unit, keyed by metric name."""
+    summary = result.summary
+    if result.unit.sweep == "guardband":
+        bram = summary["rails"]["VCCBRAM"]
+        logic = summary["rails"]["VCCINT"]
+        return {
+            "vccbram_vmin_v": bram["vmin_v"],
+            "vccbram_vcrash_v": bram["vcrash_v"],
+            "vccbram_guardband_fraction": bram["guardband_fraction"],
+            "vccbram_power_reduction_at_vmin": bram["power_reduction_factor_at_vmin"],
+            "vccint_guardband_fraction": logic["guardband_fraction"],
+        }
+    if result.unit.sweep == "sweep":
+        return {name: float(summary[name]) for name in _SWEEP_METRICS}
+    if result.unit.sweep == "fvm":
+        return {name: float(summary[name]) for name in _FVM_METRICS}
+    raise CampaignError(f"unknown sweep kind {result.unit.sweep!r}")
+
+
+def fvm_from_result(result: UnitResult) -> FaultVariationMap:
+    """Rebuild a :class:`FaultVariationMap` from a stored FVM unit."""
+    if result.unit.sweep != "fvm":
+        raise CampaignError(f"unit {result.unit_id} is not an FVM unit")
+    spec = get_platform(result.unit.platform)
+    floorplan = Floorplan.regular(n_brams=spec.n_brams, n_columns=spec.floorplan_columns)
+    return FaultVariationMap.from_matrix(
+        platform=result.unit.platform,
+        floorplan=floorplan,
+        voltages_v=[float(v) for v in result.arrays["voltages_v"]],
+        counts=result.arrays["counts"],
+        bram_bits=int(result.summary.get("bram_bits", spec.bram_rows * spec.bram_cols)),
+    )
+
+
+@dataclass
+class CampaignReport:
+    """Fleet-level view of a (possibly partially) completed campaign."""
+
+    spec: CampaignSpec
+    results: List[UnitResult]
+    fleet: Dict[str, FleetDistribution]
+    by_platform: Dict[str, Dict[str, FleetDistribution]]
+    similarity: List[PairSimilarity] = field(default_factory=list)
+
+    @property
+    def n_completed(self) -> int:
+        """Number of completed units the report aggregates."""
+        return len(self.results)
+
+    def unit_rows(self) -> List[Dict[str, Any]]:
+        """One flat row per completed unit (descriptor + metrics)."""
+        rows = []
+        for result in self.results:
+            row: Dict[str, Any] = {
+                "unit_id": result.unit_id,
+                "platform": result.unit.platform,
+                "serial": result.unit.serial,
+                "temperature_c": result.unit.temperature_c,
+                "pattern": result.unit.pattern,
+            }
+            row.update(unit_metrics(result))
+            rows.append(row)
+        return rows
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form used by ``repro-undervolt campaign report --json``."""
+        payload: Dict[str, Any] = {
+            "name": self.spec.name,
+            "sweep": self.spec.sweep,
+            "spec_hash": self.spec.spec_hash,
+            "n_units": self.spec.n_units,
+            "n_completed": self.n_completed,
+            "complete": self.n_completed == self.spec.n_units,
+            "units": self.unit_rows(),
+            "population": {
+                "fleet": {m: d.as_dict() for m, d in self.fleet.items()},
+                "by_platform": {
+                    platform: {m: d.as_dict() for m, d in dists.items()}
+                    for platform, dists in self.by_platform.items()
+                },
+            },
+        }
+        if self.similarity:
+            payload["fvm_similarity"] = {
+                "pairs": [pair.as_dict() for pair in self.similarity],
+                "extremes": similarity_extremes(self.similarity),
+            }
+        return payload
+
+
+def build_report(
+    store: CampaignStore, spec: Optional[CampaignSpec] = None
+) -> CampaignReport:
+    """Aggregate a store's completed units into a :class:`CampaignReport`."""
+    spec = spec or store.load_manifest()
+    # Only the FVM similarity pass needs the array payloads; guardband and
+    # sweep aggregation read nothing but the JSON scalar summaries.
+    results = store.results(spec, with_arrays=spec.sweep == "fvm")
+    if not results:
+        raise CampaignError(
+            f"campaign {spec.name!r} has no completed units to report on; "
+            "run it first with 'campaign run'"
+        )
+
+    metric_names = list(unit_metrics(results[0]))
+    fleet_values: Dict[str, List[float]] = {name: [] for name in metric_names}
+    platform_values: Dict[str, Dict[str, List[float]]] = {}
+    for result in results:
+        metrics = unit_metrics(result)
+        per_platform = platform_values.setdefault(
+            result.unit.platform, {name: [] for name in metric_names}
+        )
+        for name, value in metrics.items():
+            fleet_values[name].append(value)
+            per_platform[name].append(value)
+
+    similarity: List[PairSimilarity] = []
+    if spec.sweep == "fvm":
+        # Compare dies only under identical operating conditions: group the
+        # fleet by (platform, temperature, pattern) and pair within groups.
+        grouped: Dict[Tuple[str, float, str], Dict[str, FaultVariationMap]] = {}
+        for result in results:
+            key = (result.unit.platform, result.unit.temperature_c, result.unit.pattern)
+            grouped.setdefault(key, {})[result.unit.serial] = fvm_from_result(result)
+        for (platform, _temperature, _pattern), maps in sorted(grouped.items()):
+            similarity.extend(fvm_similarity(maps, platform))
+
+    return CampaignReport(
+        spec=spec,
+        results=results,
+        fleet=population_summary(fleet_values),
+        by_platform={
+            platform: population_summary(values)
+            for platform, values in sorted(platform_values.items())
+        },
+        similarity=similarity,
+    )

@@ -1,0 +1,308 @@
+"""Campaign execution: per-chip sharding over worker processes.
+
+The expansion of a :class:`~repro.campaign.spec.CampaignSpec` is embarrassingly
+parallel — every :class:`~repro.campaign.spec.WorkUnit` owns its chip, loop and
+operating point — so the runner:
+
+1. asks the store which units are still pending (resume semantics);
+2. groups them into *shards*, one per (platform, serial) die, so each worker
+   builds a die once and reuses its memoized fault field
+   (:func:`repro.core.batch.cached_fault_field`) plus the batch engine's
+   sorted-threshold caches across all of that die's units;
+3. fans the shards out over a ``concurrent.futures.ProcessPoolExecutor``
+   (fork context where the platform offers it); every worker persists each
+   of its units through the store the moment it finishes, so an
+   interruption loses at most the in-flight unit per worker.
+
+Everything a worker touches is module-level and deterministic, so results are
+identical whether a campaign runs serially, across 2 workers or across 16 —
+and, for the guardband loop, bit-identical to driving
+:class:`repro.harness.UndervoltingExperiment` by hand on the same serial.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections import OrderedDict
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.batch import cached_fault_field
+from repro.fpga.platform import FpgaChip
+from repro.fpga.voltage import VCCBRAM, VCCINT
+from repro.harness.sweep import UndervoltingExperiment
+
+from .spec import CampaignError, CampaignSpec, WorkUnit
+from .store import DEFAULT_ROOT, CampaignStore, UnitResult
+
+#: Cap on dies kept alive per worker process; a filled VC707 pins ~34 MB.
+_CHIP_CACHE_MAX = 4
+
+_CHIP_CACHE: "OrderedDict[Tuple[str, str], FpgaChip]" = OrderedDict()
+
+
+def _chip_for(platform: str, serial: str) -> FpgaChip:
+    """The worker-local die instance for one (platform, serial) pair.
+
+    Keeping the *instance* cached matters beyond construction cost:
+    :func:`cached_fault_field` keys on chip identity, so a stable instance is
+    what lets every unit of a shard share one fault field and flat table.
+    """
+    key = (platform, serial)
+    chip = _CHIP_CACHE.get(key)
+    if chip is None:
+        chip = FpgaChip.build(platform, serial=serial)
+        _CHIP_CACHE[key] = chip
+        if len(_CHIP_CACHE) > _CHIP_CACHE_MAX:
+            _CHIP_CACHE.popitem(last=False)
+    else:
+        _CHIP_CACHE.move_to_end(key)
+    return chip
+
+
+# ----------------------------------------------------------------------
+# Unit execution (runs inside worker processes)
+# ----------------------------------------------------------------------
+def execute_unit(unit: WorkUnit) -> UnitResult:
+    """Run one work unit to completion and return its result.
+
+    Pure function of the unit descriptor: builds (or reuses) the die, sets
+    the chamber temperature, and drives the requested measurement loop
+    through the ordinary :class:`UndervoltingExperiment` — the same code path
+    a single-board study uses, which is what makes campaign results directly
+    comparable to the one-chip benchmarks.
+    """
+    chip = _chip_for(unit.platform, unit.serial)
+    chip.set_temperature(unit.temperature_c)
+    experiment = UndervoltingExperiment(
+        chip, fault_field=cached_fault_field(chip), runs_per_step=unit.runs_per_step
+    )
+    if unit.sweep == "guardband":
+        return _run_guardband(experiment, unit)
+    if unit.sweep == "sweep":
+        return _run_critical_region(experiment, unit)
+    if unit.sweep == "fvm":
+        return _run_fvm(experiment, unit)
+    raise CampaignError(f"unit {unit.unit_id} has unknown sweep kind {unit.sweep!r}")
+
+
+def _run_guardband(experiment: UndervoltingExperiment, unit: WorkUnit) -> UnitResult:
+    """Fig. 1 loop on both rails; scalars per rail, VCCBRAM curve as arrays.
+
+    ``runs_per_step`` maps onto the discovery loop's probe runs, so a
+    campaign asking for more repetitions per voltage step gets them here
+    too, not only in the critical-region sweep.
+    """
+    rails: Dict[str, Dict[str, float]] = {}
+    arrays: Dict[str, np.ndarray] = {}
+    for rail in (VCCBRAM, VCCINT):
+        measurement, sweep = experiment.discover_guardband(
+            rail=rail, pattern=unit.pattern, probe_runs=unit.runs_per_step
+        )
+        rails[rail] = {
+            "vnom_v": measurement.nominal_v,
+            "vmin_v": measurement.vmin_v,
+            "vcrash_v": measurement.vcrash_v,
+            "guardband_fraction": measurement.guardband_fraction,
+            "power_reduction_factor_at_vmin": measurement.power_reduction_factor_at_vmin,
+        }
+        if rail == VCCBRAM:
+            steps = sweep.operational_steps()
+            arrays["vccbram_voltages_v"] = np.array([s.voltage_v for s in steps])
+            arrays["vccbram_median_fault_counts"] = np.array(
+                [s.median_fault_count for s in steps]
+            )
+            arrays["vccbram_power_w"] = np.array(
+                [s.bram_power_w if s.bram_power_w is not None else np.nan for s in steps]
+            )
+    return UnitResult(unit=unit, summary={"rails": rails}, arrays=arrays)
+
+
+def _run_critical_region(experiment: UndervoltingExperiment, unit: WorkUnit) -> UnitResult:
+    """Listing 1 loop: fault-rate and power series over the critical region."""
+    result = experiment.critical_region_sweep(
+        pattern=unit.pattern, n_runs=unit.runs_per_step, temperature_c=unit.temperature_c
+    )
+    voltages = np.array(result.voltages())
+    rates = np.array(result.fault_rates_per_mbit())
+    powers = np.array([p if p is not None else np.nan for p in result.powers_w()])
+    stds = np.array([step.fault_rate_std_per_mbit for step in result.steps])
+    cal = experiment.calibration
+    return UnitResult(
+        unit=unit,
+        summary={
+            "vmin_v": cal.vmin_bram_v,
+            "vcrash_v": cal.vcrash_bram_v,
+            "rate_at_vcrash_per_mbit": float(rates[-1]),
+            "power_at_vmin_w": float(powers[0]),
+            "power_at_vcrash_w": float(powers[-1]),
+        },
+        arrays={
+            "voltages_v": voltages,
+            "median_rates_per_mbit": rates,
+            "bram_power_w": powers,
+            "rate_std_per_mbit": stds,
+        },
+    )
+
+
+def _run_fvm(experiment: UndervoltingExperiment, unit: WorkUnit) -> UnitResult:
+    """FVM extraction: the (voltage x BRAM) count matrix plus its statistics."""
+    fvm = experiment.extract_fvm(pattern=unit.pattern, temperature_c=unit.temperature_c)
+    return UnitResult(
+        unit=unit,
+        summary={
+            "n_brams": fvm.n_brams,
+            "bram_bits": fvm.bram_bits,
+            **fvm.statistics(),
+        },
+        arrays={
+            "voltages_v": np.array(fvm.voltages_v),
+            "counts": fvm.counts_matrix(),
+        },
+    )
+
+
+def _execute_shard(
+    units: Tuple[WorkUnit, ...], name: str, root: str
+) -> List[str]:
+    """Run one die's units back to back (the worker-side entry point).
+
+    Each unit is persisted through the store *as soon as it finishes* —
+    unit files are distinct and the JSON commit marker is renamed into
+    place atomically, so concurrent workers never contend — which bounds
+    what an interruption can lose to the single in-flight unit per worker.
+    """
+    store = CampaignStore(name, root)
+    executed: List[str] = []
+    for unit in units:
+        result = execute_unit(unit)
+        store.save(result)
+        executed.append(result.unit_id)
+    return executed
+
+
+# ----------------------------------------------------------------------
+# The campaign driver
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CampaignRunReport:
+    """What one ``run_campaign`` invocation actually did."""
+
+    name: str
+    spec_hash: str
+    n_units: int
+    executed: Tuple[str, ...]
+    skipped: Tuple[str, ...]
+    n_workers: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form used by ``repro-undervolt campaign run --json``."""
+        return {
+            "name": self.name,
+            "spec_hash": self.spec_hash,
+            "n_units": self.n_units,
+            "n_executed": len(self.executed),
+            "n_skipped": len(self.skipped),
+            "n_workers": self.n_workers,
+            "executed_unit_ids": list(self.executed),
+        }
+
+
+def _shards(units: Sequence[WorkUnit]) -> List[Tuple[WorkUnit, ...]]:
+    """Group units by die, preserving expansion order within and across shards."""
+    grouped: "OrderedDict[Tuple[str, str], List[WorkUnit]]" = OrderedDict()
+    for unit in units:
+        grouped.setdefault(unit.chip_key, []).append(unit)
+    return [tuple(batch) for batch in grouped.values()]
+
+
+def _process_context() -> Optional[multiprocessing.context.BaseContext]:
+    """Fork context where available (inherits ``sys.path``); else default."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    root: "str | os.PathLike" = DEFAULT_ROOT,
+    max_workers: Optional[int] = None,
+    use_processes: bool = True,
+    progress: Optional[Callable[[str, int, int], None]] = None,
+) -> CampaignRunReport:
+    """Run (or resume) a campaign, persisting every unit as it completes.
+
+    Parameters
+    ----------
+    spec:
+        The declarative campaign; its name selects the store directory.
+    root:
+        Directory the result store lives under (default ``campaigns/``).
+    max_workers:
+        Worker-process cap; defaults to ``min(n_shards, cpu_count)``.
+        ``1`` (or ``use_processes=False``) runs serially in this process.
+    progress:
+        Optional callback ``(unit_id, n_done, n_total)`` fired as units
+        complete — per unit when running serially, per finished shard when
+        running process-parallel (workers persist their own units; the
+        parent only learns of them when a shard's future resolves).  The
+        CLI uses it for live status lines.
+    """
+    store = CampaignStore.open(spec, root)
+    all_units = spec.expand()
+    skipped = tuple(u.unit_id for u in all_units if store.is_complete(u))
+    skipped_ids = set(skipped)
+    pending = [u for u in all_units if u.unit_id not in skipped_ids]
+    shards = _shards(pending)
+
+    if max_workers is None:
+        max_workers = min(len(shards), os.cpu_count() or 1) or 1
+    if max_workers < 1:
+        raise CampaignError("max_workers must be at least 1")
+    serial = not use_processes or max_workers == 1 or len(shards) <= 1
+
+    executed: List[str] = []
+
+    def _record(unit_ids: Sequence[str]) -> None:
+        for unit_id in unit_ids:
+            executed.append(unit_id)
+            if progress is not None:
+                progress(unit_id, len(executed), len(pending))
+
+    if serial:
+        n_workers = 1
+        for shard in shards:
+            # Persist-and-report unit by unit, like the workers do.
+            for unit in shard:
+                result = execute_unit(unit)
+                store.save(result)
+                _record([result.unit_id])
+    else:
+        n_workers = min(max_workers, len(shards))
+        context = _process_context()
+        pool_kwargs: Dict[str, Any] = {"max_workers": n_workers}
+        if context is not None:
+            pool_kwargs["mp_context"] = context
+        with ProcessPoolExecutor(**pool_kwargs) as pool:
+            futures = {
+                pool.submit(_execute_shard, shard, spec.name, str(root))
+                for shard in shards
+            }
+            while futures:
+                finished, futures = wait(futures, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    _record(future.result())
+
+    return CampaignRunReport(
+        name=spec.name,
+        spec_hash=spec.spec_hash,
+        n_units=len(all_units),
+        executed=tuple(executed),
+        skipped=skipped,
+        n_workers=n_workers,
+    )

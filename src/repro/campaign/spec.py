@@ -1,0 +1,357 @@
+"""Declarative campaign specifications and their work-unit expansion.
+
+A *campaign* runs a population of simulated boards — platforms x serial
+ranges x temperatures x data patterns — through one of the paper's
+measurement loops.  The spirit is the config-file-driven deployment practice
+surveyed in PAPERS.md: the whole experiment is one declarative document
+(:class:`CampaignSpec`, a plain dict/JSON round-trippable dataclass), which
+expands deterministically into independent :class:`WorkUnit` s that the
+runner shards over worker processes and the store persists one by one.
+
+Determinism is load-bearing twice over:
+
+* the expansion order and every unit's ``unit_id`` depend only on the spec,
+  so an interrupted campaign resumes by skipping the ids already on disk;
+* the ``spec_hash`` fingerprints the canonical JSON form, so a result store
+  refuses to mix units from two different specs under one name.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Tuple
+
+from repro.core.temperature import REFERENCE_TEMPERATURE_C
+from repro.fpga.bram import BramError, data_pattern
+from repro.fpga.platform import PlatformError, fleet_serials, get_platform
+
+
+class CampaignError(ValueError):
+    """Raised for malformed campaign specs, stores or run requests."""
+
+
+#: Measurement loops a campaign can drive, in documentation order.
+SWEEP_KINDS: Tuple[str, ...] = ("guardband", "sweep", "fvm")
+
+#: Campaign names become directory names under the result root, so they are
+#: restricted to a safe character set (and cannot be ``.`` or ``..``).
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+def _canonical_json(document: Any) -> str:
+    """Canonical (sorted-key, compact) JSON used for hashing and ids."""
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+# ----------------------------------------------------------------------
+# Chip groups
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChipGroup:
+    """One platform's slice of the fleet: a part number plus serial numbers."""
+
+    platform: str
+    serials: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        try:
+            get_platform(self.platform)
+        except PlatformError as exc:
+            raise CampaignError(str(exc)) from exc
+        object.__setattr__(self, "serials", tuple(str(s) for s in self.serials))
+        if not self.serials:
+            raise CampaignError(f"chip group {self.platform!r} has no serial numbers")
+        if len(set(self.serials)) != len(self.serials):
+            raise CampaignError(f"chip group {self.platform!r} repeats a serial number")
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "ChipGroup":
+        """Build a group from its JSON form.
+
+        Two shapes are accepted: explicit ``{"platform", "serials": [...]}``,
+        or generated ``{"platform", "n_chips": N, "serial_base"?, "include_stock"?}``
+        which expands through :func:`repro.fpga.platform.fleet_serials`.
+        """
+        unknown = set(document) - {"platform", "serials", "n_chips", "serial_base", "include_stock"}
+        if unknown:
+            raise CampaignError(f"unknown chip-group keys: {sorted(unknown)}")
+        platform = document.get("platform")
+        if not platform:
+            raise CampaignError("a chip group needs a 'platform'")
+        if "serials" in document:
+            if "n_chips" in document:
+                raise CampaignError("give either 'serials' or 'n_chips', not both")
+            return cls(platform=platform, serials=tuple(document["serials"]))
+        if "n_chips" not in document:
+            raise CampaignError("a chip group needs 'serials' or 'n_chips'")
+        try:
+            serials = fleet_serials(
+                platform,
+                int(document["n_chips"]),
+                serial_base=document.get("serial_base", "SIM"),
+                include_stock=bool(document.get("include_stock", True)),
+            )
+        except PlatformError as exc:
+            raise CampaignError(str(exc)) from exc
+        return cls(platform=platform, serials=serials)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form (always the explicit-serials shape)."""
+        return {"platform": self.platform, "serials": list(self.serials)}
+
+
+# ----------------------------------------------------------------------
+# Work units
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkUnit:
+    """One independent chip measurement of a campaign.
+
+    A unit fully determines its own execution — platform, die, chamber
+    temperature, stored pattern, measurement loop, repetitions — so any
+    worker process can run it in isolation and the result depends on nothing
+    but these fields.
+    """
+
+    platform: str
+    serial: str
+    sweep: str
+    pattern: str = "FFFF"
+    temperature_c: float = REFERENCE_TEMPERATURE_C
+    runs_per_step: int = 5
+
+    def __post_init__(self) -> None:
+        if self.sweep not in SWEEP_KINDS:
+            raise CampaignError(
+                f"unknown sweep kind {self.sweep!r}; expected one of {SWEEP_KINDS}"
+            )
+        if self.runs_per_step < 1:
+            raise CampaignError("runs_per_step must be at least 1")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form of the unit descriptor."""
+        return {
+            "platform": self.platform,
+            "serial": self.serial,
+            "sweep": self.sweep,
+            "pattern": self.pattern,
+            "temperature_c": self.temperature_c,
+            "runs_per_step": self.runs_per_step,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "WorkUnit":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            platform=document["platform"],
+            serial=document["serial"],
+            sweep=document["sweep"],
+            pattern=document.get("pattern", "FFFF"),
+            temperature_c=float(document.get("temperature_c", REFERENCE_TEMPERATURE_C)),
+            runs_per_step=int(document.get("runs_per_step", 5)),
+        )
+
+    @property
+    def unit_id(self) -> str:
+        """Deterministic id: a short digest of the canonical descriptor.
+
+        Used as the on-disk file stem, so resuming a campaign recognizes
+        completed units across processes and sessions.
+        """
+        digest = hashlib.sha256(_canonical_json(self.to_dict()).encode()).hexdigest()
+        return digest[:16]
+
+    @property
+    def chip_key(self) -> Tuple[str, str]:
+        """The (platform, serial) pair identifying the die this unit needs."""
+        return (self.platform, self.serial)
+
+
+# ----------------------------------------------------------------------
+# The campaign spec
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative description of one fleet campaign.
+
+    The cross product ``chips x temperatures x patterns`` under one sweep
+    kind expands into the campaign's work units; see :meth:`expand`.
+    """
+
+    name: str
+    groups: Tuple[ChipGroup, ...]
+    sweep: str = "guardband"
+    temperatures_c: Tuple[float, ...] = (REFERENCE_TEMPERATURE_C,)
+    patterns: Tuple[str, ...] = ("FFFF",)
+    runs_per_step: int = 5
+
+    def __post_init__(self) -> None:
+        if not _NAME_PATTERN.match(self.name):
+            raise CampaignError(
+                f"campaign name {self.name!r} must match {_NAME_PATTERN.pattern} "
+                "(it becomes a directory name under the result root)"
+            )
+        object.__setattr__(self, "groups", tuple(self.groups))
+        object.__setattr__(self, "temperatures_c", tuple(float(t) for t in self.temperatures_c))
+        object.__setattr__(self, "patterns", tuple(str(p) for p in self.patterns))
+        if not self.groups:
+            raise CampaignError("a campaign needs at least one chip group")
+        if self.sweep not in SWEEP_KINDS:
+            raise CampaignError(
+                f"unknown sweep kind {self.sweep!r}; expected one of {SWEEP_KINDS}"
+            )
+        if not self.temperatures_c:
+            raise CampaignError("a campaign needs at least one temperature")
+        if len(set(self.temperatures_c)) != len(self.temperatures_c):
+            raise CampaignError("temperatures_c repeats a value")
+        for temperature in self.temperatures_c:
+            # The chip's own operating range, checked here so a bad spec
+            # fails at parse time, not inside a worker process.
+            if not -40.0 <= temperature <= 125.0:
+                raise CampaignError(
+                    f"temperature {temperature} degC outside device ratings"
+                )
+        if not self.patterns:
+            raise CampaignError("a campaign needs at least one data pattern")
+        if len(set(self.patterns)) != len(self.patterns):
+            raise CampaignError("patterns repeats a value")
+        for pattern in self.patterns:
+            try:
+                data_pattern(pattern, rows=1)
+            except BramError as exc:
+                raise CampaignError(str(exc)) from exc
+        if self.runs_per_step < 1:
+            raise CampaignError("runs_per_step must be at least 1")
+        seen = set()
+        for group in self.groups:
+            for serial in group.serials:
+                key = (group.platform, serial)
+                if key in seen:
+                    raise CampaignError(f"chip {key} appears twice in the campaign")
+                seen.add(key)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """The spec's JSON document (the shape ``from_dict`` accepts)."""
+        return {
+            "name": self.name,
+            "chips": [group.to_dict() for group in self.groups],
+            "sweep": self.sweep,
+            "temperatures_c": list(self.temperatures_c),
+            "patterns": list(self.patterns),
+            "runs_per_step": self.runs_per_step,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "CampaignSpec":
+        """Build a spec from its JSON document."""
+        unknown = set(document) - {
+            "name", "chips", "sweep", "temperatures_c", "patterns", "runs_per_step",
+        }
+        if unknown:
+            raise CampaignError(f"unknown campaign keys: {sorted(unknown)}")
+        if "name" not in document:
+            raise CampaignError("a campaign spec needs a 'name'")
+        if "chips" not in document:
+            raise CampaignError("a campaign spec needs a 'chips' list")
+        return cls(
+            name=document["name"],
+            groups=tuple(ChipGroup.from_dict(entry) for entry in document["chips"]),
+            sweep=document.get("sweep", "guardband"),
+            temperatures_c=tuple(document.get("temperatures_c", (REFERENCE_TEMPERATURE_C,))),
+            patterns=tuple(document.get("patterns", ("FFFF",))),
+            runs_per_step=int(document.get("runs_per_step", 5)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        """Parse a spec from JSON text."""
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CampaignError(f"campaign spec is not valid JSON: {exc}") from exc
+        if not isinstance(document, dict):
+            raise CampaignError("a campaign spec must be a JSON object")
+        return cls.from_dict(document)
+
+    def to_json(self) -> str:
+        """Pretty JSON text of the spec (what ``from_json`` parses)."""
+        return json.dumps(self.to_dict(), indent=2)
+
+    @property
+    def spec_hash(self) -> str:
+        """Digest of the canonical JSON form; the store's compatibility key."""
+        return hashlib.sha256(_canonical_json(self.to_dict()).encode()).hexdigest()[:16]
+
+    # ------------------------------------------------------------------
+    # Expansion
+    # ------------------------------------------------------------------
+    def chips(self) -> List[Tuple[str, str]]:
+        """Every (platform, serial) pair of the fleet, in expansion order."""
+        return [
+            (group.platform, serial) for group in self.groups for serial in group.serials
+        ]
+
+    def expand(self) -> Tuple[WorkUnit, ...]:
+        """The campaign's work units: chips x temperatures x patterns.
+
+        Units of one chip are adjacent so the runner's per-chip sharding is a
+        simple ``groupby`` and each worker process reuses the die's memoized
+        fault field across its units.
+        """
+        units: List[WorkUnit] = []
+        for platform, serial in self.chips():
+            for temperature in self.temperatures_c:
+                for pattern in self.patterns:
+                    units.append(
+                        WorkUnit(
+                            platform=platform,
+                            serial=serial,
+                            sweep=self.sweep,
+                            pattern=pattern,
+                            temperature_c=temperature,
+                            runs_per_step=self.runs_per_step,
+                        )
+                    )
+        return tuple(units)
+
+    @property
+    def n_units(self) -> int:
+        """Number of work units the spec expands into."""
+        return len(self.chips()) * len(self.temperatures_c) * len(self.patterns)
+
+
+# ----------------------------------------------------------------------
+# Built-in presets
+# ----------------------------------------------------------------------
+def preset_spec(preset: str) -> CampaignSpec:
+    """Built-in demonstration campaigns runnable without writing a file.
+
+    * ``fleet16`` — the acceptance campaign: 16 chips over two platforms
+      (8 ZC702 + 8 KC705-A dies, each fleet anchored on the studied board),
+      guardband discovery per chip;
+    * ``fleet16-fvm`` — the same fleet, extracting every die's Fault
+      Variation Map for cross-chip similarity analysis;
+    * ``fleet16-sweep`` — the same fleet through the Listing 1
+      critical-region sweep.
+    """
+    fleets = tuple(
+        ChipGroup(platform=name, serials=fleet_serials(name, 8))
+        for name in ("ZC702", "KC705-A")
+    )
+    presets = {
+        "fleet16": CampaignSpec(name="fleet16", groups=fleets, sweep="guardband"),
+        "fleet16-fvm": CampaignSpec(name="fleet16-fvm", groups=fleets, sweep="fvm"),
+        "fleet16-sweep": CampaignSpec(name="fleet16-sweep", groups=fleets, sweep="sweep"),
+    }
+    try:
+        return presets[preset]
+    except KeyError:
+        raise CampaignError(
+            f"unknown preset {preset!r}; available: {', '.join(sorted(presets))}"
+        ) from None

@@ -1,0 +1,260 @@
+"""On-disk campaign result store with resume semantics.
+
+Layout under ``<root>/<campaign-name>/``::
+
+    manifest.json           # the spec's JSON document + its spec_hash
+    units/<unit_id>.npz     # the unit's array payload (written first)
+    units/<unit_id>.json    # descriptor + scalar summary (the commit marker)
+
+The JSON file is always written *after* the arrays and moved into place
+atomically, so its existence is the single source of truth for "this unit
+completed": a campaign killed mid-unit leaves at most a dangling ``.npz``
+which the next run silently overwrites.  Re-running a campaign therefore
+skips every unit whose JSON marker exists and executes only the remainder.
+
+The manifest pins the spec hash.  Re-opening a store under the same name
+with a *different* spec raises — two campaigns cannot interleave their units
+in one directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .spec import CampaignError, CampaignSpec, WorkUnit
+
+#: Default directory campaigns persist under (relative to the working dir).
+DEFAULT_ROOT = "campaigns"
+
+
+@dataclass
+class UnitResult:
+    """Everything one work unit produced.
+
+    ``summary`` holds JSON-serializable scalars (nested dicts/lists are
+    fine); ``arrays`` holds the numeric bulk that goes into the ``.npz``.
+    """
+
+    unit: WorkUnit
+    summary: Dict[str, Any] = field(default_factory=dict)
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def unit_id(self) -> str:
+        """The owning unit's deterministic id."""
+        return self.unit.unit_id
+
+
+@dataclass(frozen=True)
+class CampaignStatus:
+    """Progress snapshot of a campaign against its spec."""
+
+    name: str
+    spec_hash: str
+    sweep: str
+    n_units: int
+    completed: Tuple[str, ...]
+    pending: Tuple[str, ...]
+
+    @property
+    def n_completed(self) -> int:
+        """Number of units whose commit marker is on disk."""
+        return len(self.completed)
+
+    @property
+    def n_pending(self) -> int:
+        """Number of units a (re-)run would still execute."""
+        return len(self.pending)
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether every unit of the spec has completed."""
+        return not self.pending
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form used by ``repro-undervolt campaign status --json``."""
+        return {
+            "name": self.name,
+            "spec_hash": self.spec_hash,
+            "sweep": self.sweep,
+            "n_units": self.n_units,
+            "n_completed": self.n_completed,
+            "n_pending": self.n_pending,
+            "complete": self.is_complete,
+            "pending_unit_ids": list(self.pending),
+        }
+
+
+class CampaignStore:
+    """Files-on-disk persistence for one named campaign."""
+
+    def __init__(self, name: str, root: "str | Path" = DEFAULT_ROOT) -> None:
+        self.name = name
+        self.root = Path(root)
+        self.directory = self.root / name
+        self.units_dir = self.directory / "units"
+        self.manifest_path = self.directory / "manifest.json"
+
+    # ------------------------------------------------------------------
+    # Manifest
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, spec: CampaignSpec, root: "str | Path" = DEFAULT_ROOT) -> "CampaignStore":
+        """Create (or re-open) the store for a spec, writing the manifest.
+
+        Raises :class:`CampaignError` if the directory already belongs to a
+        campaign with a different spec hash.
+        """
+        store = cls(spec.name, root)
+        store.units_dir.mkdir(parents=True, exist_ok=True)
+        if store.manifest_path.exists():
+            existing = store.load_manifest()
+            if existing.spec_hash != spec.spec_hash:
+                raise CampaignError(
+                    f"campaign directory {store.directory} holds spec hash "
+                    f"{existing.spec_hash}, which does not match the requested "
+                    f"spec ({spec.spec_hash}); use a different campaign name"
+                )
+            return store
+        manifest = {"spec": spec.to_dict(), "spec_hash": spec.spec_hash}
+        _atomic_write_json(store.manifest_path, manifest)
+        return store
+
+    def load_manifest(self) -> CampaignSpec:
+        """The spec this store was created for (from ``manifest.json``)."""
+        if not self.manifest_path.exists():
+            raise CampaignError(f"no campaign manifest at {self.manifest_path}")
+        document = json.loads(self.manifest_path.read_text())
+        spec = CampaignSpec.from_dict(document["spec"])
+        recorded = document.get("spec_hash")
+        if recorded != spec.spec_hash:
+            raise CampaignError(
+                f"manifest at {self.manifest_path} is corrupt: recorded hash "
+                f"{recorded} does not match its own spec ({spec.spec_hash})"
+            )
+        return spec
+
+    # ------------------------------------------------------------------
+    # Unit persistence
+    # ------------------------------------------------------------------
+    def _json_path(self, unit_id: str) -> Path:
+        return self.units_dir / f"{unit_id}.json"
+
+    def _npz_path(self, unit_id: str) -> Path:
+        return self.units_dir / f"{unit_id}.npz"
+
+    def is_complete(self, unit: "WorkUnit | str") -> bool:
+        """Whether a unit's commit marker exists."""
+        unit_id = unit if isinstance(unit, str) else unit.unit_id
+        return self._json_path(unit_id).exists()
+
+    def completed_ids(self) -> Tuple[str, ...]:
+        """Ids of every completed unit on disk, sorted."""
+        if not self.units_dir.exists():
+            return ()
+        return tuple(sorted(p.stem for p in self.units_dir.glob("*.json")))
+
+    def save(self, result: UnitResult) -> None:
+        """Persist one unit result: arrays first, JSON commit marker last."""
+        self.units_dir.mkdir(parents=True, exist_ok=True)
+        unit_id = result.unit_id
+        if result.arrays:
+            with open(self._npz_path(unit_id), "wb") as handle:
+                np.savez_compressed(handle, **result.arrays)
+        document = {
+            "unit_id": unit_id,
+            "unit": result.unit.to_dict(),
+            "summary": result.summary,
+            "arrays": sorted(result.arrays),
+        }
+        _atomic_write_json(self._json_path(unit_id), document)
+
+    def load(self, unit: "WorkUnit | str", with_arrays: bool = True) -> UnitResult:
+        """Load one completed unit back.
+
+        ``with_arrays=False`` skips the ``.npz`` payload — enough for
+        aggregations that only need the scalar summaries, and much cheaper
+        for large fleets of FVM count matrices.
+        """
+        unit_id = unit if isinstance(unit, str) else unit.unit_id
+        json_path = self._json_path(unit_id)
+        if not json_path.exists():
+            raise CampaignError(f"unit {unit_id} has not completed in {self.directory}")
+        document = json.loads(json_path.read_text())
+        arrays: Dict[str, np.ndarray] = {}
+        if with_arrays and document.get("arrays"):
+            with np.load(self._npz_path(unit_id)) as payload:
+                arrays = {name: payload[name] for name in document["arrays"]}
+        return UnitResult(
+            unit=WorkUnit.from_dict(document["unit"]),
+            summary=document.get("summary", {}),
+            arrays=arrays,
+        )
+
+    # ------------------------------------------------------------------
+    # Spec-level views
+    # ------------------------------------------------------------------
+    def _validated_spec(self, spec: Optional[CampaignSpec]) -> CampaignSpec:
+        """Resolve the spec to view the store through.
+
+        ``None`` reads the manifest.  An explicit spec must match the
+        manifest's hash when one exists (same rule as :meth:`open`), so a
+        spec file cannot silently be compared against a store that belongs
+        to a different campaign; a store with no manifest yet ("not started")
+        accepts any spec.
+        """
+        if spec is None:
+            return self.load_manifest()
+        if self.manifest_path.exists():
+            existing = self.load_manifest()
+            if existing.spec_hash != spec.spec_hash:
+                raise CampaignError(
+                    f"campaign directory {self.directory} holds spec hash "
+                    f"{existing.spec_hash}, which does not match the given "
+                    f"spec ({spec.spec_hash})"
+                )
+        return spec
+
+    def pending_units(self, spec: Optional[CampaignSpec] = None) -> Tuple[WorkUnit, ...]:
+        """Units of the spec that have not completed, in expansion order."""
+        spec = self._validated_spec(spec)
+        return tuple(unit for unit in spec.expand() if not self.is_complete(unit))
+
+    def results(
+        self, spec: Optional[CampaignSpec] = None, with_arrays: bool = True
+    ) -> List[UnitResult]:
+        """Every completed unit of the spec, in expansion order."""
+        spec = self._validated_spec(spec)
+        return [
+            self.load(unit, with_arrays=with_arrays)
+            for unit in spec.expand()
+            if self.is_complete(unit)
+        ]
+
+    def status(self, spec: Optional[CampaignSpec] = None) -> CampaignStatus:
+        """Progress of the campaign against its spec."""
+        spec = self._validated_spec(spec)
+        units = spec.expand()
+        completed = tuple(u.unit_id for u in units if self.is_complete(u))
+        pending = tuple(u.unit_id for u in units if not self.is_complete(u))
+        return CampaignStatus(
+            name=spec.name,
+            spec_hash=spec.spec_hash,
+            sweep=spec.sweep,
+            n_units=len(units),
+            completed=completed,
+            pending=pending,
+        )
+
+
+def _atomic_write_json(path: Path, document: Dict[str, Any]) -> None:
+    """Write JSON via a temp file + rename so readers never see a torn file."""
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)

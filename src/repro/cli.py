@@ -1,17 +1,23 @@
 """Command-line interface to the reproduction's main experiments.
 
-Installed as the ``repro-undervolt`` console script.  Four sub-commands cover
-the workflows a user typically wants without writing Python:
+Installed as the ``repro-undervolt`` console script (``repro`` is kept as a
+shorter alias).  Five sub-commands cover the workflows a user typically wants
+without writing Python:
 
 * ``guardband``     — Fig. 1: discover Vmin/Vcrash and the guardband of a board;
 * ``sweep``         — Fig. 3 / Listing 1: fault rate and power across the
   critical region;
 * ``characterize``  — Section II-C: pattern, stability and variability studies;
 * ``icbp``          — Section III: train the case-study network, run it at
-  Vcrash under the default and ICBP placements and compare the accuracy loss.
+  Vcrash under the default and ICBP placements and compare the accuracy loss;
+* ``campaign``      — fleet-scale populations of simulated boards: ``run``,
+  ``status`` and ``report`` over a declarative campaign spec
+  (:mod:`repro.campaign`, see ``docs/campaigns.md``).
 
-Every command accepts ``--platform`` (default VC707) and prints aligned ASCII
-tables; machine-readable output is available with ``--json``.
+Every single-board command accepts ``--platform`` (default VC707) and prints
+aligned ASCII tables; machine-readable output is available with ``--json``.
+The full reference, including each ``--json`` document schema, lives in
+``docs/cli.md``.
 """
 
 from __future__ import annotations
@@ -19,9 +25,19 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis import render_table
+from repro.campaign import (
+    CampaignError,
+    CampaignSpec,
+    CampaignStore,
+    DEFAULT_ROOT,
+    build_report,
+    preset_spec,
+    run_campaign,
+)
 from repro.core import cached_fault_field
 from repro.core.characterization import (
     STUDY_PATTERNS,
@@ -80,6 +96,53 @@ def build_parser() -> argparse.ArgumentParser:
     _add_json_argument(icbp)
     icbp.add_argument("--train-samples", type=int, default=6000, help="training-set size")
     icbp.add_argument("--seeds", type=int, default=4, help="number of place-and-route seeds to average")
+
+    campaign = subparsers.add_parser(
+        "campaign", help="fleet-scale campaigns over populations of boards"
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    def _add_campaign_common(sub: argparse.ArgumentParser, need_spec: bool) -> None:
+        sub.add_argument(
+            "--root",
+            default=DEFAULT_ROOT,
+            help="directory campaign result stores live under (default: campaigns/)",
+        )
+        sub.add_argument(
+            "--spec", metavar="PATH", help="campaign spec JSON file (see docs/campaigns.md)"
+        )
+        sub.add_argument(
+            "--preset",
+            metavar="NAME",
+            help="built-in campaign: fleet16, fleet16-fvm or fleet16-sweep",
+        )
+        if not need_spec:
+            sub.add_argument(
+                "--name", help="name of an existing campaign (reads its manifest)"
+            )
+        _add_json_argument(sub)
+
+    run = campaign_sub.add_parser("run", help="run (or resume) a campaign")
+    _add_campaign_common(run, need_spec=True)
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: one per pending chip, capped at CPU count)",
+    )
+    run.add_argument(
+        "--no-processes",
+        action="store_true",
+        help="execute serially in this process (useful for debugging)",
+    )
+
+    status = campaign_sub.add_parser("status", help="progress of a campaign on disk")
+    _add_campaign_common(status, need_spec=False)
+
+    report = campaign_sub.add_parser(
+        "report", help="aggregate a campaign into fleet statistics"
+    )
+    _add_campaign_common(report, need_spec=False)
 
     return parser
 
@@ -234,11 +297,154 @@ def _cmd_icbp(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# Campaign sub-commands
+# ----------------------------------------------------------------------
+def _resolve_spec(args: argparse.Namespace) -> CampaignSpec:
+    """The campaign spec named by ``--spec``, ``--preset`` or ``--name``."""
+    given = [
+        flag
+        for flag, value in (
+            ("--spec", args.spec),
+            ("--preset", args.preset),
+            ("--name", getattr(args, "name", None)),
+        )
+        if value
+    ]
+    if len(given) != 1:
+        raise CampaignError(
+            "give exactly one of --spec PATH, --preset NAME"
+            + (" or --name NAME" if hasattr(args, "name") else "")
+        )
+    if args.spec:
+        path = Path(args.spec)
+        if not path.exists():
+            raise CampaignError(f"campaign spec file {path} does not exist")
+        return CampaignSpec.from_json(path.read_text())
+    if args.preset:
+        return preset_spec(args.preset)
+    return CampaignStore(args.name, args.root).load_manifest()
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    spec = _resolve_spec(args)
+
+    def progress(unit_id: str, done: int, total: int) -> None:
+        print(f"  [{done}/{total}] unit {unit_id} done", file=sys.stderr)
+
+    report = run_campaign(
+        spec,
+        root=args.root,
+        max_workers=args.workers,
+        use_processes=not args.no_processes,
+        progress=None if args.json else progress,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0
+    store = CampaignStore(spec.name, args.root)
+    print(render_table(
+        ["metric", "value"],
+        [
+            ("campaign", spec.name),
+            ("sweep kind", spec.sweep),
+            ("spec hash", spec.spec_hash),
+            ("units total", report.n_units),
+            ("units executed", len(report.executed)),
+            ("units skipped (already complete)", len(report.skipped)),
+            ("worker processes", report.n_workers),
+            ("result store", str(store.directory)),
+        ],
+        title=f"Campaign {spec.name}: run complete",
+    ))
+    return 0
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    spec = _resolve_spec(args)
+    status = CampaignStore(spec.name, args.root).status(spec)
+    if args.json:
+        print(json.dumps(status.to_dict(), indent=2))
+        return 0
+    print(render_table(
+        ["metric", "value"],
+        [
+            ("campaign", status.name),
+            ("sweep kind", status.sweep),
+            ("spec hash", status.spec_hash),
+            ("units total", status.n_units),
+            ("units completed", status.n_completed),
+            ("units pending", status.n_pending),
+            ("complete", "yes" if status.is_complete else "no"),
+        ],
+        title=f"Campaign {status.name}: status",
+    ))
+    return 0
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    spec = _resolve_spec(args)
+    report = build_report(CampaignStore(spec.name, args.root), spec)
+    payload = report.to_dict()
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    scope_rows = [("fleet", metric, dist) for metric, dist in report.fleet.items()] + [
+        (platform, metric, dist)
+        for platform, dists in report.by_platform.items()
+        for metric, dist in dists.items()
+    ]
+    print(render_table(
+        ["scope", "metric", "mean", "min", "max", "p5", "p95"],
+        [
+            (
+                scope,
+                metric,
+                dist.summary.mean,
+                dist.summary.minimum,
+                dist.summary.maximum,
+                dist.percentiles["p5"],
+                dist.percentiles["p95"],
+            )
+            for scope, metric, dist in scope_rows
+        ],
+        title=(
+            f"Campaign {spec.name}: {payload['n_completed']}/{payload['n_units']} units, "
+            f"population statistics ({spec.sweep})"
+        ),
+    ))
+    if report.similarity:
+        extremes = payload["fvm_similarity"]["extremes"]
+        print()
+        print(render_table(
+            ["metric", "value"],
+            sorted(extremes.items()),
+            title="Die-to-die FVM similarity across same-part-number pairs (Fig. 7 generalized)",
+        ))
+    return 0
+
+
+_CAMPAIGN_COMMANDS = {
+    "run": _cmd_campaign_run,
+    "status": _cmd_campaign_status,
+    "report": _cmd_campaign_report,
+}
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    try:
+        return _CAMPAIGN_COMMANDS[args.campaign_command](args)
+    except CampaignError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
 _COMMANDS = {
     "guardband": _cmd_guardband,
     "sweep": _cmd_sweep,
     "characterize": _cmd_characterize,
     "icbp": _cmd_icbp,
+    "campaign": _cmd_campaign,
 }
 
 

@@ -40,6 +40,8 @@ from .platform import (
     VC707,
     ZC702,
     chip_seed,
+    fleet_serials,
+    fleet_spec,
     get_platform,
     platform_names,
 )
@@ -99,6 +101,8 @@ __all__ = [
     "chip_seed",
     "compile_design",
     "data_pattern",
+    "fleet_serials",
+    "fleet_spec",
     "get_platform",
     "platform_names",
 ]

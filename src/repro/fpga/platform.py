@@ -17,7 +17,7 @@ This module provides:
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from .bram import DEFAULT_COLS, DEFAULT_ROWS, BramPool
@@ -156,6 +156,48 @@ def platform_names() -> List[str]:
     return [spec.name for spec in ALL_PLATFORMS]
 
 
+def fleet_spec(platform: "str | PlatformSpec", serial_number: str) -> PlatformSpec:
+    """A platform spec for another die of the same part number.
+
+    The paper's two KC705 boards demonstrate that dies sharing a part number
+    carry unrelated fault maps; a *fleet* of simulated boards generalizes
+    that observation.  Everything datasheet-level stays identical — only the
+    serial number (and therefore the per-die seed) changes.  Passing the
+    platform's own serial number returns the stock spec unchanged, so fleet
+    chips containing a studied board reproduce it exactly.
+    """
+    spec = platform if isinstance(platform, PlatformSpec) else get_platform(platform)
+    serial = serial_number.strip()
+    if not serial:
+        raise PlatformError("a fleet chip needs a non-empty serial number")
+    if serial == spec.serial_number:
+        return spec
+    return replace(spec, serial_number=serial)
+
+
+def fleet_serials(
+    platform: "str | PlatformSpec",
+    n_chips: int,
+    serial_base: str = "SIM",
+    include_stock: bool = True,
+) -> Tuple[str, ...]:
+    """Deterministic serial numbers for a simulated fleet of one platform.
+
+    The first serial is the studied board's own (unless ``include_stock`` is
+    false), so every fleet anchors on a die whose behaviour the paper
+    publishes; the rest are synthetic ``<base>-<board>-<index>`` serials.
+    """
+    spec = platform if isinstance(platform, PlatformSpec) else get_platform(platform)
+    if n_chips < 1:
+        raise PlatformError("a fleet needs at least one chip")
+    serials: List[str] = [spec.serial_number] if include_stock else []
+    index = 1
+    while len(serials) < n_chips:
+        serials.append(f"{serial_base}-{spec.name}-{index:04d}")
+        index += 1
+    return tuple(serials)
+
+
 def chip_seed(spec: PlatformSpec, salt: str = "") -> int:
     """Deterministic per-die seed derived from the board serial number.
 
@@ -204,9 +246,16 @@ class FpgaChip:
 
     # ------------------------------------------------------------------
     @classmethod
-    def build(cls, platform: "str | PlatformSpec") -> "FpgaChip":
-        """Convenience constructor from a platform name or spec."""
+    def build(cls, platform: "str | PlatformSpec", serial: Optional[str] = None) -> "FpgaChip":
+        """Convenience constructor from a platform name or spec.
+
+        ``serial`` instantiates another die of the same part number (see
+        :func:`fleet_spec`): same datasheet facts, different per-die seed and
+        therefore a different process-variation field.
+        """
         spec = platform if isinstance(platform, PlatformSpec) else get_platform(platform)
+        if serial is not None:
+            spec = fleet_spec(spec, serial)
         return cls(spec=spec)
 
     @property

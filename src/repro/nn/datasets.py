@@ -5,7 +5,7 @@ The paper evaluates the FPGA-based NN accelerator on three datasets: MNIST
 features, 7 classes) and Reuters (bag-of-words text categorization).  None of
 the original datasets ship with this offline reproduction, so deterministic
 synthetic equivalents with the same dimensionality and class structure are
-generated procedurally instead (documented as a substitution in DESIGN.md).
+generated procedurally instead (documented as a substitution in docs/intro.md).
 
 What matters for the undervolting study is preserved:
 

@@ -1,0 +1,96 @@
+"""Tests for the fleet population statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    FleetDistribution,
+    StatsError,
+    fleet_percentiles,
+    fvm_similarity,
+    population_summary,
+    similarity_extremes,
+)
+from repro.core.fvm import FaultVariationMap
+from repro.fpga.floorplan import Floorplan
+
+
+class TestFleetPercentiles:
+    def test_named_points(self):
+        values = list(range(101))
+        points = fleet_percentiles(values)
+        assert points["p5"] == 5.0
+        assert points["p50"] == 50.0
+        assert points["p95"] == 95.0
+
+    def test_custom_percentiles(self):
+        assert fleet_percentiles([1, 2, 3], (50,)) == {"p50": 2.0}
+
+    def test_empty_fleet_raises(self):
+        with pytest.raises(StatsError):
+            fleet_percentiles([])
+
+
+class TestFleetDistribution:
+    def test_from_values(self):
+        dist = FleetDistribution.from_values("vmin_v", [0.60, 0.61, 0.62])
+        assert dist.metric == "vmin_v"
+        assert dist.summary.mean == pytest.approx(0.61)
+        assert dist.spread_fraction == pytest.approx(0.02 / 0.61)
+        payload = dist.as_dict()
+        assert {"mean", "min", "max", "p5", "p95", "spread_fraction"} <= set(payload)
+
+    def test_population_summary_keys(self):
+        dists = population_summary({"a": [1.0, 2.0], "b": [3.0, 4.0]})
+        assert set(dists) == {"a", "b"}
+        assert dists["b"].summary.maximum == 4.0
+
+
+def map_from_counts(counts):
+    floorplan = Floorplan.regular(n_brams=len(counts), n_columns=2)
+    return FaultVariationMap.from_counts(
+        platform="ZC702",
+        floorplan=floorplan,
+        voltages_v=[0.55],
+        counts_by_voltage=[counts],
+    )
+
+
+class TestFvmSimilarity:
+    def test_pairwise_over_sorted_serials(self):
+        maps = {
+            "s2": map_from_counts([10, 0, 0, 0]),
+            "s1": map_from_counts([0, 0, 0, 40]),
+            "s3": map_from_counts([0, 20, 0, 0]),
+        }
+        pairs = fvm_similarity(maps, "ZC702")
+        assert [(p.serial_a, p.serial_b) for p in pairs] == [
+            ("s1", "s2"), ("s1", "s3"), ("s2", "s3"),
+        ]
+        assert all(p.platform == "ZC702" for p in pairs)
+
+    def test_rate_ratio_normalized_above_one(self):
+        maps = {"weak": map_from_counts([10, 0, 0, 0]), "strong": map_from_counts([40, 0, 0, 0])}
+        (pair,) = fvm_similarity(maps, "ZC702")
+        assert pair.rate_ratio == pytest.approx(4.0)
+
+    def test_fault_free_die_gives_infinite_ratio_either_way_around(self):
+        clean = map_from_counts([0, 0, 0, 0])
+        dirty = map_from_counts([40, 0, 0, 0])
+        (a,) = fvm_similarity({"a-clean": clean, "b-dirty": dirty}, "ZC702")
+        (b,) = fvm_similarity({"a-dirty": dirty, "b-clean": clean}, "ZC702")
+        assert a.rate_ratio == b.rate_ratio == float("inf")
+
+    def test_extremes_summary(self):
+        maps = {
+            "a": map_from_counts([10, 0, 0, 0]),
+            "b": map_from_counts([0, 0, 0, 40]),
+        }
+        extremes = similarity_extremes(fvm_similarity(maps, "ZC702"))
+        assert extremes["n_pairs"] == 1
+        assert extremes["max_rate_ratio"] == pytest.approx(4.0)
+        assert -1.0 <= extremes["max_abs_correlation"] <= 1.0
+
+    def test_extremes_of_nothing_raise(self):
+        with pytest.raises(StatsError):
+            similarity_extremes([])

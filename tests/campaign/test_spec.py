@@ -1,0 +1,163 @@
+"""Tests for campaign specs, chip groups and work-unit expansion."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignError,
+    CampaignSpec,
+    ChipGroup,
+    SWEEP_KINDS,
+    WorkUnit,
+    preset_spec,
+)
+
+
+def small_spec(**overrides):
+    base = dict(
+        name="unit-test",
+        groups=(
+            ChipGroup(platform="ZC702", serials=("630851561533-44019", "SIM-ZC702-0001")),
+            ChipGroup(platform="KC705-A", serials=("SIM-KC705-A-0001",)),
+        ),
+        sweep="guardband",
+    )
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+class TestChipGroup:
+    def test_explicit_serials(self):
+        group = ChipGroup.from_dict({"platform": "ZC702", "serials": ["a", "b"]})
+        assert group.serials == ("a", "b")
+
+    def test_generated_serials_include_stock_first(self):
+        group = ChipGroup.from_dict({"platform": "ZC702", "n_chips": 3})
+        assert group.serials[0] == "630851561533-44019"
+        assert group.serials[1:] == ("SIM-ZC702-0001", "SIM-ZC702-0002")
+
+    def test_generated_serials_without_stock(self):
+        group = ChipGroup.from_dict(
+            {"platform": "ZC702", "n_chips": 2, "serial_base": "LAB", "include_stock": False}
+        )
+        assert group.serials == ("LAB-ZC702-0001", "LAB-ZC702-0002")
+
+    def test_rejects_unknown_platform_as_campaign_error(self):
+        with pytest.raises(CampaignError, match="unknown platform"):
+            ChipGroup(platform="VC999", serials=("x",))
+
+    def test_rejects_empty_fleet_as_campaign_error(self):
+        with pytest.raises(CampaignError, match="at least one chip"):
+            ChipGroup.from_dict({"platform": "ZC702", "n_chips": 0})
+
+    @pytest.mark.parametrize(
+        "document",
+        [
+            {"platform": "ZC702"},
+            {"platform": "ZC702", "serials": ["a"], "n_chips": 2},
+            {"platform": "ZC702", "serials": []},
+            {"platform": "ZC702", "serials": ["a", "a"]},
+            {"platform": "ZC702", "n_chips": 2, "bogus": 1},
+        ],
+    )
+    def test_rejects_malformed_documents(self, document):
+        with pytest.raises(CampaignError):
+            ChipGroup.from_dict(document)
+
+
+class TestWorkUnit:
+    def test_roundtrip(self):
+        unit = WorkUnit(platform="ZC702", serial="s1", sweep="fvm", pattern="AAAA",
+                        temperature_c=60.0, runs_per_step=7)
+        assert WorkUnit.from_dict(unit.to_dict()) == unit
+
+    def test_unit_id_deterministic_and_distinct(self):
+        a = WorkUnit(platform="ZC702", serial="s1", sweep="guardband")
+        b = WorkUnit(platform="ZC702", serial="s1", sweep="guardband")
+        c = WorkUnit(platform="ZC702", serial="s2", sweep="guardband")
+        assert a.unit_id == b.unit_id
+        assert a.unit_id != c.unit_id
+
+    def test_rejects_unknown_sweep(self):
+        with pytest.raises(CampaignError):
+            WorkUnit(platform="ZC702", serial="s1", sweep="teleport")
+
+
+class TestCampaignSpec:
+    def test_json_roundtrip_preserves_hash(self):
+        spec = small_spec()
+        again = CampaignSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.spec_hash == spec.spec_hash
+
+    def test_hash_changes_with_spec(self):
+        assert small_spec().spec_hash != small_spec(sweep="fvm").spec_hash
+
+    def test_expansion_is_chips_x_temperatures_x_patterns(self):
+        spec = small_spec(temperatures_c=(50.0, 70.0), patterns=("FFFF", "0000"))
+        units = spec.expand()
+        assert len(units) == spec.n_units == 3 * 2 * 2
+        # Units of one chip are adjacent (the runner's sharding relies on it).
+        keys = [u.chip_key for u in units]
+        assert keys == sorted(keys, key=lambda k: keys.index(k))
+        assert len(set(u.unit_id for u in units)) == len(units)
+
+    def test_expansion_is_deterministic(self):
+        assert small_spec().expand() == small_spec().expand()
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"name": "has space"},
+            {"name": "has/slash"},
+            {"name": ".."},
+            {"name": ".hidden"},
+            {"name": ""},
+            {"groups": ()},
+            {"sweep": "bogus"},
+            {"temperatures_c": ()},
+            {"temperatures_c": (50.0, 50.0)},
+            {"temperatures_c": (300.0,)},
+            {"patterns": ()},
+            {"patterns": ("FFFF", "FFFF")},
+            {"patterns": ("ZZZZ",)},
+            {"runs_per_step": 0},
+        ],
+    )
+    def test_rejects_invalid_specs(self, overrides):
+        with pytest.raises(CampaignError):
+            small_spec(**overrides)
+
+    def test_rejects_duplicate_chips_across_groups(self):
+        with pytest.raises(CampaignError):
+            small_spec(
+                groups=(
+                    ChipGroup(platform="ZC702", serials=("x",)),
+                    ChipGroup(platform="ZC702", serials=("x",)),
+                )
+            )
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(CampaignError):
+            CampaignSpec.from_dict({"name": "x", "chips": [], "surprise": 1})
+
+    def test_from_json_rejects_non_objects(self):
+        with pytest.raises(CampaignError):
+            CampaignSpec.from_json(json.dumps([1, 2]))
+
+
+class TestPresets:
+    @pytest.mark.parametrize("name,sweep", [
+        ("fleet16", "guardband"), ("fleet16-fvm", "fvm"), ("fleet16-sweep", "sweep"),
+    ])
+    def test_fleet16_family(self, name, sweep):
+        spec = preset_spec(name)
+        assert spec.sweep == sweep
+        assert len(spec.chips()) == 16
+        assert len(spec.groups) == 2
+        assert spec.sweep in SWEEP_KINDS
+
+    def test_unknown_preset(self):
+        with pytest.raises(CampaignError):
+            preset_spec("fleet9000")

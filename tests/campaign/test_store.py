@@ -1,0 +1,154 @@
+"""Tests for the on-disk campaign store and its resume semantics."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    CampaignError,
+    CampaignSpec,
+    CampaignStore,
+    ChipGroup,
+    UnitResult,
+)
+
+
+@pytest.fixture
+def spec():
+    return CampaignSpec(
+        name="store-test",
+        groups=(ChipGroup(platform="ZC702", serials=("s1", "s2")),),
+        sweep="sweep",
+    )
+
+
+def fake_result(unit):
+    return UnitResult(
+        unit=unit,
+        summary={"vmin_v": 0.61, "nested": {"ok": True}},
+        arrays={"voltages_v": np.array([0.61, 0.60]), "counts": np.arange(4)},
+    )
+
+
+class TestManifest:
+    def test_open_writes_manifest_and_reopen_is_idempotent(self, spec, tmp_path):
+        store = CampaignStore.open(spec, tmp_path)
+        assert store.manifest_path.exists()
+        again = CampaignStore.open(spec, tmp_path)
+        assert again.load_manifest() == spec
+
+    def test_open_rejects_different_spec_under_same_name(self, spec, tmp_path):
+        CampaignStore.open(spec, tmp_path)
+        other = CampaignSpec(
+            name="store-test",
+            groups=(ChipGroup(platform="ZC702", serials=("s1",)),),
+            sweep="fvm",
+        )
+        with pytest.raises(CampaignError, match="does not match"):
+            CampaignStore.open(other, tmp_path)
+
+    def test_load_manifest_requires_file(self, tmp_path):
+        with pytest.raises(CampaignError, match="no campaign manifest"):
+            CampaignStore("missing", tmp_path).load_manifest()
+
+    def test_corrupt_manifest_hash_is_detected(self, spec, tmp_path):
+        store = CampaignStore.open(spec, tmp_path)
+        document = json.loads(store.manifest_path.read_text())
+        document["spec_hash"] = "0" * 16
+        store.manifest_path.write_text(json.dumps(document))
+        with pytest.raises(CampaignError, match="corrupt"):
+            store.load_manifest()
+
+
+class TestUnitPersistence:
+    def test_save_load_roundtrip(self, spec, tmp_path):
+        store = CampaignStore.open(spec, tmp_path)
+        unit = spec.expand()[0]
+        store.save(fake_result(unit))
+        loaded = store.load(unit)
+        assert loaded.unit == unit
+        assert loaded.summary == {"vmin_v": 0.61, "nested": {"ok": True}}
+        np.testing.assert_array_equal(loaded.arrays["voltages_v"], [0.61, 0.60])
+        np.testing.assert_array_equal(loaded.arrays["counts"], np.arange(4))
+
+    def test_json_marker_defines_completion(self, spec, tmp_path):
+        store = CampaignStore.open(spec, tmp_path)
+        unit = spec.expand()[0]
+        assert not store.is_complete(unit)
+        # A dangling npz (crash mid-unit) does not count as complete.
+        store._npz_path(unit.unit_id).write_bytes(b"torn")
+        assert not store.is_complete(unit)
+        store.save(fake_result(unit))
+        assert store.is_complete(unit)
+        assert store.is_complete(unit.unit_id)
+
+    def test_load_incomplete_unit_raises(self, spec, tmp_path):
+        store = CampaignStore.open(spec, tmp_path)
+        with pytest.raises(CampaignError, match="has not completed"):
+            store.load(spec.expand()[0])
+
+    def test_arrayless_result_writes_no_npz(self, spec, tmp_path):
+        store = CampaignStore.open(spec, tmp_path)
+        unit = spec.expand()[0]
+        store.save(UnitResult(unit=unit, summary={"x": 1}))
+        assert not store._npz_path(unit.unit_id).exists()
+        assert store.load(unit).arrays == {}
+
+
+class TestSpecLevelViews:
+    def test_pending_and_status_track_completion(self, spec, tmp_path):
+        store = CampaignStore.open(spec, tmp_path)
+        units = spec.expand()
+        assert store.pending_units(spec) == units
+        store.save(fake_result(units[0]))
+        status = store.status(spec)
+        assert status.n_completed == 1
+        assert status.n_pending == len(units) - 1
+        assert not status.is_complete
+        assert units[0].unit_id in status.completed
+        for unit in units[1:]:
+            store.save(fake_result(unit))
+        assert store.status(spec).is_complete
+        assert store.pending_units(spec) == ()
+
+    def test_results_follow_expansion_order(self, spec, tmp_path):
+        store = CampaignStore.open(spec, tmp_path)
+        units = spec.expand()
+        for unit in reversed(units):
+            store.save(fake_result(unit))
+        assert [r.unit for r in store.results(spec)] == list(units)
+
+    def test_views_reject_a_spec_mismatching_the_manifest(self, spec, tmp_path):
+        store = CampaignStore.open(spec, tmp_path)
+        other = CampaignSpec(
+            name="store-test",
+            groups=(ChipGroup(platform="ZC702", serials=("s9",)),),
+            sweep="fvm",
+        )
+        with pytest.raises(CampaignError, match="does not match"):
+            store.status(other)
+        with pytest.raises(CampaignError, match="does not match"):
+            store.results(other)
+
+    def test_views_accept_a_spec_before_the_store_exists(self, spec, tmp_path):
+        # "Not started yet" is a valid state for status with an explicit spec.
+        status = CampaignStore(spec.name, tmp_path).status(spec)
+        assert status.n_completed == 0 and status.n_pending == spec.n_units
+
+    def test_summary_only_load_skips_arrays(self, spec, tmp_path):
+        store = CampaignStore.open(spec, tmp_path)
+        unit = spec.expand()[0]
+        store.save(fake_result(unit))
+        light = store.load(unit, with_arrays=False)
+        assert light.arrays == {}
+        assert light.summary["vmin_v"] == 0.61
+
+    def test_status_json_shape(self, spec, tmp_path):
+        store = CampaignStore.open(spec, tmp_path)
+        payload = store.status(spec).to_dict()
+        assert set(payload) == {
+            "name", "spec_hash", "sweep", "n_units", "n_completed",
+            "n_pending", "complete", "pending_unit_ids",
+        }
+        assert payload["n_units"] == len(payload["pending_unit_ids"])

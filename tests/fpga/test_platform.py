@@ -11,6 +11,8 @@ from repro.fpga.platform import (
     VC707,
     ZC702,
     chip_seed,
+    fleet_serials,
+    fleet_spec,
     get_platform,
     platform_names,
 )
@@ -109,3 +111,41 @@ class TestFpgaChip:
         chip_a = FpgaChip.build("KC705-A")
         chip_b = FpgaChip.build("KC705-A")
         assert chip_a.seed == chip_b.seed
+
+
+class TestFleet:
+    """Fleet chips: same part number, different serial, different die."""
+
+    def test_fleet_spec_changes_only_the_serial(self):
+        spec = fleet_spec("ZC702", "LAB-0042")
+        assert spec.serial_number == "LAB-0042"
+        assert spec.chip_model == ZC702.chip_model
+        assert spec.n_brams == ZC702.n_brams
+
+    def test_stock_serial_returns_stock_spec(self):
+        assert fleet_spec("ZC702", ZC702.serial_number) is ZC702
+
+    def test_fleet_spec_rejects_empty_serial(self):
+        with pytest.raises(PlatformError):
+            fleet_spec("ZC702", "   ")
+
+    def test_fleet_serials_anchor_on_the_stock_board(self):
+        serials = fleet_serials("ZC702", 3)
+        assert serials == (ZC702.serial_number, "SIM-ZC702-0001", "SIM-ZC702-0002")
+        assert fleet_serials("ZC702", 2, include_stock=False) == (
+            "SIM-ZC702-0001",
+            "SIM-ZC702-0002",
+        )
+
+    def test_fleet_serials_require_at_least_one_chip(self):
+        with pytest.raises(PlatformError):
+            fleet_serials("ZC702", 0)
+
+    def test_build_with_serial_yields_a_different_die(self):
+        stock = FpgaChip.build("ZC702")
+        sibling = FpgaChip.build("ZC702", serial="SIM-ZC702-0001")
+        assert sibling.spec.chip_model == stock.spec.chip_model
+        assert sibling.seed != stock.seed
+        # Same serial, same die — the seed is a pure function of the spec.
+        again = FpgaChip.build("ZC702", serial="SIM-ZC702-0001")
+        assert again.seed == sibling.seed

@@ -7,6 +7,12 @@ import pytest
 from repro.cli import build_parser, main
 
 
+def run_json(capsys, argv):
+    """Run the CLI and parse its JSON document."""
+    assert main(argv) == 0
+    return json.loads(capsys.readouterr().out)
+
+
 class TestParser:
     def test_requires_a_command(self):
         with pytest.raises(SystemExit):
@@ -53,6 +59,157 @@ class TestSweepCommand:
         main(["sweep", "--platform", "ZC702", "--runs", "3", "--pattern", "FFFF", "--json"])
         dense = json.loads(capsys.readouterr().out)
         assert sparse["points"][-1]["faults_per_mbit"] < dense["points"][-1]["faults_per_mbit"]
+
+
+class TestJsonGoldenStructure:
+    """The ``--json`` documents must keep the keys docs/cli.md documents.
+
+    These are structure tests, not value tests: every key here is part of
+    the machine-readable contract and renaming one is a breaking change
+    that must update ``docs/cli.md`` in the same commit.
+    """
+
+    RAIL_KEYS = {
+        "vnom_v", "vmin_v", "vcrash_v", "guardband_fraction",
+        "power_reduction_factor_at_vmin",
+    }
+
+    def test_guardband_schema(self, capsys):
+        payload = run_json(capsys, ["guardband", "--platform", "ZC702", "--json"])
+        assert set(payload) == {"platform", "rails"}
+        assert set(payload["rails"]) == {"VCCBRAM", "VCCINT"}
+        for rail in payload["rails"].values():
+            assert set(rail) == self.RAIL_KEYS
+
+    def test_sweep_schema(self, capsys):
+        payload = run_json(capsys, ["sweep", "--platform", "ZC702", "--runs", "2", "--json"])
+        assert set(payload) == {"platform", "pattern", "points"}
+        assert payload["points"]
+        for point in payload["points"]:
+            assert set(point) == {"vccbram_v", "faults_per_mbit", "bram_power_w"}
+
+    def test_characterize_schema(self, capsys):
+        payload = run_json(
+            capsys, ["characterize", "--platform", "ZC702", "--runs", "5", "--json"]
+        )
+        assert set(payload) == {
+            "platform", "vcrash_v", "pattern_rates_per_mbit", "stability",
+            "location_overlap", "variability",
+        }
+        assert set(payload["stability"]) == {
+            "AVERAGE fault rate", "MINIMUM fault rate", "MAXIMUM fault rate",
+            "STD. DEV of fault rates",
+        }
+        assert set(payload["variability"]) == {
+            "max_percent", "mean_percent", "never_faulty_fraction",
+        }
+
+    def test_icbp_schema(self, capsys):
+        payload = run_json(
+            capsys,
+            ["icbp", "--platform", "ZC702", "--train-samples", "300", "--seeds", "1", "--json"],
+        )
+        assert set(payload) == {
+            "platform", "voltage_v", "baseline_error", "default_placement",
+            "icbp", "power_savings_vs_vmin",
+        }
+        assert set(payload["default_placement"]) == {"error", "accuracy_loss"}
+        assert set(payload["icbp"]) == {"error", "accuracy_loss", "protected_layers"}
+
+    def test_campaign_schemas(self, capsys, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "name": "cli-golden",
+            "chips": [{"platform": "ZC702", "n_chips": 2}],
+            "sweep": "guardband",
+            "runs_per_step": 3,
+        }))
+        root = str(tmp_path / "campaigns")
+
+        run = run_json(capsys, [
+            "campaign", "run", "--spec", str(spec_path), "--root", root, "--json",
+        ])
+        assert set(run) == {
+            "name", "spec_hash", "n_units", "n_executed", "n_skipped",
+            "n_workers", "executed_unit_ids",
+        }
+        assert run["n_executed"] == 2
+
+        status = run_json(capsys, [
+            "campaign", "status", "--name", "cli-golden", "--root", root, "--json",
+        ])
+        assert set(status) == {
+            "name", "spec_hash", "sweep", "n_units", "n_completed",
+            "n_pending", "complete", "pending_unit_ids",
+        }
+        assert status["complete"] is True
+
+        report = run_json(capsys, [
+            "campaign", "report", "--name", "cli-golden", "--root", root, "--json",
+        ])
+        assert set(report) == {
+            "name", "sweep", "spec_hash", "n_units", "n_completed",
+            "complete", "units", "population",
+        }
+        assert set(report["population"]) == {"fleet", "by_platform"}
+        for row in report["units"]:
+            assert {"unit_id", "platform", "serial", "temperature_c", "pattern"} <= set(row)
+        for dist in report["population"]["fleet"].values():
+            assert {"mean", "median", "min", "max", "std", "n", "p5", "p95",
+                    "spread_fraction"} <= set(dist)
+
+
+class TestCampaignCommand:
+    def test_run_resume_and_tables(self, capsys, tmp_path):
+        root = str(tmp_path / "campaigns")
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "name": "cli-flow",
+            "chips": [{"platform": "ZC702", "n_chips": 2}],
+            "sweep": "fvm",
+        }))
+        assert main(["campaign", "run", "--spec", str(spec_path), "--root", root]) == 0
+        out = capsys.readouterr().out
+        assert "units executed" in out and "cli-flow" in out
+
+        # Resume executes nothing.
+        assert main(["campaign", "run", "--spec", str(spec_path), "--root", root, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_executed"] == 0 and payload["n_skipped"] == 2
+
+        assert main(["campaign", "report", "--name", "cli-flow", "--root", root]) == 0
+        out = capsys.readouterr().out
+        assert "population statistics" in out
+        assert "FVM similarity" in out
+
+    def test_requires_exactly_one_spec_source(self, capsys, tmp_path):
+        assert main(["campaign", "run", "--root", str(tmp_path)]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        assert main([
+            "campaign", "status", "--name", "x", "--preset", "fleet16",
+            "--root", str(tmp_path),
+        ]) == 2
+
+    def test_unknown_preset_and_missing_spec_fail_cleanly(self, capsys, tmp_path):
+        assert main(["campaign", "run", "--preset", "nope", "--root", str(tmp_path)]) == 2
+        assert "unknown preset" in capsys.readouterr().err
+        assert main([
+            "campaign", "run", "--spec", str(tmp_path / "missing.json"),
+            "--root", str(tmp_path),
+        ]) == 2
+
+    def test_status_of_unknown_campaign_fails_cleanly(self, capsys, tmp_path):
+        assert main(["campaign", "status", "--name", "ghost", "--root", str(tmp_path)]) == 2
+        assert "no campaign manifest" in capsys.readouterr().err
+
+    def test_malformed_spec_fails_cleanly_not_with_a_traceback(self, capsys, tmp_path):
+        spec_path = tmp_path / "bad.json"
+        spec_path.write_text(json.dumps({
+            "name": "bad", "chips": [{"platform": "NOPE", "n_chips": 2}],
+        }))
+        assert main(["campaign", "run", "--spec", str(spec_path),
+                     "--root", str(tmp_path)]) == 2
+        assert "unknown platform" in capsys.readouterr().err
 
 
 class TestCharacterizeCommand:

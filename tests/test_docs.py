@@ -1,0 +1,81 @@
+"""Documentation consistency: benchmark index sync and markdown link health.
+
+These tests are the tier-1 guard for the documentation satellites: the
+benchmarks README must match what ``benchmarks/gen_readme.py`` generates
+from the module docstrings (so the index cannot drift), every benchmark
+docstring must name its paper figure/table, and every relative markdown
+link in README/docs must resolve to a file that exists.
+"""
+
+import importlib.util
+import re
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_script(relative_path, name):
+    """Import a repo script (outside ``src/``) as a module."""
+    spec = importlib.util.spec_from_file_location(name, REPO_ROOT / relative_path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def gen_readme():
+    return load_script("benchmarks/gen_readme.py", "bench_gen_readme")
+
+
+@pytest.fixture(scope="module")
+def check_links():
+    return load_script("tools/check_links.py", "docs_check_links")
+
+
+class TestBenchmarkIndex:
+    def test_readme_is_in_sync_with_docstrings(self, gen_readme):
+        generated = gen_readme.generate()
+        on_disk = (REPO_ROOT / "benchmarks" / "README.md").read_text()
+        assert on_disk == generated, (
+            "benchmarks/README.md is stale; run `python benchmarks/gen_readme.py`"
+        )
+
+    def test_every_benchmark_names_its_paper_anchor(self, gen_readme):
+        modules = sorted((REPO_ROOT / "benchmarks").glob("bench_*.py"))
+        assert modules, "no benchmark modules found"
+        for path in modules:
+            summary = gen_readme.summary_of(path)
+            # split_summary raises SystemExit with a precise message when the
+            # docstring drifts from the '<anchor> — <description>' convention.
+            anchor, description = gen_readme.split_summary(path, summary)
+            assert anchor and description
+            assert gen_readme.ANCHOR_PATTERN.search(summary)
+
+    def test_index_covers_every_module(self, gen_readme):
+        readme = (REPO_ROOT / "benchmarks" / "README.md").read_text()
+        for path in (REPO_ROOT / "benchmarks").glob("bench_*.py"):
+            assert f"`{path.name}`" in readme
+
+
+class TestMarkdownLinks:
+    def test_no_broken_relative_links(self, check_links):
+        files = check_links.markdown_files(check_links.DEFAULT_TARGETS)
+        assert files, "no markdown files found"
+        assert check_links.broken_links(files) == []
+
+    def test_checker_detects_breakage(self, check_links, tmp_path):
+        markdown = tmp_path / "page.md"
+        markdown.write_text(
+            "[ok](page.md) [dead](missing.md) [ext](https://example.com) [anchor](#x)"
+        )
+        problems = check_links.broken_links([markdown])
+        assert len(problems) == 1 and "missing.md" in problems[0]
+
+    def test_docs_link_the_cli_reference(self):
+        # The CLI reference must stay discoverable from both entry points.
+        assert "docs/cli.md" in (REPO_ROOT / "README.md").read_text()
+        assert re.search(r"\(cli\.md\)", (REPO_ROOT / "docs" / "intro.md").read_text())

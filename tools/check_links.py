@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the project documentation.
+
+Scans markdown files for inline links and images (``[text](target)``),
+resolves every relative target against the linking file's directory, and
+reports targets that do not exist on disk.  External links (``http://``,
+``https://``, ``mailto:``) and pure in-page anchors (``#section``) are
+skipped — the goal is to keep the README/docs cross-references from rotting
+as files move, not to probe the network.
+
+Usage::
+
+    python tools/check_links.py                 # default file set
+    python tools/check_links.py README.md docs  # explicit files/directories
+
+Exit status is non-zero when any link is broken.  ``tests/test_docs.py``
+runs the same check as part of tier 1; CI runs this script directly.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Files checked when the command line names none.
+DEFAULT_TARGETS = ("README.md", "docs", "benchmarks/README.md")
+
+#: Inline markdown links/images: [text](target) or ![alt](target).
+LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Schemes that are not filesystem paths.
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(targets: Iterable["str | Path"]) -> List[Path]:
+    """Expand files/directories into the markdown files to check."""
+    files: List[Path] = []
+    for target in targets:
+        path = Path(target)
+        if not path.is_absolute():
+            path = REPO_ROOT / path
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.suffix == ".md" and path.exists():
+            files.append(path)
+        else:
+            raise SystemExit(f"not a markdown file or directory: {target}")
+    return files
+
+
+def links_in(text: str) -> List[str]:
+    """Every inline link target in a markdown document."""
+    return LINK_PATTERN.findall(text)
+
+
+def broken_links(files: Iterable[Path]) -> List[str]:
+    """Human-readable ``file: target`` entries for every dead relative link."""
+    problems: List[str] = []
+    for markdown in files:
+        for target in links_in(markdown.read_text()):
+            if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (markdown.parent / relative).resolve()
+            if not resolved.exists():
+                try:
+                    shown = markdown.relative_to(REPO_ROOT)
+                except ValueError:
+                    shown = markdown
+                problems.append(f"{shown}: broken link -> {target}")
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    files = markdown_files(argv or DEFAULT_TARGETS)
+    problems = broken_links(files)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {len(files)} markdown files, {len(problems)} broken links")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
