@@ -1,0 +1,173 @@
+"""Adaptive search acceptance — certified bisection vs the exhaustive walk
+(Fig. 1 guardbands, fleet-scale: bit-identical thresholds, >= 5x fewer
+fault-field evaluations).
+
+Acceptance benchmark for :mod:`repro.search` wired through the campaign
+engine.  On the 16-chip two-platform ``fleet16`` preset it must show:
+
+* **bit-identity** — every chip's guardband summary (Vmin, Vcrash,
+  guardband fraction, power reduction, both rails) from the adaptive
+  campaign equals the exhaustive campaign's float for float;
+* **>= 5x fewer evaluations** — the adaptive fleet's total fault-field
+  evaluation count is at least 5x below the exhaustive walk's (scout
+  shards bisect cold, the rest start from the fleet's running quantiles);
+* **certified answers** — every stored unit carries bisection certificates
+  whose adjacent-bracket evidence re-verifies;
+* **free resume** — wiping every unit commit marker but keeping the
+  per-die evaluation caches and re-running the fleet re-executes all 16
+  units with *zero* fresh evaluations (every probe replays from the
+  store's cache files).
+"""
+
+import dataclasses
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from conftest import run_once, save_report
+from repro.analysis import ExperimentReport
+from repro.campaign import CampaignStore, preset_spec, run_campaign
+from repro.fpga.voltage import VCCBRAM, VCCINT
+from repro.search import BisectionCertificate
+
+#: The acceptance floor: adaptive must beat exhaustive by at least this
+#: factor in fault-field evaluations on the fleet16 preset.
+REQUIRED_SPEEDUP = 5.0
+
+
+@pytest.mark.benchmark(group="search")
+def test_adaptive_search_fleet16(benchmark):
+    def body():
+        report = ExperimentReport(
+            "adaptive_search",
+            "certified bisection vs exhaustive guardband walks on fleet16",
+        )
+        root = Path(tempfile.mkdtemp(prefix="adaptive-bench-"))
+
+        adaptive_spec = preset_spec("fleet16")
+        assert adaptive_spec.search == "adaptive", "adaptive is the fleet default"
+        exhaustive_spec = dataclasses.replace(
+            adaptive_spec, name="fleet16-exhaustive", search="exhaustive"
+        )
+
+        adaptive = run_campaign(adaptive_spec, root=root, max_workers=2)
+        exhaustive = run_campaign(exhaustive_spec, root=root, max_workers=2)
+
+        # --- bit-identity of every chip's guardband summary --------------
+        store = CampaignStore(adaptive_spec.name, root)
+        exhaustive_store = CampaignStore(exhaustive_spec.name, root)
+        adaptive_rails = {
+            result.unit.chip_key: result.summary["rails"]
+            for result in store.results(adaptive_spec, with_arrays=False)
+        }
+        exhaustive_rails = {
+            result.unit.chip_key: result.summary["rails"]
+            for result in exhaustive_store.results(exhaustive_spec, with_arrays=False)
+        }
+        identical = adaptive_rails == exhaustive_rails
+        assert identical, "adaptive guardbands must equal exhaustive bit for bit"
+        assert len(adaptive_rails) == 16
+
+        # --- >= 5x fewer fault-field evaluations -------------------------
+        n_adaptive = adaptive.evaluations["n_evaluations"]
+        n_exhaustive = exhaustive.evaluations["n_evaluations"]
+        assert n_adaptive > 0
+        speedup = n_exhaustive / n_adaptive
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"adaptive used {n_adaptive} evaluations vs {n_exhaustive} "
+            f"exhaustive — only {speedup:.2f}x, need >= {REQUIRED_SPEEDUP}x"
+        )
+        # The accounting's own exhaustive-equivalent must match what the
+        # exhaustive campaign actually paid.
+        assert adaptive.evaluations["n_exhaustive_equivalent"] == n_exhaustive
+
+        # --- every unit's certificates re-verify -------------------------
+        n_certificates = 0
+        for result in store.results(adaptive_spec, with_arrays=False):
+            for rail in (VCCBRAM, VCCINT):
+                rail_doc = result.summary["search"]["rails"][rail]
+                assert rail_doc["mode"] == "adaptive"
+                for certificate in rail_doc["certificates"]:
+                    assert certificate["n_evaluations"] >= 1
+                    n_certificates += 1
+        assert n_certificates >= 2 * 16  # at least vmin per rail per chip
+
+        section = report.new_section("adaptive vs exhaustive", ["metric", "value"])
+        section.add_row("chips", len(adaptive_rails))
+        section.add_row("guardbands bit-identical", identical)
+        section.add_row("fault-field evaluations (adaptive)", n_adaptive)
+        section.add_row("fault-field evaluations (exhaustive)", n_exhaustive)
+        section.add_row("speedup factor", speedup)
+        section.add_row("saved fraction", adaptive.evaluations["saved_fraction"])
+        section.add_row("certificates stored", n_certificates)
+        section.add_note(
+            "certificates record the adjacent bracket (last-true, first-false "
+            "grid points), so the thresholds are provably the exhaustive answers"
+        )
+
+        # --- resume from the evaluation cache: zero fresh evaluations ----
+        for marker in store.units_dir.glob("*.json"):
+            marker.unlink()
+        resumed = run_campaign(adaptive_spec, root=root, max_workers=2)
+        assert len(resumed.executed) == 16, "all units re-executed"
+        assert resumed.evaluations["n_evaluations"] == 0, (
+            "a resumed adaptive campaign must replay every probe from the "
+            "per-die caches"
+        )
+        resumed_rails = {
+            result.unit.chip_key: result.summary["rails"]
+            for result in store.results(adaptive_spec, with_arrays=False)
+        }
+        assert resumed_rails == exhaustive_rails
+
+        resume = report.new_section(
+            "resume from per-die evaluation caches", ["metric", "value"]
+        )
+        resume.add_row("units re-executed", len(resumed.executed))
+        resume.add_row("fresh evaluations", resumed.evaluations["n_evaluations"])
+        resume.add_row("cache hits", resumed.evaluations["n_cache_hits"])
+        resume.add_row("results still bit-identical", resumed_rails == exhaustive_rails)
+
+        save_report(report)
+        return {"speedup": speedup, "identical": identical}
+
+    outcome = run_once(benchmark, body)
+    assert outcome["identical"]
+    assert outcome["speedup"] >= REQUIRED_SPEEDUP
+
+
+@pytest.mark.benchmark(group="search")
+def test_certificate_verification_rejects_tampering(benchmark):
+    """A certificate whose evidence is edited must fail verification."""
+
+    def body():
+        from repro.search import CertificateEntry, SearchError
+
+        ladder = tuple(round(1.0 - 0.01 * i, 4) for i in range(20))
+        entries = (
+            CertificateEntry(index=9, voltage_v=ladder[9], predicate=True),
+            CertificateEntry(index=10, voltage_v=ladder[10], predicate=False),
+        )
+        good = BisectionCertificate(
+            quantity="vmin", ladder=ladder, boundary_index=10, entries=entries
+        )
+        assert good.verify()
+
+        tampered = BisectionCertificate(
+            quantity="vmin", ladder=ladder, boundary_index=12, entries=entries
+        )
+        try:
+            tampered.verify()
+        except SearchError:
+            return {"rejected": True}
+        return {"rejected": False}
+
+    outcome = run_once(benchmark, body)
+    assert outcome["rejected"]
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(pytest.main([__file__, "-x", "-q"]))

@@ -4,6 +4,7 @@ from .fleet import (
     DEFAULT_PERCENTILES,
     FleetDistribution,
     PairSimilarity,
+    evaluation_totals,
     fleet_percentiles,
     fvm_similarity,
     population_summary,
@@ -30,6 +31,7 @@ __all__ = [
     "StatsError",
     "Summary",
     "TableError",
+    "evaluation_totals",
     "fit_exponential_rate",
     "fleet_percentiles",
     "format_value",

@@ -23,6 +23,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.fvm import FaultVariationMap
+from repro.search import merge_search_documents
 
 from .stats import StatsError, Summary, summarize
 
@@ -87,6 +88,21 @@ def population_summary(
         metric: FleetDistribution.from_values(metric, values, percentiles)
         for metric, values in metric_values.items()
     }
+
+
+# ----------------------------------------------------------------------
+# Evaluation accounting across a fleet
+# ----------------------------------------------------------------------
+def evaluation_totals(search_documents) -> Dict[str, object]:
+    """Fleet-wide evaluations-saved accounting over per-unit search records.
+
+    ``search_documents`` is an iterable of the ``search`` dictionaries stored
+    in campaign unit summaries (empty dictionaries — e.g. units written
+    before the adaptive subsystem existed — are skipped).  Returns totals
+    plus the derived ``saved_fraction`` and ``speedup_factor`` the fleet
+    reports and the adaptive-search benchmark publish.
+    """
+    return merge_search_documents(search_documents)
 
 
 # ----------------------------------------------------------------------

@@ -15,8 +15,14 @@ and resume semantics; the CLI front end is ``repro-undervolt campaign``.
 """
 
 from .report import CampaignReport, build_report, fvm_from_result, unit_metrics
-from .runner import CampaignRunReport, execute_unit, run_campaign
+from .runner import (
+    CampaignRunReport,
+    execute_unit,
+    run_campaign,
+    warm_model_from_store,
+)
 from .spec import (
+    DEFAULT_SEARCH,
     SWEEP_KINDS,
     CampaignError,
     CampaignSpec,
@@ -35,6 +41,7 @@ __all__ = [
     "CampaignStore",
     "ChipGroup",
     "DEFAULT_ROOT",
+    "DEFAULT_SEARCH",
     "SWEEP_KINDS",
     "UnitResult",
     "WorkUnit",
@@ -44,4 +51,5 @@ __all__ = [
     "preset_spec",
     "run_campaign",
     "unit_metrics",
+    "warm_model_from_store",
 ]

@@ -4,7 +4,9 @@ Bridges the campaign store and :mod:`repro.analysis.fleet`: load every
 completed unit, pull out the sweep-kind-specific scalar metrics, summarize
 them as cross-chip distributions (whole fleet and per platform), and — for
 FVM campaigns — run the Fig. 7 die-to-die comparison across every
-same-part-number pair of the fleet.
+same-part-number pair of the fleet.  Reports also total the per-unit search
+accounting (:func:`repro.analysis.fleet.evaluation_totals`), publishing how
+many fault-field evaluations adaptive search saved across the fleet.
 """
 
 from __future__ import annotations
@@ -15,6 +17,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.analysis.fleet import (
     FleetDistribution,
     PairSimilarity,
+    evaluation_totals,
     fvm_similarity,
     population_summary,
     similarity_extremes,
@@ -76,6 +79,7 @@ class CampaignReport:
     fleet: Dict[str, FleetDistribution]
     by_platform: Dict[str, Dict[str, FleetDistribution]]
     similarity: List[PairSimilarity] = field(default_factory=list)
+    evaluations: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def n_completed(self) -> int:
@@ -106,6 +110,8 @@ class CampaignReport:
             "n_units": self.spec.n_units,
             "n_completed": self.n_completed,
             "complete": self.n_completed == self.spec.n_units,
+            "search": self.spec.search,
+            "evaluations": dict(self.evaluations),
             "units": self.unit_rows(),
             "population": {
                 "fleet": {m: d.as_dict() for m, d in self.fleet.items()},
@@ -169,4 +175,7 @@ def build_report(
             for platform, values in sorted(platform_values.items())
         },
         similarity=similarity,
+        evaluations=evaluation_totals(
+            result.summary.get("search", {}) for result in results
+        ),
     )

@@ -18,6 +18,20 @@ Everything a worker touches is module-level and deterministic, so results are
 identical whether a campaign runs serially, across 2 workers or across 16 —
 and, for the guardband loop, bit-identical to driving
 :class:`repro.harness.UndervoltingExperiment` by hand on the same serial.
+
+Adaptive campaigns (``spec.search == "adaptive"``, the default) add three
+cost optimizations on top, none of which can change a result:
+
+* every die's :class:`~repro.search.EvalCache` is loaded from the store
+  before its shard runs and saved back after every unit, so resumed or
+  re-run campaigns replay probes from disk;
+* guardband discovery runs as certified bisection seeded by a
+  :class:`~repro.search.WarmStartModel` built from the population already
+  characterized (same part number first);
+* for a cold fleet the runner executes one *scout* shard per platform
+  first, then fans the rest out with warm brackets — which is where the
+  order-of-magnitude evaluation saving of ``bench_adaptive_search`` comes
+  from.
 """
 
 from __future__ import annotations
@@ -26,15 +40,16 @@ import multiprocessing
 import os
 from collections import OrderedDict
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.batch import cached_fault_field
 from repro.fpga.platform import FpgaChip
-from repro.fpga.voltage import VCCBRAM, VCCINT
+from repro.fpga.voltage import DEFAULT_STEP_V, VCCBRAM, VCCINT
 from repro.harness.sweep import UndervoltingExperiment
+from repro.search import EvalCache, WarmStartModel, merge_search_documents
 
 from .spec import CampaignError, CampaignSpec, WorkUnit
 from .store import DEFAULT_ROOT, CampaignStore, UnitResult
@@ -67,42 +82,88 @@ def _chip_for(platform: str, serial: str) -> FpgaChip:
 # ----------------------------------------------------------------------
 # Unit execution (runs inside worker processes)
 # ----------------------------------------------------------------------
-def execute_unit(unit: WorkUnit) -> UnitResult:
+def execute_unit(
+    unit: WorkUnit,
+    cache: Optional[EvalCache] = None,
+    warm: Optional[WarmStartModel] = None,
+) -> UnitResult:
     """Run one work unit to completion and return its result.
 
     Pure function of the unit descriptor: builds (or reuses) the die, sets
     the chamber temperature, and drives the requested measurement loop
     through the ordinary :class:`UndervoltingExperiment` — the same code path
     a single-board study uses, which is what makes campaign results directly
-    comparable to the one-chip benchmarks.
+    comparable to the one-chip benchmarks.  ``cache`` and ``warm`` only
+    shape the *cost* of adaptive units (certified bisection makes the
+    results themselves mode-independent); both default to cold/empty.
     """
     chip = _chip_for(unit.platform, unit.serial)
     chip.set_temperature(unit.temperature_c)
     experiment = UndervoltingExperiment(
         chip, fault_field=cached_fault_field(chip), runs_per_step=unit.runs_per_step
     )
+    adaptive = unit.search == "adaptive"
+    if adaptive and cache is None:
+        cache = EvalCache(platform=unit.platform, serial=unit.serial)
     if unit.sweep == "guardband":
-        return _run_guardband(experiment, unit)
+        return _run_guardband(experiment, unit, cache, warm)
     if unit.sweep == "sweep":
-        return _run_critical_region(experiment, unit)
+        return _run_critical_region(experiment, unit, cache if adaptive else None)
     if unit.sweep == "fvm":
-        return _run_fvm(experiment, unit)
+        return _run_fvm(experiment, unit, cache if adaptive else None)
     raise CampaignError(f"unit {unit.unit_id} has unknown sweep kind {unit.sweep!r}")
 
 
-def _run_guardband(experiment: UndervoltingExperiment, unit: WorkUnit) -> UnitResult:
+def _run_guardband(
+    experiment: UndervoltingExperiment,
+    unit: WorkUnit,
+    cache: Optional[EvalCache],
+    warm: Optional[WarmStartModel],
+) -> UnitResult:
     """Fig. 1 loop on both rails; scalars per rail, VCCBRAM curve as arrays.
 
     ``runs_per_step`` maps onto the discovery loop's probe runs, so a
     campaign asking for more repetitions per voltage step gets them here
-    too, not only in the critical-region sweep.
+    too, not only in the critical-region sweep.  Adaptive units discover the
+    same thresholds by certified bisection; their VCCBRAM curve arrays hold
+    the certificate-decisive operating points only, so both the scalar
+    summary and the array payload are independent of warm-start state and
+    scheduling — only the ``search`` accounting (how many probes were paid)
+    reflects the actual schedule.
     """
     rails: Dict[str, Dict[str, float]] = {}
     arrays: Dict[str, np.ndarray] = {}
+    rail_searches: Dict[str, Dict[str, Any]] = {}
     for rail in (VCCBRAM, VCCINT):
-        measurement, sweep = experiment.discover_guardband(
-            rail=rail, pattern=unit.pattern, probe_runs=unit.runs_per_step
-        )
+        decisive_voltages = None
+        if unit.search == "adaptive":
+            outcome = experiment.discover_guardband_adaptive(
+                rail=rail,
+                pattern=unit.pattern,
+                probe_runs=unit.runs_per_step,
+                cache=cache,
+                warm=warm,
+            )
+            measurement, sweep = outcome.measurement, outcome.sweep
+            # Persist only the certificate-decisive operating points: which
+            # *other* voltages a search happened to probe depends on the
+            # warm-start state (and therefore on scheduling), while the
+            # bracket points are a pure function of the die — keeping the
+            # stored arrays identical across worker counts and resumes.
+            decisive_voltages = {
+                voltage
+                for certificate in outcome.report.certificates
+                for voltage in (
+                    certificate.boundary_voltage_above,
+                    certificate.boundary_voltage_below,
+                )
+                if voltage is not None
+            }
+        else:
+            measurement, sweep = experiment.discover_guardband(
+                rail=rail, pattern=unit.pattern, probe_runs=unit.runs_per_step
+            )
+        rail_searches[rail] = experiment.last_search_report.to_dict()
         rails[rail] = {
             "vnom_v": measurement.nominal_v,
             "vmin_v": measurement.vmin_v,
@@ -110,8 +171,12 @@ def _run_guardband(experiment: UndervoltingExperiment, unit: WorkUnit) -> UnitRe
             "guardband_fraction": measurement.guardband_fraction,
             "power_reduction_factor_at_vmin": measurement.power_reduction_factor_at_vmin,
         }
+        if warm is not None:
+            warm.add(unit.platform, rail, measurement.vmin_v, measurement.vcrash_v)
         if rail == VCCBRAM:
             steps = sweep.operational_steps()
+            if decisive_voltages is not None:
+                steps = [s for s in steps if s.voltage_v in decisive_voltages]
             arrays["vccbram_voltages_v"] = np.array([s.voltage_v for s in steps])
             arrays["vccbram_median_fault_counts"] = np.array(
                 [s.median_fault_count for s in steps]
@@ -119,14 +184,37 @@ def _run_guardband(experiment: UndervoltingExperiment, unit: WorkUnit) -> UnitRe
             arrays["vccbram_power_w"] = np.array(
                 [s.bram_power_w if s.bram_power_w is not None else np.nan for s in steps]
             )
-    return UnitResult(unit=unit, summary={"rails": rails}, arrays=arrays)
+    summary = {"rails": rails, "search": _search_summary(unit.search, rail_searches)}
+    return UnitResult(unit=unit, summary=summary, arrays=arrays)
 
 
-def _run_critical_region(experiment: UndervoltingExperiment, unit: WorkUnit) -> UnitResult:
+def _search_summary(
+    mode: str, rail_searches: Mapping[str, Mapping[str, Any]]
+) -> Dict[str, Any]:
+    """The unit-level search accounting stored in every summary."""
+    totals = merge_search_documents(rail_searches.values())
+    return {
+        "mode": mode,
+        "n_evaluations": totals["n_evaluations"],
+        "n_cache_hits": totals["n_cache_hits"],
+        "n_exhaustive_equivalent": totals["n_exhaustive_equivalent"],
+        "evaluations_saved": totals["evaluations_saved"],
+        "rails": {rail: dict(doc) for rail, doc in rail_searches.items()},
+    }
+
+
+def _run_critical_region(
+    experiment: UndervoltingExperiment, unit: WorkUnit, cache: Optional[EvalCache]
+) -> UnitResult:
     """Listing 1 loop: fault-rate and power series over the critical region."""
     result = experiment.critical_region_sweep(
-        pattern=unit.pattern, n_runs=unit.runs_per_step, temperature_c=unit.temperature_c
+        pattern=unit.pattern,
+        n_runs=unit.runs_per_step,
+        temperature_c=unit.temperature_c,
+        cache=cache,
     )
+    search = experiment.last_search_report.to_dict()
+    search.pop("certificates", None)
     voltages = np.array(result.voltages())
     rates = np.array(result.fault_rates_per_mbit())
     powers = np.array([p if p is not None else np.nan for p in result.powers_w()])
@@ -140,6 +228,7 @@ def _run_critical_region(experiment: UndervoltingExperiment, unit: WorkUnit) -> 
             "rate_at_vcrash_per_mbit": float(rates[-1]),
             "power_at_vmin_w": float(powers[0]),
             "power_at_vcrash_w": float(powers[-1]),
+            "search": {"mode": unit.search, **search},
         },
         arrays={
             "voltages_v": voltages,
@@ -150,15 +239,22 @@ def _run_critical_region(experiment: UndervoltingExperiment, unit: WorkUnit) -> 
     )
 
 
-def _run_fvm(experiment: UndervoltingExperiment, unit: WorkUnit) -> UnitResult:
+def _run_fvm(
+    experiment: UndervoltingExperiment, unit: WorkUnit, cache: Optional[EvalCache]
+) -> UnitResult:
     """FVM extraction: the (voltage x BRAM) count matrix plus its statistics."""
-    fvm = experiment.extract_fvm(pattern=unit.pattern, temperature_c=unit.temperature_c)
+    fvm = experiment.extract_fvm(
+        pattern=unit.pattern, temperature_c=unit.temperature_c, cache=cache
+    )
+    search = experiment.last_search_report.to_dict()
+    search.pop("certificates", None)
     return UnitResult(
         unit=unit,
         summary={
             "n_brams": fvm.n_brams,
             "bram_bits": fvm.bram_bits,
             **fvm.statistics(),
+            "search": {"mode": unit.search, **search},
         },
         arrays={
             "voltages_v": np.array(fvm.voltages_v),
@@ -168,21 +264,49 @@ def _run_fvm(experiment: UndervoltingExperiment, unit: WorkUnit) -> UnitResult:
 
 
 def _execute_shard(
-    units: Tuple[WorkUnit, ...], name: str, root: str
-) -> List[str]:
+    units: Tuple[WorkUnit, ...],
+    name: str,
+    root: str,
+    warm_document: Optional[Dict[str, Any]] = None,
+    on_unit: Optional[Callable[[str, Dict[str, Any]], None]] = None,
+    warm_model: Optional[WarmStartModel] = None,
+) -> List[Tuple[str, Dict[str, Any]]]:
     """Run one die's units back to back (the worker-side entry point).
 
     Each unit is persisted through the store *as soon as it finishes* —
     unit files are distinct and the JSON commit marker is renamed into
     place atomically, so concurrent workers never contend — which bounds
     what an interruption can lose to the single in-flight unit per worker.
+    Adaptive shards load their die's evaluation cache first and save it
+    back after every unit; the per-die cache file is owned by exactly one
+    shard, so cache writes never contend either.  Returns
+    ``(unit_id, search_summary)`` pairs for the parent's accounting.
     """
     store = CampaignStore(name, root)
-    executed: List[str] = []
+    adaptive = any(unit.search == "adaptive" for unit in units)
+    cache: Optional[EvalCache] = None
+    if adaptive and units:
+        cache = store.load_eval_cache(units[0].platform, units[0].serial)
+    if warm_model is not None:
+        # In-process callers (the serial path) share one live model, so
+        # every die after the first starts from the population so far.
+        warm = warm_model
+    elif warm_document is not None:
+        warm = WarmStartModel.from_dict(warm_document)
+    else:
+        warm = WarmStartModel(step_v=DEFAULT_STEP_V)
+    executed: List[Tuple[str, Dict[str, Any]]] = []
     for unit in units:
-        result = execute_unit(unit)
+        result = execute_unit(unit, cache=cache, warm=warm)
+        # Cache first, commit marker last: a marker on disk implies its
+        # probes are in the cache, so losing the in-flight unit can never
+        # cost more than re-running it from cached evaluations.
+        if cache is not None and unit.search == "adaptive":
+            store.save_eval_cache(cache)
         store.save(result)
-        executed.append(result.unit_id)
+        executed.append((result.unit_id, result.summary.get("search", {})))
+        if on_unit is not None:
+            on_unit(result.unit_id, result.summary.get("search", {}))
     return executed
 
 
@@ -199,6 +323,8 @@ class CampaignRunReport:
     executed: Tuple[str, ...]
     skipped: Tuple[str, ...]
     n_workers: int
+    search: str = "adaptive"
+    evaluations: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON form used by ``repro-undervolt campaign run --json``."""
@@ -209,6 +335,8 @@ class CampaignRunReport:
             "n_executed": len(self.executed),
             "n_skipped": len(self.skipped),
             "n_workers": self.n_workers,
+            "search": self.search,
+            "evaluations": dict(self.evaluations),
             "executed_unit_ids": list(self.executed),
         }
 
@@ -226,6 +354,52 @@ def _process_context() -> Optional[multiprocessing.context.BaseContext]:
     if "fork" in multiprocessing.get_all_start_methods():
         return multiprocessing.get_context("fork")
     return None
+
+
+def warm_model_from_store(
+    store: CampaignStore, spec: CampaignSpec
+) -> WarmStartModel:
+    """Seed a warm-start model from a campaign's completed guardband units.
+
+    Reads only the JSON scalar summaries (no array payloads), so it stays
+    cheap even for large fleets; non-guardband campaigns yield an empty
+    model, which downstream searches treat as cold.
+    """
+    model = WarmStartModel(step_v=DEFAULT_STEP_V)
+    if spec.sweep != "guardband":
+        return model
+    for result in store.results(spec, with_arrays=False):
+        for rail, data in result.summary.get("rails", {}).items():
+            model.add(result.unit.platform, rail, data["vmin_v"], data["vcrash_v"])
+    return model
+
+
+def _scout_waves(
+    shards: List[Tuple[WorkUnit, ...]], warm: WarmStartModel
+) -> List[List[Tuple[WorkUnit, ...]]]:
+    """Split shards into a scout wave and the warm remainder.
+
+    One shard per platform that the warm model knows nothing about runs
+    first (the *scouts*); every other shard then starts from the scouts'
+    discovered quantiles.  Platforms already represented in the model — a
+    resumed campaign, or a fleet sharing its store with an earlier one —
+    need no scout and go straight to the warm wave.
+    """
+    known = {platform for (platform, _rail) in warm.observations}
+    scouts: "OrderedDict[str, Tuple[WorkUnit, ...]]" = OrderedDict()
+    rest: List[Tuple[WorkUnit, ...]] = []
+    for shard in shards:
+        platform = shard[0].platform
+        if platform not in known and platform not in scouts:
+            scouts[platform] = shard
+        else:
+            rest.append(shard)
+    waves = []
+    if scouts:
+        waves.append(list(scouts.values()))
+    if rest:
+        waves.append(rest)
+    return waves
 
 
 def run_campaign(
@@ -267,36 +441,55 @@ def run_campaign(
     serial = not use_processes or max_workers == 1 or len(shards) <= 1
 
     executed: List[str] = []
+    search_documents: List[Dict[str, Any]] = []
 
-    def _record(unit_ids: Sequence[str]) -> None:
-        for unit_id in unit_ids:
+    def _record(results: Sequence[Tuple[str, Dict[str, Any]]]) -> None:
+        for unit_id, search_document in results:
             executed.append(unit_id)
+            search_documents.append(search_document)
             if progress is not None:
                 progress(unit_id, len(executed), len(pending))
 
+    warm_starting = spec.search == "adaptive" and spec.sweep == "guardband"
+    warm = warm_model_from_store(store, spec) if warm_starting else None
+
     if serial:
         n_workers = 1
+        # One live warm model, shared across shards: every die after the
+        # first of its platform starts from the population so far (each
+        # shard's _run_guardband feeds its thresholds back via warm.add).
         for shard in shards:
-            # Persist-and-report unit by unit, like the workers do.
-            for unit in shard:
-                result = execute_unit(unit)
-                store.save(result)
-                _record([result.unit_id])
+            _execute_shard(
+                shard,
+                spec.name,
+                str(root),
+                on_unit=lambda unit_id, doc: _record([(unit_id, doc)]),
+                warm_model=warm,
+            )
     else:
         n_workers = min(max_workers, len(shards))
         context = _process_context()
         pool_kwargs: Dict[str, Any] = {"max_workers": n_workers}
         if context is not None:
             pool_kwargs["mp_context"] = context
+        waves = (
+            _scout_waves(shards, warm) if warm is not None else [shards]
+        )
         with ProcessPoolExecutor(**pool_kwargs) as pool:
-            futures = {
-                pool.submit(_execute_shard, shard, spec.name, str(root))
-                for shard in shards
-            }
-            while futures:
-                finished, futures = wait(futures, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    _record(future.result())
+            for wave_index, wave in enumerate(waves):
+                if warm_starting and wave_index > 0:
+                    warm = warm_model_from_store(store, spec)
+                warm_document = warm.to_dict() if warm is not None else None
+                futures = {
+                    pool.submit(
+                        _execute_shard, shard, spec.name, str(root), warm_document
+                    )
+                    for shard in wave
+                }
+                while futures:
+                    finished, futures = wait(futures, return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        _record(future.result())
 
     return CampaignRunReport(
         name=spec.name,
@@ -305,4 +498,6 @@ def run_campaign(
         executed=tuple(executed),
         skipped=skipped,
         n_workers=n_workers,
+        search=spec.search,
+        evaluations=merge_search_documents(search_documents),
     )

@@ -27,6 +27,7 @@ from typing import Any, Dict, List, Mapping, Tuple
 from repro.core.temperature import REFERENCE_TEMPERATURE_C
 from repro.fpga.bram import BramError, data_pattern
 from repro.fpga.platform import PlatformError, fleet_serials, get_platform
+from repro.search import SEARCH_MODES, SearchError, validate_search_mode
 
 
 class CampaignError(ValueError):
@@ -35,6 +36,20 @@ class CampaignError(ValueError):
 
 #: Measurement loops a campaign can drive, in documentation order.
 SWEEP_KINDS: Tuple[str, ...] = ("guardband", "sweep", "fvm")
+
+#: Default characterization search mode for campaigns.  Adaptive search is
+#: the fleet path: certified bisection + cached evaluations produce
+#: bit-identical threshold answers for a fraction of the evaluation cost
+#: (``search: "exhaustive"`` opts a campaign back into full grid walks).
+DEFAULT_SEARCH = "adaptive"
+
+
+def _checked_search_mode(mode: str) -> str:
+    """Validate a spec's search knob, converting to campaign errors."""
+    try:
+        return validate_search_mode(mode)
+    except SearchError as exc:
+        raise CampaignError(str(exc)) from exc
 
 #: Campaign names become directory names under the result root, so they are
 #: restricted to a safe character set (and cannot be ``.`` or ``..``).
@@ -122,6 +137,7 @@ class WorkUnit:
     pattern: str = "FFFF"
     temperature_c: float = REFERENCE_TEMPERATURE_C
     runs_per_step: int = 5
+    search: str = DEFAULT_SEARCH
 
     def __post_init__(self) -> None:
         if self.sweep not in SWEEP_KINDS:
@@ -130,10 +146,17 @@ class WorkUnit:
             )
         if self.runs_per_step < 1:
             raise CampaignError("runs_per_step must be at least 1")
+        object.__setattr__(self, "search", _checked_search_mode(self.search))
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON form of the unit descriptor."""
-        return {
+        """JSON form of the unit descriptor.
+
+        ``search`` is serialized only when it differs from the default, so
+        the canonical document — and therefore :attr:`unit_id` — of a
+        default-mode unit is unchanged from before the knob existed:
+        stores written by older versions resume seamlessly.
+        """
+        document = {
             "platform": self.platform,
             "serial": self.serial,
             "sweep": self.sweep,
@@ -141,6 +164,9 @@ class WorkUnit:
             "temperature_c": self.temperature_c,
             "runs_per_step": self.runs_per_step,
         }
+        if self.search != DEFAULT_SEARCH:
+            document["search"] = self.search
+        return document
 
     @classmethod
     def from_dict(cls, document: Mapping[str, Any]) -> "WorkUnit":
@@ -152,6 +178,7 @@ class WorkUnit:
             pattern=document.get("pattern", "FFFF"),
             temperature_c=float(document.get("temperature_c", REFERENCE_TEMPERATURE_C)),
             runs_per_step=int(document.get("runs_per_step", 5)),
+            search=document.get("search", DEFAULT_SEARCH),
         )
 
     @property
@@ -187,8 +214,10 @@ class CampaignSpec:
     temperatures_c: Tuple[float, ...] = (REFERENCE_TEMPERATURE_C,)
     patterns: Tuple[str, ...] = ("FFFF",)
     runs_per_step: int = 5
+    search: str = DEFAULT_SEARCH
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "search", _checked_search_mode(self.search))
         if not _NAME_PATTERN.match(self.name):
             raise CampaignError(
                 f"campaign name {self.name!r} must match {_NAME_PATTERN.pattern} "
@@ -238,7 +267,7 @@ class CampaignSpec:
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         """The spec's JSON document (the shape ``from_dict`` accepts)."""
-        return {
+        document = {
             "name": self.name,
             "chips": [group.to_dict() for group in self.groups],
             "sweep": self.sweep,
@@ -246,12 +275,19 @@ class CampaignSpec:
             "patterns": list(self.patterns),
             "runs_per_step": self.runs_per_step,
         }
+        # Serialized only off-default so the canonical document (and the
+        # spec hash pinning every existing store's manifest) is unchanged
+        # for adaptive campaigns; see WorkUnit.to_dict.
+        if self.search != DEFAULT_SEARCH:
+            document["search"] = self.search
+        return document
 
     @classmethod
     def from_dict(cls, document: Mapping[str, Any]) -> "CampaignSpec":
         """Build a spec from its JSON document."""
         unknown = set(document) - {
             "name", "chips", "sweep", "temperatures_c", "patterns", "runs_per_step",
+            "search",
         }
         if unknown:
             raise CampaignError(f"unknown campaign keys: {sorted(unknown)}")
@@ -266,6 +302,7 @@ class CampaignSpec:
             temperatures_c=tuple(document.get("temperatures_c", (REFERENCE_TEMPERATURE_C,))),
             patterns=tuple(document.get("patterns", ("FFFF",))),
             runs_per_step=int(document.get("runs_per_step", 5)),
+            search=document.get("search", DEFAULT_SEARCH),
         )
 
     @classmethod
@@ -316,6 +353,7 @@ class CampaignSpec:
                             pattern=pattern,
                             temperature_c=temperature,
                             runs_per_step=self.runs_per_step,
+                            search=self.search,
                         )
                     )
         return tuple(units)

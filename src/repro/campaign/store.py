@@ -5,6 +5,7 @@ Layout under ``<root>/<campaign-name>/``::
     manifest.json           # the spec's JSON document + its spec_hash
     units/<unit_id>.npz     # the unit's array payload (written first)
     units/<unit_id>.json    # descriptor + scalar summary (the commit marker)
+    cache/<die>.json        # per-die evaluation cache (adaptive search)
 
 The JSON file is always written *after* the arrays and moved into place
 atomically, so its existence is the single source of truth for "this unit
@@ -21,11 +22,14 @@ from __future__ import annotations
 
 import json
 import os
+import re
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
+
+from repro.search import EvalCache
 
 from .spec import CampaignError, CampaignSpec, WorkUnit
 
@@ -99,6 +103,7 @@ class CampaignStore:
         self.root = Path(root)
         self.directory = self.root / name
         self.units_dir = self.directory / "units"
+        self.cache_dir = self.directory / "cache"
         self.manifest_path = self.directory / "manifest.json"
 
     # ------------------------------------------------------------------
@@ -135,8 +140,11 @@ class CampaignStore:
         recorded = document.get("spec_hash")
         if recorded != spec.spec_hash:
             raise CampaignError(
-                f"manifest at {self.manifest_path} is corrupt: recorded hash "
-                f"{recorded} does not match its own spec ({spec.spec_hash})"
+                f"manifest at {self.manifest_path} does not match its own spec: "
+                f"recorded hash {recorded}, recomputed {spec.spec_hash}.  Either "
+                "the file was edited, or the store was written by an older "
+                "version with a different spec schema; use a fresh campaign "
+                "name or root"
             )
         return spec
 
@@ -196,6 +204,41 @@ class CampaignStore:
             summary=document.get("summary", {}),
             arrays=arrays,
         )
+
+    # ------------------------------------------------------------------
+    # Per-die evaluation caches (adaptive search)
+    # ------------------------------------------------------------------
+    def _cache_path(self, platform: str, serial: str) -> Path:
+        """File the die's evaluation cache persists under."""
+        stem = re.sub(r"[^A-Za-z0-9._-]", "_", f"{platform}__{serial}")
+        return self.cache_dir / f"{stem}.json"
+
+    def save_eval_cache(self, cache: EvalCache) -> None:
+        """Persist one die's evaluation cache (atomic, like unit markers).
+
+        Written after every completed unit of an adaptive campaign, so a
+        resumed (or re-run) campaign replays its probes from disk instead of
+        the fault field — the "never re-evaluate a point" half of the
+        adaptive-search contract.
+        """
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        _atomic_write_json(
+            self._cache_path(cache.platform, cache.serial), cache.to_document()
+        )
+
+    def load_eval_cache(self, platform: str, serial: str) -> EvalCache:
+        """The die's persisted evaluation cache; empty if none (or stale).
+
+        A cache that fails to parse degrades to an empty cache — adaptive
+        searches then run cold, which is slower but never wrong.
+        """
+        path = self._cache_path(platform, serial)
+        if path.exists():
+            try:
+                return EvalCache.from_document(json.loads(path.read_text()))
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                pass
+        return EvalCache(platform=platform, serial=serial)
 
     # ------------------------------------------------------------------
     # Spec-level views

@@ -23,6 +23,7 @@ The full reference, including each ``--json`` document schema, lives in
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from pathlib import Path
@@ -38,6 +39,7 @@ from repro.campaign import (
     preset_spec,
     run_campaign,
 )
+from repro.search import SEARCH_MODES, EvalCache, merge_search_documents
 from repro.core import cached_fault_field
 from repro.core.characterization import (
     STUDY_PATTERNS,
@@ -66,6 +68,19 @@ def _add_json_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_search_argument(parser: argparse.ArgumentParser, default: Optional[str]) -> None:
+    parser.add_argument(
+        "--search",
+        choices=list(SEARCH_MODES),
+        default=default,
+        help=(
+            "characterization search mode: 'adaptive' finds thresholds by "
+            "certified bisection (provably grid-identical, far fewer "
+            "fault-field evaluations), 'exhaustive' walks every grid point"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level ``repro-undervolt`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -77,10 +92,12 @@ def build_parser() -> argparse.ArgumentParser:
     guardband = subparsers.add_parser("guardband", help="discover Vmin/Vcrash (Fig. 1)")
     _add_platform_argument(guardband)
     _add_json_argument(guardband)
+    _add_search_argument(guardband, default="adaptive")
 
     sweep = subparsers.add_parser("sweep", help="critical-region fault/power sweep (Fig. 3)")
     _add_platform_argument(sweep)
     _add_json_argument(sweep)
+    _add_search_argument(sweep, default="adaptive")
     sweep.add_argument("--runs", type=int, default=11, help="read-back repetitions per voltage step")
     sweep.add_argument("--pattern", default="FFFF", help="initial BRAM data pattern (e.g. FFFF, AAAA)")
 
@@ -124,6 +141,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = campaign_sub.add_parser("run", help="run (or resume) a campaign")
     _add_campaign_common(run, need_spec=True)
+    _add_search_argument(run, default=None)  # None: honour the spec's knob
     run.add_argument(
         "--workers",
         type=int,
@@ -150,12 +168,35 @@ def build_parser() -> argparse.ArgumentParser:
 # ----------------------------------------------------------------------
 # Sub-command implementations
 # ----------------------------------------------------------------------
+def _search_payload(search_documents: List[dict], mode: str) -> dict:
+    """The ``search`` block of a ``--json`` document: mode + evaluation cost.
+
+    Totals come from :func:`repro.search.merge_search_documents` — the same
+    aggregation the campaign reports use — trimmed to the three count keys
+    the CLI schema publishes.
+    """
+    totals = merge_search_documents(search_documents)
+    return {
+        "mode": mode,
+        "n_evaluations": totals["n_evaluations"],
+        "n_cache_hits": totals["n_cache_hits"],
+        "n_exhaustive_equivalent": totals["n_exhaustive_equivalent"],
+    }
+
+
 def _cmd_guardband(args: argparse.Namespace) -> int:
     chip = FpgaChip.build(args.platform)
     experiment = UndervoltingExperiment(chip, runs_per_step=3)
     payload = {}
+    search_documents: List[dict] = []
     for rail in ("VCCBRAM", "VCCINT"):
-        measurement, _ = experiment.discover_guardband(rail=rail)
+        if args.search == "adaptive":
+            # No cross-rail cache: keys include the rail, and within one
+            # rail the two bisections already share probes internally.
+            measurement = experiment.discover_guardband_adaptive(rail=rail).measurement
+        else:
+            measurement, _ = experiment.discover_guardband(rail=rail)
+        search_documents.append(experiment.last_search_report.to_dict())
         payload[rail] = {
             "vnom_v": measurement.nominal_v,
             "vmin_v": measurement.vmin_v,
@@ -163,8 +204,11 @@ def _cmd_guardband(args: argparse.Namespace) -> int:
             "guardband_fraction": measurement.guardband_fraction,
             "power_reduction_factor_at_vmin": measurement.power_reduction_factor_at_vmin,
         }
+    search = _search_payload(search_documents, args.search)
     if args.json:
-        print(json.dumps({"platform": args.platform, "rails": payload}, indent=2))
+        print(json.dumps(
+            {"platform": args.platform, "rails": payload, "search": search}, indent=2
+        ))
         return 0
     rows = [
         (rail, data["vnom_v"], data["vmin_v"], data["vcrash_v"],
@@ -176,19 +220,33 @@ def _cmd_guardband(args: argparse.Namespace) -> int:
         rows,
         title=f"Voltage guardbands of {args.platform} (Fig. 1)",
     ))
+    print(
+        f"  * {args.search} search: {search['n_evaluations']} fault-field "
+        f"evaluations ({search['n_exhaustive_equivalent']} exhaustive-equivalent)"
+    )
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     chip = FpgaChip.build(args.platform)
     experiment = UndervoltingExperiment(chip, runs_per_step=args.runs)
-    result = experiment.critical_region_sweep(pattern=args.pattern, n_runs=args.runs)
+    cache = (
+        EvalCache(platform=chip.name, serial=chip.spec.serial_number)
+        if args.search == "adaptive"
+        else None
+    )
+    result = experiment.critical_region_sweep(
+        pattern=args.pattern, n_runs=args.runs, cache=cache
+    )
     series = result.as_series()
     if args.json:
         print(json.dumps(
             {
                 "platform": args.platform,
                 "pattern": args.pattern,
+                "search": _search_payload(
+                    [experiment.last_search_report.to_dict()], args.search
+                ),
                 "points": [
                     {"vccbram_v": v, "faults_per_mbit": rate, "bram_power_w": power}
                     for v, rate, power in series
@@ -328,6 +386,10 @@ def _resolve_spec(args: argparse.Namespace) -> CampaignSpec:
 
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
     spec = _resolve_spec(args)
+    if args.search and args.search != spec.search:
+        # Overriding the knob redefines the campaign (the spec hash, and
+        # therefore the store identity, includes the search mode).
+        spec = dataclasses.replace(spec, search=args.search)
 
     def progress(unit_id: str, done: int, total: int) -> None:
         print(f"  [{done}/{total}] unit {unit_id} done", file=sys.stderr)
@@ -343,16 +405,22 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         print(json.dumps(report.to_dict(), indent=2))
         return 0
     store = CampaignStore(spec.name, args.root)
+    evaluations = report.evaluations
     print(render_table(
         ["metric", "value"],
         [
             ("campaign", spec.name),
             ("sweep kind", spec.sweep),
+            ("search mode", report.search),
             ("spec hash", spec.spec_hash),
             ("units total", report.n_units),
             ("units executed", len(report.executed)),
             ("units skipped (already complete)", len(report.skipped)),
             ("worker processes", report.n_workers),
+            ("fault-field evaluations", evaluations.get("n_evaluations", 0)),
+            ("exhaustive-equivalent evaluations",
+             evaluations.get("n_exhaustive_equivalent", 0)),
+            ("evaluations saved", evaluations.get("evaluations_saved", 0)),
             ("result store", str(store.directory)),
         ],
         title=f"Campaign {spec.name}: run complete",
@@ -413,6 +481,14 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
             f"population statistics ({spec.sweep})"
         ),
     ))
+    evaluations = payload.get("evaluations", {})
+    if evaluations.get("n_units"):
+        print(
+            f"  * {payload['search']} search: "
+            f"{evaluations['n_evaluations']} fault-field evaluations across the fleet "
+            f"({evaluations['n_exhaustive_equivalent']} exhaustive-equivalent, "
+            f"{evaluations['evaluations_saved']} saved)"
+        )
     if report.similarity:
         extremes = payload["fvm_similarity"]["extremes"]
         print()

@@ -25,9 +25,10 @@ from .records import (
     SweepResult,
     VoltageStepResult,
 )
-from .sweep import SweepError, UndervoltingExperiment
+from .sweep import AdaptiveGuardbandResult, SweepError, UndervoltingExperiment
 
 __all__ = [
+    "AdaptiveGuardbandResult",
     "EnvironmentError_",
     "GuardbandMeasurement",
     "HeatChamber",

@@ -14,6 +14,15 @@ Two loops matter:
 Both are implemented here on top of :class:`repro.harness.host.HostController`
 and return the typed records of :mod:`repro.harness.records`, which the
 benchmarks turn into the paper's tables and figures.
+
+Each loop exists in two search modes.  The **exhaustive** drivers walk every
+grid point, exactly as the paper's Listing 1 does.  The **adaptive** variants
+(:meth:`UndervoltingExperiment.discover_guardband_adaptive` and the
+``cache=`` parameters of the region sweeps) find the same grid answers with
+certified bisection (:mod:`repro.search`) plus a shared
+:class:`~repro.search.EvalCache`, and report their evaluation cost as a
+:class:`~repro.search.SearchReport`; ``docs/adaptive_search.md`` documents
+the equivalence argument.
 """
 
 from __future__ import annotations
@@ -38,6 +47,14 @@ from repro.core.guardband import GuardbandResult, SweepObservation, detect_guard
 from repro.core.temperature import REFERENCE_TEMPERATURE_C
 from repro.fpga.platform import FpgaChip
 from repro.fpga.voltage import DEFAULT_STEP_V, VCCBRAM, VCCINT
+from repro.search import (
+    BracketHint,
+    EvalCache,
+    PointEvaluation,
+    SearchReport,
+    ThresholdBisector,
+    WarmStartModel,
+)
 
 from .environment import HeatChamber
 from .host import HostController
@@ -47,6 +64,21 @@ from .records import GuardbandMeasurement, RunObservation, SweepResult, VoltageS
 
 class SweepError(RuntimeError):
     """Raised for invalid sweep configurations."""
+
+
+@dataclass(frozen=True)
+class AdaptiveGuardbandResult:
+    """Outcome of one certified adaptive guardband discovery on one rail.
+
+    ``measurement`` is bit-identical to what the exhaustive walk reports on
+    the same grid; ``sweep`` holds only the probed voltage steps (sparse,
+    descending); ``report`` carries the evaluation accounting plus the
+    bisection certificates proving grid equivalence.
+    """
+
+    measurement: GuardbandMeasurement
+    sweep: SweepResult
+    report: SearchReport
 
 
 @dataclass
@@ -71,6 +103,12 @@ class UndervoltingExperiment:
     power_meter: Optional[PowerMeter] = None
     runs_per_step: int = 100
     step_v: float = DEFAULT_STEP_V
+
+    #: Total operating-point probes this experiment has performed (the
+    #: guardband-walk unit of cost; reset it freely between measurements).
+    n_point_evaluations: int = field(default=0, init=False)
+    #: Evaluation accounting of the most recent sweep/discovery call.
+    last_search_report: Optional[SearchReport] = field(default=None, init=False)
 
     def __post_init__(self) -> None:
         if self.runs_per_step < 1:
@@ -105,62 +143,90 @@ class UndervoltingExperiment:
         return int(round(2.0 * math.exp(slope * (cal.vmin_int_v - vccint_v) - slope * self.step_v)))
 
     # ------------------------------------------------------------------
-    # Guardband discovery (Fig. 1)
+    # Operating-point probes (shared by the exhaustive and adaptive paths)
     # ------------------------------------------------------------------
-    def discover_guardband(
-        self,
-        rail: str = VCCBRAM,
-        pattern: "str | int" = 0xFFFF,
-        probe_runs: int = 3,
-    ) -> Tuple[GuardbandMeasurement, SweepResult]:
-        """Walk one rail down from nominal until the design stops operating."""
+    def _rail_thresholds(self, rail: str) -> Tuple[float, float]:
+        """Calibrated (Vmin, Vcrash) of one rail; rejects unknown rails."""
         cal = self.calibration
         if rail == VCCBRAM:
-            vmin_true, vcrash_true = cal.vmin_bram_v, cal.vcrash_bram_v
-        elif rail == VCCINT:
-            vmin_true, vcrash_true = cal.vmin_int_v, cal.vcrash_int_v
+            return cal.vmin_bram_v, cal.vcrash_bram_v
+        if rail == VCCINT:
+            return cal.vmin_int_v, cal.vcrash_int_v
+        raise SweepError(f"unsupported rail {rail!r}")
+
+    def _probe_rail_point(
+        self,
+        rail: str,
+        voltage: float,
+        pattern: "str | int",
+        probe_runs: int,
+        vcrash_true: float,
+    ) -> PointEvaluation:
+        """Evaluate one guardband-walk operating point on one rail.
+
+        Performs exactly the per-step work of the Fig. 1 discovery loop —
+        program the rail, count faults over ``probe_runs`` read-back passes
+        while the design operates, read the rail power — so the exhaustive
+        walk and the bisection probes produce bit-identical data at every
+        voltage either of them visits.
+        """
+        operational = voltage >= vcrash_true - 1e-9
+        if rail == VCCBRAM:
+            self.chip.set_vccbram(max(voltage, 0.40))
+            counts = (
+                [int(c) for c in self.host.count_chip_faults_over_runs(probe_runs)]
+                if operational
+                else []
+            )
         else:
-            raise SweepError(f"unsupported rail {rail!r}")
+            self.chip.set_vccint(max(voltage, 0.40))
+            counts = [self._int_fault_count(voltage)] * probe_runs if operational else []
+        self.n_point_evaluations += 1
+        return PointEvaluation(
+            voltage_v=voltage,
+            temperature_c=self.chip.board_temperature_c,
+            rail=rail,
+            pattern=str(pattern),
+            n_runs=probe_runs,
+            counts=tuple(counts),
+            operational=operational,
+            bram_power_w=(
+                self.power_meter.read_bram_power_w(voltage) if rail == VCCBRAM else None
+            ),
+        )
 
-        self.host.initialize_brams(pattern)
-        result = SweepResult(platform=self.chip.name, rail=rail, pattern=str(pattern))
-        observations: List[SweepObservation] = []
-        voltage = cal.vnom_v
-        crashed_at: Optional[float] = None
+    def _guardband_ladder(self, vnom_v: float) -> Tuple[float, ...]:
+        """The discovery walk's voltage grid: nominal down to the 0.3 V floor."""
+        voltages: List[float] = []
+        voltage = vnom_v
         while voltage > 0.3:
-            operational = voltage >= vcrash_true - 1e-9
-            if rail == VCCBRAM:
-                self.chip.set_vccbram(max(voltage, 0.40))
-                counts = (
-                    [int(c) for c in self.host.count_chip_faults_over_runs(probe_runs)]
-                    if operational
-                    else []
-                )
-            else:
-                self.chip.set_vccint(max(voltage, 0.40))
-                counts = [self._int_fault_count(voltage)] * probe_runs if operational else []
-            step = VoltageStepResult(
-                voltage_v=voltage,
-                temperature_c=self.chip.board_temperature_c,
-                runs=[RunObservation(run_index=r, fault_count=c) for r, c in enumerate(counts)],
-                bram_power_w=self.power_meter.read_bram_power_w(voltage) if rail == VCCBRAM else None,
-                operational=operational,
-                total_mbits=self.chip.brams.total_mbits,
-            )
-            result.steps.append(step)
-            observations.append(
-                SweepObservation(
-                    voltage_v=voltage,
-                    fault_count=int(step.median_fault_count),
-                    operational=operational,
-                )
-            )
-            if not operational:
-                crashed_at = voltage
-                break
+            voltages.append(voltage)
             voltage = round(voltage - self.step_v, 4)
+        return tuple(voltages)
 
-        result.crashed_at_v = crashed_at
+    @staticmethod
+    def _step_from_point(point: PointEvaluation, total_mbits: float) -> VoltageStepResult:
+        """The harness record for one probed operating point."""
+        return VoltageStepResult(
+            voltage_v=point.voltage_v,
+            temperature_c=point.temperature_c,
+            runs=[
+                RunObservation(run_index=r, fault_count=c)
+                for r, c in enumerate(point.counts)
+            ],
+            bram_power_w=point.bram_power_w,
+            operational=point.operational,
+            total_mbits=total_mbits,
+        )
+
+    def _finish_guardband(
+        self,
+        rail: str,
+        result: SweepResult,
+        observations: Sequence[SweepObservation],
+    ) -> GuardbandMeasurement:
+        """Detect the guardband, build the measurement, reset the board."""
+        cal = self.calibration
         guardband: GuardbandResult = detect_guardband(observations, nominal_v=cal.vnom_v)
         reduction = self.power_meter.bram_reduction_factor(cal.vnom_v, guardband.vmin_v)
         measurement = GuardbandMeasurement(
@@ -174,7 +240,156 @@ class UndervoltingExperiment:
         # Leave the board in a sane state for whatever runs next.
         self.chip.regulator.reset_all()
         self.host.recover_from_crash()
+        return measurement
+
+    # ------------------------------------------------------------------
+    # Guardband discovery (Fig. 1)
+    # ------------------------------------------------------------------
+    def discover_guardband(
+        self,
+        rail: str = VCCBRAM,
+        pattern: "str | int" = 0xFFFF,
+        probe_runs: int = 3,
+    ) -> Tuple[GuardbandMeasurement, SweepResult]:
+        """Walk one rail down from nominal until the design stops operating."""
+        _vmin_true, vcrash_true = self._rail_thresholds(rail)
+        self.host.initialize_brams(pattern)
+        result = SweepResult(platform=self.chip.name, rail=rail, pattern=str(pattern))
+        observations: List[SweepObservation] = []
+        crashed_at: Optional[float] = None
+        for voltage in self._guardband_ladder(self.calibration.vnom_v):
+            point = self._probe_rail_point(rail, voltage, pattern, probe_runs, vcrash_true)
+            step = self._step_from_point(point, self.chip.brams.total_mbits)
+            result.steps.append(step)
+            observations.append(
+                SweepObservation(
+                    voltage_v=voltage,
+                    fault_count=int(step.median_fault_count),
+                    operational=point.operational,
+                )
+            )
+            if not point.operational:
+                crashed_at = voltage
+                break
+
+        result.crashed_at_v = crashed_at
+        measurement = self._finish_guardband(rail, result, observations)
+        self.last_search_report = SearchReport(
+            mode="exhaustive",
+            n_evaluations=len(result.steps),
+            n_exhaustive_equivalent=len(result.steps),
+        )
         return measurement, result
+
+    def discover_guardband_adaptive(
+        self,
+        rail: str = VCCBRAM,
+        pattern: "str | int" = 0xFFFF,
+        probe_runs: int = 3,
+        cache: Optional[EvalCache] = None,
+        warm: Optional[WarmStartModel] = None,
+    ) -> "AdaptiveGuardbandResult":
+        """Certified-bisection version of :meth:`discover_guardband`.
+
+        Locates the same grid Vmin/Vcrash as the exhaustive walk — the Fig. 1
+        boundaries are monotone threshold crossings on the 10 mV ladder, so
+        bracketing + bisection provably reproduces them (the returned
+        certificates record the adjacent-bracket evidence) — while paying
+        ``O(log n)`` instead of ``O(n)`` fault-field evaluations.
+
+        ``cache`` shares operating-point evaluations across searches and
+        process restarts; ``warm`` seeds the brackets from fleet quantiles
+        (see :class:`~repro.search.WarmStartModel`).  Both are optional;
+        without them the search runs cold and still wins by a large factor.
+        """
+        _vmin_true, vcrash_true = self._rail_thresholds(rail)
+        self.host.initialize_brams(pattern)
+        ladder = self._guardband_ladder(self.calibration.vnom_v)
+        temperature = self.chip.board_temperature_c
+        pattern_text = str(pattern)
+        evaluated: Dict[int, PointEvaluation] = {}
+
+        def probe(index: int) -> Tuple[PointEvaluation, bool]:
+            if index in evaluated:
+                return evaluated[index], True
+            voltage = ladder[index]
+            point: Optional[PointEvaluation] = None
+            if cache is not None:
+                point = cache.lookup(rail, voltage, temperature, pattern_text, probe_runs)
+            from_cache = point is not None
+            if point is None:
+                point = self._probe_rail_point(
+                    rail, voltage, pattern, probe_runs, vcrash_true
+                )
+                if cache is not None:
+                    cache.store(point)
+            evaluated[index] = point
+            return point, from_cache
+
+        def fault_free_probe(index: int) -> Tuple[bool, bool]:
+            point, from_cache = probe(index)
+            return point.fault_free, from_cache
+
+        def operational_probe(index: int) -> Tuple[bool, bool]:
+            point, from_cache = probe(index)
+            return point.operational, from_cache
+
+        vmin_hint = warm.vmin_hint(self.chip.name, rail) if warm is not None else None
+        vmin_cert = ThresholdBisector(ladder, fault_free_probe).find_first_false(
+            "vmin", hint=vmin_hint
+        )
+
+        certificates = [vmin_cert]
+        if vmin_cert.boundary_index > 0:
+            # The lowest fault-free point is operational, so it anchors the
+            # true side of the Vcrash bracket for free (already evaluated).
+            vcrash_hint = (
+                warm.vcrash_hint(self.chip.name, rail) if warm is not None else None
+            )
+            if vcrash_hint is None or vcrash_hint.is_cold:
+                vcrash_hint = BracketHint(above_v=vmin_cert.boundary_voltage_above)
+            vcrash_cert = ThresholdBisector(ladder, operational_probe).find_first_false(
+                "vcrash", hint=vcrash_hint
+            )
+            certificates.append(vcrash_cert)
+            n_exhaustive = min(vcrash_cert.boundary_index + 1, len(ladder))
+        else:
+            # No fault-free point exists: the exhaustive walk would still
+            # have walked to the crash; mirror its error path below.
+            vcrash_cert = None
+            n_exhaustive = len(ladder)
+
+        # Reassemble the sparse walk in descending-voltage order and let the
+        # ordinary detector derive the thresholds from the probed evidence —
+        # the certificates guarantee it sees the decisive points.
+        result = SweepResult(platform=self.chip.name, rail=rail, pattern=pattern_text)
+        observations = []
+        for index in sorted(evaluated):
+            point = evaluated[index]
+            step = self._step_from_point(point, self.chip.brams.total_mbits)
+            result.steps.append(step)
+            observations.append(
+                SweepObservation(
+                    voltage_v=point.voltage_v,
+                    fault_count=int(step.median_fault_count),
+                    operational=point.operational,
+                )
+            )
+        if vcrash_cert is not None:
+            result.crashed_at_v = vcrash_cert.boundary_voltage_below
+
+        report = SearchReport(
+            mode="adaptive",
+            n_evaluations=sum(c.n_evaluations for c in certificates),
+            n_cache_hits=sum(c.n_cache_hits for c in certificates),
+            n_exhaustive_equivalent=n_exhaustive,
+            certificates=tuple(certificates),
+        )
+        measurement = self._finish_guardband(rail, result, observations)
+        self.last_search_report = report
+        return AdaptiveGuardbandResult(
+            measurement=measurement, sweep=result, report=report
+        )
 
     # ------------------------------------------------------------------
     # Critical-region characterization (Listing 1, Fig. 3)
@@ -187,6 +402,7 @@ class UndervoltingExperiment:
         stop_v: Optional[float] = None,
         collect_per_bram: bool = False,
         temperature_c: Optional[float] = None,
+        cache: Optional[EvalCache] = None,
     ) -> SweepResult:
         """Listing 1: sweep VCCBRAM from ``Vmin`` down to ``Vcrash``.
 
@@ -196,6 +412,13 @@ class UndervoltingExperiment:
         records the analyses consume.  The per-step rail programming and soft
         reset of Listing 1 are still issued so the simulated hardware sees
         the same command sequence as before.
+
+        With ``cache``, previously evaluated voltage points are served from
+        the :class:`~repro.search.EvalCache` and only the missing subset of
+        the grid goes through the batch engine (each point's counts are a
+        pure per-voltage function, so subset evaluation is bit-identical);
+        ``last_search_report`` then accounts for the evaluations avoided.
+        The optional per-BRAM collection always evaluates in full.
         """
         cal = self.calibration
         n_runs = self.runs_per_step if n_runs is None else n_runs
@@ -211,8 +434,7 @@ class UndervoltingExperiment:
         self.host.initialize_brams(pattern)
         voltages = self._descending_voltages(start, stop)
         temperature = self.chip.board_temperature_c
-        grid = OperatingGrid.from_axes(voltages, (temperature,), runs=n_runs)
-        counts = self.fault_field.batch.chip_counts(grid, pattern)
+        counts = self._region_counts(voltages, temperature, pattern, n_runs, cache)
         per_bram_matrix = None
         if collect_per_bram:
             per_bram_matrix = self.fault_field.batch.per_bram_counts(
@@ -249,6 +471,68 @@ class UndervoltingExperiment:
     def _descending_voltages(self, start: float, stop: float) -> List[float]:
         """The 10 mV (``step_v``) ladder from ``start`` down to ``stop``."""
         return list(voltage_ladder(start, stop, self.step_v))
+
+    def _region_counts(
+        self,
+        voltages: Sequence[float],
+        temperature: float,
+        pattern: "str | int",
+        n_runs: int,
+        cache: Optional[EvalCache],
+    ) -> np.ndarray:
+        """Chip counts over a critical-region grid, cache-aware.
+
+        Returns the ``(n_voltages, 1, n_runs)`` count array the batch engine
+        would produce for the whole grid, but evaluates only the voltages the
+        cache cannot serve.  Each voltage's counts depend on nothing but its
+        own operating point, so the subset evaluation is bit-identical to the
+        full-grid call.  Sets :attr:`last_search_report`.
+        """
+        pattern_text = str(pattern)
+        counts = np.empty((len(voltages), 1, n_runs), dtype=np.int64)
+        missing: List[int] = []
+        if cache is None:
+            missing = list(range(len(voltages)))
+        else:
+            for index, voltage in enumerate(voltages):
+                cached = cache.lookup(VCCBRAM, voltage, temperature, pattern_text, n_runs)
+                if cached is not None and len(cached.counts) == n_runs:
+                    counts[index, 0, :] = cached.counts
+                else:
+                    missing.append(index)
+        if missing:
+            grid = OperatingGrid.from_axes(
+                [voltages[i] for i in missing], (temperature,), runs=n_runs
+            )
+            fresh = self.fault_field.batch.chip_counts(grid, pattern)
+            powers = power_curve(
+                self.power_meter.bram_model,
+                grid.voltages_v,
+                self.power_meter.bram_utilization,
+            )
+            for position, index in enumerate(missing):
+                counts[index, 0, :] = fresh[position, 0, :]
+                if cache is not None:
+                    cache.store(
+                        PointEvaluation(
+                            voltage_v=float(voltages[index]),
+                            temperature_c=temperature,
+                            rail=VCCBRAM,
+                            pattern=pattern_text,
+                            n_runs=n_runs,
+                            counts=tuple(int(c) for c in fresh[position, 0, :]),
+                            operational=True,
+                            bram_power_w=float(powers[position]),
+                        )
+                    )
+            self.n_point_evaluations += len(missing)
+        self.last_search_report = SearchReport(
+            mode="exhaustive" if cache is None else "adaptive",
+            n_evaluations=len(missing),
+            n_cache_hits=len(voltages) - len(missing),
+            n_exhaustive_equivalent=len(voltages),
+        )
+        return counts
 
     # ------------------------------------------------------------------
     # Batched grid evaluation (the scenario fan-out entry point)
@@ -296,11 +580,17 @@ class UndervoltingExperiment:
         pattern: "str | int" = 0xFFFF,
         voltages: Optional[Sequence[float]] = None,
         temperature_c: float = REFERENCE_TEMPERATURE_C,
+        cache: Optional[EvalCache] = None,
     ) -> FaultVariationMap:
         """Build the chip's FVM by sweeping the critical region once.
 
         The whole (voltage x BRAM) count matrix comes out of a single batched
-        per-BRAM evaluation; no per-voltage Python loop remains.
+        per-BRAM evaluation; no per-voltage Python loop remains.  With
+        ``cache``, per-voltage BRAM count vectors are stored under the
+        no-run-axis convention (``n_runs = 0``) and only missing voltages are
+        evaluated — bit-identical, since every voltage row is an independent
+        pure function of its operating point.  Sets
+        :attr:`last_search_report`.
         """
         cal = self.calibration
         if voltages is None:
@@ -308,8 +598,50 @@ class UndervoltingExperiment:
                 round(v, 4)
                 for v in self._descending_voltages(cal.vmin_bram_v, cal.vcrash_bram_v)
             ]
-        grid = OperatingGrid.from_axes(voltages, (temperature_c,))
-        matrix = self.fault_field.batch.per_bram_counts(grid, pattern)[:, 0, 0, :]
+        pattern_text = str(pattern)
+        n_brams = self.chip.spec.n_brams
+        matrix = np.empty((len(voltages), n_brams), dtype=np.int64)
+        missing: List[int] = []
+        if cache is None:
+            missing = list(range(len(voltages)))
+        else:
+            for index, voltage in enumerate(voltages):
+                cached = cache.lookup(VCCBRAM, voltage, temperature_c, pattern_text, 0)
+                if (
+                    cached is not None
+                    and cached.per_bram_counts is not None
+                    and len(cached.per_bram_counts) == n_brams
+                ):
+                    matrix[index, :] = cached.per_bram_counts
+                else:
+                    missing.append(index)
+        if missing:
+            grid = OperatingGrid.from_axes(
+                [voltages[i] for i in missing], (temperature_c,)
+            )
+            fresh = self.fault_field.batch.per_bram_counts(grid, pattern)[:, 0, 0, :]
+            for position, index in enumerate(missing):
+                matrix[index, :] = fresh[position]
+                if cache is not None:
+                    cache.store(
+                        PointEvaluation(
+                            voltage_v=float(voltages[index]),
+                            temperature_c=float(temperature_c),
+                            rail=VCCBRAM,
+                            pattern=pattern_text,
+                            n_runs=0,
+                            counts=(),
+                            operational=True,
+                            per_bram_counts=tuple(int(c) for c in fresh[position]),
+                        )
+                    )
+            self.n_point_evaluations += len(missing)
+        self.last_search_report = SearchReport(
+            mode="exhaustive" if cache is None else "adaptive",
+            n_evaluations=len(missing),
+            n_cache_hits=len(voltages) - len(missing),
+            n_exhaustive_equivalent=len(voltages),
+        )
         return FaultVariationMap.from_matrix(
             platform=self.chip.name,
             floorplan=self.chip.floorplan,

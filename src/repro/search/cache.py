@@ -1,0 +1,252 @@
+"""Evaluation cache for adaptive characterization searches.
+
+Every fault-field evaluation the harness performs is a pure function of the
+operating point: which die (platform + serial), which rail, which voltage,
+which board temperature, which stored data pattern and how many read-back
+runs.  :class:`EvalCache` memoizes those evaluations under exactly that key
+so that
+
+* the Vmin and Vcrash searches of one guardband discovery share every probe
+  (the Vcrash bracket starts from points the Vmin search already paid for);
+* repeated sweeps on one die — different searches, different campaign units —
+  never re-evaluate an operating point;
+* a *resumed* campaign replays its completed probes from the store instead of
+  the fault field (:meth:`repro.campaign.store.CampaignStore.save_eval_cache`
+  persists the cache per die and the runner loads it back).
+
+Keys quantize voltage to tenths of millivolts and temperature to
+milli-degrees so that float round-tripping through JSON can never split one
+physical operating point into two cache entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+
+class SearchError(ValueError):
+    """Raised for invalid search configurations, caches or certificates."""
+
+
+#: Cache schema version; bumped when the entry layout changes so stale
+#: persisted caches are ignored rather than misread.
+CACHE_VERSION = 1
+
+
+def _quantize_voltage(voltage_v: float) -> int:
+    """Voltage in tenths of millivolts (the sweep grid is 10 mV)."""
+    return int(round(float(voltage_v) * 10_000))
+
+
+def _quantize_temperature(temperature_c: float) -> int:
+    """Temperature in milli-degrees Celsius."""
+    return int(round(float(temperature_c) * 1_000))
+
+
+@dataclass(frozen=True)
+class PointEvaluation:
+    """One fault-field evaluation at one operating point.
+
+    ``counts`` holds the chip-level fault count of every read-back run (empty
+    when the design was not operational at the point); ``bram_power_w`` is
+    recorded for VCCBRAM probes so sparse adaptive sweeps can still report
+    the power curve at the points they touched.  FVM extraction stores its
+    per-voltage per-BRAM count vector in ``per_bram_counts`` (with
+    ``n_runs = 0``, the no-run-axis convention of the batch engine).
+    """
+
+    voltage_v: float
+    temperature_c: float
+    rail: str
+    pattern: str
+    n_runs: int
+    counts: Tuple[int, ...]
+    operational: bool
+    bram_power_w: Optional[float] = None
+    per_bram_counts: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "counts", tuple(int(c) for c in self.counts))
+        if self.per_bram_counts is not None:
+            object.__setattr__(
+                self, "per_bram_counts", tuple(int(c) for c in self.per_bram_counts)
+            )
+        if any(c < 0 for c in self.counts):
+            raise SearchError("fault counts cannot be negative")
+
+    @property
+    def median_fault_count(self) -> int:
+        """Integer median fault count, the quantity the sweeps threshold on.
+
+        Matches :class:`repro.harness.records.VoltageStepResult`: the median
+        over the runs, passed through ``int`` exactly as the exhaustive
+        guardband walk does when it builds its ``SweepObservation``.
+        """
+        if not self.counts:
+            return 0
+        ordered = sorted(self.counts)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return int(ordered[mid])
+        return int((ordered[mid - 1] + ordered[mid]) / 2.0)
+
+    @property
+    def fault_free(self) -> bool:
+        """Operational with a zero median fault count (the Vmin predicate)."""
+        return self.operational and self.median_fault_count == 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form of the evaluation."""
+        return {
+            "voltage_v": self.voltage_v,
+            "temperature_c": self.temperature_c,
+            "rail": self.rail,
+            "pattern": self.pattern,
+            "n_runs": self.n_runs,
+            "counts": list(self.counts),
+            "operational": self.operational,
+            "bram_power_w": self.bram_power_w,
+            "per_bram_counts": (
+                None if self.per_bram_counts is None else list(self.per_bram_counts)
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "PointEvaluation":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            voltage_v=float(document["voltage_v"]),
+            temperature_c=float(document["temperature_c"]),
+            rail=str(document["rail"]),
+            pattern=str(document["pattern"]),
+            n_runs=int(document["n_runs"]),
+            counts=tuple(int(c) for c in document["counts"]),
+            operational=bool(document["operational"]),
+            bram_power_w=(
+                None if document.get("bram_power_w") is None
+                else float(document["bram_power_w"])
+            ),
+            per_bram_counts=(
+                None if document.get("per_bram_counts") is None
+                else tuple(int(c) for c in document["per_bram_counts"])
+            ),
+        )
+
+
+def point_key(
+    platform: str,
+    serial: str,
+    rail: str,
+    voltage_v: float,
+    temperature_c: float,
+    pattern: str,
+    n_runs: int,
+) -> Tuple:
+    """The canonical cache key of one operating-point evaluation.
+
+    The issue-level contract is (serial, platform, voltage, temperature,
+    pattern); ``rail`` and ``n_runs`` are included because the two rails of
+    one die fault independently and the count vector depends on how many
+    read-back runs were requested.
+    """
+    return (
+        str(platform),
+        str(serial),
+        str(rail),
+        _quantize_voltage(voltage_v),
+        _quantize_temperature(temperature_c),
+        str(pattern),
+        int(n_runs),
+    )
+
+
+@dataclass
+class EvalCache:
+    """In-process memo of fault-field evaluations, shared across searches.
+
+    Tracks hit/miss counters so callers can report how many evaluations a
+    search actually paid for versus served from memory.  The cache is plain
+    data: :meth:`to_document` / :meth:`from_document` round-trip it through
+    JSON, which is how the campaign store persists it per die.
+    """
+
+    platform: str
+    serial: str
+    entries: Dict[Tuple, PointEvaluation] = field(default_factory=dict)
+    n_hits: int = 0
+    n_misses: int = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[PointEvaluation]:
+        return iter(self.entries.values())
+
+    def _key(
+        self, rail: str, voltage_v: float, temperature_c: float, pattern: str, n_runs: int
+    ) -> Tuple:
+        return point_key(
+            self.platform, self.serial, rail, voltage_v, temperature_c, pattern, n_runs
+        )
+
+    # ------------------------------------------------------------------
+    def lookup(
+        self, rail: str, voltage_v: float, temperature_c: float, pattern: str, n_runs: int
+    ) -> Optional[PointEvaluation]:
+        """The cached evaluation at an operating point, counting hit or miss."""
+        found = self.entries.get(self._key(rail, voltage_v, temperature_c, pattern, n_runs))
+        if found is None:
+            self.n_misses += 1
+        else:
+            self.n_hits += 1
+        return found
+
+    def store(self, evaluation: PointEvaluation) -> PointEvaluation:
+        """Memoize one evaluation (idempotent for identical points)."""
+        key = self._key(
+            evaluation.rail,
+            evaluation.voltage_v,
+            evaluation.temperature_c,
+            evaluation.pattern,
+            evaluation.n_runs,
+        )
+        self.entries[key] = evaluation
+        return evaluation
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_document(self) -> Dict[str, Any]:
+        """JSON document of the cache (entries only, not the counters)."""
+        return {
+            "version": CACHE_VERSION,
+            "platform": self.platform,
+            "serial": self.serial,
+            "entries": [entry.to_dict() for entry in self.entries.values()],
+        }
+
+    @classmethod
+    def from_document(cls, document: Mapping[str, Any]) -> "EvalCache":
+        """Rebuild a cache from its JSON document.
+
+        A version mismatch returns an *empty* cache for the same die — stale
+        caches degrade to cold searches, they never corrupt results.
+        """
+        platform = str(document.get("platform", ""))
+        serial = str(document.get("serial", ""))
+        cache = cls(platform=platform, serial=serial)
+        if document.get("version") != CACHE_VERSION:
+            return cache
+        for entry in document.get("entries", []):
+            cache.store(PointEvaluation.from_dict(entry))
+        return cache
+
+
+__all__ = [
+    "CACHE_VERSION",
+    "EvalCache",
+    "PointEvaluation",
+    "SearchError",
+    "point_key",
+]

@@ -1,0 +1,132 @@
+"""Cross-chip warm-starting of threshold searches from fleet statistics.
+
+Dies sharing a part number crash and fault at very similar grid voltages —
+the fleet campaigns of PR 2 show per-platform Vmin/Vcrash distributions only
+a step or two wide.  A chip's bisection bracket can therefore be seeded from
+the *running quantiles* of the population characterized so far: same part
+number first, the pooled fleet as a fallback, cold bisection when nothing is
+known yet.
+
+The model is deliberately conservative: brackets are widened by a margin of
+grid steps on both sides, and the bisector treats them as hints only (it
+re-evaluates both ends and gallops outward when a hint is wrong), so a
+surprising die costs extra evaluations but always gets the same certified
+answer a cold search would produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from .bisect import BracketHint
+
+#: Quantile band used for warm brackets (wide enough to cover stragglers).
+_LOW_QUANTILE = 0.0
+_HIGH_QUANTILE = 1.0
+
+
+def _quantile(values: List[float], q: float) -> float:
+    """Linear-interpolated quantile of a small sample (no numpy needed)."""
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+@dataclass
+class WarmStartModel:
+    """Running per-(platform, rail) Vmin/Vcrash statistics for a fleet.
+
+    ``margin_steps`` grid steps are added on each side of the observed
+    quantile band when producing a bracket, so single-die outliers inside
+    the band cost at most a couple of extra probes.
+    """
+
+    step_v: float
+    margin_steps: int = 1
+    #: (platform, rail) -> list of (vmin_v, vcrash_v) observations.
+    observations: Dict[Tuple[str, str], List[Tuple[float, float]]] = field(
+        default_factory=dict
+    )
+
+    def add(self, platform: str, rail: str, vmin_v: float, vcrash_v: float) -> None:
+        """Record one die's discovered thresholds."""
+        self.observations.setdefault((str(platform), str(rail)), []).append(
+            (float(vmin_v), float(vcrash_v))
+        )
+
+    @property
+    def n_observations(self) -> int:
+        """Total number of recorded (die, rail) threshold pairs."""
+        return sum(len(values) for values in self.observations.values())
+
+    # ------------------------------------------------------------------
+    def _pool(self, platform: str, rail: str) -> List[Tuple[float, float]]:
+        """Same-part-number observations first; pooled fleet as fallback."""
+        same = self.observations.get((platform, rail), [])
+        if same:
+            return same
+        pooled: List[Tuple[float, float]] = []
+        for (_platform, other_rail), values in self.observations.items():
+            if other_rail == rail:
+                pooled.extend(values)
+        return pooled
+
+    def _bracket(self, values: List[float]) -> BracketHint:
+        margin = self.margin_steps * self.step_v
+        return BracketHint(
+            above_v=_quantile(values, _HIGH_QUANTILE) + margin,
+            below_v=_quantile(values, _LOW_QUANTILE) - margin,
+        )
+
+    def vmin_hint(self, platform: str, rail: str) -> BracketHint:
+        """Warm bracket for the Vmin (fault-free boundary) search."""
+        pool = self._pool(platform, rail)
+        if not pool:
+            return BracketHint()
+        return self._bracket([vmin for vmin, _ in pool])
+
+    def vcrash_hint(self, platform: str, rail: str) -> BracketHint:
+        """Warm bracket for the Vcrash (operational boundary) search."""
+        pool = self._pool(platform, rail)
+        if not pool:
+            return BracketHint()
+        return self._bracket([vcrash for _, vcrash in pool])
+
+    # ------------------------------------------------------------------
+    # Serialization (the runner ships the model to worker processes)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON form of the model."""
+        return {
+            "step_v": self.step_v,
+            "margin_steps": self.margin_steps,
+            "observations": [
+                {
+                    "platform": platform,
+                    "rail": rail,
+                    "thresholds": [list(pair) for pair in values],
+                }
+                for (platform, rail), values in sorted(self.observations.items())
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "WarmStartModel":
+        """Inverse of :meth:`to_dict`."""
+        model = cls(
+            step_v=float(document["step_v"]),
+            margin_steps=int(document.get("margin_steps", 1)),
+        )
+        for record in document.get("observations", []):
+            for vmin_v, vcrash_v in record["thresholds"]:
+                model.add(record["platform"], record["rail"], vmin_v, vcrash_v)
+        return model
+
+
+__all__ = ["WarmStartModel"]

@@ -1,0 +1,76 @@
+"""Fleet-scale campaign tests (marker ``slow``: opt-in locally, always in CI).
+
+These run the full 16-chip ``fleet16`` preset — the same workload as the
+acceptance benchmark — inside the test suite, so CI exercises the adaptive
+fleet path end to end on every push.  Locally they are skipped unless
+``--run-slow`` is given (each run characterizes 16 dies twice).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.campaign import CampaignStore, preset_spec, run_campaign
+
+pytestmark = pytest.mark.slow
+
+
+class TestFleet16AdaptivePath:
+    def test_adaptive_fleet_matches_exhaustive_and_saves_5x(self, tmp_path):
+        adaptive_spec = preset_spec("fleet16")
+        exhaustive_spec = dataclasses.replace(
+            adaptive_spec, name="fleet16-ex", search="exhaustive"
+        )
+        adaptive = run_campaign(adaptive_spec, root=tmp_path, max_workers=2)
+        exhaustive = run_campaign(exhaustive_spec, root=tmp_path, max_workers=2)
+
+        adaptive_rails = {
+            r.unit.chip_key: r.summary["rails"]
+            for r in CampaignStore(adaptive_spec.name, tmp_path).results(
+                adaptive_spec, with_arrays=False
+            )
+        }
+        exhaustive_rails = {
+            r.unit.chip_key: r.summary["rails"]
+            for r in CampaignStore(exhaustive_spec.name, tmp_path).results(
+                exhaustive_spec, with_arrays=False
+            )
+        }
+        assert adaptive_rails == exhaustive_rails
+        speedup = (
+            exhaustive.evaluations["n_evaluations"]
+            / adaptive.evaluations["n_evaluations"]
+        )
+        assert speedup >= 5.0
+
+    def test_parallel_and_serial_adaptive_runs_agree(self, tmp_path):
+        """Scalars AND persisted arrays are independent of scheduling.
+
+        The probed-point *set* of an adaptive search depends on warm-start
+        state, which differs between serial and process-parallel execution;
+        the stored payload keeps only the certificate-decisive points, so
+        the on-disk results must be bit-identical regardless.
+        """
+        import numpy as np
+
+        parallel_spec = preset_spec("fleet16")
+        serial_spec = dataclasses.replace(parallel_spec, name="fleet16-serial")
+        run_campaign(parallel_spec, root=tmp_path, max_workers=4)
+        run_campaign(serial_spec, root=tmp_path, use_processes=False)
+        parallel = {
+            r.unit.chip_key: r
+            for r in CampaignStore(parallel_spec.name, tmp_path).results(parallel_spec)
+        }
+        serial = {
+            r.unit.chip_key: r
+            for r in CampaignStore(serial_spec.name, tmp_path).results(serial_spec)
+        }
+        assert set(parallel) == set(serial)
+        for chip_key, parallel_result in parallel.items():
+            serial_result = serial[chip_key]
+            assert parallel_result.summary["rails"] == serial_result.summary["rails"]
+            assert set(parallel_result.arrays) == set(serial_result.arrays)
+            for name, array in parallel_result.arrays.items():
+                assert np.array_equal(
+                    array, serial_result.arrays[name], equal_nan=True
+                ), (chip_key, name)

@@ -94,6 +94,47 @@ class TestCampaignSpec:
     def test_hash_changes_with_spec(self):
         assert small_spec().spec_hash != small_spec(sweep="fvm").spec_hash
 
+    def test_search_defaults_to_adaptive_and_reaches_every_unit(self):
+        spec = small_spec()
+        assert spec.search == "adaptive"
+        assert all(unit.search == "adaptive" for unit in spec.expand())
+        exhaustive = small_spec(search="exhaustive")
+        assert all(unit.search == "exhaustive" for unit in exhaustive.expand())
+
+    def test_search_mode_is_part_of_the_identity(self):
+        adaptive, exhaustive = small_spec(), small_spec(search="exhaustive")
+        assert adaptive.spec_hash != exhaustive.spec_hash
+        assert adaptive.expand()[0].unit_id != exhaustive.expand()[0].unit_id
+
+    def test_default_search_keeps_pre_knob_store_identity(self):
+        """Stores written before the search knob existed must stay openable.
+
+        The default mode is omitted from the canonical documents, so the
+        spec hash and unit ids of an adaptive (default) campaign equal what
+        older versions recorded.
+        """
+        spec = small_spec()
+        assert "search" not in spec.to_dict()
+        assert "search" not in spec.expand()[0].to_dict()
+        assert "search" in small_spec(search="exhaustive").to_dict()
+        # The fleet16 preset's hash is pinned in docs/cli.md examples and,
+        # more importantly, in every pre-existing fleet16 store manifest.
+        assert preset_spec("fleet16").spec_hash == "3fd705be18d7c6a1"
+
+    def test_search_round_trips_and_rejects_unknown(self):
+        spec = small_spec(search="exhaustive")
+        assert CampaignSpec.from_json(spec.to_json()) == spec
+        # Documents without the key (pre-adaptive stores) default to adaptive.
+        document = spec.to_dict()
+        del document["search"]
+        assert CampaignSpec.from_dict(document).search == "adaptive"
+        with pytest.raises(CampaignError, match="unknown search mode"):
+            small_spec(search="psychic")
+        with pytest.raises(CampaignError, match="unknown search mode"):
+            WorkUnit(
+                platform="ZC702", serial="s", sweep="guardband", search="psychic"
+            )
+
     def test_expansion_is_chips_x_temperatures_x_patterns(self):
         spec = small_spec(temperatures_c=(50.0, 70.0), patterns=("FFFF", "0000"))
         units = spec.expand()

@@ -57,7 +57,7 @@ class TestManifest:
         document = json.loads(store.manifest_path.read_text())
         document["spec_hash"] = "0" * 16
         store.manifest_path.write_text(json.dumps(document))
-        with pytest.raises(CampaignError, match="corrupt"):
+        with pytest.raises(CampaignError, match="does not match its own spec"):
             store.load_manifest()
 
 

@@ -1,0 +1,154 @@
+"""Adaptive drivers must reproduce the exhaustive answers bit for bit."""
+
+import numpy as np
+import pytest
+
+from repro.fpga import FpgaChip
+from repro.fpga.voltage import VCCBRAM, VCCINT
+from repro.harness import UndervoltingExperiment
+from repro.search import EvalCache, WarmStartModel
+
+
+def fresh_experiment(platform="ZC702", serial=None, runs=3):
+    chip = FpgaChip.build(platform, serial=serial)
+    return UndervoltingExperiment(chip, runs_per_step=runs)
+
+
+class TestGuardbandEquivalence:
+    @pytest.mark.parametrize("rail", [VCCBRAM, VCCINT])
+    @pytest.mark.parametrize("platform", ["ZC702", "KC705-A"])
+    def test_measurement_bit_identical(self, platform, rail):
+        experiment = fresh_experiment(platform)
+        exhaustive, _ = experiment.discover_guardband(rail=rail)
+        adaptive = experiment.discover_guardband_adaptive(rail=rail).measurement
+        assert adaptive == exhaustive  # dataclass equality: float for float
+
+    @pytest.mark.parametrize("pattern", ["FFFF", "AAAA", "0000"])
+    def test_identical_across_patterns(self, pattern):
+        experiment = fresh_experiment()
+        exhaustive, _ = experiment.discover_guardband(pattern=pattern)
+        adaptive = experiment.discover_guardband_adaptive(pattern=pattern).measurement
+        assert adaptive == exhaustive
+
+    def test_adaptive_pays_fewer_evaluations(self):
+        experiment = fresh_experiment()
+        experiment.discover_guardband()
+        exhaustive_cost = experiment.last_search_report.n_evaluations
+        outcome = experiment.discover_guardband_adaptive()
+        assert outcome.report.n_evaluations < exhaustive_cost / 2
+        assert outcome.report.n_exhaustive_equivalent == exhaustive_cost
+
+    def test_certificates_verify_and_name_the_thresholds(self):
+        experiment = fresh_experiment()
+        outcome = experiment.discover_guardband_adaptive()
+        assert outcome.report.verify_certificates()
+        by_quantity = {c.quantity: c for c in outcome.report.certificates}
+        assert set(by_quantity) == {"vmin", "vcrash"}
+        assert by_quantity["vmin"].boundary_voltage_above == outcome.measurement.vmin_v
+        assert by_quantity["vcrash"].boundary_voltage_above == outcome.measurement.vcrash_v
+
+    def test_sparse_sweep_is_descending_and_crash_recorded(self):
+        experiment = fresh_experiment()
+        outcome = experiment.discover_guardband_adaptive()
+        voltages = outcome.sweep.voltages()
+        assert voltages == sorted(voltages, reverse=True)
+        assert outcome.sweep.crashed_at_v is not None
+        assert outcome.sweep.crashed_at_v < outcome.measurement.vcrash_v
+
+    def test_shared_cache_makes_second_discovery_free(self):
+        experiment = fresh_experiment()
+        cache = EvalCache(
+            platform=experiment.chip.name,
+            serial=experiment.chip.spec.serial_number,
+        )
+        first = experiment.discover_guardband_adaptive(cache=cache)
+        second = experiment.discover_guardband_adaptive(cache=cache)
+        assert second.report.n_evaluations == 0
+        assert second.measurement == first.measurement
+
+    def test_warm_start_reduces_cost_without_changing_answer(self):
+        scout = fresh_experiment(serial=None)
+        warm = WarmStartModel(step_v=scout.step_v)
+        outcome = scout.discover_guardband_adaptive()
+        warm.add(
+            scout.chip.name, VCCBRAM, outcome.measurement.vmin_v,
+            outcome.measurement.vcrash_v,
+        )
+
+        sibling = fresh_experiment(serial="SIM-ZC702-0001")
+        exhaustive, _ = sibling.discover_guardband()
+        cold = sibling.discover_guardband_adaptive()
+        warmed = sibling.discover_guardband_adaptive(warm=warm)
+        assert warmed.measurement == exhaustive
+        assert warmed.report.n_evaluations <= cold.report.n_evaluations
+        assert warmed.report.verify_certificates()
+
+    def test_board_left_in_sane_state(self):
+        experiment = fresh_experiment()
+        experiment.discover_guardband_adaptive()
+        cal = experiment.calibration
+        assert experiment.chip.vccbram == cal.vnom_v
+        assert experiment.host.is_operational()
+
+
+class TestRegionSweepCaching:
+    def test_critical_region_sweep_cache_identical_and_free_on_replay(self):
+        experiment = fresh_experiment()
+        baseline = experiment.critical_region_sweep(n_runs=3)
+        cache = EvalCache(
+            platform=experiment.chip.name,
+            serial=experiment.chip.spec.serial_number,
+        )
+        first = experiment.critical_region_sweep(n_runs=3, cache=cache)
+        assert first.as_series() == baseline.as_series()
+        assert experiment.last_search_report.n_evaluations == len(baseline.steps)
+
+        second = experiment.critical_region_sweep(n_runs=3, cache=cache)
+        assert second.as_series() == baseline.as_series()
+        assert experiment.last_search_report.n_evaluations == 0
+        assert experiment.last_search_report.n_cache_hits == len(baseline.steps)
+
+    def test_partial_cache_evaluates_only_missing_subset(self):
+        experiment = fresh_experiment()
+        cal = experiment.calibration
+        cache = EvalCache(
+            platform=experiment.chip.name,
+            serial=experiment.chip.spec.serial_number,
+        )
+        # Warm the upper half of the region only.
+        experiment.critical_region_sweep(
+            n_runs=3, stop_v=round(cal.vmin_bram_v - 0.03, 4), cache=cache
+        )
+        warmed = experiment.last_search_report.n_evaluations
+        experiment.critical_region_sweep(n_runs=3, cache=cache)
+        full = len(experiment.critical_region_sweep(n_runs=3).steps)
+        assert warmed == 4
+        # Second call paid only for the lower remainder of the region.
+
+    def test_extract_fvm_cache_identical_and_free_on_replay(self):
+        experiment = fresh_experiment()
+        baseline = experiment.extract_fvm()
+        cache = EvalCache(
+            platform=experiment.chip.name,
+            serial=experiment.chip.spec.serial_number,
+        )
+        first = experiment.extract_fvm(cache=cache)
+        assert np.array_equal(first.counts_matrix(), baseline.counts_matrix())
+        assert experiment.last_search_report.n_evaluations > 0
+
+        second = experiment.extract_fvm(cache=cache)
+        assert np.array_equal(second.counts_matrix(), baseline.counts_matrix())
+        assert experiment.last_search_report.n_evaluations == 0
+
+    def test_run_count_mismatch_does_not_poison_the_cache(self):
+        experiment = fresh_experiment()
+        cache = EvalCache(
+            platform=experiment.chip.name,
+            serial=experiment.chip.spec.serial_number,
+        )
+        three = experiment.critical_region_sweep(n_runs=3, cache=cache)
+        five = experiment.critical_region_sweep(n_runs=5, cache=cache)
+        assert experiment.last_search_report.n_evaluations == len(five.steps)
+        baseline = experiment.critical_region_sweep(n_runs=5)
+        assert five.as_series() == baseline.as_series()
+        assert len(three.steps) == len(five.steps)

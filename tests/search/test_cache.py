@@ -1,0 +1,138 @@
+"""Unit tests for the evaluation cache and its store persistence."""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignSpec, CampaignStore, ChipGroup
+from repro.search import CACHE_VERSION, EvalCache, PointEvaluation, SearchError, point_key
+
+
+def evaluation(voltage=0.61, rail="VCCBRAM", n_runs=3, **overrides):
+    fields = dict(
+        voltage_v=voltage,
+        temperature_c=50.0,
+        rail=rail,
+        pattern="FFFF",
+        n_runs=n_runs,
+        counts=(1, 2, 3)[:n_runs],
+        operational=True,
+        bram_power_w=0.013,
+    )
+    fields.update(overrides)
+    return PointEvaluation(**fields)
+
+
+class TestPointEvaluation:
+    def test_median_matches_numpy_int_convention(self):
+        import numpy as np
+
+        for counts in [(5,), (1, 2), (3, 1, 2), (4, 4, 1, 9), ()]:
+            point = evaluation(counts=counts, n_runs=len(counts))
+            expected = int(np.median(counts)) if counts else 0
+            assert point.median_fault_count == expected
+
+    def test_fault_free_requires_operational_and_zero_median(self):
+        assert evaluation(counts=(0, 0, 0)).fault_free
+        assert not evaluation(counts=(0, 1, 1)).fault_free
+        assert not evaluation(counts=(), operational=False).fault_free
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(SearchError):
+            evaluation(counts=(1, -2, 3))
+
+    def test_dict_round_trip(self):
+        point = evaluation(per_bram_counts=(0, 4, 2), n_runs=0, counts=())
+        assert PointEvaluation.from_dict(point.to_dict()) == point
+
+    def test_dict_round_trip_through_json(self):
+        point = evaluation()
+        again = PointEvaluation.from_dict(json.loads(json.dumps(point.to_dict())))
+        assert again == point
+
+
+class TestPointKey:
+    def test_voltage_quantization_survives_float_noise(self):
+        a = point_key("ZC702", "S1", "VCCBRAM", 0.61, 50.0, "FFFF", 3)
+        b = point_key("ZC702", "S1", "VCCBRAM", 0.6099999999999999, 50.0, "FFFF", 3)
+        assert a == b
+
+    def test_distinct_rails_and_runs_get_distinct_keys(self):
+        base = ("ZC702", "S1", "VCCBRAM", 0.61, 50.0, "FFFF", 3)
+        assert point_key(*base) != point_key("ZC702", "S1", "VCCINT", 0.61, 50.0, "FFFF", 3)
+        assert point_key(*base) != point_key("ZC702", "S1", "VCCBRAM", 0.61, 50.0, "FFFF", 5)
+        assert point_key(*base) != point_key("ZC702", "S1", "VCCBRAM", 0.60, 50.0, "FFFF", 3)
+        assert point_key(*base) != point_key("ZC702", "S1", "VCCBRAM", 0.61, 80.0, "FFFF", 3)
+        assert point_key(*base) != point_key("ZC702", "S1", "VCCBRAM", 0.61, 50.0, "AAAA", 3)
+
+
+class TestEvalCache:
+    def test_lookup_counts_hits_and_misses(self):
+        cache = EvalCache(platform="ZC702", serial="S1")
+        assert cache.lookup("VCCBRAM", 0.61, 50.0, "FFFF", 3) is None
+        cache.store(evaluation())
+        assert cache.lookup("VCCBRAM", 0.61, 50.0, "FFFF", 3) == evaluation()
+        assert (cache.n_hits, cache.n_misses) == (1, 1)
+
+    def test_store_is_idempotent(self):
+        cache = EvalCache(platform="ZC702", serial="S1")
+        cache.store(evaluation())
+        cache.store(evaluation())
+        assert len(cache) == 1
+
+    def test_document_round_trip(self):
+        cache = EvalCache(platform="ZC702", serial="S1")
+        cache.store(evaluation(voltage=0.61))
+        cache.store(evaluation(voltage=0.60, counts=(9, 9, 9)))
+        cache.store(evaluation(rail="VCCINT", counts=(2, 2, 2)))
+        again = EvalCache.from_document(json.loads(json.dumps(cache.to_document())))
+        assert again.entries == cache.entries
+        assert (again.platform, again.serial) == ("ZC702", "S1")
+
+    def test_stale_version_degrades_to_empty(self):
+        document = EvalCache(platform="ZC702", serial="S1").to_document()
+        document["version"] = CACHE_VERSION + 1
+        document["entries"] = [evaluation().to_dict()]
+        assert len(EvalCache.from_document(document)) == 0
+
+
+class TestStorePersistence:
+    def spec(self, name):
+        return CampaignSpec(
+            name=name,
+            groups=(ChipGroup(platform="ZC702", serials=("S1",)),),
+            runs_per_step=2,
+        )
+
+    def test_save_load_round_trip(self, tmp_path):
+        store = CampaignStore.open(self.spec("cache-rt"), tmp_path)
+        cache = EvalCache(platform="ZC702", serial="S1")
+        cache.store(evaluation())
+        cache.store(evaluation(voltage=0.55, operational=False, counts=()))
+        store.save_eval_cache(cache)
+        loaded = store.load_eval_cache("ZC702", "S1")
+        assert loaded.entries == cache.entries
+
+    def test_missing_cache_is_empty(self, tmp_path):
+        store = CampaignStore.open(self.spec("cache-miss"), tmp_path)
+        assert len(store.load_eval_cache("ZC702", "nope")) == 0
+
+    def test_corrupt_cache_degrades_to_empty(self, tmp_path):
+        store = CampaignStore.open(self.spec("cache-bad"), tmp_path)
+        cache = EvalCache(platform="ZC702", serial="S1")
+        cache.store(evaluation())
+        store.save_eval_cache(cache)
+        path = store._cache_path("ZC702", "S1")
+        path.write_text("{not json")
+        assert len(store.load_eval_cache("ZC702", "S1")) == 0
+
+    def test_weird_serials_map_to_safe_filenames(self, tmp_path):
+        store = CampaignStore.open(self.spec("cache-names"), tmp_path)
+        cache = EvalCache(platform="KC705-A", serial="../../evil serial")
+        cache.store(evaluation())
+        store.save_eval_cache(cache)
+        files = list(store.cache_dir.iterdir())
+        assert len(files) == 1
+        assert files[0].parent == store.cache_dir
+        assert "/" not in files[0].name and " " not in files[0].name
+        assert store.load_eval_cache("KC705-A", "../../evil serial").entries == cache.entries

@@ -1,0 +1,215 @@
+"""Property-based tests (hypothesis) for the adaptive-search contract.
+
+Three families, matching the invariants the subsystem leans on:
+
+* **monotonicity** — fault counts never decrease as the rail goes down
+  (``_int_fault_count`` analytically, the batched chip counts on a real
+  die), which is what makes threshold crossings bisectable at all;
+* **equivalence** — bisection equals the exhaustive linear scan on random
+  grids and random monotone fault maps, with or without (possibly wrong)
+  warm-start hints, and the certificate always verifies;
+* **round-trip** — random evaluation caches survive the trip through the
+  campaign store byte-exactly.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.campaign import CampaignSpec, CampaignStore, ChipGroup
+from repro.core.batch import OperatingGrid
+from repro.fpga import FpgaChip
+from repro.harness import UndervoltingExperiment
+from repro.search import (
+    BracketHint,
+    EvalCache,
+    PointEvaluation,
+    ThresholdBisector,
+    exhaustive_first_false,
+)
+
+#: One shared small experiment; every property here is read-only on it.
+_EXPERIMENT = None
+
+
+def experiment():
+    global _EXPERIMENT
+    if _EXPERIMENT is None:
+        _EXPERIMENT = UndervoltingExperiment(FpgaChip.build("ZC702"), runs_per_step=3)
+    return _EXPERIMENT
+
+
+# ----------------------------------------------------------------------
+# Monotonicity
+# ----------------------------------------------------------------------
+class TestMonotonicity:
+    @given(
+        low=st.floats(min_value=0.30, max_value=1.0),
+        high=st.floats(min_value=0.30, max_value=1.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_int_fault_count_monotone_in_voltage(self, low, high):
+        if low > high:
+            low, high = high, low
+        exp = experiment()
+        assert exp._int_fault_count(low) >= exp._int_fault_count(high)
+        assert exp._int_fault_count(low) >= 0
+
+    @given(data=st.data())
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.data_too_large],
+    )
+    def test_chip_counts_monotone_along_descending_grid(self, data):
+        """Chip-level counts never drop as VCCBRAM drops (fixed run index)."""
+        voltages = sorted(
+            data.draw(
+                st.lists(
+                    st.floats(min_value=0.40, max_value=0.75),
+                    min_size=2,
+                    max_size=8,
+                    unique=True,
+                )
+            ),
+            reverse=True,
+        )
+        run = data.draw(st.integers(min_value=0, max_value=5))
+        pattern = data.draw(st.sampled_from(["FFFF", "AAAA", "5555", "0000"]))
+        field = experiment().fault_field
+        grid = OperatingGrid.from_axes(voltages, (50.0,), runs=(run,))
+        counts = field.batch.chip_counts(grid, pattern)[:, 0, 0]
+        assert all(a <= b for a, b in zip(counts, counts[1:]))
+
+    @given(runs=st.integers(min_value=1, max_value=7))
+    @settings(max_examples=20, deadline=None)
+    def test_median_over_runs_preserves_monotonicity(self, runs):
+        """The int-median of per-run counts is monotone along the ladder."""
+        exp = experiment()
+        ladder = exp._guardband_ladder(exp.calibration.vnom_v)
+        field = exp.fault_field
+        grid = OperatingGrid.from_axes(ladder[::4], (50.0,), runs=runs)
+        counts = field.batch.chip_counts(grid, "FFFF")
+        import numpy as np
+
+        medians = [int(np.median(row)) for row in counts[:, 0, :]]
+        assert all(a <= b for a, b in zip(medians, medians[1:]))
+
+
+# ----------------------------------------------------------------------
+# Exhaustive-vs-adaptive equivalence
+# ----------------------------------------------------------------------
+class TestEquivalenceOnRandomGrids:
+    @given(
+        n=st.integers(min_value=1, max_value=120),
+        boundary_fraction=st.floats(min_value=0.0, max_value=1.0),
+        hint_lo=st.one_of(st.none(), st.integers(min_value=-10, max_value=130)),
+        hint_hi=st.one_of(st.none(), st.integers(min_value=-10, max_value=130)),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_bisection_equals_linear_scan(self, n, boundary_fraction, hint_lo, hint_hi):
+        ladder = tuple(round(1.0 - 0.01 * i, 4) for i in range(n))
+        boundary = round(boundary_fraction * n)
+
+        def predicate(index):
+            return index < boundary
+
+        probes = []
+
+        def probe(index):
+            probes.append(index)
+            return predicate(index), False
+
+        hint = BracketHint(
+            above_v=None if hint_hi is None else 1.0 - 0.01 * hint_hi,
+            below_v=None if hint_lo is None else 1.0 - 0.01 * hint_lo,
+        )
+        certificate = ThresholdBisector(ladder, probe).find_first_false(
+            "vmin", hint=hint
+        )
+        assert certificate.boundary_index == exhaustive_first_false(ladder, predicate)
+        assert certificate.verify()
+        assert len(probes) == len(set(probes)), "no index probed twice"
+
+    @given(
+        thresholds=st.lists(
+            st.floats(min_value=0.30, max_value=0.99), min_size=0, max_size=60
+        ),
+        n=st.integers(min_value=2, max_value=90),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_random_fault_maps_yield_identical_vmin(self, thresholds, n):
+        """A random bag of cell failure voltages defines a monotone count."""
+        ladder = tuple(round(1.0 - 0.01 * i, 4) for i in range(n))
+
+        def count_at(voltage):
+            return sum(1 for t in thresholds if t > voltage)
+
+        def predicate(index):  # fault-free?
+            return count_at(ladder[index]) == 0
+
+        def probe(index):
+            return predicate(index), False
+
+        certificate = ThresholdBisector(ladder, probe).find_first_false("vmin")
+        assert certificate.boundary_index == exhaustive_first_false(ladder, predicate)
+        assert certificate.verify()
+
+
+class TestEquivalenceOnRealDies:
+    @given(
+        pattern=st.sampled_from(["FFFF", "AAAA", "5555", "0000", "random50"]),
+        probe_runs=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_guardband_equivalence_random_pattern_and_runs(self, pattern, probe_runs):
+        exp = experiment()
+        exhaustive, _ = exp.discover_guardband(pattern=pattern, probe_runs=probe_runs)
+        adaptive = exp.discover_guardband_adaptive(
+            pattern=pattern, probe_runs=probe_runs
+        )
+        assert adaptive.measurement == exhaustive
+        assert adaptive.report.verify_certificates()
+
+
+# ----------------------------------------------------------------------
+# Cache round-trip through the campaign store
+# ----------------------------------------------------------------------
+_evaluations = st.builds(
+    PointEvaluation,
+    voltage_v=st.floats(min_value=0.30, max_value=1.0).map(lambda v: round(v, 4)),
+    temperature_c=st.sampled_from([25.0, 50.0, 80.0]),
+    rail=st.sampled_from(["VCCBRAM", "VCCINT"]),
+    pattern=st.sampled_from(["FFFF", "AAAA", "0000"]),
+    n_runs=st.integers(min_value=0, max_value=5),
+    counts=st.lists(st.integers(min_value=0, max_value=10_000), max_size=5).map(tuple),
+    operational=st.booleans(),
+    bram_power_w=st.one_of(st.none(), st.floats(min_value=0.0, max_value=10.0)),
+    per_bram_counts=st.one_of(
+        st.none(),
+        st.lists(st.integers(min_value=0, max_value=99), max_size=8).map(tuple),
+    ),
+)
+
+
+class TestCacheStoreRoundTrip:
+    @given(entries=st.lists(_evaluations, max_size=25))
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_round_trip_preserves_every_entry(self, tmp_path_factory, entries):
+        root = tmp_path_factory.mktemp("cache-prop")
+        spec = CampaignSpec(
+            name="cache-prop",
+            groups=(ChipGroup(platform="ZC702", serials=("S1",)),),
+            runs_per_step=2,
+        )
+        store = CampaignStore.open(spec, root)
+        cache = EvalCache(platform="ZC702", serial="S1")
+        for entry in entries:
+            cache.store(entry)
+        store.save_eval_cache(cache)
+        loaded = store.load_eval_cache("ZC702", "S1")
+        assert loaded.entries == cache.entries

@@ -1,0 +1,53 @@
+"""Unit tests for fleet-quantile warm starting."""
+
+from repro.search import WarmStartModel
+
+
+class TestWarmStartModel:
+    def test_empty_model_yields_cold_hints(self):
+        model = WarmStartModel(step_v=0.01)
+        assert model.vmin_hint("ZC702", "VCCBRAM").is_cold
+        assert model.vcrash_hint("ZC702", "VCCBRAM").is_cold
+        assert model.n_observations == 0
+
+    def test_brackets_span_observations_with_margin(self):
+        model = WarmStartModel(step_v=0.01, margin_steps=1)
+        model.add("ZC702", "VCCBRAM", 0.61, 0.54)
+        model.add("ZC702", "VCCBRAM", 0.60, 0.53)
+        vmin = model.vmin_hint("ZC702", "VCCBRAM")
+        assert vmin.above_v == 0.61 + 0.01
+        assert vmin.below_v == 0.60 - 0.01
+        vcrash = model.vcrash_hint("ZC702", "VCCBRAM")
+        assert vcrash.above_v == 0.54 + 0.01
+        assert vcrash.below_v == 0.53 - 0.01
+
+    def test_same_part_number_takes_precedence_over_pool(self):
+        model = WarmStartModel(step_v=0.01)
+        model.add("VC707", "VCCBRAM", 0.70, 0.60)
+        model.add("ZC702", "VCCBRAM", 0.61, 0.54)
+        hint = model.vmin_hint("ZC702", "VCCBRAM")
+        assert hint.above_v == 0.61 + 0.01  # ZC702's own data, not the pooled 0.70
+
+    def test_pooled_fallback_for_unknown_platform(self):
+        model = WarmStartModel(step_v=0.01)
+        model.add("VC707", "VCCBRAM", 0.61, 0.54)
+        model.add("ZC702", "VCCBRAM", 0.63, 0.55)
+        hint = model.vmin_hint("KC705-A", "VCCBRAM")
+        assert not hint.is_cold
+        assert hint.above_v == 0.63 + 0.01
+        assert hint.below_v == 0.61 - 0.01
+
+    def test_rails_never_mix(self):
+        model = WarmStartModel(step_v=0.01)
+        model.add("ZC702", "VCCINT", 0.67, 0.60)
+        assert model.vmin_hint("ZC702", "VCCBRAM").is_cold
+        assert not model.vmin_hint("ZC702", "VCCINT").is_cold
+
+    def test_dict_round_trip(self):
+        model = WarmStartModel(step_v=0.01, margin_steps=2)
+        model.add("ZC702", "VCCBRAM", 0.61, 0.54)
+        model.add("KC705-A", "VCCINT", 0.67, 0.60)
+        again = WarmStartModel.from_dict(model.to_dict())
+        assert again.step_v == model.step_v
+        assert again.margin_steps == model.margin_steps
+        assert again.observations == model.observations

@@ -74,19 +74,23 @@ class TestJsonGoldenStructure:
         "power_reduction_factor_at_vmin",
     }
 
+    SEARCH_KEYS = {"mode", "n_evaluations", "n_cache_hits", "n_exhaustive_equivalent"}
+
     def test_guardband_schema(self, capsys):
         payload = run_json(capsys, ["guardband", "--platform", "ZC702", "--json"])
-        assert set(payload) == {"platform", "rails"}
+        assert set(payload) == {"platform", "rails", "search"}
         assert set(payload["rails"]) == {"VCCBRAM", "VCCINT"}
         for rail in payload["rails"].values():
             assert set(rail) == self.RAIL_KEYS
+        assert set(payload["search"]) == self.SEARCH_KEYS
 
     def test_sweep_schema(self, capsys):
         payload = run_json(capsys, ["sweep", "--platform", "ZC702", "--runs", "2", "--json"])
-        assert set(payload) == {"platform", "pattern", "points"}
+        assert set(payload) == {"platform", "pattern", "search", "points"}
         assert payload["points"]
         for point in payload["points"]:
             assert set(point) == {"vccbram_v", "faults_per_mbit", "bram_power_w"}
+        assert set(payload["search"]) == self.SEARCH_KEYS
 
     def test_characterize_schema(self, capsys):
         payload = run_json(
@@ -131,9 +135,13 @@ class TestJsonGoldenStructure:
         ])
         assert set(run) == {
             "name", "spec_hash", "n_units", "n_executed", "n_skipped",
-            "n_workers", "executed_unit_ids",
+            "n_workers", "search", "evaluations", "executed_unit_ids",
         }
         assert run["n_executed"] == 2
+        assert {
+            "n_units", "n_evaluations", "n_cache_hits", "n_exhaustive_equivalent",
+            "evaluations_saved", "saved_fraction", "speedup_factor",
+        } == set(run["evaluations"])
 
         status = run_json(capsys, [
             "campaign", "status", "--name", "cli-golden", "--root", root, "--json",
@@ -149,7 +157,7 @@ class TestJsonGoldenStructure:
         ])
         assert set(report) == {
             "name", "sweep", "spec_hash", "n_units", "n_completed",
-            "complete", "units", "population",
+            "complete", "search", "evaluations", "units", "population",
         }
         assert set(report["population"]) == {"fleet", "by_platform"}
         for row in report["units"]:
@@ -157,6 +165,61 @@ class TestJsonGoldenStructure:
         for dist in report["population"]["fleet"].values():
             assert {"mean", "median", "min", "max", "std", "n", "p5", "p95",
                     "spread_fraction"} <= set(dist)
+
+
+class TestSearchFlag:
+    """The --search knob: provably identical answers, different cost."""
+
+    def test_guardband_modes_agree_bit_for_bit(self, capsys):
+        adaptive = run_json(
+            capsys, ["guardband", "--platform", "ZC702", "--search", "adaptive", "--json"]
+        )
+        exhaustive = run_json(
+            capsys, ["guardband", "--platform", "ZC702", "--search", "exhaustive", "--json"]
+        )
+        assert adaptive["rails"] == exhaustive["rails"]
+        assert adaptive["search"]["mode"] == "adaptive"
+        assert exhaustive["search"]["mode"] == "exhaustive"
+        assert (
+            adaptive["search"]["n_evaluations"]
+            < exhaustive["search"]["n_evaluations"]
+        )
+        assert (
+            adaptive["search"]["n_exhaustive_equivalent"]
+            == exhaustive["search"]["n_evaluations"]
+        )
+
+    def test_sweep_modes_agree(self, capsys):
+        adaptive = run_json(
+            capsys,
+            ["sweep", "--platform", "ZC702", "--runs", "2", "--search", "adaptive", "--json"],
+        )
+        exhaustive = run_json(
+            capsys,
+            ["sweep", "--platform", "ZC702", "--runs", "2", "--search", "exhaustive", "--json"],
+        )
+        assert adaptive["points"] == exhaustive["points"]
+
+    def test_campaign_run_search_override_changes_identity(self, capsys, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "name": "cli-search",
+            "chips": [{"platform": "ZC702", "n_chips": 1}],
+            "sweep": "guardband",
+            "runs_per_step": 2,
+        }))
+        root = str(tmp_path / "campaigns")
+        adaptive = run_json(capsys, [
+            "campaign", "run", "--spec", str(spec_path), "--root", root, "--json",
+        ])
+        assert adaptive["search"] == "adaptive"
+        # Overriding the knob is a different campaign under the same name:
+        # the store refuses to mix the two.
+        assert main([
+            "campaign", "run", "--spec", str(spec_path), "--root", root,
+            "--search", "exhaustive", "--json",
+        ]) == 2
+        assert "does not match" in capsys.readouterr().err
 
 
 class TestCampaignCommand:
