@@ -11,6 +11,12 @@ from .fleet import (
     similarity_extremes,
 )
 from .report import ExperimentReport, ReportError, Section
+from .runtime import (
+    RuntimeSummary,
+    guardband_recovery_fraction,
+    policy_comparison,
+    summarize_telemetry,
+)
 from .stats import (
     StatsError,
     Summary,
@@ -27,6 +33,7 @@ __all__ = [
     "FleetDistribution",
     "PairSimilarity",
     "ReportError",
+    "RuntimeSummary",
     "Section",
     "StatsError",
     "Summary",
@@ -37,10 +44,13 @@ __all__ = [
     "format_value",
     "fvm_similarity",
     "geometric_mean",
+    "guardband_recovery_fraction",
+    "policy_comparison",
     "population_summary",
     "relative_change",
     "render_kv",
     "render_table",
     "similarity_extremes",
     "summarize",
+    "summarize_telemetry",
 ]

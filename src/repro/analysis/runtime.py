@@ -1,0 +1,202 @@
+"""Energy, accuracy and SLO summaries over runtime telemetry.
+
+The runtime subsystem (:mod:`repro.runtime`) logs per-step, per-chip
+telemetry; this module is its aggregation layer, deliberately decoupled the
+same way :mod:`repro.analysis.fleet` is decoupled from the campaign store:
+inputs are plain telemetry *documents* (the JSON form of
+:class:`repro.runtime.telemetry.TelemetryLog`, or any object exposing
+``to_document()``), so saved runs, live runs and ad-hoc scripts all
+summarize through one code path.
+
+The headline metric is the **guardband recovery fraction**: of the BRAM
+power the static guardband wastes (nominal-voltage energy minus the energy
+of parking every die at its characterized Vmin), how much did a policy
+actually recover?  The acceptance benchmark requires the predictive
+governor to recover at least 60 % of it with zero uncorrected-fault
+inferences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from .stats import StatsError
+
+
+def _telemetry_fields(telemetry: Any) -> Dict[str, Any]:
+    """Normalize a telemetry input without a serialization round trip.
+
+    A live :class:`~repro.runtime.telemetry.TelemetryLog` already holds its
+    arrays in memory — read them directly; a document mapping (a saved run)
+    is converted on the fly.  Both paths land on the same field names, so
+    there is exactly one aggregation implementation below.
+    """
+    if hasattr(telemetry, "arrays") and hasattr(telemetry, "trace"):
+        return {
+            "policy": telemetry.policy,
+            "trace": telemetry.trace,
+            "n_actuations": telemetry.n_actuations,
+            "arrays": dict(telemetry.arrays),
+        }
+    if isinstance(telemetry, Mapping):
+        return {
+            "policy": telemetry["policy"],
+            "trace": telemetry["trace"],
+            "n_actuations": telemetry.get("n_actuations", 0),
+            "arrays": {
+                name: np.asarray(values)
+                for name, values in telemetry["arrays"].items()
+            },
+        }
+    raise StatsError(
+        "telemetry must be a document mapping or a TelemetryLog-like object"
+    )
+
+
+@dataclass(frozen=True)
+class RuntimeSummary:
+    """Fleet-wide outcome of one policy over one trace.
+
+    Attributes
+    ----------
+    policy:
+        Governor policy name.
+    n_chips / n_steps:
+        Fleet and horizon sizes.
+    requests:
+        Total inference arrivals of the trace.
+    served:
+        Inferences actually completed.
+    faulty_inferences:
+        Inferences served while the accelerator's weight BRAMs carried an
+        uncorrected fault (the zero-tolerance acceptance metric).
+    slo_violations:
+        Arrivals that missed service: routed to no operational chip, or
+        beyond a chip's per-step capacity.
+    crash_steps:
+        Chip-steps spent down or rebooting after a crash.
+    n_actuations:
+        ``VOUT_COMMAND`` writes the governor issued.
+    energy_j / mean_bram_power_w / mean_voltage_v:
+        Fleet BRAM-rail energy and its per-step averages.
+    """
+
+    policy: str
+    n_chips: int
+    n_steps: int
+    requests: int
+    served: int
+    faulty_inferences: int
+    slo_violations: int
+    crash_steps: int
+    n_actuations: int
+    energy_j: float
+    mean_bram_power_w: float
+    mean_voltage_v: float
+
+    @property
+    def served_fraction(self) -> float:
+        """Fraction of arrivals served (the availability metric)."""
+        if self.requests == 0:
+            return 1.0
+        return self.served / self.requests
+
+    @property
+    def faulty_fraction(self) -> float:
+        """Fraction of served inferences carrying uncorrected faults."""
+        if self.served == 0:
+            return 0.0
+        return self.faulty_inferences / self.served
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form (flat scalars plus the derived fractions)."""
+        return {
+            "policy": self.policy,
+            "n_chips": self.n_chips,
+            "n_steps": self.n_steps,
+            "requests": self.requests,
+            "served": self.served,
+            "served_fraction": self.served_fraction,
+            "faulty_inferences": self.faulty_inferences,
+            "faulty_fraction": self.faulty_fraction,
+            "slo_violations": self.slo_violations,
+            "crash_steps": self.crash_steps,
+            "n_actuations": self.n_actuations,
+            "energy_j": self.energy_j,
+            "mean_bram_power_w": self.mean_bram_power_w,
+            "mean_voltage_v": self.mean_voltage_v,
+        }
+
+
+def summarize_telemetry(telemetry: Any) -> RuntimeSummary:
+    """Condense one run's telemetry into a :class:`RuntimeSummary`."""
+    fields = _telemetry_fields(telemetry)
+    arrays = fields["arrays"]
+    n_chips, n_steps = arrays["voltages_v"].shape
+    requests = int(fields["trace"].get("total_requests", arrays["assigned"].sum()))
+    assigned = int(arrays["assigned"].sum())
+    served = int(arrays["served"].sum())
+    # Arrivals nobody was up to take, plus over-capacity spill at the chips.
+    slo_violations = (requests - assigned) + (assigned - served)
+    return RuntimeSummary(
+        policy=str(fields["policy"]),
+        n_chips=int(n_chips),
+        n_steps=int(n_steps),
+        requests=requests,
+        served=served,
+        faulty_inferences=int(arrays["faulty"].sum()),
+        slo_violations=int(slo_violations),
+        crash_steps=int(arrays["crashed"].sum()),
+        n_actuations=int(fields["n_actuations"]),
+        energy_j=float(arrays["energy_j"].sum()),
+        mean_bram_power_w=float(arrays["bram_power_w"].mean()),
+        mean_voltage_v=float(arrays["voltages_v"].mean()),
+    )
+
+
+def guardband_recovery_fraction(
+    summary: RuntimeSummary,
+    nominal_energy_j: float,
+    floor_energy_j: float,
+) -> float:
+    """Share of the static guardband's wasted power a policy recovered.
+
+    ``nominal_energy_j`` is the fleet's energy with every rail at nominal
+    over the same horizon; ``floor_energy_j`` the energy with every rail
+    parked at its characterized Vmin (the "static guardband" potential).  A
+    thermal-headroom-aware policy can exceed 1.0 by undervolting below the
+    characterized Vmin on hot silicon.
+    """
+    wasted = nominal_energy_j - floor_energy_j
+    if wasted <= 0:
+        raise StatsError(
+            "nominal energy must exceed the guardband floor to define recovery"
+        )
+    return (nominal_energy_j - summary.energy_j) / wasted
+
+
+def policy_comparison(
+    summaries: Mapping[str, RuntimeSummary],
+    nominal_energy_j: float,
+    floor_energy_j: float,
+    order: Optional[Sequence[str]] = None,
+) -> List[Dict[str, Any]]:
+    """Side-by-side policy rows (the ``runtime`` CLI/benchmark table).
+
+    Each row is a summary's flat dictionary plus its
+    ``guardband_recovered_fraction``; ``order`` fixes the row order
+    (defaults to mapping order).
+    """
+    names = list(summaries) if order is None else list(order)
+    rows: List[Dict[str, Any]] = []
+    for name in names:
+        summary = summaries[name]
+        row = summary.to_dict()
+        row["guardband_recovered_fraction"] = guardband_recovery_fraction(
+            summary, nominal_energy_j, floor_energy_j
+        )
+        rows.append(row)
+    return rows

@@ -325,6 +325,9 @@ class CampaignRunReport:
     n_workers: int
     search: str = "adaptive"
     evaluations: Dict[str, Any] = field(default_factory=dict)
+    #: Path of the emitted governor bundle (``governor_bundle`` spec knob),
+    #: or ``None`` when the campaign does not emit one.
+    governor_bundle: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON form used by ``repro-undervolt campaign run --json``."""
@@ -338,6 +341,7 @@ class CampaignRunReport:
             "search": self.search,
             "evaluations": dict(self.evaluations),
             "executed_unit_ids": list(self.executed),
+            "governor_bundle": self.governor_bundle,
         }
 
 
@@ -491,6 +495,13 @@ def run_campaign(
                     for future in finished:
                         _record(future.result())
 
+    bundle_file: Optional[str] = None
+    if spec.governor_bundle and store.status(spec).is_complete:
+        # Imported lazily: the runtime layer sits above the campaign layer.
+        from repro.runtime.characterization import write_governor_bundle
+
+        bundle_file = str(write_governor_bundle(store, spec))
+
     return CampaignRunReport(
         name=spec.name,
         spec_hash=spec.spec_hash,
@@ -500,4 +511,5 @@ def run_campaign(
         n_workers=n_workers,
         search=spec.search,
         evaluations=merge_search_documents(search_documents),
+        governor_bundle=bundle_file,
     )

@@ -215,6 +215,11 @@ class CampaignSpec:
     patterns: Tuple[str, ...] = ("FFFF",)
     runs_per_step: int = 5
     search: str = DEFAULT_SEARCH
+    #: Emit a governor-ready characterization bundle
+    #: (``governor_bundle.json``, see :mod:`repro.runtime.characterization`)
+    #: into the result store when the campaign run completes.  Only
+    #: meaningful for guardband campaigns.
+    governor_bundle: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "search", _checked_search_mode(self.search))
@@ -231,6 +236,11 @@ class CampaignSpec:
         if self.sweep not in SWEEP_KINDS:
             raise CampaignError(
                 f"unknown sweep kind {self.sweep!r}; expected one of {SWEEP_KINDS}"
+            )
+        if self.governor_bundle and self.sweep != "guardband":
+            raise CampaignError(
+                "governor_bundle requires a guardband campaign (the bundle "
+                "carries Vmin/Vcrash thresholds)"
             )
         if not self.temperatures_c:
             raise CampaignError("a campaign needs at least one temperature")
@@ -277,9 +287,13 @@ class CampaignSpec:
         }
         # Serialized only off-default so the canonical document (and the
         # spec hash pinning every existing store's manifest) is unchanged
-        # for adaptive campaigns; see WorkUnit.to_dict.
+        # for adaptive campaigns; see WorkUnit.to_dict.  The same rule keeps
+        # non-bundle campaigns' hashes stable across the governor_bundle
+        # knob's introduction.
         if self.search != DEFAULT_SEARCH:
             document["search"] = self.search
+        if self.governor_bundle:
+            document["governor_bundle"] = True
         return document
 
     @classmethod
@@ -287,7 +301,7 @@ class CampaignSpec:
         """Build a spec from its JSON document."""
         unknown = set(document) - {
             "name", "chips", "sweep", "temperatures_c", "patterns", "runs_per_step",
-            "search",
+            "search", "governor_bundle",
         }
         if unknown:
             raise CampaignError(f"unknown campaign keys: {sorted(unknown)}")
@@ -303,6 +317,7 @@ class CampaignSpec:
             patterns=tuple(document.get("patterns", ("FFFF",))),
             runs_per_step=int(document.get("runs_per_step", 5)),
             search=document.get("search", DEFAULT_SEARCH),
+            governor_bundle=bool(document.get("governor_bundle", False)),
         )
 
     @classmethod

@@ -12,12 +12,18 @@ without writing Python:
   Vcrash under the default and ICBP placements and compare the accuracy loss;
 * ``campaign``      — fleet-scale populations of simulated boards: ``run``,
   ``status`` and ``report`` over a declarative campaign spec
-  (:mod:`repro.campaign`, see ``docs/campaigns.md``).
+  (:mod:`repro.campaign`, see ``docs/campaigns.md``);
+* ``runtime``       — closed-loop runtime undervolting: ``run`` a governed
+  fleet through a workload trace and ``report`` saved telemetry
+  (:mod:`repro.runtime`, see ``docs/runtime.md``).
 
 Every single-board command accepts ``--platform`` (default VC707) and prints
 aligned ASCII tables; machine-readable output is available with ``--json``.
-The full reference, including each ``--json`` document schema, lives in
-``docs/cli.md``.
+Every ``--json`` document segregates its wall-clock measurements under a
+single ``timing`` key (at least ``wall_s``), so the rest of each document is
+a pure function of the inputs and seeds — golden-structure tests compare it
+exactly.  The full reference, including each ``--json`` document schema,
+lives in ``docs/cli.md``.
 """
 
 from __future__ import annotations
@@ -26,8 +32,9 @@ import argparse
 import dataclasses
 import json
 import sys
+import time
 from pathlib import Path
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.analysis import render_table
 from repro.campaign import (
@@ -49,6 +56,25 @@ from repro.core.characterization import (
 )
 from repro.fpga import FpgaChip, platform_names
 from repro.harness import UndervoltingExperiment
+from repro.runtime.governor import POLICY_NAMES
+from repro.runtime.workload import TRACE_KINDS
+
+
+#: Wall-clock start of the current command, set by :func:`main`.  Every
+#: ``--json`` document routes through :func:`_emit_json`, which appends the
+#: elapsed time under the single ``timing`` key — the one place wall-clock
+#: (non-deterministic) values are allowed to appear.
+_COMMAND_T0: Optional[float] = None
+
+
+def _emit_json(document: Dict[str, Any], **extra_timing: float) -> None:
+    """Print a ``--json`` document with its segregated ``timing`` block."""
+    timing: Dict[str, float] = {}
+    if _COMMAND_T0 is not None:
+        timing["wall_s"] = round(time.perf_counter() - _COMMAND_T0, 6)
+    timing.update(extra_timing)
+    document["timing"] = timing
+    print(json.dumps(document, indent=2))
 
 
 def _add_platform_argument(parser: argparse.ArgumentParser) -> None:
@@ -162,6 +188,77 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_campaign_common(report, need_spec=False)
 
+    runtime = subparsers.add_parser(
+        "runtime", help="closed-loop runtime undervolting on a serving fleet"
+    )
+    runtime_sub = runtime.add_subparsers(dest="runtime_command", required=True)
+
+    run_rt = runtime_sub.add_parser(
+        "run", help="serve a workload trace under one or all governor policies"
+    )
+    _add_platform_argument(run_rt)
+    _add_json_argument(run_rt)
+    run_rt.add_argument(
+        "--chips", type=int, default=4, help="fleet size when characterizing inline"
+    )
+    run_rt.add_argument(
+        "--campaign",
+        metavar="NAME",
+        help="take the fleet's characterizations from this campaign's store "
+        "(guardband sweep) instead of characterizing inline",
+    )
+    run_rt.add_argument(
+        "--root",
+        default=DEFAULT_ROOT,
+        help="campaign store root used with --campaign (default: campaigns/)",
+    )
+    run_rt.add_argument(
+        "--policy",
+        choices=list(POLICY_NAMES) + ["all"],
+        default="all",
+        help="governor policy to simulate ('all' compares every policy)",
+    )
+    run_rt.add_argument(
+        "--trace",
+        choices=list(TRACE_KINDS),
+        default="diurnal",
+        help="workload trace family (see docs/runtime.md)",
+    )
+    run_rt.add_argument("--steps", type=int, default=400, help="simulation steps")
+    run_rt.add_argument("--seed", type=int, default=7, help="trace seed")
+    run_rt.add_argument(
+        "--capacity-rps",
+        type=float,
+        default=150.0,
+        help="per-chip serving capacity in requests per second",
+    )
+    run_rt.add_argument(
+        "--train-samples",
+        type=int,
+        default=500,
+        help="training-set size of the served network",
+    )
+    run_rt.add_argument(
+        "--no-icbp",
+        action="store_true",
+        help="compile the accelerators with the default placement instead of ICBP",
+    )
+    run_rt.add_argument(
+        "--save",
+        metavar="PATH",
+        help="write the run's full telemetry document to this JSON file "
+        "(readable by 'runtime report')",
+    )
+
+    report_rt = runtime_sub.add_parser(
+        "report", help="summarize a saved runtime telemetry document"
+    )
+    _add_json_argument(report_rt)
+    report_rt.add_argument(
+        "--telemetry", metavar="PATH", required=True,
+        help="telemetry document written by 'runtime run --save'",
+    )
+
     return parser
 
 
@@ -206,9 +303,7 @@ def _cmd_guardband(args: argparse.Namespace) -> int:
         }
     search = _search_payload(search_documents, args.search)
     if args.json:
-        print(json.dumps(
-            {"platform": args.platform, "rails": payload, "search": search}, indent=2
-        ))
+        _emit_json({"platform": args.platform, "rails": payload, "search": search})
         return 0
     rows = [
         (rail, data["vnom_v"], data["vmin_v"], data["vcrash_v"],
@@ -240,20 +335,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     series = result.as_series()
     if args.json:
-        print(json.dumps(
-            {
-                "platform": args.platform,
-                "pattern": args.pattern,
-                "search": _search_payload(
-                    [experiment.last_search_report.to_dict()], args.search
-                ),
-                "points": [
-                    {"vccbram_v": v, "faults_per_mbit": rate, "bram_power_w": power}
-                    for v, rate, power in series
-                ],
-            },
-            indent=2,
-        ))
+        _emit_json({
+            "platform": args.platform,
+            "pattern": args.pattern,
+            "search": _search_payload(
+                [experiment.last_search_report.to_dict()], args.search
+            ),
+            "points": [
+                {"vccbram_v": v, "faults_per_mbit": rate, "bram_power_w": power}
+                for v, rate, power in series
+            ],
+        })
         return 0
     print(render_table(
         ["VCCBRAM (V)", "faults per Mbit", "BRAM power (W)"],
@@ -283,7 +375,7 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
         },
     }
     if args.json:
-        print(json.dumps(payload, indent=2))
+        _emit_json(payload)
         return 0
     print(render_table(
         ["pattern", "faults per Mbit"],
@@ -339,7 +431,7 @@ def _cmd_icbp(args: argparse.Namespace) -> int:
         "power_savings_vs_vmin": icbp.power_savings_vs_vmin,
     }
     if args.json:
-        print(json.dumps(payload, indent=2))
+        _emit_json(payload)
         return 0
     print(render_table(
         ["placement", "error %", "accuracy loss %"],
@@ -402,7 +494,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         progress=None if args.json else progress,
     )
     if args.json:
-        print(json.dumps(report.to_dict(), indent=2))
+        _emit_json(report.to_dict())
         return 0
     store = CampaignStore(spec.name, args.root)
     evaluations = report.evaluations
@@ -422,7 +514,12 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
              evaluations.get("n_exhaustive_equivalent", 0)),
             ("evaluations saved", evaluations.get("evaluations_saved", 0)),
             ("result store", str(store.directory)),
-        ],
+        ]
+        + (
+            [("governor bundle", report.governor_bundle)]
+            if report.governor_bundle
+            else []
+        ),
         title=f"Campaign {spec.name}: run complete",
     ))
     return 0
@@ -432,7 +529,7 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
     spec = _resolve_spec(args)
     status = CampaignStore(spec.name, args.root).status(spec)
     if args.json:
-        print(json.dumps(status.to_dict(), indent=2))
+        _emit_json(status.to_dict())
         return 0
     print(render_table(
         ["metric", "value"],
@@ -455,7 +552,7 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
     report = build_report(CampaignStore(spec.name, args.root), spec)
     payload = report.to_dict()
     if args.json:
-        print(json.dumps(payload, indent=2))
+        _emit_json(payload)
         return 0
     scope_rows = [("fleet", metric, dist) for metric, dist in report.fleet.items()] + [
         (platform, metric, dist)
@@ -500,6 +597,220 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# Runtime sub-commands
+# ----------------------------------------------------------------------
+def _runtime_summary_payload(logs, simulator) -> dict:
+    """The shared summary block of both runtime ``--json`` documents."""
+    from repro.analysis.runtime import policy_comparison, summarize_telemetry
+
+    nominal = simulator.nominal_energy_j()
+    floor = simulator.guardband_floor_energy_j()
+    summaries = {name: summarize_telemetry(log) for name, log in logs.items()}
+    rows = policy_comparison(summaries, nominal, floor, order=list(logs))
+    return {
+        "baselines": {
+            "nominal_energy_j": nominal,
+            "guardband_floor_energy_j": floor,
+        },
+        "policies": {row["policy"]: row for row in rows},
+    }
+
+
+def _print_runtime_table(payload: dict, title: str) -> None:
+    """Human-readable policy comparison (shared by run and report)."""
+    rows = [
+        (
+            name,
+            row["mean_voltage_v"],
+            row["energy_j"],
+            100.0 * row["guardband_recovered_fraction"],
+            row["faulty_inferences"],
+            row["slo_violations"],
+            row["crash_steps"],
+        )
+        for name, row in payload["policies"].items()
+    ]
+    print(render_table(
+        ["policy", "mean V", "energy (J)", "guardband recovered %",
+         "faulty inferences", "SLO violations", "crash steps"],
+        rows,
+        title=title,
+    ))
+
+
+def _cmd_runtime_run(args: argparse.Namespace) -> int:
+    # Imported lazily: the runtime stack pulls in the NN/accelerator layers.
+    from repro.fpga.platform import fleet_serials
+    from repro.nn import (
+        QuantizedNetwork,
+        SCALED_TOPOLOGY,
+        TrainingConfig,
+        synthetic_mnist,
+        train_network,
+    )
+    from repro.runtime import FleetSimulator, GovernorBundle, build_trace
+
+    if args.campaign:
+        store = CampaignStore(args.campaign, args.root)
+        bundle = GovernorBundle.from_campaign(store)
+    else:
+        chips = [
+            FpgaChip.build(args.platform, serial=serial)
+            for serial in fleet_serials(args.platform, args.chips)
+        ]
+        bundle = GovernorBundle.from_chips(chips)
+
+    dataset = synthetic_mnist(n_train=args.train_samples, n_test=200)
+    trained = train_network(
+        dataset, topology=SCALED_TOPOLOGY, config=TrainingConfig(seed=3)
+    )
+    network = QuantizedNetwork.from_network(trained.network)
+
+    trace = build_trace(args.trace, n_steps=args.steps, seed=args.seed)
+    simulator = FleetSimulator(
+        bundle,
+        network,
+        trace,
+        icbp=not args.no_icbp,
+        capacity_rps=args.capacity_rps,
+    )
+    policies = list(POLICY_NAMES) if args.policy == "all" else [args.policy]
+    logs = simulator.run_policies(policies)
+
+    if args.save:
+        document = {
+            "version": 1,
+            "trace": trace.to_dict(),
+            "bundle": bundle.to_document(),
+            "baselines": {
+                "nominal_energy_j": simulator.nominal_energy_j(),
+                "guardband_floor_energy_j": simulator.guardband_floor_energy_j(),
+            },
+            "runs": {name: log.to_document() for name, log in logs.items()},
+        }
+        Path(args.save).write_text(json.dumps(document, indent=2) + "\n")
+
+    payload = {
+        "fleet": {
+            "n_chips": len(bundle),
+            "source": bundle.source,
+            "icbp": not args.no_icbp,
+        },
+        "trace": trace.to_dict(),
+        **_runtime_summary_payload(logs, simulator),
+    }
+    if args.json:
+        _emit_json(
+            payload,
+            steps_per_s=0.0 if _COMMAND_T0 is None else round(
+                len(logs) * trace.n_steps
+                / max(1e-9, time.perf_counter() - _COMMAND_T0),
+                3,
+            ),
+        )
+        return 0
+    _print_runtime_table(
+        payload,
+        title=(
+            f"Runtime governor on {len(bundle)} chips, {trace.n_steps}-step "
+            f"{trace.kind} trace ({payload['fleet']['source']})"
+        ),
+    )
+    return 0
+
+
+def _cmd_runtime_report(args: argparse.Namespace) -> int:
+    from repro.analysis.runtime import (
+        guardband_recovery_fraction,
+        summarize_telemetry,
+    )
+    from repro.runtime import TelemetryError, TelemetryLog
+
+    path = Path(args.telemetry)
+    if not path.exists():
+        raise TelemetryError(f"no telemetry document at {path}")
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise TelemetryError(
+            f"telemetry document {path} is not valid JSON: {exc}"
+        ) from exc
+    logs = {
+        name: TelemetryLog.from_document(run)
+        for name, run in document.get("runs", {}).items()
+    }
+    if not logs:
+        raise TelemetryError(f"telemetry document {path} holds no runs")
+
+    baselines = document.get("baselines")
+    if not baselines:
+        raise TelemetryError(
+            f"telemetry document {path} carries no energy baselines; "
+            "re-save it with 'runtime run --save'"
+        )
+    nominal = float(baselines["nominal_energy_j"])
+    floor = float(baselines["guardband_floor_energy_j"])
+
+    summaries = {name: summarize_telemetry(log) for name, log in logs.items()}
+    payload = {
+        "telemetry": str(path),
+        "trace": dict(document.get("trace", {})),
+        "baselines": {
+            "nominal_energy_j": nominal,
+            "guardband_floor_energy_j": floor,
+        },
+        "policies": {
+            name: {
+                **summary.to_dict(),
+                "guardband_recovered_fraction": guardband_recovery_fraction(
+                    summary, nominal, floor
+                ),
+            }
+            for name, summary in summaries.items()
+        },
+    }
+    if args.json:
+        _emit_json(payload)
+        return 0
+    _print_runtime_table(
+        payload, title=f"Runtime telemetry report: {path.name}"
+    )
+    return 0
+
+
+_RUNTIME_COMMANDS = {
+    "run": _cmd_runtime_run,
+    "report": _cmd_runtime_report,
+}
+
+
+def _cmd_runtime(args: argparse.Namespace) -> int:
+    from repro.fpga.platform import PlatformError
+    from repro.runtime import (
+        CharacterizationError,
+        GovernorError,
+        SimulationError,
+        TelemetryError,
+        TraceError,
+    )
+
+    try:
+        return _RUNTIME_COMMANDS[args.runtime_command](args)
+    except (
+        CampaignError,
+        CharacterizationError,
+        GovernorError,
+        PlatformError,
+        SimulationError,
+        TelemetryError,
+        TraceError,
+        OSError,
+    ) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
 _CAMPAIGN_COMMANDS = {
     "run": _cmd_campaign_run,
     "status": _cmd_campaign_status,
@@ -521,13 +832,16 @@ _COMMANDS = {
     "characterize": _cmd_characterize,
     "icbp": _cmd_icbp,
     "campaign": _cmd_campaign,
+    "runtime": _cmd_runtime,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``repro-undervolt`` console script."""
+    global _COMMAND_T0
     parser = build_parser()
     args = parser.parse_args(argv)
+    _COMMAND_T0 = time.perf_counter()
     return _COMMANDS[args.command](args)
 
 

@@ -1,0 +1,291 @@
+"""The closed-loop voltage governor and its pluggable policies.
+
+The offline result that makes a *runtime* governor possible is the paper's
+fault taxonomy: undervolting faults are deterministic, location-stable and
+temperature-dependent (ITD).  A governor therefore does not need to guess —
+it needs a per-die threshold table (:mod:`repro.runtime.characterization`)
+and a temperature reading, and it can hold every board at its minimum safe
+voltage while the workload and thermal environment drift.
+
+Four policies span the design space the runtime benchmark compares:
+
+* ``static-nominal`` — the guardband baseline: never undervolt.  Zero risk,
+  maximum power.
+* ``static-undervolt`` — the guardband-informed static point: park the rail
+  at the characterized ``Vmin``.  Recovers most of the guardband power but
+  loses its safety margin the moment the board runs *colder* than the
+  characterization temperature (ITD in reverse).
+* ``reactive`` — fault-feedback control: sit at the characterized ``Vmin``,
+  back off one step whenever the read-back scrubber reports faults, creep
+  back down after a clean hold.  Finds the true boundary without a thermal
+  model, but pays for every lesson with served faulty inferences.
+* ``predictive`` — thermal-headroom-aware feed-forward: compensate the
+  characterized ``Vmin`` with the fitted ITD coefficient for the *current*
+  board temperature, keep the six-sigma ripple margin, and round up to the
+  regulator resolution.  Tracks cold transients before they bite and dips
+  below the characterized ``Vmin`` when the silicon runs hot — zero faults
+  by construction of the margin.
+
+:class:`VoltageGovernor` binds one policy to a characterization bundle and
+actuates through the existing :class:`~repro.harness.pmbus.PmbusAdapter`, so
+the simulated hardware sees the same ``VOUT_COMMAND`` traffic a real UCD9248
+would.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Type
+
+from repro.fpga.voltage import VCCBRAM
+from repro.harness.pmbus import PmbusAdapter
+
+from .characterization import DieCharacterization, GovernorBundle
+
+
+class GovernorError(RuntimeError):
+    """Raised for unknown policies, dies or invalid policy parameters."""
+
+
+#: Regulator setpoint resolution the policies quantize to (UCD9248: 1 mV).
+RESOLUTION_V = 0.001
+
+
+def ceil_to_resolution(volts: float, resolution_v: float = RESOLUTION_V) -> float:
+    """Round *up* to the regulator resolution.
+
+    Safety-critical direction: rounding a safe floor down could command a
+    voltage below it, so every policy quantizes upward.
+    """
+    return round(math.ceil(volts / resolution_v - 1e-9) * resolution_v, 6)
+
+
+@dataclass(frozen=True)
+class GovernorObservation:
+    """What the governor sees about one die at the top of a step."""
+
+    step: int
+    temperature_c: float
+    faults_last_step: int
+    setpoint_v: float
+
+
+class GovernorPolicy:
+    """Base class: maps (die characterization, observation) to a setpoint.
+
+    Policies may keep per-die state (the reactive controller does); state is
+    keyed by the die's chip key and wiped by :meth:`reset`, which the
+    simulator calls once per run so repeated simulations are independent.
+    """
+
+    #: Registry name; subclasses override.
+    name = "base"
+    #: Safety floor above the characterized crash voltage.
+    floor_margin_v = 0.020
+
+    def reset(self) -> None:
+        """Forget any per-die controller state (start of a run)."""
+
+    def clamp(self, die: DieCharacterization, volts: float) -> float:
+        """Clamp a request into the die's safe actuation window."""
+        floor = die.vcrash_v + self.floor_margin_v
+        return min(die.vnom_v, max(floor, volts))
+
+    def target_voltage(
+        self, die: DieCharacterization, observation: GovernorObservation
+    ) -> float:
+        """The setpoint this policy wants for the coming step."""
+        raise NotImplementedError
+
+    def notify_crash(self, die: DieCharacterization) -> None:
+        """Called when the die crashed and was power-cycled (state reset)."""
+
+
+class StaticNominalPolicy(GovernorPolicy):
+    """Baseline: keep the full factory guardband (never undervolt)."""
+
+    name = "static-nominal"
+
+    def target_voltage(
+        self, die: DieCharacterization, observation: GovernorObservation
+    ) -> float:
+        return die.vnom_v
+
+
+class StaticUndervoltPolicy(GovernorPolicy):
+    """Guardband-informed static point: park at the characterized Vmin.
+
+    ``margin_v`` raises the parking spot; the default of zero reproduces the
+    naive "deploy at Vmin" strategy whose cold-transient faults motivate the
+    closed-loop policies.
+    """
+
+    name = "static-undervolt"
+
+    def __init__(self, margin_v: float = 0.0) -> None:
+        if margin_v < 0:
+            raise GovernorError("margin_v must be non-negative")
+        self.margin_v = margin_v
+
+    def target_voltage(
+        self, die: DieCharacterization, observation: GovernorObservation
+    ) -> float:
+        return self.clamp(die, ceil_to_resolution(die.vmin_v + self.margin_v))
+
+
+class ReactiveBackoffPolicy(GovernorPolicy):
+    """Fault-feedback control: back off on faults, creep down when clean.
+
+    A classic additive-increase controller on the voltage axis: faults in
+    the previous step raise the target by ``backoff_v`` immediately; after
+    ``hold_steps`` consecutive clean steps the target creeps down by
+    ``probe_v``.  The controller oscillates around the *true* (temperature
+    dependent) fault boundary — it exploits thermal headroom without a
+    thermal model, but every downward probe that crosses the boundary serves
+    faulty inferences for one step.
+    """
+
+    name = "reactive"
+
+    def __init__(
+        self,
+        backoff_v: float = 0.010,
+        probe_v: float = 0.001,
+        hold_steps: int = 25,
+    ) -> None:
+        if backoff_v <= 0 or probe_v <= 0:
+            raise GovernorError("backoff_v and probe_v must be positive")
+        if hold_steps < 1:
+            raise GovernorError("hold_steps must be at least 1")
+        self.backoff_v = backoff_v
+        self.probe_v = probe_v
+        self.hold_steps = hold_steps
+        self._state: Dict[Tuple[str, str], Dict[str, float]] = {}
+
+    def reset(self) -> None:
+        self._state.clear()
+
+    def notify_crash(self, die: DieCharacterization) -> None:
+        # Restart conservatively from the characterized safe point.
+        self._state.pop(die.chip_key, None)
+
+    def target_voltage(
+        self, die: DieCharacterization, observation: GovernorObservation
+    ) -> float:
+        state = self._state.setdefault(
+            die.chip_key, {"target_v": die.vmin_v, "clean_steps": 0.0}
+        )
+        if observation.faults_last_step > 0:
+            state["target_v"] = state["target_v"] + self.backoff_v
+            state["clean_steps"] = 0.0
+        else:
+            state["clean_steps"] += 1.0
+            if state["clean_steps"] >= self.hold_steps:
+                state["target_v"] = state["target_v"] - self.probe_v
+                state["clean_steps"] = 0.0
+        state["target_v"] = self.clamp(die, ceil_to_resolution(state["target_v"]))
+        return state["target_v"]
+
+
+class PredictiveItdPolicy(GovernorPolicy):
+    """Thermal-headroom-aware feed-forward: ITD-compensated Vmin plus margin.
+
+    The safe floor at board temperature ``T`` is the characterized ``Vmin``
+    shifted by the fitted ITD coefficient; adding the die's six-sigma ripple
+    margin and rounding *up* to the regulator resolution makes the command
+    sit strictly above every failure threshold at every temperature — which
+    is why this policy serves zero faulty inferences while undervolting
+    below the characterized ``Vmin`` whenever the silicon runs hot.
+    """
+
+    name = "predictive"
+
+    def __init__(self, extra_margin_v: float = 0.0) -> None:
+        if extra_margin_v < 0:
+            raise GovernorError("extra_margin_v must be non-negative")
+        self.extra_margin_v = extra_margin_v
+
+    def target_voltage(
+        self, die: DieCharacterization, observation: GovernorObservation
+    ) -> float:
+        floor = die.compensated_vmin_v(observation.temperature_c)
+        target = ceil_to_resolution(
+            floor + die.ripple_margin_v + self.extra_margin_v
+        )
+        return self.clamp(die, target)
+
+
+#: Policy registry, in documentation order (the CLI's ``--policy`` choices).
+POLICIES: Dict[str, Type[GovernorPolicy]] = {
+    StaticNominalPolicy.name: StaticNominalPolicy,
+    StaticUndervoltPolicy.name: StaticUndervoltPolicy,
+    ReactiveBackoffPolicy.name: ReactiveBackoffPolicy,
+    PredictiveItdPolicy.name: PredictiveItdPolicy,
+}
+
+#: Policy names in registry order.
+POLICY_NAMES: Tuple[str, ...] = tuple(POLICIES)
+
+
+def build_policy(name: str, **kwargs: object) -> GovernorPolicy:
+    """Instantiate a policy by registry name."""
+    try:
+        factory = POLICIES[name]
+    except KeyError:
+        raise GovernorError(
+            f"unknown policy {name!r}; available: {', '.join(POLICY_NAMES)}"
+        ) from None
+    return factory(**kwargs)  # type: ignore[arg-type]
+
+
+@dataclass
+class VoltageGovernor:
+    """One policy bound to a fleet's characterization bundle.
+
+    The governor is the only component that touches the rails: it reads the
+    board temperature and writes setpoints exclusively through the bound
+    die's :class:`~repro.harness.pmbus.PmbusAdapter`, so its entire hardware
+    footprint is auditable from the adapter's transaction log.
+    """
+
+    policy: GovernorPolicy
+    bundle: GovernorBundle
+    #: Count of ``VOUT_COMMAND`` writes actually issued (setpoint changes).
+    n_actuations: int = field(default=0, init=False)
+
+    def die_of(self, adapter: PmbusAdapter) -> DieCharacterization:
+        """The bundle entry for an adapter's chip; raises for unknown dies."""
+        spec = adapter.chip.spec
+        return self.bundle.get(spec.name, spec.serial_number)
+
+    def plan(
+        self, die: DieCharacterization, observation: GovernorObservation
+    ) -> float:
+        """The setpoint the policy wants, without touching hardware."""
+        return self.policy.target_voltage(die, observation)
+
+    def step(
+        self,
+        adapter: PmbusAdapter,
+        step: int,
+        faults_last_step: int,
+    ) -> float:
+        """One control iteration: read temperature, decide, actuate.
+
+        Only issues a ``VOUT_COMMAND`` when the target differs from the
+        current setpoint (real deployments avoid redundant PMBUS writes);
+        returns the rail's setpoint after the step either way.
+        """
+        die = self.die_of(adapter)
+        observation = GovernorObservation(
+            step=step,
+            temperature_c=adapter.read_temperature(),
+            faults_last_step=faults_last_step,
+            setpoint_v=adapter.chip.vccbram,
+        )
+        target = self.plan(die, observation)
+        if abs(target - observation.setpoint_v) > 1e-9:
+            self.n_actuations += 1
+            return adapter.vout_command(VCCBRAM, target)
+        return observation.setpoint_v

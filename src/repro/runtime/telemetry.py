@@ -1,0 +1,149 @@
+"""Fleet telemetry: the per-step, per-chip record of a simulation run.
+
+Everything downstream — the energy/accuracy/SLO summaries of
+:mod:`repro.analysis.runtime`, the CLI's ``runtime report`` and the
+acceptance benchmark's determinism check — consumes telemetry, so the log
+is deliberately plain: parallel ``(n_chips, n_steps)`` arrays plus run
+metadata, JSON round-trippable, with a canonical digest that witnesses
+bit-identical replays (same trace + seed + bundle ⇒ same digest).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Tuple
+
+import numpy as np
+
+#: Telemetry document schema version.
+TELEMETRY_VERSION = 1
+
+#: The per-chip array fields a telemetry document carries, in order.
+ARRAY_FIELDS: Tuple[str, ...] = (
+    "voltages_v",
+    "temperatures_c",
+    "assigned",
+    "served",
+    "faulty",
+    "fault_bits",
+    "crashed",
+    "bram_power_w",
+    "energy_j",
+)
+
+
+class TelemetryError(ValueError):
+    """Raised for inconsistent telemetry shapes or documents."""
+
+
+@dataclass
+class TelemetryLog:
+    """Everything one :class:`~repro.runtime.simulator.FleetSimulator` run measured.
+
+    Array semantics (all shaped ``(n_chips, n_steps)``):
+
+    * ``voltages_v`` — VCCBRAM setpoint served at (nominal during recovery);
+    * ``temperatures_c`` — board temperature after the chamber ramp;
+    * ``assigned`` / ``served`` — inference requests routed to / completed by
+      the chip that step;
+    * ``faulty`` — *uncorrected-fault inferences*: requests served while the
+      accelerator's weight BRAMs carried at least one active fault;
+    * ``fault_bits`` — number of flipped weight bits the scrubber would see;
+    * ``crashed`` — 1 while the chip is down or rebooting after a crash;
+    * ``bram_power_w`` / ``energy_j`` — rail power at the served setpoint and
+      the step's energy (power × step seconds).
+    """
+
+    policy: str
+    trace: Dict[str, Any]
+    chips: List[Tuple[str, str]]
+    step_seconds: float
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: Number of VOUT_COMMAND writes the governor issued over the run.
+    n_actuations: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.chips:
+            raise TelemetryError("telemetry needs at least one chip")
+        shape = (len(self.chips), int(self.trace.get("n_steps", 0)))
+        for name in ARRAY_FIELDS:
+            if name not in self.arrays:
+                raise TelemetryError(f"telemetry array {name!r} is missing")
+            self.arrays[name] = np.asarray(self.arrays[name])
+            if self.arrays[name].shape != shape:
+                raise TelemetryError(
+                    f"telemetry array {name!r} has shape "
+                    f"{self.arrays[name].shape}, expected {shape}"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_chips(self) -> int:
+        """Number of chips the run simulated."""
+        return len(self.chips)
+
+    @property
+    def n_steps(self) -> int:
+        """Number of simulation steps."""
+        return int(self.arrays["voltages_v"].shape[1])
+
+    def array(self, name: str) -> np.ndarray:
+        """One telemetry array by field name."""
+        try:
+            return self.arrays[name]
+        except KeyError:
+            raise TelemetryError(f"unknown telemetry array {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_document(self) -> Dict[str, Any]:
+        """JSON document of the run (arrays as nested lists)."""
+        payload_arrays: Dict[str, Any] = {}
+        for name in ARRAY_FIELDS:
+            array = self.arrays[name]
+            if np.issubdtype(array.dtype, np.floating):
+                payload_arrays[name] = [
+                    [round(float(x), 9) for x in row] for row in array
+                ]
+            else:
+                payload_arrays[name] = array.astype(np.int64).tolist()
+        return {
+            "version": TELEMETRY_VERSION,
+            "policy": self.policy,
+            "trace": dict(self.trace),
+            "chips": [list(key) for key in self.chips],
+            "step_seconds": self.step_seconds,
+            "n_actuations": self.n_actuations,
+            "arrays": payload_arrays,
+        }
+
+    @classmethod
+    def from_document(cls, document: Mapping[str, Any]) -> "TelemetryLog":
+        """Rebuild a log from its JSON document (strict on version)."""
+        if document.get("version") != TELEMETRY_VERSION:
+            raise TelemetryError(
+                f"telemetry version {document.get('version')!r} is not the "
+                f"supported {TELEMETRY_VERSION}"
+            )
+        arrays = {
+            name: np.asarray(values)
+            for name, values in document.get("arrays", {}).items()
+        }
+        return cls(
+            policy=str(document["policy"]),
+            trace=dict(document["trace"]),
+            chips=[tuple(pair) for pair in document["chips"]],
+            step_seconds=float(document["step_seconds"]),
+            arrays=arrays,
+            n_actuations=int(document.get("n_actuations", 0)),
+        )
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical document: the bit-identity witness."""
+        canonical = json.dumps(
+            self.to_document(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()

@@ -1,0 +1,294 @@
+"""Workload traces: the request and ambient-temperature time series.
+
+A runtime governor only matters under *traffic*: the fleet serves inference
+requests while the thermal environment drifts, and the governor must keep
+every die at its minimum safe voltage through both.  A
+:class:`WorkloadTrace` is the deterministic, seeded time series that drives
+one :class:`~repro.runtime.simulator.FleetSimulator` run: per simulation
+step, how many inference requests arrive fleet-wide and what ambient
+temperature the heat chambers are commanded to (the boards themselves ramp
+toward it at the chamber's finite rate, producing the temperature
+*transients* the predictive policy compensates for).
+
+Three generator families cover the serving regimes a fleet operator sees:
+
+* :func:`diurnal_trace` — a day/night cycle: load and ambient rise and fall
+  together (traffic heats the racks), with cold troughs *below* the 50 °C
+  characterization temperature — the regime where a naive static undervolt
+  to the characterized Vmin starts faulting (ITD in reverse);
+* :func:`burst_trace` — a flat baseline punctuated by seeded traffic bursts
+  whose heat dissipates through a first-order thermal filter;
+* :func:`batch_trace` — a sustained batch-offline ramp at high, steady
+  ambient, the best case for thermal-headroom exploitation.
+
+Every trace is a pure function of its parameters and seed: the same call
+produces bit-identical arrays, which is what makes whole simulation runs
+replayable (the acceptance property of ``bench_runtime_governor``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+#: Trace kinds exposed by :func:`build_trace` (and the CLI's ``--trace``).
+TRACE_KINDS: Tuple[str, ...] = ("diurnal", "burst", "batch")
+
+
+class TraceError(ValueError):
+    """Raised for malformed workload-trace requests."""
+
+
+@dataclass(frozen=True, eq=False)
+class WorkloadTrace:
+    """One deterministic simulation input: requests and ambient per step.
+
+    Attributes
+    ----------
+    kind:
+        Generator family (``"diurnal"``, ``"burst"`` or ``"batch"``).
+    seed:
+        Seed of the generator's RNG; together with the parameters it fully
+        determines the arrays.
+    step_seconds:
+        Wall-clock duration one simulation step models (energy accounting
+        multiplies power by this).
+    requests:
+        Fleet-wide inference arrivals per step, ``int64``, shape
+        ``(n_steps,)``.
+    ambient_c:
+        Chamber setpoint per step in Celsius, shape ``(n_steps,)``.
+    params:
+        The generator parameters, kept for provenance and the digest.
+    """
+
+    kind: str
+    seed: int
+    step_seconds: float
+    requests: np.ndarray
+    ambient_c: np.ndarray
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "requests", np.asarray(self.requests, dtype=np.int64))
+        object.__setattr__(self, "ambient_c", np.asarray(self.ambient_c, dtype=float))
+        if self.requests.ndim != 1 or self.ambient_c.shape != self.requests.shape:
+            raise TraceError("requests and ambient_c must be equal-length 1-D arrays")
+        if self.requests.size == 0:
+            raise TraceError("a workload trace needs at least one step")
+        if self.step_seconds <= 0:
+            raise TraceError("step_seconds must be positive")
+        if np.any(self.requests < 0):
+            raise TraceError("request counts cannot be negative")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_steps(self) -> int:
+        """Number of simulation steps the trace covers."""
+        return int(self.requests.size)
+
+    @property
+    def total_requests(self) -> int:
+        """Total inference arrivals over the whole trace."""
+        return int(self.requests.sum())
+
+    @property
+    def duration_s(self) -> float:
+        """Modelled wall-clock duration of the trace."""
+        return self.n_steps * self.step_seconds
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Provenance document: generator identity plus the array digest."""
+        return {
+            "kind": self.kind,
+            "seed": self.seed,
+            "step_seconds": self.step_seconds,
+            "n_steps": self.n_steps,
+            "total_requests": self.total_requests,
+            "params": dict(self.params),
+            "digest": self.digest(),
+        }
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical array content (determinism witness)."""
+        payload = {
+            "requests": self.requests.tolist(),
+            "ambient_c": [round(float(t), 6) for t in self.ambient_c],
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def _check_common(n_steps: int, ambient_values: np.ndarray) -> None:
+    """Shared validation of generator outputs before they become a trace."""
+    if n_steps < 1:
+        raise TraceError("n_steps must be at least 1")
+    if np.any(ambient_values < 20.0) or np.any(ambient_values > 110.0):
+        raise TraceError(
+            "ambient setpoints must stay within the chamber range [20, 110] degC"
+        )
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+def diurnal_trace(
+    n_steps: int = 480,
+    seed: int = 7,
+    base_rps: float = 400.0,
+    peak_rps: float = 1600.0,
+    period_steps: int = 240,
+    ambient_low_c: float = 30.0,
+    ambient_high_c: float = 80.0,
+    jitter: float = 0.05,
+    step_seconds: float = 1.0,
+) -> WorkloadTrace:
+    """Day/night serving cycle with load-correlated ambient temperature.
+
+    Load follows a raised cosine from ``base_rps`` (trough, the start of the
+    trace) to ``peak_rps``; ambient follows the same phase between
+    ``ambient_low_c`` and ``ambient_high_c``.  The default trough sits 20 °C
+    *below* the characterization temperature, so static undervolting to the
+    characterized Vmin loses its ITD margin at night — the scenario the
+    reactive and predictive policies exist for.
+    """
+    if period_steps < 2:
+        raise TraceError("period_steps must be at least 2")
+    if peak_rps < base_rps:
+        raise TraceError("peak_rps must be at least base_rps")
+    if ambient_high_c < ambient_low_c:
+        raise TraceError("ambient_high_c must be at least ambient_low_c")
+    rng = np.random.default_rng(seed)
+    t = np.arange(n_steps)
+    phase = 0.5 * (1.0 - np.cos(2.0 * np.pi * t / period_steps))
+    load = base_rps + (peak_rps - base_rps) * phase
+    noise = 1.0 + jitter * rng.standard_normal(n_steps)
+    requests = np.maximum(0, np.round(load * step_seconds * noise)).astype(np.int64)
+    ambient = ambient_low_c + (ambient_high_c - ambient_low_c) * phase
+    _check_common(n_steps, ambient)
+    return WorkloadTrace(
+        kind="diurnal",
+        seed=seed,
+        step_seconds=step_seconds,
+        requests=requests,
+        ambient_c=ambient,
+        params={
+            "base_rps": base_rps,
+            "peak_rps": peak_rps,
+            "period_steps": period_steps,
+            "ambient_low_c": ambient_low_c,
+            "ambient_high_c": ambient_high_c,
+            "jitter": jitter,
+        },
+    )
+
+
+def burst_trace(
+    n_steps: int = 480,
+    seed: int = 7,
+    base_rps: float = 500.0,
+    burst_rps: float = 2500.0,
+    n_bursts: int = 6,
+    burst_steps: int = 12,
+    ambient_base_c: float = 45.0,
+    heat_per_krps_c: float = 12.0,
+    thermal_tau_steps: float = 20.0,
+    step_seconds: float = 1.0,
+) -> WorkloadTrace:
+    """Flat baseline with seeded traffic bursts and first-order heating.
+
+    Burst start positions are drawn once from the seed; each burst holds
+    ``burst_rps`` for ``burst_steps`` steps.  The ambient setpoint follows a
+    discrete first-order filter of the load (time constant
+    ``thermal_tau_steps``), modelling rack heating that lags traffic — so
+    voltage decisions face temperatures that *trail* the load.
+    """
+    if n_bursts < 0 or burst_steps < 1:
+        raise TraceError("n_bursts must be >= 0 and burst_steps >= 1")
+    if thermal_tau_steps <= 0:
+        raise TraceError("thermal_tau_steps must be positive")
+    rng = np.random.default_rng(seed)
+    load = np.full(n_steps, float(base_rps))
+    if n_bursts > 0:
+        starts = np.sort(rng.integers(0, max(1, n_steps - burst_steps), size=n_bursts))
+        for start in starts:
+            load[start : start + burst_steps] = burst_rps
+    requests = np.maximum(0, np.round(load * step_seconds)).astype(np.int64)
+    alpha = 1.0 / thermal_tau_steps
+    ambient = np.empty(n_steps)
+    level = ambient_base_c + heat_per_krps_c * base_rps / 1000.0
+    for index in range(n_steps):
+        target = ambient_base_c + heat_per_krps_c * load[index] / 1000.0
+        level = level + alpha * (target - level)
+        ambient[index] = level
+    ambient = np.clip(ambient, 20.0, 110.0)
+    _check_common(n_steps, ambient)
+    return WorkloadTrace(
+        kind="burst",
+        seed=seed,
+        step_seconds=step_seconds,
+        requests=requests,
+        ambient_c=ambient,
+        params={
+            "base_rps": base_rps,
+            "burst_rps": burst_rps,
+            "n_bursts": n_bursts,
+            "burst_steps": burst_steps,
+            "ambient_base_c": ambient_base_c,
+            "heat_per_krps_c": heat_per_krps_c,
+            "thermal_tau_steps": thermal_tau_steps,
+        },
+    )
+
+
+def batch_trace(
+    n_steps: int = 480,
+    seed: int = 7,
+    rps: float = 2000.0,
+    ramp_steps: int = 30,
+    ambient_c: float = 75.0,
+    step_seconds: float = 1.0,
+) -> WorkloadTrace:
+    """Batch-offline inference: a ramp to sustained full load at high ambient.
+
+    The steady high temperature maximizes ITD headroom, so this is the trace
+    where the predictive policy undervolts *below* the characterized Vmin —
+    the thermal-headroom exploitation case.
+    """
+    if ramp_steps < 0:
+        raise TraceError("ramp_steps must be non-negative")
+    t = np.arange(n_steps)
+    ramp = np.minimum(1.0, (t + 1) / max(1, ramp_steps))
+    requests = np.maximum(0, np.round(rps * step_seconds * ramp)).astype(np.int64)
+    ambient = np.full(n_steps, float(ambient_c))
+    _check_common(n_steps, ambient)
+    return WorkloadTrace(
+        kind="batch",
+        seed=seed,
+        step_seconds=step_seconds,
+        requests=requests,
+        ambient_c=ambient,
+        params={"rps": rps, "ramp_steps": ramp_steps, "ambient_c": ambient_c},
+    )
+
+
+_GENERATORS = {
+    "diurnal": diurnal_trace,
+    "burst": burst_trace,
+    "batch": batch_trace,
+}
+
+
+def build_trace(kind: str, **kwargs: Any) -> WorkloadTrace:
+    """Build a trace by generator name (the CLI's ``--trace`` dispatch)."""
+    try:
+        generator = _GENERATORS[kind]
+    except KeyError:
+        raise TraceError(
+            f"unknown trace kind {kind!r}; available: {', '.join(TRACE_KINDS)}"
+        ) from None
+    return generator(**kwargs)

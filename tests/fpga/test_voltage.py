@@ -71,6 +71,49 @@ class TestVoltageRail:
         assert abs(applied - target) <= rail.resolution_v / 2 + 1e-9
 
 
+class TestRailClamping:
+    """Edge cases at the regulator's margining limits.
+
+    The runtime governor leans on these guarantees: commands below the
+    crash floor or above the margining ceiling must be *rejected* (PMBUS
+    error on hardware), never silently clamped, and quantization can never
+    carry a request across a limit.
+    """
+
+    def test_exact_limits_are_inclusive(self):
+        rail = VoltageRail(name=VCCBRAM, min_v=0.40, max_v=1.10)
+        assert rail.set(0.40) == pytest.approx(0.40)
+        assert rail.set(1.10) == pytest.approx(1.10)
+
+    def test_one_resolution_step_beyond_either_limit_is_rejected(self):
+        rail = VoltageRail(name=VCCBRAM, min_v=0.40, max_v=1.10)
+        rail.set(1.10)
+        with pytest.raises(VoltageError):
+            rail.set(0.40 - rail.resolution_v)
+        with pytest.raises(VoltageError):
+            rail.set(1.10 + rail.resolution_v)
+        # Failed requests leave the setpoint untouched.
+        assert rail.setpoint_v == pytest.approx(1.10)
+
+    def test_quantization_cannot_tunnel_through_a_limit(self):
+        # 0.3996 quantizes to 0.400 (inside); 0.3994 to 0.399 (outside).
+        rail = VoltageRail(name=VCCBRAM, min_v=0.40)
+        assert rail.set(0.3996) == pytest.approx(0.40)
+        with pytest.raises(VoltageError):
+            rail.set(0.3994)
+
+    def test_undervolt_by_below_the_floor_is_rejected_and_state_kept(self):
+        rail = VoltageRail(name=VCCBRAM, min_v=0.40)
+        rail.set(0.41)
+        with pytest.raises(VoltageError):
+            rail.undervolt_by(0.02)
+        assert rail.setpoint_v == pytest.approx(0.41)
+
+    def test_nominal_at_a_limit_is_allowed(self):
+        rail = VoltageRail(name=VCCBRAM, nominal_v=1.10, max_v=1.10)
+        assert rail.setpoint_v == pytest.approx(1.10)
+
+
 class TestVoltageRegulator:
     def test_for_platform_registers_standard_rails(self):
         regulator = VoltageRegulator.for_platform()

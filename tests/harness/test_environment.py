@@ -40,6 +40,63 @@ class TestHeatChamber:
         assert chip.board_temperature_c == pytest.approx(50.0)
 
 
+class TestChamberEdgeCases:
+    """Unreachable setpoints and ramp-limited settling.
+
+    The fleet simulator calls ``settle(max_steps=1)`` every simulation step,
+    so the chamber's partial-progress behaviour is load-bearing: a bounded
+    settle must move at most ``ramp_step_c`` per step and later calls must
+    finish the job.
+    """
+
+    def test_setpoint_below_chamber_floor_rejected(self, chip):
+        chamber = HeatChamber(chip, min_c=20.0, max_c=110.0)
+        with pytest.raises(EnvironmentError_):
+            chamber.set_temperature(19.9)
+        with pytest.raises(EnvironmentError_):
+            chamber.set_temperature(-40.0)
+
+    def test_setpoint_above_chamber_ceiling_rejected(self, chip):
+        chamber = HeatChamber(chip)
+        with pytest.raises(EnvironmentError_):
+            chamber.set_temperature(110.1)
+        # A rejected setpoint leaves the previous one in force.
+        chamber.set_temperature(60.0)
+        with pytest.raises(EnvironmentError_):
+            chamber.set_temperature(200.0)
+        assert chamber.setpoint_c == pytest.approx(60.0)
+
+    def test_boundary_setpoints_are_reachable(self, chip):
+        chamber = HeatChamber(chip, min_c=20.0, max_c=110.0)
+        assert chamber.go_to(110.0) == pytest.approx(110.0)
+        assert chamber.go_to(20.0) == pytest.approx(20.0)
+
+    def test_bounded_settle_makes_ramp_limited_partial_progress(self, chip):
+        chamber = HeatChamber(chip, ramp_step_c=5.0)  # board starts at 50
+        chamber.set_temperature(80.0)
+        assert chamber.settle(max_steps=1) == pytest.approx(55.0)
+        assert chamber.settle(max_steps=2) == pytest.approx(65.0)
+        # A later unbounded settle completes the ramp exactly.
+        assert chamber.settle() == pytest.approx(80.0)
+
+    def test_final_ramp_step_is_partial_not_overshooting(self, chip):
+        chamber = HeatChamber(chip, ramp_step_c=7.0)
+        chamber.set_temperature(53.0)  # 3 degC away, under one ramp step
+        assert chamber.settle(max_steps=1) == pytest.approx(53.0)
+
+    def test_settle_without_a_commanded_setpoint_is_a_no_op(self, chip):
+        chamber = HeatChamber(chip)
+        chamber.setpoint_c = None
+        assert chamber.settle() == pytest.approx(chip.board_temperature_c)
+
+    def test_settle_at_setpoint_appends_no_history(self, chip):
+        chamber = HeatChamber(chip)
+        chamber.set_temperature(chip.board_temperature_c)
+        before = len(chamber.history_c)
+        chamber.settle()
+        assert len(chamber.history_c) == before
+
+
 class TestTemperatureMonitor:
     def test_reads_through_pmbus(self, chip):
         monitor = TemperatureMonitor(PmbusAdapter(chip))

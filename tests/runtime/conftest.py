@@ -1,0 +1,38 @@
+"""Shared fixtures for the runtime-governor test suite.
+
+Characterizing dies and training the served network are the expensive
+parts, so both are session-scoped; individual tests build cheap traces and
+simulators on top.
+"""
+
+import pytest
+
+from repro.fpga.platform import FpgaChip, fleet_serials
+from repro.nn import (
+    QuantizedNetwork,
+    SCALED_TOPOLOGY,
+    TrainingConfig,
+    synthetic_mnist,
+    train_network,
+)
+from repro.runtime import GovernorBundle
+
+
+@pytest.fixture(scope="session")
+def small_bundle() -> GovernorBundle:
+    """Two characterized ZC702 dies (the stock board plus one fleet die)."""
+    chips = [
+        FpgaChip.build("ZC702", serial=serial)
+        for serial in fleet_serials("ZC702", 2)
+    ]
+    return GovernorBundle.from_chips(chips, runs_per_step=3)
+
+
+@pytest.fixture(scope="session")
+def small_network() -> QuantizedNetwork:
+    """A quickly trained quantized network that fits the ZC702 BRAM pool."""
+    dataset = synthetic_mnist(n_train=300, n_test=150)
+    trained = train_network(
+        dataset, topology=SCALED_TOPOLOGY, config=TrainingConfig(seed=3)
+    )
+    return QuantizedNetwork.from_network(trained.network)

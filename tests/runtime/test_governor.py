@@ -1,0 +1,148 @@
+"""Tests for the voltage governor and its policies."""
+
+import pytest
+
+from repro.fpga.platform import FpgaChip
+from repro.harness.pmbus import PmbusAdapter, VOUT_COMMAND
+from repro.runtime import (
+    DieCharacterization,
+    GovernorBundle,
+    GovernorError,
+    GovernorObservation,
+    POLICY_NAMES,
+    VoltageGovernor,
+    build_policy,
+    ceil_to_resolution,
+)
+
+
+@pytest.fixture()
+def die() -> DieCharacterization:
+    return DieCharacterization(
+        platform="ZC702",
+        serial="TEST-0001",
+        vnom_v=1.0,
+        vmin_v=0.61,
+        vcrash_v=0.53,
+        itd_v_per_degc=2.0e-4,
+        ripple_margin_v=0.004,
+    )
+
+
+def observe(temperature_c=50.0, faults=0, setpoint=1.0, step=0):
+    return GovernorObservation(
+        step=step,
+        temperature_c=temperature_c,
+        faults_last_step=faults,
+        setpoint_v=setpoint,
+    )
+
+
+class TestCeilToResolution:
+    def test_rounds_up_never_down(self):
+        assert ceil_to_resolution(0.6101) == pytest.approx(0.611)
+        assert ceil_to_resolution(0.610) == pytest.approx(0.610)
+        assert ceil_to_resolution(0.60999999) == pytest.approx(0.610)
+
+
+class TestPolicies:
+    def test_registry_builds_every_policy(self):
+        for name in POLICY_NAMES:
+            assert build_policy(name).name == name
+        with pytest.raises(GovernorError):
+            build_policy("pid")
+
+    def test_static_nominal_never_undervolts(self, die):
+        policy = build_policy("static-nominal")
+        assert policy.target_voltage(die, observe(30.0)) == die.vnom_v
+        assert policy.target_voltage(die, observe(80.0)) == die.vnom_v
+
+    def test_static_undervolt_parks_at_vmin(self, die):
+        policy = build_policy("static-undervolt")
+        assert policy.target_voltage(die, observe(30.0)) == pytest.approx(0.61)
+        assert policy.target_voltage(die, observe(80.0)) == pytest.approx(0.61)
+
+    def test_predictive_tracks_temperature_both_ways(self, die):
+        policy = build_policy("predictive")
+        cold = policy.target_voltage(die, observe(30.0))
+        reference = policy.target_voltage(die, observe(50.0))
+        hot = policy.target_voltage(die, observe(80.0))
+        assert cold > reference > hot
+        # Hot silicon lets the governor dip below the characterized Vmin.
+        assert hot < die.vmin_v
+        # The command always clears the compensated floor plus the margin.
+        for temperature, target in ((30.0, cold), (50.0, reference), (80.0, hot)):
+            floor = die.compensated_vmin_v(temperature)
+            assert target >= floor + die.ripple_margin_v - 1e-9
+
+    def test_predictive_never_commands_below_the_crash_floor(self, die):
+        policy = build_policy("predictive")
+        target = policy.target_voltage(die, observe(125.0))
+        assert target >= die.vcrash_v + policy.floor_margin_v - 1e-9
+
+    def test_reactive_backs_off_on_faults_and_creeps_down_when_clean(self, die):
+        policy = build_policy("reactive", hold_steps=2, backoff_v=0.01, probe_v=0.001)
+        start = policy.target_voltage(die, observe())
+        assert start == pytest.approx(die.vmin_v)
+        backed = policy.target_voltage(die, observe(faults=5))
+        assert backed == pytest.approx(start + 0.01)
+        # Two clean steps trigger one downward probe.
+        policy.target_voltage(die, observe())
+        crept = policy.target_voltage(die, observe())
+        assert crept == pytest.approx(backed - 0.001)
+
+    def test_reactive_state_is_per_die_and_resettable(self, die):
+        import dataclasses
+
+        other = dataclasses.replace(die, serial="TEST-0002")
+        policy = build_policy("reactive")
+        policy.target_voltage(die, observe(faults=3))
+        assert policy.target_voltage(other, observe()) == pytest.approx(other.vmin_v)
+        policy.reset()
+        assert policy.target_voltage(die, observe()) == pytest.approx(die.vmin_v)
+
+    def test_invalid_policy_parameters_rejected(self):
+        with pytest.raises(GovernorError):
+            build_policy("reactive", backoff_v=0.0)
+        with pytest.raises(GovernorError):
+            build_policy("static-undervolt", margin_v=-0.01)
+        with pytest.raises(GovernorError):
+            build_policy("predictive", extra_margin_v=-1.0)
+
+
+class TestVoltageGovernor:
+    def test_actuates_through_pmbus_and_counts_writes(self):
+        chip = FpgaChip.build("ZC702")
+        adapter = PmbusAdapter(chip)
+        bundle = GovernorBundle()
+        bundle.add(
+            DieCharacterization(
+                platform=chip.spec.name,
+                serial=chip.spec.serial_number,
+                vnom_v=1.0,
+                vmin_v=0.61,
+                vcrash_v=0.53,
+                itd_v_per_degc=2.0e-4,
+                ripple_margin_v=0.004,
+            )
+        )
+        governor = VoltageGovernor(policy=build_policy("static-undervolt"), bundle=bundle)
+        applied = governor.step(adapter, step=0, faults_last_step=0)
+        assert applied == pytest.approx(0.61)
+        assert chip.vccbram == pytest.approx(0.61)
+        writes = adapter.commands_issued(VOUT_COMMAND)
+        assert len(writes) == 1 and writes[0].rail == "VCCBRAM"
+        # A redundant step issues no second VOUT_COMMAND.
+        governor.step(adapter, step=1, faults_last_step=0)
+        assert len(adapter.commands_issued(VOUT_COMMAND)) == 1
+        assert governor.n_actuations == 1
+
+    def test_unknown_die_is_rejected(self):
+        from repro.runtime import CharacterizationError
+
+        chip = FpgaChip.build("ZC702")
+        governor = VoltageGovernor(
+            policy=build_policy("static-nominal"), bundle=GovernorBundle()
+        )
+        with pytest.raises(CharacterizationError):
+            governor.step(PmbusAdapter(chip), step=0, faults_last_step=0)

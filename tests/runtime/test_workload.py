@@ -1,0 +1,87 @@
+"""Tests for the workload-trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    TRACE_KINDS,
+    TraceError,
+    batch_trace,
+    build_trace,
+    burst_trace,
+    diurnal_trace,
+)
+
+
+class TestGenerators:
+    def test_every_kind_builds_and_validates(self):
+        for kind in TRACE_KINDS:
+            trace = build_trace(kind, n_steps=50, seed=3)
+            assert trace.kind == kind
+            assert trace.n_steps == 50
+            assert trace.requests.dtype == np.int64
+            assert np.all(trace.requests >= 0)
+            assert np.all(trace.ambient_c >= 20.0)
+            assert np.all(trace.ambient_c <= 110.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TraceError):
+            build_trace("sinusoidal")
+
+    def test_same_seed_is_bit_identical(self):
+        first = diurnal_trace(n_steps=100, seed=11)
+        second = diurnal_trace(n_steps=100, seed=11)
+        assert first.digest() == second.digest()
+        assert np.array_equal(first.requests, second.requests)
+        assert np.array_equal(first.ambient_c, second.ambient_c)
+
+    def test_different_seed_changes_requests(self):
+        assert diurnal_trace(seed=1).digest() != diurnal_trace(seed=2).digest()
+
+    def test_diurnal_cycles_between_trough_and_peak(self):
+        trace = diurnal_trace(
+            n_steps=240, period_steps=240, base_rps=100, peak_rps=1000, jitter=0.0
+        )
+        assert trace.requests[0] == 100
+        assert trace.requests[120] == 1000
+        assert trace.ambient_c.min() == pytest.approx(30.0)
+        assert trace.ambient_c.max() == pytest.approx(80.0)
+
+    def test_diurnal_trough_sits_below_reference_temperature(self):
+        # The cold-transient scenario the closed-loop policies exist for.
+        assert diurnal_trace().ambient_c.min() < 50.0
+
+    def test_burst_heat_lags_the_load(self):
+        trace = burst_trace(n_steps=200, seed=5, n_bursts=2, burst_steps=10)
+        burst_steps = np.flatnonzero(
+            trace.requests > trace.requests.min()
+        )
+        assert burst_steps.size > 0
+        first = int(burst_steps[0])
+        # Ambient peaks after the burst starts (first-order thermal lag).
+        assert int(np.argmax(trace.ambient_c[: first + 40])) > first
+
+    def test_batch_ramps_to_sustained_load(self):
+        trace = batch_trace(n_steps=100, rps=500, ramp_steps=10)
+        assert trace.requests[-1] == 500
+        assert trace.requests[0] < 500
+        assert np.all(np.diff(trace.requests.astype(float)) >= 0)
+
+    def test_validation_rejects_bad_parameters(self):
+        with pytest.raises(TraceError):
+            diurnal_trace(n_steps=0)
+        with pytest.raises(TraceError):
+            diurnal_trace(base_rps=100, peak_rps=50)
+        with pytest.raises(TraceError):
+            diurnal_trace(ambient_low_c=10.0)  # below the chamber range
+        with pytest.raises(TraceError):
+            batch_trace(step_seconds=0.0)
+
+    def test_to_dict_carries_provenance(self):
+        trace = burst_trace(n_steps=30, seed=9)
+        document = trace.to_dict()
+        assert document["kind"] == "burst"
+        assert document["seed"] == 9
+        assert document["n_steps"] == 30
+        assert document["total_requests"] == trace.total_requests
+        assert document["digest"] == trace.digest()

@@ -13,6 +13,20 @@ def run_json(capsys, argv):
     return json.loads(capsys.readouterr().out)
 
 
+def strip_timing(payload):
+    """Pop and validate the segregated ``timing`` block of a --json document.
+
+    Every CLI --json document keeps its wall-clock (non-deterministic)
+    measurements under the single ``timing`` key; stripping it leaves a
+    document that is a pure function of inputs and seeds, which the golden
+    structure and determinism tests assert exactly.
+    """
+    timing = payload.pop("timing")
+    assert "wall_s" in timing
+    assert timing["wall_s"] >= 0.0
+    return payload
+
+
 class TestParser:
     def test_requires_a_command(self):
         with pytest.raises(SystemExit):
@@ -77,7 +91,9 @@ class TestJsonGoldenStructure:
     SEARCH_KEYS = {"mode", "n_evaluations", "n_cache_hits", "n_exhaustive_equivalent"}
 
     def test_guardband_schema(self, capsys):
-        payload = run_json(capsys, ["guardband", "--platform", "ZC702", "--json"])
+        payload = strip_timing(
+            run_json(capsys, ["guardband", "--platform", "ZC702", "--json"])
+        )
         assert set(payload) == {"platform", "rails", "search"}
         assert set(payload["rails"]) == {"VCCBRAM", "VCCINT"}
         for rail in payload["rails"].values():
@@ -85,7 +101,9 @@ class TestJsonGoldenStructure:
         assert set(payload["search"]) == self.SEARCH_KEYS
 
     def test_sweep_schema(self, capsys):
-        payload = run_json(capsys, ["sweep", "--platform", "ZC702", "--runs", "2", "--json"])
+        payload = strip_timing(
+            run_json(capsys, ["sweep", "--platform", "ZC702", "--runs", "2", "--json"])
+        )
         assert set(payload) == {"platform", "pattern", "search", "points"}
         assert payload["points"]
         for point in payload["points"]:
@@ -93,9 +111,9 @@ class TestJsonGoldenStructure:
         assert set(payload["search"]) == self.SEARCH_KEYS
 
     def test_characterize_schema(self, capsys):
-        payload = run_json(
+        payload = strip_timing(run_json(
             capsys, ["characterize", "--platform", "ZC702", "--runs", "5", "--json"]
-        )
+        ))
         assert set(payload) == {
             "platform", "vcrash_v", "pattern_rates_per_mbit", "stability",
             "location_overlap", "variability",
@@ -109,10 +127,10 @@ class TestJsonGoldenStructure:
         }
 
     def test_icbp_schema(self, capsys):
-        payload = run_json(
+        payload = strip_timing(run_json(
             capsys,
             ["icbp", "--platform", "ZC702", "--train-samples", "300", "--seeds", "1", "--json"],
-        )
+        ))
         assert set(payload) == {
             "platform", "voltage_v", "baseline_error", "default_placement",
             "icbp", "power_savings_vs_vmin",
@@ -130,31 +148,33 @@ class TestJsonGoldenStructure:
         }))
         root = str(tmp_path / "campaigns")
 
-        run = run_json(capsys, [
+        run = strip_timing(run_json(capsys, [
             "campaign", "run", "--spec", str(spec_path), "--root", root, "--json",
-        ])
+        ]))
         assert set(run) == {
             "name", "spec_hash", "n_units", "n_executed", "n_skipped",
             "n_workers", "search", "evaluations", "executed_unit_ids",
+            "governor_bundle",
         }
         assert run["n_executed"] == 2
+        assert run["governor_bundle"] is None
         assert {
             "n_units", "n_evaluations", "n_cache_hits", "n_exhaustive_equivalent",
             "evaluations_saved", "saved_fraction", "speedup_factor",
         } == set(run["evaluations"])
 
-        status = run_json(capsys, [
+        status = strip_timing(run_json(capsys, [
             "campaign", "status", "--name", "cli-golden", "--root", root, "--json",
-        ])
+        ]))
         assert set(status) == {
             "name", "spec_hash", "sweep", "n_units", "n_completed",
             "n_pending", "complete", "pending_unit_ids",
         }
         assert status["complete"] is True
 
-        report = run_json(capsys, [
+        report = strip_timing(run_json(capsys, [
             "campaign", "report", "--name", "cli-golden", "--root", root, "--json",
-        ])
+        ]))
         assert set(report) == {
             "name", "sweep", "spec_hash", "n_units", "n_completed",
             "complete", "search", "evaluations", "units", "population",
@@ -165,6 +185,96 @@ class TestJsonGoldenStructure:
         for dist in report["population"]["fleet"].values():
             assert {"mean", "median", "min", "max", "std", "n", "p5", "p95",
                     "spread_fraction"} <= set(dist)
+
+
+class TestTimingSegregation:
+    """Wall-clock values live only under ``timing``; the rest is exact."""
+
+    def test_every_json_document_carries_a_timing_block(self, capsys):
+        for argv in (
+            ["guardband", "--platform", "ZC702", "--json"],
+            ["sweep", "--platform", "ZC702", "--runs", "2", "--json"],
+            ["characterize", "--platform", "ZC702", "--runs", "5", "--json"],
+        ):
+            payload = run_json(capsys, argv)
+            assert "timing" in payload
+            assert payload["timing"]["wall_s"] >= 0.0
+
+    def test_documents_are_bit_identical_once_timing_is_stripped(self, capsys):
+        argv = ["guardband", "--platform", "ZC702", "--json"]
+        first = strip_timing(run_json(capsys, argv))
+        second = strip_timing(run_json(capsys, argv))
+        assert first == second
+
+
+class TestRuntimeCommand:
+    RUN_ARGS = [
+        "runtime", "run", "--platform", "ZC702", "--chips", "2",
+        "--steps", "40", "--capacity-rps", "900", "--train-samples", "200",
+    ]
+
+    def test_run_json_schema_and_acceptance_shape(self, capsys):
+        payload = strip_timing(run_json(capsys, self.RUN_ARGS + ["--json"]))
+        assert set(payload) == {"fleet", "trace", "baselines", "policies"}
+        assert payload["fleet"] == {"n_chips": 2, "source": "inline", "icbp": True}
+        assert set(payload["baselines"]) == {
+            "nominal_energy_j", "guardband_floor_energy_j",
+        }
+        assert set(payload["policies"]) == {
+            "static-nominal", "static-undervolt", "reactive", "predictive",
+        }
+        for row in payload["policies"].values():
+            assert {
+                "policy", "energy_j", "faulty_inferences", "slo_violations",
+                "crash_steps", "guardband_recovered_fraction", "served",
+                "requests", "mean_voltage_v",
+            } <= set(row)
+        predictive = payload["policies"]["predictive"]
+        assert predictive["faulty_inferences"] == 0
+        assert predictive["guardband_recovered_fraction"] > 0.6
+
+    def test_single_policy_and_table_output(self, capsys):
+        assert main(self.RUN_ARGS + ["--policy", "predictive"]) == 0
+        out = capsys.readouterr().out
+        assert "predictive" in out and "guardband recovered" in out
+        assert "static-nominal" not in out
+
+    def test_save_and_report_round_trip(self, capsys, tmp_path):
+        saved = tmp_path / "telemetry.json"
+        run_json(capsys, self.RUN_ARGS + ["--save", str(saved), "--json"])
+        report = strip_timing(run_json(capsys, [
+            "runtime", "report", "--telemetry", str(saved), "--json",
+        ]))
+        assert set(report) == {"telemetry", "trace", "baselines", "policies"}
+        assert set(report["policies"]) == {
+            "static-nominal", "static-undervolt", "reactive", "predictive",
+        }
+        # The report recovers the run's own numbers exactly.
+        assert report["policies"]["predictive"]["faulty_inferences"] == 0
+        assert main(["runtime", "report", "--telemetry", str(saved)]) == 0
+        assert "Runtime telemetry report" in capsys.readouterr().out
+
+    def test_missing_telemetry_fails_cleanly(self, capsys, tmp_path):
+        assert main([
+            "runtime", "report", "--telemetry", str(tmp_path / "ghost.json"),
+        ]) == 2
+        assert "no telemetry document" in capsys.readouterr().err
+
+    def test_corrupt_telemetry_fails_cleanly(self, capsys, tmp_path):
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text("{not json")
+        assert main(["runtime", "report", "--telemetry", str(corrupt)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_invalid_fleet_size_fails_cleanly(self, capsys):
+        assert main(["runtime", "run", "--platform", "ZC702", "--chips", "0"]) == 2
+        assert "at least one chip" in capsys.readouterr().err
+
+    def test_unknown_campaign_fails_cleanly(self, capsys, tmp_path):
+        assert main([
+            "runtime", "run", "--campaign", "ghost", "--root", str(tmp_path),
+        ]) == 2
+        assert "no campaign manifest" in capsys.readouterr().err
 
 
 class TestSearchFlag:
