@@ -26,7 +26,6 @@ def test_ablation_fault_model_ingredients(benchmark):
         report = ExperimentReport(
             "ablation_faultmodel", "Fault-model ablation: which ingredient produces which finding"
         )
-        chip = FpgaChip.build("KC705-A")
         cal_voltage = 0.53
 
         # Full model reference.

@@ -9,7 +9,7 @@ width-scaled topology the experiments use.
 import pytest
 
 from conftest import run_once, save_report
-from repro.accelerator import NnAccelerator, WeightMapping
+from repro.accelerator import NnAccelerator
 from repro.analysis import ExperimentReport
 from repro.fpga import FpgaChip
 from repro.nn import FullyConnectedNetwork, PAPER_TOPOLOGY, QuantizedNetwork, SCALED_TOPOLOGY

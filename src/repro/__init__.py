@@ -7,6 +7,9 @@ The package is organized as:
   rails, placement);
 * :mod:`repro.core` — the calibrated undervolting behavioural models (fault
   field, power, temperature, FVM, clustering, characterization studies);
+* :mod:`repro.exec` — the unified execution backend layer: every fault-field
+  evaluation routes through a pluggable backend (simulated or recorded
+  replay) and a scheduling/caching execution engine;
 * :mod:`repro.harness` — the experimental methodology of Fig. 2 / Listing 1
   (PMBUS host, voltage sweeps, heat chamber, power meter);
 * :mod:`repro.nn` — the neural-network substrate (datasets, training,

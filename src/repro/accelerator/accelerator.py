@@ -10,7 +10,7 @@ of Fig. 11 (error versus voltage) and Fig. 13 (faults per layer).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 

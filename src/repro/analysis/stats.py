@@ -8,7 +8,6 @@ reproduction's numbers against the paper's.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, Sequence, Tuple
 

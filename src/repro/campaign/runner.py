@@ -9,15 +9,20 @@ operating point — so the runner:
    builds a die once and reuses its memoized fault field
    (:func:`repro.core.batch.cached_fault_field`) plus the batch engine's
    sorted-threshold caches across all of that die's units;
-3. fans the shards out over a ``concurrent.futures.ProcessPoolExecutor``
-   (fork context where the platform offers it); every worker persists each
-   of its units through the store the moment it finishes, so an
-   interruption loses at most the in-flight unit per worker.
+3. fans the shards out through the execution layer's scheduling substrate
+   (:class:`repro.exec.WorkScheduler`: serial, thread or process workers,
+   fork context where the platform offers it, bounded in-flight queue);
+   every worker persists each of its units through the store the moment it
+   finishes, so an interruption loses at most the in-flight unit per
+   worker.
 
 Everything a worker touches is module-level and deterministic, so results are
-identical whether a campaign runs serially, across 2 workers or across 16 —
-and, for the guardband loop, bit-identical to driving
-:class:`repro.harness.UndervoltingExperiment` by hand on the same serial.
+identical whether a campaign runs serially, across 2 workers or across 16,
+on threads or on processes — and, for the guardband loop, bit-identical to
+driving :class:`repro.harness.UndervoltingExperiment` by hand on the same
+serial.  Within each unit, every operating-point evaluation goes through
+the experiment's :class:`repro.exec.ExecutionEngine` (the per-die
+evaluation cache rides behind it).
 
 Adaptive campaigns (``spec.search == "adaptive"``, the default) add three
 cost optimizations on top, none of which can change a result:
@@ -36,16 +41,16 @@ cost optimizations on top, none of which can change a result:
 
 from __future__ import annotations
 
-import multiprocessing
 import os
+import threading
 from collections import OrderedDict
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.batch import cached_fault_field
+from repro.exec import ExecError, WorkScheduler, validate_scheduler
 from repro.fpga.platform import FpgaChip
 from repro.fpga.voltage import DEFAULT_STEP_V, VCCBRAM, VCCINT
 from repro.harness.sweep import UndervoltingExperiment
@@ -58,6 +63,8 @@ from .store import DEFAULT_ROOT, CampaignStore, UnitResult
 _CHIP_CACHE_MAX = 4
 
 _CHIP_CACHE: "OrderedDict[Tuple[str, str], FpgaChip]" = OrderedDict()
+#: The chip cache is shared by every shard of a thread-scheduled campaign.
+_CHIP_CACHE_LOCK = threading.Lock()
 
 
 def _chip_for(platform: str, serial: str) -> FpgaChip:
@@ -68,14 +75,16 @@ def _chip_for(platform: str, serial: str) -> FpgaChip:
     what lets every unit of a shard share one fault field and flat table.
     """
     key = (platform, serial)
-    chip = _CHIP_CACHE.get(key)
-    if chip is None:
-        chip = FpgaChip.build(platform, serial=serial)
+    with _CHIP_CACHE_LOCK:
+        chip = _CHIP_CACHE.get(key)
+        if chip is not None:
+            _CHIP_CACHE.move_to_end(key)
+            return chip
+    chip = FpgaChip.build(platform, serial=serial)
+    with _CHIP_CACHE_LOCK:
         _CHIP_CACHE[key] = chip
         if len(_CHIP_CACHE) > _CHIP_CACHE_MAX:
             _CHIP_CACHE.popitem(last=False)
-    else:
-        _CHIP_CACHE.move_to_end(key)
     return chip
 
 
@@ -324,6 +333,8 @@ class CampaignRunReport:
     skipped: Tuple[str, ...]
     n_workers: int
     search: str = "adaptive"
+    #: Shard scheduling substrate the run used (see :mod:`repro.exec`).
+    scheduler: str = "process"
     evaluations: Dict[str, Any] = field(default_factory=dict)
     #: Path of the emitted governor bundle (``governor_bundle`` spec knob),
     #: or ``None`` when the campaign does not emit one.
@@ -339,6 +350,13 @@ class CampaignRunReport:
             "n_skipped": len(self.skipped),
             "n_workers": self.n_workers,
             "search": self.search,
+            "backend": {
+                "kind": "simulated",
+                "scheduler": self.scheduler,
+                "jobs": self.n_workers,
+                "source": None,
+                "counters": None,
+            },
             "evaluations": dict(self.evaluations),
             "executed_unit_ids": list(self.executed),
             "governor_bundle": self.governor_bundle,
@@ -351,13 +369,6 @@ def _shards(units: Sequence[WorkUnit]) -> List[Tuple[WorkUnit, ...]]:
     for unit in units:
         grouped.setdefault(unit.chip_key, []).append(unit)
     return [tuple(batch) for batch in grouped.values()]
-
-
-def _process_context() -> Optional[multiprocessing.context.BaseContext]:
-    """Fork context where available (inherits ``sys.path``); else default."""
-    if "fork" in multiprocessing.get_all_start_methods():
-        return multiprocessing.get_context("fork")
-    return None
 
 
 def warm_model_from_store(
@@ -412,6 +423,7 @@ def run_campaign(
     max_workers: Optional[int] = None,
     use_processes: bool = True,
     progress: Optional[Callable[[str, int, int], None]] = None,
+    scheduler: Optional[str] = None,
 ) -> CampaignRunReport:
     """Run (or resume) a campaign, persisting every unit as it completes.
 
@@ -422,15 +434,28 @@ def run_campaign(
     root:
         Directory the result store lives under (default ``campaigns/``).
     max_workers:
-        Worker-process cap; defaults to ``min(n_shards, cpu_count)``.
-        ``1`` (or ``use_processes=False``) runs serially in this process.
+        Worker cap; defaults to ``min(n_shards, cpu_count)``.  ``1`` (or
+        the serial scheduler) runs everything in this process.
+    use_processes:
+        Legacy knob: ``False`` forces the serial scheduler.  Prefer
+        ``scheduler``.
     progress:
         Optional callback ``(unit_id, n_done, n_total)`` fired as units
         complete — per unit when running serially, per finished shard when
-        running process-parallel (workers persist their own units; the
-        parent only learns of them when a shard's future resolves).  The
-        CLI uses it for live status lines.
+        running parallel (workers persist their own units; the parent only
+        learns of them when a shard resolves).  The CLI uses it for live
+        status lines.
+    scheduler:
+        Shard scheduling substrate from :data:`repro.exec.SCHEDULERS`
+        (``serial`` / ``thread`` / ``process``); defaults to ``process``
+        (or ``serial`` when ``use_processes`` is false).
     """
+    if scheduler is None:
+        scheduler = "process" if use_processes else "serial"
+    try:
+        scheduler = validate_scheduler(scheduler)
+    except ExecError as exc:
+        raise CampaignError(str(exc)) from None
     store = CampaignStore.open(spec, root)
     all_units = spec.expand()
     skipped = tuple(u.unit_id for u in all_units if store.is_complete(u))
@@ -442,7 +467,7 @@ def run_campaign(
         max_workers = min(len(shards), os.cpu_count() or 1) or 1
     if max_workers < 1:
         raise CampaignError("max_workers must be at least 1")
-    serial = not use_processes or max_workers == 1 or len(shards) <= 1
+    serial = scheduler == "serial" or max_workers == 1 or len(shards) <= 1
 
     executed: List[str] = []
     search_documents: List[Dict[str, Any]] = []
@@ -459,6 +484,7 @@ def run_campaign(
 
     if serial:
         n_workers = 1
+        scheduler = "serial"
         # One live warm model, shared across shards: every die after the
         # first of its platform starts from the population so far (each
         # shard's _run_guardband feeds its thresholds back via warm.add).
@@ -472,28 +498,19 @@ def run_campaign(
             )
     else:
         n_workers = min(max_workers, len(shards))
-        context = _process_context()
-        pool_kwargs: Dict[str, Any] = {"max_workers": n_workers}
-        if context is not None:
-            pool_kwargs["mp_context"] = context
-        waves = (
-            _scout_waves(shards, warm) if warm is not None else [shards]
-        )
-        with ProcessPoolExecutor(**pool_kwargs) as pool:
+        waves = _scout_waves(shards, warm) if warm is not None else [shards]
+        # One worker pool for the whole run: the context manager keeps it
+        # alive across the scout and warm waves.
+        with WorkScheduler(scheduler=scheduler, jobs=n_workers) as work:
             for wave_index, wave in enumerate(waves):
                 if warm_starting and wave_index > 0:
                     warm = warm_model_from_store(store, spec)
                 warm_document = warm.to_dict() if warm is not None else None
-                futures = {
-                    pool.submit(
-                        _execute_shard, shard, spec.name, str(root), warm_document
-                    )
-                    for shard in wave
-                }
-                while futures:
-                    finished, futures = wait(futures, return_when=FIRST_COMPLETED)
-                    for future in finished:
-                        _record(future.result())
+                work.map_tasks(
+                    _execute_shard,
+                    [(shard, spec.name, str(root), warm_document) for shard in wave],
+                    on_result=lambda _index, results: _record(results),
+                )
 
     bundle_file: Optional[str] = None
     if spec.governor_bundle and store.status(spec).is_complete:
@@ -510,6 +527,7 @@ def run_campaign(
         skipped=skipped,
         n_workers=n_workers,
         search=spec.search,
+        scheduler=scheduler,
         evaluations=merge_search_documents(search_documents),
         governor_bundle=bundle_file,
     )

@@ -27,7 +27,7 @@ from typing import Any, Dict, List, Mapping, Tuple
 from repro.core.temperature import REFERENCE_TEMPERATURE_C
 from repro.fpga.bram import BramError, data_pattern
 from repro.fpga.platform import PlatformError, fleet_serials, get_platform
-from repro.search import SEARCH_MODES, SearchError, validate_search_mode
+from repro.search import SearchError, validate_search_mode
 
 
 class CampaignError(ValueError):

@@ -132,11 +132,31 @@ class CampaignStore:
         return store
 
     def load_manifest(self) -> CampaignSpec:
-        """The spec this store was created for (from ``manifest.json``)."""
+        """The spec this store was created for (from ``manifest.json``).
+
+        A manifest that is not valid JSON (or not a manifest document at
+        all) raises :class:`CampaignError` with a one-line diagnosis — the
+        CLI turns that into a clean non-zero exit instead of a traceback.
+        """
         if not self.manifest_path.exists():
             raise CampaignError(f"no campaign manifest at {self.manifest_path}")
-        document = json.loads(self.manifest_path.read_text())
-        spec = CampaignSpec.from_dict(document["spec"])
+        try:
+            document = json.loads(self.manifest_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise CampaignError(
+                f"campaign manifest at {self.manifest_path} is corrupt "
+                f"(not valid JSON: {exc}); restore it or use a fresh campaign name"
+            ) from exc
+        try:
+            spec = CampaignSpec.from_dict(document["spec"])
+        except CampaignError:
+            raise
+        except (AttributeError, KeyError, TypeError, ValueError) as exc:
+            raise CampaignError(
+                f"campaign manifest at {self.manifest_path} is corrupt "
+                f"(not a manifest document: {exc}); restore it or use a fresh "
+                "campaign name"
+            ) from exc
         recorded = document.get("spec_hash")
         if recorded != spec.spec_hash:
             raise CampaignError(
@@ -194,13 +214,29 @@ class CampaignStore:
         json_path = self._json_path(unit_id)
         if not json_path.exists():
             raise CampaignError(f"unit {unit_id} has not completed in {self.directory}")
-        document = json.loads(json_path.read_text())
+        try:
+            document = json.loads(json_path.read_text())
+            unit_descriptor = WorkUnit.from_dict(document["unit"])
+        except CampaignError:
+            raise
+        except (AttributeError, KeyError, TypeError, ValueError) as exc:
+            raise CampaignError(
+                f"unit result {json_path} is corrupt ({exc}); delete the file "
+                "and re-run the campaign to re-execute the unit"
+            ) from exc
         arrays: Dict[str, np.ndarray] = {}
         if with_arrays and document.get("arrays"):
-            with np.load(self._npz_path(unit_id)) as payload:
-                arrays = {name: payload[name] for name in document["arrays"]}
+            try:
+                with np.load(self._npz_path(unit_id)) as payload:
+                    arrays = {name: payload[name] for name in document["arrays"]}
+            except (OSError, KeyError, ValueError) as exc:
+                raise CampaignError(
+                    f"array payload {self._npz_path(unit_id)} is corrupt or "
+                    f"missing ({exc}); delete {json_path} and re-run the "
+                    "campaign to re-execute the unit"
+                ) from exc
         return UnitResult(
-            unit=WorkUnit.from_dict(document["unit"]),
+            unit=unit_descriptor,
             summary=document.get("summary", {}),
             arrays=arrays,
         )

@@ -31,6 +31,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -46,6 +47,7 @@ from repro.campaign import (
     preset_spec,
     run_campaign,
 )
+from repro.exec import ExecError, ExecutionEngine, ReplayBackend, SCHEDULERS
 from repro.search import SEARCH_MODES, EvalCache, merge_search_documents
 from repro.core import cached_fault_field
 from repro.core.characterization import (
@@ -107,6 +109,53 @@ def _add_search_argument(parser: argparse.ArgumentParser, default: Optional[str]
     )
 
 
+def _add_backend_arguments(
+    parser: argparse.ArgumentParser,
+    default: str = "serial",
+    replay: bool = False,
+) -> None:
+    """The execution-layer knobs: ``--backend`` and ``--jobs``.
+
+    ``serial``/``thread``/``process`` pick the scheduling substrate of the
+    simulated backend (results are bit-identical across all three; see
+    docs/architecture.md); ``replay``, where offered, serves every
+    evaluation from a recorded store instead of the fault model.
+    """
+    choices = list(SCHEDULERS) + (["replay"] if replay else [])
+    parser.add_argument(
+        "--backend",
+        choices=choices,
+        default=default,
+        help=(
+            "execution backend: scheduling substrate of the simulated fault "
+            "model" + (", or bit-identical replay from a recorded store "
+                       "(--replay-store)" if replay else "")
+        ),
+    )
+    jobs_flags = ["--jobs"] + (["--workers"] if default == "process" else [])
+    parser.add_argument(
+        *jobs_flags,
+        dest="jobs",
+        type=int,
+        default=None,
+        help="worker threads/processes for the parallel backends "
+        "(default: CPU count when --backend is thread/process, else 1)",
+    )
+    if replay:
+        parser.add_argument(
+            "--replay-store",
+            metavar="PATH",
+            help="recorded evaluation store (a --record-store file or a "
+            "campaign store directory) served by --backend replay",
+        )
+        parser.add_argument(
+            "--record-store",
+            metavar="PATH",
+            help="write this run's evaluation cache to PATH for later "
+            "--backend replay runs (needs --search adaptive)",
+        )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level ``repro-undervolt`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -119,11 +168,20 @@ def build_parser() -> argparse.ArgumentParser:
     _add_platform_argument(guardband)
     _add_json_argument(guardband)
     _add_search_argument(guardband, default="adaptive")
+    _add_backend_arguments(guardband, replay=True)
+    guardband.add_argument(
+        "--runs",
+        type=int,
+        default=3,
+        help="read-back repetitions per probe (default 3; match the "
+        "recording's runs_per_step when replaying a campaign store)",
+    )
 
     sweep = subparsers.add_parser("sweep", help="critical-region fault/power sweep (Fig. 3)")
     _add_platform_argument(sweep)
     _add_json_argument(sweep)
     _add_search_argument(sweep, default="adaptive")
+    _add_backend_arguments(sweep, replay=True)
     sweep.add_argument("--runs", type=int, default=11, help="read-back repetitions per voltage step")
     sweep.add_argument("--pattern", default="FFFF", help="initial BRAM data pattern (e.g. FFFF, AAAA)")
 
@@ -168,16 +226,12 @@ def build_parser() -> argparse.ArgumentParser:
     run = campaign_sub.add_parser("run", help="run (or resume) a campaign")
     _add_campaign_common(run, need_spec=True)
     _add_search_argument(run, default=None)  # None: honour the spec's knob
-    run.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help="worker processes (default: one per pending chip, capped at CPU count)",
-    )
+    _add_backend_arguments(run, default="process")
     run.add_argument(
         "--no-processes",
         action="store_true",
-        help="execute serially in this process (useful for debugging)",
+        help="execute serially in this process (legacy alias for "
+        "--backend serial)",
     )
 
     status = campaign_sub.add_parser("status", help="progress of a campaign on disk")
@@ -198,6 +252,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_platform_argument(run_rt)
     _add_json_argument(run_rt)
+    _add_backend_arguments(run_rt)
     run_rt.add_argument(
         "--chips", type=int, default=4, help="fleet size when characterizing inline"
     )
@@ -281,18 +336,126 @@ def _search_payload(search_documents: List[dict], mode: str) -> dict:
     }
 
 
-def _cmd_guardband(args: argparse.Namespace) -> int:
+def _backend_block(
+    kind: str, scheduler: str, jobs: int, source: Optional[str] = None
+) -> Dict[str, Any]:
+    """A counterless ``backend`` --json block.
+
+    Commands whose evaluations happen outside this process (campaign
+    workers, per-die characterization tasks) publish the engine identity
+    without counters; in-process commands use
+    :meth:`repro.exec.ExecutionEngine.describe` instead, which fills the
+    same schema with live counters.
+    """
+    return {
+        "kind": kind,
+        "scheduler": scheduler,
+        "jobs": jobs,
+        "source": source,
+        "counters": None,
+    }
+
+
+def _resolved_jobs(args: argparse.Namespace) -> int:
+    """The worker count ``--jobs`` resolves to.
+
+    A parallel backend without an explicit ``--jobs`` gets one worker per
+    CPU — asking for ``--backend thread`` must never silently run serial.
+    """
+    if args.jobs is not None:
+        if args.jobs < 1:
+            raise ExecError("--jobs must be at least 1")
+        return args.jobs
+    if args.backend in ("thread", "process"):
+        return os.cpu_count() or 1
+    return 1
+
+
+def _single_board_experiment(
+    args: argparse.Namespace, runs_per_step: int
+) -> UndervoltingExperiment:
+    """The experiment a single-board command drives, honouring ``--backend``.
+
+    ``serial``/``thread``/``process`` configure the simulated engine's
+    scheduler; ``replay`` swaps the backend for a
+    :class:`~repro.exec.ReplayBackend` over ``--replay-store``.
+    """
     chip = FpgaChip.build(args.platform)
-    experiment = UndervoltingExperiment(chip, runs_per_step=3)
+    if args.backend == "replay":
+        if not args.replay_store:
+            raise ExecError("--backend replay needs --replay-store PATH")
+        backend = ReplayBackend.open(
+            args.replay_store, platform=chip.name, serial=chip.spec.serial_number
+        )
+        return UndervoltingExperiment(
+            chip, runs_per_step=runs_per_step, engine=ExecutionEngine(backend)
+        )
+    return UndervoltingExperiment(
+        chip,
+        runs_per_step=runs_per_step,
+        scheduler=args.backend,
+        jobs=_resolved_jobs(args),
+    )
+
+
+def _record_cache(
+    args: argparse.Namespace, experiment: UndervoltingExperiment
+) -> Optional[EvalCache]:
+    """The recording cache of ``--record-store``, if requested."""
+    if not getattr(args, "record_store", None):
+        return None
+    if args.search != "adaptive":
+        raise ExecError(
+            "--record-store records the evaluation cache, which only the "
+            "adaptive search path maintains; drop --search exhaustive"
+        )
+    return EvalCache(
+        platform=experiment.chip.name,
+        serial=experiment.chip.spec.serial_number,
+    )
+
+
+def _write_record_store(args: argparse.Namespace, cache: Optional[EvalCache]) -> None:
+    """Persist a recording cache as a replayable store document."""
+    if cache is None:
+        return
+    Path(args.record_store).write_text(
+        json.dumps(cache.to_document(), indent=2, sort_keys=True) + "\n"
+    )
+
+
+def _backend_footer(experiment: UndervoltingExperiment) -> str:
+    """One human-readable line describing the engine that served a command."""
+    block = experiment.engine.describe()
+    counters = block["counters"]
+    return (
+        f"  * backend: {block['kind']} ({block['scheduler']} x{block['jobs']}): "
+        f"{counters['n_backend_evaluations']} backend evaluations, "
+        f"{counters['n_cache_hits']} cache hits"
+    )
+
+
+def _cmd_guardband(args: argparse.Namespace) -> int:
+    experiment = _single_board_experiment(args, runs_per_step=args.runs)
+    cache = _record_cache(args, experiment)
     payload = {}
     search_documents: List[dict] = []
     for rail in ("VCCBRAM", "VCCINT"):
+        # Pattern "FFFF" spells the stored image the way campaign units do,
+        # so campaign stores double as replay sources for this command (the
+        # bit image is identical to the library default 0xFFFF).
         if args.search == "adaptive":
-            # No cross-rail cache: keys include the rail, and within one
-            # rail the two bisections already share probes internally.
-            measurement = experiment.discover_guardband_adaptive(rail=rail).measurement
+            # No cross-rail cache sharing happens either way: keys include
+            # the rail, and within one rail the two bisections already
+            # share probes internally.  A --record-store cache rides along
+            # purely to capture the probes for later replay.
+            measurement = experiment.discover_guardband_adaptive(
+                rail=rail, pattern="FFFF", probe_runs=args.runs, cache=cache
+            ).measurement
         else:
-            measurement, _ = experiment.discover_guardband(rail=rail)
+            measurement, _ = experiment.discover_guardband(
+                rail=rail, pattern="FFFF", probe_runs=args.runs
+            )
         search_documents.append(experiment.last_search_report.to_dict())
         payload[rail] = {
             "vnom_v": measurement.nominal_v,
@@ -301,9 +464,15 @@ def _cmd_guardband(args: argparse.Namespace) -> int:
             "guardband_fraction": measurement.guardband_fraction,
             "power_reduction_factor_at_vmin": measurement.power_reduction_factor_at_vmin,
         }
+    _write_record_store(args, cache)
     search = _search_payload(search_documents, args.search)
     if args.json:
-        _emit_json({"platform": args.platform, "rails": payload, "search": search})
+        _emit_json({
+            "platform": args.platform,
+            "rails": payload,
+            "search": search,
+            "backend": experiment.engine.describe(),
+        })
         return 0
     rows = [
         (rail, data["vnom_v"], data["vmin_v"], data["vcrash_v"],
@@ -319,20 +488,21 @@ def _cmd_guardband(args: argparse.Namespace) -> int:
         f"  * {args.search} search: {search['n_evaluations']} fault-field "
         f"evaluations ({search['n_exhaustive_equivalent']} exhaustive-equivalent)"
     )
+    print(_backend_footer(experiment))
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    chip = FpgaChip.build(args.platform)
-    experiment = UndervoltingExperiment(chip, runs_per_step=args.runs)
-    cache = (
-        EvalCache(platform=chip.name, serial=chip.spec.serial_number)
-        if args.search == "adaptive"
-        else None
-    )
+    experiment = _single_board_experiment(args, runs_per_step=args.runs)
+    chip = experiment.chip
+    cache = _record_cache(args, experiment)
+    if cache is None and args.search == "adaptive":
+        cache = EvalCache(platform=chip.name, serial=chip.spec.serial_number)
     result = experiment.critical_region_sweep(
         pattern=args.pattern, n_runs=args.runs, cache=cache
     )
+    if getattr(args, "record_store", None):
+        _write_record_store(args, cache)
     series = result.as_series()
     if args.json:
         _emit_json({
@@ -341,6 +511,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "search": _search_payload(
                 [experiment.last_search_report.to_dict()], args.search
             ),
+            "backend": experiment.engine.describe(),
             "points": [
                 {"vccbram_v": v, "faults_per_mbit": rate, "bram_power_w": power}
                 for v, rate, power in series
@@ -352,6 +523,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         series,
         title=f"Critical-region sweep of {args.platform}, pattern {args.pattern} (Fig. 3)",
     ))
+    print(_backend_footer(experiment))
     return 0
 
 
@@ -489,8 +661,8 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     report = run_campaign(
         spec,
         root=args.root,
-        max_workers=args.workers,
-        use_processes=not args.no_processes,
+        max_workers=args.jobs,
+        scheduler="serial" if args.no_processes else args.backend,
         progress=None if args.json else progress,
     )
     if args.json:
@@ -508,7 +680,8 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             ("units total", report.n_units),
             ("units executed", len(report.executed)),
             ("units skipped (already complete)", len(report.skipped)),
-            ("worker processes", report.n_workers),
+            ("backend", f"simulated ({report.scheduler} x{report.n_workers})"),
+            ("workers", report.n_workers),
             ("fault-field evaluations", evaluations.get("n_evaluations", 0)),
             ("exhaustive-equivalent evaluations",
              evaluations.get("n_exhaustive_equivalent", 0)),
@@ -654,12 +827,19 @@ def _cmd_runtime_run(args: argparse.Namespace) -> int:
     if args.campaign:
         store = CampaignStore(args.campaign, args.root)
         bundle = GovernorBundle.from_campaign(store)
+        backend_block = _backend_block("campaign-store", "serial", 1, args.campaign)
     else:
         chips = [
             FpgaChip.build(args.platform, serial=serial)
             for serial in fleet_serials(args.platform, args.chips)
         ]
-        bundle = GovernorBundle.from_chips(chips)
+        # Inline characterization (live adaptive discovery on every die)
+        # fans out over the execution layer's scheduling substrate.
+        jobs = _resolved_jobs(args)
+        bundle = GovernorBundle.from_chips(
+            chips, scheduler=args.backend, jobs=jobs
+        )
+        backend_block = _backend_block("simulated", args.backend, jobs)
 
     dataset = synthetic_mnist(n_train=args.train_samples, n_test=200)
     trained = train_network(
@@ -698,6 +878,7 @@ def _cmd_runtime_run(args: argparse.Namespace) -> int:
             "icbp": not args.no_icbp,
         },
         "trace": trace.to_dict(),
+        "backend": backend_block,
         **_runtime_summary_payload(logs, simulator),
     }
     if args.json:
@@ -842,7 +1023,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     _COMMAND_T0 = time.perf_counter()
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ExecError as error:
+        # Execution-layer misconfiguration (bad backend/replay request) is
+        # operator input, not a crash: one line, non-zero exit.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -35,6 +35,7 @@ documents the argument.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Iterable, Optional, Sequence, Tuple
@@ -405,6 +406,9 @@ def power_curve(
 #: for ablation variants.  ``clear_fault_field_cache`` frees everything.
 _FIELD_CACHE: "OrderedDict[Tuple, FaultField]" = OrderedDict()
 _FIELD_CACHE_MAX = 8
+#: Guards the cache's LRU bookkeeping: thread-scheduled campaign shards and
+#: execution-engine workers build fields for different dies concurrently.
+_FIELD_CACHE_LOCK = threading.Lock()
 
 
 def cached_fault_field(
@@ -427,19 +431,22 @@ def cached_fault_field(
     from .faultmodel import FaultField
 
     key = (id(chip), calibration, variation_config, config)
-    cached = _FIELD_CACHE.get(key)
-    if cached is not None and cached.chip is chip:
-        _FIELD_CACHE.move_to_end(key)
-        return cached
+    with _FIELD_CACHE_LOCK:
+        cached = _FIELD_CACHE.get(key)
+        if cached is not None and cached.chip is chip:
+            _FIELD_CACHE.move_to_end(key)
+            return cached
     built = FaultField(
         chip, calibration=calibration, variation_config=variation_config, config=config
     )
-    _FIELD_CACHE[key] = built
-    if len(_FIELD_CACHE) > _FIELD_CACHE_MAX:
-        _FIELD_CACHE.popitem(last=False)
+    with _FIELD_CACHE_LOCK:
+        _FIELD_CACHE[key] = built
+        if len(_FIELD_CACHE) > _FIELD_CACHE_MAX:
+            _FIELD_CACHE.popitem(last=False)
     return built
 
 
 def clear_fault_field_cache() -> None:
     """Drop every memoized fault field (mainly for tests and long sessions)."""
-    _FIELD_CACHE.clear()
+    with _FIELD_CACHE_LOCK:
+        _FIELD_CACHE.clear()

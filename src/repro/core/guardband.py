@@ -16,7 +16,7 @@ the same way the paper does rather than reading it out of the calibration.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 
 class GuardbandError(ValueError):

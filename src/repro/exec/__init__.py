@@ -1,0 +1,53 @@
+"""Unified execution backend layer for fault-field evaluations.
+
+Every layer of the reproduction asks the same primitive question —
+*evaluate one (platform, die, rail, V, T, pattern) operating point* — and
+before this subsystem each layer answered it its own way: the sweep
+drivers probed directly, the adaptive search wrapped an
+:class:`~repro.search.EvalCache` by hand, the campaign runner owned a
+process pool, the runtime layer looped live discovery itself.
+``repro.exec`` separates the *what to evaluate* contract from the
+*where/how it runs* substrate:
+
+* :class:`EvalRequest` — the frozen operating-point question
+  (``probe`` / ``region`` / ``fvm`` kinds);
+* :class:`EvalBackend` — the answer protocol, implemented by
+  :class:`SimulatedBackend` (the behavioural fault model) and
+  :class:`ReplayBackend` (bit-identical replay from a recorded store);
+* :class:`ExecutionEngine` — scheduling (serial / thread / process shards
+  with bounded work queues), in-flight request deduplication, the
+  evaluation cache, telemetry counters and deterministic result ordering;
+* :class:`WorkScheduler` — the bare scheduling substrate, also used by
+  the campaign runner for per-die shards.
+
+See ``docs/architecture.md`` for the layer diagram and a backend how-to;
+``benchmarks/bench_exec_engine.py`` is the acceptance benchmark
+(cross-scheduler bit-identity, >=2x parallel speedup on a single-chip
+sweep, zero-evaluation replay).
+"""
+
+from .backends import ReplayBackend, SimulatedBackend, backend_from_spec, rail_thresholds
+from .engine import EngineCounters, EvalBackend, ExecutionEngine
+from .request import FVM, PROBE, REGION, REQUEST_KINDS, EvalRequest, ExecError
+from .scheduler import SCHEDULERS, WorkScheduler, chunked, process_context, validate_scheduler
+
+__all__ = [
+    "EngineCounters",
+    "EvalBackend",
+    "EvalRequest",
+    "ExecError",
+    "ExecutionEngine",
+    "FVM",
+    "PROBE",
+    "REGION",
+    "REQUEST_KINDS",
+    "ReplayBackend",
+    "SCHEDULERS",
+    "SimulatedBackend",
+    "WorkScheduler",
+    "backend_from_spec",
+    "chunked",
+    "process_context",
+    "rail_thresholds",
+    "validate_scheduler",
+]

@@ -1,0 +1,83 @@
+"""The evaluation request: one operating point, one question.
+
+Every fault-field evaluation the reproduction performs — a guardband-walk
+probe, a critical-region voltage step, an FVM per-BRAM column — asks the
+same underlying question: *what does this die show at this operating
+point?*  :class:`EvalRequest` is the frozen descriptor of that question;
+the backends in :mod:`repro.exec.backends` answer it with a
+:class:`~repro.search.PointEvaluation`, and the
+:class:`~repro.exec.engine.ExecutionEngine` decides where and how the
+answer is computed (cache, simulation, replay; serial or parallel).
+
+Three request kinds cover every driver in the codebase:
+
+``probe``
+    One step of the Fig. 1 guardband-discovery walk: program the rail,
+    count faults over ``n_runs`` read-back passes while the design
+    operates, read the rail power.  Mutates the (simulated) hardware, so
+    probes always execute inline, never on worker threads or processes.
+``region``
+    One voltage step of the Listing 1 critical-region sweep: chip-level
+    fault counts over the run axis plus the rail power, computed purely
+    from the fault field.  Parallelizes freely.
+``fvm``
+    One voltage row of a Fault Variation Map: the per-BRAM count vector
+    under the batch engine's no-run-axis convention (``n_runs = 0``).
+    Parallelizes freely.
+
+``pattern`` keeps the caller's original ``str | int`` value (the fault
+model accepts both spellings and they are *not* interchangeable once
+stringified: ``str(0xFFFF)`` is ``"65535"``, which the pattern parser
+would read as hex).  Cache keys always use ``str(pattern)``, matching the
+:func:`repro.search.point_key` convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+
+class ExecError(RuntimeError):
+    """Raised for invalid requests, backends or engine configurations."""
+
+
+#: Request kinds (see the module docstring).
+PROBE = "probe"
+REGION = "region"
+FVM = "fvm"
+REQUEST_KINDS: Tuple[str, ...] = (PROBE, REGION, FVM)
+
+
+@dataclass(frozen=True)
+class EvalRequest:
+    """One fault-field evaluation to perform at one operating point."""
+
+    kind: str
+    rail: str
+    voltage_v: float
+    temperature_c: float
+    pattern: Union[str, int]
+    n_runs: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in REQUEST_KINDS:
+            raise ExecError(
+                f"unknown request kind {self.kind!r}; expected one of {REQUEST_KINDS}"
+            )
+        object.__setattr__(self, "voltage_v", float(self.voltage_v))
+        object.__setattr__(self, "temperature_c", float(self.temperature_c))
+        object.__setattr__(self, "n_runs", int(self.n_runs))
+        if self.kind == FVM:
+            if self.n_runs != 0:
+                raise ExecError("fvm requests use the no-run-axis convention (n_runs = 0)")
+        elif self.n_runs < 1:
+            raise ExecError(f"{self.kind} requests need at least one run")
+
+    @property
+    def pattern_text(self) -> str:
+        """The cache-key spelling of the pattern (``str(pattern)``)."""
+        return str(self.pattern)
+
+
+__all__ = ["ExecError", "EvalRequest", "FVM", "PROBE", "REGION", "REQUEST_KINDS"]

@@ -1,0 +1,204 @@
+"""The execution engine's scheduling substrate: serial / thread / process.
+
+One small abstraction owns every "fan work out over workers" decision in
+the codebase: :class:`WorkScheduler` runs a list of task invocations under
+a chosen scheduler with a bounded in-flight queue and returns results in
+**submission order**, no matter in which order workers finish.  The
+:class:`~repro.exec.engine.ExecutionEngine` shards evaluation-request
+chunks through it, and :func:`repro.campaign.runner.run_campaign` shards
+per-die unit groups through the same code path — so campaigns and
+single-chip sweeps share one scheduling implementation instead of each
+growing their own pool management.
+
+Determinism contract: scheduling can change *when* a task runs, never
+*what* it computes or where its result lands.  ``on_result`` callbacks
+fire in completion order (that is what progress reporting wants); the
+returned list is always in submission order (that is what result
+consumers want).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from .request import ExecError
+
+#: The three scheduling substrates every ``--backend``-aware layer accepts.
+SCHEDULERS: Tuple[str, ...] = ("serial", "thread", "process")
+
+#: In-flight submissions per worker when no explicit queue depth is given.
+#: Bounding the queue keeps memory flat for huge request lists while still
+#: hiding per-task latency behind the next submission.
+DEFAULT_QUEUE_FACTOR = 2
+
+
+def validate_scheduler(scheduler: str) -> str:
+    """Normalize and validate a scheduler knob value."""
+    normalized = str(scheduler).strip().lower()
+    if normalized not in SCHEDULERS:
+        raise ExecError(
+            f"unknown scheduler {scheduler!r}; expected one of {SCHEDULERS}"
+        )
+    return normalized
+
+
+def process_context() -> Optional[multiprocessing.context.BaseContext]:
+    """Fork context where available (inherits ``sys.path`` and warm module
+    state, which is what makes single-chip process sharding affordable);
+    ``None`` falls back to the platform default."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+@dataclass
+class WorkScheduler:
+    """Run task batches serially, on threads, or on worker processes.
+
+    Parameters
+    ----------
+    scheduler:
+        One of :data:`SCHEDULERS`.
+    jobs:
+        Worker count for the parallel schedulers; ignored serially.
+    queue_depth:
+        Maximum in-flight submissions; defaults to
+        ``DEFAULT_QUEUE_FACTOR * jobs``.
+    """
+
+    scheduler: str = "serial"
+    jobs: int = 1
+    queue_depth: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.scheduler = validate_scheduler(self.scheduler)
+        if self.jobs < 1:
+            raise ExecError("jobs must be at least 1")
+        if self.queue_depth is not None and self.queue_depth < 1:
+            raise ExecError("queue_depth must be at least 1")
+        #: Long-lived worker pool while used as a context manager; outside
+        #: one, every :meth:`map_tasks` call builds and tears its own pool
+        #: down so no worker ever outlives the call.
+        self._pool = None
+        self._managed = False
+
+    # ------------------------------------------------------------------
+    # Pool lifetime: `with WorkScheduler(...) as work:` keeps one pool
+    # alive across several map_tasks calls (e.g. a campaign's scout wave
+    # followed by the warm wave); the default is per-call pools.
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "WorkScheduler":
+        self._managed = True
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Tear down the managed pool (no-op when none is alive)."""
+        self._managed = False
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def _build_pool(self):
+        if self.scheduler == "thread":
+            return ThreadPoolExecutor(max_workers=self.jobs)
+        context = process_context()
+        kwargs = {"max_workers": self.jobs}
+        if context is not None:
+            kwargs["mp_context"] = context
+        return ProcessPoolExecutor(**kwargs)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_serial(self) -> bool:
+        """Whether this configuration degenerates to in-process execution."""
+        return self.scheduler == "serial" or self.jobs == 1
+
+    def effective_queue_depth(self) -> int:
+        """The in-flight submission bound actually applied."""
+        if self.queue_depth is not None:
+            return self.queue_depth
+        return DEFAULT_QUEUE_FACTOR * self.jobs
+
+    # ------------------------------------------------------------------
+    def map_tasks(
+        self,
+        fn: Callable[..., Any],
+        task_args: Sequence[Tuple],
+        on_result: Optional[Callable[[int, Any], None]] = None,
+    ) -> List[Any]:
+        """Run ``fn(*args)`` for every args-tuple; results in submission order.
+
+        ``on_result(index, result)`` fires as each task finishes (completion
+        order under the parallel schedulers).  For the process scheduler,
+        ``fn`` must be a module-level callable and every argument and result
+        must be picklable.
+        """
+        if self.is_serial or len(task_args) <= 1:
+            results: List[Any] = []
+            for index, args in enumerate(task_args):
+                result = fn(*args)
+                results.append(result)
+                if on_result is not None:
+                    on_result(index, result)
+            return results
+
+        if self._managed:
+            if self._pool is None:
+                self._pool = self._build_pool()
+            pool = self._pool
+        else:
+            pool = self._build_pool()
+
+        results = [None] * len(task_args)
+        depth = self.effective_queue_depth()
+        try:
+            pending = {}
+            next_index = 0
+            while next_index < len(task_args) or pending:
+                while next_index < len(task_args) and len(pending) < depth:
+                    future = pool.submit(fn, *task_args[next_index])
+                    pending[future] = next_index
+                    next_index += 1
+                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    index = pending.pop(future)
+                    result = future.result()
+                    results[index] = result
+                    if on_result is not None:
+                        on_result(index, result)
+        finally:
+            if not self._managed:
+                pool.shutdown(wait=True)
+        return results
+
+
+def chunked(items: Sequence[Any], n_chunks: int) -> List[List[Any]]:
+    """Split ``items`` into at most ``n_chunks`` contiguous, order-preserving
+    chunks of near-equal size (never empty)."""
+    if n_chunks < 1:
+        raise ExecError("n_chunks must be at least 1")
+    n_chunks = min(n_chunks, len(items)) or 1
+    size, remainder = divmod(len(items), n_chunks)
+    chunks: List[List[Any]] = []
+    start = 0
+    for index in range(n_chunks):
+        stop = start + size + (1 if index < remainder else 0)
+        chunks.append(list(items[start:stop]))
+        start = stop
+    return chunks
+
+
+__all__ = [
+    "DEFAULT_QUEUE_FACTOR",
+    "SCHEDULERS",
+    "WorkScheduler",
+    "chunked",
+    "process_context",
+    "validate_scheduler",
+]

@@ -23,7 +23,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 import numpy as np
 
 from .floorplan import Floorplan
-from .pblock import ConstraintSet, PblockError
+from .pblock import ConstraintSet
 
 
 class PlacementError(ValueError):

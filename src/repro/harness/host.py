@@ -14,7 +14,7 @@ sweep drivers in :mod:`repro.harness.sweep` are written on top of it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 

@@ -12,7 +12,7 @@ rails the way Listing 1 says — while the electrical behaviour lives in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.fpga.platform import FpgaChip
 from repro.fpga.voltage import VoltageError

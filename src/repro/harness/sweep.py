@@ -23,11 +23,17 @@ certified bisection (:mod:`repro.search`) plus a shared
 :class:`~repro.search.EvalCache`, and report their evaluation cost as a
 :class:`~repro.search.SearchReport`; ``docs/adaptive_search.md`` documents
 the equivalence argument.
+
+Every operating-point evaluation either mode performs goes through the
+experiment's :class:`~repro.exec.ExecutionEngine` — the probing primitive
+itself lives in :class:`repro.exec.SimulatedBackend`, the cache sits behind
+the engine, and the pure sweep kinds (critical region, FVM) parallelize
+over the engine's thread/process schedulers without changing a single bit
+of output (``docs/architecture.md``).
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -40,13 +46,23 @@ from repro.core.batch import (
     power_curve,
     voltage_ladder,
 )
-from repro.core.calibration import PlatformCalibration, get_calibration
+from repro.core.calibration import PlatformCalibration
 from repro.core.faultmodel import FaultField
 from repro.core.fvm import FaultVariationMap
 from repro.core.guardband import GuardbandResult, SweepObservation, detect_guardband
 from repro.core.temperature import REFERENCE_TEMPERATURE_C
+from repro.exec import (
+    FVM,
+    PROBE,
+    REGION,
+    EvalRequest,
+    ExecError,
+    ExecutionEngine,
+    SimulatedBackend,
+    rail_thresholds,
+)
 from repro.fpga.platform import FpgaChip
-from repro.fpga.voltage import DEFAULT_STEP_V, VCCBRAM, VCCINT
+from repro.fpga.voltage import DEFAULT_STEP_V, VCCBRAM
 from repro.search import (
     BracketHint,
     EvalCache,
@@ -103,6 +119,15 @@ class UndervoltingExperiment:
     power_meter: Optional[PowerMeter] = None
     runs_per_step: int = 100
     step_v: float = DEFAULT_STEP_V
+    #: Execution engine every operating-point evaluation routes through.
+    #: ``None`` builds one over a :class:`~repro.exec.SimulatedBackend`
+    #: sharing this experiment's chip/host/power-meter instances; pass an
+    #: engine explicitly to replay recorded evaluations or share a backend.
+    engine: Optional[ExecutionEngine] = None
+    #: Scheduling of the engine built when ``engine`` is ``None`` (the pure
+    #: sweep kinds shard over it; results are scheduler-independent).
+    scheduler: str = "serial"
+    jobs: int = 1
 
     #: Total operating-point probes this experiment has performed (the
     #: guardband-walk unit of cost; reset it freely between measurements).
@@ -113,12 +138,36 @@ class UndervoltingExperiment:
     def __post_init__(self) -> None:
         if self.runs_per_step < 1:
             raise SweepError("runs_per_step must be at least 1")
+        customized = not (
+            self.fault_field is None and self.host is None and self.power_meter is None
+        )
         if self.fault_field is None:
             self.fault_field = cached_fault_field(self.chip)
         if self.host is None:
             self.host = HostController(self.chip, fault_field=self.fault_field)
         if self.power_meter is None:
             self.power_meter = PowerMeter(self.chip, calibration=self.fault_field.calibration)
+        if self.engine is None:
+            backend = SimulatedBackend(
+                chip=self.chip,
+                fault_field=self.fault_field,
+                host=self.host,
+                power_meter=self.power_meter,
+                step_v=self.step_v,
+                spec_buildable=not customized,
+            )
+            self.engine = ExecutionEngine(
+                backend, scheduler=self.scheduler, jobs=self.jobs
+            )
+        elif (
+            self.engine.platform != self.chip.name
+            or self.engine.serial != self.chip.spec.serial_number
+        ):
+            raise SweepError(
+                f"engine backend is die {self.engine.platform}/"
+                f"{self.engine.serial}, experiment chip is "
+                f"{self.chip.name}/{self.chip.spec.serial_number}"
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -126,74 +175,58 @@ class UndervoltingExperiment:
         """Calibration backing the fault field."""
         return self.fault_field.calibration
 
-    def _int_fault_count(self, vccint_v: float) -> int:
-        """Observable logic faults when undervolting VCCINT (Fig. 1b).
-
-        The paper does not characterize VCCINT faults bit-by-bit (the rail
-        feeds LUTs, DSPs and routing, which cannot be read back like BRAMs);
-        it only locates the SAFE/CRITICAL/CRASH boundaries.  The reproduction
-        models the observable fault count with the same exponential-onset
-        shape anchored at the calibrated VCCINT thresholds.
-        """
-        cal = self.calibration
-        if vccint_v >= cal.vmin_int_v:
-            return 0
-        window = cal.vmin_int_v - cal.vcrash_int_v
-        slope = math.log(500.0) / window
-        return int(round(2.0 * math.exp(slope * (cal.vmin_int_v - vccint_v) - slope * self.step_v)))
-
     # ------------------------------------------------------------------
-    # Operating-point probes (shared by the exhaustive and adaptive paths)
+    # Engine plumbing (the probe primitive lives in repro.exec)
     # ------------------------------------------------------------------
     def _rail_thresholds(self, rail: str) -> Tuple[float, float]:
         """Calibrated (Vmin, Vcrash) of one rail; rejects unknown rails."""
-        cal = self.calibration
-        if rail == VCCBRAM:
-            return cal.vmin_bram_v, cal.vcrash_bram_v
-        if rail == VCCINT:
-            return cal.vmin_int_v, cal.vcrash_int_v
-        raise SweepError(f"unsupported rail {rail!r}")
+        try:
+            return rail_thresholds(self.calibration, rail)
+        except ExecError as exc:
+            raise SweepError(str(exc)) from None
 
-    def _probe_rail_point(
+    def _engine_for(self, cache: Optional[EvalCache]) -> ExecutionEngine:
+        """The engine serving one driver call.
+
+        ``None`` (and the engine's own cache) use the experiment's engine
+        directly; an explicitly passed cache gets a throwaway cache-variant
+        engine sharing the same backend, scheduling and telemetry counters
+        (a variant is three references and a frozen scheduler config, so
+        there is nothing worth memoizing), keeping the legacy ``cache=``
+        call signatures working while the cache itself lives behind the
+        engine.
+        """
+        if cache is None or cache is self.engine.cache:
+            return self.engine
+        return self.engine.with_cache(cache)
+
+    def _probe(
         self,
+        engine: ExecutionEngine,
         rail: str,
         voltage: float,
         pattern: "str | int",
         probe_runs: int,
-        vcrash_true: float,
-    ) -> PointEvaluation:
-        """Evaluate one guardband-walk operating point on one rail.
+    ) -> Tuple[PointEvaluation, bool]:
+        """One guardband-walk probe through the engine.
 
-        Performs exactly the per-step work of the Fig. 1 discovery loop —
-        program the rail, count faults over ``probe_runs`` read-back passes
-        while the design operates, read the rail power — so the exhaustive
-        walk and the bisection probes produce bit-identical data at every
-        voltage either of them visits.
+        Returns ``(point, served_from_cache)``; fresh evaluations count
+        toward :attr:`n_point_evaluations` exactly as the direct probes of
+        earlier revisions did.
         """
-        operational = voltage >= vcrash_true - 1e-9
-        if rail == VCCBRAM:
-            self.chip.set_vccbram(max(voltage, 0.40))
-            counts = (
-                [int(c) for c in self.host.count_chip_faults_over_runs(probe_runs)]
-                if operational
-                else []
+        point, from_cache = engine.evaluate(
+            EvalRequest(
+                kind=PROBE,
+                rail=rail,
+                voltage_v=voltage,
+                temperature_c=self.chip.board_temperature_c,
+                pattern=pattern,
+                n_runs=probe_runs,
             )
-        else:
-            self.chip.set_vccint(max(voltage, 0.40))
-            counts = [self._int_fault_count(voltage)] * probe_runs if operational else []
-        self.n_point_evaluations += 1
-        return PointEvaluation(
-            voltage_v=voltage,
-            temperature_c=self.chip.board_temperature_c,
-            rail=rail,
-            pattern=str(pattern),
-            n_runs=probe_runs,
-            counts=tuple(counts),
-            operational=operational,
-            bram_power_w=(
-                self.power_meter.read_bram_power_w(voltage) if rail == VCCBRAM else None
-            ),
         )
+        if not from_cache:
+            self.n_point_evaluations += 1
+        return point, from_cache
 
     def _guardband_ladder(self, vnom_v: float) -> Tuple[float, ...]:
         """The discovery walk's voltage grid: nominal down to the 0.3 V floor."""
@@ -252,13 +285,14 @@ class UndervoltingExperiment:
         probe_runs: int = 3,
     ) -> Tuple[GuardbandMeasurement, SweepResult]:
         """Walk one rail down from nominal until the design stops operating."""
-        _vmin_true, vcrash_true = self._rail_thresholds(rail)
+        self._rail_thresholds(rail)  # reject unknown rails before touching hardware
         self.host.initialize_brams(pattern)
+        engine = self.engine
         result = SweepResult(platform=self.chip.name, rail=rail, pattern=str(pattern))
         observations: List[SweepObservation] = []
         crashed_at: Optional[float] = None
         for voltage in self._guardband_ladder(self.calibration.vnom_v):
-            point = self._probe_rail_point(rail, voltage, pattern, probe_runs, vcrash_true)
+            point, _ = self._probe(engine, rail, voltage, pattern, probe_runs)
             step = self._step_from_point(point, self.chip.brams.total_mbits)
             result.steps.append(step)
             observations.append(
@@ -302,27 +336,19 @@ class UndervoltingExperiment:
         (see :class:`~repro.search.WarmStartModel`).  Both are optional;
         without them the search runs cold and still wins by a large factor.
         """
-        _vmin_true, vcrash_true = self._rail_thresholds(rail)
+        self._rail_thresholds(rail)  # reject unknown rails before touching hardware
         self.host.initialize_brams(pattern)
+        engine = self._engine_for(cache)
         ladder = self._guardband_ladder(self.calibration.vnom_v)
-        temperature = self.chip.board_temperature_c
         pattern_text = str(pattern)
         evaluated: Dict[int, PointEvaluation] = {}
 
         def probe(index: int) -> Tuple[PointEvaluation, bool]:
             if index in evaluated:
                 return evaluated[index], True
-            voltage = ladder[index]
-            point: Optional[PointEvaluation] = None
-            if cache is not None:
-                point = cache.lookup(rail, voltage, temperature, pattern_text, probe_runs)
-            from_cache = point is not None
-            if point is None:
-                point = self._probe_rail_point(
-                    rail, voltage, pattern, probe_runs, vcrash_true
-                )
-                if cache is not None:
-                    cache.store(point)
+            point, from_cache = self._probe(
+                engine, rail, ladder[index], pattern, probe_runs
+            )
             evaluated[index] = point
             return point, from_cache
 
@@ -480,56 +506,39 @@ class UndervoltingExperiment:
         n_runs: int,
         cache: Optional[EvalCache],
     ) -> np.ndarray:
-        """Chip counts over a critical-region grid, cache-aware.
+        """Chip counts over a critical-region grid, through the engine.
 
         Returns the ``(n_voltages, 1, n_runs)`` count array the batch engine
-        would produce for the whole grid, but evaluates only the voltages the
-        cache cannot serve.  Each voltage's counts depend on nothing but its
-        own operating point, so the subset evaluation is bit-identical to the
-        full-grid call.  Sets :attr:`last_search_report`.
+        would produce for the whole grid; the engine serves what its cache
+        holds and evaluates (possibly in parallel) only the rest.  Each
+        voltage's counts depend on nothing but its own operating point, so
+        subset and sharded evaluation are bit-identical to the full-grid
+        call.  Sets :attr:`last_search_report`.
         """
-        pattern_text = str(pattern)
+        engine = self._engine_for(cache)
+        before = engine.counters.snapshot()
+        points = engine.evaluate_many(
+            [
+                EvalRequest(
+                    kind=REGION,
+                    rail=VCCBRAM,
+                    voltage_v=voltage,
+                    temperature_c=temperature,
+                    pattern=pattern,
+                    n_runs=n_runs,
+                )
+                for voltage in voltages
+            ]
+        )
         counts = np.empty((len(voltages), 1, n_runs), dtype=np.int64)
-        missing: List[int] = []
-        if cache is None:
-            missing = list(range(len(voltages)))
-        else:
-            for index, voltage in enumerate(voltages):
-                cached = cache.lookup(VCCBRAM, voltage, temperature, pattern_text, n_runs)
-                if cached is not None and len(cached.counts) == n_runs:
-                    counts[index, 0, :] = cached.counts
-                else:
-                    missing.append(index)
-        if missing:
-            grid = OperatingGrid.from_axes(
-                [voltages[i] for i in missing], (temperature,), runs=n_runs
-            )
-            fresh = self.fault_field.batch.chip_counts(grid, pattern)
-            powers = power_curve(
-                self.power_meter.bram_model,
-                grid.voltages_v,
-                self.power_meter.bram_utilization,
-            )
-            for position, index in enumerate(missing):
-                counts[index, 0, :] = fresh[position, 0, :]
-                if cache is not None:
-                    cache.store(
-                        PointEvaluation(
-                            voltage_v=float(voltages[index]),
-                            temperature_c=temperature,
-                            rail=VCCBRAM,
-                            pattern=pattern_text,
-                            n_runs=n_runs,
-                            counts=tuple(int(c) for c in fresh[position, 0, :]),
-                            operational=True,
-                            bram_power_w=float(powers[position]),
-                        )
-                    )
-            self.n_point_evaluations += len(missing)
+        for index, point in enumerate(points):
+            counts[index, 0, :] = point.counts
+        delta = engine.counters.since(before)
+        self.n_point_evaluations += delta.n_backend_evaluations
         self.last_search_report = SearchReport(
-            mode="exhaustive" if cache is None else "adaptive",
-            n_evaluations=len(missing),
-            n_cache_hits=len(voltages) - len(missing),
+            mode="exhaustive" if engine.cache is None else "adaptive",
+            n_evaluations=delta.n_backend_evaluations,
+            n_cache_hits=delta.n_cache_hits,
             n_exhaustive_equivalent=len(voltages),
         )
         return counts
@@ -598,48 +607,31 @@ class UndervoltingExperiment:
                 round(v, 4)
                 for v in self._descending_voltages(cal.vmin_bram_v, cal.vcrash_bram_v)
             ]
-        pattern_text = str(pattern)
+        engine = self._engine_for(cache)
+        before = engine.counters.snapshot()
+        points = engine.evaluate_many(
+            [
+                EvalRequest(
+                    kind=FVM,
+                    rail=VCCBRAM,
+                    voltage_v=voltage,
+                    temperature_c=temperature_c,
+                    pattern=pattern,
+                    n_runs=0,
+                )
+                for voltage in voltages
+            ]
+        )
         n_brams = self.chip.spec.n_brams
         matrix = np.empty((len(voltages), n_brams), dtype=np.int64)
-        missing: List[int] = []
-        if cache is None:
-            missing = list(range(len(voltages)))
-        else:
-            for index, voltage in enumerate(voltages):
-                cached = cache.lookup(VCCBRAM, voltage, temperature_c, pattern_text, 0)
-                if (
-                    cached is not None
-                    and cached.per_bram_counts is not None
-                    and len(cached.per_bram_counts) == n_brams
-                ):
-                    matrix[index, :] = cached.per_bram_counts
-                else:
-                    missing.append(index)
-        if missing:
-            grid = OperatingGrid.from_axes(
-                [voltages[i] for i in missing], (temperature_c,)
-            )
-            fresh = self.fault_field.batch.per_bram_counts(grid, pattern)[:, 0, 0, :]
-            for position, index in enumerate(missing):
-                matrix[index, :] = fresh[position]
-                if cache is not None:
-                    cache.store(
-                        PointEvaluation(
-                            voltage_v=float(voltages[index]),
-                            temperature_c=float(temperature_c),
-                            rail=VCCBRAM,
-                            pattern=pattern_text,
-                            n_runs=0,
-                            counts=(),
-                            operational=True,
-                            per_bram_counts=tuple(int(c) for c in fresh[position]),
-                        )
-                    )
-            self.n_point_evaluations += len(missing)
+        for index, point in enumerate(points):
+            matrix[index, :] = point.per_bram_counts
+        delta = engine.counters.since(before)
+        self.n_point_evaluations += delta.n_backend_evaluations
         self.last_search_report = SearchReport(
-            mode="exhaustive" if cache is None else "adaptive",
-            n_evaluations=len(missing),
-            n_cache_hits=len(voltages) - len(missing),
+            mode="exhaustive" if engine.cache is None else "adaptive",
+            n_evaluations=delta.n_backend_evaluations,
+            n_cache_hits=delta.n_cache_hits,
             n_exhaustive_equivalent=len(voltages),
         )
         return FaultVariationMap.from_matrix(

@@ -16,7 +16,7 @@ the simulated BRAMs and re-runs inference to measure the accuracy impact.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 

@@ -15,12 +15,12 @@ on the synthetic datasets is recorded in EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from .datasets import Dataset
-from .model import DenseLayer, FullyConnectedNetwork, logsig, logsig_derivative, softmax
+from .model import FullyConnectedNetwork, logsig, logsig_derivative, softmax
 
 
 class TrainingError(ValueError):

@@ -149,6 +149,7 @@ def characterize_die(
     runs_per_step: int = 3,
     cache: Optional[EvalCache] = None,
     warm: Optional[WarmStartModel] = None,
+    engine: Optional[Any] = None,
 ) -> DieCharacterization:
     """Characterize one live chip for governor use (the "first boot" path).
 
@@ -157,8 +158,15 @@ def characterize_die(
     pairs the measured thresholds with the platform's fitted ITD coefficient
     and ripple spread from the calibration — the quantities the Fig. 8
     temperature study and Table II stability runs establish offline.
+
+    ``engine`` is an optional :class:`repro.exec.ExecutionEngine` bound to
+    the same die — pass one to replay the discovery from a recorded store
+    (:class:`repro.exec.ReplayBackend`) or to share a backend; the default
+    builds the experiment's own simulated engine.
     """
-    experiment = UndervoltingExperiment(chip, runs_per_step=runs_per_step)
+    experiment = UndervoltingExperiment(
+        chip, runs_per_step=runs_per_step, engine=engine
+    )
     outcome = experiment.discover_guardband_adaptive(
         rail=VCCBRAM, probe_runs=runs_per_step, cache=cache, warm=warm
     )
@@ -171,6 +179,15 @@ def characterize_die(
         vcrash_v=outcome.measurement.vcrash_v,
         itd_v_per_degc=calibration.itd_v_per_degc,
         ripple_margin_v=6.0 * calibration.ripple_sigma_v,
+    )
+
+
+def _characterize_stock_die(
+    platform: str, serial: str, runs_per_step: int
+) -> DieCharacterization:
+    """Process-pool entry point: characterize one stock-built die by identity."""
+    return characterize_die(
+        FpgaChip.build(platform, serial=serial), runs_per_step=runs_per_step
     )
 
 
@@ -271,20 +288,48 @@ class GovernorBundle:
         chips: "List[FpgaChip]",
         runs_per_step: int = 3,
         source: str = "inline",
+        scheduler: str = "serial",
+        jobs: int = 1,
     ) -> "GovernorBundle":
         """Characterize a list of live chips into a bundle.
 
-        Dies are characterized in order with a shared warm-start model, so
-        every die after the first of its platform starts from the
-        population's brackets — the same fleet economics as a campaign.
+        Serially (the default), dies are characterized in order with a
+        shared warm-start model, so every die after the first of its
+        platform starts from the population's brackets — the same fleet
+        economics as a campaign.
+
+        ``scheduler``/``jobs`` fan the dies out over the execution layer's
+        scheduling substrate (:class:`repro.exec.WorkScheduler`) instead.
+        Parallel characterization runs every die cold — warm starts only
+        ever change the evaluation *cost*, never a threshold (the
+        bisection certificates guarantee it), so the bundle is bit-identical
+        in every mode.  The process scheduler recharacterizes dies from
+        their ``(platform, serial)`` identity and therefore expects
+        stock-built chips (exactly what the CLI and ``fleet_serials``
+        produce).
         """
+        from repro.exec import WorkScheduler
         from repro.fpga.voltage import DEFAULT_STEP_V
 
         bundle = cls(source=source)
-        warm = WarmStartModel(step_v=DEFAULT_STEP_V)
-        for chip in chips:
-            die = characterize_die(chip, runs_per_step=runs_per_step, warm=warm)
-            warm.add(die.platform, VCCBRAM, die.vmin_v, die.vcrash_v)
+        work = WorkScheduler(scheduler=scheduler, jobs=jobs)
+        if work.is_serial:
+            warm = WarmStartModel(step_v=DEFAULT_STEP_V)
+            for chip in chips:
+                die = characterize_die(chip, runs_per_step=runs_per_step, warm=warm)
+                warm.add(die.platform, VCCBRAM, die.vmin_v, die.vcrash_v)
+                bundle.add(die)
+            return bundle
+        if work.scheduler == "process":
+            tasks = [
+                (chip.name, chip.spec.serial_number, runs_per_step) for chip in chips
+            ]
+            dies = work.map_tasks(_characterize_stock_die, tasks)
+        else:
+            dies = work.map_tasks(
+                characterize_die, [(chip, runs_per_step) for chip in chips]
+            )
+        for die in dies:
             bundle.add(die)
         return bundle
 

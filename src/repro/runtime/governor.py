@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple, Type
+from typing import Dict, Tuple, Type
 
 from repro.fpga.voltage import VCCBRAM
 from repro.harness.pmbus import PmbusAdapter

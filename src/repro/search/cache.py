@@ -22,7 +22,7 @@ physical operating point into two cache entries.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
 
 
 class SearchError(ValueError):

@@ -17,7 +17,7 @@ answer a cold search would produce.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Tuple
 
 from .bisect import BracketHint
 

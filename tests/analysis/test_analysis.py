@@ -1,7 +1,6 @@
 """Tests for the analysis helpers: stats, tables, reports."""
 
 import json
-import math
 
 import numpy as np
 import pytest

@@ -1,6 +1,5 @@
 """Tests for the fleet population statistics helpers."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import (

@@ -48,7 +48,6 @@ class TestStatistics:
         assert 0.3 < stats["never_faulty_fraction"] < 0.7
 
     def test_counts_at_lowest_voltage_consistent(self, zc702_fvm, zc702_field):
-        cal = zc702_field.calibration
         lowest = min(zc702_fvm.voltages_v)
         expected = zc702_field.per_bram_counts(lowest)
         assert np.array_equal(zc702_fvm.counts_at_lowest_voltage(), expected)

@@ -1,0 +1,201 @@
+"""Execution-engine tests: scheduling, dedup, cache-behind-engine, telemetry."""
+
+import pytest
+
+from repro.exec import (
+    FVM,
+    REGION,
+    EvalRequest,
+    ExecError,
+    ExecutionEngine,
+    ReplayBackend,
+    SimulatedBackend,
+    WorkScheduler,
+    chunked,
+)
+from repro.fpga import FpgaChip
+from repro.fpga.voltage import VCCBRAM
+from repro.search import EvalCache, PointEvaluation
+
+
+@pytest.fixture(scope="module")
+def backend() -> SimulatedBackend:
+    return SimulatedBackend(chip=FpgaChip.build("ZC702"))
+
+
+def region_requests(voltages, runs=3):
+    return [
+        EvalRequest(kind=REGION, rail=VCCBRAM, voltage_v=v, temperature_c=50.0,
+                    pattern=0xFFFF, n_runs=runs)
+        for v in voltages
+    ]
+
+
+VOLTAGES = [round(0.61 - 0.01 * i, 4) for i in range(8)]
+
+
+def _double(x):
+    return 2 * x
+
+
+class TestScheduling:
+    def test_results_identical_across_schedulers(self, backend):
+        requests = region_requests(VOLTAGES)
+        serial = ExecutionEngine(backend).evaluate_many(requests)
+        threaded = ExecutionEngine(backend, scheduler="thread", jobs=4).evaluate_many(requests)
+        process = ExecutionEngine(backend, scheduler="process", jobs=2).evaluate_many(requests)
+        assert serial == threaded == process
+
+    def test_result_order_follows_request_order(self, backend):
+        shuffled = [VOLTAGES[i] for i in (3, 0, 5, 1, 7, 2, 6, 4)]
+        points = ExecutionEngine(backend, scheduler="thread", jobs=4).evaluate_many(
+            region_requests(shuffled)
+        )
+        assert [p.voltage_v for p in points] == shuffled
+
+    def test_process_scheduler_requires_spec_buildable_backend(self):
+        custom = SimulatedBackend(chip=FpgaChip.build("ZC702"), spec_buildable=False)
+        engine = ExecutionEngine(custom, scheduler="process", jobs=2)
+        with pytest.raises(ExecError, match="spec-buildable"):
+            engine.evaluate_many(region_requests(VOLTAGES))
+
+    def test_invalid_scheduler_and_jobs_rejected(self, backend):
+        with pytest.raises(ExecError):
+            ExecutionEngine(backend, scheduler="gpu")
+        with pytest.raises(ExecError):
+            ExecutionEngine(backend, jobs=0)
+        with pytest.raises(ExecError):
+            WorkScheduler(queue_depth=0)
+
+    def test_bounded_queue_preserves_order(self, backend):
+        engine = ExecutionEngine(backend, scheduler="thread", jobs=3, queue_depth=1)
+        points = engine.evaluate_many(region_requests(VOLTAGES))
+        assert [p.voltage_v for p in points] == VOLTAGES
+
+    def test_managed_scheduler_reuses_one_pool_across_calls(self):
+        tasks = [(i,) for i in range(6)]
+        with WorkScheduler(scheduler="thread", jobs=2) as work:
+            first = work.map_tasks(_double, tasks)
+            pool = work._pool
+            second = work.map_tasks(_double, tasks)
+            assert work._pool is pool  # same pool, not one per call
+        assert work._pool is None  # torn down on exit
+        assert first == second == [2 * i for i in range(6)]
+        # Outside a context manager no pool survives the call.
+        work.map_tasks(_double, tasks)
+        assert work._pool is None
+
+    def test_chunked_is_contiguous_and_complete(self):
+        items = list(range(11))
+        chunks = chunked(items, 4)
+        assert [x for chunk in chunks for x in chunk] == items
+        assert all(chunks)
+        assert chunked([], 3) == [[]]
+        with pytest.raises(ExecError):
+            chunked(items, 0)
+
+
+class TestDeduplication:
+    def test_in_flight_duplicates_collapse(self, backend):
+        engine = ExecutionEngine(backend)
+        requests = region_requests([0.58, 0.58, 0.57, 0.58])
+        points = engine.evaluate_many(requests)
+        assert points[0] == points[1] == points[3]
+        assert engine.counters.n_deduplicated == 2
+        assert engine.counters.n_backend_evaluations == 2
+
+    def test_same_point_different_pattern_spelling_deduplicates(self, backend):
+        # 0xFFFF and "65535" stringify to the same cache key; the engine
+        # must treat them as one in-flight request.
+        requests = [
+            EvalRequest(kind=REGION, rail=VCCBRAM, voltage_v=0.58,
+                        temperature_c=50.0, pattern=0xFFFF, n_runs=2),
+            EvalRequest(kind=REGION, rail=VCCBRAM, voltage_v=0.58,
+                        temperature_c=50.0, pattern="65535", n_runs=2),
+        ]
+        engine = ExecutionEngine(backend)
+        points = engine.evaluate_many(requests)
+        assert points[0] == points[1]
+        assert engine.counters.n_deduplicated == 1
+
+
+class TestCacheBehindEngine:
+    def test_cache_hits_skip_the_backend(self, backend):
+        cache = EvalCache(platform=backend.platform, serial=backend.serial)
+        engine = ExecutionEngine(backend, cache=cache)
+        first = engine.evaluate_many(region_requests(VOLTAGES))
+        evaluated = engine.counters.n_backend_evaluations
+        second = engine.evaluate_many(region_requests(VOLTAGES))
+        assert second == first
+        assert engine.counters.n_backend_evaluations == evaluated
+        assert engine.counters.n_cache_hits == len(VOLTAGES)
+
+    def test_cache_of_wrong_die_rejected(self, backend):
+        with pytest.raises(ExecError, match="belongs to die"):
+            ExecutionEngine(backend, cache=EvalCache(platform="VC707", serial="x"))
+
+    def test_mismatched_run_count_is_a_miss(self, backend):
+        cache = EvalCache(platform=backend.platform, serial=backend.serial)
+        engine = ExecutionEngine(backend, cache=cache)
+        engine.evaluate_many(region_requests([0.58], runs=3))
+        before = engine.counters.n_backend_evaluations
+        engine.evaluate_many(region_requests([0.58], runs=5))
+        assert engine.counters.n_backend_evaluations == before + 1
+
+    def test_fvm_request_rejects_runless_cache_entry_without_vector(self, backend):
+        cache = EvalCache(platform=backend.platform, serial=backend.serial)
+        # A poisoned entry: right key shape (n_runs=0) but no per-BRAM data.
+        cache.store(PointEvaluation(
+            voltage_v=0.58, temperature_c=50.0, rail=VCCBRAM, pattern="65535",
+            n_runs=0, counts=(), operational=True,
+        ))
+        engine = ExecutionEngine(backend, cache=cache)
+        request = EvalRequest(kind=FVM, rail=VCCBRAM, voltage_v=0.58,
+                              temperature_c=50.0, pattern=0xFFFF, n_runs=0)
+        point, from_cache = engine.evaluate(request)
+        assert not from_cache
+        assert point.per_bram_counts is not None
+
+    def test_with_cache_shares_backend_and_counters(self, backend):
+        engine = ExecutionEngine(backend, scheduler="thread", jobs=2)
+        cache = EvalCache(platform=backend.platform, serial=backend.serial)
+        variant = engine.with_cache(cache)
+        assert variant.backend is engine.backend
+        assert variant.counters is engine.counters
+        assert variant.scheduler == "thread" and variant.jobs == 2
+        assert engine.with_cache(engine.cache) is engine
+
+
+class TestTelemetry:
+    def test_counter_deltas(self, backend):
+        engine = ExecutionEngine(backend)
+        before = engine.counters.snapshot()
+        engine.evaluate_many(region_requests(VOLTAGES[:3]))
+        delta = engine.counters.since(before)
+        assert delta.n_requests == 3
+        assert delta.n_backend_evaluations == 3
+        assert delta.n_batches == 1
+
+    def test_describe_block_shape(self, backend):
+        engine = ExecutionEngine(backend, scheduler="thread", jobs=4)
+        block = engine.describe()
+        assert set(block) == {"kind", "scheduler", "jobs", "source", "counters"}
+        assert block["kind"] == "simulated"
+        assert set(block["counters"]) == {
+            "n_requests", "n_cache_hits", "n_backend_evaluations", "n_deduplicated",
+        }
+
+
+class TestReplayThroughEngine:
+    def test_zero_fault_model_evaluations(self, backend):
+        cache = EvalCache(platform=backend.platform, serial=backend.serial)
+        recorder = ExecutionEngine(backend, cache=cache)
+        recorded = recorder.evaluate_many(region_requests(VOLTAGES))
+
+        replay = ReplayBackend.from_cache(cache)
+        engine = ExecutionEngine(replay)
+        replayed = engine.evaluate_many(region_requests(VOLTAGES))
+        assert replayed == recorded
+        assert replay.n_served == len(VOLTAGES)
+        # The replay run never touched a simulated backend at all.
+        assert engine.backend.kind == "replay"

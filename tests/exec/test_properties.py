@@ -1,0 +1,138 @@
+"""Property tests for the backend-equivalence half of the exec contract.
+
+Two invariants, asserted over randomized operating points and scheduling
+configurations:
+
+* **backend equivalence** — a :class:`~repro.exec.ReplayBackend` replaying
+  a store recorded by the :class:`~repro.exec.SimulatedBackend` returns
+  identical fault counts for every request, whatever mix of kinds, runs,
+  patterns and temperatures produced the recording;
+* **scheduling invariance** — the engine returns the same results for the
+  same request list under every scheduler, any job count, any queue depth
+  and any submission order (results are keyed by request, not by arrival).
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.exec import (
+    FVM,
+    REGION,
+    EvalRequest,
+    ExecutionEngine,
+    ReplayBackend,
+    SimulatedBackend,
+)
+from repro.fpga import FpgaChip
+from repro.fpga.voltage import VCCBRAM
+from repro.search import EvalCache
+
+_BACKEND = None
+
+
+def backend() -> SimulatedBackend:
+    global _BACKEND
+    if _BACKEND is None:
+        _BACKEND = SimulatedBackend(chip=FpgaChip.build("ZC702"))
+    return _BACKEND
+
+
+def requests_strategy():
+    """Random lists of pure (region/fvm) requests on the ZC702 grid."""
+    voltage = st.integers(min_value=53, max_value=62).map(lambda centi: centi / 100.0)
+    temperature = st.sampled_from([50.0, 60.0, 80.0])
+    pattern = st.sampled_from([0xFFFF, 0xAAAA, "FFFF", "0000"])
+    region = st.builds(
+        lambda v, t, p, r: EvalRequest(
+            kind=REGION, rail=VCCBRAM, voltage_v=v, temperature_c=t,
+            pattern=p, n_runs=r,
+        ),
+        voltage, temperature, pattern, st.integers(min_value=1, max_value=4),
+    )
+    fvm = st.builds(
+        lambda v, t, p: EvalRequest(
+            kind=FVM, rail=VCCBRAM, voltage_v=v, temperature_c=t,
+            pattern=p, n_runs=0,
+        ),
+        voltage, temperature, pattern,
+    )
+    return st.lists(st.one_of(region, fvm), min_size=1, max_size=12)
+
+
+class TestBackendEquivalence:
+    @given(requests=requests_strategy())
+    @settings(
+        max_examples=25, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_replay_of_recorded_store_is_bit_identical(self, requests):
+        simulated = backend()
+        cache = EvalCache(platform=simulated.platform, serial=simulated.serial)
+        recorded = ExecutionEngine(simulated, cache=cache).evaluate_many(requests)
+
+        replay_engine = ExecutionEngine(ReplayBackend.from_cache(cache))
+        replayed = replay_engine.evaluate_many(requests)
+        assert replayed == recorded
+        for recorded_point, replayed_point in zip(recorded, replayed):
+            assert replayed_point.counts == recorded_point.counts
+            assert replayed_point.per_bram_counts == recorded_point.per_bram_counts
+
+
+class TestSchedulingInvariance:
+    @given(
+        requests=requests_strategy(),
+        scheduler=st.sampled_from(["serial", "thread"]),
+        jobs=st.integers(min_value=1, max_value=5),
+        queue_depth=st.one_of(st.none(), st.integers(min_value=1, max_value=4)),
+    )
+    @settings(
+        max_examples=25, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_scheduling_never_changes_results(self, requests, scheduler, jobs, queue_depth):
+        reference = ExecutionEngine(backend()).evaluate_many(requests)
+        engine = ExecutionEngine(
+            backend(), scheduler=scheduler, jobs=jobs, queue_depth=queue_depth
+        )
+        assert engine.evaluate_many(requests) == reference
+
+    @given(
+        order=st.permutations(list(range(8))),
+        jobs=st.integers(min_value=2, max_value=4),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_submission_order_never_changes_per_request_results(self, order, jobs):
+        voltages = [round(0.61 - 0.01 * i, 4) for i in range(8)]
+
+        def make(vs):
+            return [
+                EvalRequest(kind=REGION, rail=VCCBRAM, voltage_v=v,
+                            temperature_c=50.0, pattern=0xFFFF, n_runs=2)
+                for v in vs
+            ]
+        reference = {
+            p.voltage_v: p
+            for p in ExecutionEngine(backend()).evaluate_many(make(voltages))
+        }
+        shuffled = [voltages[i] for i in order]
+        points = ExecutionEngine(backend(), scheduler="thread", jobs=jobs).evaluate_many(
+            make(shuffled)
+        )
+        assert [p.voltage_v for p in points] == shuffled
+        for point in points:
+            assert point == reference[point.voltage_v]
+
+
+@pytest.mark.parametrize("scheduler,jobs", [("serial", 1), ("thread", 4), ("process", 2)])
+def test_sweep_driver_identical_under_every_scheduler(scheduler, jobs):
+    """The real sweep driver (not just raw requests) is scheduler-invariant."""
+    from repro.harness import UndervoltingExperiment
+
+    reference = UndervoltingExperiment(
+        FpgaChip.build("ZC702"), runs_per_step=3
+    ).critical_region_sweep(n_runs=3)
+    result = UndervoltingExperiment(
+        FpgaChip.build("ZC702"), runs_per_step=3, scheduler=scheduler, jobs=jobs
+    ).critical_region_sweep(n_runs=3)
+    assert result.as_series() == reference.as_series()

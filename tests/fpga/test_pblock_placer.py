@@ -4,7 +4,7 @@ import pytest
 
 from repro.fpga.floorplan import Floorplan
 from repro.fpga.pblock import ConstraintSet, Pblock, PblockError
-from repro.fpga.placer import BramPlacer, LogicalBram, Placement, PlacementError
+from repro.fpga.placer import BramPlacer, LogicalBram, PlacementError
 
 
 @pytest.fixture()

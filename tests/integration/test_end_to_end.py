@@ -1,6 +1,5 @@
 """End-to-end integration tests spanning the harness, core models and case study."""
 
-import numpy as np
 import pytest
 
 from repro.accelerator import IcbpFlow, NnAccelerator, PlacementPolicy

@@ -5,7 +5,6 @@ headline number or qualitative shape from the paper holds when measured
 through the library's public API (not read back from the calibration table).
 """
 
-import numpy as np
 import pytest
 
 from repro.core import FaultField, average_guardband, bram_power_model, get_calibration

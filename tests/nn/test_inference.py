@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.nn.inference import InferenceError, QuantizedNetwork
+from repro.nn.inference import InferenceError
 
 
 class TestQuantization:

@@ -121,7 +121,6 @@ class TestRegionSweepCaching:
         )
         warmed = experiment.last_search_report.n_evaluations
         experiment.critical_region_sweep(n_runs=3, cache=cache)
-        full = len(experiment.critical_region_sweep(n_runs=3).steps)
         assert warmed == 4
         # Second call paid only for the lower remainder of the region.
 

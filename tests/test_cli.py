@@ -90,25 +90,35 @@ class TestJsonGoldenStructure:
 
     SEARCH_KEYS = {"mode", "n_evaluations", "n_cache_hits", "n_exhaustive_equivalent"}
 
+    BACKEND_KEYS = {"kind", "scheduler", "jobs", "source", "counters"}
+
+    COUNTER_KEYS = {
+        "n_requests", "n_cache_hits", "n_backend_evaluations", "n_deduplicated",
+    }
+
     def test_guardband_schema(self, capsys):
         payload = strip_timing(
             run_json(capsys, ["guardband", "--platform", "ZC702", "--json"])
         )
-        assert set(payload) == {"platform", "rails", "search"}
+        assert set(payload) == {"platform", "rails", "search", "backend"}
         assert set(payload["rails"]) == {"VCCBRAM", "VCCINT"}
         for rail in payload["rails"].values():
             assert set(rail) == self.RAIL_KEYS
         assert set(payload["search"]) == self.SEARCH_KEYS
+        assert set(payload["backend"]) == self.BACKEND_KEYS
+        assert payload["backend"]["kind"] == "simulated"
+        assert set(payload["backend"]["counters"]) == self.COUNTER_KEYS
 
     def test_sweep_schema(self, capsys):
         payload = strip_timing(
             run_json(capsys, ["sweep", "--platform", "ZC702", "--runs", "2", "--json"])
         )
-        assert set(payload) == {"platform", "pattern", "search", "points"}
+        assert set(payload) == {"platform", "pattern", "search", "points", "backend"}
         assert payload["points"]
         for point in payload["points"]:
             assert set(point) == {"vccbram_v", "faults_per_mbit", "bram_power_w"}
         assert set(payload["search"]) == self.SEARCH_KEYS
+        assert set(payload["backend"]) == self.BACKEND_KEYS
 
     def test_characterize_schema(self, capsys):
         payload = strip_timing(run_json(
@@ -153,9 +163,11 @@ class TestJsonGoldenStructure:
         ]))
         assert set(run) == {
             "name", "spec_hash", "n_units", "n_executed", "n_skipped",
-            "n_workers", "search", "evaluations", "executed_unit_ids",
-            "governor_bundle",
+            "n_workers", "search", "backend", "evaluations",
+            "executed_unit_ids", "governor_bundle",
         }
+        assert set(run["backend"]) == self.BACKEND_KEYS
+        assert run["backend"]["kind"] == "simulated"
         assert run["n_executed"] == 2
         assert run["governor_bundle"] is None
         assert {
@@ -215,8 +227,12 @@ class TestRuntimeCommand:
 
     def test_run_json_schema_and_acceptance_shape(self, capsys):
         payload = strip_timing(run_json(capsys, self.RUN_ARGS + ["--json"]))
-        assert set(payload) == {"fleet", "trace", "baselines", "policies"}
+        assert set(payload) == {"fleet", "trace", "backend", "baselines", "policies"}
         assert payload["fleet"] == {"n_chips": 2, "source": "inline", "icbp": True}
+        assert payload["backend"] == {
+            "kind": "simulated", "scheduler": "serial", "jobs": 1,
+            "source": None, "counters": None,
+        }
         assert set(payload["baselines"]) == {
             "nominal_energy_j", "guardband_floor_energy_j",
         }
@@ -383,6 +399,187 @@ class TestCampaignCommand:
         assert main(["campaign", "run", "--spec", str(spec_path),
                      "--root", str(tmp_path)]) == 2
         assert "unknown platform" in capsys.readouterr().err
+
+
+class TestBackendFlag:
+    """--backend/--jobs: identical answers, different execution substrate."""
+
+    def test_guardband_thread_backend_bit_identical(self, capsys):
+        serial = run_json(capsys, ["guardband", "--platform", "ZC702", "--json"])
+        threaded = run_json(capsys, [
+            "guardband", "--platform", "ZC702",
+            "--backend", "thread", "--jobs", "4", "--json",
+        ])
+        assert threaded["rails"] == serial["rails"]
+        assert threaded["backend"]["scheduler"] == "thread"
+        assert threaded["backend"]["jobs"] == 4
+
+    def test_parallel_backend_defaults_jobs_to_cpu_count(self, capsys):
+        import os
+
+        payload = run_json(capsys, [
+            "sweep", "--platform", "ZC702", "--runs", "2",
+            "--backend", "thread", "--json",
+        ])
+        assert payload["backend"]["jobs"] == (os.cpu_count() or 1)
+        assert main([
+            "sweep", "--platform", "ZC702", "--backend", "thread", "--jobs", "0",
+        ]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_sweep_backends_bit_identical(self, capsys):
+        serial = run_json(
+            capsys, ["sweep", "--platform", "ZC702", "--runs", "3", "--json"]
+        )
+        for backend in ("thread", "process"):
+            parallel = run_json(capsys, [
+                "sweep", "--platform", "ZC702", "--runs", "3",
+                "--backend", backend, "--jobs", "2", "--json",
+            ])
+            assert parallel["points"] == serial["points"]
+            assert parallel["backend"]["scheduler"] == backend
+
+    def test_record_then_replay_round_trip(self, capsys, tmp_path):
+        store = tmp_path / "zc702-sweep.json"
+        recorded = run_json(capsys, [
+            "sweep", "--platform", "ZC702", "--runs", "3",
+            "--record-store", str(store), "--json",
+        ])
+        assert store.exists()
+        replayed = run_json(capsys, [
+            "sweep", "--platform", "ZC702", "--runs", "3",
+            "--backend", "replay", "--replay-store", str(store), "--json",
+        ])
+        assert replayed["points"] == recorded["points"]
+        assert replayed["backend"]["kind"] == "replay"
+        assert str(store) in replayed["backend"]["source"]
+
+    def test_record_requires_adaptive_search(self, capsys, tmp_path):
+        assert main([
+            "sweep", "--platform", "ZC702", "--runs", "2",
+            "--search", "exhaustive", "--record-store", str(tmp_path / "s.json"),
+        ]) == 2
+        assert "adaptive" in capsys.readouterr().err
+
+    def test_guardband_replays_from_a_campaign_store(self, capsys, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "name": "cli-replay-src",
+            "chips": [{"platform": "ZC702", "n_chips": 1}],
+            "sweep": "guardband",
+            "runs_per_step": 3,
+        }))
+        root = tmp_path / "campaigns"
+        run_json(capsys, [
+            "campaign", "run", "--spec", str(spec_path), "--root", str(root), "--json",
+        ])
+        live = run_json(capsys, [
+            "guardband", "--platform", "ZC702", "--runs", "3", "--json",
+        ])
+        replayed = run_json(capsys, [
+            "guardband", "--platform", "ZC702", "--runs", "3",
+            "--backend", "replay",
+            "--replay-store", str(root / "cli-replay-src"), "--json",
+        ])
+        assert replayed["rails"] == live["rails"]
+        assert replayed["backend"]["kind"] == "replay"
+
+    def test_replay_without_store_fails_cleanly(self, capsys):
+        assert main(["guardband", "--platform", "ZC702", "--backend", "replay"]) == 2
+        assert "--replay-store" in capsys.readouterr().err
+
+    def test_replay_of_missing_store_fails_cleanly(self, capsys, tmp_path):
+        assert main([
+            "guardband", "--platform", "ZC702", "--backend", "replay",
+            "--replay-store", str(tmp_path / "ghost.json"),
+        ]) == 2
+        assert "no recorded evaluation store" in capsys.readouterr().err
+
+    def test_replay_of_incomplete_store_fails_cleanly(self, capsys, tmp_path):
+        # A sweep recording lacks the guardband walk's probe evaluations.
+        store = tmp_path / "sweep-only.json"
+        run_json(capsys, [
+            "sweep", "--platform", "ZC702", "--runs", "2",
+            "--record-store", str(store), "--json",
+        ])
+        assert main([
+            "guardband", "--platform", "ZC702", "--backend", "replay",
+            "--replay-store", str(store),
+        ]) == 2
+        assert "no recorded evaluation" in capsys.readouterr().err
+
+    def test_campaign_run_thread_backend_matches_process(self, capsys, tmp_path):
+        def spec_for(name):
+            path = tmp_path / f"{name}.json"
+            path.write_text(json.dumps({
+                "name": name,
+                "chips": [{"platform": "ZC702", "n_chips": 2}],
+                "sweep": "guardband",
+                "runs_per_step": 2,
+            }))
+            return path
+
+        by_backend = {}
+        for backend in ("thread", "process", "serial"):
+            name = f"cli-backend-{backend}"
+            root = str(tmp_path / backend)
+            run_json(capsys, [
+                "campaign", "run", "--spec", str(spec_for(name)),
+                "--root", root, "--backend", backend, "--jobs", "2", "--json",
+            ])
+            report = run_json(capsys, [
+                "campaign", "report", "--name", name, "--root", root, "--json",
+            ])
+            # Unit ids digest only the unit descriptor (not the campaign
+            # name), so the per-unit metric rows are directly comparable.
+            by_backend[backend] = {
+                unit["unit_id"]: unit for unit in report["units"]
+            }
+        assert by_backend["thread"] == by_backend["process"] == by_backend["serial"]
+
+
+class TestCorruptCampaignStore:
+    """Missing/corrupt campaign directories exit non-zero with one line."""
+
+    @staticmethod
+    def corrupt_store(tmp_path):
+        store_dir = tmp_path / "broken"
+        store_dir.mkdir()
+        (store_dir / "manifest.json").write_text("{not json at all")
+        return store_dir
+
+    def test_status_of_corrupt_manifest_fails_cleanly(self, capsys, tmp_path):
+        self.corrupt_store(tmp_path)
+        assert main([
+            "campaign", "status", "--name", "broken", "--root", str(tmp_path),
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "corrupt" in err and "Traceback" not in err
+
+    def test_report_of_corrupt_manifest_fails_cleanly(self, capsys, tmp_path):
+        self.corrupt_store(tmp_path)
+        assert main([
+            "campaign", "report", "--name", "broken", "--root", str(tmp_path),
+        ]) == 2
+        assert "corrupt" in capsys.readouterr().err
+
+    def test_report_of_non_manifest_document_fails_cleanly(self, capsys, tmp_path):
+        store_dir = tmp_path / "odd"
+        store_dir.mkdir()
+        (store_dir / "manifest.json").write_text(json.dumps({"spec": []}))
+        assert main([
+            "campaign", "report", "--name", "odd", "--root", str(tmp_path),
+        ]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "Traceback" not in err
+
+    def test_runtime_run_with_corrupt_campaign_fails_cleanly(self, capsys, tmp_path):
+        self.corrupt_store(tmp_path)
+        assert main([
+            "runtime", "run", "--campaign", "broken", "--root", str(tmp_path),
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "corrupt" in err and "Traceback" not in err
 
 
 class TestCharacterizeCommand:
