@@ -1,0 +1,156 @@
+"""Table I at fleet scale — the v2 segmented columnar campaign store keeps
+``campaign report`` sub-second at 100k synthetic dies, where the v1
+per-unit-file layout already takes longer at 20k.
+
+Acceptance benchmark for :mod:`repro.campaign.store_v2`, four claims:
+
+* **scaling** — the streaming report over a 100k-die synthetic v2 store
+  completes in under one second, with zero per-die objects (the
+  ``UnitResult`` constructor is poisoned during the measurement); a
+  1k/5k/20k ladder shows the v1 layout's report time growing linearly in
+  die count until it crosses the v2-at-100k time before 20k dies;
+* **bit-identity** — the paper's 16-chip fleet campaign (``fleet16``, the
+  Table I fleet generalization) reports byte-identical JSON through a v1
+  and a v2 store, modulo the layout-describing ``store`` block;
+* **migration** — ``campaign migrate`` carries the fleet16 v1 store to v2
+  with digest-verified payload equality, and a second migrate is a no-op;
+* **durability** — the migrated store still resumes: a re-run executes
+  nothing and skips every unit.
+"""
+
+import dataclasses
+import json
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+from conftest import run_once, save_report
+from repro.analysis import ExperimentReport
+from repro.campaign import (
+    CampaignStore,
+    CampaignStoreV2,
+    build_report,
+    migrate_store,
+    open_store,
+    preset_spec,
+    run_campaign,
+    store_digest,
+)
+from repro.campaign import store_v2 as store_v2_module
+from repro.campaign.synthetic import synthetic_fleet_spec, synthetic_result_batches
+
+LADDER = (1_000, 5_000, 20_000)
+SCALE = 100_000
+
+
+def _timed_report(store, spec):
+    start = time.perf_counter()
+    document = build_report(store, spec)
+    return document, time.perf_counter() - start
+
+
+def _normalized(document):
+    """A report document with the name-derived and layout fields removed."""
+    document = dict(document)
+    document.pop("store")
+    document["name"] = document["spec_hash"] = "-"
+    return json.dumps(document, sort_keys=True)
+
+
+@pytest.mark.benchmark(group="campaign")
+def test_store_v2_streaming_scale(benchmark):
+    def body():
+        report = ExperimentReport(
+            "store_v2",
+            "v2 segmented columnar campaign store: scale, identity, migration",
+        )
+        root = Path(tempfile.mkdtemp(prefix="store-v2-bench-"))
+        try:
+            # -- scaling ladder: v1 vs v2 report latency ------------------
+            ladder = report.new_section(
+                "campaign report latency",
+                ["dies", "v1 report (s)", "v2 report (s)"],
+            )
+            v1_seconds = {}
+            for n_dies in LADDER:
+                spec_v1 = synthetic_fleet_spec(n_dies, f"ladder{n_dies}-v1")
+                store_v1 = CampaignStore.open(spec_v1, root)
+                for batch in synthetic_result_batches(spec_v1):
+                    for result in batch:
+                        store_v1.save(result)
+                _, v1_seconds[n_dies] = _timed_report(store_v1, spec_v1)
+
+                spec_v2 = synthetic_fleet_spec(n_dies, f"ladder{n_dies}-v2")
+                store_v2 = CampaignStoreV2.open(spec_v2, root)
+                for batch in synthetic_result_batches(spec_v2):
+                    store_v2.save_many(batch)
+                _, v2_s = _timed_report(open_store(spec_v2.name, root), spec_v2)
+                ladder.add_row(
+                    n_dies, round(v1_seconds[n_dies], 3), round(v2_s, 3)
+                )
+
+            # -- 100k dies, v2 only, zero per-die materialization ---------
+            spec_100k = synthetic_fleet_spec(SCALE, "scale100k")
+            store_100k = CampaignStoreV2.open(spec_100k, root)
+            for batch in synthetic_result_batches(spec_100k):
+                store_100k.save_many(batch)
+
+            def poisoned(*args, **kwargs):  # pragma: no cover
+                raise AssertionError(
+                    "streaming report materialized a per-die UnitResult"
+                )
+
+            saved_ctor = store_v2_module.UnitResult
+            store_v2_module.UnitResult = poisoned
+            try:
+                fleet_report, seconds_100k = _timed_report(
+                    open_store(spec_100k.name, root), spec_100k
+                )
+            finally:
+                store_v2_module.UnitResult = saved_ctor
+            assert fleet_report.n_completed == SCALE
+            assert seconds_100k < 1.0, (
+                f"100k-die v2 report took {seconds_100k:.3f}s (budget: 1s)"
+            )
+            assert v1_seconds[LADDER[-1]] > seconds_100k, (
+                "v1 at 20k dies should already be slower than v2 at 100k"
+            )
+            scale = report.new_section("100k-die v2 store", ["metric", "value"])
+            scale.add_row("dies", SCALE)
+            scale.add_row("segments", fleet_report.store["n_segments"])
+            scale.add_row("report wall time (s)", round(seconds_100k, 3))
+            scale.add_row("per-die objects materialized", 0)
+
+            # -- fleet16: v1-vs-v2 bit-identity + digest-verified migrate -
+            fleet_v1 = preset_spec("fleet16")
+            fleet_v2 = dataclasses.replace(fleet_v1, name="fleet16-v2")
+            run_campaign(fleet_v1, root=root, max_workers=2, store_version=1)
+            run_campaign(fleet_v2, root=root, max_workers=2, store_version=2)
+            doc_v1 = build_report(open_store(fleet_v1.name, root), fleet_v1).to_dict()
+            doc_v2 = build_report(open_store(fleet_v2.name, root), fleet_v2).to_dict()
+            identical = _normalized(doc_v1) == _normalized(doc_v2)
+            assert identical, "fleet16 v1 and v2 reports differ"
+
+            digest_v1 = store_digest(open_store(fleet_v1.name, root), fleet_v1)
+            migration = migrate_store(fleet_v1.name, root)
+            migrated = open_store(fleet_v1.name, root)
+            assert migration.digest == digest_v1
+            assert store_digest(migrated, fleet_v1) == digest_v1
+            assert migrate_store(fleet_v1.name, root).already_v2
+            resumed = run_campaign(fleet_v1, root=root, max_workers=2)
+            assert not resumed.executed and len(resumed.skipped) == 16
+
+            identity = report.new_section("fleet16 identity", ["metric", "value"])
+            identity.add_row("v1-vs-v2 report JSON bit-identical", identical)
+            identity.add_row("migration digest", migration.digest)
+            identity.add_row("migrated units", migration.n_units)
+            identity.add_row("re-migrate is a no-op", True)
+            identity.add_row("post-migration resume skips all units", True)
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+        return report
+
+    save_report(run_once(benchmark, body))

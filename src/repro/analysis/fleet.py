@@ -105,6 +105,39 @@ def evaluation_totals(search_documents) -> Dict[str, object]:
     return merge_search_documents(search_documents)
 
 
+def evaluation_totals_from_counts(
+    n_units: int,
+    n_evaluations: int,
+    n_cache_hits: int,
+    n_exhaustive_equivalent: int,
+) -> Dict[str, object]:
+    """The :func:`evaluation_totals` document from pre-summed counters.
+
+    The v2 columnar campaign store keeps the search counters as integer
+    columns and sums them without re-opening any per-unit summary; this
+    builds the identical totals document (same derived ``saved_fraction``
+    and ``speedup_factor`` arithmetic as
+    :func:`repro.search.merge_search_documents`) from those sums.
+    """
+    totals: Dict[str, object] = {
+        "n_units": int(n_units),
+        "n_evaluations": int(n_evaluations),
+        "n_cache_hits": int(n_cache_hits),
+        "n_exhaustive_equivalent": int(n_exhaustive_equivalent),
+    }
+    saved = max(0, int(n_exhaustive_equivalent) - int(n_evaluations))
+    totals["evaluations_saved"] = saved
+    totals["saved_fraction"] = (
+        saved / int(n_exhaustive_equivalent) if int(n_exhaustive_equivalent) > 0 else 0.0
+    )
+    totals["speedup_factor"] = (
+        int(n_exhaustive_equivalent) / int(n_evaluations)
+        if int(n_evaluations) > 0
+        else 0.0
+    )
+    return totals
+
+
 # ----------------------------------------------------------------------
 # FVM similarity between same-part-number dies
 # ----------------------------------------------------------------------

@@ -14,7 +14,14 @@ See ``docs/campaigns.md`` for the spec format, sharding model, store layout
 and resume semantics; the CLI front end is ``repro-undervolt campaign``.
 """
 
-from .report import CampaignReport, build_report, fvm_from_result, unit_metrics
+from .report import (
+    SWEEP_METRIC_PATHS,
+    CampaignReport,
+    build_report,
+    fvm_from_result,
+    metrics_from_summary,
+    unit_metrics,
+)
 from .runner import (
     CampaignRunReport,
     execute_unit,
@@ -31,6 +38,14 @@ from .spec import (
     preset_spec,
 )
 from .store import DEFAULT_ROOT, CampaignStatus, CampaignStore, UnitResult
+from .store_v2 import (
+    CampaignStoreV2,
+    MigrationReport,
+    migrate_store,
+    open_store,
+    open_store_for_spec,
+    store_digest,
+)
 
 __all__ = [
     "CampaignError",
@@ -39,17 +54,25 @@ __all__ = [
     "CampaignSpec",
     "CampaignStatus",
     "CampaignStore",
+    "CampaignStoreV2",
     "ChipGroup",
     "DEFAULT_ROOT",
     "DEFAULT_SEARCH",
+    "MigrationReport",
     "SWEEP_KINDS",
+    "SWEEP_METRIC_PATHS",
     "UnitResult",
     "WorkUnit",
     "build_report",
     "execute_unit",
     "fvm_from_result",
+    "metrics_from_summary",
+    "migrate_store",
+    "open_store",
+    "open_store_for_spec",
     "preset_spec",
     "run_campaign",
+    "store_digest",
     "unit_metrics",
     "warm_model_from_store",
 ]

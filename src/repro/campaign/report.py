@@ -34,25 +34,44 @@ from .store import CampaignStore, UnitResult
 _SWEEP_METRICS = ("rate_at_vcrash_per_mbit", "power_at_vmin_w", "power_at_vcrash_w")
 _FVM_METRICS = ("max_percent", "mean_percent", "never_faulty_fraction")
 
+#: Per sweep kind: metric name -> key path into the unit summary.  The single
+#: source of truth for what a fleet report aggregates; the v2 columnar store
+#: (:mod:`repro.campaign.store_v2`) materializes exactly these as per-segment
+#: metric columns at save time, which is what lets ``campaign report`` stream
+#: them without reopening any per-unit summary.
+SWEEP_METRIC_PATHS: Dict[str, Dict[str, Tuple[str, ...]]] = {
+    "guardband": {
+        "vccbram_vmin_v": ("rails", "VCCBRAM", "vmin_v"),
+        "vccbram_vcrash_v": ("rails", "VCCBRAM", "vcrash_v"),
+        "vccbram_guardband_fraction": ("rails", "VCCBRAM", "guardband_fraction"),
+        "vccbram_power_reduction_at_vmin": (
+            "rails", "VCCBRAM", "power_reduction_factor_at_vmin",
+        ),
+        "vccint_guardband_fraction": ("rails", "VCCINT", "guardband_fraction"),
+    },
+    "sweep": {name: (name,) for name in _SWEEP_METRICS},
+    "fvm": {name: (name,) for name in _FVM_METRICS},
+}
+
+
+def metrics_from_summary(sweep: str, summary: Dict[str, Any]) -> Dict[str, float]:
+    """The aggregatable scalars of one unit summary, keyed by metric name."""
+    try:
+        paths = SWEEP_METRIC_PATHS[sweep]
+    except KeyError:
+        raise CampaignError(f"unknown sweep kind {sweep!r}") from None
+    metrics: Dict[str, float] = {}
+    for name, path in paths.items():
+        node: Any = summary
+        for key in path:
+            node = node[key]
+        metrics[name] = float(node)
+    return metrics
+
 
 def unit_metrics(result: UnitResult) -> Dict[str, float]:
     """The aggregatable scalars of one unit, keyed by metric name."""
-    summary = result.summary
-    if result.unit.sweep == "guardband":
-        bram = summary["rails"]["VCCBRAM"]
-        logic = summary["rails"]["VCCINT"]
-        return {
-            "vccbram_vmin_v": bram["vmin_v"],
-            "vccbram_vcrash_v": bram["vcrash_v"],
-            "vccbram_guardband_fraction": bram["guardband_fraction"],
-            "vccbram_power_reduction_at_vmin": bram["power_reduction_factor_at_vmin"],
-            "vccint_guardband_fraction": logic["guardband_fraction"],
-        }
-    if result.unit.sweep == "sweep":
-        return {name: float(summary[name]) for name in _SWEEP_METRICS}
-    if result.unit.sweep == "fvm":
-        return {name: float(summary[name]) for name in _FVM_METRICS}
-    raise CampaignError(f"unknown sweep kind {result.unit.sweep!r}")
+    return metrics_from_summary(result.unit.sweep, result.summary)
 
 
 def fvm_from_result(result: UnitResult) -> FaultVariationMap:
@@ -70,9 +89,21 @@ def fvm_from_result(result: UnitResult) -> FaultVariationMap:
     )
 
 
+def _default_store_block() -> Dict[str, Any]:
+    return {"version": 1}
+
+
 @dataclass
 class CampaignReport:
-    """Fleet-level view of a (possibly partially) completed campaign."""
+    """Fleet-level view of a (possibly partially) completed campaign.
+
+    Built two ways: the v1 path materializes every completed
+    :class:`UnitResult` in ``results``; the v2 streaming path
+    (:func:`repro.campaign.store_v2.build_report_streaming`) never loads
+    per-die objects and instead supplies the flat ``units`` rows directly,
+    leaving ``results`` empty.  Both produce byte-identical ``to_dict()``
+    documents (modulo the ``store`` block) for the same campaign data.
+    """
 
     spec: CampaignSpec
     results: List[UnitResult]
@@ -80,14 +111,23 @@ class CampaignReport:
     by_platform: Dict[str, Dict[str, FleetDistribution]]
     similarity: List[PairSimilarity] = field(default_factory=list)
     evaluations: Dict[str, Any] = field(default_factory=dict)
+    #: Precomputed flat unit rows (streaming path); ``None`` derives them
+    #: from ``results`` on demand.
+    units: Optional[List[Dict[str, Any]]] = None
+    #: Which store layout the report was built from (``{"version": ...}``).
+    store: Dict[str, Any] = field(default_factory=_default_store_block)
 
     @property
     def n_completed(self) -> int:
         """Number of completed units the report aggregates."""
+        if self.units is not None:
+            return len(self.units)
         return len(self.results)
 
     def unit_rows(self) -> List[Dict[str, Any]]:
         """One flat row per completed unit (descriptor + metrics)."""
+        if self.units is not None:
+            return list(self.units)
         rows = []
         for result in self.results:
             row: Dict[str, Any] = {
@@ -111,6 +151,7 @@ class CampaignReport:
             "n_completed": self.n_completed,
             "complete": self.n_completed == self.spec.n_units,
             "search": self.spec.search,
+            "store": dict(self.store),
             "evaluations": dict(self.evaluations),
             "units": self.unit_rows(),
             "population": {
@@ -132,7 +173,18 @@ class CampaignReport:
 def build_report(
     store: CampaignStore, spec: Optional[CampaignSpec] = None
 ) -> CampaignReport:
-    """Aggregate a store's completed units into a :class:`CampaignReport`."""
+    """Aggregate a store's completed units into a :class:`CampaignReport`.
+
+    Dispatches on the store layout: a v2 columnar store streams its metric
+    columns segment by segment (no per-die object is ever materialized),
+    while the v1 layout loads each unit's summary.  Both paths produce the
+    same report document for the same campaign data.
+    """
+    if getattr(store, "store_version", 1) >= 2:
+        # Imported lazily: store_v2 imports this module for the metric paths.
+        from .store_v2 import build_report_streaming
+
+        return build_report_streaming(store, spec)
     spec = spec or store.load_manifest()
     # Only the FVM similarity pass needs the array payloads; guardband and
     # sweep aggregation read nothing but the JSON scalar summaries.
@@ -178,4 +230,5 @@ def build_report(
         evaluations=evaluation_totals(
             result.summary.get("search", {}) for result in results
         ),
+        store=store._store_block() if hasattr(store, "_store_block") else {"version": 1},
     )

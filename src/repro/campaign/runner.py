@@ -58,6 +58,7 @@ from repro.search import EvalCache, WarmStartModel, merge_search_documents
 
 from .spec import CampaignError, CampaignSpec, WorkUnit
 from .store import DEFAULT_ROOT, CampaignStore, UnitResult
+from .store_v2 import open_store, open_store_for_spec
 
 #: Cap on dies kept alive per worker process; a filled VC707 pins ~34 MB.
 _CHIP_CACHE_MAX = 4
@@ -291,7 +292,7 @@ def _execute_shard(
     shard, so cache writes never contend either.  Returns
     ``(unit_id, search_summary)`` pairs for the parent's accounting.
     """
-    store = CampaignStore(name, root)
+    store = open_store(name, root)
     adaptive = any(unit.search == "adaptive" for unit in units)
     cache: Optional[EvalCache] = None
     if adaptive and units:
@@ -339,6 +340,8 @@ class CampaignRunReport:
     #: Path of the emitted governor bundle (``governor_bundle`` spec knob),
     #: or ``None`` when the campaign does not emit one.
     governor_bundle: Optional[str] = None
+    #: On-disk layout version of the store the run wrote into.
+    store_version: int = 1
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON form used by ``repro-undervolt campaign run --json``."""
@@ -357,6 +360,7 @@ class CampaignRunReport:
                 "source": None,
                 "counters": None,
             },
+            "store": {"version": self.store_version},
             "evaluations": dict(self.evaluations),
             "executed_unit_ids": list(self.executed),
             "governor_bundle": self.governor_bundle,
@@ -424,6 +428,7 @@ def run_campaign(
     use_processes: bool = True,
     progress: Optional[Callable[[str, int, int], None]] = None,
     scheduler: Optional[str] = None,
+    store_version: Optional[int] = None,
 ) -> CampaignRunReport:
     """Run (or resume) a campaign, persisting every unit as it completes.
 
@@ -449,6 +454,10 @@ def run_campaign(
         Shard scheduling substrate from :data:`repro.exec.SCHEDULERS`
         (``serial`` / ``thread`` / ``process``); defaults to ``process``
         (or ``serial`` when ``use_processes`` is false).
+    store_version:
+        On-disk layout for a *fresh* campaign (``1`` per-unit files, ``2``
+        segmented columnar; default v1).  An existing store keeps its
+        version — asking for a conflicting one raises.
     """
     if scheduler is None:
         scheduler = "process" if use_processes else "serial"
@@ -456,7 +465,7 @@ def run_campaign(
         scheduler = validate_scheduler(scheduler)
     except ExecError as exc:
         raise CampaignError(str(exc)) from None
-    store = CampaignStore.open(spec, root)
+    store = open_store_for_spec(spec, root, store_version=store_version)
     all_units = spec.expand()
     skipped = tuple(u.unit_id for u in all_units if store.is_complete(u))
     skipped_ids = set(skipped)
@@ -530,4 +539,5 @@ def run_campaign(
         scheduler=scheduler,
         evaluations=merge_search_documents(search_documents),
         governor_bundle=bundle_file,
+        store_version=store.store_version,
     )

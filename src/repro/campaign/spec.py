@@ -391,16 +391,25 @@ def preset_spec(preset: str) -> CampaignSpec:
     * ``fleet16-fvm`` — the same fleet, extracting every die's Fault
       Variation Map for cross-chip similarity analysis;
     * ``fleet16-sweep`` — the same fleet through the Listing 1
-      critical-region sweep.
+      critical-region sweep;
+    * ``fleet16-fast`` — a 4-chip, 2-runs-per-step cut of the guardband
+      campaign for CI smoke steps (e.g. the store-migration check).
     """
     fleets = tuple(
         ChipGroup(platform=name, serials=fleet_serials(name, 8))
+        for name in ("ZC702", "KC705-A")
+    )
+    fast_fleets = tuple(
+        ChipGroup(platform=name, serials=fleet_serials(name, 2))
         for name in ("ZC702", "KC705-A")
     )
     presets = {
         "fleet16": CampaignSpec(name="fleet16", groups=fleets, sweep="guardband"),
         "fleet16-fvm": CampaignSpec(name="fleet16-fvm", groups=fleets, sweep="fvm"),
         "fleet16-sweep": CampaignSpec(name="fleet16-sweep", groups=fleets, sweep="sweep"),
+        "fleet16-fast": CampaignSpec(
+            name="fleet16-fast", groups=fast_fleets, sweep="guardband", runs_per_step=2
+        ),
     }
     try:
         return presets[preset]

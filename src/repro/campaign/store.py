@@ -16,6 +16,12 @@ skips every unit whose JSON marker exists and executes only the remainder.
 The manifest pins the spec hash.  Re-opening a store under the same name
 with a *different* spec raises — two campaigns cannot interleave their units
 in one directory.
+
+This module is the *v1* (one file pair per unit) layout.  The manifest also
+records a ``store_version`` (``1`` here, absent in stores written before the
+field existed); :func:`repro.campaign.store_v2.open_store` dispatches on it
+so readers handle both this layout and the segmented columnar v2 layout
+(:mod:`repro.campaign.store_v2`) transparently.
 """
 
 from __future__ import annotations
@@ -55,6 +61,10 @@ class UnitResult:
         return self.unit.unit_id
 
 
+def _default_store_block() -> Dict[str, Any]:
+    return {"version": 1}
+
+
 @dataclass(frozen=True)
 class CampaignStatus:
     """Progress snapshot of a campaign against its spec."""
@@ -65,6 +75,8 @@ class CampaignStatus:
     n_units: int
     completed: Tuple[str, ...]
     pending: Tuple[str, ...]
+    #: On-disk layout the store uses (at least ``{"version": 1 or 2}``).
+    store: Dict[str, Any] = field(default_factory=_default_store_block)
 
     @property
     def n_completed(self) -> int:
@@ -91,12 +103,16 @@ class CampaignStatus:
             "n_completed": self.n_completed,
             "n_pending": self.n_pending,
             "complete": self.is_complete,
+            "store": dict(self.store),
             "pending_unit_ids": list(self.pending),
         }
 
 
 class CampaignStore:
-    """Files-on-disk persistence for one named campaign."""
+    """Files-on-disk persistence for one named campaign (v1 layout)."""
+
+    #: Layout version this class reads and writes; the v2 subclass overrides.
+    store_version = 1
 
     def __init__(self, name: str, root: "str | Path" = DEFAULT_ROOT) -> None:
         self.name = name
@@ -106,6 +122,14 @@ class CampaignStore:
         self.cache_dir = self.directory / "cache"
         self.manifest_path = self.directory / "manifest.json"
 
+    def _ensure_layout(self) -> None:
+        """Create the layout-specific data directories."""
+        self.units_dir.mkdir(parents=True, exist_ok=True)
+
+    def _store_block(self) -> Dict[str, Any]:
+        """The ``store`` block status/report JSON documents publish."""
+        return {"version": self.store_version}
+
     # ------------------------------------------------------------------
     # Manifest
     # ------------------------------------------------------------------
@@ -114,10 +138,10 @@ class CampaignStore:
         """Create (or re-open) the store for a spec, writing the manifest.
 
         Raises :class:`CampaignError` if the directory already belongs to a
-        campaign with a different spec hash.
+        campaign with a different spec hash (or a different store version).
         """
         store = cls(spec.name, root)
-        store.units_dir.mkdir(parents=True, exist_ok=True)
+        store._ensure_layout()
         if store.manifest_path.exists():
             existing = store.load_manifest()
             if existing.spec_hash != spec.spec_hash:
@@ -127,7 +151,11 @@ class CampaignStore:
                     f"spec ({spec.spec_hash}); use a different campaign name"
                 )
             return store
-        manifest = {"spec": spec.to_dict(), "spec_hash": spec.spec_hash}
+        manifest = {
+            "spec": spec.to_dict(),
+            "spec_hash": spec.spec_hash,
+            "store_version": cls.store_version,
+        }
         _atomic_write_json(store.manifest_path, manifest)
         return store
 
@@ -137,16 +165,18 @@ class CampaignStore:
         A manifest that is not valid JSON (or not a manifest document at
         all) raises :class:`CampaignError` with a one-line diagnosis — the
         CLI turns that into a clean non-zero exit instead of a traceback.
+        A manifest recording a *different* store version also raises: the
+        caller should have dispatched through
+        :func:`repro.campaign.store_v2.open_store` instead.
         """
-        if not self.manifest_path.exists():
-            raise CampaignError(f"no campaign manifest at {self.manifest_path}")
-        try:
-            document = json.loads(self.manifest_path.read_text())
-        except json.JSONDecodeError as exc:
+        document = read_manifest_document(self.manifest_path)
+        version = int(document.get("store_version", 1))
+        if version != self.store_version:
             raise CampaignError(
-                f"campaign manifest at {self.manifest_path} is corrupt "
-                f"(not valid JSON: {exc}); restore it or use a fresh campaign name"
-            ) from exc
+                f"campaign directory {self.directory} uses store version "
+                f"{version}, not v{self.store_version}; open it through "
+                "repro.campaign.open_store (the CLI does this automatically)"
+            )
         try:
             spec = CampaignSpec.from_dict(document["spec"])
         except CampaignError:
@@ -283,19 +313,21 @@ class CampaignStore:
         """Resolve the spec to view the store through.
 
         ``None`` reads the manifest.  An explicit spec must match the
-        manifest's hash when one exists (same rule as :meth:`open`), so a
-        spec file cannot silently be compared against a store that belongs
-        to a different campaign; a store with no manifest yet ("not started")
-        accepts any spec.
+        manifest's recorded hash when one exists (same rule as :meth:`open`),
+        so a spec file cannot silently be compared against a store that
+        belongs to a different campaign; a store with no manifest yet
+        ("not started") accepts any spec.  Only the hash is compared — the
+        manifest's spec is not re-parsed into objects, which keeps the check
+        O(manifest bytes) for 100k-serial fleets.
         """
         if spec is None:
             return self.load_manifest()
         if self.manifest_path.exists():
-            existing = self.load_manifest()
-            if existing.spec_hash != spec.spec_hash:
+            stored_hash = read_manifest_document(self.manifest_path).get("spec_hash")
+            if stored_hash != spec.spec_hash:
                 raise CampaignError(
                     f"campaign directory {self.directory} holds spec hash "
-                    f"{existing.spec_hash}, which does not match the given "
+                    f"{stored_hash}, which does not match the given "
                     f"spec ({spec.spec_hash})"
                 )
         return spec
@@ -329,7 +361,38 @@ class CampaignStore:
             n_units=len(units),
             completed=completed,
             pending=pending,
+            store=self._store_block(),
         )
+
+
+def read_manifest_document(path: Path) -> Dict[str, Any]:
+    """The raw manifest JSON document, with one-line errors on corruption."""
+    if not path.exists():
+        raise CampaignError(f"no campaign manifest at {path}")
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise CampaignError(
+            f"campaign manifest at {path} is corrupt "
+            f"(not valid JSON: {exc}); restore it or use a fresh campaign name"
+        ) from exc
+    if not isinstance(document, dict):
+        raise CampaignError(
+            f"campaign manifest at {path} is corrupt (not a JSON object); "
+            "restore it or use a fresh campaign name"
+        )
+    return document
+
+
+def manifest_store_version(path: Path) -> int:
+    """The ``store_version`` a manifest records (``1`` when absent)."""
+    try:
+        return int(read_manifest_document(path).get("store_version", 1))
+    except (TypeError, ValueError) as exc:
+        raise CampaignError(
+            f"campaign manifest at {path} records an invalid store_version "
+            f"({exc}); restore it or use a fresh campaign name"
+        ) from exc
 
 
 def _atomic_write_json(path: Path, document: Dict[str, Any]) -> None:

@@ -1,0 +1,1097 @@
+"""Segmented columnar campaign store (v2) and the version dispatch.
+
+The v1 store (:mod:`repro.campaign.store`) keeps one ``.npz``/``.json`` pair
+per work unit — fine for the paper's 16 chips, pathological for the
+million-die fleets the roadmap aims at: ``campaign report`` re-opens and
+re-parses every unit file.  The v2 layout consolidates many units per
+*segment*, stored column-wise so reports stream memory-mapped arrays instead
+of materializing per-die objects::
+
+    manifest.json                     # spec + spec_hash + "store_version": 2
+    index.json                        # unit_id -> [segment, row] lookup cache
+    segments/<segment>.json           # segment commit marker (written last)
+    segments/<segment>/<column>.npy   # one scalar column per file
+    segments/<segment>/<name>__values.npy   # ragged array block (flattened)
+    segments/<segment>/<name>__offsets.npy  # int64 row offsets (n_rows + 1)
+    segments/<segment>/<name>__dim0.npy     # per-row shape of 2-D blocks
+    segments/<segment>/<name>__dim1.npy
+    segments/<segment>/summaries.json # full-fidelity per-row unit documents
+    cache/<die>.json                  # per-die eval cache (identical to v1)
+
+Commit semantics mirror v1 exactly: a segment's data directory is written
+first, its JSON marker is renamed into place last, and only marker-backed
+segments exist as far as readers are concerned — a crash mid-save leaves an
+ignored data directory.  Every ``save()`` appends a fresh segment (append-only;
+re-saving a unit never rewrites a committed segment) carrying a monotonically
+increasing ``sequence``; when one unit appears in several segments the highest
+sequence wins.  :meth:`CampaignStoreV2.compact` folds all live rows into
+consolidated ``compact-*`` segments and deletes the superseded ones — explicit
+and foreground, never in the background.
+
+Scalar columns are the identity fields, the per-sweep report metrics
+(:data:`repro.campaign.report.SWEEP_METRIC_PATHS`, extracted once at save
+time) and the adaptive-search counters, so ``campaign status|report`` stream
+percentiles, FVM-similarity groups and evaluation totals from memory-mapped
+columns alone.  ``summaries.json`` preserves the verbatim unit summaries off
+the streaming path, keeping :meth:`load` lossless — which is also what makes
+v1 -> v2 migration (:func:`migrate_store`) verifiable by digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import shutil
+from dataclasses import dataclass
+from itertools import groupby
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.fleet import (
+    PairSimilarity,
+    evaluation_totals_from_counts,
+    fvm_similarity,
+    population_summary,
+)
+from repro.core.fvm import FaultVariationMap
+from repro.fpga.floorplan import Floorplan
+from repro.fpga.platform import get_platform
+
+from .report import SWEEP_METRIC_PATHS, CampaignReport
+from .spec import CampaignError, CampaignSpec, WorkUnit, _canonical_json
+from .store import (
+    DEFAULT_ROOT,
+    CampaignStore,
+    UnitResult,
+    _atomic_write_json,
+    manifest_store_version,
+)
+
+#: Identity columns every segment carries (row order = save order).
+_IDENTITY_COLUMNS = (
+    "unit_id", "platform", "serial", "pattern",
+    "temperature_c", "runs_per_step", "search",
+)
+
+#: Adaptive-search accounting columns (stream the fleet evaluation totals).
+_SEARCH_COUNTERS = ("n_evaluations", "n_cache_hits", "n_exhaustive_equivalent")
+
+#: Extra integer columns per sweep kind (FVM reconstruction parameters).
+_EXTRA_INT_COLUMNS: Dict[str, Tuple[str, ...]] = {"fvm": ("n_brams", "bram_bits")}
+
+#: Array payloads may be 1-D or 2-D; anything else has no block encoding.
+_SUPPORTED_NDIM = (1, 2)
+
+
+def _scalar_columns(sweep: str) -> Tuple[str, ...]:
+    """Every scalar column a segment of this sweep kind stores."""
+    return (
+        _IDENTITY_COLUMNS
+        + tuple(SWEEP_METRIC_PATHS[sweep])
+        + ("search_present",)
+        + tuple(f"search_{counter}" for counter in _SEARCH_COUNTERS)
+        + _EXTRA_INT_COLUMNS.get(sweep, ())
+    )
+
+
+def _metric_value(summary: Mapping[str, Any], path: Tuple[str, ...]) -> float:
+    """One metric extracted from a summary; NaN when the path is absent.
+
+    The v1 report path raises on a summary missing its sweep's metrics; the
+    columnar store is written once and read many times, so it degrades the
+    broken row to NaN instead of refusing to persist the whole batch.
+    """
+    node: Any = summary
+    for key in path:
+        if not isinstance(node, Mapping) or key not in node:
+            return float("nan")
+        node = node[key]
+    try:
+        return float(node)
+    except (TypeError, ValueError):
+        return float("nan")
+
+
+def _int_or_zero(value: Any) -> int:
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        return 0
+
+
+def _array_signature(result: UnitResult) -> Tuple[Tuple[str, str, int], ...]:
+    """The (name, dtype, ndim) shape of a result's array payload.
+
+    Rows sharing a signature can live in one segment (their blocks
+    concatenate without dtype promotion); :meth:`CampaignStoreV2.save_many`
+    partitions each batch into runs of equal signature.
+    """
+    signature = []
+    for name in sorted(result.arrays):
+        array = np.asarray(result.arrays[name])
+        if array.ndim not in _SUPPORTED_NDIM:
+            raise CampaignError(
+                f"array {name!r} of unit {result.unit_id} is "
+                f"{array.ndim}-dimensional; the columnar store holds only "
+                "1-D and 2-D payloads"
+            )
+        signature.append((name, array.dtype.str, array.ndim))
+    return tuple(signature)
+
+
+def _load_npy(path: Path, directory: Path) -> np.ndarray:
+    """Load one column/block file, memory-mapped, with one-line errors."""
+    try:
+        try:
+            return np.load(path, mmap_mode="r", allow_pickle=False)
+        except ValueError:
+            # Zero-length payloads cannot be memory-mapped; a plain load
+            # either succeeds (empty array) or confirms the corruption.
+            return np.load(path, allow_pickle=False)
+    except (OSError, ValueError) as exc:
+        raise CampaignError(
+            f"campaign store segment file {path} is corrupt, truncated or "
+            f"missing ({exc}); restore {directory} from a backup or re-run "
+            "the campaign"
+        ) from exc
+
+
+class _Segment:
+    """One committed segment: its marker metadata plus lazy column access."""
+
+    _MARKER_KEYS = ("store_version", "name", "sequence", "sweep", "n_rows",
+                    "columns", "array_blocks")
+
+    def __init__(self, store: "CampaignStoreV2", marker_path: Path) -> None:
+        self._store = store
+        self.marker_path = marker_path
+        try:
+            marker = json.loads(marker_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CampaignError(
+                f"campaign store segment marker {marker_path} is corrupt "
+                f"(not valid JSON: {exc}); restore it or re-run the campaign"
+            ) from exc
+        if not isinstance(marker, dict) or any(
+            key not in marker for key in self._MARKER_KEYS
+        ):
+            raise CampaignError(
+                f"campaign store segment marker {marker_path} is not a "
+                "segment document; restore it or re-run the campaign"
+            )
+        self.name: str = str(marker["name"])
+        self.sequence: int = int(marker["sequence"])
+        self.sweep: str = str(marker["sweep"])
+        self.n_rows: int = int(marker["n_rows"])
+        self.columns: Tuple[str, ...] = tuple(marker["columns"])
+        self.array_blocks: Dict[str, int] = {
+            str(name): int(ndim) for name, ndim in dict(marker["array_blocks"]).items()
+        }
+        self.data_dir = store.segments_dir / self.name
+        self._column_cache: Dict[str, np.ndarray] = {}
+        self._rows_cache: Optional[List[Dict[str, Any]]] = None
+
+    # -- scalar columns -------------------------------------------------
+    def column(self, name: str) -> np.ndarray:
+        """One scalar column (memory-mapped), row-count checked."""
+        cached = self._column_cache.get(name)
+        if cached is not None:
+            return cached
+        if name not in self.columns:
+            raise CampaignError(
+                f"segment {self.name} of {self._store.directory} has no "
+                f"column {name!r}; the store was written by an incompatible "
+                "version or is corrupt"
+            )
+        array = _load_npy(self.data_dir / f"{name}.npy", self._store.directory)
+        if len(array) != self.n_rows:
+            raise CampaignError(
+                f"segment {self.name} of {self._store.directory} declares "
+                f"{self.n_rows} rows but column {name!r} holds {len(array)}; "
+                "the store is corrupt"
+            )
+        self._column_cache[name] = array
+        return array
+
+    # -- ragged array blocks --------------------------------------------
+    def _block(self, name: str) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray], Optional[np.ndarray]]:
+        values = _load_npy(self.data_dir / f"{name}__values.npy", self._store.directory)
+        offsets = _load_npy(self.data_dir / f"{name}__offsets.npy", self._store.directory)
+        if len(offsets) != self.n_rows + 1 or (self.n_rows >= 0 and int(offsets[-1]) != len(values)):
+            raise CampaignError(
+                f"segment {self.name} of {self._store.directory} has an "
+                f"inconsistent array block {name!r} (offsets do not match "
+                "its values); the store is corrupt"
+            )
+        dim0 = dim1 = None
+        if self.array_blocks[name] == 2:
+            dim0 = _load_npy(self.data_dir / f"{name}__dim0.npy", self._store.directory)
+            dim1 = _load_npy(self.data_dir / f"{name}__dim1.npy", self._store.directory)
+            if len(dim0) != self.n_rows or len(dim1) != self.n_rows:
+                raise CampaignError(
+                    f"segment {self.name} of {self._store.directory} has an "
+                    f"inconsistent 2-D block {name!r}; the store is corrupt"
+                )
+        return values, offsets, dim0, dim1
+
+    def unit_array(self, name: str, row: int) -> np.ndarray:
+        """One row's array payload, copied out with its original shape."""
+        values, offsets, dim0, dim1 = self._block(name)
+        flat = np.array(values[int(offsets[row]):int(offsets[row + 1])])
+        if dim0 is None:
+            return flat
+        return flat.reshape(int(dim0[row]), int(dim1[row]))
+
+    # -- full-fidelity rows ---------------------------------------------
+    def rows(self) -> List[Dict[str, Any]]:
+        """The verbatim per-row unit documents (``summaries.json``)."""
+        if self._rows_cache is not None:
+            return self._rows_cache
+        path = self.data_dir / "summaries.json"
+        try:
+            rows = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CampaignError(
+                f"segment summaries {path} are corrupt or missing ({exc}); "
+                "restore the store from a backup or re-run the campaign"
+            ) from exc
+        if not isinstance(rows, list) or len(rows) != self.n_rows:
+            raise CampaignError(
+                f"segment summaries {path} do not match the segment's "
+                f"{self.n_rows} rows; the store is corrupt"
+            )
+        self._rows_cache = rows
+        return rows
+
+
+class CampaignStoreV2(CampaignStore):
+    """Append-only segmented columnar persistence for one campaign.
+
+    API-compatible with the v1 :class:`CampaignStore` — ``open``, ``save``,
+    ``load``, ``results``, ``status``, ``pending_units`` and the eval-cache
+    methods behave identically — plus :meth:`save_many` (one consolidated
+    segment per batch) and :meth:`compact` (explicit consolidation).
+    """
+
+    store_version = 2
+
+    def __init__(self, name: str, root: "str | Path" = DEFAULT_ROOT) -> None:
+        super().__init__(name, root)
+        self.segments_dir = self.directory / "segments"
+        self.index_path = self.directory / "index.json"
+        self._segment_cache: Dict[str, _Segment] = {}
+        self._live_cache: Optional[
+            Tuple[Tuple[Tuple[str, int], ...], Dict[str, Tuple[_Segment, int]]]
+        ] = None
+
+    def _ensure_layout(self) -> None:
+        self.segments_dir.mkdir(parents=True, exist_ok=True)
+
+    def _store_block(self) -> Dict[str, Any]:
+        return {"version": 2, "n_segments": len(self._segments())}
+
+    # ------------------------------------------------------------------
+    # Segment discovery
+    # ------------------------------------------------------------------
+    def _segments(self) -> List[_Segment]:
+        """Every committed segment, in precedence order (sequence, name)."""
+        if self.units_dir.exists() and any(self.units_dir.glob("*.json")):
+            raise CampaignError(
+                f"campaign directory {self.directory} mixes store layouts "
+                "(v2 manifest with v1 units/ markers); finish the migration "
+                "or use a fresh campaign name"
+            )
+        if not self.segments_dir.exists():
+            return []
+        names = {path.stem for path in self.segments_dir.glob("*.json")}
+        for stale in set(self._segment_cache) - names:
+            del self._segment_cache[stale]
+        for name in names - set(self._segment_cache):
+            self._segment_cache[name] = _Segment(
+                self, self.segments_dir / f"{name}.json"
+            )
+        return sorted(
+            self._segment_cache.values(), key=lambda s: (s.sequence, s.name)
+        )
+
+    def _next_sequence(self) -> int:
+        segments = self._segments()
+        return (max(s.sequence for s in segments) + 1) if segments else 0
+
+    # ------------------------------------------------------------------
+    # The live map (unit_id -> segment/row) and its index.json cache
+    # ------------------------------------------------------------------
+    def _live_map(self) -> Dict[str, Tuple[_Segment, int]]:
+        """Which (segment, row) currently owns each unit id.
+
+        Later sequences supersede earlier ones, which is what makes both
+        re-saves and crash-interrupted compactions (old segments not yet
+        deleted) read consistently.  ``index.json`` is a pure cache: used
+        when it matches the current segment set, silently rebuilt from the
+        ``unit_id`` columns when stale or unreadable.
+        """
+        segments = self._segments()
+        key = tuple((s.name, s.sequence) for s in segments)
+        if self._live_cache is not None and self._live_cache[0] == key:
+            return self._live_cache[1]
+        live = self._live_from_index(segments)
+        if live is None:
+            live = {}
+            for segment in segments:  # ascending precedence: later wins
+                for row, unit_id in enumerate(segment.column("unit_id")):
+                    live[str(unit_id)] = (segment, row)
+        self._live_cache = (key, live)
+        return live
+
+    def _live_from_index(
+        self, segments: List[_Segment]
+    ) -> Optional[Dict[str, Tuple[_Segment, int]]]:
+        if not self.index_path.exists():
+            return None
+        try:
+            document = json.loads(self.index_path.read_text())
+            recorded = sorted(
+                (str(entry["name"]), int(entry["sequence"]))
+                for entry in document["segments"]
+            )
+            if recorded != sorted((s.name, s.sequence) for s in segments):
+                return None  # stale cache: segments changed since it was built
+            by_name = {s.name: s for s in segments}
+            live: Dict[str, Tuple[_Segment, int]] = {}
+            for unit_id, (name, row) in document["units"].items():
+                segment = by_name[str(name)]
+                row = int(row)
+                if not 0 <= row < segment.n_rows:
+                    return None
+                live[str(unit_id)] = (segment, row)
+            return live
+        except (KeyError, TypeError, ValueError, json.JSONDecodeError, OSError):
+            return None  # an unreadable cache is rebuilt, never an error
+
+    def write_index(self) -> None:
+        """(Re)write ``index.json`` from the current live map."""
+        live = self._live_map()
+        document = {
+            "store_version": 2,
+            "segments": [
+                {"name": s.name, "sequence": s.sequence,
+                 "n_rows": s.n_rows, "sweep": s.sweep}
+                for s in self._segments()
+            ],
+            "units": {
+                unit_id: [segment.name, row]
+                for unit_id, (segment, row) in sorted(live.items())
+            },
+        }
+        tmp = self.index_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(document, sort_keys=True) + "\n")
+        tmp.replace(self.index_path)
+
+    # ------------------------------------------------------------------
+    # Unit persistence
+    # ------------------------------------------------------------------
+    def is_complete(self, unit: "WorkUnit | str") -> bool:
+        unit_id = unit if isinstance(unit, str) else unit.unit_id
+        return unit_id in self._live_map()
+
+    def completed_ids(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._live_map()))
+
+    def save(self, result: UnitResult) -> None:
+        """Append one unit as its own small segment (compact() consolidates)."""
+        self._save_batch([result], write_index=False)
+
+    def save_many(self, results: Iterable[UnitResult]) -> None:
+        """Append a batch of units as consolidated segments.
+
+        The batch is partitioned into runs of equal array signature (block
+        dtypes must not promote when concatenated); each partition becomes
+        one segment.  Also refreshes ``index.json``.
+        """
+        batch = list(results)
+        if not batch:
+            return
+        self._save_batch(batch, write_index=True)
+
+    def _save_batch(self, batch: List[UnitResult], write_index: bool) -> None:
+        sweeps = {result.unit.sweep for result in batch}
+        if len(sweeps) > 1:
+            raise CampaignError(
+                f"one store batch cannot mix sweep kinds ({sorted(sweeps)})"
+            )
+        self._ensure_layout()
+        sequence = self._next_sequence()
+        for _signature, group in groupby(batch, key=_array_signature):
+            rows = list(group)
+            name = f"seg-{sequence:08d}-{rows[0].unit_id}"
+            self._write_segment(name, rows, sequence)
+            sequence += 1
+        self._live_cache = None
+        if write_index:
+            self.write_index()
+
+    def _write_segment(
+        self, name: str, results: List[UnitResult], sequence: int
+    ) -> None:
+        """Write one segment: data files first, JSON marker last (atomic)."""
+        sweep = results[0].unit.sweep
+        data_dir = self.segments_dir / name
+        if data_dir.exists():
+            shutil.rmtree(data_dir)
+        data_dir.mkdir(parents=True)
+
+        columns: Dict[str, np.ndarray] = {
+            "unit_id": np.array([r.unit_id for r in results]),
+            "platform": np.array([r.unit.platform for r in results]),
+            "serial": np.array([r.unit.serial for r in results]),
+            "pattern": np.array([r.unit.pattern for r in results]),
+            "temperature_c": np.array(
+                [float(r.unit.temperature_c) for r in results], dtype=np.float64
+            ),
+            "runs_per_step": np.array(
+                [int(r.unit.runs_per_step) for r in results], dtype=np.int64
+            ),
+            "search": np.array([r.unit.search for r in results]),
+        }
+        for metric, path in SWEEP_METRIC_PATHS[sweep].items():
+            columns[metric] = np.array(
+                [_metric_value(r.summary, path) for r in results], dtype=np.float64
+            )
+        search_docs = []
+        for result in results:
+            doc = result.summary.get("search", {})
+            search_docs.append(doc if isinstance(doc, Mapping) else {})
+        columns["search_present"] = np.array(
+            [bool(doc) for doc in search_docs], dtype=bool
+        )
+        for counter in _SEARCH_COUNTERS:
+            columns[f"search_{counter}"] = np.array(
+                [_int_or_zero(doc.get(counter, 0)) for doc in search_docs],
+                dtype=np.int64,
+            )
+        if sweep in _EXTRA_INT_COLUMNS:
+            defaults = []
+            for result in results:
+                platform = get_platform(result.unit.platform)
+                defaults.append(
+                    {
+                        "n_brams": platform.n_brams,
+                        "bram_bits": platform.bram_rows * platform.bram_cols,
+                    }
+                )
+            for extra in _EXTRA_INT_COLUMNS[sweep]:
+                columns[extra] = np.array(
+                    [
+                        _int_or_zero(r.summary.get(extra, default[extra]))
+                        for r, default in zip(results, defaults)
+                    ],
+                    dtype=np.int64,
+                )
+
+        for column, array in columns.items():
+            np.save(data_dir / f"{column}.npy", array, allow_pickle=False)
+
+        array_blocks: Dict[str, int] = {}
+        for block_name, _dtype, ndim in _array_signature(results[0]):
+            arrays = [np.asarray(r.arrays[block_name]) for r in results]
+            array_blocks[block_name] = ndim
+            sizes = np.array([a.size for a in arrays], dtype=np.int64)
+            offsets = np.concatenate(([0], np.cumsum(sizes)))
+            values = np.concatenate([a.ravel() for a in arrays])
+            np.save(data_dir / f"{block_name}__values.npy", values, allow_pickle=False)
+            np.save(data_dir / f"{block_name}__offsets.npy", offsets, allow_pickle=False)
+            if ndim == 2:
+                np.save(
+                    data_dir / f"{block_name}__dim0.npy",
+                    np.array([a.shape[0] for a in arrays], dtype=np.int64),
+                    allow_pickle=False,
+                )
+                np.save(
+                    data_dir / f"{block_name}__dim1.npy",
+                    np.array([a.shape[1] for a in arrays], dtype=np.int64),
+                    allow_pickle=False,
+                )
+
+        summaries = [
+            {"unit_id": r.unit_id, "unit": r.unit.to_dict(), "summary": r.summary}
+            for r in results
+        ]
+        (data_dir / "summaries.json").write_text(
+            json.dumps(summaries, sort_keys=True) + "\n"
+        )
+
+        marker = {
+            "store_version": 2,
+            "name": name,
+            "sequence": sequence,
+            "sweep": sweep,
+            "n_rows": len(results),
+            "columns": sorted(columns),
+            "array_blocks": array_blocks,
+        }
+        _atomic_write_json(self.segments_dir / f"{name}.json", marker)
+        self._segment_cache.pop(name, None)
+
+    def load(self, unit: "WorkUnit | str", with_arrays: bool = True) -> UnitResult:
+        """Load one completed unit back, bit-identical to what was saved."""
+        unit_id = unit if isinstance(unit, str) else unit.unit_id
+        live = self._live_map()
+        if unit_id not in live:
+            raise CampaignError(
+                f"unit {unit_id} has not completed in {self.directory}"
+            )
+        segment, row = live[unit_id]
+        document = segment.rows()[row]
+        try:
+            if document.get("unit_id") != unit_id:
+                raise CampaignError(
+                    f"segment {segment.name} row {row} belongs to unit "
+                    f"{document.get('unit_id')!r}, not {unit_id}; the store "
+                    "index is corrupt"
+                )
+            descriptor = WorkUnit.from_dict(document["unit"])
+        except CampaignError:
+            raise
+        except (AttributeError, KeyError, TypeError, ValueError) as exc:
+            raise CampaignError(
+                f"segment {segment.name} of {self.directory} holds a corrupt "
+                f"unit document ({exc}); re-run the campaign"
+            ) from exc
+        arrays: Dict[str, np.ndarray] = {}
+        if with_arrays:
+            arrays = {
+                block: segment.unit_array(block, row)
+                for block in sorted(segment.array_blocks)
+            }
+        return UnitResult(
+            unit=descriptor, summary=document.get("summary", {}), arrays=arrays
+        )
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def compact(self) -> Dict[str, int]:
+        """Fold all live rows into consolidated segments, dropping the rest.
+
+        Explicit and foreground (no background threads): loads every live
+        row, writes ``compact-*`` segments at a sequence above every existing
+        one, refreshes ``index.json``, then deletes the superseded segments.
+        A crash part-way is safe — consolidated segments outrank the old ones,
+        and leftover old segments are removed by the next compaction.
+        """
+        segments = self._segments()
+        live = self._live_map()
+        before = len(segments)
+        if before <= 1:
+            if segments:
+                self.write_index()
+            return {
+                "n_segments_before": before,
+                "n_segments_after": before,
+                "n_rows": len(live),
+            }
+        results = [self.load(unit_id) for unit_id in sorted(live)]
+        old_names = [s.name for s in segments]
+        sequence = self._next_sequence()
+        n_after = 0
+        for _signature, group in groupby(results, key=_array_signature):
+            self._write_segment(f"compact-{sequence:08d}", list(group), sequence)
+            sequence += 1
+            n_after += 1
+        for name in old_names:
+            (self.segments_dir / f"{name}.json").unlink(missing_ok=True)
+            shutil.rmtree(self.segments_dir / name, ignore_errors=True)
+            self._segment_cache.pop(name, None)
+        self._live_cache = None
+        self.write_index()
+        return {
+            "n_segments_before": before,
+            "n_segments_after": n_after,
+            "n_rows": len(results),
+        }
+
+
+# ----------------------------------------------------------------------
+# Version dispatch
+# ----------------------------------------------------------------------
+def _check_layout(store: CampaignStore) -> CampaignStore:
+    """Reject directories whose content mixes the v1 and v2 layouts."""
+    units = store.directory / "units"
+    segments = store.directory / "segments"
+    has_units = units.exists() and any(units.glob("*.json"))
+    has_segments = segments.exists() and any(segments.glob("*.json"))
+    if (store.store_version == 1 and has_segments) or (
+        store.store_version == 2 and has_units
+    ):
+        raise CampaignError(
+            f"campaign directory {store.directory} mixes store layouts "
+            f"(a v{store.store_version} manifest with "
+            f"{'v2 segments/' if store.store_version == 1 else 'v1 units/'} "
+            "content); finish the migration or use a fresh campaign name"
+        )
+    return store
+
+
+def open_store(
+    name: str, root: "str | Path" = DEFAULT_ROOT, must_exist: bool = True
+) -> CampaignStore:
+    """Open an existing store, dispatching on its manifest's store version.
+
+    The single entry point the runner, the CLI, the replay/runtime layers
+    and the migration tool share: v1 manifests (or pre-version manifests
+    with no ``store_version`` field) yield a :class:`CampaignStore`, v2
+    manifests a :class:`CampaignStoreV2`.  ``must_exist=False`` returns a
+    v1 view for a store with no manifest yet (the "not started" state
+    ``campaign status --spec`` accepts).
+    """
+    probe = CampaignStore(name, root)
+    if not probe.manifest_path.exists():
+        if must_exist:
+            raise CampaignError(f"no campaign manifest at {probe.manifest_path}")
+        return probe
+    version = manifest_store_version(probe.manifest_path)
+    if version == 2:
+        return _check_layout(CampaignStoreV2(name, root))
+    return _check_layout(probe)
+
+
+def open_store_for_spec(
+    spec: CampaignSpec,
+    root: "str | Path" = DEFAULT_ROOT,
+    store_version: Optional[int] = None,
+) -> CampaignStore:
+    """Create-or-open the store a campaign run should write into.
+
+    An existing manifest pins the version (an explicit conflicting
+    ``store_version`` raises rather than silently forking the layout); a
+    fresh campaign is created at ``store_version`` (default v1).
+    """
+    if store_version is not None and int(store_version) not in (1, 2):
+        raise CampaignError(
+            f"unknown store version {store_version!r}; expected 1 or 2"
+        )
+    manifest_path = Path(root) / spec.name / "manifest.json"
+    if manifest_path.exists():
+        existing = manifest_store_version(manifest_path)
+        if store_version is not None and int(store_version) != existing:
+            raise CampaignError(
+                f"campaign {spec.name!r} already uses store version "
+                f"{existing}; re-running it as v{int(store_version)} is not "
+                "possible — use 'campaign migrate' or a fresh campaign name"
+            )
+        cls = CampaignStoreV2 if existing == 2 else CampaignStore
+    else:
+        cls = CampaignStoreV2 if int(store_version or 1) == 2 else CampaignStore
+    return _check_layout(cls.open(spec, root))
+
+
+# ----------------------------------------------------------------------
+# Streaming fleet report (the v2 read path)
+# ----------------------------------------------------------------------
+def _index_into(expected: np.ndarray, actual: np.ndarray) -> np.ndarray:
+    """Position of each ``actual`` value in ``expected`` (-1 when absent).
+
+    The vectorized heart of expansion-order sorting: a searchsorted against
+    the sorted expected values, validated by equality, keeps the report's
+    row-ordering cost at numpy speed for 100k-die fleets.
+    """
+    order = np.argsort(expected, kind="stable")
+    ranked = expected[order]
+    position = np.searchsorted(ranked, actual)
+    position = np.minimum(position, len(ranked) - 1)
+    found = ranked[position] == actual
+    index = order[position]
+    index[~found] = -1
+    return index
+
+
+class _StreamedUnitRows(Sequence):
+    """The report's flat per-unit rows, built lazily from ordered columns.
+
+    ``campaign report``'s table path never touches the rows at all — not
+    even the ordering of the string identity columns happens until a row is
+    asked for.  The ``--json`` path materializes rows once, via ``tolist()``
+    bulk conversion, when the document is serialized.  Either way no
+    per-die object exists before it is needed.
+    """
+
+    _IDENTITY = ("unit_id", "platform", "serial", "temperature_c", "pattern")
+
+    def __init__(
+        self,
+        columns: Dict[str, np.ndarray],
+        order: np.ndarray,
+        preordered: Dict[str, np.ndarray],
+        metric_names: List[str],
+    ) -> None:
+        self._columns = columns
+        self._order = order
+        self._ordered = dict(preordered)
+        self._names = list(self._IDENTITY) + list(metric_names)
+        self._n = len(order)
+
+    def _column(self, name: str) -> np.ndarray:
+        array = self._ordered.get(name)
+        if array is None:
+            array = self._columns[name][self._order]
+            self._ordered[name] = array
+        return array
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, index):  # type: ignore[override]
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(self._n))]
+        if not -self._n <= index < self._n:
+            raise IndexError(index)
+        return {name: self._column(name)[index].item() for name in self._names}
+
+    def __iter__(self):
+        arrays = [self._column(name).tolist() for name in self._names]
+        for values in zip(*arrays):
+            yield dict(zip(self._names, values))
+
+
+def build_report_streaming(
+    store: CampaignStoreV2, spec: Optional[CampaignSpec] = None
+) -> CampaignReport:
+    """Aggregate a v2 store segment by segment, without per-die objects.
+
+    Reads only the memory-mapped scalar columns (plus, for FVM campaigns,
+    the count-matrix blocks), orders rows into the spec's expansion order by
+    a stable argsort over (chip, temperature, pattern) indices — which is
+    what makes every aggregate bit-identical to the v1 path — and feeds the
+    ordered column arrays straight into :mod:`repro.analysis.fleet`.
+    No :class:`WorkUnit`, :class:`UnitResult` or per-unit summary document
+    is ever materialized.
+    """
+    spec = store._validated_spec(spec)
+    metric_names = list(SWEEP_METRIC_PATHS[spec.sweep])
+    scalar_names = list(_scalar_columns(spec.sweep))
+
+    segments = [segment for segment in store._segments() if segment.n_rows]
+    for segment in segments:
+        if segment.sweep != spec.sweep:
+            raise CampaignError(
+                f"segment {segment.name} of {store.directory} holds sweep "
+                f"kind {segment.sweep!r} but the campaign is {spec.sweep!r}; "
+                "the store is mixed or corrupt"
+            )
+
+    # Liveness without the per-unit map: segments are already in precedence
+    # order, so the LAST occurrence of a unit_id across the concatenated id
+    # columns is the live row.  np.unique over the reversed ids finds those
+    # occurrences in one vectorized pass — no 100k-entry python dict.
+    id_chunks = [np.asarray(segment.column("unit_id")) for segment in segments]
+    n_total = int(sum(len(ids) for ids in id_chunks))
+    if not n_total:
+        raise CampaignError(
+            f"campaign {spec.name!r} has no completed units to report on; "
+            "run it first with 'campaign run'"
+        )
+    all_ids = np.concatenate(id_chunks)
+    _, reversed_first = np.unique(all_ids[::-1], return_index=True)
+    keep = np.zeros(n_total, dtype=bool)
+    keep[n_total - 1 - reversed_first] = True
+
+    chunks: List[Dict[str, Any]] = []
+    fvm_rows: List[Tuple[_Segment, int]] = []
+    start = 0
+    for segment, ids in zip(segments, id_chunks):
+        mask = keep[start : start + len(ids)]
+        start += len(ids)
+        if not mask.any():
+            continue
+        if mask.all():
+            rows = np.arange(len(ids), dtype=np.int64)
+            chunk = {
+                name: np.asarray(segment.column(name)) for name in scalar_names
+            }
+        else:
+            rows = np.flatnonzero(mask)
+            chunk = {
+                name: np.asarray(segment.column(name))[rows]
+                for name in scalar_names
+            }
+        chunks.append(chunk)
+        if spec.sweep == "fvm":
+            fvm_rows.extend((segment, int(row)) for row in rows)
+
+    columns = {
+        name: np.concatenate([chunk[name] for chunk in chunks])
+        for name in scalar_names
+    }
+
+    # Expansion-order keys: aggregation order must match the v1 path bit for
+    # bit, and floating-point reductions are order-sensitive.  Chips map
+    # through a python dict (faster than sorting 100k long strings);
+    # temperatures and patterns — a handful of expected values — go through
+    # the searchsorted index map.
+    chip_lookup = {chip: index for index, chip in enumerate(spec.chips())}
+    chip_idx = np.fromiter(
+        (
+            chip_lookup.get(pair, -1)
+            for pair in zip(
+                columns["platform"].tolist(), columns["serial"].tolist()
+            )
+        ),
+        dtype=np.int64,
+        count=len(columns["platform"]),
+    )
+    temperature_idx = _index_into(
+        np.asarray(spec.temperatures_c, dtype=np.float64),
+        np.asarray(columns["temperature_c"], dtype=np.float64),
+    )
+    pattern_idx = _index_into(
+        np.array(spec.patterns), np.asarray(columns["pattern"])
+    )
+    foreign = (
+        (chip_idx < 0)
+        | (temperature_idx < 0)
+        | (pattern_idx < 0)
+        | (np.asarray(columns["runs_per_step"]) != spec.runs_per_step)
+        | (np.asarray(columns["search"]) != spec.search)
+    )
+    if foreign.any():
+        bad = int(np.flatnonzero(foreign)[0])
+        raise CampaignError(
+            f"unit {columns['unit_id'][bad]} in {store.directory} does not "
+            f"belong to campaign {spec.name!r}; the store is mixed or corrupt"
+        )
+    keys = (
+        chip_idx * len(spec.temperatures_c) + temperature_idx
+    ) * len(spec.patterns) + pattern_idx
+    order = np.argsort(keys, kind="stable")
+
+    # Only the float aggregation inputs are ordered eagerly (mean is
+    # order-sensitive in floating point, so expansion order is what makes
+    # the aggregates bit-identical to v1).  String identity columns order
+    # lazily inside _StreamedUnitRows, on first row access.
+    metric_arrays = {name: columns[name][order] for name in metric_names}
+    platform_column = columns["platform"][order]
+    unit_rows = _StreamedUnitRows(
+        columns,
+        order,
+        dict(metric_arrays, platform=platform_column),
+        metric_names,
+    )
+    by_platform = {}
+    for platform in np.unique(platform_column):
+        mask = platform_column == platform
+        by_platform[str(platform)] = population_summary(
+            {name: values[mask] for name, values in metric_arrays.items()}
+        )
+
+    evaluations = evaluation_totals_from_counts(
+        n_units=int(np.count_nonzero(columns["search_present"])),
+        n_evaluations=int(columns["search_n_evaluations"].sum()),
+        n_cache_hits=int(columns["search_n_cache_hits"].sum()),
+        n_exhaustive_equivalent=int(
+            columns["search_n_exhaustive_equivalent"].sum()
+        ),
+    )
+
+    similarity: List[PairSimilarity] = []
+    if spec.sweep == "fvm":
+        similarity = _streamed_similarity(fvm_rows)
+
+    return CampaignReport(
+        spec=spec,
+        results=[],
+        fleet=population_summary(metric_arrays),
+        by_platform=by_platform,
+        similarity=similarity,
+        evaluations=evaluations,
+        units=unit_rows,
+        store=store._store_block(),
+    )
+
+
+def _streamed_similarity(
+    fvm_rows: Sequence[Tuple[_Segment, int]]
+) -> List[PairSimilarity]:
+    """The Fig. 7 pairwise comparison, rebuilt from segment blocks.
+
+    Count matrices stream out of the segments' memory-mapped blocks; the
+    grouping (platform, temperature, pattern) and pair ordering replicate
+    the v1 report path exactly.
+    """
+    grouped: Dict[Tuple[str, float, str], Dict[str, FaultVariationMap]] = {}
+    for segment, row in fvm_rows:
+        platform = str(segment.column("platform")[row])
+        serial = str(segment.column("serial")[row])
+        key = (
+            platform,
+            float(segment.column("temperature_c")[row]),
+            str(segment.column("pattern")[row]),
+        )
+        platform_spec = get_platform(platform)
+        floorplan = Floorplan.regular(
+            n_brams=platform_spec.n_brams,
+            n_columns=platform_spec.floorplan_columns,
+        )
+        grouped.setdefault(key, {})[serial] = FaultVariationMap.from_matrix(
+            platform=platform,
+            floorplan=floorplan,
+            voltages_v=[float(v) for v in segment.unit_array("voltages_v", row)],
+            counts=segment.unit_array("counts", row),
+            bram_bits=int(segment.column("bram_bits")[row]),
+        )
+    similarity: List[PairSimilarity] = []
+    for (platform, _temperature, _pattern), maps in sorted(grouped.items()):
+        similarity.extend(fvm_similarity(maps, platform))
+    return similarity
+
+
+# ----------------------------------------------------------------------
+# v1 -> v2 migration
+# ----------------------------------------------------------------------
+def store_digest(store: CampaignStore, spec: Optional[CampaignSpec] = None) -> str:
+    """Content digest of every completed unit, layout-independent.
+
+    Hashes the canonical JSON of each completed unit's descriptor, summary
+    and arrays (dtype, shape and values) in spec expansion order, so a v1
+    store and its migrated v2 twin produce the same digest if and only if
+    they hold bit-identical results.
+    """
+    spec = store._validated_spec(spec)
+    digest = hashlib.sha256()
+    for unit in spec.expand():
+        if not store.is_complete(unit):
+            continue
+        result = store.load(unit)
+        document = {
+            "unit": result.unit.to_dict(),
+            "summary": result.summary,
+            "arrays": {
+                name: [array.dtype.str, list(array.shape), array.ravel().tolist()]
+                for name, array in sorted(result.arrays.items())
+            },
+        }
+        digest.update(_canonical_json(document).encode())
+    return digest.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class MigrationReport:
+    """What one ``campaign migrate`` invocation did."""
+
+    name: str
+    root: str
+    from_version: int
+    to_version: int
+    already_v2: bool
+    n_units: int
+    n_segments: int
+    digest: Optional[str] = None
+    backup: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form used by ``repro-undervolt campaign migrate --json``."""
+        return {
+            "name": self.name,
+            "root": self.root,
+            "from_version": self.from_version,
+            "to_version": self.to_version,
+            "already_v2": self.already_v2,
+            "n_units": self.n_units,
+            "n_segments": self.n_segments,
+            "digest": self.digest,
+            "backup": self.backup,
+        }
+
+
+def migrate_store(
+    name: str,
+    root: "str | Path" = DEFAULT_ROOT,
+    keep_v1: bool = False,
+    batch_rows: int = 4096,
+) -> MigrationReport:
+    """Convert a v1 store to the v2 columnar layout, verified by digest.
+
+    Idempotent: an already-v2 store is a no-op.  The v2 twin is built in a
+    staging directory next to the store, verified against the source by
+    :func:`store_digest`, and only then swapped into place — a digest
+    mismatch (or any error before the swap) leaves the original untouched.
+    Eval caches and side files (e.g. ``governor_bundle.json``) are carried
+    over verbatim.  ``keep_v1`` preserves the original as
+    ``<name>.v1-backup`` next to the migrated store.
+    """
+    root = Path(root)
+    source = open_store(name, root)
+    if source.store_version >= 2:
+        v2 = source
+        assert isinstance(v2, CampaignStoreV2)
+        return MigrationReport(
+            name=name,
+            root=str(root),
+            from_version=2,
+            to_version=2,
+            already_v2=True,
+            n_units=len(v2.completed_ids()),
+            n_segments=len(v2._segments()),
+        )
+    spec = source.load_manifest()
+    staging_root = root / f".{name}.migrating"
+    if staging_root.exists():
+        shutil.rmtree(staging_root)
+    try:
+        target = CampaignStoreV2.open(spec, staging_root)
+        batch: List[UnitResult] = []
+        n_units = 0
+        for unit in spec.expand():
+            if not source.is_complete(unit):
+                continue
+            batch.append(source.load(unit))
+            n_units += 1
+            if len(batch) >= batch_rows:
+                target.save_many(batch)
+                batch = []
+        if batch:
+            target.save_many(batch)
+        target.compact()
+        for entry in source.directory.iterdir():
+            if entry.name in ("units", "manifest.json"):
+                continue
+            destination = target.directory / entry.name
+            if entry.is_dir():
+                shutil.copytree(entry, destination, dirs_exist_ok=True)
+            else:
+                shutil.copy2(entry, destination)
+        source_digest = store_digest(source, spec)
+        target_digest = store_digest(target, spec)
+        if source_digest != target_digest:
+            raise CampaignError(
+                f"migration of campaign {name!r} produced a different result "
+                f"digest ({target_digest} != {source_digest}); the original "
+                "v1 store is untouched"
+            )
+    except BaseException:
+        shutil.rmtree(staging_root, ignore_errors=True)
+        raise
+    backup = root / f"{name}.v1-backup"
+    if backup.exists():
+        shutil.rmtree(backup)
+    source.directory.replace(backup)
+    target.directory.replace(source.directory)
+    shutil.rmtree(staging_root, ignore_errors=True)
+    if keep_v1:
+        backup_path: Optional[str] = str(backup)
+    else:
+        shutil.rmtree(backup)
+        backup_path = None
+    migrated = CampaignStoreV2(name, root)
+    return MigrationReport(
+        name=name,
+        root=str(root),
+        from_version=1,
+        to_version=2,
+        already_v2=False,
+        n_units=n_units,
+        n_segments=len(migrated._segments()),
+        digest=target_digest,
+        backup=backup_path,
+    )

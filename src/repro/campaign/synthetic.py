@@ -1,0 +1,94 @@
+"""Synthetic campaign results for store benchmarks and scale tests.
+
+Executing 100k real work units through the fault-field stack would take
+hours; exercising the *store* at that scale only needs schema-correct
+results.  This module fabricates guardband :class:`UnitResult` s — same
+summary shape (nested per-rail scalars + search accounting) and same array
+payload names as :func:`repro.campaign.runner._run_guardband` — from a
+seeded RNG, deterministically per unit, so store benchmarks
+(``benchmarks/bench_store_v2.py``) and the 10k-die streaming-report test
+measure layout cost and nothing else.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.fpga.platform import fleet_serials
+
+from .spec import CampaignSpec, ChipGroup, WorkUnit
+from .store import UnitResult
+
+#: Platform every synthetic fleet simulates (the smallest studied board,
+#: so WorkUnit validation stays cheap).
+_PLATFORM = "ZC702"
+
+
+def synthetic_fleet_spec(n_chips: int, name: str = "synthetic-fleet") -> CampaignSpec:
+    """A guardband campaign spec over ``n_chips`` simulated dies.
+
+    One unit per die (single temperature, single pattern), which makes
+    ``n_chips`` also the unit count — the natural axis for store scaling.
+    """
+    return CampaignSpec(
+        name=name,
+        groups=(
+            ChipGroup(
+                platform=_PLATFORM,
+                serials=fleet_serials(_PLATFORM, n_chips),
+            ),
+        ),
+        sweep="guardband",
+        runs_per_step=2,
+    )
+
+
+def synthetic_guardband_result(unit: WorkUnit, index: int) -> UnitResult:
+    """One schema-correct fake guardband result, deterministic per unit."""
+    rng = np.random.default_rng(index + 7)
+    vnom = 1.0
+    vmin = round(0.60 + 0.02 * float(rng.random()), 4)
+    vcrash = round(vmin - 0.05 - 0.01 * float(rng.random()), 4)
+    rails = {}
+    for rail, scale in (("VCCBRAM", 1.0), ("VCCINT", 0.8)):
+        rails[rail] = {
+            "vnom_v": vnom,
+            "vmin_v": vmin * scale,
+            "vcrash_v": vcrash * scale,
+            "guardband_fraction": (vnom - vmin * scale) / vnom,
+            "power_reduction_factor_at_vmin": 1.0 + 0.5 * float(rng.random()),
+        }
+    n_evaluations = int(rng.integers(8, 20))
+    summary = {
+        "rails": rails,
+        "search": {
+            "mode": "adaptive",
+            "n_evaluations": n_evaluations,
+            "n_cache_hits": int(rng.integers(0, 5)),
+            "n_exhaustive_equivalent": n_evaluations * 5,
+            "evaluations_saved": n_evaluations * 4,
+        },
+    }
+    voltages = np.array([vmin, (vmin + vcrash) / 2.0, vcrash])
+    arrays = {
+        "vccbram_voltages_v": voltages,
+        "vccbram_median_fault_counts": np.array([0.0, 3.0, 50.0]),
+        "vccbram_power_w": np.array([2.0, 1.8, 1.6]),
+    }
+    return UnitResult(unit=unit, summary=summary, arrays=arrays)
+
+
+def synthetic_result_batches(
+    spec: CampaignSpec, batch_rows: int = 20_000
+) -> Iterator[List[UnitResult]]:
+    """The spec's expansion as batches of fake results (for ``save_many``)."""
+    batch: List[UnitResult] = []
+    for index, unit in enumerate(spec.expand()):
+        batch.append(synthetic_guardband_result(unit, index))
+        if len(batch) >= batch_rows:
+            yield batch
+            batch = []
+    if batch:
+        yield batch

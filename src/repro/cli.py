@@ -37,13 +37,14 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
-from repro.analysis import render_table
+from repro.analysis import render_table, similarity_extremes
 from repro.campaign import (
     CampaignError,
     CampaignSpec,
-    CampaignStore,
     DEFAULT_ROOT,
     build_report,
+    migrate_store,
+    open_store,
     preset_spec,
     run_campaign,
 )
@@ -215,7 +216,8 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--preset",
             metavar="NAME",
-            help="built-in campaign: fleet16, fleet16-fvm or fleet16-sweep",
+            help="built-in campaign: fleet16, fleet16-fvm, fleet16-sweep "
+            "or fleet16-fast",
         )
         if not need_spec:
             sub.add_argument(
@@ -233,6 +235,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="execute serially in this process (legacy alias for "
         "--backend serial)",
     )
+    run.add_argument(
+        "--store-version",
+        type=int,
+        choices=(1, 2),
+        default=None,
+        help="on-disk layout for a fresh campaign: 1 (per-unit files, the "
+        "default) or 2 (segmented columnar; see docs/campaign_store.md). "
+        "An existing store keeps its version",
+    )
 
     status = campaign_sub.add_parser("status", help="progress of a campaign on disk")
     _add_campaign_common(status, need_spec=False)
@@ -241,6 +252,19 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="aggregate a campaign into fleet statistics"
     )
     _add_campaign_common(report, need_spec=False)
+
+    migrate = campaign_sub.add_parser(
+        "migrate",
+        help="convert a v1 campaign store to the v2 columnar layout "
+        "(idempotent, digest-verified)",
+    )
+    _add_campaign_common(migrate, need_spec=False)
+    migrate.add_argument(
+        "--keep-v1",
+        action="store_true",
+        help="keep the original v1 store as <name>.v1-backup next to the "
+        "migrated store",
+    )
 
     runtime = subparsers.add_parser(
         "runtime", help="closed-loop runtime undervolting on a serving fleet"
@@ -645,7 +669,7 @@ def _resolve_spec(args: argparse.Namespace) -> CampaignSpec:
         return CampaignSpec.from_json(path.read_text())
     if args.preset:
         return preset_spec(args.preset)
-    return CampaignStore(args.name, args.root).load_manifest()
+    return open_store(args.name, args.root).load_manifest()
 
 
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
@@ -664,11 +688,12 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         max_workers=args.jobs,
         scheduler="serial" if args.no_processes else args.backend,
         progress=None if args.json else progress,
+        store_version=args.store_version,
     )
     if args.json:
         _emit_json(report.to_dict())
         return 0
-    store = CampaignStore(spec.name, args.root)
+    store = open_store(spec.name, args.root)
     evaluations = report.evaluations
     print(render_table(
         ["metric", "value"],
@@ -682,6 +707,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             ("units skipped (already complete)", len(report.skipped)),
             ("backend", f"simulated ({report.scheduler} x{report.n_workers})"),
             ("workers", report.n_workers),
+            ("store layout", f"v{report.store_version}"),
             ("fault-field evaluations", evaluations.get("n_evaluations", 0)),
             ("exhaustive-equivalent evaluations",
              evaluations.get("n_exhaustive_equivalent", 0)),
@@ -700,7 +726,9 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
 
 def _cmd_campaign_status(args: argparse.Namespace) -> int:
     spec = _resolve_spec(args)
-    status = CampaignStore(spec.name, args.root).status(spec)
+    # must_exist=False keeps "spec given, nothing run yet" a valid
+    # all-pending status instead of an error.
+    status = open_store(spec.name, args.root, must_exist=False).status(spec)
     if args.json:
         _emit_json(status.to_dict())
         return 0
@@ -722,11 +750,13 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
 
 def _cmd_campaign_report(args: argparse.Namespace) -> int:
     spec = _resolve_spec(args)
-    report = build_report(CampaignStore(spec.name, args.root), spec)
-    payload = report.to_dict()
+    report = build_report(open_store(spec.name, args.root), spec)
     if args.json:
-        _emit_json(payload)
+        _emit_json(report.to_dict())
         return 0
+    # The table path reads only the aggregates — the per-unit rows (lazy on
+    # the v2 streaming path) are never materialized here, which is what
+    # keeps 'campaign report' sub-second on 100k-die stores.
     scope_rows = [("fleet", metric, dist) for metric, dist in report.fleet.items()] + [
         (platform, metric, dist)
         for platform, dists in report.by_platform.items()
@@ -747,20 +777,20 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
             for scope, metric, dist in scope_rows
         ],
         title=(
-            f"Campaign {spec.name}: {payload['n_completed']}/{payload['n_units']} units, "
+            f"Campaign {spec.name}: {report.n_completed}/{spec.n_units} units, "
             f"population statistics ({spec.sweep})"
         ),
     ))
-    evaluations = payload.get("evaluations", {})
+    evaluations = report.evaluations
     if evaluations.get("n_units"):
         print(
-            f"  * {payload['search']} search: "
+            f"  * {spec.search} search: "
             f"{evaluations['n_evaluations']} fault-field evaluations across the fleet "
             f"({evaluations['n_exhaustive_equivalent']} exhaustive-equivalent, "
             f"{evaluations['evaluations_saved']} saved)"
         )
     if report.similarity:
-        extremes = payload["fvm_similarity"]["extremes"]
+        extremes = similarity_extremes(report.similarity)
         print()
         print(render_table(
             ["metric", "value"],
@@ -825,7 +855,7 @@ def _cmd_runtime_run(args: argparse.Namespace) -> int:
     from repro.runtime import FleetSimulator, GovernorBundle, build_trace
 
     if args.campaign:
-        store = CampaignStore(args.campaign, args.root)
+        store = open_store(args.campaign, args.root)
         bundle = GovernorBundle.from_campaign(store)
         backend_block = _backend_block("campaign-store", "serial", 1, args.campaign)
     else:
@@ -992,10 +1022,37 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
         return 2
 
 
+def _cmd_campaign_migrate(args: argparse.Namespace) -> int:
+    spec = _resolve_spec(args)
+    report = migrate_store(spec.name, args.root, keep_v1=args.keep_v1)
+    if args.json:
+        _emit_json(report.to_dict())
+        return 0
+    rows = [
+        ("campaign", report.name),
+        ("root", report.root),
+        ("store layout", f"v{report.from_version} -> v{report.to_version}"),
+        ("already v2 (no-op)", "yes" if report.already_v2 else "no"),
+        ("units migrated", report.n_units),
+        ("segments", report.n_segments),
+    ]
+    if report.digest:
+        rows.append(("verified digest", report.digest))
+    if report.backup:
+        rows.append(("v1 backup", report.backup))
+    print(render_table(
+        ["metric", "value"],
+        rows,
+        title=f"Campaign {report.name}: store migration",
+    ))
+    return 0
+
+
 _CAMPAIGN_COMMANDS = {
     "run": _cmd_campaign_run,
     "status": _cmd_campaign_status,
     "report": _cmd_campaign_report,
+    "migrate": _cmd_campaign_migrate,
 }
 
 

@@ -323,6 +323,10 @@ class ReplayBackend:
 save_eval_cache`) or a campaign store directory, whose ``cache/``
         subdirectory is searched for the die matching ``platform``/
         ``serial`` (or for the single recorded die when neither is given).
+        Both campaign store layouts work: the v1 per-unit store and the v2
+        segmented columnar store (``store_version: 2``) share the same
+        ``cache/<die>.json`` convention, and migration carries the caches
+        over verbatim.
         """
         path = Path(path)
         if path.is_dir():

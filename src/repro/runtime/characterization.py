@@ -337,11 +337,14 @@ class GovernorBundle:
     def from_campaign(cls, store: Any, spec: Optional[Any] = None) -> "GovernorBundle":
         """Condense a completed guardband campaign store into a bundle.
 
-        ``store`` is a :class:`repro.campaign.CampaignStore`; ``spec``
-        defaults to the store's manifest.  Only units measured at each die's
-        first listed temperature contribute (the characterization anchor);
-        re-characterizing at other temperatures belongs to the ITD fit, not
-        the threshold table.
+        ``store`` is a :class:`repro.campaign.CampaignStore` of either
+        layout version — open it with :func:`repro.campaign.open_store`,
+        which dispatches on the manifest's ``store_version`` (the v2
+        columnar store serves ``results`` through the same interface);
+        ``spec`` defaults to the store's manifest.  Only units measured at
+        each die's first listed temperature contribute (the
+        characterization anchor); re-characterizing at other temperatures
+        belongs to the ITD fit, not the threshold table.
         """
         if spec is None:
             spec = store.load_manifest()

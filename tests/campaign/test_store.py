@@ -9,9 +9,11 @@ from repro.campaign import (
     CampaignError,
     CampaignSpec,
     CampaignStore,
+    CampaignStoreV2,
     ChipGroup,
     UnitResult,
 )
+from repro.cli import main
 
 
 @pytest.fixture
@@ -149,6 +151,69 @@ class TestSpecLevelViews:
         payload = store.status(spec).to_dict()
         assert set(payload) == {
             "name", "spec_hash", "sweep", "n_units", "n_completed",
-            "n_pending", "complete", "pending_unit_ids",
+            "n_pending", "complete", "store", "pending_unit_ids",
         }
+        assert payload["store"] == {"version": 1}
         assert payload["n_units"] == len(payload["pending_unit_ids"])
+
+
+class TestCorruptV2Store:
+    """Damaged v2 layouts must exit 2 with one one-line error, never crash."""
+
+    @pytest.fixture
+    def v2_store(self, spec, tmp_path):
+        store = CampaignStoreV2.open(spec, tmp_path)
+        store.save_many(fake_result(unit) for unit in spec.expand())
+        return store
+
+    def assert_cli_fails(self, capsys, tmp_path, name, *commands):
+        for command in commands:
+            argv = ["campaign", command, "--name", name, "--root", str(tmp_path)]
+            assert main(argv) == 2
+            err = capsys.readouterr().err
+            assert err.startswith("error: ")
+            assert err.count("\n") == 1  # one line, no traceback
+
+    def test_truncated_segment_column(self, v2_store, capsys, tmp_path):
+        segment = v2_store._segments()[0]
+        column = v2_store.segments_dir / segment.name / "unit_id.npy"
+        column.write_bytes(column.read_bytes()[:24])
+        v2_store._segment_cache.clear()
+        v2_store._live_cache = None
+        v2_store.index_path.unlink()  # force the column scan
+        with pytest.raises(CampaignError, match="corrupt, truncated or missing"):
+            v2_store.completed_ids()
+        self.assert_cli_fails(capsys, tmp_path, "store-test", "status", "report")
+
+    def test_marker_row_count_mismatch(self, v2_store, capsys, tmp_path):
+        segment = v2_store._segments()[0]
+        marker_path = v2_store.segments_dir / f"{segment.name}.json"
+        marker = json.loads(marker_path.read_text())
+        marker["n_rows"] += 1
+        marker_path.write_text(json.dumps(marker))
+        v2_store._segment_cache.clear()
+        v2_store._live_cache = None
+        v2_store.index_path.unlink()  # force the column scan
+        with pytest.raises(CampaignError, match="rows"):
+            v2_store.completed_ids()
+        self.assert_cli_fails(capsys, tmp_path, "store-test", "status", "report")
+
+    def test_mixed_version_directory(self, v2_store, capsys, tmp_path, spec):
+        # A v2 manifest over leftover v1 units/ markers: a botched migration.
+        v2_store.units_dir.mkdir(exist_ok=True)
+        (v2_store.units_dir / "deadbeef.json").write_text("{}")
+        with pytest.raises(CampaignError, match="mixes store layouts"):
+            v2_store.completed_ids()
+        self.assert_cli_fails(
+            capsys, tmp_path, "store-test", "status", "report", "migrate"
+        )
+
+    def test_v1_manifest_over_v2_segments(self, spec, tmp_path, capsys):
+        store = CampaignStore.open(spec, tmp_path)
+        store.save(fake_result(spec.expand()[0]))
+        segments = store.directory / "segments"
+        segments.mkdir()
+        (segments / "seg-00000000-feed.json").write_text("{}")
+        self.assert_cli_fails(
+            capsys, tmp_path, "store-test", "status", "report", "migrate"
+        )

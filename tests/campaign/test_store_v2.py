@@ -1,0 +1,299 @@
+"""Property tests for the v2 segmented columnar store, against the v1 oracle.
+
+The v1 store's behaviour is the specification: any history of saves, batch
+saves, torn writes (a crash before the commit marker lands), process
+restarts and compactions must leave a v2 store that reads back exactly what
+the same history leaves in a v1 store — same completed set, bit-identical
+unit payloads, identical status and report documents (modulo the ``store``
+block, which intentionally differs).  A second property drives the v1→v2
+migration tool over random partial campaigns and requires the round trip to
+be invisible to every reader.
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.campaign import (
+    CampaignError,
+    CampaignSpec,
+    CampaignStore,
+    CampaignStoreV2,
+    ChipGroup,
+    UnitResult,
+    build_report,
+    migrate_store,
+    open_store,
+    open_store_for_spec,
+    store_digest,
+)
+
+N_UNITS = 6  # 3 serials x 2 temperatures x 1 pattern
+
+
+def make_spec(name="prop-v2"):
+    return CampaignSpec(
+        name=name,
+        groups=(ChipGroup(platform="ZC702", serials=("s1", "s2", "s3")),),
+        sweep="sweep",
+        temperatures_c=(25.0, 50.0),
+    )
+
+
+def fake_result(unit, index, salt=0):
+    """Deterministic per-unit payload covering the sweep metric columns.
+
+    The array *signature* varies with the index (an extra int column every
+    third unit, a 2-D block every fourth) so batch saves exercise the
+    signature partitioning, and ``salt`` lets a re-save carry a visibly
+    different payload.
+    """
+    rng = np.random.default_rng(1000 * salt + index)
+    arrays = {"voltages_v": rng.random(3 + index % 2)}
+    if index % 3 == 0:
+        arrays["counts"] = np.arange(index + 2, dtype=np.int64)
+    if index % 4 == 0:
+        arrays["grid"] = rng.random((2, index % 3 + 1))
+    return UnitResult(
+        unit=unit,
+        summary={
+            "rate_at_vcrash_per_mbit": 10.0 + index + salt,
+            "power_at_vmin_w": 2.0 - 0.01 * index,
+            "power_at_vcrash_w": 1.5 - 0.01 * index,
+            "nested": {"index": index, "salt": salt},
+        },
+        arrays=arrays,
+    )
+
+
+def assert_stores_equivalent(spec, store1, store2):
+    """Every read path of ``store2`` (v2) agrees with ``store1`` (v1)."""
+    assert store2.completed_ids() == store1.completed_ids()
+    for unit in spec.expand():
+        assert store2.is_complete(unit) == store1.is_complete(unit)
+        if not store1.is_complete(unit):
+            continue
+        a, b = store1.load(unit), store2.load(unit)
+        assert b.unit == a.unit
+        assert b.summary == a.summary
+        assert sorted(b.arrays) == sorted(a.arrays)
+        for name, array in a.arrays.items():
+            assert b.arrays[name].dtype == array.dtype
+            np.testing.assert_array_equal(b.arrays[name], array)
+    status1, status2 = store1.status(spec).to_dict(), store2.status(spec).to_dict()
+    assert status1.pop("store") == {"version": 1}
+    assert status2.pop("store")["version"] == 2
+    assert status2 == status1
+    if store1.completed_ids():
+        report1, report2 = (
+            build_report(store1, spec).to_dict(),
+            build_report(store2, spec).to_dict(),
+        )
+        assert report1.pop("store") == {"version": 1}
+        assert report2.pop("store")["version"] == 2
+        assert json.dumps(report2, sort_keys=True) == json.dumps(
+            report1, sort_keys=True
+        )
+
+
+def torn_write(store1, store2, unit, index):
+    """Crash the same logical write on both stores, before either commits.
+
+    v1: a dangling ``.npz`` with no JSON marker.  v2: segment data on disk
+    with the commit marker removed.  Neither may change what is complete,
+    and a previously committed payload for the unit must survive untouched.
+    """
+    if not store1.is_complete(unit):
+        store1._npz_path(unit.unit_id).write_bytes(b"torn")
+    store2.save(fake_result(unit, index, salt=99))
+    victim = store2._segments()[-1]  # the newest sequence: the save above
+    (store2.segments_dir / f"{victim.name}.json").unlink()
+    store2._live_cache = None
+
+
+_INDEX = st.integers(min_value=0, max_value=N_UNITS - 1)
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("save"), _INDEX),
+        st.tuples(
+            st.just("save_many"),
+            st.lists(_INDEX, min_size=1, max_size=N_UNITS, unique=True),
+        ),
+        st.tuples(st.just("torn"), _INDEX),
+        st.tuples(st.just("compact")),
+        st.tuples(st.just("reopen")),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+class TestV1Oracle:
+    @settings(max_examples=30, deadline=None)
+    @given(ops=_OPS)
+    def test_random_histories_read_back_identically(self, ops):
+        spec = make_spec()
+        units = spec.expand()
+        with tempfile.TemporaryDirectory() as scratch:
+            scratch = Path(scratch)
+            store1 = CampaignStore.open(spec, scratch / "v1")
+            store2 = CampaignStoreV2.open(spec, scratch / "v2")
+            for op in ops:
+                if op[0] == "save":
+                    index = op[1]
+                    store1.save(fake_result(units[index], index))
+                    store2.save(fake_result(units[index], index))
+                elif op[0] == "save_many":
+                    for index in op[1]:
+                        store1.save(fake_result(units[index], index))
+                    store2.save_many(
+                        [fake_result(units[index], index) for index in op[1]]
+                    )
+                elif op[0] == "torn":
+                    torn_write(store1, store2, units[op[1]], op[1])
+                elif op[0] == "compact":
+                    store2.compact()  # pure consolidation: invisible to v1
+                elif op[0] == "reopen":
+                    store1 = open_store(spec.name, scratch / "v1")
+                    store2 = open_store(spec.name, scratch / "v2")
+                    assert isinstance(store2, CampaignStoreV2)
+                assert store2.completed_ids() == store1.completed_ids()
+            assert_stores_equivalent(spec, store1, store2)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        subset=st.lists(_INDEX, min_size=1, max_size=N_UNITS, unique=True),
+        batched=st.booleans(),
+    )
+    def test_migration_round_trip_is_invisible(self, subset, batched):
+        spec = make_spec("prop-migrate")
+        units = spec.expand()
+        with tempfile.TemporaryDirectory() as scratch:
+            scratch = Path(scratch)
+            store1 = CampaignStore.open(spec, scratch)
+            results = [fake_result(units[index], index) for index in subset]
+            for result in results:
+                store1.save(result)
+            digest = store_digest(store1, spec)
+            report_before = build_report(store1, spec).to_dict()
+            report_before.pop("store")
+
+            migration = migrate_store(
+                spec.name, scratch, batch_rows=2 if batched else 4096
+            )
+            assert migration.from_version == 1 and migration.to_version == 2
+            assert migration.n_units == len(subset)
+            assert migration.digest == digest
+
+            store2 = open_store(spec.name, scratch)
+            assert isinstance(store2, CampaignStoreV2)
+            assert store_digest(store2, spec) == digest
+            report_after = build_report(store2, spec).to_dict()
+            assert report_after.pop("store")["version"] == 2
+            assert json.dumps(report_after, sort_keys=True) == json.dumps(
+                report_before, sort_keys=True
+            )
+            # Idempotent: a second migrate is a no-op, not an error.
+            assert migrate_store(spec.name, scratch).already_v2
+
+
+class TestSegmentMechanics:
+    @pytest.fixture
+    def spec(self):
+        return make_spec("mech-v2")
+
+    def test_save_many_partitions_by_array_signature(self, spec, tmp_path):
+        store = CampaignStoreV2.open(spec, tmp_path)
+        units = spec.expand()
+        store.save_many(fake_result(unit, i) for i, unit in enumerate(units))
+        # Signatures along indices 0..5 change at 1, 3, 4, 5 -> 5 runs.
+        assert len(store._segments()) == 5
+        assert store.completed_ids() == tuple(sorted(u.unit_id for u in units))
+
+    def test_save_many_rejects_mixed_sweeps(self, spec, tmp_path):
+        store = CampaignStoreV2.open(spec, tmp_path)
+        other = CampaignSpec(
+            name="mech-v2-other",
+            groups=(ChipGroup(platform="ZC702", serials=("s1",)),),
+            sweep="fvm",
+        )
+        with pytest.raises(CampaignError, match="cannot mix sweep kinds"):
+            store.save_many(
+                [
+                    fake_result(spec.expand()[0], 0),
+                    fake_result(other.expand()[0], 0),
+                ]
+            )
+
+    def test_resave_supersedes_and_survives_compaction(self, spec, tmp_path):
+        store = CampaignStoreV2.open(spec, tmp_path)
+        unit = spec.expand()[0]
+        store.save(fake_result(unit, 0, salt=1))
+        store.save(fake_result(unit, 0, salt=2))
+        assert store.load(unit).summary["nested"]["salt"] == 2
+        counts = store.compact()
+        assert counts["n_segments_before"] == 2
+        assert counts["n_rows"] == 1
+        assert store.load(unit).summary["nested"]["salt"] == 2
+
+    def test_corrupt_or_stale_index_is_rebuilt_silently(self, spec, tmp_path):
+        store = CampaignStoreV2.open(spec, tmp_path)
+        units = spec.expand()
+        store.save_many([fake_result(units[0], 0), fake_result(units[1], 1)])
+        completed = store.completed_ids()
+        store.index_path.write_text("{not json")
+        assert open_store(spec.name, tmp_path).completed_ids() == completed
+        # save() appends without refreshing the index: now stale, still cheap
+        # to detect, and never trusted.
+        store.save(fake_result(units[2], 2))
+        reopened = open_store(spec.name, tmp_path)
+        assert len(reopened.completed_ids()) == 3
+        reopened.write_index()
+        assert json.loads(store.index_path.read_text())["store_version"] == 2
+
+    def test_compact_preserves_the_report(self, spec, tmp_path):
+        store = CampaignStoreV2.open(spec, tmp_path)
+        for index, unit in enumerate(spec.expand()):
+            store.save(fake_result(unit, index))
+        before = build_report(store, spec).to_dict()
+        counts = store.compact()
+        assert counts["n_segments_before"] == len(spec.expand())
+        assert counts["n_segments_after"] < counts["n_segments_before"]
+        after = build_report(open_store(spec.name, tmp_path), spec).to_dict()
+        assert before.pop("store")["n_segments"] != after.pop("store")["n_segments"]
+        assert json.dumps(after, sort_keys=True) == json.dumps(
+            before, sort_keys=True
+        )
+
+
+class TestVersionDispatch:
+    def test_open_store_dispatches_on_manifest(self, tmp_path):
+        spec1, spec2 = make_spec("disp-v1"), make_spec("disp-v2")
+        CampaignStore.open(spec1, tmp_path)
+        CampaignStoreV2.open(spec2, tmp_path)
+        assert open_store("disp-v1", tmp_path).store_version == 1
+        assert open_store("disp-v2", tmp_path).store_version == 2
+        with pytest.raises(CampaignError, match="no campaign manifest"):
+            open_store("missing", tmp_path)
+        probe = open_store("missing", tmp_path, must_exist=False)
+        assert probe.store_version == 1  # the "not started" view
+
+    def test_open_store_for_spec_pins_the_existing_version(self, tmp_path):
+        spec = make_spec("disp-pin")
+        open_store_for_spec(spec, tmp_path, store_version=1)
+        assert open_store_for_spec(spec, tmp_path).store_version == 1
+        with pytest.raises(CampaignError, match="already uses store version"):
+            open_store_for_spec(spec, tmp_path, store_version=2)
+        with pytest.raises(CampaignError, match="unknown store version"):
+            open_store_for_spec(spec, tmp_path, store_version=3)
+
+    def test_fresh_campaign_honours_requested_version(self, tmp_path):
+        spec = make_spec("disp-fresh")
+        store = open_store_for_spec(spec, tmp_path, store_version=2)
+        assert isinstance(store, CampaignStoreV2)
+        assert open_store(spec.name, tmp_path).store_version == 2

@@ -163,11 +163,12 @@ class TestJsonGoldenStructure:
         ]))
         assert set(run) == {
             "name", "spec_hash", "n_units", "n_executed", "n_skipped",
-            "n_workers", "search", "backend", "evaluations",
+            "n_workers", "search", "backend", "store", "evaluations",
             "executed_unit_ids", "governor_bundle",
         }
         assert set(run["backend"]) == self.BACKEND_KEYS
         assert run["backend"]["kind"] == "simulated"
+        assert run["store"] == {"version": 1}
         assert run["n_executed"] == 2
         assert run["governor_bundle"] is None
         assert {
@@ -180,23 +181,61 @@ class TestJsonGoldenStructure:
         ]))
         assert set(status) == {
             "name", "spec_hash", "sweep", "n_units", "n_completed",
-            "n_pending", "complete", "pending_unit_ids",
+            "n_pending", "complete", "store", "pending_unit_ids",
         }
         assert status["complete"] is True
+        assert status["store"] == {"version": 1}
 
         report = strip_timing(run_json(capsys, [
             "campaign", "report", "--name", "cli-golden", "--root", root, "--json",
         ]))
         assert set(report) == {
             "name", "sweep", "spec_hash", "n_units", "n_completed",
-            "complete", "search", "evaluations", "units", "population",
+            "complete", "search", "store", "evaluations", "units", "population",
         }
+        assert report["store"] == {"version": 1}
         assert set(report["population"]) == {"fleet", "by_platform"}
         for row in report["units"]:
             assert {"unit_id", "platform", "serial", "temperature_c", "pattern"} <= set(row)
         for dist in report["population"]["fleet"].values():
             assert {"mean", "median", "min", "max", "std", "n", "p5", "p95",
                     "spread_fraction"} <= set(dist)
+
+
+class TestStoreVersionGoldens:
+    """The same campaign through a v1 and a v2 store yields byte-identical
+    ``--json`` documents (modulo the ``store`` block), pinned as goldens."""
+
+    def documents(self, capsys, tmp_path, version):
+        root = str(tmp_path / f"v{version}")
+        run_json(capsys, [
+            "campaign", "run", "--preset", "fleet16-fast", "--root", root,
+            "--store-version", str(version), "--json",
+        ])
+        report = strip_timing(run_json(capsys, [
+            "campaign", "report", "--name", "fleet16-fast", "--root", root,
+            "--json",
+        ]))
+        runtime = strip_timing(run_json(capsys, [
+            "runtime", "run", "--campaign", "fleet16-fast", "--root", root,
+            "--json",
+        ]))
+        return report, runtime
+
+    def test_v2_documents_match_the_v1_goldens(self, capsys, tmp_path, golden):
+        report_v1, runtime_v1 = self.documents(capsys, tmp_path, 1)
+        report_v2, runtime_v2 = self.documents(capsys, tmp_path, 2)
+        assert report_v1.pop("store") == {"version": 1}
+        store_block = report_v2.pop("store")
+        assert store_block["version"] == 2 and store_block["n_segments"] >= 1
+        assert json.dumps(report_v2, sort_keys=True) == json.dumps(
+            report_v1, sort_keys=True
+        )
+        assert json.dumps(runtime_v2, sort_keys=True) == json.dumps(
+            runtime_v1, sort_keys=True
+        )
+        golden("campaign_report_fleet16_fast", report_v1)
+        golden("runtime_run_campaign_fleet16_fast", runtime_v1)
 
 
 class TestTimingSegregation:
