@@ -1,0 +1,233 @@
+"""Figs. 1 & 3 at population scale — the discrete-event simulation core is
+bit-identical to the stepped fleet simulator and >= 100x faster per
+simulated device-second, carrying the runtime governor comparison from the
+16-chip fleet to one million synthetic dies.
+
+Acceptance benchmark for :mod:`repro.runtime.event_core` and
+:mod:`repro.runtime.fleetscale`.  Two claims, two fleets:
+
+* **identity** (always runs) — on the 16-chip acceptance fleet (8 ZC702 +
+  8 KC705-A, ICBP-placed accelerators, diurnal trace) every one of the
+  four governor policies produces a telemetry digest through the event
+  core that is bit-identical to the stepped reference loop, and sharding
+  the event core over worker processes leaves every digest unchanged.
+  The same holds for the synthetic-fleet engine against its own per-die
+  per-step reference.
+* **throughput** (marked ``slow``; CI always runs it) — on a sparse
+  diurnal trace (piecewise-constant 30-step epochs, one simulated day),
+  the event engine simulates >= 100x more device-seconds per wall-second
+  than the stepped reference at 100k dies for every policy, with the
+  curve extended to 1M dies and a simulated month.
+"""
+
+import time
+
+import pytest
+
+from conftest import run_once, save_report
+from repro.analysis import ExperimentReport
+from repro.fpga.platform import FpgaChip, fleet_serials
+from repro.nn import (
+    QuantizedNetwork,
+    SCALED_TOPOLOGY,
+    TrainingConfig,
+    synthetic_mnist,
+    train_network,
+)
+from repro.runtime import (
+    FleetSimulator,
+    GovernorBundle,
+    POLICY_NAMES,
+    diurnal_trace,
+    sparse_diurnal_trace,
+)
+from repro.runtime.fleetscale import (
+    SyntheticFleet,
+    SyntheticFleetSpec,
+    simulate_fleet,
+)
+
+#: Acceptance floor: simulated device-seconds per wall-second, event core
+#: over stepped reference, at the 100k-die point.
+REQUIRED_SPEEDUP = 100.0
+
+#: Fleet shape of the identity run (the fleet16 campaign preset).
+FLEET = (("ZC702", 8), ("KC705-A", 8))
+
+#: Identity-run horizon (steps of the diurnal trace).
+N_STEPS = 400
+
+#: Stepped-reference subset for throughput baselines: per-device rates are
+#: size-independent, so the reference is timed on a fleet it can finish.
+REFERENCE_DIES = 400
+
+
+def _rate(n_dies, trace, elapsed_s):
+    """Simulated device-seconds per wall-second."""
+    return n_dies * trace.duration_s / max(elapsed_s, 1e-9)
+
+
+@pytest.mark.benchmark(group="event-sim")
+def test_event_core_fleet16_identity(benchmark):
+    def body():
+        report = ExperimentReport(
+            "event_sim_identity",
+            "discrete-event core vs stepped simulator, 16-chip fleet",
+        )
+        chips = [
+            FpgaChip.build(platform, serial=serial)
+            for platform, n_chips in FLEET
+            for serial in fleet_serials(platform, n_chips)
+        ]
+        bundle = GovernorBundle.from_chips(chips)
+        dataset = synthetic_mnist(n_train=500, n_test=200)
+        trained = train_network(
+            dataset, topology=SCALED_TOPOLOGY, config=TrainingConfig(seed=3)
+        )
+        network = QuantizedNetwork.from_network(trained.network)
+        trace = diurnal_trace(n_steps=N_STEPS, seed=7)
+        simulator = FleetSimulator(bundle, network, trace)
+
+        section = report.new_section(
+            "telemetry digests, event core vs stepped reference",
+            ["policy", "identical", "sharded x4 identical",
+             "event (s)", "stepped (s)"],
+        )
+        for policy in POLICY_NAMES:
+            t0 = time.perf_counter()
+            event_log = simulator.run_event(policy)
+            t1 = time.perf_counter()
+            stepped_log = simulator.run_stepped(policy)
+            t2 = time.perf_counter()
+            sharded_log = simulator.run_event(
+                policy, scheduler="process", jobs=4
+            )
+            identical = event_log.digest() == stepped_log.digest()
+            sharded = sharded_log.digest() == event_log.digest()
+            assert identical, f"{policy}: event core diverged from stepped"
+            assert sharded, f"{policy}: sharded merge changed the digest"
+            section.add_row(
+                policy, identical, sharded,
+                round(t1 - t0, 3), round(t2 - t1, 3),
+            )
+        section.add_note(
+            f"{len(chips)}-chip fleet, {N_STEPS}-step diurnal trace; digests "
+            "are SHA-256 over the canonical telemetry document."
+        )
+        save_report(report)
+        return report
+
+    run_once(benchmark, body)
+
+
+@pytest.mark.benchmark(group="event-sim")
+def test_fleetscale_identity(benchmark):
+    def body():
+        report = ExperimentReport(
+            "event_sim_scale_identity",
+            "synthetic-fleet event engine vs per-die-per-step reference",
+        )
+        fleet = SyntheticFleet.draw(SyntheticFleetSpec(n_dies=300, seed=11))
+        trace = sparse_diurnal_trace(n_steps=240, seed=5)
+        section = report.new_section(
+            "population digests, event engine vs stepped reference",
+            ["policy", "identical", "1 vs 4 workers identical", "crash steps"],
+        )
+        for policy in POLICY_NAMES:
+            event = simulate_fleet(fleet, trace, policy, core="event")
+            stepped = simulate_fleet(fleet, trace, policy, core="stepped")
+            sharded = simulate_fleet(
+                fleet, trace, policy, core="event",
+                scheduler="process", jobs=4,
+            )
+            identical = event.digest() == stepped.digest()
+            deterministic = sharded.digest() == event.digest()
+            assert identical, f"{policy}: scale engine diverged from reference"
+            assert deterministic, f"{policy}: worker count changed the digest"
+            section.add_row(
+                policy, identical, deterministic,
+                event.totals()["crash_steps"],
+            )
+        section.add_note(
+            "300 synthetic dies incl. drifted and crash-first "
+            "subpopulations; sparse diurnal trace, 30-step epochs."
+        )
+        save_report(report)
+        return report
+
+    run_once(benchmark, body)
+
+
+@pytest.mark.slow
+@pytest.mark.benchmark(group="event-sim")
+def test_event_sim_throughput_curve(benchmark):
+    def body():
+        report = ExperimentReport(
+            "event_sim_throughput",
+            "event-engine throughput, 100k to 1M synthetic dies",
+        )
+        trace = sparse_diurnal_trace(n_steps=720)
+        reference = SyntheticFleet.draw(
+            SyntheticFleetSpec(n_dies=REFERENCE_DIES, seed=11)
+        )
+        baseline_rates = {}
+        for policy in ("static-undervolt", "reactive", "predictive"):
+            t0 = time.perf_counter()
+            simulate_fleet(reference, trace, policy, core="stepped")
+            baseline_rates[policy] = _rate(
+                REFERENCE_DIES, trace, time.perf_counter() - t0
+            )
+
+        section = report.new_section(
+            "simulated device-seconds per wall-second (sparse diurnal day)",
+            ["dies", "policy", "event rate", "stepped rate", "speedup",
+             "wall (s)"],
+        )
+        curve = [
+            (100_000, ("static-undervolt", "reactive", "predictive")),
+            (1_000_000, ("static-undervolt", "predictive")),
+        ]
+        for n_dies, policies in curve:
+            fleet = SyntheticFleet.draw(
+                SyntheticFleetSpec(n_dies=n_dies, seed=11)
+            )
+            for policy in policies:
+                t0 = time.perf_counter()
+                simulate_fleet(fleet, trace, policy, core="event")
+                elapsed = time.perf_counter() - t0
+                event_rate = _rate(n_dies, trace, elapsed)
+                speedup = event_rate / baseline_rates[policy]
+                if n_dies == 100_000:
+                    assert speedup >= REQUIRED_SPEEDUP, (
+                        f"{policy} at {n_dies} dies: {speedup:.0f}x < "
+                        f"{REQUIRED_SPEEDUP:.0f}x"
+                    )
+                section.add_row(
+                    n_dies, policy, f"{event_rate:.2e}",
+                    f"{baseline_rates[policy]:.2e}",
+                    f"{speedup:.0f}x", round(elapsed, 2),
+                )
+        section.add_note(
+            "Stepped rates timed on a 400-die subset (per-device rates are "
+            "size-independent); speedup asserted >= "
+            f"{REQUIRED_SPEEDUP:.0f}x at the 100k-die points."
+        )
+
+        month = report.new_section(
+            "simulated month at 100k dies (21600 steps)",
+            ["policy", "event rate", "wall (s)"],
+        )
+        long_trace = sparse_diurnal_trace(n_steps=21_600, period_steps=720)
+        fleet = SyntheticFleet.draw(SyntheticFleetSpec(n_dies=100_000, seed=11))
+        for policy in ("static-undervolt", "predictive"):
+            t0 = time.perf_counter()
+            simulate_fleet(fleet, long_trace, policy, core="event")
+            elapsed = time.perf_counter() - t0
+            month.add_row(
+                policy, f"{_rate(100_000, long_trace, elapsed):.2e}",
+                round(elapsed, 2),
+            )
+        save_report(report)
+        return report
+
+    run_once(benchmark, body)

@@ -14,6 +14,7 @@ is the reproduced numbers, not micro-timings.
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
@@ -32,6 +33,33 @@ from repro.nn import (
 )
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    # Same switch tests/conftest.py registers; guarded so a combined
+    # ``pytest tests benchmarks`` invocation loads both conftests cleanly.
+    try:
+        parser.addoption(
+            "--run-slow",
+            action="store_true",
+            default=False,
+            help="run the fleet-scale benchmarks marked 'slow' "
+            "(CI always runs them)",
+        )
+    except ValueError:
+        pass
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-slow") or os.environ.get("CI"):
+        return
+    skip_slow = pytest.mark.skip(
+        reason="fleet-scale benchmark; opt in with --run-slow "
+        "(CI always runs it)"
+    )
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 def save_report(report: ExperimentReport) -> str:

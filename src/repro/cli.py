@@ -110,6 +110,34 @@ def _add_search_argument(parser: argparse.ArgumentParser, default: Optional[str]
     )
 
 
+def _add_sim_core_arguments(
+    parser: argparse.ArgumentParser, jobs_flag: bool = True
+) -> None:
+    """The fleet-simulation core knobs: ``--sim-core`` and ``--sim-jobs``.
+
+    Choices mirror :data:`repro.runtime.simulator.SIM_CORES` (spelled out
+    here so parser construction stays clear of the NN/accelerator import
+    chain).  Both cores produce bit-identical telemetry; ``stepped`` is
+    the reference loop kept as the event core's identity oracle.
+    """
+    parser.add_argument(
+        "--sim-core",
+        choices=["event", "stepped"],
+        default="event",
+        help="fleet-simulation core: the discrete-event core (default) or "
+        "the stepped reference loop (bit-identical, slower)",
+    )
+    if jobs_flag:
+        parser.add_argument(
+            "--sim-jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="shard the event core's per-die walks over N worker "
+            "processes (telemetry digests are identical for any N)",
+        )
+
+
 def _add_backend_arguments(
     parser: argparse.ArgumentParser,
     default: str = "serial",
@@ -328,6 +356,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the run's full telemetry document to this JSON file "
         "(readable by 'runtime report')",
     )
+    _add_sim_core_arguments(run_rt)
+
+    scale_rt = runtime_sub.add_parser(
+        "scale",
+        help="population-scale governor comparison on a synthetic die fleet",
+    )
+    _add_platform_argument(scale_rt)
+    _add_json_argument(scale_rt)
+    _add_backend_arguments(scale_rt)
+    scale_rt.add_argument(
+        "--dies", type=int, default=10_000, help="synthetic fleet size"
+    )
+    scale_rt.add_argument(
+        "--fleet-seed",
+        type=int,
+        default=2026,
+        help="seed of the calibrated population draw",
+    )
+    scale_rt.add_argument(
+        "--policy",
+        choices=list(POLICY_NAMES) + ["all"],
+        default="all",
+        help="governor policy to simulate ('all' compares every policy)",
+    )
+    scale_rt.add_argument(
+        "--trace",
+        choices=list(TRACE_KINDS),
+        default="sparse-diurnal",
+        help="workload trace family (see docs/runtime.md)",
+    )
+    scale_rt.add_argument(
+        "--steps", type=int, default=720, help="simulation steps"
+    )
+    scale_rt.add_argument("--seed", type=int, default=7, help="trace seed")
+    scale_rt.add_argument(
+        "--capacity-rps",
+        type=float,
+        default=150.0,
+        help="per-die serving capacity in requests per second",
+    )
+    scale_rt.add_argument(
+        "--load-scale",
+        type=float,
+        default=None,
+        metavar="X",
+        help="multiply the trace's fleet-wide request rates by X "
+        "(default: dies/16, keeping per-die load at the 16-chip "
+        "study's level)",
+    )
+    _add_sim_core_arguments(scale_rt, jobs_flag=False)
 
     report_rt = runtime_sub.add_parser(
         "report", help="summarize a saved runtime telemetry document"
@@ -884,9 +962,16 @@ def _cmd_runtime_run(args: argparse.Namespace) -> int:
         trace,
         icbp=not args.no_icbp,
         capacity_rps=args.capacity_rps,
+        core=args.sim_core,
     )
     policies = list(POLICY_NAMES) if args.policy == "all" else [args.policy]
-    logs = simulator.run_policies(policies)
+    if args.sim_jobs < 1:
+        raise ExecError("--sim-jobs must be at least 1")
+    logs = simulator.run_policies(
+        policies,
+        scheduler="process" if args.sim_jobs > 1 else "serial",
+        jobs=args.sim_jobs,
+    )
 
     if args.save:
         document = {
@@ -990,9 +1075,122 @@ def _cmd_runtime_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_runtime_scale(args: argparse.Namespace) -> int:
+    # Lazy import: the population engine only needs numpy + the core
+    # calibration, but it lives beside the full runtime stack.
+    from dataclasses import replace
+
+    import numpy as np
+
+    from repro.runtime.fleetscale import (
+        FleetScaleError,
+        SyntheticFleet,
+        SyntheticFleetSpec,
+        guardband_floor_energy_j,
+        nominal_energy_j,
+        simulate_policies,
+    )
+    from repro.runtime.workload import build_trace
+
+    trace = build_trace(args.trace, n_steps=args.steps, seed=args.seed)
+    load_scale = args.dies / 16.0 if args.load_scale is None else args.load_scale
+    if load_scale <= 0:
+        raise FleetScaleError("--load-scale must be positive")
+    trace = replace(
+        trace,
+        requests=np.rint(trace.requests * load_scale).astype(np.int64),
+    )
+    fleet = SyntheticFleet.draw(
+        SyntheticFleetSpec(
+            n_dies=args.dies, platform=args.platform, seed=args.fleet_seed
+        )
+    )
+    jobs = _resolved_jobs(args)
+    policies = list(POLICY_NAMES) if args.policy == "all" else [args.policy]
+    results = simulate_policies(
+        fleet,
+        trace,
+        policies,
+        capacity_rps=args.capacity_rps,
+        core=args.sim_core,
+        scheduler=args.backend,
+        jobs=jobs,
+    )
+
+    nominal = nominal_energy_j(fleet, trace)
+    floor = guardband_floor_energy_j(fleet, trace)
+    span = max(nominal - floor, 1e-12)
+    policy_block = {}
+    for name, result in results.items():
+        totals = result.totals()
+        policy_block[name] = {
+            **totals,
+            "guardband_recovered_fraction": round(
+                (nominal - totals["energy_j"]) / span, 6
+            ),
+            "digest": result.digest(),
+        }
+    device_seconds = args.dies * trace.duration_s
+    payload = {
+        "fleet": {
+            "n_dies": args.dies,
+            "platform": args.platform,
+            "seed": args.fleet_seed,
+            "drifted_dies": int(np.sum(fleet.true_vcrash_v > fleet.vmin_v)),
+            "crash_first_dies": int(
+                np.sum(fleet.max_threshold_v < fleet.true_vcrash_v)
+            ),
+        },
+        "trace": {**trace.to_dict(), "load_scale": load_scale},
+        "backend": _backend_block("synthetic-fleet", args.backend, jobs),
+        "core": args.sim_core,
+        "device_seconds": device_seconds,
+        "baselines": {
+            "nominal_energy_j": round(nominal, 9),
+            "guardband_floor_energy_j": round(floor, 9),
+        },
+        "policies": policy_block,
+    }
+    if args.json:
+        elapsed = (
+            1e-9 if _COMMAND_T0 is None
+            else max(1e-9, time.perf_counter() - _COMMAND_T0)
+        )
+        _emit_json(
+            payload,
+            device_seconds_per_s=round(
+                len(results) * device_seconds / elapsed, 3
+            ),
+        )
+        return 0
+    rows = [
+        (
+            name,
+            row["energy_j"],
+            100.0 * row["guardband_recovered_fraction"],
+            row["faulty_inferences"],
+            row["slo_violations"],
+            row["crash_steps"],
+            row["n_actuations"],
+        )
+        for name, row in policy_block.items()
+    ]
+    print(render_table(
+        ["policy", "energy (J)", "guardband recovered %", "faulty inferences",
+         "SLO violations", "crash steps", "actuations"],
+        rows,
+        title=(
+            f"Population governor comparison: {args.dies} dies, "
+            f"{trace.n_steps}-step {trace.kind} trace ({args.sim_core} core)"
+        ),
+    ))
+    return 0
+
+
 _RUNTIME_COMMANDS = {
     "run": _cmd_runtime_run,
     "report": _cmd_runtime_report,
+    "scale": _cmd_runtime_scale,
 }
 
 
@@ -1011,6 +1209,7 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
     except (
         CampaignError,
         CharacterizationError,
+        ExecError,
         GovernorError,
         PlatformError,
         SimulationError,

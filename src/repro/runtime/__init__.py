@@ -37,7 +37,22 @@ from .governor import (
     build_policy,
     ceil_to_resolution,
 )
-from .simulator import FleetChip, FleetSimulator, ServingModel, SimulationError
+from .event_core import (
+    DieTimeline,
+    chamber_temperature_path,
+    merge_timelines,
+    serving_phase,
+    transient_steps,
+)
+from .simulator import (
+    SIM_CORES,
+    FleetChip,
+    FleetSimulator,
+    ServingModel,
+    SimulationError,
+    compile_accelerator,
+    validate_core,
+)
 from .telemetry import TELEMETRY_VERSION, TelemetryError, TelemetryLog
 from .workload import (
     TRACE_KINDS,
@@ -47,12 +62,14 @@ from .workload import (
     build_trace,
     burst_trace,
     diurnal_trace,
+    sparse_diurnal_trace,
 )
 
 __all__ = [
     "BUNDLE_FILENAME",
     "CharacterizationError",
     "DieCharacterization",
+    "DieTimeline",
     "FleetChip",
     "FleetSimulator",
     "GovernorBundle",
@@ -63,6 +80,7 @@ __all__ = [
     "POLICY_NAMES",
     "PredictiveItdPolicy",
     "ReactiveBackoffPolicy",
+    "SIM_CORES",
     "ServingModel",
     "SimulationError",
     "StaticNominalPolicy",
@@ -80,7 +98,14 @@ __all__ = [
     "bundle_path",
     "burst_trace",
     "ceil_to_resolution",
+    "chamber_temperature_path",
     "characterize_die",
+    "compile_accelerator",
     "diurnal_trace",
+    "merge_timelines",
+    "serving_phase",
+    "sparse_diurnal_trace",
+    "transient_steps",
+    "validate_core",
     "write_governor_bundle",
 ]

@@ -1,0 +1,490 @@
+"""The discrete-event fleet simulation core.
+
+The stepped :class:`~repro.runtime.simulator.FleetSimulator` loop ticks
+every die at every step, so wall-clock grows with ``fleet x steps``
+regardless of *activity* — a diurnal trace where nothing changes for hours
+burns the same compute as a fault storm.  This module is the classic
+discrete-event refactor of that loop: per die, a ``heapq``-scheduled event
+queue of
+
+* **governor wakeups** — the policy-declared re-evaluation points
+  (:class:`~repro.runtime.governor.GovernorPolicy` event-scheduling
+  contract), including the reactive controller's fault-onset and
+  downward-creep events;
+* **heat-chamber transient crossings** — steps where the shared ramp-limited
+  temperature path actually changes (subscribed only by
+  temperature-sensitive policies);
+* **crash/recovery completions** — the step a rebooted board re-enters
+  governor control;
+
+is drained in step order, and everything *between* two events — fault-bit
+counting over the whole constant-setpoint window, request splitting, power
+— is computed vectorized (fault bits reuse the one-``searchsorted``
+:class:`~repro.runtime.simulator.ServingModel` path over the window's
+effective-voltage array; workload-epoch boundaries fall out of the batched
+serving phase, which never needs per-step Python).
+
+Identity guarantee
+------------------
+The event core is *bit-identical* to the stepped loop, not approximately
+equal: it calls the same :class:`~repro.fpga.voltage.VoltageRail`
+quantization, the same policy ``target_voltage`` arithmetic at every step
+the stepped loop would have observed a state change, the same
+ITD/ripple/threshold float expressions (element-wise, in the same
+operation order), and the same integer load-balancing formulas — so
+:meth:`TelemetryLog.digest` matches the stepped simulator exactly for any
+(bundle, network, trace, policy) input.  ``tests/runtime/test_event_core.py``
+enforces this property against the stepped oracle.
+
+Cross-die structure
+-------------------
+Dies interact only *downstream* of voltage/fault state (load balancing and
+energy never feed back into the governor), so the event walk runs per die
+(phase 1) and the serving phase (phase 2) is one vectorized pass over crash
+-pattern segments.  That factoring is also what makes process sharding
+trivially deterministic: phase 1 shards over
+:class:`repro.exec.WorkScheduler` with results keyed by die index, and the
+merge sorts by that key, so the telemetry digest is independent of worker
+count and completion order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.batch import cached_fault_field, power_curve
+from repro.fpga.platform import FpgaChip
+from repro.fpga.voltage import VCCBRAM, VoltageError, VoltageRail
+from repro.harness.environment import HeatChamber
+from repro.harness.pmbus import PmbusError
+
+from .characterization import DieCharacterization
+from .governor import GovernorObservation, GovernorPolicy, build_policy
+from .telemetry import TelemetryLog
+from .workload import WorkloadTrace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .simulator import FleetSimulator
+
+#: Event kinds, in tie-break priority order at equal steps.  Coinciding
+#: events (a recovery completing exactly on a transient crossing) collapse
+#: into a single governor evaluation.
+EVENT_WAKEUP = 0
+EVENT_TRANSIENT = 1
+
+
+class _ThermalStub:
+    """Minimal chip stand-in driving one shared :class:`HeatChamber`.
+
+    The chamber only reads and writes ``board_temperature_c``; replaying
+    its exact ramp arithmetic against this stub yields the one temperature
+    path every board in the fleet follows (they all start at the trace's
+    initial ambient and receive identical setpoints).
+    """
+
+    __slots__ = ("board_temperature_c",)
+
+    def __init__(self, start_c: float) -> None:
+        self.board_temperature_c = float(start_c)
+
+    def set_temperature(self, celsius: float) -> None:
+        self.board_temperature_c = float(celsius)
+
+
+def chamber_temperature_path(trace: WorkloadTrace) -> np.ndarray:
+    """The fleet-shared board-temperature path, computed once per trace.
+
+    Bit-identical to what every per-chip :class:`HeatChamber` in the
+    stepped loop produces: same starting point (the trace's initial
+    ambient), same ``set_temperature``/``settle(max_steps=1)`` call pair
+    per step, same ramp clamp arithmetic.
+    """
+    stub = _ThermalStub(float(trace.ambient_c[0]))
+    chamber = HeatChamber(stub)  # type: ignore[arg-type]
+    temps = np.empty(trace.n_steps)
+    for step in range(trace.n_steps):
+        chamber.set_temperature(float(trace.ambient_c[step]))
+        chamber.settle(max_steps=1)
+        temps[step] = stub.board_temperature_c
+    return temps
+
+
+def transient_steps(temps: np.ndarray) -> np.ndarray:
+    """Steps where the shared temperature path changes (crossing events)."""
+    if temps.size < 2:
+        return np.empty(0, dtype=np.int64)
+    return (np.nonzero(temps[1:] != temps[:-1])[0] + 1).astype(np.int64)
+
+
+@dataclass
+class DieTimeline:
+    """Phase-1 output for one die: its full per-step control history."""
+
+    index: int
+    voltages_v: np.ndarray
+    crashed: np.ndarray
+    fault_bits: np.ndarray
+    n_actuations: int
+
+
+def simulate_die(
+    index: int,
+    die: DieCharacterization,
+    policy: GovernorPolicy,
+    thresholds_v: np.ndarray,
+    ripple_v: np.ndarray,
+    itd_v_per_degc: float,
+    itd_reference_c: float,
+    vcrash_true_v: float,
+    temps: np.ndarray,
+    t_events: np.ndarray,
+    crash_recovery_steps: int,
+) -> DieTimeline:
+    """Walk one die's event queue over the whole trace (phase 1).
+
+    Exactly reproduces the stepped loop's per-die semantics: governor
+    evaluation with the real policy object and a real
+    :class:`VoltageRail` (same quantization/limits), actuation counting
+    before the crash check, the ``R+1``-step crash span at nominal with
+    ``faults_last_step`` cleared on resume, and per-step fault bits from
+    ``effective = (applied + itd_shift) + ripple`` — evaluated as one
+    ``searchsorted`` over each constant-setpoint window.
+    """
+    n_steps = temps.size
+    rail = VoltageRail(name=VCCBRAM)
+    voltages = np.zeros(n_steps)
+    crashed = np.zeros(n_steps, dtype=np.int64)
+    fault_bits = np.zeros(n_steps, dtype=np.int64)
+    n_actuations = 0
+    faults_prev = 0
+    # Element-wise identical to the stepped scalar ITD expression
+    # ``v + v_per_degc * (T - reference)`` applied per step.
+    shift = itd_v_per_degc * (temps - itd_reference_c)
+
+    heap: List[Tuple[int, int]] = [(0, EVENT_WAKEUP)]
+    if policy.wakes_on_temperature or policy.wakes_every_step:
+        for step in t_events:
+            heapq.heappush(heap, (int(step), EVENT_TRANSIENT))
+    filled_until = 0
+
+    while heap:
+        step, _kind = heapq.heappop(heap)
+        if step >= n_steps:
+            break
+        if step < filled_until:
+            continue  # stale: the step was covered by a crash span/window
+        while heap and heap[0][0] == step:
+            heapq.heappop(heap)  # coinciding events: one evaluation
+
+        # --- governor evaluation at `step` (same arithmetic as the
+        # stepped VoltageGovernor.step + PmbusAdapter.vout_command) ---
+        observation = GovernorObservation(
+            step=step,
+            temperature_c=float(temps[step]),
+            faults_last_step=faults_prev,
+            setpoint_v=rail.setpoint_v,
+        )
+        target = policy.target_voltage(die, observation)
+        if abs(target - observation.setpoint_v) > 1e-9:
+            n_actuations += 1
+            try:
+                applied = rail.set(target)
+            except VoltageError as exc:
+                raise PmbusError(str(exc)) from exc
+        else:
+            applied = rail.setpoint_v
+
+        if applied < vcrash_true_v - 1e-9:
+            # Crash: the actuation step plus the recovery window all read
+            # crashed at nominal; the governor resumes with a clean slate.
+            rail.reset()
+            policy.notify_crash(die)
+            end = min(n_steps, step + crash_recovery_steps + 1)
+            crashed[step:end] = 1
+            voltages[step:end] = rail.setpoint_v
+            faults_prev = 0
+            filled_until = end
+            heapq.heappush(heap, (end, EVENT_WAKEUP))
+            continue
+
+        # --- window end: the next scheduled event bounds the constant-
+        # setpoint window this evaluation opens ---
+        end = min(heap[0][0], n_steps) if heap else n_steps
+        if policy.wakes_every_step:
+            end = min(end, step + 1)
+        if abs(target - rail.setpoint_v) > 1e-9:
+            # The regulator could not realize the target exactly: the
+            # stepped loop would re-actuate next step, so wake densely.
+            end = min(end, step + 1)
+
+        window = (applied + shift[step:end]) + ripple_v[step:end]
+        bits = (
+            thresholds_v.size
+            - np.searchsorted(thresholds_v, window, side="right")
+        ).astype(np.int64)
+
+        if policy.wakes_on_faults:
+            fault_positions = np.nonzero(bits > 0)[0]
+            cut = end
+            if fault_positions.size:
+                # A fault at step f is observed by the evaluation at f+1.
+                cut = min(cut, step + int(fault_positions[0]) + 1)
+            state_in = policy.steps_until_state_event(die)
+            if state_in is not None:
+                cut = min(cut, step + int(state_in))
+            if cut < end:
+                end = cut
+                bits = bits[: end - step]
+
+        voltages[step:end] = applied
+        fault_bits[step:end] = bits
+        faults_prev = int(bits[-1])
+        policy.advance_clean(die, end - step - 1)
+        filled_until = end
+        heapq.heappush(heap, (end, EVENT_WAKEUP))
+
+    return DieTimeline(
+        index=index,
+        voltages_v=voltages,
+        crashed=crashed,
+        fault_bits=fault_bits,
+        n_actuations=n_actuations,
+    )
+
+
+def serving_phase(
+    crashed: np.ndarray,
+    fault_bits: np.ndarray,
+    requests: np.ndarray,
+    capacity_per_step: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized load balancing and fault accounting (phase 2).
+
+    Splits each step's arrivals over the operational chips with the same
+    integer base/remainder formula as the stepped loop, batched over every
+    segment where the fleet's crash pattern is constant (workload-epoch
+    boundaries need no events here — the request axis is vectorized).
+    """
+    n_chips, n_steps = crashed.shape
+    assigned = np.zeros((n_chips, n_steps), dtype=np.int64)
+    requests = np.asarray(requests, dtype=np.int64)
+
+    if n_steps:
+        pattern_changed = np.any(crashed[:, 1:] != crashed[:, :-1], axis=0)
+        bounds = np.concatenate(
+            ([0], np.nonzero(pattern_changed)[0] + 1, [n_steps])
+        )
+        for start, stop in zip(bounds[:-1], bounds[1:]):
+            operational = np.nonzero(crashed[:, start] == 0)[0]
+            if operational.size == 0:
+                continue
+            m = operational.size
+            arrivals = requests[start:stop]
+            base = arrivals // m
+            remainder = arrivals - base * m
+            positions = np.arange(m, dtype=np.int64)
+            assigned[np.ix_(operational, np.arange(start, stop))] = base[
+                None, :
+            ] + (positions[:, None] < remainder[None, :])
+
+    served = np.minimum(assigned, np.int64(capacity_per_step))
+    faulty = np.where(fault_bits > 0, served, np.int64(0))
+    return assigned, served, faulty
+
+
+# ----------------------------------------------------------------------
+# Driving a FleetSimulator's fleet through the event core
+# ----------------------------------------------------------------------
+def run_event(
+    simulator: "FleetSimulator",
+    policy: "str | GovernorPolicy",
+    scheduler: str = "serial",
+    jobs: int = 1,
+) -> TelemetryLog:
+    """Run one policy over a simulator's fleet on the event core.
+
+    ``scheduler``/``jobs`` shard phase 1 (the per-die event walks) over
+    :class:`repro.exec.WorkScheduler`; phases are merged by die index, so
+    the telemetry — and its digest — is identical in every mode.
+    """
+    if isinstance(policy, str):
+        policy = build_policy(policy)
+    policy.reset()
+    timelines, temps = die_timelines(simulator, policy, scheduler, jobs)
+    return merge_timelines(simulator, policy, timelines, temps=temps)
+
+
+def die_timelines(
+    simulator: "FleetSimulator",
+    policy: GovernorPolicy,
+    scheduler: str = "serial",
+    jobs: int = 1,
+) -> "Tuple[List[DieTimeline], np.ndarray]":
+    """Phase 1 alone: one :class:`DieTimeline` per fleet chip, plus the
+    shared temperature path.  ``policy`` must already be built and reset;
+    the returned timelines may be merged in any order
+    (:func:`merge_timelines` sorts by die index).
+    """
+    from repro.exec import WorkScheduler
+
+    trace = simulator.trace
+
+    temps = chamber_temperature_path(trace)
+    t_events = transient_steps(temps)
+
+    work = WorkScheduler(scheduler=scheduler, jobs=jobs)
+    if work.is_serial:
+        timelines = []
+        for index, fleet_chip in enumerate(simulator.fleet):
+            die = simulator.bundle.get(*fleet_chip.key)
+            itd = fleet_chip.fault_field.itd
+            timelines.append(
+                simulate_die(
+                    index=index,
+                    die=die,
+                    policy=policy,
+                    thresholds_v=fleet_chip.serving.thresholds_v,
+                    ripple_v=fleet_chip.ripple_v,
+                    itd_v_per_degc=itd.v_per_degc,
+                    itd_reference_c=itd.reference_c,
+                    vcrash_true_v=fleet_chip.fault_field.calibration.vcrash_bram_v,
+                    temps=temps,
+                    t_events=t_events,
+                    crash_recovery_steps=simulator.crash_recovery_steps,
+                )
+            )
+    else:
+        tasks = [
+            (
+                index,
+                fleet_chip.chip.spec.name,
+                fleet_chip.chip.spec.serial_number,
+                simulator.bundle.get(*fleet_chip.key),
+                policy,
+                simulator.network,
+                trace,
+                simulator.icbp,
+                simulator.compile_seed,
+                simulator.crash_recovery_steps,
+                temps,
+                t_events,
+            )
+            for index, fleet_chip in enumerate(simulator.fleet)
+        ]
+        timelines = work.map_tasks(_simulate_die_by_identity, tasks)
+
+    return timelines, temps
+
+
+def merge_timelines(
+    simulator: "FleetSimulator",
+    policy: GovernorPolicy,
+    timelines: List[DieTimeline],
+    temps: Optional[np.ndarray] = None,
+) -> TelemetryLog:
+    """Assemble telemetry from per-die timelines, in any submission order.
+
+    Timelines are keyed and sorted by die index before any array is built,
+    so the resulting log (and digest) is independent of the order workers
+    completed or returned them — the same invariance the exec-layer
+    scheduling tests enforce.
+    """
+    trace = simulator.trace
+    n_chips, n_steps = len(simulator.fleet), trace.n_steps
+    by_index = {timeline.index: timeline for timeline in timelines}
+    if len(by_index) != n_chips or set(by_index) != set(range(n_chips)):
+        raise ValueError("phase-1 timelines do not cover the fleet exactly")
+    ordered = [by_index[index] for index in range(n_chips)]
+
+    if temps is None:
+        temps = chamber_temperature_path(trace)
+    voltages = np.stack([timeline.voltages_v for timeline in ordered])
+    crashed = np.stack([timeline.crashed for timeline in ordered])
+    fault_bits = np.stack([timeline.fault_bits for timeline in ordered])
+    temperatures = np.tile(temps, (n_chips, 1))
+    n_actuations = sum(timeline.n_actuations for timeline in ordered)
+
+    assigned, served, faulty = serving_phase(
+        crashed, fault_bits, trace.requests, simulator.capacity_per_step
+    )
+
+    power = np.zeros((n_chips, n_steps))
+    for index, fleet_chip in enumerate(simulator.fleet):
+        power[index] = power_curve(
+            fleet_chip.power_meter.bram_model,
+            voltages[index],
+            fleet_chip.serving.bram_utilization,
+        )
+    energy = power * trace.step_seconds
+
+    return TelemetryLog(
+        policy=policy.name,
+        trace=trace.to_dict(),
+        chips=[fleet_chip.key for fleet_chip in simulator.fleet],
+        step_seconds=trace.step_seconds,
+        arrays={
+            "voltages_v": voltages,
+            "temperatures_c": temperatures,
+            "assigned": assigned,
+            "served": served,
+            "faulty": faulty,
+            "fault_bits": fault_bits,
+            "crashed": crashed,
+            "bram_power_w": power,
+            "energy_j": energy,
+        },
+        n_actuations=n_actuations,
+    )
+
+
+def _simulate_die_by_identity(
+    index: int,
+    platform: str,
+    serial: str,
+    die: DieCharacterization,
+    policy: GovernorPolicy,
+    network: object,
+    trace: WorkloadTrace,
+    icbp: bool,
+    compile_seed: int,
+    crash_recovery_steps: int,
+    temps: np.ndarray,
+    t_events: np.ndarray,
+) -> DieTimeline:
+    """Process-pool entry point: rebuild one die by identity and walk it.
+
+    Mirrors the ``_characterize_stock_die`` idiom — workers reconstruct the
+    chip, fault field, compiled placement and per-trace ripple from the
+    ``(platform, serial)`` identity, so only plain data crosses the process
+    boundary.  The unpickled policy copy carries no cross-die coupling
+    (state is keyed per die), which is what makes the shard merge
+    submission-order independent.
+    """
+    from .simulator import ServingModel, compile_accelerator
+
+    chip = FpgaChip.build(platform, serial=serial)
+    fault_field = cached_fault_field(chip)
+    accelerator = compile_accelerator(
+        chip, fault_field, network, icbp=icbp, compile_seed=compile_seed
+    )
+    serving = ServingModel.from_accelerator(accelerator)
+    ripple = np.array(
+        [fault_field.ripple_v(step) for step in range(trace.n_steps)]
+    )
+    return simulate_die(
+        index=index,
+        die=die,
+        policy=policy,
+        thresholds_v=serving.thresholds_v,
+        ripple_v=ripple,
+        itd_v_per_degc=fault_field.itd.v_per_degc,
+        itd_reference_c=fault_field.itd.reference_c,
+        vcrash_true_v=fault_field.calibration.vcrash_bram_v,
+        temps=temps,
+        t_events=t_events,
+        crash_recovery_steps=crash_recovery_steps,
+    )

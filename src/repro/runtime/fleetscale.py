@@ -1,0 +1,841 @@
+"""Population-scale governor simulation over synthetic die fleets.
+
+The identity-grade event core (:mod:`repro.runtime.event_core`) simulates
+*real* dies — compiled placements, per-bitcell thresholds, per-step supply
+ripple — which is exactly right for a 16-chip fleet and exactly wrong for
+the ROADMAP's 1M-device question: place-and-route per die alone makes the
+population unreachable.  This module runs the same closed-loop governor
+comparison on a **synthetic fleet**: per-die ``Vmin``/``Vcrash``/threshold
+facts drawn from the platform calibration (the same population shape the
+campaign stores measure), held as struct-of-arrays, and driven through a
+discrete-event engine whose work scales with *events* (heat-chamber
+transient crossings, crash/reboot cycles, reactive control activity) while
+every per-die quantity inside a window is one vectorized expression.
+
+Population model (the fidelity line, deliberately above the bitcell level):
+
+* one fault threshold per die (``max_threshold_v``, the die's worst
+  weight-observable cell): a die serves faulty inferences at step ``s``
+  iff ``setpoint + itd_shift(T_s) < max_threshold_v``;
+* supply ripple enters through the characterization's six-sigma margin
+  (the per-step ripple draw is below the fidelity line at 100k+ dies);
+* load balancing is mean-field: each step serves
+  ``min(requests, operational x capacity)`` fleet-wide and attributes the
+  faulty share ``served x fault_active // operational`` — the per-die
+  remainder microstructure the identity core tracks exactly;
+* rail power is the platform power model evaluated on the millivolt
+  setpoint grid (one table lookup per segment);
+* a die commanded below its **true** crash voltage reboot-thrashes —
+  ``R+1``-step crash cycles at nominal — until the next evaluation whose
+  target clears it.
+
+Both engines in this module — the event core and the per-die-per-step
+``stepped`` reference loop — implement this model *bit-identically* (same
+float expressions in the same order, same integer formulas), so the
+stepped loop is the oracle for the event engine's correctness and the
+honest baseline for its throughput, at any fleet size.  Sharding splits
+the die axis over :class:`repro.exec.WorkScheduler`; per-die arrays are
+merged by die range and reduced once, so summaries and digests are
+independent of worker count and completion order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.calibration import get_calibration
+from repro.core.power import bram_power_model
+from repro.core.temperature import REFERENCE_TEMPERATURE_C
+
+from .event_core import chamber_temperature_path, transient_steps
+from .governor import (
+    POLICY_NAMES,
+    GovernorError,
+    PredictiveItdPolicy,
+    ReactiveBackoffPolicy,
+    RESOLUTION_V,
+    StaticUndervoltPolicy,
+)
+from .simulator import SimulationError, validate_core
+from .workload import WorkloadTrace
+
+#: Nominal rail voltage of every studied platform (fleet-wide at scale).
+NOMINAL_V = 1.0
+
+#: Millivolt-grid size of the power lookup table (rail limits 0.40-1.10 V).
+_GRID_MIN_MV = 400
+_GRID_MAX_MV = 1100
+
+
+class FleetScaleError(SimulationError):
+    """Raised for inconsistent population-scale simulation requests."""
+
+
+# ----------------------------------------------------------------------
+# Synthetic fleets
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SyntheticFleetSpec:
+    """Parameters of a calibrated synthetic die population."""
+
+    n_dies: int
+    platform: str = "ZC702"
+    seed: int = 2026
+    #: Fleet-wide BRAM utilization the power model sees.
+    utilization: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.n_dies < 1:
+            raise FleetScaleError("n_dies must be at least 1")
+        if not 0.0 <= self.utilization <= 1.0:
+            raise FleetScaleError("utilization must be in [0, 1]")
+
+
+@dataclass
+class SyntheticFleet:
+    """A die population as struct-of-arrays (shape ``(n_dies,)`` each).
+
+    ``vmin_v``/``vcrash_v`` are the *characterized* facts a governor bundle
+    would carry (what the policies see); ``true_vcrash_v`` is the silicon's
+    actual crash boundary (what the environment enforces) and
+    ``max_threshold_v`` the worst weight-observable cell threshold — drawn
+    from the platform calibration with the same population spread the
+    campaign stores measure (vmin on the 10 mV characterization grid, a
+    50-70 mV crash gap, thresholds just below vmin).
+    """
+
+    spec: SyntheticFleetSpec
+    vmin_v: np.ndarray
+    vcrash_v: np.ndarray
+    true_vcrash_v: np.ndarray
+    max_threshold_v: np.ndarray
+    itd_v_per_degc: float
+    ripple_margin_v: float
+    reference_c: float = REFERENCE_TEMPERATURE_C
+
+    @property
+    def n_dies(self) -> int:
+        return int(self.vmin_v.size)
+
+    @classmethod
+    def draw(cls, spec: SyntheticFleetSpec) -> "SyntheticFleet":
+        """Draw a deterministic population from the platform calibration."""
+        calibration = get_calibration(spec.platform)
+        rng = np.random.default_rng(spec.seed)
+        n = spec.n_dies
+        vmin = np.round(0.59 + 0.04 * rng.random(n), 2)
+        vcrash = np.round(vmin - 0.05 - 0.02 * rng.random(n), 3)
+        true_vcrash = np.round(vcrash + 0.030 * rng.random(n), 6)
+        max_threshold = vmin - 0.001 - 0.008 * rng.random(n)
+        # Two small honest subpopulations keep the crash machinery live at
+        # scale.  "Crash-first" dies (~6%) hide their worst observable cell
+        # below the true crash boundary, so a probing controller reboots
+        # instead of faulting; "drifted" dies (~1.5%) have aged until the
+        # true crash boundary sits above the *characterized* Vmin, so every
+        # undervolting policy reboot-thrashes on them (predictive only in
+        # hot windows, where the ITD compensation dips below the drift).
+        kind = rng.random(n)
+        drifted = kind < 0.015
+        crash_first = (kind >= 0.015) & (kind < 0.075)
+        true_vcrash = np.where(
+            drifted, np.round(vmin + 0.002 + 0.008 * rng.random(n), 6), true_vcrash
+        )
+        max_threshold = np.where(
+            crash_first | drifted,
+            true_vcrash - 0.004 - 0.006 * rng.random(n),
+            max_threshold,
+        )
+        return cls(
+            spec=spec,
+            vmin_v=vmin,
+            vcrash_v=vcrash,
+            true_vcrash_v=true_vcrash,
+            max_threshold_v=max_threshold,
+            itd_v_per_degc=calibration.itd_v_per_degc,
+            ripple_margin_v=6.0 * calibration.ripple_sigma_v,
+        )
+
+    def slice(self, start: int, stop: int) -> "SyntheticFleet":
+        """The contiguous die range ``[start, stop)`` as its own fleet."""
+        return SyntheticFleet(
+            spec=self.spec,
+            vmin_v=self.vmin_v[start:stop],
+            vcrash_v=self.vcrash_v[start:stop],
+            true_vcrash_v=self.true_vcrash_v[start:stop],
+            max_threshold_v=self.max_threshold_v[start:stop],
+            itd_v_per_degc=self.itd_v_per_degc,
+            ripple_margin_v=self.ripple_margin_v,
+            reference_c=self.reference_c,
+        )
+
+
+# ----------------------------------------------------------------------
+# Vectorized policy arithmetic (same constants as repro.runtime.governor)
+# ----------------------------------------------------------------------
+def _ceil_to_resolution_vec(volts: np.ndarray) -> np.ndarray:
+    """Vectorized twin of :func:`repro.runtime.governor.ceil_to_resolution`."""
+    return np.round(
+        np.ceil(volts / RESOLUTION_V - 1e-9) * RESOLUTION_V, 6
+    )
+
+
+def _clamp_vec(fleet: SyntheticFleet, volts: np.ndarray) -> np.ndarray:
+    """Vectorized twin of :meth:`GovernorPolicy.clamp`."""
+    floor = fleet.vcrash_v + 0.020
+    return np.minimum(NOMINAL_V, np.maximum(floor, volts))
+
+
+def _static_targets(
+    fleet: SyntheticFleet, policy: str, temperature_c: float
+) -> np.ndarray:
+    """Per-die targets of the three stateless policies at one temperature."""
+    if policy == "static-nominal":
+        return np.full(fleet.n_dies, NOMINAL_V)
+    if policy == "static-undervolt":
+        margin = StaticUndervoltPolicy().margin_v
+        return _clamp_vec(fleet, _ceil_to_resolution_vec(fleet.vmin_v + margin))
+    if policy == "predictive":
+        extra = PredictiveItdPolicy().extra_margin_v
+        floor = fleet.vmin_v - fleet.itd_v_per_degc * (
+            temperature_c - fleet.reference_c
+        )
+        return _clamp_vec(
+            fleet, _ceil_to_resolution_vec(floor + fleet.ripple_margin_v + extra)
+        )
+    raise GovernorError(f"policy {policy!r} has no stateless target form")
+
+
+def _power_table(fleet: SyntheticFleet) -> np.ndarray:
+    """Rail power on the millivolt setpoint grid (index = mV - grid min)."""
+    model = bram_power_model(get_calibration(fleet.spec.platform))
+    grid = np.arange(_GRID_MIN_MV, _GRID_MAX_MV + 1) / 1000.0
+    return model.power_array(grid, utilization=fleet.spec.utilization)
+
+
+def _power_index(volts: np.ndarray) -> np.ndarray:
+    """Millivolt table index of setpoint voltages (grid-snapped)."""
+    return (
+        np.round(np.asarray(volts) * 1000.0).astype(np.int64) - _GRID_MIN_MV
+    )
+
+
+@dataclass
+class ShardTimeline:
+    """Phase-1 output for one contiguous die range under one policy."""
+
+    die_start: int
+    die_stop: int
+    #: Per-die totals over the whole trace.
+    energy_j: np.ndarray
+    crashed_steps: np.ndarray
+    fault_steps: np.ndarray
+    actuations: np.ndarray
+    #: Per-step counts over this shard's dies.
+    operational: np.ndarray
+    fault_active: np.ndarray
+
+
+def _simulate_scale_shard(
+    fleet: SyntheticFleet,
+    die_start: int,
+    trace: WorkloadTrace,
+    policy: str,
+    crash_recovery_steps: int,
+    core: str,
+    temps: np.ndarray,
+    windows: np.ndarray,
+) -> ShardTimeline:
+    """Run one die range through the population model (either core)."""
+    if core == "event":
+        if policy == "reactive":
+            return _reactive_shard(
+                fleet, die_start, trace, crash_recovery_steps, temps
+            )
+        return _static_event_shard(
+            fleet, die_start, trace, policy, crash_recovery_steps, temps, windows
+        )
+    return _stepped_shard(
+        fleet, die_start, trace, policy, crash_recovery_steps, temps, windows
+    )
+
+
+def _static_event_shard(
+    fleet: SyntheticFleet,
+    die_start: int,
+    trace: WorkloadTrace,
+    policy: str,
+    recovery_steps: int,
+    temps: np.ndarray,
+    windows: np.ndarray,
+) -> ShardTimeline:
+    """Event engine for the stateless policies: one pass per T-window.
+
+    Every per-die quantity inside a window is a closed form; the per-step
+    operational/fault-active counts come from difference arrays, so the
+    work per window is O(n_dies) regardless of window length.
+    """
+    n = fleet.n_dies
+    n_steps = trace.n_steps
+    cycle = recovery_steps + 1
+    table = _power_table(fleet)
+    dt = trace.step_seconds
+
+    energy = np.zeros(n)
+    crashed_steps = np.zeros(n, dtype=np.int64)
+    fault_steps = np.zeros(n, dtype=np.int64)
+    actuations = np.zeros(n, dtype=np.int64)
+    op_diff = np.zeros(n_steps + 1, dtype=np.int64)
+    fault_diff = np.zeros(n_steps + 1, dtype=np.int64)
+
+    setpoint = np.full(n, NOMINAL_V)
+    recover_at = np.zeros(n, dtype=np.int64)
+    p_nominal = float(table[_power_index(np.array([NOMINAL_V]))[0]])
+
+    for start, stop in zip(windows[:-1], windows[1:]):
+        start, stop = int(start), int(stop)
+        target = _static_targets(fleet, policy, float(temps[start]))
+        avail = np.maximum(recover_at, start)
+        waiting = np.minimum(avail, stop) - start  # recovery steps in window
+        thrash = (avail < stop) & (target < fleet.true_vcrash_v - 1e-9)
+        up = (avail < stop) & ~thrash
+
+        # Dies still rebooting at the window start, then thrashing/up.
+        crashed_in_window = waiting + np.where(
+            thrash, stop - np.minimum(avail, stop), 0
+        )
+        crashed_steps += crashed_in_window
+
+        # Reboot thrash: one evaluation (and one actuation, nominal ->
+        # target) per R+1-step crash cycle from the die's first live step.
+        n_evals = np.where(
+            thrash, -(-(stop - np.minimum(avail, stop)) // cycle), 0
+        )
+        actuations += n_evals
+        last_eval = np.minimum(avail, stop) + np.maximum(n_evals - 1, 0) * cycle
+        recover_at = np.where(thrash, last_eval + cycle, recover_at)
+        setpoint = np.where(thrash, NOMINAL_V, setpoint)
+
+        # Up dies: actuate once if the target moved, then hold the window.
+        actuations += (up & (np.abs(target - setpoint) > 1e-9)).astype(np.int64)
+        setpoint = np.where(up, target, setpoint)
+
+        # Fault activity is constant inside a T-window (one threshold
+        # comparison per die, the scale twin of the searchsorted window).
+        shift = fleet.itd_v_per_degc * (float(temps[start]) - fleet.reference_c)
+        faulting = up & (setpoint + shift < fleet.max_threshold_v)
+        up_steps = np.where(up, stop - np.maximum(avail, start), 0)
+        fault_steps += np.where(faulting, up_steps, 0)
+
+        # Per-step shard counts via difference arrays.
+        up_from = np.maximum(avail, start)[up]
+        np.add.at(op_diff, up_from, 1)
+        op_diff[stop] -= up_from.size
+        fault_from = np.maximum(avail, start)[faulting]
+        np.add.at(fault_diff, fault_from, 1)
+        fault_diff[stop] -= fault_from.size
+
+        # Energy: a nominal-voltage segment (recovery + thrash) and a
+        # held-setpoint segment per die, accumulated in time order.
+        nominal_steps = crashed_in_window
+        energy += nominal_steps * p_nominal * dt
+        energy += up_steps * table[_power_index(setpoint)] * dt
+
+    return ShardTimeline(
+        die_start=die_start,
+        die_stop=die_start + n,
+        energy_j=energy,
+        crashed_steps=crashed_steps,
+        fault_steps=fault_steps,
+        actuations=actuations,
+        operational=np.cumsum(op_diff[:-1]),
+        fault_active=np.cumsum(fault_diff[:-1]),
+    )
+
+
+def _reactive_shard(
+    fleet: SyntheticFleet,
+    die_start: int,
+    trace: WorkloadTrace,
+    recovery_steps: int,
+    temps: np.ndarray,
+) -> ShardTimeline:
+    """Event engine for the reactive policy: per-step, vectorized over dies.
+
+    The reactive controller's state can change at every step (fault
+    backoff, clean-hold creep), so its event density *is* the step grid;
+    the engine vectorizes the die axis instead — the same additive
+    controller arithmetic as :class:`ReactiveBackoffPolicy`, element-wise.
+    """
+    defaults = ReactiveBackoffPolicy()
+    backoff, probe, hold = defaults.backoff_v, defaults.probe_v, defaults.hold_steps
+    n = fleet.n_dies
+    n_steps = trace.n_steps
+    table = _power_table(fleet)
+    dt = trace.step_seconds
+    shift_path = fleet.itd_v_per_degc * (temps - fleet.reference_c)
+
+    energy = np.zeros(n)
+    crashed_steps = np.zeros(n, dtype=np.int64)
+    fault_steps = np.zeros(n, dtype=np.int64)
+    actuations = np.zeros(n, dtype=np.int64)
+    operational = np.zeros(n_steps, dtype=np.int64)
+    fault_active_counts = np.zeros(n_steps, dtype=np.int64)
+
+    target = fleet.vmin_v.copy()
+    clean = np.zeros(n)
+    setpoint = np.full(n, NOMINAL_V)
+    recover_at = np.zeros(n, dtype=np.int64)
+    faults_prev = np.zeros(n, dtype=bool)
+    idx_nominal = _power_index(np.array([NOMINAL_V]))[0]
+
+    for step in range(n_steps):
+        down = recover_at > step
+        up = ~down
+
+        # Controller update (faults raise, clean holds creep down).
+        backing = up & faults_prev
+        target = np.where(backing, target + backoff, target)
+        clean = np.where(backing, 0.0, clean)
+        counting = up & ~faults_prev
+        clean = np.where(counting, clean + 1.0, clean)
+        creeping = counting & (clean >= hold)
+        target = np.where(creeping, target - probe, target)
+        clean = np.where(creeping, 0.0, clean)
+        target = np.where(up, _clamp_vec(fleet, _ceil_to_resolution_vec(target)), target)
+
+        moved = up & (np.abs(target - setpoint) > 1e-9)
+        actuations += moved
+        setpoint = np.where(moved, target, setpoint)
+
+        crash = up & (setpoint < fleet.true_vcrash_v - 1e-9)
+        recover_at = np.where(crash, step + recovery_steps + 1, recover_at)
+        setpoint = np.where(crash, NOMINAL_V, setpoint)
+        # A power-cycled controller restarts from the characterized point.
+        target = np.where(crash, fleet.vmin_v, target)
+        clean = np.where(crash, 0.0, clean)
+
+        live = up & ~crash
+        faulting = live & (setpoint + shift_path[step] < fleet.max_threshold_v)
+        faults_prev = faulting
+        crashed = down | crash
+
+        operational[step] = int(np.count_nonzero(live))
+        fault_active_counts[step] = int(np.count_nonzero(faulting))
+        crashed_steps += crashed
+        fault_steps += faulting
+        energy += np.where(crashed, table[idx_nominal], table[_power_index(setpoint)]) * dt
+
+    return ShardTimeline(
+        die_start=die_start,
+        die_stop=die_start + n,
+        energy_j=energy,
+        crashed_steps=crashed_steps,
+        fault_steps=fault_steps,
+        actuations=actuations,
+        operational=operational,
+        fault_active=fault_active_counts,
+    )
+
+
+def _stepped_shard(
+    fleet: SyntheticFleet,
+    die_start: int,
+    trace: WorkloadTrace,
+    policy: str,
+    recovery_steps: int,
+    temps: np.ndarray,
+    windows: np.ndarray,
+) -> ShardTimeline:
+    """The per-die-per-step reference loop (the oracle and the baseline).
+
+    Plain Python over every ``(die, step)`` pair — the same cost shape as
+    the pre-event-core simulator — implementing the identical population
+    model: evaluations at T-window boundaries (every step for reactive),
+    ``R+1``-step crash cycles, segment-accumulated energy.  Bit-identical
+    to the event engine by construction; slower by the activity ratio.
+    """
+    defaults = ReactiveBackoffPolicy()
+    backoff, probe, hold = defaults.backoff_v, defaults.probe_v, defaults.hold_steps
+    n = fleet.n_dies
+    n_steps = trace.n_steps
+    table = _power_table(fleet)
+    dt = trace.step_seconds
+    boundary = np.zeros(n_steps, dtype=bool)
+    boundary[windows[:-1]] = True
+    reactive = policy == "reactive"
+    idx_nominal = int(_power_index(np.array([NOMINAL_V]))[0])
+    p_nominal = float(table[idx_nominal])
+
+    energy = np.zeros(n)
+    crashed_steps = np.zeros(n, dtype=np.int64)
+    fault_steps = np.zeros(n, dtype=np.int64)
+    actuations = np.zeros(n, dtype=np.int64)
+    operational = np.zeros(n_steps, dtype=np.int64)
+    fault_active_counts = np.zeros(n_steps, dtype=np.int64)
+
+    floor_margin = 0.020
+    for die in range(n):
+        vmin = float(fleet.vmin_v[die])
+        floor = float(fleet.vcrash_v[die]) + floor_margin
+        true_vcrash = float(fleet.true_vcrash_v[die])
+        threshold = float(fleet.max_threshold_v[die])
+        target = vmin
+        clean = 0.0
+        setpoint = NOMINAL_V
+        recover_at = 0
+        faults_prev = False
+        seg_power = p_nominal
+        seg_steps = 0
+        die_energy = 0.0
+
+        for step in range(n_steps):
+            if recover_at > step:
+                crashed_steps[die] += 1
+                if reactive or seg_power != p_nominal or boundary[step]:
+                    die_energy += seg_steps * seg_power * dt
+                    seg_power, seg_steps = p_nominal, 0
+                seg_steps += 1
+                continue
+            came_up = recover_at == step and step > 0
+            evaluate = reactive or boundary[step] or recover_at == step
+            if evaluate:
+                if reactive:
+                    if faults_prev:
+                        target = target + backoff
+                        clean = 0.0
+                    else:
+                        clean += 1.0
+                        if clean >= hold:
+                            target = target - probe
+                            clean = 0.0
+                    quantized = _ceil_to_resolution_vec(np.array([target]))[0]
+                    target = min(NOMINAL_V, max(floor, float(quantized)))
+                else:
+                    scalar = _static_targets(
+                        fleet.slice(die, die + 1), policy, float(temps[step])
+                    )
+                    target = float(scalar[0])
+                if abs(target - setpoint) > 1e-9:
+                    actuations[die] += 1
+                    setpoint = target
+                if setpoint < true_vcrash - 1e-9:
+                    recover_at = step + recovery_steps + 1
+                    setpoint = NOMINAL_V
+                    target = vmin
+                    clean = 0.0
+                    faults_prev = False
+                    crashed_steps[die] += 1
+                    if reactive or seg_power != p_nominal or boundary[step]:
+                        die_energy += seg_steps * seg_power * dt
+                        seg_power, seg_steps = p_nominal, 0
+                    seg_steps += 1
+                    continue
+            shift = fleet.itd_v_per_degc * (float(temps[step]) - fleet.reference_c)
+            faulting = setpoint + shift < threshold
+            faults_prev = faulting
+            if faulting:
+                fault_steps[die] += 1
+                fault_active_counts[step] += 1
+            operational[step] += 1
+            power = float(table[int(round(setpoint * 1000.0)) - _GRID_MIN_MV])
+            # Flush on every boundary the event engine treats as a segment
+            # edge — per step for reactive, on T-windows, power moves and
+            # crash->live transitions otherwise — so the per-die float sum
+            # accumulates in exactly the event engine's term order.
+            if reactive or power != seg_power or boundary[step] or came_up:
+                die_energy += seg_steps * seg_power * dt
+                seg_power, seg_steps = power, 0
+            seg_steps += 1
+        die_energy += seg_steps * seg_power * dt
+        energy[die] = die_energy
+
+    return ShardTimeline(
+        die_start=die_start,
+        die_stop=die_start + n,
+        energy_j=energy,
+        crashed_steps=crashed_steps,
+        fault_steps=fault_steps,
+        actuations=actuations,
+        operational=operational,
+        fault_active=fault_active_counts,
+    )
+
+
+# ----------------------------------------------------------------------
+# Results, merging, digests
+# ----------------------------------------------------------------------
+@dataclass
+class FleetScaleResult:
+    """One policy's population-scale run: per-die arrays plus fleet totals."""
+
+    policy: str
+    fleet_spec: SyntheticFleetSpec
+    trace: Dict[str, Any]
+    capacity_per_step: int
+    core: str
+    energy_j: np.ndarray
+    crashed_steps: np.ndarray
+    fault_steps: np.ndarray
+    actuations: np.ndarray
+    operational: np.ndarray
+    fault_active: np.ndarray
+    served: np.ndarray = field(init=False)
+    faulty: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        requests = np.asarray(self.trace_requests, dtype=np.int64)
+        capacity = np.int64(self.capacity_per_step)
+        self.served = np.minimum(requests, self.operational * capacity)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            self.faulty = np.where(
+                self.operational > 0,
+                self.served * self.fault_active // np.maximum(self.operational, 1),
+                0,
+            )
+
+    #: Filled by :func:`simulate_fleet` (the trace's request axis).
+    trace_requests: Sequence[int] = ()
+
+    @property
+    def n_dies(self) -> int:
+        return int(self.energy_j.size)
+
+    def totals(self) -> Dict[str, Any]:
+        """Fleet-level aggregates (the population-scale energy/SLO story)."""
+        requests = int(np.sum(np.asarray(self.trace_requests, dtype=np.int64)))
+        served = int(self.served.sum())
+        return {
+            "n_dies": self.n_dies,
+            "requests": requests,
+            "served": served,
+            "slo_violations": requests - served,
+            "faulty_inferences": int(self.faulty.sum()),
+            "crash_steps": int(self.crashed_steps.sum()),
+            "fault_active_die_steps": int(self.fault_steps.sum()),
+            "n_actuations": int(self.actuations.sum()),
+            "energy_j": round(float(np.sum(self.energy_j)), 9),
+        }
+
+    def digest(self) -> str:
+        """SHA-256 witness over totals and every per-die/per-step array.
+
+        Arrays are rounded to 9 decimals (floats) and hashed from their
+        canonical byte layout, so two runs agree on the digest iff they
+        agree bit-for-bit after the telemetry-standard rounding —
+        independent of how many shards produced them.
+        """
+        hasher = hashlib.sha256()
+        hasher.update(
+            json.dumps(self.totals(), sort_keys=True, separators=(",", ":")).encode()
+        )
+        for array in (
+            np.round(self.energy_j, 9),
+            self.crashed_steps,
+            self.fault_steps,
+            self.actuations,
+            self.operational,
+            self.fault_active,
+            self.served,
+            self.faulty,
+        ):
+            hasher.update(np.ascontiguousarray(array).tobytes())
+        return hasher.hexdigest()
+
+    def to_summary(self) -> Dict[str, Any]:
+        """JSON summary document (what ``runtime scale --json`` emits)."""
+        duration_s = float(self.trace.get("n_steps", 0)) * float(
+            self.trace.get("step_seconds", 0.0)
+        )
+        return {
+            "policy": self.policy,
+            "core": self.core,
+            "totals": self.totals(),
+            "device_seconds": self.n_dies * duration_s,
+            "digest": self.digest(),
+        }
+
+
+def merge_shards(
+    shards: Sequence[ShardTimeline],
+    policy: str,
+    fleet: SyntheticFleet,
+    trace: WorkloadTrace,
+    capacity_per_step: int,
+    core: str,
+) -> FleetScaleResult:
+    """Merge shard timelines in die order, independent of submission order.
+
+    Per-die arrays concatenate by ``die_start`` (so one reduction over the
+    merged axis is identical for 1 worker or N); per-step counts add
+    exactly (integers).  The audit fix this encodes: nothing downstream of
+    the merge may depend on the order workers completed.
+    """
+    ordered = sorted(shards, key=lambda shard: shard.die_start)
+    expected = 0
+    for shard in ordered:
+        if shard.die_start != expected:
+            raise FleetScaleError("shard timelines do not tile the die axis")
+        expected = shard.die_stop
+    if expected != fleet.n_dies:
+        raise FleetScaleError("shard timelines do not cover the fleet")
+    operational = np.zeros(trace.n_steps, dtype=np.int64)
+    fault_active = np.zeros(trace.n_steps, dtype=np.int64)
+    for shard in ordered:
+        operational += shard.operational
+        fault_active += shard.fault_active
+    return FleetScaleResult(
+        policy=policy,
+        fleet_spec=fleet.spec,
+        trace=trace.to_dict(),
+        capacity_per_step=capacity_per_step,
+        core=core,
+        energy_j=np.concatenate([shard.energy_j for shard in ordered]),
+        crashed_steps=np.concatenate([shard.crashed_steps for shard in ordered]),
+        fault_steps=np.concatenate([shard.fault_steps for shard in ordered]),
+        actuations=np.concatenate([shard.actuations for shard in ordered]),
+        operational=operational,
+        fault_active=fault_active,
+        trace_requests=trace.requests,
+    )
+
+
+def simulate_fleet(
+    fleet: SyntheticFleet,
+    trace: WorkloadTrace,
+    policy: str,
+    capacity_rps: float = 150.0,
+    crash_recovery_steps: int = 3,
+    core: str = "event",
+    scheduler: str = "serial",
+    jobs: int = 1,
+) -> FleetScaleResult:
+    """Run one policy over a synthetic population (either core, sharded).
+
+    The die axis shards over :class:`repro.exec.WorkScheduler`
+    (``scheduler``/``jobs``); results merge by die range, so the digest is
+    identical for any worker count.
+    """
+    from repro.exec import WorkScheduler, chunked
+
+    if policy not in POLICY_NAMES:
+        raise GovernorError(
+            f"unknown policy {policy!r}; available: {', '.join(POLICY_NAMES)}"
+        )
+    core = validate_core(core)
+    if capacity_rps <= 0:
+        raise FleetScaleError("capacity_rps must be positive")
+    if crash_recovery_steps < 1:
+        raise FleetScaleError("crash_recovery_steps must be at least 1")
+    capacity_per_step = int(round(capacity_rps * trace.step_seconds))
+
+    temps = chamber_temperature_path(trace)
+    changes = transient_steps(temps)
+    windows = np.concatenate(
+        ([0], changes, [trace.n_steps])
+    ).astype(np.int64)
+    windows = np.unique(windows)
+
+    work = WorkScheduler(scheduler=scheduler, jobs=jobs)
+    if work.is_serial:
+        shards = [
+            _simulate_scale_shard(
+                fleet, 0, trace, policy, crash_recovery_steps, core, temps, windows
+            )
+        ]
+    else:
+        ranges = chunked(list(range(fleet.n_dies)), work.jobs)
+        tasks = [
+            (
+                fleet.slice(r[0], r[-1] + 1),
+                r[0],
+                r[-1] + 1,
+                trace,
+                policy,
+                crash_recovery_steps,
+                core,
+                temps,
+                windows,
+            )
+            for r in ranges
+            if r
+        ]
+        shards = work.map_tasks(_shard_entry, tasks)
+    return merge_shards(shards, policy, fleet, trace, capacity_per_step, core)
+
+
+def _shard_entry(
+    fleet_slice: SyntheticFleet,
+    die_start: int,
+    die_stop: int,
+    trace: WorkloadTrace,
+    policy: str,
+    crash_recovery_steps: int,
+    core: str,
+    temps: np.ndarray,
+    windows: np.ndarray,
+) -> ShardTimeline:
+    """Process-pool entry point (module-level for picklability)."""
+    return _simulate_scale_shard(
+        fleet_slice, die_start, trace, policy, crash_recovery_steps, core,
+        temps, windows,
+    )
+
+
+def simulate_policies(
+    fleet: SyntheticFleet,
+    trace: WorkloadTrace,
+    policies: Optional[Sequence[str]] = None,
+    capacity_rps: float = 150.0,
+    crash_recovery_steps: int = 3,
+    core: str = "event",
+    scheduler: str = "serial",
+    jobs: int = 1,
+) -> Dict[str, FleetScaleResult]:
+    """The population-scale governor comparison (all four policies)."""
+    names = list(POLICY_NAMES) if policies is None else list(policies)
+    return {
+        name: simulate_fleet(
+            fleet,
+            trace,
+            name,
+            capacity_rps=capacity_rps,
+            crash_recovery_steps=crash_recovery_steps,
+            core=core,
+            scheduler=scheduler,
+            jobs=jobs,
+        )
+        for name in names
+    }
+
+
+def nominal_energy_j(fleet: SyntheticFleet, trace: WorkloadTrace) -> float:
+    """Fleet energy if every rail parked at nominal (the guardband anchor)."""
+    table = _power_table(fleet)
+    power = table[_power_index(np.full(fleet.n_dies, NOMINAL_V))]
+    return float(np.sum(power * trace.n_steps * trace.step_seconds))
+
+
+def guardband_floor_energy_j(fleet: SyntheticFleet, trace: WorkloadTrace) -> float:
+    """Fleet energy if every rail parked at its characterized Vmin."""
+    table = _power_table(fleet)
+    power = table[_power_index(fleet.vmin_v)]
+    return float(np.sum(power * trace.n_steps * trace.step_seconds))
+
+
+__all__ = [
+    "FleetScaleError",
+    "FleetScaleResult",
+    "ShardTimeline",
+    "SyntheticFleet",
+    "SyntheticFleetSpec",
+    "guardband_floor_energy_j",
+    "merge_shards",
+    "nominal_energy_j",
+    "simulate_fleet",
+    "simulate_policies",
+]

@@ -77,15 +77,55 @@ class GovernorPolicy:
     Policies may keep per-die state (the reactive controller does); state is
     keyed by the die's chip key and wiped by :meth:`reset`, which the
     simulator calls once per run so repeated simulations are independent.
+
+    Event-scheduling contract
+    -------------------------
+    The discrete-event core (:mod:`repro.runtime.event_core`) only
+    re-evaluates a policy when something it *subscribes to* changes; between
+    wakeups the commanded setpoint is assumed constant.  The three class
+    flags declare the subscriptions, and the two hooks let stateful policies
+    schedule and fast-forward their own internal events:
+
+    * ``wakes_on_temperature`` — the target depends on the board
+      temperature, so every heat-chamber transient crossing is a wakeup;
+    * ``wakes_on_faults`` — the target depends on ``faults_last_step``, so
+      the step after any fault-bit onset is a wakeup (plus whatever
+      :meth:`steps_until_state_event` schedules);
+    * ``wakes_every_step`` — dense fallback: re-evaluate at every step.
+      The base class defaults every flag to ``True`` so an unknown custom
+      policy degenerates to exactly the stepped simulator's cadence
+      (correct, just without the event core's speedup).
     """
 
     #: Registry name; subclasses override.
     name = "base"
     #: Safety floor above the characterized crash voltage.
     floor_margin_v = 0.020
+    #: Event subscriptions (see the class docstring); conservative defaults.
+    wakes_every_step = True
+    wakes_on_temperature = True
+    wakes_on_faults = True
 
     def reset(self) -> None:
         """Forget any per-die controller state (start of a run)."""
+
+    def steps_until_state_event(self, die: DieCharacterization) -> "int | None":
+        """Steps until internal state alone forces a new target (or ``None``).
+
+        Called by the event core immediately after an evaluation.  A return
+        of ``k`` schedules the next wakeup ``k`` steps later even with no
+        external stimulus (the reactive controller's downward creep);
+        ``None`` means the state never fires on its own.
+        """
+        return None
+
+    def advance_clean(self, die: DieCharacterization, n_steps: int) -> None:
+        """Fast-forward ``n_steps`` fault-free, non-actuating evaluations.
+
+        The event core calls this for the steps it *skipped* inside a
+        window, so per-die counters (the reactive controller's clean-step
+        count) stay bit-identical to the stepped simulator's bookkeeping.
+        """
 
     def clamp(self, die: DieCharacterization, volts: float) -> float:
         """Clamp a request into the die's safe actuation window."""
@@ -106,6 +146,9 @@ class StaticNominalPolicy(GovernorPolicy):
     """Baseline: keep the full factory guardband (never undervolt)."""
 
     name = "static-nominal"
+    wakes_every_step = False
+    wakes_on_temperature = False
+    wakes_on_faults = False
 
     def target_voltage(
         self, die: DieCharacterization, observation: GovernorObservation
@@ -122,6 +165,9 @@ class StaticUndervoltPolicy(GovernorPolicy):
     """
 
     name = "static-undervolt"
+    wakes_every_step = False
+    wakes_on_temperature = False
+    wakes_on_faults = False
 
     def __init__(self, margin_v: float = 0.0) -> None:
         if margin_v < 0:
@@ -147,6 +193,9 @@ class ReactiveBackoffPolicy(GovernorPolicy):
     """
 
     name = "reactive"
+    wakes_every_step = False
+    wakes_on_temperature = False
+    wakes_on_faults = True
 
     def __init__(
         self,
@@ -187,6 +236,26 @@ class ReactiveBackoffPolicy(GovernorPolicy):
         state["target_v"] = self.clamp(die, ceil_to_resolution(state["target_v"]))
         return state["target_v"]
 
+    def steps_until_state_event(self, die: DieCharacterization) -> "int | None":
+        # The next fault-free evaluation that *changes* the target is the
+        # one where the clean counter reaches the hold: exactly
+        # ``hold_steps - clean_steps`` evaluations from now.
+        state = self._state.get(die.chip_key)
+        clean = 0.0 if state is None else state["clean_steps"]
+        return int(self.hold_steps - clean)
+
+    def advance_clean(self, die: DieCharacterization, n_steps: int) -> None:
+        # Each skipped fault-free evaluation increments the clean counter by
+        # exactly 1.0 without reaching the hold (the event core schedules a
+        # real evaluation at the creep step), so a bulk add is bit-identical
+        # to the stepped path's repeated ``+= 1.0``.
+        if n_steps <= 0:
+            return
+        state = self._state.setdefault(
+            die.chip_key, {"target_v": die.vmin_v, "clean_steps": 0.0}
+        )
+        state["clean_steps"] += float(n_steps)
+
 
 class PredictiveItdPolicy(GovernorPolicy):
     """Thermal-headroom-aware feed-forward: ITD-compensated Vmin plus margin.
@@ -200,6 +269,9 @@ class PredictiveItdPolicy(GovernorPolicy):
     """
 
     name = "predictive"
+    wakes_every_step = False
+    wakes_on_temperature = True
+    wakes_on_faults = False
 
     def __init__(self, extra_margin_v: float = 0.0) -> None:
         if extra_margin_v < 0:

@@ -51,6 +51,51 @@ class SimulationError(RuntimeError):
     """Raised for inconsistent fleet-simulation configurations."""
 
 
+#: The two simulation cores ``FleetSimulator.run`` dispatches between:
+#: ``"event"`` (the discrete-event core, the default) and ``"stepped"``
+#: (the original per-step loop, kept as the bit-identity oracle).
+SIM_CORES: Tuple[str, ...] = ("event", "stepped")
+
+
+def validate_core(core: str) -> str:
+    """Normalize and validate a simulation-core knob value."""
+    normalized = str(core).strip().lower()
+    if normalized not in SIM_CORES:
+        raise SimulationError(
+            f"unknown simulation core {core!r}; expected one of {SIM_CORES}"
+        )
+    return normalized
+
+
+def compile_accelerator(
+    chip: FpgaChip,
+    fault_field: FaultField,
+    network: QuantizedNetwork,
+    icbp: bool,
+    compile_seed: int,
+) -> NnAccelerator:
+    """Compile one die's accelerator (ICBP or default placement).
+
+    Module-level so the event core's process-pool workers can rebuild a
+    die's serving model from its identity with the exact placement the
+    simulator construction used.
+    """
+    if not icbp:
+        return NnAccelerator(
+            chip=chip,
+            network=network,
+            fault_field=fault_field,
+            compile_seed=compile_seed,
+        )
+    # The last-layer ICBP constraint needs only the FVM, not the
+    # vulnerability analysis, so the flow runs without a dataset here.
+    flow = IcbpFlow(chip=chip, network=network, dataset=None, fault_field=fault_field)
+    accelerator, _protected = flow.build_accelerator(
+        PlacementPolicy.LAST_LAYER, compile_seed=compile_seed
+    )
+    return accelerator
+
+
 @dataclass
 class ServingModel:
     """The voltage-sensitivity of one compiled accelerator, flattened.
@@ -162,6 +207,13 @@ class FleetSimulator:
         Steps a crashed board spends rebooting at nominal voltage.
     compile_seed:
         Place-and-route seed shared by the fleet's compilations.
+    core:
+        Default simulation core :meth:`run` uses: ``"event"`` (the
+        discrete-event core of :mod:`repro.runtime.event_core`) or
+        ``"stepped"`` (the original per-step reference loop).  The two are
+        bit-identical — same telemetry digest — for every input; the event
+        core just scales wall-clock with *activity* instead of
+        ``fleet x steps``.
 
     Building the simulator pays the expensive, policy-independent work once
     (chips, fault fields, compiled placements, serving models); each
@@ -177,6 +229,7 @@ class FleetSimulator:
         capacity_rps: float = 150.0,
         crash_recovery_steps: int = 3,
         compile_seed: int = 0,
+        core: str = "event",
     ) -> None:
         if len(bundle) == 0:
             raise SimulationError("the characterization bundle is empty")
@@ -188,13 +241,18 @@ class FleetSimulator:
         self.network = network
         self.trace = trace
         self.icbp = icbp
+        self.capacity_rps = capacity_rps
         self.capacity_per_step = int(round(capacity_rps * trace.step_seconds))
         self.crash_recovery_steps = crash_recovery_steps
+        self.compile_seed = compile_seed
+        self.core = validate_core(core)
         self.fleet: List[FleetChip] = []
         for die in bundle:
             chip = FpgaChip.build(die.platform, serial=die.serial)
             fault_field = cached_fault_field(chip)
-            accelerator = self._compile(chip, fault_field, compile_seed)
+            accelerator = compile_accelerator(
+                chip, fault_field, network, icbp=icbp, compile_seed=compile_seed
+            )
             serving = ServingModel.from_accelerator(accelerator)
             ripple = np.array(
                 [fault_field.ripple_v(step) for step in range(trace.n_steps)]
@@ -212,26 +270,43 @@ class FleetSimulator:
                 )
             )
 
-    def _compile(
-        self, chip: FpgaChip, fault_field: FaultField, compile_seed: int
-    ) -> NnAccelerator:
-        """Compile the per-die accelerator (ICBP or default placement)."""
-        if not self.icbp:
-            return NnAccelerator(
-                chip=chip,
-                network=self.network,
-                fault_field=fault_field,
-                compile_seed=compile_seed,
+    def with_trace(self, trace: WorkloadTrace) -> "FleetSimulator":
+        """A simulator over the same compiled fleet serving another trace.
+
+        Reuses every expensive policy-independent artifact (chips, fault
+        fields, placements, serving models) and recomputes only the
+        trace-dependent state (per-step ripple, capacity per step) — the
+        cheap path the property tests and benchmarks use to sweep many
+        traces over one fleet.  The clone shares the underlying chips, so
+        do not run the original and the clone concurrently.
+        """
+        clone = object.__new__(FleetSimulator)
+        clone.bundle = self.bundle
+        clone.network = self.network
+        clone.trace = trace
+        clone.icbp = self.icbp
+        clone.capacity_rps = self.capacity_rps
+        clone.capacity_per_step = int(round(self.capacity_rps * trace.step_seconds))
+        clone.crash_recovery_steps = self.crash_recovery_steps
+        clone.compile_seed = self.compile_seed
+        clone.core = self.core
+        clone.fleet = [
+            FleetChip(
+                chip=fleet_chip.chip,
+                fault_field=fleet_chip.fault_field,
+                adapter=fleet_chip.adapter,
+                serving=fleet_chip.serving,
+                power_meter=fleet_chip.power_meter,
+                ripple_v=np.array(
+                    [
+                        fleet_chip.fault_field.ripple_v(step)
+                        for step in range(trace.n_steps)
+                    ]
+                ),
             )
-        # The last-layer ICBP constraint needs only the FVM, not the
-        # vulnerability analysis, so the flow runs without a dataset here.
-        flow = IcbpFlow(
-            chip=chip, network=self.network, dataset=None, fault_field=fault_field
-        )
-        accelerator, _protected = flow.build_accelerator(
-            PlacementPolicy.LAST_LAYER, compile_seed=compile_seed
-        )
-        return accelerator
+            for fleet_chip in self.fleet
+        ]
+        return clone
 
     # ------------------------------------------------------------------
     # Analytic energy anchors (the guardband-recovery denominators)
@@ -257,15 +332,47 @@ class FleetSimulator:
         return total
 
     # ------------------------------------------------------------------
-    # The event loop
+    # The simulation cores
     # ------------------------------------------------------------------
-    def run(self, policy: "str | GovernorPolicy") -> TelemetryLog:
+    def run(
+        self, policy: "str | GovernorPolicy", core: Optional[str] = None
+    ) -> TelemetryLog:
         """Serve the whole trace under one policy and return the telemetry.
 
-        The fleet state is reset first (rails to nominal, boards to the
-        trace's initial ambient, fresh chambers, cleared policy state), so
-        consecutive ``run`` calls on one simulator are independent and
-        deterministic.
+        Dispatches to the constructor's ``core`` (overridable per call):
+        the discrete-event core or the stepped reference loop, which
+        produce bit-identical telemetry.  Either way the fleet state is
+        reset first (rails to nominal, boards to the trace's initial
+        ambient, cleared policy state), so consecutive ``run`` calls on one
+        simulator are independent and deterministic.
+        """
+        core = validate_core(self.core if core is None else core)
+        if core == "event":
+            return self.run_event(policy)
+        return self.run_stepped(policy)
+
+    def run_event(
+        self,
+        policy: "str | GovernorPolicy",
+        scheduler: str = "serial",
+        jobs: int = 1,
+    ) -> TelemetryLog:
+        """Run one policy on the discrete-event core.
+
+        ``scheduler``/``jobs`` shard the per-die event walks over
+        :class:`repro.exec.WorkScheduler`; the merged telemetry digest is
+        identical in every mode (1 worker or N, any completion order).
+        """
+        from .event_core import run_event
+
+        return run_event(self, policy, scheduler=scheduler, jobs=jobs)
+
+    def run_stepped(self, policy: "str | GovernorPolicy") -> TelemetryLog:
+        """Run one policy on the per-step reference loop (the oracle).
+
+        Kept verbatim from the pre-event-core simulator: every die ticks at
+        every step.  The property suite asserts the event core reproduces
+        this loop's telemetry bit-for-bit.
         """
         if isinstance(policy, str):
             policy = build_policy(policy)
@@ -384,10 +491,26 @@ class FleetSimulator:
         )
 
     def run_policies(
-        self, policies: Optional[Sequence[str]] = None
+        self,
+        policies: Optional[Sequence[str]] = None,
+        core: Optional[str] = None,
+        scheduler: str = "serial",
+        jobs: int = 1,
     ) -> Dict[str, TelemetryLog]:
-        """Run several policies on the identical fleet and trace."""
+        """Run several policies on the identical fleet and trace.
+
+        ``core`` overrides the constructor's simulation core per batch;
+        ``scheduler``/``jobs`` shard the event core's per-die walks (the
+        stepped reference ignores them — it exists to be the serial
+        oracle).
+        """
         from .governor import POLICY_NAMES
 
         names = list(POLICY_NAMES) if policies is None else list(policies)
-        return {name: self.run(name) for name in names}
+        resolved = validate_core(self.core if core is None else core)
+        if resolved == "event":
+            return {
+                name: self.run_event(name, scheduler=scheduler, jobs=jobs)
+                for name in names
+            }
+        return {name: self.run_stepped(name) for name in names}

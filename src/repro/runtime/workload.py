@@ -36,7 +36,7 @@ from typing import Any, Dict, Tuple
 import numpy as np
 
 #: Trace kinds exposed by :func:`build_trace` (and the CLI's ``--trace``).
-TRACE_KINDS: Tuple[str, ...] = ("diurnal", "burst", "batch")
+TRACE_KINDS: Tuple[str, ...] = ("diurnal", "burst", "batch", "sparse-diurnal")
 
 
 class TraceError(ValueError):
@@ -276,10 +276,75 @@ def batch_trace(
     )
 
 
+def sparse_diurnal_trace(
+    n_steps: int = 720,
+    seed: int = 7,
+    base_rps: float = 400.0,
+    peak_rps: float = 1600.0,
+    period_steps: int = 720,
+    epoch_steps: int = 30,
+    ambient_low_c: float = 30.0,
+    ambient_high_c: float = 80.0,
+    jitter: float = 0.05,
+    step_seconds: float = 120.0,
+) -> WorkloadTrace:
+    """Day/night cycle sampled at *epoch* granularity (piecewise constant).
+
+    The dense :func:`diurnal_trace` changes load and ambient every step, so
+    an event-driven simulator sees one event per step and gains nothing.
+    Real fleet telemetry is far sparser: ambient and traffic drift on
+    minute-to-hour scales while the simulation step stays fine enough to
+    resolve governor reactions.  This generator holds both series constant
+    within each ``epoch_steps``-long epoch (sampling the same raised cosine
+    as the dense trace at epoch starts, with per-epoch jitter), and the
+    default ``step_seconds`` of two minutes makes 720 steps model a full
+    day — the workload regime where simulated-device-seconds per
+    wall-second scales with *activity*, not step count.
+    """
+    if period_steps < 2:
+        raise TraceError("period_steps must be at least 2")
+    if epoch_steps < 1:
+        raise TraceError("epoch_steps must be at least 1")
+    if peak_rps < base_rps:
+        raise TraceError("peak_rps must be at least base_rps")
+    if ambient_high_c < ambient_low_c:
+        raise TraceError("ambient_high_c must be at least ambient_low_c")
+    rng = np.random.default_rng(seed)
+    n_epochs = -(-n_steps // epoch_steps)  # ceil
+    starts = np.arange(n_epochs) * epoch_steps
+    phase = 0.5 * (1.0 - np.cos(2.0 * np.pi * starts / period_steps))
+    load = base_rps + (peak_rps - base_rps) * phase
+    noise = 1.0 + jitter * rng.standard_normal(n_epochs)
+    epoch_requests = np.maximum(
+        0, np.round(load * step_seconds * noise)
+    ).astype(np.int64)
+    epoch_ambient = ambient_low_c + (ambient_high_c - ambient_low_c) * phase
+    requests = np.repeat(epoch_requests, epoch_steps)[:n_steps]
+    ambient = np.repeat(epoch_ambient, epoch_steps)[:n_steps]
+    _check_common(n_steps, ambient)
+    return WorkloadTrace(
+        kind="sparse-diurnal",
+        seed=seed,
+        step_seconds=step_seconds,
+        requests=requests,
+        ambient_c=ambient,
+        params={
+            "base_rps": base_rps,
+            "peak_rps": peak_rps,
+            "period_steps": period_steps,
+            "epoch_steps": epoch_steps,
+            "ambient_low_c": ambient_low_c,
+            "ambient_high_c": ambient_high_c,
+            "jitter": jitter,
+        },
+    )
+
+
 _GENERATORS = {
     "diurnal": diurnal_trace,
     "burst": burst_trace,
     "batch": batch_trace,
+    "sparse-diurnal": sparse_diurnal_trace,
 }
 
 

@@ -1,0 +1,172 @@
+"""Tests for the population-scale synthetic-fleet simulation engine.
+
+The engine's contract mirrors the identity core one level up: the
+vectorized event engine must be bit-identical to its per-die-per-step
+reference loop for every policy (digests over per-die and per-step
+arrays), sharding over worker processes must not change a digest, and the
+calibrated population draw must be deterministic and contain the drifted
+and crash-first subpopulations that keep the crash machinery honest.
+"""
+
+import numpy as np
+import pytest
+
+from repro.runtime.fleetscale import (
+    FleetScaleError,
+    SyntheticFleet,
+    SyntheticFleetSpec,
+    guardband_floor_energy_j,
+    merge_shards,
+    nominal_energy_j,
+    simulate_fleet,
+    simulate_policies,
+)
+from repro.runtime.governor import GovernorError, POLICY_NAMES
+from repro.runtime.workload import sparse_diurnal_trace
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return SyntheticFleet.draw(SyntheticFleetSpec(n_dies=150, seed=11))
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return sparse_diurnal_trace(n_steps=180, epoch_steps=30, seed=5)
+
+
+# ----------------------------------------------------------------------
+# Population draw
+# ----------------------------------------------------------------------
+def test_draw_is_deterministic_and_calibrated(fleet):
+    again = SyntheticFleet.draw(SyntheticFleetSpec(n_dies=150, seed=11))
+    for name in ("vmin_v", "vcrash_v", "true_vcrash_v", "max_threshold_v"):
+        assert np.array_equal(getattr(fleet, name), getattr(again, name))
+    # Characterized facts keep the bundle invariant Vcrash < Vmin < Vnom.
+    assert np.all(fleet.vcrash_v < fleet.vmin_v)
+    assert np.all(fleet.vmin_v < 1.0)
+    assert fleet.itd_v_per_degc > 0
+    assert fleet.ripple_margin_v > 0
+
+
+def test_draw_contains_crash_subpopulations(fleet):
+    drifted = np.sum(fleet.true_vcrash_v > fleet.vmin_v)
+    crash_first = np.sum(fleet.max_threshold_v < fleet.true_vcrash_v)
+    assert drifted >= 1
+    assert crash_first > drifted  # drifted dies are crash-first too
+    # The healthy majority still faults before it crashes.
+    assert crash_first < 0.2 * fleet.n_dies
+
+
+def test_spec_validation():
+    with pytest.raises(FleetScaleError):
+        SyntheticFleetSpec(n_dies=0)
+    with pytest.raises(FleetScaleError):
+        SyntheticFleetSpec(n_dies=4, utilization=1.5)
+
+
+# ----------------------------------------------------------------------
+# Event engine vs stepped reference
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("policy", POLICY_NAMES)
+def test_event_engine_matches_stepped_reference(fleet, trace, policy):
+    event = simulate_fleet(fleet, trace, policy, core="event")
+    stepped = simulate_fleet(fleet, trace, policy, core="stepped")
+    assert event.digest() == stepped.digest()
+    assert event.totals() == stepped.totals()
+
+
+def test_identity_holds_across_seeds_and_platforms(trace):
+    for platform, seed in (("ZC702", 1), ("VC707", 9)):
+        fleet = SyntheticFleet.draw(
+            SyntheticFleetSpec(n_dies=80, platform=platform, seed=seed)
+        )
+        for policy in ("static-undervolt", "reactive"):
+            event = simulate_fleet(fleet, trace, policy, core="event")
+            stepped = simulate_fleet(fleet, trace, policy, core="stepped")
+            assert event.digest() == stepped.digest()
+
+
+def test_crash_machinery_is_live(fleet, trace):
+    result = simulate_fleet(fleet, trace, "static-undervolt")
+    totals = result.totals()
+    assert totals["crash_steps"] > 0
+    assert totals["n_actuations"] > 0
+    # Drifted dies thrash every step of the trace.
+    drifted = fleet.true_vcrash_v > fleet.vmin_v
+    assert np.all(result.crashed_steps[drifted] == trace.n_steps)
+
+
+def test_energy_anchors(fleet, trace):
+    nominal = nominal_energy_j(fleet, trace)
+    floor = guardband_floor_energy_j(fleet, trace)
+    assert floor < nominal
+    results = simulate_policies(fleet, trace)
+    static_nominal = results["static-nominal"].totals()["energy_j"]
+    assert static_nominal == pytest.approx(nominal, rel=1e-9)
+    for name, result in results.items():
+        assert result.totals()["energy_j"] <= nominal * (1 + 1e-9), name
+
+
+# ----------------------------------------------------------------------
+# Sharding and merge invariance
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("scheduler,jobs", [("thread", 4), ("process", 3)])
+def test_sharded_digest_identical(fleet, trace, scheduler, jobs):
+    for policy in ("static-undervolt", "reactive"):
+        serial = simulate_fleet(fleet, trace, policy)
+        sharded = simulate_fleet(
+            fleet, trace, policy, scheduler=scheduler, jobs=jobs
+        )
+        assert sharded.digest() == serial.digest()
+
+
+def test_merge_shards_is_order_independent(fleet, trace):
+    from repro.runtime.fleetscale import _simulate_scale_shard
+    from repro.runtime.event_core import chamber_temperature_path, transient_steps
+
+    temps = chamber_temperature_path(trace)
+    windows = np.unique(np.concatenate(
+        ([0], transient_steps(temps), [trace.n_steps])
+    )).astype(np.int64)
+    bounds = [(0, 50), (50, 110), (110, 150)]
+    shards = [
+        _simulate_scale_shard(
+            fleet.slice(start, stop), start, trace, "reactive", 3,
+            "event", temps, windows,
+        )
+        for start, stop in bounds
+    ]
+    forward = merge_shards(shards, "reactive", fleet, trace, 18_000, "event")
+    backward = merge_shards(
+        list(reversed(shards)), "reactive", fleet, trace, 18_000, "event"
+    )
+    assert backward.digest() == forward.digest()
+    with pytest.raises(FleetScaleError):
+        merge_shards(shards[:-1], "reactive", fleet, trace, 18_000, "event")
+    with pytest.raises(FleetScaleError):
+        merge_shards(
+            [shards[0], shards[0], shards[2]],
+            "reactive", fleet, trace, 18_000, "event",
+        )
+
+
+# ----------------------------------------------------------------------
+# Request validation
+# ----------------------------------------------------------------------
+def test_simulate_fleet_validation(fleet, trace):
+    with pytest.raises(GovernorError):
+        simulate_fleet(fleet, trace, "ghost-policy")
+    with pytest.raises(FleetScaleError):
+        simulate_fleet(fleet, trace, "reactive", capacity_rps=0.0)
+    with pytest.raises(FleetScaleError):
+        simulate_fleet(fleet, trace, "reactive", crash_recovery_steps=0)
+
+
+@pytest.mark.slow
+def test_identity_at_fleet_scale(trace):
+    fleet = SyntheticFleet.draw(SyntheticFleetSpec(n_dies=10_000, seed=3))
+    for policy in ("static-undervolt", "predictive"):
+        event = simulate_fleet(fleet, trace, policy, core="event")
+        stepped = simulate_fleet(fleet, trace, policy, core="stepped")
+        assert event.digest() == stepped.digest()

@@ -331,6 +331,90 @@ class TestRuntimeCommand:
         ]) == 2
         assert "no campaign manifest" in capsys.readouterr().err
 
+    def test_sim_core_stepped_matches_event_payload(self, capsys):
+        """Both simulation cores yield byte-identical --json documents."""
+        event = strip_timing(run_json(capsys, self.RUN_ARGS + ["--json"]))
+        stepped = strip_timing(run_json(
+            capsys, self.RUN_ARGS + ["--sim-core", "stepped", "--json"],
+        ))
+        assert json.dumps(stepped, sort_keys=True) == json.dumps(
+            event, sort_keys=True
+        )
+
+    def test_sim_jobs_sharding_is_deterministic(self, capsys):
+        serial = strip_timing(run_json(capsys, self.RUN_ARGS + ["--json"]))
+        sharded = strip_timing(run_json(
+            capsys, self.RUN_ARGS + ["--sim-jobs", "2", "--json"],
+        ))
+        assert json.dumps(sharded, sort_keys=True) == json.dumps(
+            serial, sort_keys=True
+        )
+
+    def test_invalid_sim_jobs_fails_cleanly(self, capsys):
+        assert main(self.RUN_ARGS + ["--sim-jobs", "0"]) == 2
+        assert "--sim-jobs" in capsys.readouterr().err
+
+
+class TestRuntimeScaleCommand:
+    """``runtime scale``: the synthetic-population governor comparison."""
+
+    SCALE_ARGS = [
+        "runtime", "scale", "--platform", "ZC702", "--dies", "64",
+        "--steps", "48", "--fleet-seed", "4",
+    ]
+
+    def test_scale_json_schema_and_golden(self, capsys, golden):
+        payload = strip_timing(run_json(capsys, self.SCALE_ARGS + ["--json"]))
+        assert set(payload) == {
+            "fleet", "trace", "backend", "core", "device_seconds",
+            "baselines", "policies",
+        }
+        assert payload["core"] == "event"
+        assert payload["fleet"]["n_dies"] == 64
+        assert payload["fleet"]["drifted_dies"] >= 0
+        assert payload["trace"]["load_scale"] == 4.0
+        assert set(payload["policies"]) == {
+            "static-nominal", "static-undervolt", "reactive", "predictive",
+        }
+        for row in payload["policies"].values():
+            assert {
+                "energy_j", "served", "faulty_inferences", "slo_violations",
+                "crash_steps", "n_actuations",
+                "guardband_recovered_fraction", "digest",
+            } <= set(row)
+        assert payload["policies"]["static-nominal"][
+            "guardband_recovered_fraction"
+        ] == 0.0
+        golden("runtime_scale_small", payload)
+
+    def test_scale_cores_agree_on_digests(self, capsys):
+        event = strip_timing(run_json(capsys, self.SCALE_ARGS + ["--json"]))
+        stepped = strip_timing(run_json(
+            capsys, self.SCALE_ARGS + ["--sim-core", "stepped", "--json"],
+        ))
+        for name, row in event["policies"].items():
+            assert stepped["policies"][name]["digest"] == row["digest"], name
+
+    def test_scale_sharded_backend_is_deterministic(self, capsys):
+        serial = strip_timing(run_json(capsys, self.SCALE_ARGS + ["--json"]))
+        sharded = strip_timing(run_json(
+            capsys,
+            self.SCALE_ARGS + ["--backend", "process", "--jobs", "3", "--json"],
+        ))
+        assert sharded["backend"]["scheduler"] == "process"
+        for name, row in serial["policies"].items():
+            assert sharded["policies"][name]["digest"] == row["digest"], name
+
+    def test_scale_table_output(self, capsys):
+        assert main(self.SCALE_ARGS + ["--policy", "predictive"]) == 0
+        out = capsys.readouterr().out
+        assert "Population governor comparison" in out
+        assert "predictive" in out and "static-nominal" not in out
+
+    def test_invalid_load_scale_fails_cleanly(self, capsys):
+        assert main(self.SCALE_ARGS + ["--load-scale", "0"]) == 2
+        assert "--load-scale" in capsys.readouterr().err
+
 
 class TestSearchFlag:
     """The --search knob: provably identical answers, different cost."""
