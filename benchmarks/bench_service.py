@@ -1,0 +1,209 @@
+"""Figs. 1 & 7 served online — the characterization service answers 1000
+concurrent governor clients against a fleet16 store with sub-50 ms p99
+guardband lookups, coalesces engine-backed FVM queries (backend
+evaluations << requests), and accounts it all in live ``/stats``
+telemetry (docs/service.md).
+
+Acceptance benchmark for :mod:`repro.service`.  Three claims:
+
+* **fleet-scale lookup latency** — with 1000 concurrent keep-alive clients
+  round-robining ``/v1/guardband`` and ``/v1/safe-vmin`` over all 16 dies
+  of a freshly run ``fleet16`` campaign, the p99 request latency stays
+  under 50 ms;
+* **duplicate-load coalescing** — a cold burst of identical ``/v1/fvm``
+  queries rides one in-flight sweep: the shared engine counters show one
+  voltage ladder's worth of backend evaluations, not one per request;
+* **telemetry** — ``/stats`` accounts every request with per-endpoint
+  latency percentiles and mirrors the engine pool the way the CLI's
+  ``backend`` blocks do.
+"""
+
+import asyncio
+import tempfile
+import time
+
+import pytest
+
+from conftest import run_once, save_report
+from repro.analysis import ExperimentReport
+from repro.campaign import preset_spec, run_campaign
+from repro.service import BackgroundServer, FleetService, ServiceApp, ServiceClient
+
+#: Concurrent keep-alive clients in the latency phase.
+N_CLIENTS = 1000
+
+#: Requests each client issues (alternating guardband / safe-vmin).
+REQUESTS_PER_CLIENT = 4
+
+#: The acceptance ceiling on p99 lookup latency, seconds.
+P99_BUDGET_S = 0.050
+
+#: Identical cold queries in the coalescing phase.
+DUPLICATE_BURST = 200
+
+#: Window the clients' first requests are staggered over, seconds.  Governor
+#: daemons poll on their own control periods, not in lockstep; spreading the
+#: arrivals models that while every connection stays open for the whole
+#: phase.  1000 clients x 4 requests over 2 s is a sustained ~2000 QPS.
+RAMP_S = 2.0
+
+
+def _percentile(ordered, fraction):
+    index = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[index]
+
+
+async def _client_session(client, offset_s, targets):
+    """One connected client: wait its phase offset, then issue every target."""
+    await asyncio.sleep(offset_s)
+    latencies = []
+    for target in targets:
+        start = time.perf_counter()
+        status, _ = await client.get(target)
+        latencies.append(time.perf_counter() - start)
+        assert status == 200, f"{target} -> {status}"
+    return latencies
+
+
+async def _latency_phase(host, port, dies):
+    """N_CLIENTS concurrent keep-alive sessions over the fleet.
+
+    Every connection is opened up front and stays open for the whole phase;
+    request start times are staggered across :data:`RAMP_S` so the load is
+    a sustained rate rather than one synchronized thundering herd.
+    """
+    clients = [ServiceClient(host, port) for _ in range(N_CLIENTS)]
+    await asyncio.gather(*(client.connect() for client in clients))
+    try:
+        sessions = []
+        for index, client in enumerate(clients):
+            targets = []
+            for request_index in range(REQUESTS_PER_CLIENT):
+                die = dies[(index + request_index) % len(dies)]
+                base = f"platform={die['platform']}&serial={die['serial']}"
+                if request_index % 2 == 0:
+                    targets.append(f"/v1/guardband?{base}")
+                else:
+                    targets.append(f"/v1/safe-vmin?{base}&temperature_c=42.5")
+            offset_s = RAMP_S * index / N_CLIENTS
+            sessions.append(_client_session(client, offset_s, targets))
+        per_client = await asyncio.gather(*sessions)
+    finally:
+        await asyncio.gather(*(client.close() for client in clients))
+    return sorted(latency for session in per_client for latency in session)
+
+
+async def _duplicate_phase(host, port, target, n_requests):
+    """One burst of identical engine-backed queries from separate connections."""
+    clients = [ServiceClient(host, port) for _ in range(n_requests)]
+    await asyncio.gather(*(client.connect() for client in clients))
+    try:
+        start = time.perf_counter()
+        responses = await asyncio.gather(*(client.get(target) for client in clients))
+        elapsed = time.perf_counter() - start
+    finally:
+        await asyncio.gather(*(client.close() for client in clients))
+    assert all(status == 200 for status, _ in responses)
+    return elapsed
+
+
+async def _fetch_stats(host, port):
+    async with ServiceClient(host, port) as client:
+        _, document = await client.get("/stats")
+        return document
+
+
+@pytest.mark.slow
+@pytest.mark.benchmark(group="service")
+def test_service_acceptance(benchmark):
+    def body():
+        report = ExperimentReport(
+            "service",
+            "characterization-as-a-service: 1000 concurrent clients on a "
+            "fleet16 store, coalesced engine queries, /stats telemetry",
+        )
+        with tempfile.TemporaryDirectory() as root:
+            spec = preset_spec("fleet16")
+            run_campaign(spec, root=root, max_workers=4, scheduler="thread")
+            service = FleetService.from_campaign(spec.name, root, engine_workers=4)
+            app = ServiceApp(service)
+            with BackgroundServer(app) as server:
+                dies = service.dies()["dies"]
+
+                # --- phase 1: fleet-scale lookup latency ------------------
+                latencies = asyncio.run(
+                    _latency_phase(server.host, server.port, dies)
+                )
+                p50 = _percentile(latencies, 0.50)
+                p95 = _percentile(latencies, 0.95)
+                p99 = _percentile(latencies, 0.99)
+                section = report.new_section(
+                    f"{N_CLIENTS} concurrent clients, "
+                    f"{len(latencies)} lookups over {len(dies)} dies",
+                    ["metric", "value"],
+                )
+                section.add_row("p50 latency (ms)", round(1000 * p50, 3))
+                section.add_row("p95 latency (ms)", round(1000 * p95, 3))
+                section.add_row("p99 latency (ms)", round(1000 * p99, 3))
+                section.add_row("p99 budget (ms)", 1000 * P99_BUDGET_S)
+                section.add_note(
+                    "keep-alive clients alternating /v1/guardband and "
+                    "/v1/safe-vmin round-robin across the fleet"
+                )
+
+                # --- phase 2: duplicate-load coalescing -------------------
+                die = dies[0]
+                target = (
+                    f"/v1/fvm?platform={die['platform']}&serial={die['serial']}"
+                )
+                burst_s = asyncio.run(
+                    _duplicate_phase(server.host, server.port, target, DUPLICATE_BURST)
+                )
+                stats = asyncio.run(_fetch_stats(server.host, server.port))
+                counters = stats["backend"]["counters"]
+                fvm_requests = stats["service"]["endpoints"]["/v1/fvm"]["n_requests"]
+                coalescing = report.new_section(
+                    "duplicate-load coalescing (cold /v1/fvm burst)",
+                    ["metric", "value"],
+                )
+                coalescing.add_row("identical requests", DUPLICATE_BURST)
+                coalescing.add_row("burst wall time (s)", round(burst_s, 3))
+                coalescing.add_row(
+                    "backend evaluations", counters["n_backend_evaluations"]
+                )
+                coalescing.add_row(
+                    "evaluations / request",
+                    round(counters["n_backend_evaluations"] / fvm_requests, 4),
+                )
+                coalescing.add_note(
+                    "every duplicate rides the one in-flight sweep; the "
+                    "engine pool evaluated a single voltage ladder"
+                )
+
+                # --- phase 3: /stats telemetry ----------------------------
+                telemetry = report.new_section(
+                    "/stats per-endpoint telemetry", ["endpoint", "requests", "p99 ms"]
+                )
+                for route, endpoint in sorted(
+                    stats["service"]["endpoints"].items()
+                ):
+                    telemetry.add_row(route, endpoint["n_requests"], endpoint["p99_ms"])
+
+            service.close()
+        save_report(report)
+        return {
+            "p99_s": p99,
+            "n_lookups": len(latencies),
+            "backend_evaluations": counters["n_backend_evaluations"],
+            "fvm_requests": fvm_requests,
+            "n_dies": len(dies),
+        }
+
+    outcome = run_once(benchmark, body)
+    assert outcome["n_dies"] == 16
+    assert outcome["n_lookups"] == N_CLIENTS * REQUESTS_PER_CLIENT
+    # The acceptance floor: fleet lookups stay interactive under full load.
+    assert outcome["p99_s"] < P99_BUDGET_S
+    # Coalescing: identical engine-backed queries cost one sweep, so the
+    # backend worked orders of magnitude less than the request count.
+    assert outcome["backend_evaluations"] < outcome["fvm_requests"]

@@ -416,6 +416,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="telemetry document written by 'runtime run --save'",
     )
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="characterization-as-a-service: HTTP/JSON fleet query API "
+        "(see docs/service.md)",
+    )
+    serve_source = serve.add_mutually_exclusive_group(required=True)
+    serve_source.add_argument(
+        "--store",
+        metavar="NAME",
+        help="completed guardband campaign store to serve",
+    )
+    serve_source.add_argument(
+        "--bundle",
+        metavar="PATH",
+        help="emitted governor_bundle.json to serve directly",
+    )
+    serve.add_argument(
+        "--root",
+        default=DEFAULT_ROOT,
+        metavar="DIR",
+        help="campaign store root directory (with --store)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="interface to bind (default: loopback)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port; 0 picks an ephemeral port (the bound address is "
+        "printed on the ready line either way)",
+    )
+    serve.add_argument(
+        "--engine-workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="worker threads for engine-backed queries (FVM sweeps)",
+    )
+
     return parser
 
 
@@ -1263,6 +1303,73 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         return 2
 
 
+async def _serve_forever(app: Any, host: str, port: int) -> None:
+    """Bind the service, print the ready line, run until SIGINT/SIGTERM."""
+    import asyncio
+    import signal
+
+    from repro.service import start_service
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except NotImplementedError:  # pragma: no cover - non-unix event loops
+            pass
+    server = await start_service(app, host=host, port=port)
+    bound_host, bound_port = server.sockets[0].getsockname()[:2]
+    # The ready line is the startup contract: scripts (the CI smoke step)
+    # wait for it before sending traffic, and it carries the actual port
+    # when --port 0 asked for an ephemeral one.
+    print(
+        f"serving {len(app.service.bundle)} dies on "
+        f"http://{bound_host}:{bound_port} "
+        f"({len(app.routes)} endpoints; SIGINT/SIGTERM to stop)",
+        flush=True,
+    )
+    try:
+        await stop.wait()
+    finally:
+        server.close()
+        await server.wait_closed()
+        current = asyncio.current_task()
+        lingering = [task for task in asyncio.all_tasks() if task is not current]
+        for task in lingering:
+            task.cancel()
+        if lingering:
+            await asyncio.gather(*lingering, return_exceptions=True)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.runtime.characterization import CharacterizationError
+    from repro.service import FleetService, ServiceApp, ServiceError
+
+    try:
+        if args.store:
+            service = FleetService.from_campaign(
+                args.store, args.root, engine_workers=args.engine_workers
+            )
+        else:
+            service = FleetService.from_bundle_file(
+                args.bundle, engine_workers=args.engine_workers
+            )
+    except (CampaignError, CharacterizationError, ServiceError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    app = ServiceApp(service)
+    try:
+        asyncio.run(_serve_forever(app, args.host, args.port))
+    except OSError as error:  # e.g. port already bound
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    finally:
+        service.close()
+    return 0
+
+
 _COMMANDS = {
     "guardband": _cmd_guardband,
     "sweep": _cmd_sweep,
@@ -1270,6 +1377,7 @@ _COMMANDS = {
     "icbp": _cmd_icbp,
     "campaign": _cmd_campaign,
     "runtime": _cmd_runtime,
+    "serve": _cmd_serve,
 }
 
 

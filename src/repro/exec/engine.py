@@ -29,7 +29,8 @@ bit-identical — asserted by ``tests/exec/`` and the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import threading
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Protocol, Sequence, Tuple
 
 from repro.search import EvalCache, PointEvaluation, point_key
@@ -74,6 +75,13 @@ class EngineCounters:
     answered from the evaluation cache; ``n_backend_evaluations`` the ones
     the backend actually computed; ``n_deduplicated`` in-flight duplicates
     collapsed inside batches; ``n_batches`` the ``evaluate_many`` calls.
+
+    One counters object is routinely shared: cache-variant engines over one
+    backend, and service deployments where every request-handler thread
+    drives its own per-die engine into one fleet-wide telemetry block.  All
+    increments therefore go through :meth:`add`, which holds a lock — a
+    bare ``+=`` from concurrent threads is a read-modify-write race that
+    silently loses updates.
     """
 
     n_requests: int = 0
@@ -82,30 +90,69 @@ class EngineCounters:
     n_deduplicated: int = 0
     n_batches: int = 0
 
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> Dict[str, int]:
+        # Locks do not pickle; counters travel as their plain counts and
+        # get a fresh lock on the other side.
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: Dict[str, int]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def add(
+        self,
+        requests: int = 0,
+        cache_hits: int = 0,
+        backend_evaluations: int = 0,
+        deduplicated: int = 0,
+        batches: int = 0,
+    ) -> None:
+        """Atomically accumulate one engine event (thread-safe)."""
+        with self._lock:
+            self.n_requests += requests
+            self.n_cache_hits += cache_hits
+            self.n_backend_evaluations += backend_evaluations
+            self.n_deduplicated += deduplicated
+            self.n_batches += batches
+
     def snapshot(self) -> "EngineCounters":
-        """A frozen copy for later deltas."""
-        return replace(self)
+        """A frozen, consistent copy for later deltas."""
+        with self._lock:
+            return EngineCounters(
+                n_requests=self.n_requests,
+                n_cache_hits=self.n_cache_hits,
+                n_backend_evaluations=self.n_backend_evaluations,
+                n_deduplicated=self.n_deduplicated,
+                n_batches=self.n_batches,
+            )
 
     def since(self, snapshot: "EngineCounters") -> "EngineCounters":
         """Counter deltas accumulated after ``snapshot`` was taken."""
+        current = self.snapshot()
         return EngineCounters(
-            n_requests=self.n_requests - snapshot.n_requests,
-            n_cache_hits=self.n_cache_hits - snapshot.n_cache_hits,
+            n_requests=current.n_requests - snapshot.n_requests,
+            n_cache_hits=current.n_cache_hits - snapshot.n_cache_hits,
             n_backend_evaluations=(
-                self.n_backend_evaluations - snapshot.n_backend_evaluations
+                current.n_backend_evaluations - snapshot.n_backend_evaluations
             ),
-            n_deduplicated=self.n_deduplicated - snapshot.n_deduplicated,
-            n_batches=self.n_batches - snapshot.n_batches,
+            n_deduplicated=current.n_deduplicated - snapshot.n_deduplicated,
+            n_batches=current.n_batches - snapshot.n_batches,
         )
 
     def to_dict(self) -> Dict[str, int]:
         """JSON form carried by the CLI ``backend`` blocks."""
-        return {
-            "n_requests": self.n_requests,
-            "n_cache_hits": self.n_cache_hits,
-            "n_backend_evaluations": self.n_backend_evaluations,
-            "n_deduplicated": self.n_deduplicated,
-        }
+        with self._lock:
+            return {
+                "n_requests": self.n_requests,
+                "n_cache_hits": self.n_cache_hits,
+                "n_backend_evaluations": self.n_backend_evaluations,
+                "n_deduplicated": self.n_deduplicated,
+            }
 
 
 #: Worker-process backend instances, keyed by spec.  Populated lazily in
@@ -263,13 +310,13 @@ class ExecutionEngine:
         bisections) use: scheduling never applies to a single request, so
         hardware-mutating probes are naturally safe here.
         """
-        self.counters.n_requests += 1
+        self.counters.add(requests=1)
         found = self._lookup(request)
         if found is not None:
-            self.counters.n_cache_hits += 1
+            self.counters.add(cache_hits=1)
             return found, True
         point = self.backend.evaluate(request)
-        self.counters.n_backend_evaluations += 1
+        self.counters.add(backend_evaluations=1)
         if self.cache is not None:
             self.cache.store(point)
         return point, False
@@ -283,8 +330,7 @@ class ExecutionEngine:
         inline evaluation — probes mutate the simulated hardware, which is
         a serial protocol by nature.
         """
-        self.counters.n_batches += 1
-        self.counters.n_requests += len(requests)
+        self.counters.add(batches=1, requests=len(requests))
 
         # In-flight deduplication: first occurrence wins, every later
         # position reuses its result.
@@ -295,17 +341,19 @@ class ExecutionEngine:
             order.append(key)
             if key not in unique:
                 unique[key] = request
-        self.counters.n_deduplicated += len(requests) - len(unique)
+        self.counters.add(deduplicated=len(requests) - len(unique))
 
         resolved: Dict[Tuple, PointEvaluation] = {}
         misses: List[Tuple[Tuple, EvalRequest]] = []
+        n_hits = 0
         for key, request in unique.items():
             found = self._lookup(request)
             if found is not None:
-                self.counters.n_cache_hits += 1
+                n_hits += 1
                 resolved[key] = found
             else:
                 misses.append((key, request))
+        self.counters.add(cache_hits=n_hits)
 
         if misses:
             points = self._evaluate_misses([request for _key, request in misses])
@@ -313,7 +361,7 @@ class ExecutionEngine:
                 resolved[key] = point
                 if self.cache is not None:
                     self.cache.store(point)
-            self.counters.n_backend_evaluations += len(misses)
+            self.counters.add(backend_evaluations=len(misses))
 
         return [resolved[key] for key in order]
 
@@ -340,7 +388,7 @@ class ExecutionEngine:
         # fan-out — threads then share them race-free, and fork-context
         # workers inherit them for free.
         first = self.backend.evaluate(requests[0])
-        chunks = [chunk for chunk in chunked(requests[1:], self.work.jobs * 2) if chunk]
+        chunks = chunked(requests[1:], self.work.jobs * 2)
         chunk_results = self.work.map_tasks(
             fn, [(context, tuple(chunk)) for chunk in chunks]
         )

@@ -157,8 +157,8 @@ class WorkScheduler:
 
         results = [None] * len(task_args)
         depth = self.effective_queue_depth()
+        pending = {}
         try:
-            pending = {}
             next_index = 0
             while next_index < len(task_args) or pending:
                 while next_index < len(task_args) and len(pending) < depth:
@@ -172,18 +172,46 @@ class WorkScheduler:
                     results[index] = result
                     if on_result is not None:
                         on_result(index, result)
+        except BaseException:
+            # A task (or an on_result callback) failed: cancel everything
+            # still in flight and drain it before propagating, so a managed
+            # pool holds no orphaned work and stays reusable for the next
+            # map_tasks call.
+            _cancel_and_drain(pending)
+            raise
         finally:
             if not self._managed:
                 pool.shutdown(wait=True)
         return results
 
 
+def _cancel_and_drain(pending: dict) -> None:
+    """Cancel in-flight futures and wait until none is still running.
+
+    Futures a worker already picked up cannot be cancelled; those are
+    awaited to completion and their outcome (result or exception) is
+    explicitly retrieved so no "exception was never retrieved" warning
+    fires after the original error propagates.
+    """
+    for future in pending:
+        future.cancel()
+    if pending:
+        wait(list(pending))
+    for future in pending:
+        if not future.cancelled():
+            future.exception()
+    pending.clear()
+
+
 def chunked(items: Sequence[Any], n_chunks: int) -> List[List[Any]]:
     """Split ``items`` into at most ``n_chunks`` contiguous, order-preserving
-    chunks of near-equal size (never empty)."""
+    chunks of near-equal size; no chunk is ever empty, so an empty ``items``
+    yields no chunks at all."""
     if n_chunks < 1:
         raise ExecError("n_chunks must be at least 1")
-    n_chunks = min(n_chunks, len(items)) or 1
+    if not items:
+        return []
+    n_chunks = min(n_chunks, len(items))
     size, remainder = divmod(len(items), n_chunks)
     chunks: List[List[Any]] = []
     start = 0

@@ -1,0 +1,52 @@
+"""Characterization-as-a-service: the fleet's runtime query API.
+
+The offline layers of this reproduction end in artifacts — campaign stores,
+governor bundles, eval caches.  This package is the piece a deployment
+would actually run against them: a long-lived asyncio HTTP/JSON server
+(:class:`FleetService` behind :class:`ServiceApp`) answering per-die
+guardband lookups, governor-bundle fetches, FVM statistics and similarity,
+and "safe Vmin for serial X at temperature T now" — with engine-backed
+queries coalesced so identical concurrent requests cost one backend
+computation, and ``/stats`` telemetry proving it.
+
+Start one from the CLI::
+
+    repro-undervolt serve --store fleet16 --root campaigns/ --port 8080
+
+or in-process (tests, benchmarks) via
+:class:`repro.service.background.BackgroundServer`.  Everything is stdlib
+``asyncio`` — the server adds no dependencies.
+"""
+
+from .background import BackgroundServer
+from .client import ClientError, ServiceClient, fetch_json
+from .http import HttpError, HttpRequest, error_document, read_request, render_response
+from .service import (
+    DEFAULT_ENGINE_WORKERS,
+    DEFAULT_FVM_PATTERN,
+    FleetService,
+    ServiceApp,
+    ServiceError,
+    start_service,
+)
+from .stats import EndpointStats, ServiceStats
+
+__all__ = [
+    "BackgroundServer",
+    "ClientError",
+    "DEFAULT_ENGINE_WORKERS",
+    "DEFAULT_FVM_PATTERN",
+    "EndpointStats",
+    "FleetService",
+    "HttpError",
+    "HttpRequest",
+    "ServiceApp",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceStats",
+    "error_document",
+    "fetch_json",
+    "read_request",
+    "render_response",
+    "start_service",
+]

@@ -1,0 +1,96 @@
+"""Run a service on a background event-loop thread (tests and benchmarks).
+
+Pytest's synchronous tests and the benchmark driver both need a *running*
+server whose lifetime brackets a block of client code.  This helper owns
+the whole dance: spin up an event loop on a daemon thread, bind the app on
+an ephemeral port, publish the address once it is accepting connections,
+and tear everything down — server, loop, engine pool — on exit.
+
+    with BackgroundServer(app) as server:
+        ...  # connect clients to server.host / server.port
+
+Production deployments do not use this module; ``repro-undervolt serve``
+runs the loop in the foreground of its own process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional
+
+from .service import ServiceApp, start_service
+
+#: How long to wait for the loop thread to come up or drain, in seconds.
+STARTUP_TIMEOUT_S = 30.0
+
+
+class BackgroundServer:
+    """Context manager owning one server on its own event-loop thread."""
+
+    def __init__(self, app: ServiceApp, host: str = "127.0.0.1") -> None:
+        self.app = app
+        self.host = host
+        self.port: Optional[int] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._stop: Optional[asyncio.Event] = None
+        self._startup_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "BackgroundServer":
+        self._thread = threading.Thread(
+            target=self._run, name="fleet-service-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(STARTUP_TIMEOUT_S):
+            raise RuntimeError("background service did not start in time")
+        if self._startup_error is not None:
+            raise RuntimeError("background service failed to bind") from self._startup_error
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(STARTUP_TIMEOUT_S)
+        self.app.service.close()
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._serve())
+        finally:
+            loop.close()
+
+    async def _serve(self) -> None:
+        self._stop = asyncio.Event()
+        try:
+            server = await start_service(self.app, host=self.host, port=0)
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self.port = server.sockets[0].getsockname()[1]
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            # Keep-alive handlers idle in read_request until their client
+            # hangs up; cancel them so the loop drains instead of dying
+            # with pending tasks.
+            current = asyncio.current_task()
+            lingering = [task for task in asyncio.all_tasks() if task is not current]
+            for task in lingering:
+                task.cancel()
+            if lingering:
+                await asyncio.gather(*lingering, return_exceptions=True)
+
+
+__all__ = ["BackgroundServer", "STARTUP_TIMEOUT_S"]

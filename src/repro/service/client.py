@@ -1,0 +1,103 @@
+"""A minimal keep-alive asyncio client for the characterization service.
+
+The load shapes this repo cares about — thousands of concurrent governor
+daemons polling ``/v1/safe-vmin``, the coalescing property test firing N
+identical queries in one instant — need a client that (a) holds one
+persistent connection per simulated client and (b) costs nothing beyond
+the stdlib.  :class:`ServiceClient` is that: open once, ``get`` many times,
+close.  It speaks exactly the protocol subset the server emits
+(``Content-Length``-framed JSON responses).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Tuple
+
+
+class ClientError(RuntimeError):
+    """Raised when the server's response cannot be framed or parsed."""
+
+
+class ServiceClient:
+    """One persistent HTTP/1.1 connection to a running service."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = int(port)
+        self._reader: "asyncio.StreamReader | None" = None
+        self._writer: "asyncio.StreamWriter | None" = None
+
+    async def connect(self) -> "ServiceClient":
+        self._reader, self._writer = await asyncio.open_connection(self.host, self.port)
+        return self
+
+    async def __aenter__(self) -> "ServiceClient":
+        return await self.connect()
+
+    async def __aexit__(self, *_exc_info) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        self._reader = self._writer = None
+
+    async def get(self, target: str) -> Tuple[int, Dict[str, Any]]:
+        """One request/response round trip on the persistent connection.
+
+        Returns ``(status, document)``; service errors come back as their
+        structured JSON documents, not exceptions — asserting on them is
+        the caller's job.
+        """
+        if self._reader is None or self._writer is None:
+            raise ClientError("client is not connected; call connect() first")
+        self._writer.write(
+            (
+                f"GET {target} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                f"Accept: application/json\r\n"
+                f"\r\n"
+            ).encode("latin-1")
+        )
+        await self._writer.drain()
+        return await self._read_response()
+
+    async def _read_response(self) -> Tuple[int, Dict[str, Any]]:
+        assert self._reader is not None
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ClientError("connection closed before a status line arrived")
+        parts = status_line.decode("latin-1").split()
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ClientError(f"malformed status line: {status_line!r}")
+        status = int(parts[1])
+        length = 0
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n"):
+                break
+            if not line:
+                raise ClientError("connection closed inside response headers")
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        body = await self._reader.readexactly(length) if length else b"{}"
+        try:
+            return status, json.loads(body.decode("utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ClientError(f"response body is not JSON: {exc}") from exc
+
+
+async def fetch_json(host: str, port: int, target: str) -> Tuple[int, Dict[str, Any]]:
+    """One-shot convenience: connect, GET, close."""
+    async with ServiceClient(host, port) as client:
+        return await client.get(target)
+
+
+__all__ = ["ClientError", "ServiceClient", "fetch_json"]

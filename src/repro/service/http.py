@@ -1,0 +1,198 @@
+"""Minimal asyncio HTTP/1.1 plumbing for the characterization service.
+
+The service speaks a deliberately tiny slice of HTTP: ``GET`` requests
+with query strings, JSON response bodies, keep-alive connections.  That
+slice is implemented here from the stdlib alone (``asyncio`` streams and
+``urllib.parse``) so the long-running server adds **zero** dependencies —
+the same constraint every other layer of the reproduction honours.
+
+The split of responsibilities:
+
+* :func:`read_request` parses one request off a stream into a frozen
+  :class:`HttpRequest` (method, route, query, headers, body), raising
+  :class:`HttpError` — which carries an HTTP status and a machine-readable
+  error code — for anything malformed;
+* :func:`render_response` serializes one JSON document with the correct
+  ``Content-Length``/``Connection`` framing;
+* routing, query validation and endpoint semantics live in
+  :mod:`repro.service.service`, never here.
+
+Hard limits (request-line/header size, header count, body size) bound the
+memory one connection can pin, so thousands of concurrent clients — the
+``bench_service.py`` load shape — cannot balloon the server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+from urllib.parse import parse_qsl, urlsplit
+
+#: Longest accepted request line or header line, in bytes.
+MAX_LINE_BYTES = 8192
+#: Most headers accepted on one request.
+MAX_HEADERS = 64
+#: Largest accepted request body, in bytes.
+MAX_BODY_BYTES = 1 << 20
+
+#: Reason phrases for every status the service emits.
+STATUS_REASONS: Dict[int, str] = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A protocol-level problem with one request.
+
+    ``status`` is the HTTP status to answer with, ``code`` the stable
+    machine-readable error identifier carried in the JSON error document
+    (the service-level :class:`repro.service.service.ServiceError` uses
+    the same ``(status, code, message)`` shape for endpoint errors).
+    """
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = int(status)
+        self.code = str(code)
+        self.message = str(message)
+
+    def document(self) -> Dict[str, Any]:
+        """The structured JSON error body of this failure."""
+        return error_document(self.status, self.code, self.message)
+
+
+def error_document(status: int, code: str, message: str) -> Dict[str, Any]:
+    """The service-wide error body shape: ``{"error": {...}}``."""
+    return {
+        "error": {
+            "status": int(status),
+            "code": str(code),
+            "message": str(message),
+        }
+    }
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """One parsed request: the immutable input to a route handler."""
+
+    method: str
+    target: str
+    route: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the client asked to reuse the connection (HTTP/1.1
+        default; ``Connection: close`` opts out)."""
+        return self.headers.get("connection", "").strip().lower() != "close"
+
+
+async def _read_line(reader: asyncio.StreamReader) -> bytes:
+    """One CRLF-terminated line, bounded by :data:`MAX_LINE_BYTES`."""
+    try:
+        line = await reader.readline()
+    except (ValueError, asyncio.LimitOverrunError) as exc:
+        raise HttpError(431, "line-too-long", f"request line exceeds limit: {exc}") from exc
+    if len(line) > MAX_LINE_BYTES:
+        raise HttpError(431, "line-too-long", "request line exceeds limit")
+    return line
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[HttpRequest]:
+    """Parse one request off the stream; ``None`` on a cleanly closed
+    connection (between requests), :class:`HttpError` on malformed input."""
+    request_line = await _read_line(reader)
+    if not request_line:
+        return None  # client closed the idle connection
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        raise HttpError(400, "malformed-request-line", "expected 'METHOD target HTTP/1.x'")
+    method, target, version = parts
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, "unsupported-protocol", f"unsupported protocol {version!r}")
+
+    headers: Dict[str, str] = {}
+    while True:
+        line = await _read_line(reader)
+        if line in (b"\r\n", b"\n"):
+            break
+        if not line:
+            raise HttpError(400, "truncated-headers", "connection closed inside headers")
+        name, separator, value = line.decode("latin-1").partition(":")
+        if not separator:
+            raise HttpError(400, "malformed-header", f"header line without ':': {line!r}")
+        headers[name.strip().lower()] = value.strip()
+        if len(headers) > MAX_HEADERS:
+            raise HttpError(431, "too-many-headers", f"more than {MAX_HEADERS} headers")
+
+    raw_length = headers.get("content-length", "0")
+    try:
+        length = int(raw_length)
+    except ValueError:
+        raise HttpError(400, "malformed-body", f"Content-Length {raw_length!r} is not an integer") from None
+    if length < 0:
+        raise HttpError(400, "malformed-body", "Content-Length cannot be negative")
+    if length > MAX_BODY_BYTES:
+        raise HttpError(413, "body-too-large", f"body exceeds {MAX_BODY_BYTES} bytes")
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise HttpError(400, "truncated-body", "connection closed inside the body") from exc
+
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+    return HttpRequest(
+        method=method.upper(),
+        target=target,
+        route=split.path or "/",
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def render_response(status: int, document: Dict[str, Any], keep_alive: bool = True) -> bytes:
+    """Serialize one JSON response with correct framing.
+
+    Documents are emitted compact and key-sorted so responses are a pure,
+    byte-stable function of their content (the same discipline the CLI's
+    ``--json`` documents follow, minus the wall-clock ``timing`` block that
+    only `/stats` carries, clearly labelled).
+    """
+    body = json.dumps(document, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    reason = STATUS_REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        f"\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "MAX_BODY_BYTES",
+    "MAX_HEADERS",
+    "MAX_LINE_BYTES",
+    "STATUS_REASONS",
+    "error_document",
+    "read_request",
+    "render_response",
+]

@@ -1,0 +1,108 @@
+"""Per-endpoint latency/QPS accounting for the characterization service.
+
+The service's ``/stats`` endpoint answers two different questions and this
+module owns the first: *how is the HTTP surface behaving* (request counts,
+error counts, latency percentiles, sustained QPS per endpoint).  The
+second — *how hard is the evaluation backend working* — is answered by the
+engines' shared :class:`repro.exec.EngineCounters`, which ``/stats`` simply
+mirrors the way the CLI's ``backend`` blocks do.
+
+Concurrency note: unlike ``EngineCounters`` (incremented from worker
+threads, hence locked), every update here happens on the service's single
+asyncio event loop, so plain attribute updates are already serialized and
+no lock is taken.  Latency percentiles are computed over a bounded ring of
+recent samples (:data:`LATENCY_RING_SIZE`) so a long-lived server's memory
+stays flat no matter how many requests it absorbs.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any, Deque, Dict
+
+#: Recent latency samples kept per endpoint for percentile estimates.
+LATENCY_RING_SIZE = 4096
+
+#: Percentiles reported per endpoint, as (label, fraction).
+PERCENTILES = (("p50_ms", 0.50), ("p95_ms", 0.95), ("p99_ms", 0.99))
+
+
+def _percentile(ordered: "list[float]", fraction: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample list."""
+    index = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[index]
+
+
+class EndpointStats:
+    """Counters and a latency ring for one route."""
+
+    __slots__ = ("n_requests", "n_errors", "total_latency_s", "latencies_s")
+
+    def __init__(self) -> None:
+        self.n_requests = 0
+        self.n_errors = 0
+        self.total_latency_s = 0.0
+        self.latencies_s: Deque[float] = deque(maxlen=LATENCY_RING_SIZE)
+
+    def record(self, latency_s: float, ok: bool) -> None:
+        """Account one finished request."""
+        self.n_requests += 1
+        if not ok:
+            self.n_errors += 1
+        self.total_latency_s += latency_s
+        self.latencies_s.append(latency_s)
+
+    def to_dict(self, uptime_s: float) -> Dict[str, Any]:
+        """JSON form: counts, mean/percentile latencies (ms), sustained QPS."""
+        document: Dict[str, Any] = {
+            "n_requests": self.n_requests,
+            "n_errors": self.n_errors,
+            "qps": round(self.n_requests / uptime_s, 3) if uptime_s > 0 else 0.0,
+            "mean_ms": (
+                round(1000.0 * self.total_latency_s / self.n_requests, 3)
+                if self.n_requests
+                else 0.0
+            ),
+        }
+        ordered = sorted(self.latencies_s)
+        for label, fraction in PERCENTILES:
+            document[label] = (
+                round(1000.0 * _percentile(ordered, fraction), 3) if ordered else 0.0
+            )
+        return document
+
+
+class ServiceStats:
+    """All endpoints' stats plus service uptime."""
+
+    def __init__(self) -> None:
+        self._started = time.monotonic()
+        self._endpoints: Dict[str, EndpointStats] = {}
+
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self._started
+
+    def record(self, endpoint: str, latency_s: float, ok: bool) -> None:
+        """Account one finished request against its route."""
+        stats = self._endpoints.get(endpoint)
+        if stats is None:
+            stats = self._endpoints[endpoint] = EndpointStats()
+        stats.record(latency_s, ok)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The ``service`` block of the ``/stats`` document."""
+        uptime = self.uptime_s
+        return {
+            "uptime_s": round(uptime, 3),
+            "n_requests": sum(s.n_requests for s in self._endpoints.values()),
+            "n_errors": sum(s.n_errors for s in self._endpoints.values()),
+            "endpoints": {
+                route: stats.to_dict(uptime)
+                for route, stats in sorted(self._endpoints.items())
+            },
+        }
+
+
+__all__ = ["LATENCY_RING_SIZE", "PERCENTILES", "EndpointStats", "ServiceStats"]

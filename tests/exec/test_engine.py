@@ -90,9 +90,15 @@ class TestScheduling:
         chunks = chunked(items, 4)
         assert [x for chunk in chunks for x in chunk] == items
         assert all(chunks)
-        assert chunked([], 3) == [[]]
         with pytest.raises(ExecError):
             chunked(items, 0)
+
+    def test_chunked_empty_input_yields_no_chunks(self):
+        # Regression: the docstring promises no chunk is ever empty, but
+        # an empty input used to come back as [[]] — one empty chunk that
+        # every caller then had to filter defensively.
+        assert chunked([], 3) == []
+        assert chunked([], 1) == []
 
 
 class TestDeduplication:

@@ -1,0 +1,136 @@
+"""Scheduler and counter correctness under failure and concurrency.
+
+Three exec-layer contracts hardened for service use:
+
+* ``chunked`` never produces an empty chunk (``tests/exec/test_engine.py``
+  keeps the shape properties; the empty-input regression lives there too);
+* ``WorkScheduler.map_tasks`` cancels and drains in-flight work when a
+  task raises, so a *managed* pool (``with WorkScheduler(...)``) survives
+  a failed batch and serves the next one;
+* ``EngineCounters`` increments are atomic — one counters object is shared
+  by every cache-variant engine of an experiment and by every per-die
+  engine of the fleet service, all incrementing from concurrent threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.exec import (
+    EngineCounters,
+    EvalRequest,
+    ExecutionEngine,
+    REGION,
+    SimulatedBackend,
+    WorkScheduler,
+)
+from repro.fpga import FpgaChip
+
+
+def _slow_identity(value):
+    time.sleep(0.01)
+    return value
+
+
+def _poison(value):
+    if value == 3:
+        raise ValueError(f"poisoned task {value}")
+    time.sleep(0.005)
+    return value
+
+
+class TestMapTasksFailure:
+    @pytest.mark.parametrize("scheduler", ["thread", "process"])
+    def test_poison_task_propagates_and_pool_stays_usable(self, scheduler):
+        tasks = [(i,) for i in range(12)]
+        with WorkScheduler(scheduler=scheduler, jobs=2, queue_depth=4) as work:
+            with pytest.raises(ValueError, match="poisoned task 3"):
+                work.map_tasks(_poison, tasks)
+            # No orphaned futures: the managed pool is immediately reusable
+            # and the next batch comes back complete and in order.
+            clean = work.map_tasks(_slow_identity, [(i,) for i in range(8)])
+            assert clean == list(range(8))
+
+    def test_unmanaged_pool_also_drains(self):
+        work = WorkScheduler(scheduler="thread", jobs=2)
+        with pytest.raises(ValueError, match="poisoned task 3"):
+            work.map_tasks(_poison, [(i,) for i in range(12)])
+        assert work._pool is None  # nothing survives the call
+
+    def test_on_result_failure_drains_too(self):
+        def explode(_index, _result):
+            raise RuntimeError("callback failure")
+
+        with WorkScheduler(scheduler="thread", jobs=2) as work:
+            with pytest.raises(RuntimeError, match="callback failure"):
+                work.map_tasks(_slow_identity, [(i,) for i in range(8)], on_result=explode)
+            assert work.map_tasks(_slow_identity, [(1,), (2,)]) == [1, 2]
+
+
+class TestCountersAtomicity:
+    def test_concurrent_add_is_exact(self):
+        counters = EngineCounters()
+        n_threads, n_increments = 8, 20_000
+
+        def hammer():
+            for _ in range(n_increments):
+                counters.add(requests=1, backend_evaluations=2)
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counters.n_requests == n_threads * n_increments
+        assert counters.n_backend_evaluations == 2 * n_threads * n_increments
+
+    def test_snapshot_and_since_are_consistent(self):
+        counters = EngineCounters()
+        counters.add(requests=5, cache_hits=2, batches=1)
+        snap = counters.snapshot()
+        counters.add(requests=3, backend_evaluations=3)
+        delta = counters.since(snap)
+        assert delta.n_requests == 3
+        assert delta.n_backend_evaluations == 3
+        assert delta.n_cache_hits == 0
+
+    def test_shared_counters_exact_under_threaded_engines(self):
+        # The fleet-service shape: several engines over one die family share
+        # one counters object and evaluate from concurrent threads.  Every
+        # request is distinct, so the exact totals are fully determined.
+        chip = FpgaChip.build("ZC702")
+        backend = SimulatedBackend(chip=chip)
+        shared = EngineCounters()
+        engines = [
+            ExecutionEngine(backend, counters=shared) for _ in range(4)
+        ]
+        voltages = [round(0.55 + 0.0001 * i, 6) for i in range(200)]
+
+        def drive(engine, offset):
+            for index in range(50):
+                voltage = voltages[offset * 50 + index]
+                engine.evaluate(
+                    EvalRequest(
+                        kind=REGION,
+                        rail="VCCBRAM",
+                        voltage_v=voltage,
+                        temperature_c=26.0,
+                        pattern="FFFF",
+                        n_runs=2,
+                    )
+                )
+
+        threads = [
+            threading.Thread(target=drive, args=(engine, offset))
+            for offset, engine in enumerate(engines)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert shared.n_requests == 200
+        assert shared.n_backend_evaluations == 200
+        assert shared.n_cache_hits == 0

@@ -1,0 +1,116 @@
+"""The coalescing property: N identical concurrent queries, one computation.
+
+The engine-backed endpoints are the expensive ones (a full critical-region
+sweep per die), so the service promises that identical concurrent requests
+ride one in-flight computation and that repeats after it are cache hits.
+``/stats`` exposes the shared engine counters, which makes the property
+directly testable: fire a burst, then assert the backend did exactly one
+sweep's worth of evaluations.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.batch import voltage_ladder
+from repro.core.calibration import get_calibration
+from repro.fpga import FpgaChip
+from repro.fpga.voltage import DEFAULT_STEP_V
+from repro.runtime.characterization import DieCharacterization, GovernorBundle
+from repro.service import BackgroundServer, FleetService, ServiceApp, ServiceClient
+
+PLATFORM = "ZC702"
+SERIAL_A, SERIAL_B = "CO-A", "CO-B"
+BURST = 32
+
+
+def sweep_rungs() -> int:
+    """Backend evaluations one FVM sweep costs on this platform."""
+    calibration = get_calibration(FpgaChip.build(PLATFORM).spec)
+    return len(
+        voltage_ladder(calibration.vmin_bram_v, calibration.vcrash_bram_v, DEFAULT_STEP_V)
+    )
+
+
+@pytest.fixture()
+def server():
+    bundle = GovernorBundle(source="coalesce-fleet")
+    for serial, vmin_v in ((SERIAL_A, 0.59), (SERIAL_B, 0.60)):
+        bundle.add(DieCharacterization(
+            platform=PLATFORM, serial=serial, vnom_v=1.0, vmin_v=vmin_v,
+            vcrash_v=0.54, itd_v_per_degc=0.0006, ripple_margin_v=0.003,
+        ))
+    app = ServiceApp(FleetService(bundle, engine_workers=4))
+    with BackgroundServer(app) as running:
+        yield running
+
+
+async def _burst(server, target: str, n_clients: int):
+    """``n_clients`` separate connections all issuing ``target`` at once."""
+    clients = [ServiceClient(server.host, server.port) for _ in range(n_clients)]
+    await asyncio.gather(*(client.connect() for client in clients))
+    try:
+        # A barrier-ish start: every request is created before any is awaited,
+        # so they are all in flight inside one event-loop tick window.
+        return await asyncio.gather(*(client.get(target) for client in clients))
+    finally:
+        await asyncio.gather(*(client.close() for client in clients))
+
+
+def _backend_counters(server) -> dict:
+    async def fetch():
+        async with ServiceClient(server.host, server.port) as client:
+            _, document = await client.get("/stats")
+            return document["backend"]["counters"]
+
+    return asyncio.run(fetch())
+
+
+class TestCoalescing:
+    def test_identical_concurrent_fvm_queries_hit_backend_once(self, server):
+        target = f"/v1/fvm?platform={PLATFORM}&serial={SERIAL_A}"
+        responses = asyncio.run(_burst(server, target, BURST))
+        assert all(status == 200 for status, _ in responses)
+        documents = [document for _, document in responses]
+        assert all(document == documents[0] for document in documents)
+
+        counters = _backend_counters(server)
+        # All 32 clients rode one sweep: exactly one ladder's worth of
+        # backend evaluations, not 32 of them.
+        assert counters["n_backend_evaluations"] == sweep_rungs()
+
+    def test_repeat_after_burst_is_served_from_cache(self, server):
+        target = f"/v1/fvm?platform={PLATFORM}&serial={SERIAL_A}"
+        asyncio.run(_burst(server, target, 8))
+        before = _backend_counters(server)["n_backend_evaluations"]
+        status, document = asyncio.run(_burst(server, target, 1))[0]
+        assert status == 200
+        after = _backend_counters(server)["n_backend_evaluations"]
+        assert after == before  # the FVM object cache answered
+
+    def test_concurrent_similarity_queries_sweep_each_die_once(self, server):
+        target = (
+            f"/v1/fvm-similarity?platform={PLATFORM}"
+            f"&serial_a={SERIAL_A}&serial_b={SERIAL_B}"
+        )
+        responses = asyncio.run(_burst(server, target, BURST))
+        assert all(status == 200 for status, _ in responses)
+        counters = _backend_counters(server)
+        assert counters["n_backend_evaluations"] == 2 * sweep_rungs()
+
+    def test_stats_show_requests_far_exceed_evaluations(self, server):
+        target = f"/v1/fvm?platform={PLATFORM}&serial={SERIAL_A}"
+        asyncio.run(_burst(server, target, BURST))
+
+        async def fetch_stats():
+            async with ServiceClient(server.host, server.port) as client:
+                _, document = await client.get("/stats")
+                return document
+
+        document = asyncio.run(fetch_stats())
+        fvm_requests = document["service"]["endpoints"]["/v1/fvm"]["n_requests"]
+        evaluations = document["backend"]["counters"]["n_backend_evaluations"]
+        assert fvm_requests == BURST
+        assert evaluations < fvm_requests

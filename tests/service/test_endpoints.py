@@ -1,0 +1,261 @@
+"""Endpoint behavior of the characterization service.
+
+One background server per module (a synthetic two-die bundle — no campaign
+run needed), exercised through the package's own keep-alive client plus a
+raw socket for the protocol-error cases.  Covers every endpoint's happy
+path, the structured JSON error contract (unknown platform/serial → 404,
+missing/invalid parameters → 400, wrong method → 405, unknown route → 404,
+malformed request line → 400), and the ``/stats`` document shape.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+
+import pytest
+
+from repro.runtime.characterization import DieCharacterization, GovernorBundle
+from repro.runtime.governor import GovernorObservation, build_policy
+from repro.service import BackgroundServer, FleetService, ServiceApp, fetch_json
+
+PLATFORM = "ZC702"
+SERIAL_A, SERIAL_B = "SVC-A", "SVC-B"
+
+
+def make_bundle() -> GovernorBundle:
+    bundle = GovernorBundle(source="test-fleet")
+    bundle.add(DieCharacterization(
+        platform=PLATFORM, serial=SERIAL_A, vnom_v=1.0, vmin_v=0.59,
+        vcrash_v=0.54, itd_v_per_degc=0.0006, ripple_margin_v=0.003,
+    ))
+    bundle.add(DieCharacterization(
+        platform=PLATFORM, serial=SERIAL_B, vnom_v=1.0, vmin_v=0.60,
+        vcrash_v=0.54, itd_v_per_degc=0.0006, ripple_margin_v=0.003,
+    ))
+    return bundle
+
+
+@pytest.fixture(scope="module")
+def server():
+    app = ServiceApp(FleetService(make_bundle(), engine_workers=2))
+    with BackgroundServer(app) as running:
+        yield running
+
+
+def get(server, target):
+    return asyncio.run(fetch_json(server.host, server.port, target))
+
+
+class TestHappyPaths:
+    def test_healthz(self, server):
+        status, document = get(server, "/healthz")
+        assert status == 200
+        assert document == {"status": "ok", "n_dies": 2}
+
+    def test_dies_roster(self, server):
+        status, document = get(server, "/v1/dies")
+        assert status == 200
+        assert document["n_dies"] == 2
+        assert {"platform": PLATFORM, "serial": SERIAL_A} in document["dies"]
+
+    def test_guardband_lookup(self, server):
+        status, document = get(
+            server, f"/v1/guardband?platform={PLATFORM}&serial={SERIAL_A}"
+        )
+        assert status == 200
+        assert document["vmin_v"] == 0.59
+        assert document["vcrash_v"] == 0.54
+        assert document["guardband_fraction"] == pytest.approx((1.0 - 0.59) / 1.0)
+
+    def test_bundle_whole_fleet_and_single_die(self, server):
+        status, document = get(server, "/v1/bundle")
+        assert status == 200
+        assert document["version"] == 1
+        assert len(document["dies"]) == 2
+        status, entry = get(
+            server, f"/v1/bundle?platform={PLATFORM}&serial={SERIAL_B}"
+        )
+        assert status == 200
+        assert entry["vmin_v"] == 0.60
+
+    def test_safe_vmin_matches_predictive_policy(self, server):
+        # The endpoint must command exactly what the in-process governor
+        # would: same ITD compensation, ripple margin, rounding and clamp.
+        die = make_bundle().get(PLATFORM, SERIAL_A)
+        policy = build_policy("predictive")
+        for temperature_c in (20.0, 50.0, 80.0):
+            expected = policy.target_voltage(
+                die,
+                GovernorObservation(
+                    step=0, temperature_c=temperature_c,
+                    faults_last_step=0, setpoint_v=die.vnom_v,
+                ),
+            )
+            status, document = get(
+                server,
+                f"/v1/safe-vmin?platform={PLATFORM}&serial={SERIAL_A}"
+                f"&temperature_c={temperature_c}",
+            )
+            assert status == 200
+            assert document["safe_vmin_v"] == pytest.approx(expected)
+            assert document["undervolt_fraction"] == pytest.approx(
+                (die.vnom_v - expected) / die.vnom_v
+            )
+
+    def test_fvm_statistics(self, server):
+        status, document = get(
+            server, f"/v1/fvm?platform={PLATFORM}&serial={SERIAL_A}"
+        )
+        assert status == 200
+        assert document["n_brams"] > 0
+        stats = document["statistics"]
+        assert set(stats) == {
+            "max_percent", "min_percent", "mean_percent", "never_faulty_fraction",
+        }
+        assert stats["max_percent"] >= stats["mean_percent"] >= 0.0
+
+    def test_fvm_similarity_pair(self, server):
+        status, document = get(
+            server,
+            f"/v1/fvm-similarity?platform={PLATFORM}"
+            f"&serial_a={SERIAL_A}&serial_b={SERIAL_B}",
+        )
+        assert status == 200
+        assert document["platform"] == PLATFORM
+        assert {document["serial_a"], document["serial_b"]} == {SERIAL_A, SERIAL_B}
+        assert document["rate_ratio"] is None or document["rate_ratio"] >= 1.0
+        assert -1.0 <= document["count_correlation"] <= 1.0
+
+    def test_stats_document_shape(self, server):
+        status, document = get(server, "/stats")
+        assert status == 200
+        assert set(document) == {"service", "backend", "bundle"}
+        backend = document["backend"]
+        # Mirrors the CLI's ``backend`` blocks, with live counters.
+        assert backend["kind"] == "simulated"
+        assert set(backend["counters"]) == {
+            "n_requests", "n_cache_hits", "n_backend_evaluations", "n_deduplicated",
+        }
+        service = document["service"]
+        assert service["n_requests"] >= 1
+        endpoint = service["endpoints"]["/healthz"]
+        assert {"n_requests", "n_errors", "qps", "mean_ms", "p50_ms", "p95_ms",
+                "p99_ms"} <= set(endpoint)
+        assert document["bundle"]["n_dies"] == 2
+
+
+class TestErrorContract:
+    def test_unknown_platform_is_404(self, server):
+        status, document = get(server, f"/v1/guardband?platform=NOPE&serial={SERIAL_A}")
+        assert status == 404
+        assert document["error"]["code"] == "unknown-platform"
+        assert document["error"]["status"] == 404
+
+    def test_unknown_serial_is_404(self, server):
+        status, document = get(server, f"/v1/guardband?platform={PLATFORM}&serial=GHOST")
+        assert status == 404
+        assert document["error"]["code"] == "unknown-serial"
+        assert "GHOST" in document["error"]["message"]
+
+    def test_missing_parameter_is_400(self, server):
+        status, document = get(server, f"/v1/guardband?platform={PLATFORM}")
+        assert status == 400
+        assert document["error"]["code"] == "missing-parameter"
+
+    def test_non_numeric_temperature_is_400(self, server):
+        status, document = get(
+            server,
+            f"/v1/safe-vmin?platform={PLATFORM}&serial={SERIAL_A}&temperature_c=warm",
+        )
+        assert status == 400
+        assert document["error"]["code"] == "invalid-parameter"
+
+    def test_similarity_of_die_with_itself_is_400(self, server):
+        status, document = get(
+            server,
+            f"/v1/fvm-similarity?platform={PLATFORM}"
+            f"&serial_a={SERIAL_A}&serial_b={SERIAL_A}",
+        )
+        assert status == 400
+        assert document["error"]["code"] == "invalid-parameter"
+
+    def test_unknown_route_is_404(self, server):
+        status, document = get(server, "/v1/nope")
+        assert status == 404
+        assert document["error"]["code"] == "unknown-route"
+
+    def test_non_get_method_is_405(self, server):
+        with socket.create_connection((server.host, server.port), timeout=10) as sock:
+            sock.sendall(b"POST /v1/dies HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n")
+            response = _read_http_response(sock)
+        assert response["status"] == 405
+        assert response["document"]["error"]["code"] == "method-not-allowed"
+
+    def test_malformed_request_line_is_400(self, server):
+        with socket.create_connection((server.host, server.port), timeout=10) as sock:
+            sock.sendall(b"NOT-EVEN-HTTP\r\n\r\n")
+            response = _read_http_response(sock)
+        assert response["status"] == 400
+        assert response["document"]["error"]["code"] == "malformed-request-line"
+
+    def test_malformed_content_length_is_400(self, server):
+        with socket.create_connection((server.host, server.port), timeout=10) as sock:
+            sock.sendall(b"GET /healthz HTTP/1.1\r\nContent-Length: banana\r\n\r\n")
+            response = _read_http_response(sock)
+        assert response["status"] == 400
+        assert response["document"]["error"]["code"] == "malformed-body"
+
+    def test_errors_count_in_stats(self, server):
+        get(server, "/v1/guardband?platform=NOPE&serial=x")
+        status, document = get(server, "/stats")
+        assert status == 200
+        guardband = document["service"]["endpoints"]["/v1/guardband"]
+        assert guardband["n_errors"] >= 1
+
+
+class TestConnectionBehavior:
+    def test_keep_alive_serves_many_requests_on_one_connection(self, server):
+        async def drive():
+            from repro.service import ServiceClient
+
+            async with ServiceClient(server.host, server.port) as client:
+                return [await client.get("/healthz") for _ in range(5)]
+
+        responses = asyncio.run(drive())
+        assert all(status == 200 for status, _ in responses)
+        assert all(doc["status"] == "ok" for _, doc in responses)
+
+    def test_connection_close_is_honored(self, server):
+        with socket.create_connection((server.host, server.port), timeout=10) as sock:
+            sock.sendall(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+            response = _read_http_response(sock)
+            assert response["status"] == 200
+            # The server closes its side: the next read sees EOF.
+            sock.settimeout(10)
+            assert sock.recv(1) == b""
+
+
+def _read_http_response(sock: socket.socket) -> dict:
+    """Read one Content-Length-framed response off a raw socket."""
+    data = b""
+    while b"\r\n\r\n" not in data:
+        chunk = sock.recv(4096)
+        if not chunk:
+            raise AssertionError(f"connection closed before headers: {data!r}")
+        data += chunk
+    head, _, body = data.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    length = 0
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    while len(body) < length:
+        chunk = sock.recv(4096)
+        if not chunk:
+            break
+        body += chunk
+    return {"status": status, "document": json.loads(body.decode("utf-8"))}
