@@ -54,6 +54,8 @@ from repro.exec import ExecError, WorkScheduler, validate_scheduler
 from repro.fpga.platform import FpgaChip
 from repro.fpga.voltage import DEFAULT_STEP_V, VCCBRAM, VCCINT
 from repro.harness.sweep import UndervoltingExperiment
+from repro.obs import trace as obs_trace
+from repro.obs.progress import EventStream, callback_shim
 from repro.search import EvalCache, WarmStartModel, merge_search_documents
 
 from .spec import CampaignError, CampaignSpec, WorkUnit
@@ -306,17 +308,21 @@ def _execute_shard(
     else:
         warm = WarmStartModel(step_v=DEFAULT_STEP_V)
     executed: List[Tuple[str, Dict[str, Any]]] = []
-    for unit in units:
-        result = execute_unit(unit, cache=cache, warm=warm)
-        # Cache first, commit marker last: a marker on disk implies its
-        # probes are in the cache, so losing the in-flight unit can never
-        # cost more than re-running it from cached evaluations.
-        if cache is not None and unit.search == "adaptive":
-            store.save_eval_cache(cache)
-        store.save(result)
-        executed.append((result.unit_id, result.summary.get("search", {})))
-        if on_unit is not None:
-            on_unit(result.unit_id, result.summary.get("search", {}))
+    die = f"{units[0].platform}/{units[0].serial}" if units else ""
+    with obs_trace.span("campaign.shard", die=die, n_units=len(units)):
+        for unit in units:
+            with obs_trace.span("campaign.unit", unit=unit.unit_id):
+                result = execute_unit(unit, cache=cache, warm=warm)
+                # Cache first, commit marker last: a marker on disk implies
+                # its probes are in the cache, so losing the in-flight unit
+                # can never cost more than re-running it from cached
+                # evaluations.
+                if cache is not None and unit.search == "adaptive":
+                    store.save_eval_cache(cache)
+                store.save(result)
+            executed.append((result.unit_id, result.summary.get("search", {})))
+            if on_unit is not None:
+                on_unit(result.unit_id, result.summary.get("search", {}))
     return executed
 
 
@@ -429,6 +435,7 @@ def run_campaign(
     progress: Optional[Callable[[str, int, int], None]] = None,
     scheduler: Optional[str] = None,
     store_version: Optional[int] = None,
+    events: Optional[EventStream] = None,
 ) -> CampaignRunReport:
     """Run (or resume) a campaign, persisting every unit as it completes.
 
@@ -449,7 +456,15 @@ def run_campaign(
         complete — per unit when running serially, per finished shard when
         running parallel (workers persist their own units; the parent only
         learns of them when a shard resolves).  The CLI uses it for live
-        status lines.
+        status lines.  Kept as a compatibility shim: it is subscribed to
+        the run's event stream via
+        :func:`repro.obs.progress.callback_shim`.
+    events:
+        Optional :class:`repro.obs.progress.EventStream` receiving
+        ``campaign.progress`` events (fields ``unit_id``/``done``/
+        ``pending``) as units complete; the run builds a private stream
+        when none is given.  Every event is also recorded on the active
+        trace recorder.
     scheduler:
         Shard scheduling substrate from :data:`repro.exec.SCHEDULERS`
         (``serial`` / ``thread`` / ``process``); defaults to ``process``
@@ -480,46 +495,62 @@ def run_campaign(
 
     executed: List[str] = []
     search_documents: List[Dict[str, Any]] = []
+    stream = events if events is not None else EventStream()
+    if progress is not None:
+        stream.subscribe(callback_shim(progress))
 
     def _record(results: Sequence[Tuple[str, Dict[str, Any]]]) -> None:
         for unit_id, search_document in results:
             executed.append(unit_id)
             search_documents.append(search_document)
-            if progress is not None:
-                progress(unit_id, len(executed), len(pending))
+            stream.emit(
+                "campaign.progress",
+                unit_id=unit_id,
+                done=len(executed),
+                pending=len(pending),
+            )
 
     warm_starting = spec.search == "adaptive" and spec.sweep == "guardband"
     warm = warm_model_from_store(store, spec) if warm_starting else None
 
-    if serial:
-        n_workers = 1
-        scheduler = "serial"
-        # One live warm model, shared across shards: every die after the
-        # first of its platform starts from the population so far (each
-        # shard's _run_guardband feeds its thresholds back via warm.add).
-        for shard in shards:
-            _execute_shard(
-                shard,
-                spec.name,
-                str(root),
-                on_unit=lambda unit_id, doc: _record([(unit_id, doc)]),
-                warm_model=warm,
-            )
-    else:
-        n_workers = min(max_workers, len(shards))
-        waves = _scout_waves(shards, warm) if warm is not None else [shards]
-        # One worker pool for the whole run: the context manager keeps it
-        # alive across the scout and warm waves.
-        with WorkScheduler(scheduler=scheduler, jobs=n_workers) as work:
-            for wave_index, wave in enumerate(waves):
-                if warm_starting and wave_index > 0:
-                    warm = warm_model_from_store(store, spec)
-                warm_document = warm.to_dict() if warm is not None else None
-                work.map_tasks(
-                    _execute_shard,
-                    [(shard, spec.name, str(root), warm_document) for shard in wave],
-                    on_result=lambda _index, results: _record(results),
+    with obs_trace.span(
+        "campaign.run", name=spec.name, sweep=spec.sweep, search=spec.search
+    ):
+        if serial:
+            n_workers = 1
+            scheduler = "serial"
+            # One live warm model, shared across shards: every die after the
+            # first of its platform starts from the population so far (each
+            # shard's _run_guardband feeds its thresholds back via warm.add).
+            for shard in shards:
+                _execute_shard(
+                    shard,
+                    spec.name,
+                    str(root),
+                    on_unit=lambda unit_id, doc: _record([(unit_id, doc)]),
+                    warm_model=warm,
                 )
+        else:
+            n_workers = min(max_workers, len(shards))
+            waves = _scout_waves(shards, warm) if warm is not None else [shards]
+            # One worker pool for the whole run: the context manager keeps it
+            # alive across the scout and warm waves.
+            with WorkScheduler(scheduler=scheduler, jobs=n_workers) as work:
+                for wave_index, wave in enumerate(waves):
+                    if warm_starting and wave_index > 0:
+                        warm = warm_model_from_store(store, spec)
+                    warm_document = warm.to_dict() if warm is not None else None
+                    with obs_trace.span(
+                        "campaign.wave", wave=wave_index, n_shards=len(wave)
+                    ):
+                        work.map_tasks(
+                            _execute_shard,
+                            [
+                                (shard, spec.name, str(root), warm_document)
+                                for shard in wave
+                            ],
+                            on_result=lambda _index, results: _record(results),
+                        )
 
     bundle_file: Optional[str] = None
     if spec.governor_bundle and store.status(spec).is_complete:

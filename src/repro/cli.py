@@ -15,7 +15,16 @@ without writing Python:
   (:mod:`repro.campaign`, see ``docs/campaigns.md``);
 * ``runtime``       — closed-loop runtime undervolting: ``run`` a governed
   fleet through a workload trace and ``report`` saved telemetry
-  (:mod:`repro.runtime`, see ``docs/runtime.md``).
+  (:mod:`repro.runtime`, see ``docs/runtime.md``);
+* ``trace``         — ``summarize`` an observability trace file written by
+  ``--obs-trace`` into a per-phase wall/self-time table
+  (:mod:`repro.obs`, see ``docs/observability.md``).
+
+The long-running commands (``guardband``, ``sweep``, ``campaign run``,
+``runtime run``, ``serve``) accept ``--obs-trace PATH`` (JSON-lines span
+trace of the run) and ``--obs-metrics PATH`` (Prometheus text exposition
+written when the command finishes).  Both default to off, and off is free —
+the ``--json`` documents are byte-identical either way.
 
 Every single-board command accepts ``--platform`` (default VC707) and prints
 aligned ASCII tables; machine-readable output is available with ``--json``.
@@ -37,6 +46,7 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
+from repro import __version__
 from repro.analysis import render_table, similarity_extremes
 from repro.campaign import (
     CampaignError,
@@ -94,6 +104,28 @@ def _add_json_argument(parser: argparse.ArgumentParser) -> None:
         "--json",
         action="store_true",
         help="emit a JSON document instead of ASCII tables",
+    )
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """The observability flags of the long-running commands.
+
+    ``--obs-trace`` installs a JSON-lines span recorder for the whole
+    command; ``--obs-metrics`` switches the process-wide metrics registry
+    on and dumps its Prometheus text exposition when the command returns.
+    Both are off by default, and off is free (see docs/observability.md).
+    """
+    parser.add_argument(
+        "--obs-trace",
+        metavar="PATH",
+        help="append a JSON-lines span trace of this command to PATH "
+        "(inspect it with 'repro-undervolt trace summarize PATH')",
+    )
+    parser.add_argument(
+        "--obs-metrics",
+        metavar="PATH",
+        help="collect metrics during this command and write the Prometheus "
+        "text exposition to PATH on exit",
     )
 
 
@@ -191,6 +223,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-undervolt",
         description="FPGA BRAM undervolting experiments (MICRO 2018 reproduction)",
     )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
+        help="print the package version and exit",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     guardband = subparsers.add_parser("guardband", help="discover Vmin/Vcrash (Fig. 1)")
@@ -198,6 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_json_argument(guardband)
     _add_search_argument(guardband, default="adaptive")
     _add_backend_arguments(guardband, replay=True)
+    _add_obs_arguments(guardband)
     guardband.add_argument(
         "--runs",
         type=int,
@@ -211,6 +250,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_json_argument(sweep)
     _add_search_argument(sweep, default="adaptive")
     _add_backend_arguments(sweep, replay=True)
+    _add_obs_arguments(sweep)
     sweep.add_argument("--runs", type=int, default=11, help="read-back repetitions per voltage step")
     sweep.add_argument("--pattern", default="FFFF", help="initial BRAM data pattern (e.g. FFFF, AAAA)")
 
@@ -257,6 +297,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_campaign_common(run, need_spec=True)
     _add_search_argument(run, default=None)  # None: honour the spec's knob
     _add_backend_arguments(run, default="process")
+    _add_obs_arguments(run)
     run.add_argument(
         "--no-processes",
         action="store_true",
@@ -305,6 +346,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_platform_argument(run_rt)
     _add_json_argument(run_rt)
     _add_backend_arguments(run_rt)
+    _add_obs_arguments(run_rt)
     run_rt.add_argument(
         "--chips", type=int, default=4, help="fleet size when characterizing inline"
     )
@@ -455,6 +497,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker threads for engine-backed queries (FVM sweeps)",
     )
+    _add_obs_arguments(serve)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="inspect observability trace files written by --obs-trace",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize",
+        help="per-phase wall/self-time table of a JSON-lines trace file",
+    )
+    summarize.add_argument(
+        "path", metavar="PATH", help="trace file written by --obs-trace"
+    )
+    _add_json_argument(summarize)
 
     return parser
 
@@ -1370,6 +1427,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# Trace sub-commands
+# ----------------------------------------------------------------------
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import TraceError, render_summary_table, summarize_trace
+
+    try:
+        document = summarize_trace(args.path)
+    except (TraceError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        _emit_json(document)
+        return 0
+    print(render_summary_table(document))
+    return 0
+
+
 _COMMANDS = {
     "guardband": _cmd_guardband,
     "sweep": _cmd_sweep,
@@ -1378,7 +1453,43 @@ _COMMANDS = {
     "campaign": _cmd_campaign,
     "runtime": _cmd_runtime,
     "serve": _cmd_serve,
+    "trace": _cmd_trace,
 }
+
+
+def _install_observability(args: argparse.Namespace):
+    """Honour ``--obs-trace``/``--obs-metrics``; returns the teardown hook.
+
+    Installation happens before the command runs, teardown after it
+    returns (including on error paths): the trace recorder is closed and
+    reset, and the metrics registry — stamped with build info — is
+    rendered to its output path and switched back off.
+    """
+    trace_path = getattr(args, "obs_trace", None)
+    metrics_path = getattr(args, "obs_metrics", None)
+    if trace_path:
+        from repro.obs import install_trace
+
+        install_trace(trace_path)
+    if metrics_path:
+        from repro.obs import build_info, enable
+
+        build_info(__version__, enable())
+
+    def teardown() -> None:
+        if metrics_path:
+            from repro.obs import disable, get_registry
+
+            registry = get_registry()
+            if registry is not None:
+                Path(metrics_path).write_text(registry.render())
+            disable()
+        if trace_path:
+            from repro.obs import reset_recorder
+
+            reset_recorder()
+
+    return teardown
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -1387,6 +1498,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     _COMMAND_T0 = time.perf_counter()
+    teardown = _install_observability(args)
     try:
         return _COMMANDS[args.command](args)
     except ExecError as error:
@@ -1394,6 +1506,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         # operator input, not a crash: one line, non-zero exit.
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        teardown()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -33,6 +33,8 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Protocol, Sequence, Tuple
 
+from repro.obs import adapters as obs_adapters
+from repro.obs import trace as obs_trace
 from repro.search import EvalCache, PointEvaluation, point_key
 
 from .backends import backend_from_spec
@@ -206,6 +208,10 @@ class ExecutionEngine:
         self.work = WorkScheduler(scheduler=scheduler, jobs=jobs, queue_depth=queue_depth)
         self.cache = cache
         self.counters = counters if counters is not None else EngineCounters()
+        # No-op unless a process-wide metrics registry is on (--obs-metrics);
+        # idempotent per counters object, so cache-variant engines sharing
+        # counters register once.
+        obs_adapters.bind_engine_counters(self.counters)
         if cache is not None and (
             cache.platform != backend.platform or cache.serial != backend.serial
         ):
@@ -310,16 +316,17 @@ class ExecutionEngine:
         bisections) use: scheduling never applies to a single request, so
         hardware-mutating probes are naturally safe here.
         """
-        self.counters.add(requests=1)
-        found = self._lookup(request)
-        if found is not None:
-            self.counters.add(cache_hits=1)
-            return found, True
-        point = self.backend.evaluate(request)
-        self.counters.add(backend_evaluations=1)
-        if self.cache is not None:
-            self.cache.store(point)
-        return point, False
+        with obs_trace.span("engine.evaluate", kind=request.kind):
+            self.counters.add(requests=1)
+            found = self._lookup(request)
+            if found is not None:
+                self.counters.add(cache_hits=1)
+                return found, True
+            point = self.backend.evaluate(request)
+            self.counters.add(backend_evaluations=1)
+            if self.cache is not None:
+                self.cache.store(point)
+            return point, False
 
     def evaluate_many(self, requests: Sequence[EvalRequest]) -> List[PointEvaluation]:
         """Answer a batch of requests; results in request order.
@@ -330,40 +337,41 @@ class ExecutionEngine:
         inline evaluation — probes mutate the simulated hardware, which is
         a serial protocol by nature.
         """
-        self.counters.add(batches=1, requests=len(requests))
+        with obs_trace.span("engine.evaluate_many", n=len(requests)):
+            self.counters.add(batches=1, requests=len(requests))
 
-        # In-flight deduplication: first occurrence wins, every later
-        # position reuses its result.
-        order: List[Tuple] = []
-        unique: Dict[Tuple, EvalRequest] = {}
-        for request in requests:
-            key = (request.kind,) + self._key(request)
-            order.append(key)
-            if key not in unique:
-                unique[key] = request
-        self.counters.add(deduplicated=len(requests) - len(unique))
+            # In-flight deduplication: first occurrence wins, every later
+            # position reuses its result.
+            order: List[Tuple] = []
+            unique: Dict[Tuple, EvalRequest] = {}
+            for request in requests:
+                key = (request.kind,) + self._key(request)
+                order.append(key)
+                if key not in unique:
+                    unique[key] = request
+            self.counters.add(deduplicated=len(requests) - len(unique))
 
-        resolved: Dict[Tuple, PointEvaluation] = {}
-        misses: List[Tuple[Tuple, EvalRequest]] = []
-        n_hits = 0
-        for key, request in unique.items():
-            found = self._lookup(request)
-            if found is not None:
-                n_hits += 1
-                resolved[key] = found
-            else:
-                misses.append((key, request))
-        self.counters.add(cache_hits=n_hits)
+            resolved: Dict[Tuple, PointEvaluation] = {}
+            misses: List[Tuple[Tuple, EvalRequest]] = []
+            n_hits = 0
+            for key, request in unique.items():
+                found = self._lookup(request)
+                if found is not None:
+                    n_hits += 1
+                    resolved[key] = found
+                else:
+                    misses.append((key, request))
+            self.counters.add(cache_hits=n_hits)
 
-        if misses:
-            points = self._evaluate_misses([request for _key, request in misses])
-            for (key, _request), point in zip(misses, points):
-                resolved[key] = point
-                if self.cache is not None:
-                    self.cache.store(point)
-            self.counters.add(backend_evaluations=len(misses))
+            if misses:
+                points = self._evaluate_misses([request for _key, request in misses])
+                for (key, _request), point in zip(misses, points):
+                    resolved[key] = point
+                    if self.cache is not None:
+                        self.cache.store(point)
+                self.counters.add(backend_evaluations=len(misses))
 
-        return [resolved[key] for key in order]
+            return [resolved[key] for key in order]
 
     def _evaluate_misses(self, requests: List[EvalRequest]) -> List[PointEvaluation]:
         """Compute fresh evaluations, scheduling pure batches over workers."""

@@ -20,9 +20,12 @@ consumers want).
 from __future__ import annotations
 
 import multiprocessing
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.obs import trace as obs_trace
 
 from .request import ExecError
 
@@ -139,10 +142,23 @@ class WorkScheduler:
         ``fn`` must be a module-level callable and every argument and result
         must be picklable.
         """
+        recorder = obs_trace.get_recorder()
+        task_name = getattr(fn, "__name__", "task")
+
         if self.is_serial or len(task_args) <= 1:
             results: List[Any] = []
             for index, args in enumerate(task_args):
-                result = fn(*args)
+                if recorder.enabled:
+                    t0 = time.monotonic()
+                    result = fn(*args)
+                    recorder.record(
+                        "sched.task",
+                        t0,
+                        time.monotonic() - t0,
+                        {"task": task_name, "index": index},
+                    )
+                else:
+                    result = fn(*args)
                 results.append(result)
                 if on_result is not None:
                     on_result(index, result)
@@ -158,18 +174,34 @@ class WorkScheduler:
         results = [None] * len(task_args)
         depth = self.effective_queue_depth()
         pending = {}
+        # Dispatch spans measure submission -> completion (queue wait plus
+        # execution); recorded from the parent under its open span, so the
+        # worker-side spans and the dispatch spans tell queueing apart.
+        dispatch_parent = recorder.current_span_id() if recorder.enabled else None
+        submitted_at: dict = {}
         try:
             next_index = 0
             while next_index < len(task_args) or pending:
                 while next_index < len(task_args) and len(pending) < depth:
                     future = pool.submit(fn, *task_args[next_index])
                     pending[future] = next_index
+                    if recorder.enabled:
+                        submitted_at[next_index] = time.monotonic()
                     next_index += 1
                 finished, _ = wait(pending, return_when=FIRST_COMPLETED)
                 for future in finished:
                     index = pending.pop(future)
                     result = future.result()
                     results[index] = result
+                    if recorder.enabled:
+                        t0 = submitted_at.pop(index)
+                        recorder.record(
+                            "sched.task",
+                            t0,
+                            time.monotonic() - t0,
+                            {"task": task_name, "index": index},
+                            parent_id=dispatch_parent,
+                        )
                     if on_result is not None:
                         on_result(index, result)
         except BaseException:

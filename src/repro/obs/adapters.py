@@ -1,0 +1,131 @@
+"""Adapters mirroring existing telemetry objects into a metrics registry.
+
+The legacy telemetry — :class:`repro.exec.EngineCounters` and
+:class:`repro.service.stats.ServiceStats` — stays the source of truth;
+these adapters register render-time callbacks that copy the current totals
+into Prometheus families.  Nothing about the legacy objects or their JSON
+forms changes, which is what keeps the CLI ``backend`` blocks and the
+service ``/stats`` document byte-identical whether metrics are on or off.
+
+Every ``bind_*`` function is a no-op when no registry is given and the
+process-wide one (see :func:`repro.obs.metrics.enable`) is off — callers
+bind unconditionally and pay nothing by default.  Binding is idempotent
+per source object, so engines that share one counters object (cache
+variants, the service's fleet-wide counters) register it once.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import metrics
+from .metrics import MetricsRegistry
+
+#: The engine counter events mirrored into ``repro_engine_events_total``.
+ENGINE_EVENTS = (
+    "requests",
+    "cache_hits",
+    "backend_evaluations",
+    "deduplicated",
+    "batches",
+)
+
+
+def _resolve(registry: Optional[MetricsRegistry]) -> Optional[MetricsRegistry]:
+    return registry if registry is not None else metrics.get_registry()
+
+
+def bind_engine_counters(
+    counters, registry: Optional[MetricsRegistry] = None
+) -> None:
+    """Mirror an :class:`EngineCounters` into ``repro_engine_events_total``.
+
+    Multiple distinct counters objects (one per independent engine family)
+    are summed into one fleet-wide total per event — the same aggregation
+    the service's ``/stats`` backend block performs.
+    """
+    registry = _resolve(registry)
+    if registry is None:
+        return
+    sources = getattr(registry, "_engine_sources", None)
+    if sources is None:
+        sources = []
+        registry._engine_sources = sources
+        family = registry.counter(
+            "repro_engine_events_total",
+            "Execution engine events (requests, cache hits, backend "
+            "evaluations, in-flight deduplications, batches).",
+            ("event",),
+        )
+
+        def mirror() -> None:
+            totals = dict.fromkeys(ENGINE_EVENTS, 0)
+            for source in sources:
+                snap = source.snapshot()
+                for event in ENGINE_EVENTS:
+                    totals[event] += getattr(snap, f"n_{event}")
+            for event, total in totals.items():
+                # Mirroring absolute totals: the source counters are
+                # monotonic, so direct assignment keeps the family honest.
+                family.labels(event=event).value = float(total)
+
+        registry.register_callback(mirror, key="engine_counters")
+    if not any(source is counters for source in sources):
+        sources.append(counters)
+
+
+def bind_service_stats(stats, registry: Optional[MetricsRegistry] = None) -> None:
+    """Mirror a :class:`ServiceStats` into per-endpoint request families."""
+    registry = _resolve(registry)
+    if registry is None:
+        return
+    requests_family = registry.counter(
+        "repro_requests_total",
+        "HTTP requests served, by endpoint.",
+        ("endpoint",),
+    )
+    errors_family = registry.counter(
+        "repro_request_errors_total",
+        "HTTP requests answered with an error status, by endpoint.",
+        ("endpoint",),
+    )
+    occupancy_family = registry.gauge(
+        "repro_latency_ring_occupancy",
+        "Latency samples currently held in the per-endpoint ring.",
+        ("endpoint",),
+    )
+    uptime_family = registry.gauge(
+        "repro_service_uptime_seconds",
+        "Seconds since the service started.",
+    )
+
+    def mirror() -> None:
+        uptime_family.set(stats.uptime_s)
+        for route, endpoint in stats._endpoints.items():
+            requests_family.labels(endpoint=route).value = float(
+                endpoint.n_requests
+            )
+            errors_family.labels(endpoint=route).value = float(endpoint.n_errors)
+            occupancy_family.labels(endpoint=route).set(len(endpoint.latencies_s))
+
+    registry.register_callback(mirror, key=("service_stats", id(stats)))
+
+
+def build_info(version: str, registry: Optional[MetricsRegistry] = None) -> None:
+    """Expose ``repro_build_info{version=...} 1`` on the registry."""
+    registry = _resolve(registry)
+    if registry is None:
+        return
+    registry.gauge(
+        "repro_build_info",
+        "Build information for the repro-bram-undervolting package.",
+        ("version",),
+    ).labels(version=version).set(1.0)
+
+
+__all__ = [
+    "ENGINE_EVENTS",
+    "bind_engine_counters",
+    "bind_service_stats",
+    "build_info",
+]

@@ -1,0 +1,381 @@
+"""The metrics registry: counters, gauges and fixed-bucket histograms.
+
+One :class:`MetricsRegistry` owns a set of *metric families* — a name, a
+help string, a type, and a set of label names — each holding one child
+per distinct label-value combination.  The registry renders the whole set
+as Prometheus text exposition format (version 0.0.4), which is what the
+service's ``/metrics`` endpoint and the CLI's ``--obs-metrics PATH`` dump
+emit.  Everything is stdlib: the registry adds **zero** dependencies,
+honouring the same constraint as every other layer.
+
+Two integration styles:
+
+* **direct instrumentation** — hot paths own a child handle and call
+  ``inc``/``set``/``observe`` on it (the service's request counter and
+  latency histogram work this way);
+* **callbacks** — existing telemetry objects (the exec layer's
+  :class:`~repro.exec.EngineCounters`, the service's
+  :class:`~repro.service.stats.ServiceStats`) stay the source of truth and
+  a registered callback mirrors them into the registry at render time, so
+  the legacy ``--json``/``/stats`` blocks remain byte-identical (see
+  :mod:`repro.obs.adapters`).
+
+Thread-safety: one lock per registry guards family creation and callback
+registration; child value updates are single attribute mutations guarded
+by the same lock only where torn reads could matter (histogram bucket
+vectors).  The registry is designed for scrape-heavy, update-light and
+update-heavy, scrape-light workloads alike — renders take the lock once.
+
+A process-wide registry can be switched on with :func:`enable` (the CLI's
+``--obs-metrics`` does this); with it off — the default — :func:`active`
+is ``False`` and the adapters are no-ops, which is what keeps default runs
+free of observability cost.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+
+class MetricsError(ValueError):
+    """An invalid metric or label name, or a family redefinition conflict."""
+
+
+#: Prometheus metric / label name grammar.
+_NAME_PATTERN = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_PATTERN = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default latency buckets, in seconds (request-serving shaped).
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _escape_label_value(value: str) -> str:
+    """Backslash-escape a label value per the exposition format."""
+    return value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value the way Prometheus expects."""
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_pairs(
+    labelnames: Tuple[str, ...], labelvalues: Tuple[str, ...]
+) -> str:
+    """The ``{name="value",...}`` suffix of one sample line (may be empty)."""
+    if not labelnames:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(labelnames, labelvalues)
+    )
+    return "{" + inner + "}"
+
+
+class Counter:
+    """A monotonically increasing value (one labeled child)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricsError("counters can only increase")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (one labeled child)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """A fixed-bucket histogram (one labeled child).
+
+    ``buckets`` are upper bounds (the implicit ``+Inf`` bucket is always
+    appended); ``observe`` increments every bucket whose bound is >= the
+    sample, Prometheus-style cumulative counts.
+    """
+
+    __slots__ = ("buckets", "counts", "total", "n_samples", "_lock")
+
+    def __init__(self, buckets: Sequence[float]) -> None:
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.total = 0.0
+        self.n_samples = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.counts[index] += 1
+            self.counts[-1] += 1  # +Inf
+            self.total += value
+            self.n_samples += 1
+
+
+class MetricFamily:
+    """One named family: type, help, label names, and labeled children."""
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        kind: str,
+        labelnames: Tuple[str, ...],
+        buckets: Optional[Tuple[float, ...]] = None,
+    ) -> None:
+        self.name = name
+        self.help_text = help_text
+        self.kind = kind
+        self.labelnames = labelnames
+        self.buckets = buckets
+        self._children: "Dict[Tuple[str, ...], Counter | Gauge | Histogram]" = {}
+        self._lock = threading.Lock()
+
+    def labels(self, **labelvalues: "str | int | float") -> "Counter | Gauge | Histogram":
+        """The child for one label-value combination (created on first use)."""
+        if set(labelvalues) != set(self.labelnames):
+            raise MetricsError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(sorted(labelvalues))}"
+            )
+        key = tuple(str(labelvalues[name]) for name in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = self._make_child()
+                    self._children[key] = child
+        return child
+
+    def _make_child(self) -> "Counter | Gauge | Histogram":
+        if self.kind == "counter":
+            return Counter()
+        if self.kind == "gauge":
+            return Gauge()
+        return Histogram(self.buckets or DEFAULT_LATENCY_BUCKETS)
+
+    # Unlabeled families proxy the single child's API.
+    def _solo(self) -> "Counter | Gauge | Histogram":
+        if self.labelnames:
+            raise MetricsError(f"{self.name} is labeled; call .labels(...) first")
+        return self.labels()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._solo().inc(amount)  # type: ignore[union-attr]
+
+    def set(self, value: float) -> None:
+        self._solo().set(value)  # type: ignore[union-attr]
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._solo().dec(amount)  # type: ignore[union-attr]
+
+    def observe(self, value: float) -> None:
+        self._solo().observe(value)  # type: ignore[union-attr]
+
+    # ------------------------------------------------------------------
+    def render(self) -> List[str]:
+        """This family's exposition lines (samples sorted by label key)."""
+        lines = [
+            f"# HELP {self.name} {_escape_help(self.help_text)}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        for key in sorted(self._children):
+            child = self._children[key]
+            suffix = _label_pairs(self.labelnames, key)
+            if isinstance(child, Histogram):
+                cumulative: List[str] = []
+                for bound, count in zip(
+                    child.buckets + (math.inf,), child.counts
+                ):
+                    bucket_labels = _label_pairs(
+                        self.labelnames + ("le",),
+                        key + (_format_value(bound),),
+                    )
+                    cumulative.append(
+                        f"{self.name}_bucket{bucket_labels} {count}"
+                    )
+                lines.extend(cumulative)
+                lines.append(f"{self.name}_sum{suffix} {_format_value(child.total)}")
+                lines.append(f"{self.name}_count{suffix} {child.n_samples}")
+            else:
+                lines.append(f"{self.name}{suffix} {_format_value(child.value)}")
+        return lines
+
+
+class MetricsRegistry:
+    """A set of metric families plus render-time callbacks."""
+
+    def __init__(self) -> None:
+        self._families: "Dict[str, MetricFamily]" = {}
+        self._callbacks: List[Callable[[], None]] = []
+        self._callback_keys: set = set()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _family(
+        self,
+        name: str,
+        help_text: str,
+        kind: str,
+        labelnames: Sequence[str],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        if not _NAME_PATTERN.match(name):
+            raise MetricsError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_PATTERN.match(label):
+                raise MetricsError(f"invalid label name {label!r} on {name}")
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind or family.labelnames != tuple(labelnames):
+                    raise MetricsError(
+                        f"metric {name} already registered as {family.kind}"
+                        f"{family.labelnames}, cannot redefine as {kind}"
+                        f"{tuple(labelnames)}"
+                    )
+                return family
+            family = MetricFamily(
+                name,
+                help_text,
+                kind,
+                tuple(labelnames),
+                tuple(buckets) if buckets is not None else None,
+            )
+            self._families[name] = family
+            return family
+
+    def counter(
+        self, name: str, help_text: str, labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        """Register (or fetch) a counter family."""
+        return self._family(name, help_text, "counter", labelnames)
+
+    def gauge(
+        self, name: str, help_text: str, labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        """Register (or fetch) a gauge family."""
+        return self._family(name, help_text, "gauge", labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> MetricFamily:
+        """Register (or fetch) a fixed-bucket histogram family."""
+        return self._family(name, help_text, "histogram", labelnames, buckets)
+
+    def register_callback(
+        self, fn: Callable[[], None], key: Optional[object] = None
+    ) -> None:
+        """Run ``fn`` before every render (mirror external state in).
+
+        ``key`` deduplicates: registering the same key twice keeps only the
+        first callback — what lets adapters bind idempotently per source
+        object.
+        """
+        with self._lock:
+            if key is not None:
+                if key in self._callback_keys:
+                    return
+                self._callback_keys.add(key)
+            self._callbacks.append(fn)
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """The whole registry as Prometheus text format (families sorted)."""
+        with self._lock:
+            callbacks = list(self._callbacks)
+        for fn in callbacks:
+            fn()
+        with self._lock:
+            families = [self._families[name] for name in sorted(self._families)]
+        lines: List[str] = []
+        for family in families:
+            lines.extend(family.render())
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+# ----------------------------------------------------------------------
+# The process-wide registry (CLI --obs-metrics switches it on)
+# ----------------------------------------------------------------------
+_GLOBAL: Optional[MetricsRegistry] = None
+
+
+def enable(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Switch process-wide metrics collection on; returns the registry."""
+    global _GLOBAL
+    _GLOBAL = registry if registry is not None else MetricsRegistry()
+    return _GLOBAL
+
+
+def disable() -> None:
+    """Switch process-wide metrics collection off (the default state)."""
+    global _GLOBAL
+    _GLOBAL = None
+
+
+def active() -> bool:
+    """Whether a process-wide registry is collecting."""
+    return _GLOBAL is not None
+
+
+def get_registry() -> Optional[MetricsRegistry]:
+    """The process-wide registry, or ``None`` when collection is off."""
+    return _GLOBAL
+
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsError",
+    "MetricsRegistry",
+    "active",
+    "disable",
+    "enable",
+    "get_registry",
+]

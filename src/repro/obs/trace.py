@@ -1,0 +1,343 @@
+"""Span-based tracing: bounded JSON-lines trace files, null by default.
+
+A *span* is one named, labeled piece of work with a monotonic-clock
+duration and a parent — ``obs.span("campaign.unit", unit=uid)`` around the
+work is the whole API.  Finished spans are appended to a JSON-lines trace
+file, one object per line:
+
+``{"kind": "span", "name": ..., "span_id": ..., "parent_id": ...,
+"pid": ..., "t_start_s": ..., "duration_s": ..., "labels": {...}}``
+
+plus zero-duration ``{"kind": "event", ...}`` records for the progress
+stream.  The design constraints, in order:
+
+* **the null recorder is the default and free** — with tracing off (no
+  ``--obs-trace``), ``span()`` returns one shared no-op context manager:
+  two cheap method calls, no allocation, no branches in the caller.  The
+  ``bench_obs_overhead.py`` acceptance benchmark holds this to <2% on the
+  fleet campaign path;
+* **crash-safe appends** — every record is a single ``os.write`` to an
+  ``O_APPEND`` descriptor, so concurrent writers (forked campaign workers
+  sharing the inherited recorder) never interleave lines and a SIGKILL can
+  tear at most the final line, which the summarizer skips with a warning;
+* **disjoint ids across processes** — span ids are ``"<pid>-<seq>"``, and
+  a forked worker re-opens its own descriptor on first write (detected by
+  pid change), so process-sharded campaigns write one merged, well-formed
+  trace;
+* **bounded files** — a recorder stops after ``max_records`` records
+  (default 1M), noting the truncation once, so a runaway loop cannot fill
+  a disk.
+
+Parent/child structure is tracked per thread (a ``threading.local`` stack);
+a worker process forked inside a span inherits that span as its initial
+parent, so campaign-unit spans written by workers still point back at the
+campaign-run root span.
+
+Determinism: span ids, pids and timings are schedule-dependent by nature;
+the *stripped* form — name plus sorted labels — is not, which is what the
+``trace summarize`` digest hashes (see :mod:`repro.obs.summarize`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, Optional
+
+
+class _NullSpan:
+    """The shared no-op span: the entire cost of tracing-off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """The default recorder: records nothing, costs (almost) nothing."""
+
+    enabled = False
+
+    def span(self, name: str, /, **labels: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, /, **fields: Any) -> None:
+        return None
+
+    def record(
+        self,
+        name: str,
+        t_start_s: float,
+        duration_s: float,
+        labels: Optional[Dict[str, Any]] = None,
+        parent_id: Optional[str] = None,
+    ) -> None:
+        return None
+
+    def current_span_id(self) -> Optional[str]:
+        return None
+
+    def close(self) -> None:
+        return None
+
+
+NULL_RECORDER = NullRecorder()
+
+
+class _Span:
+    """One live span: context manager measuring a monotonic duration."""
+
+    __slots__ = ("recorder", "name", "labels", "span_id", "parent_id", "t0")
+
+    def __init__(
+        self,
+        recorder: "JsonlTraceRecorder",
+        name: str,
+        labels: Dict[str, Any],
+    ) -> None:
+        self.recorder = recorder
+        self.name = name
+        self.labels = labels
+        self.span_id: Optional[str] = None
+        self.parent_id: Optional[str] = None
+        self.t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        self.span_id = self.recorder._next_id()
+        stack = self.recorder._stack()
+        self.parent_id = stack[-1] if stack else None
+        stack.append(self.span_id)
+        self.t0 = time.monotonic()
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        duration = time.monotonic() - self.t0
+        stack = self.recorder._stack()
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        elif self.span_id in stack:
+            # Interleaved exits (concurrent request spans sharing one
+            # event-loop thread): remove this span wherever it sits so the
+            # stack cannot leak entries.
+            stack.remove(self.span_id)
+        self.recorder._write(
+            {
+                "kind": "span",
+                "name": self.name,
+                "span_id": self.span_id,
+                "parent_id": self.parent_id,
+                "pid": os.getpid(),
+                "t_start_s": round(self.t0, 9),
+                "duration_s": round(duration, 9),
+                "labels": self.labels,
+            }
+        )
+
+
+class JsonlTraceRecorder:
+    """Append finished spans and events to one JSON-lines trace file."""
+
+    enabled = True
+
+    #: Default record cap per recorder (and therefore per process).
+    DEFAULT_MAX_RECORDS = 1_000_000
+
+    def __init__(self, path: "str | os.PathLike", max_records: Optional[int] = None) -> None:
+        self.path = os.fspath(path)
+        self.max_records = (
+            self.DEFAULT_MAX_RECORDS if max_records is None else int(max_records)
+        )
+        if self.max_records < 1:
+            raise ValueError("max_records must be at least 1")
+        self._fd: Optional[int] = None
+        self._fd_pid: Optional[int] = None
+        self._n_written = 0
+        self._noted_truncation = False
+        self._seq = 0
+        self._seq_lock = threading.Lock()
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # Identity and structure
+    # ------------------------------------------------------------------
+    def _next_id(self) -> str:
+        with self._seq_lock:
+            self._seq += 1
+            seq = self._seq
+        return f"{os.getpid():x}-{seq:x}"
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current_span_id(self) -> Optional[str]:
+        """The innermost open span id on this thread.
+
+        A forked worker's surviving thread keeps the forking thread's
+        stack (fork copies thread-local state of the thread that forked),
+        so spans opened in the child chain back to whatever span was open
+        at the fork point.
+        """
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def _ensure_fd(self) -> int:
+        pid = os.getpid()
+        if self._fd is None or self._fd_pid != pid:
+            if self._fd is not None and self._fd_pid == pid:
+                os.close(self._fd)
+            # A forked child must not close the fd it shares with the
+            # parent's open file description; it simply opens its own.
+            self._fd = os.open(
+                self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+            self._fd_pid = pid
+        return self._fd
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        if self._n_written >= self.max_records:
+            if not self._noted_truncation:
+                self._noted_truncation = True
+                line = json.dumps(
+                    {
+                        "kind": "event",
+                        "name": "trace.truncated",
+                        "pid": os.getpid(),
+                        "fields": {"max_records": self.max_records},
+                    },
+                    separators=(",", ":"),
+                    sort_keys=True,
+                )
+                os.write(self._ensure_fd(), (line + "\n").encode("utf-8"))
+            return
+        self._n_written += 1
+        line = json.dumps(record, separators=(",", ":"), sort_keys=True, default=str)
+        # One write call per line: concurrent O_APPEND writers (forked
+        # campaign shards) cannot interleave bytes within a line.
+        os.write(self._ensure_fd(), (line + "\n").encode("utf-8"))
+
+    # ------------------------------------------------------------------
+    # Public recording API (mirrors NullRecorder)
+    # ------------------------------------------------------------------
+    def span(self, name: str, /, **labels: Any) -> _Span:
+        """A context manager recording one span around its body.
+
+        ``name`` is positional-only so a label may itself be called
+        ``name`` (``span("campaign.run", name=spec.name)``).
+        """
+        return _Span(self, name, labels)
+
+    def event(self, name: str, /, **fields: Any) -> None:
+        """Record one zero-duration event under the current span."""
+        self._write(
+            {
+                "kind": "event",
+                "name": name,
+                "span_id": self._next_id(),
+                "parent_id": self.current_span_id(),
+                "pid": os.getpid(),
+                "t_start_s": round(time.monotonic(), 9),
+                "fields": fields,
+            }
+        )
+
+    def record(
+        self,
+        name: str,
+        t_start_s: float,
+        duration_s: float,
+        labels: Optional[Dict[str, Any]] = None,
+        parent_id: Optional[str] = None,
+    ) -> None:
+        """Record one pre-measured span (dispatch paths that cannot nest a
+        context manager around the work, e.g. parallel task completion)."""
+        self._write(
+            {
+                "kind": "span",
+                "name": name,
+                "span_id": self._next_id(),
+                "parent_id": parent_id if parent_id is not None else self.current_span_id(),
+                "pid": os.getpid(),
+                "t_start_s": round(t_start_s, 9),
+                "duration_s": round(duration_s, 9),
+                "labels": labels or {},
+            }
+        )
+
+    def close(self) -> None:
+        """Close the descriptor (idempotent; reopens on next write)."""
+        if self._fd is not None and self._fd_pid == os.getpid():
+            os.close(self._fd)
+        self._fd = None
+        self._fd_pid = None
+
+
+# ----------------------------------------------------------------------
+# The process-wide recorder
+# ----------------------------------------------------------------------
+_RECORDER: "NullRecorder | JsonlTraceRecorder" = NULL_RECORDER
+
+
+def get_recorder() -> "NullRecorder | JsonlTraceRecorder":
+    """The active recorder (the shared null recorder by default)."""
+    return _RECORDER
+
+
+def set_recorder(
+    recorder: "NullRecorder | JsonlTraceRecorder",
+) -> "NullRecorder | JsonlTraceRecorder":
+    """Install ``recorder`` process-wide; returns the previous one."""
+    global _RECORDER
+    previous = _RECORDER
+    _RECORDER = recorder
+    return previous
+
+
+def install_trace(path: "str | os.PathLike", max_records: Optional[int] = None) -> JsonlTraceRecorder:
+    """Install a JSON-lines recorder writing to ``path`` (CLI ``--obs-trace``)."""
+    recorder = JsonlTraceRecorder(path, max_records=max_records)
+    set_recorder(recorder)
+    return recorder
+
+
+def reset_recorder() -> None:
+    """Back to the null recorder, closing the previous one."""
+    previous = set_recorder(NULL_RECORDER)
+    previous.close()
+
+
+def span(name: str, /, **labels: Any):
+    """A span on the active recorder — the instrumentation entry point."""
+    return _RECORDER.span(name, **labels)
+
+
+def event(name: str, /, **fields: Any) -> None:
+    """An event on the active recorder."""
+    _RECORDER.event(name, **fields)
+
+
+__all__ = [
+    "JsonlTraceRecorder",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "event",
+    "get_recorder",
+    "install_trace",
+    "reset_recorder",
+    "set_recorder",
+    "span",
+]

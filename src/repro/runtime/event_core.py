@@ -51,12 +51,14 @@ count and completion order.
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.batch import cached_fault_field, power_curve
+from repro.obs import trace as obs_trace
 from repro.fpga.platform import FpgaChip
 from repro.fpga.voltage import VCCBRAM, VoltageError, VoltageRail
 from repro.harness.environment import HeatChamber
@@ -154,6 +156,9 @@ def simulate_die(
     ``effective = (applied + itd_shift) + ripple`` — evaluated as one
     ``searchsorted`` over each constant-setpoint window.
     """
+    recorder = obs_trace.get_recorder()
+    t_span = time.monotonic()
+    n_windows = 0
     n_steps = temps.size
     rail = VoltageRail(name=VCCBRAM)
     voltages = np.zeros(n_steps)
@@ -179,6 +184,7 @@ def simulate_die(
             continue  # stale: the step was covered by a crash span/window
         while heap and heap[0][0] == step:
             heapq.heappop(heap)  # coinciding events: one evaluation
+        n_windows += 1
 
         # --- governor evaluation at `step` (same arithmetic as the
         # stepped VoltageGovernor.step + PmbusAdapter.vout_command) ---
@@ -247,6 +253,16 @@ def simulate_die(
         filled_until = end
         heapq.heappush(heap, (end, EVENT_WAKEUP))
 
+    if recorder.enabled:
+        # Window count (governor evaluations drained) is deterministic —
+        # the event core is bit-identical to the stepped loop — so the
+        # label survives the trace digest's stripped form.
+        recorder.record(
+            "sim.die",
+            t_span,
+            time.monotonic() - t_span,
+            {"index": index, "windows": n_windows},
+        )
     return DieTimeline(
         index=index,
         voltages_v=voltages,
@@ -314,8 +330,11 @@ def run_event(
     if isinstance(policy, str):
         policy = build_policy(policy)
     policy.reset()
-    timelines, temps = die_timelines(simulator, policy, scheduler, jobs)
-    return merge_timelines(simulator, policy, timelines, temps=temps)
+    with obs_trace.span(
+        "sim.run", policy=policy.name, n_dies=len(simulator.fleet)
+    ):
+        timelines, temps = die_timelines(simulator, policy, scheduler, jobs)
+        return merge_timelines(simulator, policy, timelines, temps=temps)
 
 
 def die_timelines(
@@ -408,9 +427,10 @@ def merge_timelines(
     temperatures = np.tile(temps, (n_chips, 1))
     n_actuations = sum(timeline.n_actuations for timeline in ordered)
 
-    assigned, served, faulty = serving_phase(
-        crashed, fault_bits, trace.requests, simulator.capacity_per_step
-    )
+    with obs_trace.span("sim.serve", n_dies=n_chips, n_steps=n_steps):
+        assigned, served, faulty = serving_phase(
+            crashed, fault_bits, trace.requests, simulator.capacity_per_step
+        )
 
     power = np.zeros((n_chips, n_steps))
     for index, fleet_chip in enumerate(simulator.fleet):

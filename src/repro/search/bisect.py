@@ -29,6 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import trace as obs_trace
+
 from .cache import SearchError
 
 
@@ -233,6 +235,14 @@ class ThresholdBisector:
         of the bracket fails to hold, so wrong hints cost evaluations but
         never correctness.
         """
+        with obs_trace.span("search.bisect", quantity=quantity):
+            return self._find_first_false(quantity, hint)
+
+    def _find_first_false(
+        self,
+        quantity: str,
+        hint: Optional[BracketHint],
+    ) -> BisectionCertificate:
         n = len(self.ladder)
         hint = hint or BracketHint()
 

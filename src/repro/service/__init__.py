@@ -20,7 +20,15 @@ or in-process (tests, benchmarks) via
 
 from .background import BackgroundServer
 from .client import ClientError, ServiceClient, fetch_json
-from .http import HttpError, HttpRequest, error_document, read_request, render_response
+from .http import (
+    PROMETHEUS_CONTENT_TYPE,
+    HttpError,
+    HttpRequest,
+    error_document,
+    read_request,
+    render_response,
+    render_text_response,
+)
 from .service import (
     DEFAULT_ENGINE_WORKERS,
     DEFAULT_FVM_PATTERN,
@@ -40,6 +48,7 @@ __all__ = [
     "FleetService",
     "HttpError",
     "HttpRequest",
+    "PROMETHEUS_CONTENT_TYPE",
     "ServiceApp",
     "ServiceClient",
     "ServiceError",
@@ -48,5 +57,6 @@ __all__ = [
     "fetch_json",
     "read_request",
     "render_response",
+    "render_text_response",
     "start_service",
 ]

@@ -57,18 +57,37 @@ class ServiceClient:
         """
         if self._reader is None or self._writer is None:
             raise ClientError("client is not connected; call connect() first")
+        await self._send(target, accept="application/json")
+        return await self._read_response()
+
+    async def get_text(self, target: str) -> Tuple[int, str]:
+        """One round trip returning the raw body as text (``/metrics``)."""
+        if self._reader is None or self._writer is None:
+            raise ClientError("client is not connected; call connect() first")
+        await self._send(target, accept="text/plain")
+        status, body = await self._read_raw()
+        return status, body.decode("utf-8")
+
+    async def _send(self, target: str, accept: str) -> None:
+        assert self._writer is not None
         self._writer.write(
             (
                 f"GET {target} HTTP/1.1\r\n"
                 f"Host: {self.host}:{self.port}\r\n"
-                f"Accept: application/json\r\n"
+                f"Accept: {accept}\r\n"
                 f"\r\n"
             ).encode("latin-1")
         )
         await self._writer.drain()
-        return await self._read_response()
 
     async def _read_response(self) -> Tuple[int, Dict[str, Any]]:
+        status, body = await self._read_raw(default_body=b"{}")
+        try:
+            return status, json.loads(body.decode("utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ClientError(f"response body is not JSON: {exc}") from exc
+
+    async def _read_raw(self, default_body: bytes = b"") -> Tuple[int, bytes]:
         assert self._reader is not None
         status_line = await self._reader.readline()
         if not status_line:
@@ -87,11 +106,8 @@ class ServiceClient:
             name, _, value = line.decode("latin-1").partition(":")
             if name.strip().lower() == "content-length":
                 length = int(value.strip())
-        body = await self._reader.readexactly(length) if length else b"{}"
-        try:
-            return status, json.loads(body.decode("utf-8"))
-        except json.JSONDecodeError as exc:
-            raise ClientError(f"response body is not JSON: {exc}") from exc
+        body = await self._reader.readexactly(length) if length else default_body
+        return status, body
 
 
 async def fetch_json(host: str, port: int, target: str) -> Tuple[int, Dict[str, Any]]:

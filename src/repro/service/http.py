@@ -185,14 +185,39 @@ def render_response(status: int, document: Dict[str, Any], keep_alive: bool = Tr
     return head.encode("latin-1") + body
 
 
+#: Content type of the Prometheus text exposition format (version 0.0.4).
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def render_text_response(
+    status: int,
+    text: str,
+    keep_alive: bool = True,
+    content_type: str = PROMETHEUS_CONTENT_TYPE,
+) -> bytes:
+    """Serialize one plain-text response (the ``/metrics`` exposition)."""
+    body = text.encode("utf-8")
+    reason = STATUS_REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        f"\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
 __all__ = [
     "HttpError",
     "HttpRequest",
     "MAX_BODY_BYTES",
     "MAX_HEADERS",
     "MAX_LINE_BYTES",
+    "PROMETHEUS_CONTENT_TYPE",
     "STATUS_REASONS",
     "error_document",
     "read_request",
     "render_response",
+    "render_text_response",
 ]

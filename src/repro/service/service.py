@@ -40,6 +40,7 @@ from typing import Any, Awaitable, Callable, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro import __version__
 from repro.analysis.fleet import fvm_similarity
 from repro.core.batch import voltage_ladder
 from repro.core.calibration import get_calibration
@@ -48,6 +49,9 @@ from repro.exec import FVM, EngineCounters, EvalRequest, ExecutionEngine, Simula
 from repro.fpga import FpgaChip
 from repro.fpga.platform import platform_names
 from repro.fpga.voltage import DEFAULT_STEP_V, VCCBRAM
+from repro.obs import adapters as obs_adapters
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRegistry
 from repro.runtime.characterization import (
     CharacterizationError,
     DieCharacterization,
@@ -56,7 +60,14 @@ from repro.runtime.characterization import (
 from repro.runtime.governor import GovernorObservation, build_policy
 from repro.search import EvalCache
 
-from .http import HttpError, HttpRequest, error_document, read_request, render_response
+from .http import (
+    HttpError,
+    HttpRequest,
+    error_document,
+    read_request,
+    render_response,
+    render_text_response,
+)
 from .stats import ServiceStats
 
 #: Default worker threads for engine-backed queries.
@@ -389,7 +400,7 @@ PredictiveItdPolicy` applies — ITD-compensated Vmin plus the six-sigma
 # ----------------------------------------------------------------------
 # HTTP application
 # ----------------------------------------------------------------------
-Handler = Callable[[HttpRequest], Awaitable[Dict[str, Any]]]
+Handler = Callable[[HttpRequest], "Awaitable[Dict[str, Any] | str]"]
 
 
 class ServiceApp:
@@ -398,8 +409,25 @@ class ServiceApp:
     def __init__(self, service: FleetService) -> None:
         self.service = service
         self.stats = ServiceStats()
+        #: The app's own always-on registry behind ``/metrics`` —
+        #: independent of the process-wide ``--obs-metrics`` switch, so a
+        #: served fleet is always scrapable.  ``ServiceStats`` and the
+        #: engine pool's shared counters stay the source of truth; the
+        #: adapters mirror them in at render time, and only the latency
+        #: histogram is instrumented directly (rings cannot rebuild
+        #: bucketed history).
+        self.registry = MetricsRegistry()
+        obs_adapters.build_info(__version__, self.registry)
+        obs_adapters.bind_service_stats(self.stats, self.registry)
+        obs_adapters.bind_engine_counters(service.counters, self.registry)
+        self._latency = self.registry.histogram(
+            "repro_request_latency_seconds",
+            "Request handling latency, by endpoint.",
+            ("endpoint",),
+        )
         self._routes: Dict[str, Handler] = {
             "/healthz": self._handle_healthz,
+            "/metrics": self._handle_metrics,
             "/stats": self._handle_stats,
             "/v1/dies": self._handle_dies,
             "/v1/guardband": self._handle_guardband,
@@ -417,7 +445,16 @@ class ServiceApp:
     # Handlers
     # ------------------------------------------------------------------
     async def _handle_healthz(self, request: HttpRequest) -> Dict[str, Any]:
-        return {"status": "ok", "n_dies": len(self.service.bundle)}
+        return {
+            "status": "ok",
+            "n_dies": len(self.service.bundle),
+            "version": __version__,
+        }
+
+    async def _handle_metrics(self, request: HttpRequest) -> str:
+        # Returns Prometheus text, not JSON; dispatch/handle_connection
+        # frame string payloads with render_text_response.
+        return self.registry.render()
 
     async def _handle_stats(self, request: HttpRequest) -> Dict[str, Any]:
         return {
@@ -465,31 +502,41 @@ class ServiceApp:
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
-    async def dispatch(self, request: HttpRequest) -> Tuple[int, Dict[str, Any]]:
-        """Route one parsed request; always returns (status, JSON document)."""
+    async def dispatch(self, request: HttpRequest) -> "Tuple[int, Dict[str, Any] | str]":
+        """Route one parsed request; always returns (status, document).
+
+        The document is a JSON-serializable dict for every endpoint except
+        ``/metrics``, whose handler returns the Prometheus exposition text
+        as a plain string.
+        """
         route = request.route.rstrip("/") or "/"
         handler = self._routes.get(route)
         endpoint = route if handler is not None else "<unknown>"
         started = time.monotonic()
         ok = False
         try:
-            if handler is None:
-                raise ServiceError(
-                    404, "unknown-route", f"no endpoint {route!r}; available: {list(self.routes)}"
-                )
-            if request.method != "GET":
-                raise ServiceError(
-                    405, "method-not-allowed", f"{request.method} not allowed; use GET"
-                )
-            document = await handler(request)
-            ok = True
-            return 200, document
+            with obs_trace.span("service.request", endpoint=endpoint):
+                if handler is None:
+                    raise ServiceError(
+                        404,
+                        "unknown-route",
+                        f"no endpoint {route!r}; available: {list(self.routes)}",
+                    )
+                if request.method != "GET":
+                    raise ServiceError(
+                        405, "method-not-allowed", f"{request.method} not allowed; use GET"
+                    )
+                document = await handler(request)
+                ok = True
+                return 200, document
         except ServiceError as exc:
             return exc.status, exc.document()
         except Exception as exc:  # the server must outlive any one request
             return 500, error_document(500, "internal-error", f"{type(exc).__name__}: {exc}")
         finally:
-            self.stats.record(endpoint, time.monotonic() - started, ok)
+            elapsed = time.monotonic() - started
+            self.stats.record(endpoint, elapsed, ok)
+            self._latency.labels(endpoint=endpoint).observe(elapsed)
 
     async def handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -508,7 +555,15 @@ class ServiceApp:
                 if request is None:
                     return
                 status, document = await self.dispatch(request)
-                writer.write(render_response(status, document, keep_alive=request.keep_alive))
+                if isinstance(document, str):
+                    payload = render_text_response(
+                        status, document, keep_alive=request.keep_alive
+                    )
+                else:
+                    payload = render_response(
+                        status, document, keep_alive=request.keep_alive
+                    )
+                writer.write(payload)
                 await writer.drain()
                 if not request.keep_alive:
                     return

@@ -53,8 +53,19 @@ class EndpointStats:
         self.total_latency_s += latency_s
         self.latencies_s.append(latency_s)
 
+    @property
+    def ring_occupancy(self) -> int:
+        """Latency samples currently held (ring warm-up vs steady state)."""
+        return len(self.latencies_s)
+
     def to_dict(self, uptime_s: float) -> Dict[str, Any]:
-        """JSON form: counts, mean/percentile latencies (ms), sustained QPS."""
+        """JSON form: counts, mean/percentile latencies (ms), sustained QPS.
+
+        An endpoint with no latency samples reports explicit ``null``
+        percentiles and mean — a 0.0 would be indistinguishable from a
+        genuinely sub-millisecond endpoint to a scraper.  ``ring_occupancy``
+        tells warm-up (< :data:`LATENCY_RING_SIZE`) from steady state.
+        """
         document: Dict[str, Any] = {
             "n_requests": self.n_requests,
             "n_errors": self.n_errors,
@@ -62,13 +73,14 @@ class EndpointStats:
             "mean_ms": (
                 round(1000.0 * self.total_latency_s / self.n_requests, 3)
                 if self.n_requests
-                else 0.0
+                else None
             ),
+            "ring_occupancy": self.ring_occupancy,
         }
         ordered = sorted(self.latencies_s)
         for label, fraction in PERCENTILES:
             document[label] = (
-                round(1000.0 * _percentile(ordered, fraction), 3) if ordered else 0.0
+                round(1000.0 * _percentile(ordered, fraction), 3) if ordered else None
             )
         return document
 

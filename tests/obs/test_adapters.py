@@ -1,0 +1,81 @@
+"""Tests for the legacy-telemetry → metrics-registry adapters."""
+
+from repro.exec import EngineCounters
+from repro.obs import (
+    MetricsRegistry,
+    bind_engine_counters,
+    bind_service_stats,
+    build_info,
+    disable,
+    enable,
+)
+from repro.service.stats import ServiceStats
+
+
+class TestEngineCounterBinding:
+    def test_counters_mirror_into_the_event_family(self):
+        registry = MetricsRegistry()
+        counters = EngineCounters()
+        bind_engine_counters(counters, registry)
+        counters.add(requests=5, cache_hits=2, backend_evaluations=3)
+        text = registry.render()
+        assert 'repro_engine_events_total{event="requests"} 5' in text
+        assert 'repro_engine_events_total{event="cache_hits"} 2' in text
+        assert 'repro_engine_events_total{event="backend_evaluations"} 3' in text
+
+    def test_multiple_sources_are_summed_fleet_wide(self):
+        registry = MetricsRegistry()
+        first, second = EngineCounters(), EngineCounters()
+        bind_engine_counters(first, registry)
+        bind_engine_counters(second, registry)
+        first.add(requests=1)
+        second.add(requests=2)
+        assert 'repro_engine_events_total{event="requests"} 3' in registry.render()
+
+    def test_binding_the_same_source_twice_counts_once(self):
+        registry = MetricsRegistry()
+        counters = EngineCounters()
+        bind_engine_counters(counters, registry)
+        bind_engine_counters(counters, registry)
+        counters.add(requests=4)
+        assert 'repro_engine_events_total{event="requests"} 4' in registry.render()
+
+    def test_no_registry_means_no_op(self):
+        # The global registry is off: binding must neither fail nor leak.
+        assert bind_engine_counters(EngineCounters()) is None
+
+    def test_binds_to_the_enabled_global_registry(self):
+        counters = EngineCounters()
+        try:
+            registry = enable()
+            bind_engine_counters(counters)
+            counters.add(requests=7)
+            assert (
+                'repro_engine_events_total{event="requests"} 7'
+                in registry.render()
+            )
+        finally:
+            disable()
+
+
+class TestServiceStatsBinding:
+    def test_requests_errors_and_occupancy_mirror(self):
+        registry = MetricsRegistry()
+        stats = ServiceStats()
+        bind_service_stats(stats, registry)
+        stats.record("/healthz", 0.001, ok=True)
+        stats.record("/healthz", 0.002, ok=True)
+        stats.record("/v1/guardband", 0.005, ok=False)
+        text = registry.render()
+        assert 'repro_requests_total{endpoint="/healthz"} 2' in text
+        assert 'repro_request_errors_total{endpoint="/healthz"} 0' in text
+        assert 'repro_request_errors_total{endpoint="/v1/guardband"} 1' in text
+        assert 'repro_latency_ring_occupancy{endpoint="/healthz"} 2' in text
+        assert "repro_service_uptime_seconds" in text
+
+
+class TestBuildInfo:
+    def test_version_label_with_value_one(self):
+        registry = MetricsRegistry()
+        build_info("1.2.3", registry)
+        assert 'repro_build_info{version="1.2.3"} 1' in registry.render()

@@ -1,0 +1,134 @@
+"""Tests for the metrics registry and its Prometheus text exposition."""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    MetricsError,
+    MetricsRegistry,
+    active,
+    disable,
+    enable,
+    get_registry,
+)
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounters:
+    def test_unlabeled_counter_renders_bare(self, registry):
+        counter = registry.counter("repro_widgets_total", "Widgets made.")
+        counter.inc()
+        counter.inc(2)
+        text = registry.render()
+        assert "# HELP repro_widgets_total Widgets made." in text
+        assert "# TYPE repro_widgets_total counter" in text
+        assert "repro_widgets_total 3" in text
+
+    def test_labeled_counter_renders_sorted_label_pairs(self, registry):
+        family = registry.counter("repro_events_total", "Events.", ("kind",))
+        family.labels(kind="write").inc()
+        family.labels(kind="read").inc(4)
+        text = registry.render()
+        assert 'repro_events_total{kind="read"} 4' in text
+        assert 'repro_events_total{kind="write"} 1' in text
+
+    def test_counter_rejects_negative_increment(self, registry):
+        counter = registry.counter("repro_ticks_total", "Ticks.")
+        with pytest.raises(MetricsError):
+            counter.inc(-1)
+
+    def test_label_values_are_escaped(self, registry):
+        family = registry.counter("repro_paths_total", "Paths.", ("path",))
+        family.labels(path='a"b\\c\nd').inc()
+        assert 'path="a\\"b\\\\c\\nd"' in registry.render()
+
+
+class TestGauges:
+    def test_gauge_set_inc_dec(self, registry):
+        gauge = registry.gauge("repro_depth", "Queue depth.")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert "repro_depth 12" in registry.render()
+
+    def test_non_finite_values_render_prometheus_spellings(self, registry):
+        gauge = registry.gauge("repro_odd", "Odd values.")
+        gauge.set(math.inf)
+        assert "repro_odd +Inf" in registry.render()
+        gauge.set(math.nan)
+        assert "repro_odd NaN" in registry.render()
+
+
+class TestHistograms:
+    def test_buckets_are_cumulative_and_end_with_inf(self, registry):
+        histogram = registry.histogram(
+            "repro_latency_seconds", "Latency.", buckets=(0.1, 1.0)
+        )
+        for value in (0.0625, 0.5, 5.0):  # binary-exact, so the sum is too
+            histogram.observe(value)
+        text = registry.render()
+        assert 'repro_latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_latency_seconds_bucket{le="1"} 2' in text
+        assert 'repro_latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_latency_seconds_count 3" in text
+        assert "repro_latency_seconds_sum 5.5625" in text
+
+    def test_labeled_histogram_keeps_per_label_buckets(self, registry):
+        family = registry.histogram(
+            "repro_req_seconds", "Request latency.", ("endpoint",), buckets=(1.0,)
+        )
+        family.labels(endpoint="/a").observe(0.5)
+        family.labels(endpoint="/b").observe(2.0)
+        text = registry.render()
+        assert 'repro_req_seconds_bucket{endpoint="/a",le="1"} 1' in text
+        assert 'repro_req_seconds_bucket{endpoint="/b",le="1"} 0' in text
+
+
+class TestRegistryContract:
+    def test_invalid_metric_name_is_rejected(self, registry):
+        with pytest.raises(MetricsError):
+            registry.counter("bad-name", "Nope.")
+
+    def test_redefinition_with_different_shape_is_rejected(self, registry):
+        registry.counter("repro_things_total", "Things.", ("kind",))
+        with pytest.raises(MetricsError):
+            registry.gauge("repro_things_total", "Things.", ("kind",))
+        with pytest.raises(MetricsError):
+            registry.counter("repro_things_total", "Things.", ("other",))
+
+    def test_same_definition_returns_same_family(self, registry):
+        first = registry.counter("repro_same_total", "Same.")
+        second = registry.counter("repro_same_total", "Same.")
+        assert first is second
+
+    def test_render_is_sorted_by_family_and_terminated(self, registry):
+        registry.counter("repro_zz_total", "Last.").inc()
+        registry.counter("repro_aa_total", "First.").inc()
+        text = registry.render()
+        assert text.index("repro_aa_total") < text.index("repro_zz_total")
+        assert text.endswith("\n")
+
+    def test_callbacks_run_once_per_render_and_dedupe_by_key(self, registry):
+        calls = []
+        registry.register_callback(lambda: calls.append("a"), key="k")
+        registry.register_callback(lambda: calls.append("b"), key="k")
+        registry.render()
+        assert calls == ["a"]
+
+
+class TestGlobalRegistry:
+    def test_off_by_default_and_toggle(self):
+        assert not active()
+        assert get_registry() is None
+        try:
+            registry = enable()
+            assert active()
+            assert get_registry() is registry
+        finally:
+            disable()
+        assert get_registry() is None

@@ -1,0 +1,140 @@
+"""Tests for the JSON-lines trace recorder and the null default."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import (
+    NULL_RECORDER,
+    JsonlTraceRecorder,
+    get_recorder,
+    install_trace,
+    reset_recorder,
+)
+from repro.obs import trace as trace_module
+
+
+@pytest.fixture()
+def recorder(tmp_path):
+    recorder = install_trace(tmp_path / "trace.jsonl")
+    yield recorder
+    reset_recorder()
+
+
+def read_lines(recorder):
+    recorder.close()
+    with open(recorder.path, encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle.read().splitlines()]
+
+
+class TestNullDefault:
+    def test_null_recorder_is_the_default(self):
+        assert get_recorder() is NULL_RECORDER
+        assert not NULL_RECORDER.enabled
+
+    def test_null_span_is_one_shared_object(self):
+        first = trace_module.span("anything", die=1)
+        second = trace_module.span("else")
+        assert first is second
+        with first:
+            pass  # no file, no error
+
+    def test_install_and_reset_swap_the_process_recorder(self, tmp_path):
+        recorder = install_trace(tmp_path / "t.jsonl")
+        try:
+            assert get_recorder() is recorder
+            assert recorder.enabled
+        finally:
+            reset_recorder()
+        assert get_recorder() is NULL_RECORDER
+
+
+class TestSpanStructure:
+    def test_nested_spans_chain_parent_ids(self, recorder):
+        with trace_module.span("outer", kind="root"):
+            with trace_module.span("inner", kind="leaf"):
+                pass
+        inner, outer = read_lines(recorder)
+        assert inner["name"] == "inner"
+        assert outer["name"] == "outer"
+        assert outer["parent_id"] is None
+        assert inner["parent_id"] == outer["span_id"]
+        assert inner["labels"] == {"kind": "leaf"}
+        assert inner["duration_s"] >= 0.0
+        assert inner["pid"] == os.getpid()
+
+    def test_sibling_spans_share_a_parent(self, recorder):
+        with trace_module.span("parent"):
+            with trace_module.span("first"):
+                pass
+            with trace_module.span("second"):
+                pass
+        first, second, parent = read_lines(recorder)
+        assert first["parent_id"] == parent["span_id"]
+        assert second["parent_id"] == parent["span_id"]
+
+    def test_interleaved_exits_do_not_leak_stack_entries(self, recorder):
+        # Concurrent request spans on one event-loop thread can exit out
+        # of LIFO order; the stack must still drain to empty.
+        a = recorder.span("a").__enter__()
+        b = recorder.span("b").__enter__()
+        a.__exit__(None, None, None)
+        b.__exit__(None, None, None)
+        assert recorder.current_span_id() is None
+
+    def test_events_attach_to_the_open_span(self, recorder):
+        with trace_module.span("work") as span:
+            trace_module.event("progress", done=3)
+        event, work = read_lines(recorder)
+        assert event["kind"] == "event"
+        assert event["fields"] == {"done": 3}
+        assert event["parent_id"] == span.span_id
+
+    def test_record_writes_premeasured_spans(self, recorder):
+        recorder.record("sched.task", 1.0, 0.25, {"index": 0}, parent_id="x-1")
+        (line,) = read_lines(recorder)
+        assert line["kind"] == "span"
+        assert line["duration_s"] == 0.25
+        assert line["parent_id"] == "x-1"
+
+
+class TestBoundedFiles:
+    def test_max_records_caps_the_file_with_one_truncation_note(self, tmp_path):
+        recorder = JsonlTraceRecorder(tmp_path / "t.jsonl", max_records=2)
+        for index in range(5):
+            recorder.event("tick", index=index)
+        lines = read_lines(recorder)
+        assert len(lines) == 3
+        assert lines[-1]["name"] == "trace.truncated"
+        assert lines[-1]["fields"] == {"max_records": 2}
+
+    def test_max_records_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlTraceRecorder(tmp_path / "t.jsonl", max_records=0)
+
+
+class TestForkedWriters:
+    def test_forked_children_write_disjoint_ids_to_one_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        recorder = JsonlTraceRecorder(path)
+        with recorder.span("parent.work"):
+            pids = []
+            for _ in range(2):
+                pid = os.fork()
+                if pid == 0:  # child
+                    with recorder.span("child.work"):
+                        pass
+                    os._exit(0)
+                pids.append(pid)
+            for pid in pids:
+                os.waitpid(pid, 0)
+        recorder.close()
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        span_ids = [line["span_id"] for line in lines]
+        assert len(span_ids) == len(set(span_ids)) == 3
+        assert len({line["pid"] for line in lines}) == 3
+        # Children inherited the parent's open span via the forked stack.
+        parent = next(line for line in lines if line["name"] == "parent.work")
+        for child in (line for line in lines if line["name"] == "child.work"):
+            assert child["parent_id"] == parent["span_id"]

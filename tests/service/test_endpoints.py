@@ -50,9 +50,11 @@ def get(server, target):
 
 class TestHappyPaths:
     def test_healthz(self, server):
+        from repro import __version__
+
         status, document = get(server, "/healthz")
         assert status == 200
-        assert document == {"status": "ok", "n_dies": 2}
+        assert document == {"status": "ok", "n_dies": 2, "version": __version__}
 
     def test_dies_roster(self, server):
         status, document = get(server, "/v1/dies")
@@ -142,8 +144,52 @@ class TestHappyPaths:
         assert service["n_requests"] >= 1
         endpoint = service["endpoints"]["/healthz"]
         assert {"n_requests", "n_errors", "qps", "mean_ms", "p50_ms", "p95_ms",
-                "p99_ms"} <= set(endpoint)
+                "p99_ms", "ring_occupancy"} <= set(endpoint)
+        assert endpoint["ring_occupancy"] >= 1
         assert document["bundle"]["n_dies"] == 2
+
+    def test_metrics_exposition(self, server):
+        from repro.service import PROMETHEUS_CONTENT_TYPE, ServiceClient
+
+        get(server, "/healthz")  # at least one request precedes the scrape
+
+        async def scrape():
+            async with ServiceClient(server.host, server.port) as client:
+                return await client.get_text("/metrics")
+
+        status, text = asyncio.run(scrape())
+        assert status == 200
+        assert PROMETHEUS_CONTENT_TYPE.startswith("text/plain")
+        assert 'repro_requests_total{endpoint="/healthz"}' in text
+        assert "# TYPE repro_requests_total counter" in text
+        assert "# TYPE repro_request_latency_seconds histogram" in text
+        assert 'repro_request_latency_seconds_bucket{endpoint="/healthz",le="+Inf"}' in text
+        assert 'repro_engine_events_total{event="requests"}' in text
+        assert 'repro_build_info{version="' in text
+        assert "repro_service_uptime_seconds" in text
+        # Exposition sanity: every non-comment line is "name{labels} value".
+        for line in text.strip().split("\n"):
+            if line.startswith("#"):
+                continue
+            name_part, _, value = line.rpartition(" ")
+            assert name_part and value
+            float(value) if value not in ("+Inf", "-Inf", "NaN") else None
+
+    def test_scraping_metrics_counts_itself(self, server):
+        from repro.service import ServiceClient
+
+        async def scrape_twice():
+            async with ServiceClient(server.host, server.port) as client:
+                await client.get_text("/metrics")
+                return await client.get_text("/metrics")
+
+        _, text = asyncio.run(scrape_twice())
+        for line in text.split("\n"):
+            if line.startswith('repro_requests_total{endpoint="/metrics"}'):
+                assert float(line.rpartition(" ")[-1]) >= 1
+                break
+        else:
+            raise AssertionError("/metrics requests were not counted")
 
 
 class TestErrorContract:

@@ -1,0 +1,72 @@
+"""Regression tests for per-endpoint stats: percentile edge cases.
+
+The ``/stats`` document used to report ``0.0`` percentiles for endpoints
+that had never recorded a latency sample, indistinguishable from a
+genuinely sub-millisecond endpoint.  Empty rings now report explicit
+``null``s, and ``ring_occupancy`` tells warm-up from steady state.
+"""
+
+import pytest
+
+from repro.service.stats import LATENCY_RING_SIZE, EndpointStats, ServiceStats
+
+
+class TestEmptyRing:
+    def test_zero_samples_report_null_latencies(self):
+        stats = EndpointStats()
+        document = stats.to_dict(uptime_s=10.0)
+        assert document["n_requests"] == 0
+        assert document["n_errors"] == 0
+        assert document["mean_ms"] is None
+        assert document["p50_ms"] is None
+        assert document["p95_ms"] is None
+        assert document["p99_ms"] is None
+        assert document["ring_occupancy"] == 0
+        assert document["qps"] == 0.0
+
+    def test_zero_uptime_reports_zero_qps(self):
+        assert EndpointStats().to_dict(uptime_s=0.0)["qps"] == 0.0
+
+
+class TestSingleSample:
+    def test_one_sample_defines_every_percentile(self):
+        stats = EndpointStats()
+        stats.record(0.004, ok=True)
+        document = stats.to_dict(uptime_s=2.0)
+        assert document["n_requests"] == 1
+        assert document["mean_ms"] == pytest.approx(4.0)
+        assert document["p50_ms"] == pytest.approx(4.0)
+        assert document["p95_ms"] == pytest.approx(4.0)
+        assert document["p99_ms"] == pytest.approx(4.0)
+        assert document["ring_occupancy"] == 1
+        assert document["qps"] == pytest.approx(0.5)
+
+
+class TestRingOverflow:
+    def test_ring_size_plus_one_samples_evict_the_oldest(self):
+        stats = EndpointStats()
+        # One huge outlier first, then a full ring of 1 ms samples: the
+        # outlier must be evicted, so every percentile collapses to 1 ms —
+        # while the totals still count every request.
+        stats.record(9.0, ok=True)
+        for _ in range(LATENCY_RING_SIZE):
+            stats.record(0.001, ok=True)
+        document = stats.to_dict(uptime_s=1.0)
+        assert document["n_requests"] == LATENCY_RING_SIZE + 1
+        assert document["ring_occupancy"] == LATENCY_RING_SIZE
+        assert document["p50_ms"] == pytest.approx(1.0)
+        assert document["p99_ms"] == pytest.approx(1.0)
+        # The mean uses the unbounded total, so the outlier still shows.
+        assert document["mean_ms"] > 1.0
+
+
+class TestServiceStats:
+    def test_routes_aggregate_and_sort(self):
+        service = ServiceStats()
+        service.record("/b", 0.001, ok=True)
+        service.record("/a", 0.002, ok=False)
+        document = service.to_dict()
+        assert document["n_requests"] == 2
+        assert document["n_errors"] == 1
+        assert list(document["endpoints"]) == ["/a", "/b"]
+        assert document["endpoints"]["/a"]["ring_occupancy"] == 1

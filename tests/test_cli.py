@@ -719,3 +719,132 @@ class TestCharacterizeCommand:
         assert "Data-pattern study" in output
         assert "Stability" in output
         assert "variability" in output
+
+
+class TestVersionFlag:
+    def test_version_prints_package_version(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro-undervolt {__version__}"
+
+
+class TestObservabilityFlags:
+    """--obs-trace/--obs-metrics: off is free, on writes the artifacts."""
+
+    def test_guardband_json_is_identical_with_obs_on(self, capsys, tmp_path):
+        plain = strip_timing(
+            run_json(capsys, ["guardband", "--platform", "ZC702", "--json"])
+        )
+        traced = strip_timing(run_json(capsys, [
+            "guardband", "--platform", "ZC702", "--json",
+            "--obs-trace", str(tmp_path / "t.jsonl"),
+            "--obs-metrics", str(tmp_path / "m.prom"),
+        ]))
+        assert traced == plain
+
+    def test_obs_trace_writes_engine_and_search_spans(self, capsys, tmp_path):
+        from repro.obs import summarize_trace
+
+        trace_path = tmp_path / "t.jsonl"
+        run_json(capsys, [
+            "guardband", "--platform", "ZC702", "--json",
+            "--obs-trace", str(trace_path),
+        ])
+        document = summarize_trace(str(trace_path))
+        phases = {row["phase"] for row in document["phases"]}
+        assert {"engine.evaluate", "search.bisect"} <= phases
+        assert document["warnings"] == []
+
+    def test_obs_metrics_writes_prometheus_text_with_build_info(
+        self, capsys, tmp_path
+    ):
+        from repro import __version__
+
+        metrics_path = tmp_path / "m.prom"
+        run_json(capsys, [
+            "guardband", "--platform", "ZC702", "--json",
+            "--obs-metrics", str(metrics_path),
+        ])
+        text = metrics_path.read_text()
+        assert f'repro_build_info{{version="{__version__}"}} 1' in text
+        assert 'repro_engine_events_total{event="backend_evaluations"}' in text
+        assert text.endswith("\n")
+
+    def test_obs_state_is_reset_after_the_command(self, capsys, tmp_path):
+        from repro.obs import NULL_RECORDER, get_recorder, get_registry
+
+        run_json(capsys, [
+            "guardband", "--platform", "ZC702", "--json",
+            "--obs-trace", str(tmp_path / "t.jsonl"),
+            "--obs-metrics", str(tmp_path / "m.prom"),
+        ])
+        assert get_recorder() is NULL_RECORDER
+        assert get_registry() is None
+
+    def test_campaign_run_trace_covers_campaign_phases(self, capsys, tmp_path):
+        from repro.obs import summarize_trace
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "name": "cli-obs",
+            # Three chips: the warm wave then holds two shards, which is
+            # what makes the process scheduler actually fork workers.
+            "chips": [{"platform": "ZC702", "n_chips": 3}],
+            "sweep": "guardband",
+            "runs_per_step": 3,
+        }))
+        trace_path = tmp_path / "t.jsonl"
+        run_json(capsys, [
+            "campaign", "run", "--spec", str(spec_path),
+            "--root", str(tmp_path / "campaigns"), "--backend", "process",
+            "--jobs", "2", "--json", "--obs-trace", str(trace_path),
+        ])
+        document = summarize_trace(str(trace_path))
+        phases = {row["phase"] for row in document["phases"]}
+        assert {"campaign.run", "campaign.wave", "campaign.shard",
+                "campaign.unit", "sched.task"} <= phases
+        assert document["n_processes"] >= 2
+
+
+class TestTraceSummarizeCommand:
+    def make_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.jsonl"
+        run_json(capsys, [
+            "guardband", "--platform", "ZC702", "--json",
+            "--obs-trace", str(trace_path),
+        ])
+        return trace_path
+
+    def test_table_output(self, capsys, tmp_path):
+        trace_path = self.make_trace(tmp_path, capsys)
+        assert main(["trace", "summarize", str(trace_path)]) == 0
+        output = capsys.readouterr().out
+        assert "digest:" in output
+        assert "engine.evaluate" in output
+        assert "wall_s" in output and "self_s" in output
+
+    def test_json_document_schema(self, capsys, tmp_path):
+        trace_path = self.make_trace(tmp_path, capsys)
+        payload = strip_timing(run_json(capsys, [
+            "trace", "summarize", str(trace_path), "--json",
+        ]))
+        assert set(payload) == {
+            "trace", "n_records", "n_spans", "n_events", "n_processes",
+            "digest", "phases", "warnings",
+        }
+        for row in payload["phases"]:
+            assert set(row) == {"phase", "n_spans", "wall_s", "self_s", "mean_ms"}
+
+    def test_missing_file_fails_cleanly(self, capsys, tmp_path):
+        assert main(["trace", "summarize", str(tmp_path / "absent.jsonl")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "Traceback" not in err
+
+    def test_corrupt_trace_fails_cleanly(self, capsys, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('garbage\n{"kind":"span","name":"a"}\n')
+        assert main(["trace", "summarize", str(path)]) == 2
+        assert "malformed record" in capsys.readouterr().err
