@@ -25,6 +25,7 @@ from pathlib import Path
 
 import pytest
 
+from _emit import emit_json
 from conftest import run_once, save_report
 from repro.analysis import ExperimentReport
 from repro.campaign import CampaignStore, preset_spec, run_campaign
@@ -130,6 +131,16 @@ def test_adaptive_search_fleet16(benchmark):
         resume.add_row("results still bit-identical", resumed_rails == exhaustive_rails)
 
         save_report(report)
+        emit_json(
+            "adaptive_search",
+            {
+                "adaptive_evaluations": n_adaptive,
+                "exhaustive_evaluations": n_exhaustive,
+                "resumed_fresh_evaluations": resumed.evaluations["n_evaluations"],
+                "certificates_stored": n_certificates,
+            },
+            extra={"identical": identical, "chips": len(adaptive_rails)},
+        )
         return {"speedup": speedup, "identical": identical}
 
     outcome = run_once(benchmark, body)

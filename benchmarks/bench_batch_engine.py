@@ -18,6 +18,7 @@ import time
 import numpy as np
 import pytest
 
+from _emit import emit_json
 from conftest import run_once, save_report
 from repro.analysis import ExperimentReport
 from repro.core.batch import OperatingGrid
@@ -84,6 +85,15 @@ def test_batch_engine_speed_and_equivalence(benchmark, chips, fields):
             f"{bool(np.array_equal(loop_counts, batch_counts))}"
         )
         save_report(report)
+        emit_json(
+            "batch_engine",
+            {"grid_points": n_points, "batched_kernel_calls": 1},
+            extra={
+                "identical": bool(np.array_equal(loop_counts, batch_counts)),
+                "n_voltages": N_VOLTAGES,
+                "n_runs": N_RUNS,
+            },
+        )
         return loop_counts, batch_counts, loop_seconds, batch_seconds
 
     loop_counts, batch_counts, loop_seconds, batch_seconds = run_once(benchmark, body)

@@ -23,6 +23,7 @@ from pathlib import Path
 
 import pytest
 
+from _emit import emit_json
 from conftest import run_once, save_report
 from repro.analysis import ExperimentReport
 from repro.campaign import CampaignStore, build_report, preset_spec, run_campaign
@@ -112,6 +113,15 @@ def test_campaign_fleet16(benchmark):
             )
 
             save_report(report)
+            emit_json(
+                "campaign_fleet",
+                {
+                    "units_executed_first": len(first.executed),
+                    "units_executed_resume": len(resumed.executed),
+                    "evaluations_first": first.evaluations["n_evaluations"],
+                },
+                extra={"identical": identical, "complete": status.is_complete},
+            )
             return {
                 "first": first,
                 "resumed": resumed,

@@ -24,6 +24,7 @@ import time
 
 import pytest
 
+from _emit import emit_json
 from conftest import run_once, save_report
 from repro.analysis import ExperimentReport
 from repro.fpga.platform import FpgaChip, fleet_serials
@@ -115,6 +116,15 @@ def test_event_core_fleet16_identity(benchmark):
             "are SHA-256 over the canonical telemetry document."
         )
         save_report(report)
+        emit_json(
+            "event_sim",
+            {
+                "n_policies": len(POLICY_NAMES),
+                "n_dies": len(chips),
+                "n_steps": N_STEPS,
+            },
+            extra={"all_digests_identical": True},
+        )
         return report
 
     run_once(benchmark, body)

@@ -25,6 +25,7 @@ import time
 
 import pytest
 
+from _emit import emit_json
 from conftest import run_once, save_report
 from repro.analysis import ExperimentReport
 from repro.exec import ExecutionEngine, ReplayBackend, SimulatedBackend
@@ -143,6 +144,18 @@ def test_exec_engine_acceptance(benchmark):
         )
 
         save_report(report)
+        emit_json(
+            "exec_engine",
+            {
+                "recorded_evaluations": len(cache),
+                "replay_served": replay_backend.n_served,
+                "replay_fresh_evaluations": 0,
+            },
+            extra={
+                "identical": identical,
+                "replay_identical": replay_identical,
+            },
+        )
         return {
             "identical": identical,
             "speedup": speedup,

@@ -1,0 +1,382 @@
+"""Cross-die batched evaluation acceptance — the Fig. 1 guardband discovery
+run in lockstep across a Table I fleet (one kernel call per wave: >= 10x
+fewer backend crossings, >= 3x wall-clock under the hardware latency model,
+bit-identical everything).
+
+Acceptance benchmark for the batched evaluation layer
+(:mod:`repro.harness.fleet`, ``SimulatedBackend.evaluate_batch``,
+``ExecutionEngine`` batch routing).  Five claims:
+
+* **bit-identity** — the lockstep fleet characterization of the 16-die
+  two-platform fleet returns measurement-, sweep- and certificate-identical
+  results to the sequential die-by-die adaptive discovery (batch off);
+* **>= 10x fewer Python-level backend crossings** — the sequential path
+  pays one engine→backend call per probe per die; the fleet path pays one
+  vectorized kernel call per wave;
+* **>= 3x wall-clock** — under the modelled hardware latency
+  (regulator settle + serial read-back per evaluation, the
+  ``bench_exec_engine`` convention), a wave settles every board
+  *concurrently*, so the fleet pays the latency once per wave instead of
+  once per probe;
+* **golden/telemetry stability** — the region/FVM goldens are byte-identical
+  across serial/thread/process schedulers with batching on and off, and the
+  campaign trace digest is identical with batching on and off (probe flows
+  never batch, so pinned telemetry digests cannot move);
+* **fleet-scale lockstep** — on a 1000-die synthetic fleet the wave count
+  stays logarithmic in the ladder length while sequential crossings grow
+  linearly with the die count (> 100x reduction).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from _emit import emit_json
+from conftest import run_once, save_report
+from repro.analysis import ExperimentReport
+from repro.exec import ExecutionEngine, SimulatedBackend
+from repro.fpga import FpgaChip
+from repro.harness import UndervoltingExperiment, discover_guardband_fleet
+from repro.search import FleetBisector, ThresholdBisector
+from repro.runtime.fleetscale import SyntheticFleet, SyntheticFleetSpec
+
+#: The acceptance floors.
+REQUIRED_CALL_REDUCTION = 10.0
+REQUIRED_SPEEDUP = 3.0
+REQUIRED_SCALE_REDUCTION = 100.0
+
+#: Modelled per-evaluation hardware latency (regulator settle + read-back);
+#: same convention as ``bench_exec_engine``.
+HARDWARE_LATENCY_S = 0.005
+
+#: The studied fleet: 16 dies across two platforms (the fleet16 shape).
+FLEET = (("ZC702", 8), ("KC705-A", 8))
+
+#: The synthetic scaling demo's die count.
+SCALE_DIES = 1000
+
+PROBE_RUNS = 3
+
+
+def _fleet_experiments(batch=True, latency_s=0.0):
+    """Fresh cold experiments for the 16-die fleet, keyed by (platform, serial)."""
+    experiments = {}
+    for platform, n_chips in FLEET:
+        for index in range(n_chips):
+            chip = FpgaChip.build(platform, serial=f"{platform}-B{index:03d}")
+            if latency_s:
+                backend = SimulatedBackend(chip=chip, latency_s=latency_s)
+                engine = ExecutionEngine(backend, batch=batch)
+                experiment = UndervoltingExperiment(
+                    chip, runs_per_step=PROBE_RUNS, engine=engine
+                )
+            else:
+                experiment = UndervoltingExperiment(
+                    chip, runs_per_step=PROBE_RUNS, batch=batch
+                )
+            experiments[(platform, chip.spec.serial_number)] = experiment
+    return experiments
+
+
+def _prewarm(experiments):
+    """Build each die's one-time sorted threshold table outside the timed
+    sections — it is shared setup paid identically by both paths, not
+    per-evaluation work."""
+    for experiment in experiments.values():
+        experiment.fault_field.batch.sorted_observable_thresholds(0xFFFF)
+
+
+def _sequential_characterization(experiments):
+    """The PR-9 baseline: die-by-die adaptive discovery, one probe per call."""
+    return {
+        key: experiment.discover_guardband_adaptive(probe_runs=PROBE_RUNS)
+        for key, experiment in experiments.items()
+    }
+
+
+@pytest.mark.benchmark(group="fleet-batch")
+def test_fleet_batch_acceptance(benchmark):
+    def body():
+        report = ExperimentReport(
+            "fleet_batch",
+            "cross-die batched evaluation: lockstep bisection waves vs "
+            "die-by-die characterization on the 16-die fleet",
+        )
+
+        # --- phase A: bit-identity + backend-crossing counts -------------
+        sequential = _fleet_experiments(batch=False)
+        sequential_results = _sequential_characterization(sequential)
+        sequential_calls = sum(
+            experiment.engine.counters.n_backend_calls
+            for experiment in sequential.values()
+        )
+
+        fleet_experiments = _fleet_experiments()
+        fleet = discover_guardband_fleet(fleet_experiments, probe_runs=PROBE_RUNS)
+
+        identical = True
+        for key in sequential:
+            a = sequential_results[key]
+            b = fleet.results[key]
+            identical &= a.measurement == b.measurement
+            identical &= a.sweep == b.sweep
+            identical &= a.report.to_dict() == b.report.to_dict()
+        assert identical, "lockstep fleet characterization diverged"
+        assert fleet.stats.n_probes == sequential_calls, (
+            "both paths must answer the same probe sequence"
+        )
+        call_reduction = sequential_calls / fleet.stats.n_waves
+        assert call_reduction >= REQUIRED_CALL_REDUCTION, (
+            f"{sequential_calls} sequential backend calls vs "
+            f"{fleet.stats.n_waves} waves: only {call_reduction:.1f}x"
+        )
+
+        section = report.new_section(
+            "16-die fleet: crossings and identity", ["metric", "value"]
+        )
+        section.add_row("sequential engine->backend calls", sequential_calls)
+        section.add_row("lockstep kernel calls (waves)", fleet.stats.n_waves)
+        section.add_row("crossing reduction", round(call_reduction, 1))
+        section.add_row("probes answered (both paths)", fleet.stats.n_probes)
+        section.add_row(
+            "measurements + sweeps + certificates identical", identical
+        )
+
+        # --- phase B: wall-clock under the hardware latency model --------
+        latency_sequential = _fleet_experiments(
+            batch=False, latency_s=HARDWARE_LATENCY_S
+        )
+        _prewarm(latency_sequential)
+        t0 = time.perf_counter()
+        latency_results = _sequential_characterization(latency_sequential)
+        sequential_s = time.perf_counter() - t0
+
+        latency_fleet = _fleet_experiments()
+        _prewarm(latency_fleet)
+        t0 = time.perf_counter()
+        fleet_latency = discover_guardband_fleet(
+            latency_fleet, probe_runs=PROBE_RUNS, latency_s=HARDWARE_LATENCY_S
+        )
+        fleet_s = time.perf_counter() - t0
+        speedup = sequential_s / fleet_s
+
+        for key in latency_sequential:
+            assert (
+                latency_results[key].measurement
+                == fleet_latency.results[key].measurement
+            ), "latency model changed a measurement"
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"fleet characterization only {speedup:.2f}x faster "
+            f"({sequential_s:.3f}s -> {fleet_s:.3f}s) under the "
+            f"{1e3 * HARDWARE_LATENCY_S:.0f} ms latency model"
+        )
+
+        timing = report.new_section(
+            "wall-clock under modelled hardware latency", ["metric", "value"]
+        )
+        timing.add_row("latency per evaluation (ms)", 1e3 * HARDWARE_LATENCY_S)
+        timing.add_row("sequential characterization (s)", round(sequential_s, 3))
+        timing.add_row("lockstep characterization (s)", round(fleet_s, 3))
+        timing.add_row("speedup", round(speedup, 2))
+        timing.add_note(
+            "each die is its own board: a wave settles every regulator "
+            "concurrently and pays the settle + read-back latency once"
+        )
+
+        # --- phase C: 1000-die synthetic lockstep scaling ----------------
+        synthetic = SyntheticFleet.draw(SyntheticFleetSpec(n_dies=SCALE_DIES))
+        ladder = tuple(round(1.0 - 0.01 * i, 4) for i in range(70))
+        ladder_v = np.asarray(ladder)
+        plans = {
+            die: ThresholdBisector(ladder).search_steps("vmin")
+            for die in range(SCALE_DIES)
+        }
+        driver = FleetBisector(plans)
+
+        def synthetic_wave(pending):
+            dies = np.fromiter(pending.keys(), dtype=np.int64, count=len(pending))
+            indices = np.fromiter(
+                pending.values(), dtype=np.int64, count=len(pending)
+            )
+            fault_free = ladder_v[indices] >= synthetic.vmin_v[dies]
+            return {
+                die: (bool(ok), False) for die, ok in zip(pending, fault_free)
+            }
+
+        t0 = time.perf_counter()
+        certificates = driver.run(synthetic_wave)
+        scale_s = time.perf_counter() - t0
+        for die, certificate in certificates.items():
+            boundary = certificate.boundary_index
+            assert certificate.verify()
+            vmin = synthetic.vmin_v[die]
+            assert boundary == 0 or ladder[boundary - 1] >= vmin
+            assert boundary == len(ladder) or ladder[boundary] < vmin
+        scale_reduction = driver.n_steps / driver.n_waves
+        assert scale_reduction >= REQUIRED_SCALE_REDUCTION
+
+        scale = report.new_section(
+            f"{SCALE_DIES}-die synthetic lockstep scaling", ["metric", "value"]
+        )
+        scale.add_row("sequential crossings (total steps)", driver.n_steps)
+        scale.add_row("lockstep waves", driver.n_waves)
+        scale.add_row("crossing reduction", round(scale_reduction, 1))
+        scale.add_row("wall time (s)", round(scale_s, 3))
+        scale.add_note(
+            "waves grow with the bisection depth (log ladder), not the die "
+            "count; every certificate re-verified against its die's true Vmin"
+        )
+
+        save_report(report)
+        emit_json(
+            "fleet_batch",
+            {
+                "sequential_backend_calls": sequential_calls,
+                "fleet_waves": fleet.stats.n_waves,
+                "fleet_probes": fleet.stats.n_probes,
+                "scale_steps": driver.n_steps,
+                "scale_waves": driver.n_waves,
+            },
+            extra={
+                "identical": identical,
+                "call_reduction": round(call_reduction, 2),
+                "latency_speedup": round(speedup, 2),
+                "scale_dies": SCALE_DIES,
+            },
+        )
+        return {
+            "identical": identical,
+            "call_reduction": call_reduction,
+            "speedup": speedup,
+            "scale_reduction": scale_reduction,
+        }
+
+    out = run_once(benchmark, body)
+    assert out["identical"]
+    assert out["call_reduction"] >= REQUIRED_CALL_REDUCTION
+    assert out["speedup"] >= REQUIRED_SPEEDUP
+    assert out["scale_reduction"] >= REQUIRED_SCALE_REDUCTION
+
+
+@pytest.mark.benchmark(group="fleet-batch")
+def test_fleet_batch_goldens_and_digests(benchmark):
+    """Batching must never move a golden result or a telemetry digest."""
+
+    def body():
+        import shutil
+        import tempfile
+        from pathlib import Path
+
+        from repro.campaign import preset_spec, run_campaign
+        from repro.obs import install_trace, reset_recorder
+        from repro.obs.summarize import summarize_trace
+
+        report = ExperimentReport(
+            "fleet_batch_digests",
+            "golden JSON and telemetry digests across schedulers and "
+            "batch on/off",
+        )
+
+        # --- pure sweeps: goldens across schedulers x batch modes --------
+        def sweep_pair(scheduler, jobs, batch):
+            experiment = UndervoltingExperiment(
+                FpgaChip.build("ZC702"), runs_per_step=PROBE_RUNS,
+                scheduler=scheduler, jobs=jobs, batch=batch,
+            )
+            region = experiment.critical_region_sweep(n_runs=PROBE_RUNS)
+            fvm = experiment.extract_fvm()
+            calls = experiment.engine.counters.n_backend_calls
+            return region.as_series(), fvm, calls
+
+        reference_region, reference_fvm, unbatched_calls = sweep_pair(
+            "serial", 1, False
+        )
+        golden = report.new_section(
+            "region + FVM goldens", ["scheduler", "batch", "backend calls",
+                                     "identical"],
+        )
+        golden.add_row("serial", False, unbatched_calls, True)
+        goldens_identical = True
+        batched_calls = None
+        for scheduler, jobs, batch in (
+            ("serial", 1, True),
+            ("thread", 4, False),
+            ("thread", 4, True),
+            ("process", 2, False),
+            ("process", 2, True),
+        ):
+            region, fvm, calls = sweep_pair(scheduler, jobs, batch)
+            same = region == reference_region and fvm == reference_fvm
+            goldens_identical &= same
+            golden.add_row(scheduler, batch, calls, same)
+            if scheduler == "serial" and batch:
+                batched_calls = calls
+        assert goldens_identical, "a scheduler/batch mode moved a golden"
+        assert batched_calls is not None and batched_calls < unbatched_calls
+
+        # --- campaign trace digests: batch on/off must not move them -----
+        def traced_campaign_digest(tmp):
+            Path(tmp).mkdir(parents=True, exist_ok=True)
+            trace_path = Path(tmp) / "trace.jsonl"
+            install_trace(trace_path)
+            try:
+                run_campaign(
+                    preset_spec("fleet16-fast"), root=Path(tmp) / "store",
+                    scheduler="serial",
+                )
+            finally:
+                reset_recorder()
+            summary = summarize_trace(str(trace_path))
+            return summary["digest"], summary["n_spans"]
+
+        def traced_probe_digest(tmp, batch):
+            Path(tmp).mkdir(parents=True, exist_ok=True)
+            trace_path = Path(tmp) / "trace.jsonl"
+            install_trace(trace_path)
+            try:
+                experiment = UndervoltingExperiment(
+                    FpgaChip.build("ZC702"), runs_per_step=PROBE_RUNS,
+                    batch=batch,
+                )
+                experiment.discover_guardband_adaptive(probe_runs=PROBE_RUNS)
+            finally:
+                reset_recorder()
+            return summarize_trace(str(trace_path))["digest"]
+
+        tmp = tempfile.mkdtemp(prefix="fleet-batch-bench-")
+        try:
+            digest_a, n_spans = traced_campaign_digest(tmp + "/a")
+            digest_b, _ = traced_campaign_digest(tmp + "/b")
+            probe_on = traced_probe_digest(tmp + "/c", batch=True)
+            probe_off = traced_probe_digest(tmp + "/d", batch=False)
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+        assert digest_a == digest_b, "campaign trace digest is not stable"
+        assert probe_on == probe_off, (
+            "batching moved a probe-flow telemetry digest; probe flows must "
+            "never batch"
+        )
+
+        digests = report.new_section("telemetry digests", ["metric", "value"])
+        digests.add_row("campaign digest (run a)", digest_a[:16])
+        digests.add_row("campaign digest (run b)", digest_b[:16])
+        digests.add_row("campaign spans per run", n_spans)
+        digests.add_row("probe-flow digest, batch on == off", probe_on == probe_off)
+        digests.add_note(
+            "probes are hardware-mutating and always evaluate inline, so "
+            "turning batching on cannot add engine.batch spans to any "
+            "pinned campaign/runtime digest"
+        )
+
+        save_report(report)
+        return {
+            "goldens_identical": goldens_identical,
+            "digests_stable": digest_a == digest_b and probe_on == probe_off,
+            "unbatched_calls": unbatched_calls,
+            "batched_calls": batched_calls,
+        }
+
+    out = run_once(benchmark, body)
+    assert out["goldens_identical"]
+    assert out["digests_stable"]

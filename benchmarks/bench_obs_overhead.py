@@ -24,6 +24,7 @@ from pathlib import Path
 
 import pytest
 
+from _emit import emit_json
 from conftest import run_once, save_report
 from repro.analysis import ExperimentReport
 from repro.campaign import preset_spec, run_campaign
@@ -96,6 +97,11 @@ def test_obs_overhead(benchmark):
         )
         assert traced_overhead < 0.10, (
             f"instrumented overhead {100 * traced_overhead:.2f}% >= 10%"
+        )
+        emit_json(
+            "obs_overhead",
+            {"trace_records": n_records},
+            extra={"null_span_ns": round(1e9 * null_span_s, 1)},
         )
         return report
 

@@ -28,6 +28,7 @@ import time
 
 import pytest
 
+from _emit import emit_json
 from conftest import run_once, save_report
 from repro.analysis import ExperimentReport
 from repro.analysis.runtime import (
@@ -146,6 +147,16 @@ def test_runtime_governor_fleet16(benchmark):
             f"in {elapsed_s:.2f} s; predictive telemetry digest {digest[:16]}"
         )
         save_report(report)
+        emit_json(
+            "runtime_governor",
+            {
+                "faulty_inferences_predictive": predictive.faulty_inferences,
+                "crash_steps_predictive": predictive.crash_steps,
+                "slo_violations_predictive": predictive.slo_violations,
+                "trace_requests": trace.total_requests,
+            },
+            extra={"n_dies": len(bundle), "digest": digest},
+        )
         assert elapsed_s < 120.0, "the simulation loop must run at fleet scale"
         return report
 

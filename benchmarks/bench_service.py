@@ -24,6 +24,7 @@ import time
 
 import pytest
 
+from _emit import emit_json
 from conftest import run_once, save_report
 from repro.analysis import ExperimentReport
 from repro.campaign import preset_spec, run_campaign
@@ -191,6 +192,15 @@ def test_service_acceptance(benchmark):
 
             service.close()
         save_report(report)
+        emit_json(
+            "service",
+            {
+                "lookups": len(latencies),
+                "fvm_requests": fvm_requests,
+                "backend_evaluations": counters["n_backend_evaluations"],
+            },
+            extra={"n_dies": len(dies)},
+        )
         return {
             "p99_s": p99,
             "n_lookups": len(latencies),

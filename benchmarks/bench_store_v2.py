@@ -27,6 +27,7 @@ from pathlib import Path
 
 import pytest
 
+from _emit import emit_json
 from conftest import run_once, save_report
 from repro.analysis import ExperimentReport
 from repro.campaign import (
@@ -149,6 +150,16 @@ def test_store_v2_streaming_scale(benchmark):
             identity.add_row("migrated units", migration.n_units)
             identity.add_row("re-migrate is a no-op", True)
             identity.add_row("post-migration resume skips all units", True)
+            emit_json(
+                "store_v2",
+                {
+                    "migrated_units": migration.n_units,
+                    "resume_skipped": len(resumed.skipped),
+                    "resume_executed": len(resumed.executed),
+                    "segments_100k": fleet_report.store["n_segments"],
+                },
+                extra={"identical": identical, "scale_dies": SCALE},
+            )
         finally:
             shutil.rmtree(root, ignore_errors=True)
         return report

@@ -174,6 +174,7 @@ def _add_backend_arguments(
     parser: argparse.ArgumentParser,
     default: str = "serial",
     replay: bool = False,
+    batch_flag: bool = False,
 ) -> None:
     """The execution-layer knobs: ``--backend`` and ``--jobs``.
 
@@ -181,6 +182,10 @@ def _add_backend_arguments(
     simulated backend (results are bit-identical across all three; see
     docs/architecture.md); ``replay``, where offered, serves every
     evaluation from a recorded store instead of the fault model.
+    ``batch_flag`` additionally offers ``--no-batch``, which disables
+    cross-request batching in the execution engine — results are
+    bit-identical either way (see docs/batched_eval.md), so the flag
+    exists for A/B verification and crossing-count comparisons.
     """
     choices = list(SCHEDULERS) + (["replay"] if replay else [])
     parser.add_argument(
@@ -202,6 +207,15 @@ def _add_backend_arguments(
         help="worker threads/processes for the parallel backends "
         "(default: CPU count when --backend is thread/process, else 1)",
     )
+    if batch_flag:
+        parser.add_argument(
+            "--no-batch",
+            dest="batch",
+            action="store_false",
+            default=True,
+            help="disable batched backend evaluation (one engine->backend "
+            "crossing per request; bit-identical, slower)",
+        )
     if replay:
         parser.add_argument(
             "--replay-store",
@@ -235,7 +249,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_platform_argument(guardband)
     _add_json_argument(guardband)
     _add_search_argument(guardband, default="adaptive")
-    _add_backend_arguments(guardband, replay=True)
+    _add_backend_arguments(guardband, replay=True, batch_flag=True)
     _add_obs_arguments(guardband)
     guardband.add_argument(
         "--runs",
@@ -249,7 +263,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_platform_argument(sweep)
     _add_json_argument(sweep)
     _add_search_argument(sweep, default="adaptive")
-    _add_backend_arguments(sweep, replay=True)
+    _add_backend_arguments(sweep, replay=True, batch_flag=True)
     _add_obs_arguments(sweep)
     sweep.add_argument("--runs", type=int, default=11, help="read-back repetitions per voltage step")
     sweep.add_argument("--pattern", default="FFFF", help="initial BRAM data pattern (e.g. FFFF, AAAA)")
@@ -497,6 +511,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker threads for engine-backed queries (FVM sweeps)",
     )
+    serve.add_argument(
+        "--no-batch",
+        dest="batch",
+        action="store_false",
+        default=True,
+        help="serve FVM ladders one engine->backend crossing per voltage "
+        "instead of one batched kernel call (bit-identical, slower)",
+    )
     _add_obs_arguments(serve)
 
     trace = subparsers.add_parser(
@@ -580,6 +602,7 @@ def _single_board_experiment(
     :class:`~repro.exec.ReplayBackend` over ``--replay-store``.
     """
     chip = FpgaChip.build(args.platform)
+    batch = getattr(args, "batch", True)
     if args.backend == "replay":
         if not args.replay_store:
             raise ExecError("--backend replay needs --replay-store PATH")
@@ -587,13 +610,16 @@ def _single_board_experiment(
             args.replay_store, platform=chip.name, serial=chip.spec.serial_number
         )
         return UndervoltingExperiment(
-            chip, runs_per_step=runs_per_step, engine=ExecutionEngine(backend)
+            chip,
+            runs_per_step=runs_per_step,
+            engine=ExecutionEngine(backend, batch=batch),
         )
     return UndervoltingExperiment(
         chip,
         runs_per_step=runs_per_step,
         scheduler=args.backend,
         jobs=_resolved_jobs(args),
+        batch=batch,
     )
 
 
@@ -1407,11 +1433,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         if args.store:
             service = FleetService.from_campaign(
-                args.store, args.root, engine_workers=args.engine_workers
+                args.store, args.root,
+                engine_workers=args.engine_workers, batch=args.batch,
             )
         else:
             service = FleetService.from_bundle_file(
-                args.bundle, engine_workers=args.engine_workers
+                args.bundle,
+                engine_workers=args.engine_workers, batch=args.batch,
             )
     except (CampaignError, CharacterizationError, ServiceError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)

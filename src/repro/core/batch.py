@@ -246,6 +246,16 @@ class BatchFaultEvaluator:
             self._table = FlatFaultTable.from_field(self.field)
         return self._table
 
+    def adopt_table(self, table: FlatFaultTable) -> None:
+        """Install a pre-built table (e.g. an mmap-attached shared one).
+
+        Used by :mod:`repro.exec.shm` so worker processes skip profile
+        materialization entirely.  Per-pattern sorted-threshold caches are
+        dropped because they derive from the table.
+        """
+        self._table = table
+        self._sorted_thresholds.clear()
+
     @staticmethod
     def _pattern_bits(pattern: "str | int | None") -> Optional[np.ndarray]:
         if pattern is None:
@@ -262,6 +272,13 @@ class BatchFaultEvaluator:
             cached = np.sort(self.table.thresholds_v[mask])
             self._sorted_thresholds[key] = cached
         return cached
+
+    def sorted_observable_thresholds(self, pattern: "str | int | None") -> np.ndarray:
+        """Sorted observable failure voltages for a pattern (cached; do not
+        mutate).  This is the exact array :meth:`chip_counts` bisects, so
+        cross-die kernels that stack it per die reproduce the per-die counts
+        bit-for-bit (see :mod:`repro.harness.fleet`)."""
+        return self._sorted_observable(pattern)
 
     # ------------------------------------------------------------------
     def effective_voltages(self, grid: OperatingGrid) -> np.ndarray:

@@ -31,7 +31,7 @@ import math
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.batch import OperatingGrid, cached_fault_field, power_curve
 from repro.core.calibration import PlatformCalibration
@@ -97,6 +97,12 @@ UndervoltingExperiment` would build, and the experiment shares its
 
     #: Fresh fault-model evaluations this backend has performed (all kinds).
     n_evaluations: int = field(default=0, init=False)
+    #: :meth:`evaluate_batch` calls answered (each is one Python crossing
+    #: however many requests it carried).
+    n_kernel_batches: int = field(default=0, init=False)
+    #: Memoized zero-copy export of the flat fault table (see
+    #: :meth:`share_table`).
+    _shared_table: Optional[Any] = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         # Imported here (not at module top) to keep repro.exec importable
@@ -147,6 +153,25 @@ UndervoltingExperiment` would build, and the experiment shares its
             return None
         return ("simulated", self.platform, self.serial, self.step_v, self.latency_s)
 
+    def share_table(self) -> Optional[Tuple]:
+        """A worker spec carrying a zero-copy handle to the flat fault table.
+
+        Exports the built :class:`~repro.core.batch.FlatFaultTable` once
+        (memoized) via :mod:`repro.exec.shm` and returns :meth:`spec`
+        extended with the :class:`~repro.exec.shm.SharedTableSpec`; worker
+        processes attach to the mmap-backed columns instead of rebuilding
+        the die's cell population.  ``None`` when the backend is not
+        spec-buildable (same contract as :meth:`spec`).
+        """
+        spec = self.spec()
+        if spec is None:
+            return None
+        if self._shared_table is None:
+            from .shm import export_table
+
+            self._shared_table = export_table(self.fault_field.batch.table)
+        return spec + (self._shared_table,)
+
     def describe(self) -> Dict[str, Any]:
         """JSON-serializable identity block (part of the CLI ``backend`` doc)."""
         return {"kind": self.kind, "source": self.source}
@@ -164,6 +189,109 @@ UndervoltingExperiment` would build, and the experiment shares its
         if request.kind == REGION:
             return self._evaluate_region(request)
         return self._evaluate_fvm(request)
+
+    def evaluate_batch(self, requests: Sequence[EvalRequest]) -> List[PointEvaluation]:
+        """Answer a whole batch with one kernel call per request group.
+
+        Pure ``region``/``fvm`` requests are grouped by
+        ``(kind, rail, pattern, n_runs, temperature)``; each group becomes
+        one multi-voltage :class:`OperatingGrid` answered by a single
+        ``chip_counts``/``per_bram_counts`` kernel call, so a fleet ladder
+        of N voltages crosses the Python/NumPy boundary once instead of N
+        times.  Results are bit-identical to per-request :meth:`evaluate`
+        because every grid point is an independent pure function of its own
+        operating point (same IEEE-754 comparisons, same operation order).
+        ``probe`` requests — which mutate the simulated hardware — fall back
+        to the sequential per-point protocol in request order.
+
+        Latency modelling is aggregate: one sleep of ``latency_s`` per
+        request, taken up front, so wall-clock accounting matches a
+        sequential evaluation of the same batch.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        if self.latency_s > 0.0:
+            time.sleep(self.latency_s * len(requests))
+        self.n_evaluations += len(requests)
+        self.n_kernel_batches += 1
+        results: List[Optional[PointEvaluation]] = [None] * len(requests)
+        groups: Dict[Tuple, List[int]] = {}
+        for index, request in enumerate(requests):
+            if request.kind == PROBE:
+                results[index] = self._evaluate_probe(request)
+                continue
+            key = (
+                request.kind,
+                request.rail,
+                request.pattern_text,
+                request.n_runs,
+                request.temperature_c,
+            )
+            groups.setdefault(key, []).append(index)
+        for key, indices in groups.items():
+            group = [requests[i] for i in indices]
+            if key[0] == REGION:
+                points = self._batch_region(group)
+            else:
+                points = self._batch_fvm(group)
+            for index, point in zip(indices, points):
+                results[index] = point
+        return results  # type: ignore[return-value]
+
+    def _batch_region(self, requests: List[EvalRequest]) -> List[PointEvaluation]:
+        """One ``chip_counts`` kernel call answering a same-shape region group."""
+        first = requests[0]
+        if first.rail != VCCBRAM:
+            raise ExecError("region requests characterize the VCCBRAM rail")
+        grid = OperatingGrid.from_axes(
+            tuple(request.voltage_v for request in requests),
+            (first.temperature_c,),
+            runs=first.n_runs,
+        )
+        counts = self.fault_field.batch.chip_counts(grid, first.pattern)
+        power = power_curve(
+            self.power_meter.bram_model,
+            grid.voltages_v,
+            self.power_meter.bram_utilization,
+        )
+        return [
+            PointEvaluation(
+                voltage_v=request.voltage_v,
+                temperature_c=request.temperature_c,
+                rail=VCCBRAM,
+                pattern=request.pattern_text,
+                n_runs=request.n_runs,
+                counts=tuple(int(c) for c in counts[i, 0, :]),
+                operational=True,
+                bram_power_w=float(power[i]),
+            )
+            for i, request in enumerate(requests)
+        ]
+
+    def _batch_fvm(self, requests: List[EvalRequest]) -> List[PointEvaluation]:
+        """One ``per_bram_counts`` kernel call answering a whole FVM ladder."""
+        first = requests[0]
+        if first.rail != VCCBRAM:
+            raise ExecError("fvm requests characterize the VCCBRAM rail")
+        grid = OperatingGrid.from_axes(
+            tuple(request.voltage_v for request in requests),
+            (first.temperature_c,),
+        )
+        rows = self.fault_field.batch.per_bram_counts(grid, first.pattern)
+        return [
+            PointEvaluation(
+                voltage_v=request.voltage_v,
+                temperature_c=request.temperature_c,
+                rail=VCCBRAM,
+                pattern=request.pattern_text,
+                n_runs=0,
+                counts=(),
+                operational=True,
+                per_bram_counts=tuple(int(c) for c in rows[i, 0, 0, :]),
+            )
+            for i, request in enumerate(requests)
+        ]
 
     def _int_fault_count(self, vccint_v: float) -> int:
         """Observable logic faults when undervolting VCCINT (Fig. 1b).
@@ -391,9 +519,8 @@ save_eval_cache`) or a campaign store directory, whose ``cache/``
         return evaluation
 
     # ------------------------------------------------------------------
-    def evaluate(self, request: EvalRequest) -> PointEvaluation:
-        """Serve one request from the store; missing points are an error."""
-        key = point_key(
+    def _key_for(self, request: EvalRequest) -> Tuple:
+        return point_key(
             self.platform,
             self.serial,
             request.rail,
@@ -402,17 +529,39 @@ save_eval_cache`) or a campaign store directory, whose ``cache/``
             request.pattern_text,
             request.n_runs,
         )
-        found = self.entries.get(key)
+
+    def _raise_missing(self, request: EvalRequest) -> None:
+        raise ExecError(
+            f"replay store{f' {self.source}' if self.source else ''} has no "
+            f"recorded evaluation for {self.platform}/{self.serial} "
+            f"{request.rail} at {request.voltage_v:.3f} V, "
+            f"{request.temperature_c:.1f} degC, pattern "
+            f"{request.pattern_text}, {request.n_runs} runs"
+        )
+
+    def evaluate(self, request: EvalRequest) -> PointEvaluation:
+        """Serve one request from the store; missing points are an error."""
+        found = self.entries.get(self._key_for(request))
         if found is None:
-            raise ExecError(
-                f"replay store{f' {self.source}' if self.source else ''} has no "
-                f"recorded evaluation for {self.platform}/{self.serial} "
-                f"{request.rail} at {request.voltage_v:.3f} V, "
-                f"{request.temperature_c:.1f} degC, pattern "
-                f"{request.pattern_text}, {request.n_runs} runs"
-            )
+            self._raise_missing(request)
         self.n_served += 1
         return found
+
+    def evaluate_batch(self, requests: Sequence[EvalRequest]) -> List[PointEvaluation]:
+        """Serve a whole batch in one index probe over the store.
+
+        One Python-level call answers every request; any unrecorded point
+        raises the same :class:`ExecError` as :meth:`evaluate` (replay
+        never recomputes), and nothing is counted as served on a miss.
+        """
+        requests = list(requests)
+        entries = self.entries
+        found = [entries.get(self._key_for(request)) for request in requests]
+        for request, point in zip(requests, found):
+            if point is None:
+                self._raise_missing(request)
+        self.n_served += len(requests)
+        return found  # type: ignore[return-value]
 
 
 def _load_cache_document(path: Path) -> EvalCache:
@@ -441,14 +590,29 @@ def _load_cache_document(path: Path) -> EvalCache:
 
 
 def backend_from_spec(spec: Tuple) -> SimulatedBackend:
-    """Rebuild a worker-side backend from :meth:`SimulatedBackend.spec`."""
+    """Rebuild a worker-side backend from :meth:`SimulatedBackend.spec`.
+
+    Accepts both the plain 5-tuple of :meth:`SimulatedBackend.spec` and the
+    extended form of :meth:`SimulatedBackend.share_table`, whose trailing
+    :class:`~repro.exec.shm.SharedTableSpec` lets the worker attach to the
+    parent's mmap-exported fault table instead of rebuilding it.
+    """
     from repro.fpga.platform import FpgaChip
 
     if not spec or spec[0] != "simulated":
         raise ExecError(f"cannot rebuild a backend from spec {spec!r}")
-    _kind, platform, serial, step_v, latency_s = spec
+    if len(spec) == 6:
+        _kind, platform, serial, step_v, latency_s, shared = spec
+    else:
+        _kind, platform, serial, step_v, latency_s = spec
+        shared = None
     chip = FpgaChip.build(platform, serial=serial)
-    return SimulatedBackend(chip=chip, step_v=step_v, latency_s=latency_s)
+    backend = SimulatedBackend(chip=chip, step_v=step_v, latency_s=latency_s)
+    if shared is not None:
+        from .shm import attach_table
+
+        backend.fault_field.batch.adopt_table(attach_table(shared))
+    return backend
 
 
 __all__ = [

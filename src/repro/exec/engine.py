@@ -77,6 +77,11 @@ class EngineCounters:
     answered from the evaluation cache; ``n_backend_evaluations`` the ones
     the backend actually computed; ``n_deduplicated`` in-flight duplicates
     collapsed inside batches; ``n_batches`` the ``evaluate_many`` calls.
+    ``n_backend_calls`` counts *Python-level crossings into the backend* —
+    a batched crossing answers many evaluations in one call, so
+    ``n_backend_calls <= n_backend_evaluations`` measures how well batching
+    amortizes per-request overhead.  It is engine telemetry only and stays
+    out of :meth:`to_dict`, which the CLI golden documents pin.
 
     One counters object is routinely shared: cache-variant engines over one
     backend, and service deployments where every request-handler thread
@@ -91,6 +96,7 @@ class EngineCounters:
     n_backend_evaluations: int = 0
     n_deduplicated: int = 0
     n_batches: int = 0
+    n_backend_calls: int = 0
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
@@ -113,6 +119,7 @@ class EngineCounters:
         backend_evaluations: int = 0,
         deduplicated: int = 0,
         batches: int = 0,
+        backend_calls: int = 0,
     ) -> None:
         """Atomically accumulate one engine event (thread-safe)."""
         with self._lock:
@@ -121,6 +128,7 @@ class EngineCounters:
             self.n_backend_evaluations += backend_evaluations
             self.n_deduplicated += deduplicated
             self.n_batches += batches
+            self.n_backend_calls += backend_calls
 
     def snapshot(self) -> "EngineCounters":
         """A frozen, consistent copy for later deltas."""
@@ -131,6 +139,7 @@ class EngineCounters:
                 n_backend_evaluations=self.n_backend_evaluations,
                 n_deduplicated=self.n_deduplicated,
                 n_batches=self.n_batches,
+                n_backend_calls=self.n_backend_calls,
             )
 
     def since(self, snapshot: "EngineCounters") -> "EngineCounters":
@@ -144,6 +153,7 @@ class EngineCounters:
             ),
             n_deduplicated=current.n_deduplicated - snapshot.n_deduplicated,
             n_batches=current.n_batches - snapshot.n_batches,
+            n_backend_calls=current.n_backend_calls - snapshot.n_backend_calls,
         )
 
     def to_dict(self) -> Dict[str, int]:
@@ -163,15 +173,35 @@ class EngineCounters:
 _WORKER_BACKENDS: Dict[Tuple, Any] = {}
 
 
-def _evaluate_spec_chunk(
-    spec: Tuple, requests: Tuple[EvalRequest, ...]
-) -> List[PointEvaluation]:
-    """Process-pool entry point: evaluate one chunk on a worker-local backend."""
+def _worker_backend(spec: Tuple) -> Any:
+    """The worker-local backend for a spec, built on first use."""
     backend = _WORKER_BACKENDS.get(spec)
     if backend is None:
         backend = backend_from_spec(spec)
         _WORKER_BACKENDS[spec] = backend
+    return backend
+
+
+def _evaluate_spec_chunk(
+    spec: Tuple, requests: Tuple[EvalRequest, ...]
+) -> List[PointEvaluation]:
+    """Process-pool entry point: evaluate one chunk on a worker-local backend."""
+    backend = _worker_backend(spec)
     return [backend.evaluate(request) for request in requests]
+
+
+def _evaluate_spec_batch(
+    spec: Tuple, requests: Tuple[EvalRequest, ...]
+) -> List[PointEvaluation]:
+    """Process-pool entry point: answer one chunk via a single batched call."""
+    return _worker_backend(spec).evaluate_batch(list(requests))
+
+
+def _evaluate_backend_batch(
+    backend: "EvalBackend", requests: Tuple[EvalRequest, ...]
+) -> List[PointEvaluation]:
+    """Thread-pool entry point: answer one chunk via a single batched call."""
+    return backend.evaluate_batch(list(requests))
 
 
 class ExecutionEngine:
@@ -193,6 +223,12 @@ class ExecutionEngine:
         Optional shared :class:`EngineCounters` — cache-variant engines
         over one backend pass the root engine's counters here so the
         telemetry of one experiment stays in one place.
+    batch:
+        Whether :meth:`evaluate_many` may answer a pure miss set through
+        the backend's ``evaluate_batch`` capability (one Python crossing
+        per batch instead of one per request).  On by default; results are
+        bit-identical either way, so this knob exists for benchmarking and
+        for the CLI's ``--no-batch`` escape hatch.
     """
 
     def __init__(
@@ -203,8 +239,10 @@ class ExecutionEngine:
         cache: Optional[EvalCache] = None,
         queue_depth: Optional[int] = None,
         counters: Optional[EngineCounters] = None,
+        batch: bool = True,
     ) -> None:
         self.backend = backend
+        self.batch = bool(batch)
         self.work = WorkScheduler(scheduler=scheduler, jobs=jobs, queue_depth=queue_depth)
         self.cache = cache
         self.counters = counters if counters is not None else EngineCounters()
@@ -249,6 +287,7 @@ class ExecutionEngine:
             cache=cache,
             queue_depth=self.work.queue_depth,
             counters=self.counters,
+            batch=self.batch,
         )
 
     def describe(self) -> Dict[str, Any]:
@@ -323,7 +362,7 @@ class ExecutionEngine:
                 self.counters.add(cache_hits=1)
                 return found, True
             point = self.backend.evaluate(request)
-            self.counters.add(backend_evaluations=1)
+            self.counters.add(backend_evaluations=1, backend_calls=1)
             if self.cache is not None:
                 self.cache.store(point)
             return point, False
@@ -374,9 +413,27 @@ class ExecutionEngine:
             return [resolved[key] for key in order]
 
     def _evaluate_misses(self, requests: List[EvalRequest]) -> List[PointEvaluation]:
-        """Compute fresh evaluations, scheduling pure batches over workers."""
+        """Compute fresh evaluations, scheduling pure batches over workers.
+
+        With batching on, a pure miss set crosses into the backend once per
+        scheduled chunk (``evaluate_batch``) instead of once per request;
+        the ``engine.batch`` span covers the whole batched answer and its
+        ``n`` label counts the requests it settled.
+        """
         mutating = any(request.kind == PROBE for request in requests)
+        batchable = (
+            self.batch
+            and not mutating
+            and len(requests) > 1
+            and callable(getattr(self.backend, "evaluate_batch", None))
+        )
+
         if self.work.is_serial or mutating or len(requests) <= 1:
+            if batchable:
+                with obs_trace.span("engine.batch", n=len(requests)):
+                    self.counters.add(backend_calls=1)
+                    return self.backend.evaluate_batch(list(requests))
+            self.counters.add(backend_calls=len(requests))
             return [self.backend.evaluate(request) for request in requests]
 
         if self.work.scheduler == "process":
@@ -387,7 +444,20 @@ class ExecutionEngine:
                     "(stock die, default fault field); use the thread "
                     "scheduler for customized backends"
                 )
-            fn, context = _evaluate_spec_chunk, spec
+            if batchable:
+                # Exporting the flat fault table to mmap-backed files lets
+                # spawned workers attach instead of rebuilding the cell
+                # population from scratch (fork workers inherit it anyway).
+                share = getattr(self.backend, "share_table", None)
+                if share is not None:
+                    shared_spec = share()
+                    if shared_spec is not None:
+                        spec = shared_spec
+                fn, context = _evaluate_spec_batch, spec
+            else:
+                fn, context = _evaluate_spec_chunk, spec
+        elif batchable:
+            fn, context = _evaluate_backend_batch, self.backend
         else:
             fn, context = _evaluate_backend_chunk, self.backend
 
@@ -395,11 +465,22 @@ class ExecutionEngine:
         # built caches (flat table, sorted pattern thresholds) before the
         # fan-out — threads then share them race-free, and fork-context
         # workers inherit them for free.
-        first = self.backend.evaluate(requests[0])
-        chunks = chunked(requests[1:], self.work.jobs * 2)
-        chunk_results = self.work.map_tasks(
-            fn, [(context, tuple(chunk)) for chunk in chunks]
-        )
+        if batchable:
+            with obs_trace.span("engine.batch", n=len(requests)):
+                first = self.backend.evaluate(requests[0])
+                # One wide chunk per worker: each is a single crossing.
+                chunks = chunked(requests[1:], self.work.jobs)
+                chunk_results = self.work.map_tasks(
+                    fn, [(context, tuple(chunk)) for chunk in chunks]
+                )
+                self.counters.add(backend_calls=1 + len(chunks))
+        else:
+            first = self.backend.evaluate(requests[0])
+            chunks = chunked(requests[1:], self.work.jobs * 2)
+            chunk_results = self.work.map_tasks(
+                fn, [(context, tuple(chunk)) for chunk in chunks]
+            )
+            self.counters.add(backend_calls=1 + sum(len(c) for c in chunks))
         return [first] + [point for chunk in chunk_results for point in chunk]
 
 

@@ -1,0 +1,119 @@
+"""Zero-copy fault-table sharing for process-scheduled evaluation.
+
+Spawned worker processes used to rebuild a die's entire vulnerable-cell
+population from scratch (``FpgaChip.build`` → ``cached_fault_field`` →
+per-BRAM profile materialization) before answering their first request —
+the dominant cost of ``--backend process`` at fleet scale, and exactly the
+serialization tax the ROADMAP wants gone.  This module exports a built
+:class:`~repro.core.batch.FlatFaultTable` once, parent-side, as plain
+``.npy`` files in a private temporary directory; workers then *attach* with
+``numpy.load(..., mmap_mode="r")``, so the kernel pages the threshold
+columns into every process without pickling, copying, or reconstructing a
+single profile.  The same substrate backs the v2 campaign store's columnar
+segments, which is why file-backed mmap was chosen over
+``multiprocessing.shared_memory`` (no resource-tracker lifetime puzzles,
+and attach works across unrelated processes).
+
+Bit-identity: the exported arrays are the exact arrays the parent built, a
+``.npy`` round-trip is lossless, and the table is itself a deterministic
+function of the die's seeded fault field — so an attached worker computes
+exactly what a rebuilt worker would, only without paying for the rebuild.
+
+The export lives until :func:`release_all` (registered ``atexit``) removes
+it; deleting the files while workers still map them is safe on POSIX.
+"""
+
+from __future__ import annotations
+
+import atexit
+import shutil
+import tempfile
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.batch import FlatFaultTable
+
+#: Column files of one exported table, in a fixed order.
+_COLUMNS = ("bram_ids", "cols", "thresholds_v", "one_to_zero")
+
+
+@dataclass(frozen=True)
+class SharedTableSpec:
+    """Picklable, hashable handle to one exported flat fault table.
+
+    Travels inside the backend's worker spec tuple (see
+    :meth:`repro.exec.backends.SimulatedBackend.share_table`), so it must
+    stay plain data: a directory of ``.npy`` columns plus the scalar the
+    table cannot recover from its arrays (``n_brams`` — trailing BRAMs may
+    have no vulnerable cells at all).
+    """
+
+    directory: str
+    n_brams: int
+    n_cells: int
+
+
+#: Directories this process exported, removed at interpreter exit.
+_EXPORT_DIRS: List[str] = []
+_EXPORT_LOCK = threading.Lock()
+
+
+def export_table(table: "FlatFaultTable") -> SharedTableSpec:
+    """Write a built table's columns to mmap-attachable ``.npy`` files."""
+    directory = Path(tempfile.mkdtemp(prefix="repro-shm-table-"))
+    for name in _COLUMNS:
+        np.save(directory / f"{name}.npy", np.ascontiguousarray(getattr(table, name)))
+    with _EXPORT_LOCK:
+        _EXPORT_DIRS.append(str(directory))
+    return SharedTableSpec(
+        directory=str(directory), n_brams=int(table.n_brams), n_cells=int(table.n_cells)
+    )
+
+
+def attach_table(spec: SharedTableSpec) -> "FlatFaultTable":
+    """Map an exported table read-only; no copies, no profile rebuilds."""
+    from repro.core.batch import FlatFaultTable
+
+    directory = Path(spec.directory)
+    columns: Dict[str, np.ndarray] = {
+        name: np.load(directory / f"{name}.npy", mmap_mode="r") for name in _COLUMNS
+    }
+    table = FlatFaultTable(n_brams=spec.n_brams, **columns)
+    if table.n_cells != spec.n_cells:
+        raise ValueError(
+            f"shared table at {directory} holds {table.n_cells} cells, "
+            f"descriptor says {spec.n_cells}"
+        )
+    return table
+
+
+def release(spec: SharedTableSpec) -> None:
+    """Remove one export's files (attached mappings stay valid on POSIX)."""
+    with _EXPORT_LOCK:
+        if spec.directory in _EXPORT_DIRS:
+            _EXPORT_DIRS.remove(spec.directory)
+    shutil.rmtree(spec.directory, ignore_errors=True)
+
+
+def release_all() -> None:
+    """Remove every export this process created (registered ``atexit``)."""
+    with _EXPORT_LOCK:
+        directories, _EXPORT_DIRS[:] = _EXPORT_DIRS[:], []
+    for directory in directories:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+atexit.register(release_all)
+
+__all__ = [
+    "SharedTableSpec",
+    "attach_table",
+    "export_table",
+    "release",
+    "release_all",
+]

@@ -1,0 +1,361 @@
+"""Cross-die batched guardband discovery: one kernel call per wave.
+
+The sequential fleet path (:func:`repro.runtime.characterization.\
+characterize_die` in a loop) finishes die 0's whole bisection before die 1
+starts, paying one Python-level engine→backend crossing per probe per die.
+But a probe is a pure function of its operating point, and every die's
+observable failure voltages live in one sorted array — so a *wave* of
+pending probes, one per die, can be answered together:
+
+* stack every die's sorted observable thresholds into one padded 2-D array
+  (pad value ``+inf``, which no finite effective voltage reaches);
+* assemble the wave's effective voltages exactly as the scalar path does —
+  ``(quantized V + itd_shift) + ripple`` per run, in that operation order —
+  into a ``(dies, runs)`` query matrix;
+* run one vectorized bisection of the query matrix against the stack
+  (``searchsorted(side="right")`` generalized over rows) and read every
+  die's per-run fault counts off the result.
+
+:class:`FleetProbeKernel` implements that kernel;
+:func:`discover_guardband_fleet` pairs it with the per-die
+:func:`~repro.harness.sweep.guardband_plan` generators and the lockstep
+:class:`~repro.search.FleetBisector` so the whole fleet advances one
+bisection step per kernel call.  Every die still sees the exact probe
+sequence its sequential driver would produce, and every count comes out of
+the same IEEE-754 comparisons against the same thresholds — which is why
+the per-die measurements *and* certificates are bit-identical to the
+sequential path (asserted by ``benchmarks/bench_fleet_batch.py``).
+
+Only the ``VCCBRAM`` rail is batched: VCCINT probes model a closed-form
+observable-fault shape with no threshold table to stack, and no fleet
+driver characterizes VCCINT.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.exec.backends import rail_thresholds
+from repro.exec.request import ExecError
+from repro.fpga.voltage import VCCBRAM
+from repro.obs import trace as obs_trace
+from repro.search import EvalCache, PointEvaluation, WarmStartModel
+from repro.search.fleet import FleetBisector
+
+from .sweep import (
+    AdaptiveGuardbandResult,
+    SweepError,
+    UndervoltingExperiment,
+    guardband_plan,
+)
+
+#: Clamp the simulated regulator honours below the sweep floor (matches
+#: ``SimulatedBackend._evaluate_probe``'s ``max(voltage, 0.40)``).
+_REGULATOR_FLOOR_V = 0.40
+
+
+@dataclass(frozen=True)
+class FleetDiscoveryStats:
+    """Cost accounting of one lockstep fleet discovery.
+
+    ``n_waves`` is the number of batched kernel calls — the Python-level
+    crossings the whole fleet paid, versus ``n_probes`` crossings for the
+    sequential path.  ``n_probes = n_fresh + n_cache_hits``.
+    """
+
+    n_dies: int
+    n_waves: int
+    n_probes: int
+    n_fresh: int
+    n_cache_hits: int
+
+    def to_dict(self) -> Dict[str, int]:
+        """JSON form (benchmark emission)."""
+        return {
+            "n_dies": self.n_dies,
+            "n_waves": self.n_waves,
+            "n_probes": self.n_probes,
+            "n_fresh": self.n_fresh,
+            "n_cache_hits": self.n_cache_hits,
+        }
+
+
+@dataclass(frozen=True)
+class FleetDiscoveryResult:
+    """Per-die adaptive results plus the fleet-level cost accounting."""
+
+    results: Dict[Hashable, AdaptiveGuardbandResult]
+    stats: FleetDiscoveryStats
+
+
+class FleetProbeKernel:
+    """Answers one wave of per-die guardband probes with one vectorized kernel.
+
+    Precomputes, once per die: the sorted observable thresholds (the exact
+    array :meth:`~repro.core.batch.BatchFaultEvaluator.chip_counts`
+    bisects), the ITD shift at the die's board temperature, the per-run
+    ripple offsets, the calibrated crash threshold and the regulator's
+    quantization — everything a probe needs that does not depend on the
+    commanded voltage.  :meth:`evaluate_wave` then touches numpy exactly
+    once per wave.
+    """
+
+    def __init__(
+        self,
+        experiments: Mapping[Hashable, UndervoltingExperiment],
+        rail: str = VCCBRAM,
+        pattern: "str | int" = 0xFFFF,
+        probe_runs: int = 3,
+        latency_s: float = 0.0,
+    ) -> None:
+        if rail != VCCBRAM:
+            raise SweepError(
+                f"fleet probe kernel batches the {VCCBRAM} rail only, not {rail!r}"
+            )
+        if probe_runs < 1:
+            raise SweepError("probe_runs must be at least 1")
+        self.rail = rail
+        self.pattern = pattern
+        self.pattern_text = str(pattern)
+        self.probe_runs = int(probe_runs)
+        #: Modelled wall-clock of one wave (regulator settle + read-back,
+        #: the :attr:`~repro.exec.SimulatedBackend.latency_s` twin).  Every
+        #: die is its own board, so a wave's settles happen concurrently and
+        #: the whole wave pays the latency *once* — the physical root of the
+        #: lockstep speedup.  The default leaves timings untouched.
+        self.latency_s = float(latency_s)
+        #: Batched kernel calls performed (one per :meth:`evaluate_wave`).
+        self.n_kernel_calls = 0
+
+        self._experiments: Dict[Hashable, UndervoltingExperiment] = dict(experiments)
+        self._row: Dict[Hashable, int] = {}
+        self._shift: Dict[Hashable, float] = {}
+        self._ripples: Dict[Hashable, Optional[np.ndarray]] = {}
+        self._vcrash_true: Dict[Hashable, float] = {}
+        self._quantize: Dict[Hashable, Any] = {}
+
+        per_die: List[np.ndarray] = []
+        lengths: List[int] = []
+        for index, (key, experiment) in enumerate(self._experiments.items()):
+            fault_field = experiment.fault_field
+            thresholds = fault_field.batch.sorted_observable_thresholds(pattern)
+            per_die.append(thresholds)
+            lengths.append(int(thresholds.size))
+            self._row[key] = index
+            self._shift[key] = fault_field.itd.voltage_shift(
+                experiment.chip.board_temperature_c
+            )
+            if fault_field.config.ripple_enabled:
+                self._ripples[key] = np.asarray(
+                    [fault_field.ripple_v(r) for r in range(self.probe_runs)],
+                    dtype=float,
+                )
+            else:
+                self._ripples[key] = None
+            try:
+                _vmin, vcrash = rail_thresholds(experiment.calibration, rail)
+            except ExecError as exc:
+                raise SweepError(str(exc)) from None
+            self._vcrash_true[key] = vcrash
+            self._quantize[key] = experiment.chip.regulator.rail(rail).quantize
+
+        width = max(lengths, default=0)
+        stacked = np.full((len(per_die), width), np.inf)
+        for index, thresholds in enumerate(per_die):
+            stacked[index, : thresholds.size] = thresholds
+        self._stacked = stacked
+        self._lengths = np.asarray(lengths, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def evaluate_wave(
+        self, voltages: Mapping[Hashable, float]
+    ) -> Dict[Hashable, PointEvaluation]:
+        """Evaluate one probe per die, all in one vectorized kernel call.
+
+        Each evaluation is field-for-field what the sequential
+        ``SimulatedBackend._evaluate_probe`` would return for the same
+        request: the rail's quantized clamp enters the count computation
+        (the regulator applies ``max(V, 0.40)`` at its resolution), the
+        *commanded* voltage is what the evaluation reports and what the
+        power meter reads, and a die below its crash threshold answers
+        non-operational with an empty count vector.
+        """
+        self.n_kernel_calls += 1
+        if self.latency_s:
+            time.sleep(self.latency_s)
+        keys = list(voltages)
+        queries = np.empty((len(keys), self.probe_runs), dtype=float)
+        operational: List[bool] = []
+        for index, key in enumerate(keys):
+            voltage = voltages[key]
+            operational.append(voltage >= self._vcrash_true[key] - 1e-9)
+            applied = self._quantize[key](max(voltage, _REGULATOR_FLOOR_V))
+            base = applied + self._shift[key]
+            ripples = self._ripples[key]
+            if ripples is not None:
+                queries[index, :] = base + ripples
+            else:
+                queries[index, :] = base
+        rows = np.asarray([self._row[key] for key in keys], dtype=np.int64)
+        counts = self._batched_counts(rows, queries)
+
+        answers: Dict[Hashable, PointEvaluation] = {}
+        for index, key in enumerate(keys):
+            experiment = self._experiments[key]
+            voltage = voltages[key]
+            answers[key] = PointEvaluation(
+                voltage_v=voltage,
+                temperature_c=experiment.chip.board_temperature_c,
+                rail=self.rail,
+                pattern=self.pattern_text,
+                n_runs=self.probe_runs,
+                counts=(
+                    tuple(int(c) for c in counts[index])
+                    if operational[index]
+                    else ()
+                ),
+                operational=operational[index],
+                bram_power_w=experiment.power_meter.read_bram_power_w(voltage),
+            )
+        return answers
+
+    def _batched_counts(self, rows: np.ndarray, queries: np.ndarray) -> np.ndarray:
+        """Per-(die, run) observable fault counts for a query matrix.
+
+        A manually vectorized ``searchsorted(side="right")`` over the
+        padded threshold stack: every lane binary-searches its own row at
+        once, and the ``+inf`` pads sort strictly above every finite query,
+        so each lane's insertion point equals the unpadded searchsorted
+        result exactly.  The count at a point is the number of thresholds
+        strictly above it — identical comparisons, identical integers.
+        """
+        sub = self._stacked[rows]
+        lo = np.zeros(queries.shape, dtype=np.int64)
+        hi = np.full(queries.shape, self._stacked.shape[1], dtype=np.int64)
+        while True:
+            active = lo < hi
+            if not active.any():
+                break
+            # Lanes that already converged have lo == hi == width; clamp
+            # their (masked-out) mid so the gather stays in bounds.
+            mid = np.minimum((lo + hi) // 2, self._stacked.shape[1] - 1)
+            go_right = np.take_along_axis(sub, mid, axis=1) <= queries
+            lo = np.where(active & go_right, mid + 1, lo)
+            hi = np.where(active & ~go_right, mid, hi)
+        return self._lengths[rows][:, None] - lo
+
+
+def discover_guardband_fleet(
+    experiments: Mapping[Hashable, UndervoltingExperiment],
+    rail: str = VCCBRAM,
+    pattern: "str | int" = 0xFFFF,
+    probe_runs: int = 3,
+    caches: Optional[Mapping[Hashable, EvalCache]] = None,
+    warm: Optional[WarmStartModel] = None,
+    latency_s: float = 0.0,
+) -> FleetDiscoveryResult:
+    """Run every die's certified guardband discovery in batched lockstep.
+
+    Holds one :func:`~repro.harness.sweep.guardband_plan` open per die,
+    collects the fleet's pending probes into waves via
+    :class:`~repro.search.FleetBisector`, and answers each wave with a
+    single :class:`FleetProbeKernel` call.  Per-die ``caches`` (keyed like
+    ``experiments``) are consulted before a probe joins its wave and are
+    populated with fresh evaluations, exactly like the engine's cache path;
+    ``warm`` seeds every die's brackets from its platform's fleet quantiles
+    (all plans are seeded up front — lockstep has no earlier-die results to
+    learn from, which changes probe *cost*, never a threshold).
+    ``latency_s`` models one wave's concurrent regulator settle + read-back
+    (see :class:`FleetProbeKernel`); results are identical at any value.
+
+    Returns per-die :class:`~repro.harness.sweep.AdaptiveGuardbandResult`\\ s
+    bit-identical to ``discover_guardband_adaptive`` run die-by-die with the
+    same hints, plus the wave/probe accounting.
+    """
+    if not experiments:
+        raise SweepError("fleet discovery needs at least one experiment")
+    kernel = FleetProbeKernel(
+        experiments,
+        rail=rail,
+        pattern=pattern,
+        probe_runs=probe_runs,
+        latency_s=latency_s,
+    )
+    ladders: Dict[Hashable, Tuple[float, ...]] = {}
+    plans = {}
+    for key, experiment in experiments.items():
+        experiment.host.initialize_brams(pattern)
+        ladders[key] = experiment._guardband_ladder(experiment.calibration.vnom_v)
+        platform = experiment.chip.name
+        vmin_hint = warm.vmin_hint(platform, rail) if warm is not None else None
+        vcrash_hint = warm.vcrash_hint(platform, rail) if warm is not None else None
+        plans[key] = guardband_plan(ladders[key], vmin_hint, vcrash_hint)
+
+    counters = {"fresh": 0, "hits": 0}
+
+    def evaluate_wave(
+        pending: Dict[Hashable, int]
+    ) -> Dict[Hashable, Tuple[PointEvaluation, bool]]:
+        answers: Dict[Hashable, Tuple[PointEvaluation, bool]] = {}
+        fresh: Dict[Hashable, float] = {}
+        for key, ladder_index in pending.items():
+            voltage = ladders[key][ladder_index]
+            cache = caches.get(key) if caches is not None else None
+            if cache is not None:
+                found = cache.lookup(
+                    rail,
+                    voltage,
+                    experiments[key].chip.board_temperature_c,
+                    str(pattern),
+                    probe_runs,
+                )
+                # Same validity rule as the engine's probe path: a
+                # non-operational record answers any probe; an operational
+                # one needs the full count vector.
+                if found is not None and (
+                    not found.operational or len(found.counts) == probe_runs
+                ):
+                    answers[key] = (found, True)
+                    counters["hits"] += 1
+                    continue
+            fresh[key] = voltage
+        if fresh:
+            with obs_trace.span("fleet.wave", n=len(fresh)):
+                evaluated = kernel.evaluate_wave(fresh)
+            for key, point in evaluated.items():
+                cache = caches.get(key) if caches is not None else None
+                if cache is not None:
+                    cache.store(point)
+                experiments[key].n_point_evaluations += 1
+                answers[key] = (point, False)
+            counters["fresh"] += len(fresh)
+        return answers
+
+    fleet = FleetBisector(plans)
+    outcomes = fleet.run(evaluate_wave)
+    results = {
+        key: experiments[key]._assemble_adaptive_result(
+            rail, str(pattern), outcomes[key]
+        )
+        for key in experiments
+    }
+    stats = FleetDiscoveryStats(
+        n_dies=len(experiments),
+        n_waves=fleet.n_waves,
+        n_probes=fleet.n_steps,
+        n_fresh=counters["fresh"],
+        n_cache_hits=counters["hits"],
+    )
+    return FleetDiscoveryResult(results=results, stats=stats)
+
+
+__all__ = [
+    "FleetDiscoveryResult",
+    "FleetDiscoveryStats",
+    "FleetProbeKernel",
+    "discover_guardband_fleet",
+]

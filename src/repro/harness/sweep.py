@@ -35,7 +35,7 @@ of output (``docs/architecture.md``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -64,6 +64,7 @@ from repro.exec import (
 from repro.fpga.platform import FpgaChip
 from repro.fpga.voltage import DEFAULT_STEP_V, VCCBRAM
 from repro.search import (
+    BisectionCertificate,
     BracketHint,
     EvalCache,
     PointEvaluation,
@@ -80,6 +81,98 @@ from .records import GuardbandMeasurement, RunObservation, SweepResult, VoltageS
 
 class SweepError(RuntimeError):
     """Raised for invalid sweep configurations."""
+
+
+@dataclass(frozen=True)
+class GuardbandPlanOutcome:
+    """Everything one completed guardband plan discovered.
+
+    ``evaluated`` maps probed ladder indices to their evaluations (the
+    sparse walk); the certificates prove the Vmin/Vcrash boundaries equal
+    the exhaustive grid answers.  ``vcrash_certificate`` is ``None`` when
+    no fault-free point exists (the exhaustive walk's error path).
+    """
+
+    evaluated: Dict[int, PointEvaluation]
+    certificates: Tuple[BisectionCertificate, ...]
+    vmin_certificate: BisectionCertificate
+    vcrash_certificate: Optional[BisectionCertificate]
+    n_exhaustive_equivalent: int
+
+
+def guardband_plan(
+    ladder: Sequence[float],
+    vmin_hint: Optional[BracketHint] = None,
+    vcrash_hint: Optional[BracketHint] = None,
+) -> Generator[int, Tuple[PointEvaluation, bool], GuardbandPlanOutcome]:
+    """The Fig. 1 adaptive discovery as a resumable probe plan.
+
+    Yields the ladder indices that need probing, in exactly the order the
+    sequential :meth:`UndervoltingExperiment.discover_guardband_adaptive`
+    driver would probe them; the caller sends back ``(point,
+    served_from_cache)`` for each.  The plan chains the certified Vmin
+    bisection into the Vcrash bisection (sharing every evaluated point and
+    anchoring the crash bracket at the lowest fault-free voltage) and
+    returns a :class:`GuardbandPlanOutcome` as the ``StopIteration`` value.
+
+    Separating the *plan* (which indices, in which order) from the *probe*
+    (who answers them) is what lets :func:`repro.harness.fleet.\
+discover_guardband_fleet` hold one plan per die open concurrently and
+    answer whole waves of pending probes with a single batched kernel call
+    — while this generator guarantees, by construction, that every die
+    still runs the exact sequential search.
+    """
+    evaluated: Dict[int, PointEvaluation] = {}
+
+    def drive(
+        steps: Generator[int, Tuple[bool, bool], BisectionCertificate],
+        predicate_of: Callable[[PointEvaluation], bool],
+    ) -> Generator[int, Tuple[PointEvaluation, bool], BisectionCertificate]:
+        # Bridge the bisector's (predicate, from_cache) protocol onto the
+        # plan's (point, from_cache) protocol, memoizing evaluations so the
+        # Vcrash search reuses every point the Vmin search paid for.
+        try:
+            index = next(steps)
+            while True:
+                if index in evaluated:
+                    answer = (predicate_of(evaluated[index]), True)
+                else:
+                    point, from_cache = yield index
+                    evaluated[index] = point
+                    answer = (predicate_of(point), from_cache)
+                index = steps.send(answer)
+        except StopIteration as stop:
+            return stop.value
+
+    vmin_cert = yield from drive(
+        ThresholdBisector(ladder).search_steps("vmin", vmin_hint),
+        lambda point: point.fault_free,
+    )
+    certificates = [vmin_cert]
+    if vmin_cert.boundary_index > 0:
+        # The lowest fault-free point is operational, so it anchors the
+        # true side of the Vcrash bracket for free (already evaluated).
+        hint = vcrash_hint
+        if hint is None or hint.is_cold:
+            hint = BracketHint(above_v=vmin_cert.boundary_voltage_above)
+        vcrash_cert: Optional[BisectionCertificate] = yield from drive(
+            ThresholdBisector(ladder).search_steps("vcrash", hint),
+            lambda point: point.operational,
+        )
+        certificates.append(vcrash_cert)
+        n_exhaustive = min(vcrash_cert.boundary_index + 1, len(ladder))
+    else:
+        # No fault-free point exists: the exhaustive walk would still
+        # have walked to the crash; mirror its error path downstream.
+        vcrash_cert = None
+        n_exhaustive = len(ladder)
+    return GuardbandPlanOutcome(
+        evaluated=evaluated,
+        certificates=tuple(certificates),
+        vmin_certificate=vmin_cert,
+        vcrash_certificate=vcrash_cert,
+        n_exhaustive_equivalent=n_exhaustive,
+    )
 
 
 @dataclass(frozen=True)
@@ -128,6 +221,9 @@ class UndervoltingExperiment:
     #: sweep kinds shard over it; results are scheduler-independent).
     scheduler: str = "serial"
     jobs: int = 1
+    #: Whether the built engine may answer pure miss batches through the
+    #: backend's ``evaluate_batch`` (bit-identical; see ``--no-batch``).
+    batch: bool = True
 
     #: Total operating-point probes this experiment has performed (the
     #: guardband-walk unit of cost; reset it freely between measurements).
@@ -157,7 +253,7 @@ class UndervoltingExperiment:
                 spec_buildable=not customized,
             )
             self.engine = ExecutionEngine(
-                backend, scheduler=self.scheduler, jobs=self.jobs
+                backend, scheduler=self.scheduler, jobs=self.jobs, batch=self.batch
             )
         elif (
             self.engine.platform != self.chip.name
@@ -340,58 +436,43 @@ class UndervoltingExperiment:
         self.host.initialize_brams(pattern)
         engine = self._engine_for(cache)
         ladder = self._guardband_ladder(self.calibration.vnom_v)
-        pattern_text = str(pattern)
-        evaluated: Dict[int, PointEvaluation] = {}
-
-        def probe(index: int) -> Tuple[PointEvaluation, bool]:
-            if index in evaluated:
-                return evaluated[index], True
-            point, from_cache = self._probe(
-                engine, rail, ladder[index], pattern, probe_runs
-            )
-            evaluated[index] = point
-            return point, from_cache
-
-        def fault_free_probe(index: int) -> Tuple[bool, bool]:
-            point, from_cache = probe(index)
-            return point.fault_free, from_cache
-
-        def operational_probe(index: int) -> Tuple[bool, bool]:
-            point, from_cache = probe(index)
-            return point.operational, from_cache
-
         vmin_hint = warm.vmin_hint(self.chip.name, rail) if warm is not None else None
-        vmin_cert = ThresholdBisector(ladder, fault_free_probe).find_first_false(
-            "vmin", hint=vmin_hint
+        vcrash_hint = (
+            warm.vcrash_hint(self.chip.name, rail) if warm is not None else None
         )
 
-        certificates = [vmin_cert]
-        if vmin_cert.boundary_index > 0:
-            # The lowest fault-free point is operational, so it anchors the
-            # true side of the Vcrash bracket for free (already evaluated).
-            vcrash_hint = (
-                warm.vcrash_hint(self.chip.name, rail) if warm is not None else None
-            )
-            if vcrash_hint is None or vcrash_hint.is_cold:
-                vcrash_hint = BracketHint(above_v=vmin_cert.boundary_voltage_above)
-            vcrash_cert = ThresholdBisector(ladder, operational_probe).find_first_false(
-                "vcrash", hint=vcrash_hint
-            )
-            certificates.append(vcrash_cert)
-            n_exhaustive = min(vcrash_cert.boundary_index + 1, len(ladder))
-        else:
-            # No fault-free point exists: the exhaustive walk would still
-            # have walked to the crash; mirror its error path below.
-            vcrash_cert = None
-            n_exhaustive = len(ladder)
+        # Drive the shared plan sequentially: every yielded ladder index is
+        # answered immediately through the engine (cache, counters, spans).
+        plan = guardband_plan(ladder, vmin_hint, vcrash_hint)
+        try:
+            index = next(plan)
+            while True:
+                index = plan.send(
+                    self._probe(engine, rail, ladder[index], pattern, probe_runs)
+                )
+        except StopIteration as stop:
+            outcome: GuardbandPlanOutcome = stop.value
 
-        # Reassemble the sparse walk in descending-voltage order and let the
-        # ordinary detector derive the thresholds from the probed evidence —
-        # the certificates guarantee it sees the decisive points.
+        return self._assemble_adaptive_result(rail, str(pattern), outcome)
+
+    def _assemble_adaptive_result(
+        self,
+        rail: str,
+        pattern_text: str,
+        outcome: GuardbandPlanOutcome,
+    ) -> "AdaptiveGuardbandResult":
+        """Turn one completed guardband plan into the adaptive result.
+
+        Shared by the sequential driver above and the lockstep fleet driver
+        (:func:`repro.harness.fleet.discover_guardband_fleet`).  Reassembles
+        the sparse walk in descending-voltage order and lets the ordinary
+        detector derive the thresholds from the probed evidence — the
+        certificates guarantee it sees the decisive points.
+        """
         result = SweepResult(platform=self.chip.name, rail=rail, pattern=pattern_text)
         observations = []
-        for index in sorted(evaluated):
-            point = evaluated[index]
+        for index in sorted(outcome.evaluated):
+            point = outcome.evaluated[index]
             step = self._step_from_point(point, self.chip.brams.total_mbits)
             result.steps.append(step)
             observations.append(
@@ -401,15 +482,15 @@ class UndervoltingExperiment:
                     operational=point.operational,
                 )
             )
-        if vcrash_cert is not None:
-            result.crashed_at_v = vcrash_cert.boundary_voltage_below
+        if outcome.vcrash_certificate is not None:
+            result.crashed_at_v = outcome.vcrash_certificate.boundary_voltage_below
 
         report = SearchReport(
             mode="adaptive",
-            n_evaluations=sum(c.n_evaluations for c in certificates),
-            n_cache_hits=sum(c.n_cache_hits for c in certificates),
-            n_exhaustive_equivalent=n_exhaustive,
-            certificates=tuple(certificates),
+            n_evaluations=sum(c.n_evaluations for c in outcome.certificates),
+            n_cache_hits=sum(c.n_cache_hits for c in outcome.certificates),
+            n_exhaustive_equivalent=outcome.n_exhaustive_equivalent,
+            certificates=outcome.certificates,
         )
         measurement = self._finish_guardband(rail, result, observations)
         self.last_search_report = report

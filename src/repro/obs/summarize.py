@@ -144,9 +144,67 @@ def summarize_trace(path: str) -> Dict[str, Any]:
         "n_events": len(events),
         "n_processes": len(pids),
         "digest": trace_digest(records),
+        "batching": _batching_block(spans),
         "phases": phase_rows,
         "warnings": warnings,
     }
+
+
+def _batching_block(spans: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """How much evaluation rode batched kernel crossings in this trace.
+
+    ``engine.batch`` and ``fleet.wave`` spans carry an ``n`` label counting
+    the requests one crossing settled; ``sched.task`` and ``engine.evaluate``
+    are the unbatched units of work.  The headline ratio —
+    ``sched.task`` spans per ``engine.batch`` span — reads as "tasks each
+    batched crossing replaced"; ``None`` when the trace has no batch spans
+    (batching off, or a probe-only flow that never batches).
+    """
+    counts = {"engine.batch": 0, "fleet.wave": 0, "sched.task": 0, "engine.evaluate": 0}
+    batched_requests = 0
+    for span in spans:
+        name = span.get("name")
+        if name not in counts:
+            continue
+        counts[name] += 1
+        if name in ("engine.batch", "fleet.wave"):
+            try:
+                batched_requests += int((span.get("labels") or {}).get("n", 0))
+            except (TypeError, ValueError):
+                pass
+    n_batched = counts["engine.batch"] + counts["fleet.wave"]
+    return {
+        "n_batch_spans": counts["engine.batch"],
+        "n_wave_spans": counts["fleet.wave"],
+        "n_sched_tasks": counts["sched.task"],
+        "n_inline_evaluations": counts["engine.evaluate"],
+        "batched_requests": batched_requests,
+        "sched_tasks_per_batch": (
+            round(counts["sched.task"] / counts["engine.batch"], 4)
+            if counts["engine.batch"]
+            else None
+        ),
+        "requests_per_batch": (
+            round(batched_requests / n_batched, 4) if n_batched else None
+        ),
+    }
+
+
+def _render_batching_line(batching: Dict[str, Any]) -> str:
+    """One batching line for the text table (the sched.task/engine.batch ratio)."""
+    n_batched = batching.get("n_batch_spans", 0) + batching.get("n_wave_spans", 0)
+    if not n_batched:
+        return "batching: no batched crossings (off, or probe-only flow)"
+    parts = [
+        f"batching: {batching['n_batch_spans']} engine.batch + "
+        f"{batching['n_wave_spans']} fleet.wave spans settled "
+        f"{batching['batched_requests']} requests"
+    ]
+    if batching.get("sched_tasks_per_batch") is not None:
+        parts.append(
+            f"sched.task/engine.batch ratio {batching['sched_tasks_per_batch']}"
+        )
+    return "; ".join(parts)
 
 
 def render_summary_table(document: Dict[str, Any]) -> str:
@@ -156,6 +214,7 @@ def render_summary_table(document: Dict[str, Any]) -> str:
         f"records: {document['n_records']}  spans: {document['n_spans']}  "
         f"events: {document['n_events']}  processes: {document['n_processes']}",
         f"digest: {document['digest']}",
+        _render_batching_line(document.get("batching") or {}),
         "",
         f"{'phase':<28} {'spans':>8} {'wall_s':>12} {'self_s':>12} {'mean_ms':>12}",
     ]

@@ -21,6 +21,7 @@ from .characterization import (
     GovernorBundle,
     bundle_path,
     characterize_die,
+    characterize_fleet,
     write_governor_bundle,
 )
 from .governor import (
@@ -100,6 +101,7 @@ __all__ = [
     "ceil_to_resolution",
     "chamber_temperature_path",
     "characterize_die",
+    "characterize_fleet",
     "compile_accelerator",
     "diurnal_trace",
     "merge_timelines",

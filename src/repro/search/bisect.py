@@ -27,7 +27,7 @@ hint can cost evaluations but can never change the answer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.obs import trace as obs_trace
 
@@ -176,13 +176,15 @@ class ThresholdBisector:
     probe:
         ``probe(index) -> (predicate, from_cache)``; called at most once per
         index per search (results are memoized internally).  ``from_cache``
-        marks probes that cost no fresh fault-field evaluation.
+        marks probes that cost no fresh fault-field evaluation.  May be
+        ``None`` when the caller drives :meth:`search_steps` itself (the
+        fleet bisector answers many dies' pending probes per batched wave).
     """
 
     def __init__(
         self,
         ladder: Sequence[float],
-        probe: Callable[[int], Tuple[bool, bool]],
+        probe: Optional[Callable[[int], Tuple[bool, bool]]] = None,
     ) -> None:
         if not ladder:
             raise SearchError("cannot bisect an empty voltage ladder")
@@ -194,11 +196,18 @@ class ThresholdBisector:
         self._entries: List[CertificateEntry] = []
 
     # ------------------------------------------------------------------
-    def _evaluate(self, index: int) -> bool:
-        """Probe one index, memoized, recording the certificate entry."""
+    def _evaluate_step(
+        self, index: int
+    ) -> Generator[int, Tuple[bool, bool], bool]:
+        """Yield one probe request, memoized, recording the certificate entry.
+
+        The generator protocol of the whole search: yielded values are
+        ladder indices to probe, sent values are ``(predicate,
+        from_cache)`` answers.  A memoized index never reaches the caller.
+        """
         if index in self._seen:
             return self._seen[index]
-        predicate, from_cache = self._probe(index)
+        predicate, from_cache = yield index
         self._seen[index] = bool(predicate)
         self._entries.append(
             CertificateEntry(
@@ -234,15 +243,47 @@ class ThresholdBisector:
         starts from the hinted bracket and gallops outward whenever an end
         of the bracket fails to hold, so wrong hints cost evaluations but
         never correctness.
+
+        This is the sequential driver of :meth:`search_steps`: each yielded
+        index is answered immediately by the constructor's ``probe``.
+        """
+        if self._probe is None:
+            raise SearchError(
+                "this bisector was built without a probe; drive search_steps "
+                "directly instead"
+            )
+        steps = self.search_steps(quantity, hint)
+        try:
+            index = next(steps)
+            while True:
+                index = steps.send(self._probe(index))
+        except StopIteration as stop:
+            return stop.value
+
+    def search_steps(
+        self,
+        quantity: str,
+        hint: Optional[BracketHint] = None,
+    ) -> Generator[int, Tuple[bool, bool], BisectionCertificate]:
+        """The search as a resumable generator of probe requests.
+
+        Yields ladder indices that need evaluating; the caller sends back
+        ``(predicate, from_cache)`` and receives the next index, until the
+        generator returns the :class:`BisectionCertificate` (as the
+        ``StopIteration`` value).  Exactly the probe sequence — and
+        therefore exactly the certificate — of :meth:`find_first_false`;
+        the generator form exists so a fleet driver can hold many searches
+        open at once and answer one *wave* of pending probes with a single
+        batched kernel call.
         """
         with obs_trace.span("search.bisect", quantity=quantity):
-            return self._find_first_false(quantity, hint)
+            return (yield from self._search_steps(quantity, hint))
 
-    def _find_first_false(
+    def _search_steps(
         self,
         quantity: str,
         hint: Optional[BracketHint],
-    ) -> BisectionCertificate:
+    ) -> Generator[int, Tuple[bool, bool], BisectionCertificate]:
         n = len(self.ladder)
         hint = hint or BracketHint()
 
@@ -251,7 +292,7 @@ class ThresholdBisector:
         candidate = 0 if hint.above_v is None else self._index_at_or_above(hint.above_v)
         stride = 1
         while True:
-            if self._evaluate(candidate):
+            if (yield from self._evaluate_step(candidate)):
                 true_idx = candidate
                 break
             if candidate == 0:
@@ -270,7 +311,7 @@ class ThresholdBisector:
             candidate = true_idx + 1
         stride = 1
         while candidate < n:
-            if not self._evaluate(candidate):
+            if not (yield from self._evaluate_step(candidate)):
                 false_idx = candidate
                 break
             true_idx = max(true_idx, candidate)
@@ -283,7 +324,7 @@ class ThresholdBisector:
         # --- bisect the bracket ------------------------------------------
         while false_idx - true_idx > 1:
             mid = (true_idx + false_idx) // 2
-            if self._evaluate(mid):
+            if (yield from self._evaluate_step(mid)):
                 true_idx = mid
             else:
                 false_idx = mid

@@ -177,6 +177,12 @@ class EvalCache:
     n_hits: int = 0
     n_misses: int = 0
 
+    def __post_init__(self) -> None:
+        # The (platform, serial) prefix of every key this cache will ever
+        # build is invariant for the cache's lifetime; hoisting it keeps the
+        # hot probe loops from re-stringifying the die identity per lookup.
+        self._id_prefix = (str(self.platform), str(self.serial))
+
     def __len__(self) -> int:
         return len(self.entries)
 
@@ -186,9 +192,34 @@ class EvalCache:
     def _key(
         self, rail: str, voltage_v: float, temperature_c: float, pattern: str, n_runs: int
     ) -> Tuple:
-        return point_key(
-            self.platform, self.serial, rail, voltage_v, temperature_c, pattern, n_runs
+        # Identical tuple to point_key(...); the prefix is precomputed.
+        return self._id_prefix + (
+            str(rail),
+            _quantize_voltage(voltage_v),
+            _quantize_temperature(temperature_c),
+            str(pattern),
+            int(n_runs),
         )
+
+    def probe_keyer(self, rail: str, pattern: str, n_runs: int):
+        """A key builder for one probe loop: only (V, T) vary per call.
+
+        A guardband walk or bisection quantizes hundreds of operating points
+        against one fixed (rail, pattern, n_runs); the returned callable
+        hoists that invariant suffix (and the die-identity prefix) so the
+        loop body quantizes exactly the two floats that change.  Keys are
+        tuple-identical to :func:`point_key`.
+        """
+        prefix = self._id_prefix + (str(rail),)
+        suffix = (str(pattern), int(n_runs))
+
+        def key(voltage_v: float, temperature_c: float) -> Tuple:
+            return prefix + (
+                _quantize_voltage(voltage_v),
+                _quantize_temperature(temperature_c),
+            ) + suffix
+
+        return key
 
     # ------------------------------------------------------------------
     def lookup(

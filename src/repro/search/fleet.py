@@ -1,0 +1,91 @@
+"""Lockstep wave driver for many concurrent threshold searches.
+
+A fleet characterization runs one certified bisection *per die* — but every
+die's next probe is known before any die's answer is, so there is no reason
+to finish die 0's search before starting die 1's.  :class:`FleetBisector`
+holds every die's search open as a suspended generator (see
+:meth:`repro.search.bisect.ThresholdBisector.search_steps`), collects the
+one pending probe of each still-active search into a *wave*, and hands the
+whole wave to a caller-supplied batched evaluator — one kernel call per
+wave instead of one backend crossing per probe per die.
+
+The driver is pure control flow: it never looks inside requests or answers
+(they are opaque to it), so the same lockstep engine can advance plain
+bisections, chained Vmin→Vcrash guardband plans, or anything else that
+speaks the yield-request / send-answer protocol.  Each search still sees
+exactly the probe sequence its sequential driver would produce, which is
+why the per-die certificates come out identical (asserted by
+``tests/search/test_fleet_bisect.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, Hashable, Mapping
+
+from .cache import SearchError
+
+
+class FleetBisector:
+    """Advance a mapping of search generators in batched lockstep waves.
+
+    Parameters
+    ----------
+    plans:
+        ``key -> generator`` where each generator yields opaque probe
+        requests, accepts answers via ``send`` and returns its final result
+        (certificate, guardband plan product, ...) as the ``StopIteration``
+        value.
+
+    Attributes
+    ----------
+    n_waves:
+        Batched evaluation rounds performed by :meth:`run`.
+    n_steps:
+        Total probe requests answered across all waves (the Python-level
+        crossings a sequential driver would have paid one call each for).
+    """
+
+    def __init__(
+        self, plans: Mapping[Hashable, Generator[Any, Any, Any]]
+    ) -> None:
+        self.plans: Dict[Hashable, Generator[Any, Any, Any]] = dict(plans)
+        self.n_waves = 0
+        self.n_steps = 0
+
+    def run(
+        self,
+        evaluate_wave: Callable[[Dict[Hashable, Any]], Mapping[Hashable, Any]],
+    ) -> Dict[Hashable, Any]:
+        """Drive every plan to completion; returns ``key -> plan result``.
+
+        Per wave, ``evaluate_wave`` receives the pending ``key -> request``
+        mapping of every still-active plan and must answer *all* of them
+        (keys missing from its result are an error — dropping a die's probe
+        would silently stall its search).
+        """
+        results: Dict[Hashable, Any] = {}
+        pending: Dict[Hashable, Any] = {}
+        for key, plan in self.plans.items():
+            try:
+                pending[key] = next(plan)
+            except StopIteration as stop:  # degenerate plan: no probes at all
+                results[key] = stop.value
+        while pending:
+            self.n_waves += 1
+            self.n_steps += len(pending)
+            answers = evaluate_wave(dict(pending))
+            advanced: Dict[Hashable, Any] = {}
+            for key, request in pending.items():
+                if key not in answers:
+                    raise SearchError(
+                        f"wave evaluator answered no request for plan {key!r}"
+                    )
+                try:
+                    advanced[key] = self.plans[key].send(answers[key])
+                except StopIteration as stop:
+                    results[key] = stop.value
+            pending = advanced
+        return results
+
+
+__all__ = ["FleetBisector"]

@@ -174,3 +174,47 @@ class TestCampaignDigestStability:
 
 def test_module_leaves_the_null_recorder_installed():
     assert trace_module.get_recorder() is trace_module.NULL_RECORDER
+
+
+class TestBatchingBlock:
+    def test_batched_trace_reports_ratio_and_requests(self, tmp_path):
+        from repro.obs.summarize import render_summary_table
+
+        path = tmp_path / "t.jsonl"
+        write_trace(path, [
+            span_record("sched.task", "7-1"),
+            span_record("sched.task", "7-2"),
+            span_record("sched.task", "7-3"),
+            span_record("sched.task", "7-4"),
+            span_record("engine.batch", "7-5", labels={"n": 24}),
+            span_record("engine.batch", "7-6", labels={"n": "16"}),
+            span_record("fleet.wave", "7-7", labels={"n": 10}),
+            span_record("engine.evaluate", "7-8", labels={"kind": "probe"}),
+        ])
+        batching = summarize_trace(str(path))["batching"]
+        assert batching["n_batch_spans"] == 2
+        assert batching["n_wave_spans"] == 1
+        assert batching["n_sched_tasks"] == 4
+        assert batching["n_inline_evaluations"] == 1
+        assert batching["batched_requests"] == 50
+        assert batching["sched_tasks_per_batch"] == 2.0
+        assert batching["requests_per_batch"] == round(50 / 3, 4)
+        table = render_summary_table(summarize_trace(str(path)))
+        assert "sched.task/engine.batch ratio 2.0" in table
+        assert "settled 50 requests" in table
+
+    def test_unbatched_trace_reports_off(self, tmp_path):
+        from repro.obs.summarize import render_summary_table
+
+        path = tmp_path / "t.jsonl"
+        write_trace(path, [span_record("engine.evaluate", "7-1")])
+        document = summarize_trace(str(path))
+        assert document["batching"]["sched_tasks_per_batch"] is None
+        assert document["batching"]["batched_requests"] == 0
+        assert "no batched crossings" in render_summary_table(document)
+
+    def test_batching_block_never_moves_the_digest(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_trace(path, [span_record("engine.batch", "7-1", labels={"n": 5})])
+        document = summarize_trace(str(path))
+        assert document["digest"] == trace_digest(load_trace(str(path))[0])

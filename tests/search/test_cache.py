@@ -136,3 +136,44 @@ class TestStorePersistence:
         assert files[0].parent == store.cache_dir
         assert "/" not in files[0].name and " " not in files[0].name
         assert store.load_eval_cache("KC705-A", "../../evil serial").entries == cache.entries
+
+
+class TestHoistedKeyBuilders:
+    """The per-die prefix hoist and the probe-loop keyer are pure
+    refactors: every key they build is tuple-identical to point_key, so
+    hit behaviour cannot change."""
+
+    def test_internal_key_equals_point_key(self):
+        cache = EvalCache(platform="KC705-A", serial="S-17")
+        for voltage, temperature in [(0.5675, 42.5), (0.54, 80.0), (0.40001, 0.0)]:
+            assert cache._key(
+                "VCCBRAM", voltage, temperature, "65535", 3
+            ) == point_key("KC705-A", "S-17", "VCCBRAM", voltage, temperature, "65535", 3)
+
+    def test_probe_keyer_builds_point_key_tuples(self):
+        cache = EvalCache(platform="ZC702", serial="B000")
+        keyer = cache.probe_keyer("VCCBRAM", "65535", 3)
+        for voltage in [0.53, 0.5425, 0.61]:
+            for temperature in [26.0, 42.5, 80.0]:
+                assert keyer(voltage, temperature) == point_key(
+                    "ZC702", "B000", "VCCBRAM", voltage, temperature, "65535", 3
+                )
+
+    def test_probe_keyer_hit_behaviour_identical_to_lookup(self):
+        cache = EvalCache(platform="ZC702", serial="B000")
+        stored = evaluation(voltage=0.5550)
+        cache.store(stored)
+        keyer = cache.probe_keyer(stored.rail, stored.pattern, stored.n_runs)
+        # A keyer-built key indexes the same entry a lookup would serve ...
+        assert cache.entries[keyer(0.5550, stored.temperature_c)] is stored
+        assert cache.lookup(
+            stored.rail, 0.5550, stored.temperature_c, stored.pattern, stored.n_runs
+        ) is stored
+        # ... including across the float round-trips the quantization absorbs.
+        assert keyer(0.55499999999, stored.temperature_c) == keyer(
+            0.5550000001, stored.temperature_c
+        )
+        assert keyer(0.5550, stored.temperature_c) not in (
+            keyer(0.5551, stored.temperature_c),
+            keyer(0.5550, stored.temperature_c + 0.001),
+        )

@@ -1,0 +1,204 @@
+"""Lockstep fleet bisection: waves advance every search, answers unchanged.
+
+Three layers, bottom up:
+
+* ``search_steps`` is the generator form of ``find_first_false`` — driving
+  it by hand (answer each yielded index immediately) yields the identical
+  certificate for random boundaries and random (possibly wrong) hints;
+* :class:`~repro.search.FleetBisector` advancing many searches in lockstep
+  waves produces, per die, exactly the sequential certificate, while the
+  wave count stays logarithmic; dropped answers are an error, not a stall;
+* :func:`~repro.harness.discover_guardband_fleet` (the full harness path:
+  padded threshold stack, vectorized bisect, per-die caches) returns
+  measurement- and certificate-identical results to die-by-die
+  ``discover_guardband_adaptive``, and a second pass over warm caches is
+  served entirely from them.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.search import (
+    BracketHint,
+    FleetBisector,
+    SearchError,
+    ThresholdBisector,
+)
+
+
+def _ladder(n):
+    return tuple(round(1.0 - 0.01 * i, 4) for i in range(n))
+
+
+@st.composite
+def boundary_cases(draw):
+    n = draw(st.integers(min_value=1, max_value=60))
+    boundary = draw(st.integers(min_value=0, max_value=n))
+    hint_above = draw(st.one_of(st.none(), st.integers(min_value=0, max_value=n - 1)))
+    hint_below = draw(st.one_of(st.none(), st.integers(min_value=0, max_value=n - 1)))
+    return n, boundary, hint_above, hint_below
+
+
+def _hint(ladder, above_index, below_index):
+    return BracketHint(
+        above_v=None if above_index is None else ladder[above_index],
+        below_v=None if below_index is None else ladder[below_index],
+    )
+
+
+class TestSearchStepsGenerator:
+    @given(case=boundary_cases())
+    @settings(max_examples=200, deadline=None)
+    def test_hand_driven_generator_equals_sequential_driver(self, case):
+        n, boundary, hint_above, hint_below = case
+        ladder = _ladder(n)
+
+        def probe(index):
+            return index < boundary, False
+
+        hint = _hint(ladder, hint_above, hint_below)
+        sequential = ThresholdBisector(ladder, probe).find_first_false("vmin", hint)
+
+        steps = ThresholdBisector(ladder).search_steps("vmin", hint)
+        try:
+            index = next(steps)
+            while True:
+                index = steps.send(probe(index))
+        except StopIteration as stop:
+            generated = stop.value
+        assert generated == sequential
+        assert generated.boundary_index == boundary
+        assert generated.verify()
+
+
+class TestFleetBisector:
+    @given(
+        boundaries=st.lists(st.integers(min_value=0, max_value=40),
+                            min_size=1, max_size=12),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_lockstep_certificates_equal_sequential(self, boundaries):
+        ladder = _ladder(40)
+        plans = {
+            die: ThresholdBisector(ladder).search_steps("vmin")
+            for die in range(len(boundaries))
+        }
+        fleet = FleetBisector(plans)
+
+        def evaluate_wave(pending):
+            return {die: (index < boundaries[die], False)
+                    for die, index in pending.items()}
+
+        certificates = fleet.run(evaluate_wave)
+        for die, boundary in enumerate(boundaries):
+            sequential = ThresholdBisector(
+                ladder, lambda i, b=boundary: (i < b, False)
+            ).find_first_false("vmin")
+            assert certificates[die] == sequential
+            assert certificates[die].boundary_index == boundary
+        # Lockstep pays the same total probes, but in logarithmic waves.
+        assert fleet.n_steps == sum(
+            len(certificates[die].entries) for die in certificates
+        )
+        assert fleet.n_waves <= max(
+            len(certificates[die].entries) for die in certificates
+        )
+
+    def test_dropped_answer_is_an_error_not_a_stall(self):
+        ladder = _ladder(10)
+        fleet = FleetBisector({
+            "a": ThresholdBisector(ladder).search_steps("vmin"),
+            "b": ThresholdBisector(ladder).search_steps("vmin"),
+        })
+
+        def forgetful_wave(pending):
+            die = sorted(pending)[0]
+            return {die: (True, False)}
+
+        with pytest.raises(SearchError, match="answered no request"):
+            fleet.run(forgetful_wave)
+
+    def test_degenerate_plan_with_no_probes(self):
+        def immediate():
+            return "done"
+            yield  # pragma: no cover
+
+        fleet = FleetBisector({"a": immediate()})
+        assert fleet.run(lambda pending: {}) == {"a": "done"}
+        assert fleet.n_waves == 0
+
+
+class TestFleetHarnessIdentity:
+    @pytest.fixture(scope="class")
+    def fleet(self):
+        from repro.fpga import FpgaChip
+        from repro.harness import UndervoltingExperiment
+
+        def build():
+            return {
+                (platform, serial): UndervoltingExperiment(
+                    FpgaChip.build(platform, serial=serial), runs_per_step=2
+                )
+                for platform, serial in [
+                    ("ZC702", "ZC702-T000"),
+                    ("KC705-A", "KC705-A-T000"),
+                    ("VC707", "VC707-T000"),
+                ]
+            }
+
+        return build
+
+    def test_fleet_discovery_bit_identical_to_sequential(self, fleet):
+        from repro.harness import discover_guardband_fleet
+
+        sequential = {
+            key: experiment.discover_guardband_adaptive(probe_runs=2)
+            for key, experiment in fleet().items()
+        }
+        discovery = discover_guardband_fleet(fleet(), probe_runs=2)
+        assert discovery.stats.n_dies == 3
+        assert discovery.stats.n_fresh == discovery.stats.n_probes
+        assert discovery.stats.n_waves < discovery.stats.n_probes
+        for key, reference in sequential.items():
+            result = discovery.results[key]
+            assert result.measurement == reference.measurement
+            assert result.sweep == reference.sweep
+            assert result.report.to_dict() == reference.report.to_dict()
+
+    def test_second_pass_over_warm_caches_is_all_hits(self, fleet):
+        from repro.harness import discover_guardband_fleet
+        from repro.search import EvalCache
+
+        experiments = fleet()
+        caches = {
+            key: EvalCache(
+                platform=experiment.chip.name,
+                serial=experiment.chip.spec.serial_number,
+            )
+            for key, experiment in experiments.items()
+        }
+        cold = discover_guardband_fleet(experiments, probe_runs=2, caches=caches)
+        assert cold.stats.n_cache_hits == 0
+        assert cold.stats.n_fresh == cold.stats.n_probes
+
+        rerun = fleet()
+        warm = discover_guardband_fleet(rerun, probe_runs=2, caches=caches)
+        assert warm.stats.n_fresh == 0
+        assert warm.stats.n_cache_hits == warm.stats.n_probes
+        for key in experiments:
+            assert warm.results[key].measurement == cold.results[key].measurement
+            assert warm.results[key].sweep == cold.results[key].sweep
+
+    def test_fleet_kernel_rejects_vccint_and_empty_fleets(self, fleet):
+        from repro.fpga.voltage import VCCINT
+        from repro.harness import discover_guardband_fleet
+        from repro.harness.fleet import FleetProbeKernel
+        from repro.harness.sweep import SweepError
+
+        with pytest.raises(SweepError, match="at least one experiment"):
+            discover_guardband_fleet({})
+        with pytest.raises(SweepError, match="VCCBRAM rail only"):
+            FleetProbeKernel(fleet(), rail=VCCINT)
+        with pytest.raises(SweepError, match="at least 1"):
+            FleetProbeKernel(fleet(), probe_runs=0)

@@ -833,7 +833,7 @@ class TestTraceSummarizeCommand:
         ]))
         assert set(payload) == {
             "trace", "n_records", "n_spans", "n_events", "n_processes",
-            "digest", "phases", "warnings",
+            "digest", "batching", "phases", "warnings",
         }
         for row in payload["phases"]:
             assert set(row) == {"phase", "n_spans", "wall_s", "self_s", "mean_ms"}
@@ -848,3 +848,34 @@ class TestTraceSummarizeCommand:
         path.write_text('garbage\n{"kind":"span","name":"a"}\n')
         assert main(["trace", "summarize", str(path)]) == 2
         assert "malformed record" in capsys.readouterr().err
+
+
+class TestNoBatchFlag:
+    """``--no-batch`` changes crossing counts, never a single answer."""
+
+    def test_parser_defaults_batch_on(self):
+        assert build_parser().parse_args(["guardband"]).batch is True
+        assert build_parser().parse_args(["sweep", "--no-batch"]).batch is False
+        assert build_parser().parse_args(
+            ["serve", "--bundle", "x.json", "--no-batch"]
+        ).batch is False
+
+    def test_sweep_documents_identical_batch_on_and_off(self, capsys):
+        batched = strip_timing(run_json(
+            capsys, ["sweep", "--platform", "ZC702", "--runs", "2", "--json"]
+        ))
+        unbatched = strip_timing(run_json(
+            capsys,
+            ["sweep", "--platform", "ZC702", "--runs", "2", "--json", "--no-batch"],
+        ))
+        assert batched == unbatched
+
+    def test_guardband_documents_identical_batch_on_and_off(self, capsys):
+        batched = strip_timing(run_json(
+            capsys, ["guardband", "--platform", "ZC702", "--runs", "2", "--json"]
+        ))
+        unbatched = strip_timing(run_json(
+            capsys,
+            ["guardband", "--platform", "ZC702", "--runs", "2", "--json", "--no-batch"],
+        ))
+        assert batched == unbatched

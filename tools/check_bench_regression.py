@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Fail CI when a benchmark's count metrics regress past the committed baseline.
+
+Every smoke benchmark emits machine-readable counters to
+``benchmarks/results/BENCH_<name>.json`` (see ``benchmarks/_emit.py``); the
+committed baselines live in ``benchmarks/baselines/``.  This guard compares
+each emitted result against its baseline and fails when
+
+* a metric present in the baseline is missing from the current result,
+* a result has no committed baseline (commit one alongside a new benchmark),
+* or a count metric exceeds its baseline by more than
+  :data:`REGRESSION_TOLERANCE` — counts are lower-is-better (backend
+  crossings, kernel calls, evaluations), and a zero baseline must stay zero.
+
+Metrics are deterministic Python-call / evaluation counts, never wall-clock
+times, so the guard cannot flake on a loaded CI runner.  Baselines whose
+benchmark did not run in this invocation only produce a warning, so partial
+local runs stay usable; improvements beyond the tolerance are reported with
+a hint to refresh the baseline.
+
+Usage::
+
+    python tools/check_bench_regression.py \
+        [--results benchmarks/results] [--baselines benchmarks/baselines]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+#: A count metric may grow this fraction past its baseline before the
+#: guard fails.  Counts are deterministic, so the slack only absorbs
+#: intentional small growth (an extra probe after a search tweak), not noise.
+REGRESSION_TOLERANCE = 0.30
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _load(path: pathlib.Path) -> dict:
+    with path.open() as handle:
+        document = json.load(handle)
+    if document.get("version") != 1:
+        raise SystemExit(f"{path}: unsupported benchmark-result version")
+    return document
+
+
+def compare(name: str, current: dict, baseline: dict) -> tuple[list, list]:
+    """Compare one result's metrics; returns (failures, notes)."""
+    failures, notes = [], []
+    current_metrics = current.get("metrics", {})
+    for key, base in sorted(baseline.get("metrics", {}).items()):
+        value = current_metrics.get(key)
+        if value is None:
+            failures.append(f"{name}.{key}: metric vanished (baseline {base})")
+            continue
+        if base == 0:
+            if value > 0:
+                failures.append(f"{name}.{key}: {value} regressed from a zero baseline")
+            continue
+        ratio = value / base
+        if ratio > 1.0 + REGRESSION_TOLERANCE:
+            failures.append(
+                f"{name}.{key}: {value} vs baseline {base} "
+                f"(+{100 * (ratio - 1):.0f}% > {100 * REGRESSION_TOLERANCE:.0f}% tolerance)"
+            )
+        elif ratio < 1.0 - REGRESSION_TOLERANCE:
+            notes.append(
+                f"{name}.{key}: {value} vs baseline {base} "
+                f"({100 * (1 - ratio):.0f}% better — consider refreshing the baseline)"
+            )
+    for key in sorted(set(current_metrics) - set(baseline.get("metrics", {}))):
+        notes.append(f"{name}.{key}: new metric ({current_metrics[key]}), not yet in baseline")
+    return failures, notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results", type=pathlib.Path,
+        default=REPO_ROOT / "benchmarks" / "results",
+    )
+    parser.add_argument(
+        "--baselines", type=pathlib.Path,
+        default=REPO_ROOT / "benchmarks" / "baselines",
+    )
+    args = parser.parse_args(argv)
+
+    results = sorted(args.results.glob("BENCH_*.json"))
+    if not results:
+        print(f"error: no BENCH_*.json results under {args.results}", file=sys.stderr)
+        return 1
+
+    failures: list[str] = []
+    notes: list[str] = []
+    compared = 0
+    for path in results:
+        current = _load(path)
+        name = current.get("benchmark", path.stem)
+        baseline_path = args.baselines / path.name
+        if not baseline_path.exists():
+            failures.append(
+                f"{name}: no committed baseline at {baseline_path} — "
+                "commit one with the benchmark"
+            )
+            continue
+        fail, note = compare(name, current, _load(baseline_path))
+        failures.extend(fail)
+        notes.extend(note)
+        compared += 1
+        status = "FAIL" if fail else "ok"
+        print(f"[{status}] {name}: {len(current.get('metrics', {}))} metrics checked")
+
+    for baseline_path in sorted(args.baselines.glob("BENCH_*.json")):
+        if not (args.results / baseline_path.name).exists():
+            notes.append(f"{baseline_path.name}: baseline present but benchmark did not run")
+
+    for note in notes:
+        print(f"note: {note}")
+    if failures:
+        print(f"\n{len(failures)} benchmark regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {compared} benchmark result(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
